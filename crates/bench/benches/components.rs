@@ -1,0 +1,87 @@
+//! Criterion benches over the host-side components: compiler pipeline,
+//! analyses, ring buffer, and flame-graph rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SQLITE_SRC: &str = mperf_workloads::sqlite_mini::SOURCE;
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("compile/sqlite-mini-frontend", |b| {
+        b.iter(|| mperf_ir::compile("bench", black_box(SQLITE_SRC)).unwrap())
+    });
+    c.bench_function("compile/sqlite-mini-full-pipeline", |b| {
+        b.iter(|| {
+            mperf_workloads::compile_for(
+                "bench",
+                black_box(SQLITE_SRC),
+                mperf_sim::Platform::SpacemitX60,
+                true,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let module = mperf_ir::compile("bench", SQLITE_SRC).unwrap();
+    let f = module.func_by_name("sqlite3VdbeExec").unwrap();
+    c.bench_function("analysis/cfg+dom+loops/vdbe", |b| {
+        b.iter(|| {
+            let cfg = mperf_ir::analysis::Cfg::compute(black_box(f));
+            let dom = mperf_ir::analysis::Dominators::compute(f, &cfg);
+            mperf_ir::analysis::LoopForest::compute(f, &cfg, &dom)
+        })
+    });
+    c.bench_function("analysis/liveness/vdbe", |b| {
+        b.iter(|| {
+            let cfg = mperf_ir::analysis::Cfg::compute(black_box(f));
+            mperf_ir::analysis::Liveness::compute(f, &cfg)
+        })
+    });
+}
+
+fn bench_ring_buffer(c: &mut Criterion) {
+    use mperf_event::{RingBuffer, SampleRecord, SampleType};
+    let st = SampleType::full();
+    let sample = SampleRecord {
+        ip: Some(0xdead_beef),
+        tid: Some(1),
+        time: Some(12345),
+        period: Some(1000),
+        read_group: vec![(1, 7), (2, 8), (3, 9)],
+        callchain: vec![1, 2, 3, 4],
+    };
+    c.bench_function("ring/push+drain-64", |b| {
+        b.iter(|| {
+            let mut ring = RingBuffer::new(64 * 1024, st);
+            for _ in 0..64 {
+                ring.push_sample(black_box(&sample));
+            }
+            ring.drain()
+        })
+    });
+}
+
+fn bench_flamegraph(c: &mut Criterion) {
+    use miniperf::flamegraph::{render_svg, FoldedStacks};
+    let mut folded = FoldedStacks::default();
+    for i in 0..200 {
+        folded
+            .weights
+            .insert(format!("main;f{};g{}", i % 20, i), 10 + i as u64);
+        folded.metric_total += 10 + i as u64;
+    }
+    c.bench_function("flamegraph/render-200-stacks", |b| {
+        b.iter(|| render_svg(black_box(&folded), "bench", 1200))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_analyses,
+    bench_ring_buffer,
+    bench_flamegraph
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablation bench for the instrumentation design (paper §4.4 "Runtime
+//! Overhead"): guest-cycle cost of the baseline vs instrumented clone,
+//! plus the sampling workaround's handler overhead, measured as *guest*
+//! cycles but driven through criterion for host-side regression tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mperf_sim::{Core, Platform};
+use mperf_vm::{Value, Vm};
+use std::hint::black_box;
+
+const KERNEL: &str = r#"
+    fn triad(a: *f32, b: *f32, c: *f32, n: i64, k: f32) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            a[i] = b[i] + k * c[i];
+        }
+    }
+"#;
+
+fn run_phase(instrumented: bool) -> u64 {
+    let module =
+        mperf_workloads::compile_for("k", KERNEL, Platform::SpacemitX60, true).unwrap();
+    let mut vm = Vm::with_memory(&module, Core::new(Platform::SpacemitX60.spec()), 8 << 20);
+    vm.roofline.instrumented = instrumented;
+    let n = 16_384u64;
+    let a = vm.mem.alloc(n * 4, 64).unwrap();
+    let b = vm.mem.alloc(n * 4, 64).unwrap();
+    let c = vm.mem.alloc(n * 4, 64).unwrap();
+    vm.call(
+        "triad",
+        &[
+            Value::I64(a as i64),
+            Value::I64(b as i64),
+            Value::I64(c as i64),
+            Value::I64(n as i64),
+            Value::F32(3.0),
+        ],
+    )
+    .unwrap();
+    vm.core.cycles()
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    // Report the measured guest-cycle overhead once, visibly.
+    let base = run_phase(false);
+    let instr = run_phase(true);
+    println!(
+        "\n[ablation] triad on X60: baseline {base} cycles, instrumented {instr} cycles \
+         -> overhead {:.2}x\n",
+        instr as f64 / base as f64
+    );
+    let mut g = c.benchmark_group("instrumentation");
+    g.sample_size(10);
+    g.bench_function("baseline-run", |b| b.iter(|| black_box(run_phase(false))));
+    g.bench_function("instrumented-run", |b| b.iter(|| black_box(run_phase(true))));
+    g.finish();
+}
+
+fn bench_sampling_overhead(c: &mut Criterion) {
+    use miniperf::{record, RecordConfig};
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(10);
+    for period in [2_003u64, 20_011] {
+        g.bench_function(format!("record-period-{period}"), |b| {
+            b.iter(|| {
+                let module = mperf_workloads::compile_for(
+                    "k",
+                    KERNEL,
+                    Platform::SpacemitX60,
+                    false,
+                )
+                .unwrap();
+                let mut vm =
+                    Vm::with_memory(&module, Core::new(Platform::SpacemitX60.spec()), 8 << 20);
+                let n = 8_192u64;
+                let a = vm.mem.alloc(n * 4, 64).unwrap();
+                let bb = vm.mem.alloc(n * 4, 64).unwrap();
+                let cc = vm.mem.alloc(n * 4, 64).unwrap();
+                record(
+                    &mut vm,
+                    "triad",
+                    &[
+                        Value::I64(a as i64),
+                        Value::I64(bb as i64),
+                        Value::I64(cc as i64),
+                        Value::I64(n as i64),
+                        Value::F32(3.0),
+                    ],
+                    RecordConfig { period },
+                )
+                .unwrap()
+                .samples
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_two_phase, bench_sampling_overhead);
+criterion_main!(benches);

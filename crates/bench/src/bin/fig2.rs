@@ -1,0 +1,82 @@
+//! Regenerates **Figure 2**: "Overview of instrumented workflow" — the
+//! two-phase diagram plus a live run of the pipeline on a small kernel:
+//! compile → instrument (loop nest → SESE → outline → duplicate →
+//! dispatch) → baseline run → instrumented run → correlated metrics.
+
+use miniperf::run_roofline;
+use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+use mperf_ir::transform::PassManager;
+use mperf_sim::PlatformSpec;
+use mperf_vm::{Value, Vm, VmError};
+
+const KERNEL: &str = r#"
+    fn scale_add(a: *f32, b: *f32, n: i64, k: f32) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            a[i] = a[i] * k + b[i];
+        }
+    }
+"#;
+
+fn main() {
+    println!("Figure 2: overview of the instrumented workflow\n");
+    println!("   source ──► clang/LLVM pass (here: mperf-ir InstrumentPass)");
+    println!("                 │  loop nests → SESE check → CodeExtractor");
+    println!("                 │  clone: <loop>_outlined / <loop>_instrumented");
+    println!("                 ▼");
+    println!("   binary with runtime dispatch:");
+    println!("      LH = mperf.loop_begin(id)");
+    println!("      if mperf.is_instrumented(): <loop>_instrumented(...)");
+    println!("      else:                       <loop>_outlined(...)");
+    println!("      mperf.loop_end(id)");
+    println!("                 │");
+    println!("      phase 1: baseline run  (timing)      ─┐");
+    println!("      phase 2: instrumented run (counters) ─┴─► correlate\n");
+
+    let mut module = mperf_ir::compile("fig2", KERNEL).expect("compiles");
+    PassManager::standard().run(&mut module);
+    let report = InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
+    println!(
+        "[pass]    instrumented {} loop region(s); functions now: {}",
+        report.instrumented_loops,
+        module
+            .iter_funcs()
+            .map(|(_, f)| f.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let n = 8192u64;
+    let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+        let a = vm.mem.alloc(n * 4, 64)?;
+        let b = vm.mem.alloc(n * 4, 64)?;
+        for i in 0..n {
+            vm.mem.write_f32(a + i * 4, 1.0)?;
+            vm.mem.write_f32(b + i * 4, 2.0)?;
+        }
+        Ok(vec![
+            Value::I64(a as i64),
+            Value::I64(b as i64),
+            Value::I64(n as i64),
+            Value::F32(1.5),
+        ])
+    };
+    let spec = PlatformSpec::x60();
+    let run = run_roofline(&module, &spec, "scale_add", &setup).expect("roofline run");
+    let r = &run.regions[0];
+    println!("[phase 1] baseline:     {:>10} cycles", r.baseline_cycles);
+    println!("[phase 2] instrumented: {:>10} cycles ({:.2}x overhead)",
+        r.instrumented_cycles, r.overhead_factor());
+    println!(
+        "[corr]    flops={} loaded={}B stored={}B  →  AI={:.3} FLOP/B, {:.2} GFLOP/s, {:.2} GB/s",
+        r.flops,
+        r.loaded_bytes,
+        r.stored_bytes,
+        r.ai(),
+        r.gflops(spec.freq_hz),
+        r.gbytes_per_sec(spec.freq_hz)
+    );
+    println!(
+        "\nThe metrics came from the IR-level counters; no PMU event was \
+         programmed at any point (hardware-agnostic, paper §4)."
+    );
+}

@@ -1,0 +1,135 @@
+//! Regenerates **Figure 4**: roofline models for the tiled matmul kernel.
+//!
+//! - Intel i5-1135G7: three measurements of the same kernel —
+//!   miniperf's compiler-instrumented point, the benchmark's self-reported
+//!   point, and an Advisor-style PMU-derived point (expected to read
+//!   high: speculation/masked-lane overcounting).
+//! - SpacemiT X60: the miniperf point against the theoretical compute
+//!   roof (the paper's 25.6 GFLOP/s derivation) and the memset-derived
+//!   memory roof (~3.16 B/cycle).
+
+use miniperf::run_roofline;
+use mperf_bench::{header, BenchArgs};
+use mperf_event::{EventKind, HwCounter, PerfEventAttr};
+use mperf_roofline::model::Point;
+use mperf_roofline::{characterize, plot};
+use mperf_sim::{Core, HwEvent, Platform};
+use mperf_vm::{Value, Vm, VmError};
+use mperf_workloads::matmul::{MatmulBench, ENTRY, SOURCE};
+
+/// Advisor-style measurement: FLOPs from the PMU FP-op event over the
+/// un-instrumented kernel's cycles.
+fn advisor_style(platform: Platform, bench: MatmulBench) -> f64 {
+    let module =
+        mperf_workloads::compile_for("mm", SOURCE, platform, false).expect("compiles");
+    let spec = platform.spec();
+    let mut vm = Vm::new(&module, Core::new(spec.clone()));
+    let mut kernel = mperf_event::PerfKernel::new(&mut vm.core);
+    let fp = kernel
+        .open(
+            &mut vm.core,
+            PerfEventAttr::counting(EventKind::Raw(spec.event_code(HwEvent::FpOps))),
+            None,
+        )
+        .expect("fp event");
+    let cyc = kernel
+        .open(
+            &mut vm.core,
+            PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles)),
+            None,
+        )
+        .expect("cycles event");
+    kernel.enable(&mut vm.core, fp).expect("enable");
+    kernel.enable(&mut vm.core, cyc).expect("enable");
+    vm.attach_kernel(kernel);
+    let args = bench.setup(&mut vm).expect("setup");
+    vm.call(ENTRY, &args).expect("runs");
+    let kernel = vm.kernel.as_ref().expect("attached");
+    let fp_count = kernel.read(&vm.core, fp).expect("read")[0].1;
+    let cycles = kernel.read(&vm.core, cyc).expect("read")[0].1;
+    fp_count as f64 / (cycles as f64 / spec.freq_hz as f64) / 1e9
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let bench = MatmulBench {
+        n: args.scaled(128),
+        tile: 32.min(args.scaled(32)),
+        seed: 0x3a7_5eed,
+    };
+    header(&format!(
+        "Figure 4: roofline for the tiled matmul kernel (n={}, tile={})",
+        bench.n, bench.tile
+    ));
+
+    for platform in [Platform::IntelI5_1135G7, Platform::SpacemitX60] {
+        let spec = platform.spec();
+        println!("\n--- {} ---", spec.name);
+        let module = mperf_workloads::compile_for("mm", SOURCE, platform, true)
+            .expect("compiles instrumented");
+        let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> { bench.setup(vm) };
+        let run = run_roofline(&module, &spec, ENTRY, &setup).expect("roofline run");
+        let region = &run.regions[0];
+
+        let miniperf_gflops = region.gflops(spec.freq_hz);
+        let ai = region.ai();
+        // Self-reported: the benchmark's own FLOP formula over the
+        // baseline wall time (includes dispatch/notify overhead).
+        let self_gflops = bench.flops() as f64
+            / (run.baseline_total_cycles as f64 / spec.freq_hz as f64)
+            / 1e9;
+        let advisor_gflops = advisor_style(platform, bench);
+
+        println!("  miniperf (IR counts / baseline time): {miniperf_gflops:8.2} GFLOP/s");
+        println!("  self-reported (formula / wall time):  {self_gflops:8.2} GFLOP/s");
+        println!("  advisor-style (PMU fp-ops / cycles):  {advisor_gflops:8.2} GFLOP/s");
+        println!(
+            "  AI = {ai:.3} FLOP/B, traffic = {:.1} MB, overhead = {:.2}x",
+            region.bytes() as f64 / 1e6,
+            region.overhead_factor()
+        );
+
+        let ch = characterize(platform);
+        let mut model = ch.to_model();
+        println!(
+            "  roofs: vector {:.1} GF/s, scalar {:.1} GF/s, DRAM {:.2} GB/s \
+             ({:.2} B/cyc ≈ {:.2} GiB/s)",
+            ch.peak_vector_gflops,
+            ch.peak_scalar_gflops,
+            ch.memset_gbps,
+            ch.memset_bytes_per_cycle,
+            ch.memset_gbps * 1e9 / (1u64 << 30) as f64
+        );
+        model.add_point(Point {
+            name: "matmul (miniperf)".into(),
+            ai,
+            gflops: miniperf_gflops,
+        });
+        model.add_point(Point {
+            name: "matmul (advisor-style)".into(),
+            ai,
+            gflops: advisor_gflops,
+        });
+
+        let tag = match platform {
+            Platform::SpacemitX60 => "x60",
+            Platform::IntelI5_1135G7 => "i5",
+            _ => unreachable!(),
+        };
+        let svg_path = args.out_file(&format!("fig4_{tag}_roofline.svg"));
+        let csv_path = args.out_file(&format!("fig4_{tag}_roofline.csv"));
+        std::fs::write(&svg_path, plot::svg(&model, 760, 520)).expect("write svg");
+        std::fs::write(&csv_path, plot::csv(&model)).expect("write csv");
+        println!("  wrote {} and {}", svg_path.display(), csv_path.display());
+        print!("{}", plot::ascii(&model, 64, 16));
+    }
+
+    println!("\nPaper reference (n=..., full size):");
+    println!("  i5: miniperf 34.06 GFLOP/s, self-reported 33.0, Advisor 47.72");
+    println!("  X60: 1.58 GFLOP/s vs roofs 25.6 GFLOP/s and ~4.7 GiB/s");
+    println!(
+        "Shape: Advisor-style > miniperf ≈ self-reported on x86; the X60 point \
+         sits far below both roofs (scalar code: the compiler cannot vectorize \
+         the strided B access)."
+    );
+}

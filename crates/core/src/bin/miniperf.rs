@@ -1,0 +1,270 @@
+//! The `miniperf` command-line tool (the paper's artifact, over the
+//! simulated platforms).
+//!
+//! ```text
+//! miniperf probe                          # Table-1-style capability probe
+//! miniperf record [--platform x60] [--period N]   # sample a demo workload
+//! miniperf stat   [--platform u74]        # count events
+//! miniperf roofline [--platform x60]      # two-phase roofline of a kernel
+//! ```
+
+use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
+use miniperf::report::{text_table, thousands};
+use miniperf::{
+    hotspot_table, probe_sampling, record, run_roofline, stat, RecordConfig,
+};
+use mperf_event::{EventKind, HwCounter, PerfKernel};
+use mperf_sim::{Core, Platform};
+use mperf_vm::{Value, Vm, VmError};
+
+const DEMO: &str = r#"
+    fn inner(p: *i64, n: i64) -> i64 {
+        var h: i64 = 0;
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            h = (h ^ p[i % 512]) * 31 + (i >> 2);
+        }
+        return h;
+    }
+    fn demo(p: *i64, n: i64, rounds: i64) -> i64 {
+        var acc: i64 = 0;
+        for (var r: i64 = 0; r < rounds; r = r + 1) {
+            acc = acc + inner(p, n);
+        }
+        return acc;
+    }
+"#;
+
+const KERNEL: &str = r#"
+    fn triad(a: *f64, b: *f64, c: *f64, n: i64, k: f64) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            a[i] = b[i] + k * c[i];
+        }
+    }
+"#;
+
+fn parse_platform(s: &str) -> Option<Platform> {
+    match s {
+        "x60" | "spacemit-x60" => Some(Platform::SpacemitX60),
+        "c910" | "thead-c910" => Some(Platform::TheadC910),
+        "u74" | "sifive-u74" => Some(Platform::SifiveU74),
+        "i5" | "x86" => Some(Platform::IntelI5_1135G7),
+        _ => None,
+    }
+}
+
+struct Opts {
+    platform: Platform,
+    period: u64,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        platform: Platform::SpacemitX60,
+        period: 9_973,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => {
+                if let Some(p) = it.next().and_then(|v| parse_platform(v)) {
+                    opts.platform = p;
+                } else {
+                    eprintln!("unknown platform (use x60 | c910 | u74 | i5)");
+                    std::process::exit(2);
+                }
+            }
+            "--period" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.period = v;
+                }
+            }
+            other => eprintln!("ignoring {other:?}"),
+        }
+    }
+    opts
+}
+
+fn demo_vm(platform: Platform) -> (Vm<'static>, Vec<Value>) {
+    let module = Box::leak(Box::new(
+        mperf_workloads_compile(platform, DEMO).expect("demo compiles"),
+    ));
+    let mut vm = Vm::new(module, Core::new(platform.spec()));
+    let p = vm.mem.alloc(512 * 8, 64).expect("alloc");
+    for i in 0..512u64 {
+        vm.mem
+            .write_u64(p + i * 8, i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .expect("write");
+    }
+    let args = vec![Value::I64(p as i64), Value::I64(20_000), Value::I64(10)];
+    (vm, args)
+}
+
+// Local shim: `miniperf` (the crate) must not depend on the workloads
+// crate (it is lower in the DAG), so the binary inlines the pipeline.
+fn mperf_workloads_compile(
+    platform: Platform,
+    src: &str,
+) -> Result<mperf_ir::Module, mperf_ir::CompileError> {
+    use mperf_ir::transform::{vectorize::VectorizePass, PassManager};
+    let mut module = mperf_ir::compile("cli", src)?;
+    PassManager::standard().run(&mut module);
+    let caps = mperf_roofline::microbench::vec_caps_for(platform);
+    VectorizePass::new(caps).run_with_report(&mut module);
+    Ok(module)
+}
+
+fn cmd_probe() {
+    let mut rows = vec![vec![
+        "Platform".to_string(),
+        "OoO".to_string(),
+        "Vector".to_string(),
+        "Sampling".to_string(),
+        "Strategy".to_string(),
+    ]];
+    for p in Platform::ALL {
+        let spec = p.spec();
+        let mut core = Core::new(spec.clone());
+        let mut kernel = PerfKernel::new(&mut core);
+        let support = probe_sampling(&mut core, &mut kernel);
+        let detected = miniperf::detect(&core).expect("modeled platform");
+        rows.push(vec![
+            spec.name.to_string(),
+            if spec.out_of_order { "yes" } else { "no" }.into(),
+            spec.vector
+                .map(|v| v.version.to_string())
+                .unwrap_or_else(|| "-".into()),
+            support.to_string(),
+            format!("{:?}", detected.strategy),
+        ]);
+    }
+    print!("{}", text_table(&rows));
+}
+
+fn cmd_record(opts: &Opts) {
+    let (mut vm, args) = demo_vm(opts.platform);
+    match record(&mut vm, "demo", &args, RecordConfig { period: opts.period }) {
+        Ok(profile) => {
+            println!(
+                "{}: {} samples via {:?} (period {}), IPC {:.2}\n",
+                opts.platform.spec().name,
+                profile.samples.len(),
+                profile.strategy,
+                opts.period,
+                profile.ipc()
+            );
+            let mut rows = vec![vec![
+                "Function".to_string(),
+                "Total %".to_string(),
+                "Instructions".to_string(),
+                "IPC".to_string(),
+            ]];
+            for r in hotspot_table(&profile).into_iter().take(8) {
+                rows.push(vec![
+                    r.function,
+                    format!("{:.2}%", r.total_percent),
+                    thousands(r.instructions),
+                    format!("{:.2}", r.ipc),
+                ]);
+            }
+            print!("{}", text_table(&rows));
+            println!("\nfolded stacks (cycles):");
+            print!("{}", folded_text(&fold_stacks(&profile, Metric::Cycles)));
+        }
+        Err(e) => {
+            eprintln!("record failed: {e}");
+            eprintln!("hint: `miniperf stat` works on every platform.");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_stat(opts: &Opts) {
+    let (mut vm, args) = demo_vm(opts.platform);
+    let events = [
+        EventKind::Hardware(HwCounter::BranchInstructions),
+        EventKind::Hardware(HwCounter::BranchMisses),
+        EventKind::Hardware(HwCounter::CacheReferences),
+        EventKind::Hardware(HwCounter::CacheMisses),
+    ];
+    // The U74 only has two generic counters; degrade gracefully.
+    let trimmed: &[EventKind] = if opts.platform == Platform::SifiveU74 {
+        &events[..2]
+    } else {
+        &events
+    };
+    match stat(&mut vm, "demo", &args, trimmed) {
+        Ok(rep) => {
+            println!("{}:", opts.platform.spec().name);
+            println!("  cycles        {}", thousands(rep.cycles));
+            println!("  instructions  {}", thousands(rep.instructions));
+            println!("  IPC           {:.2}", rep.ipc());
+            for (ev, v) in &rep.counts {
+                println!("  {ev:?}  {}", thousands(*v));
+            }
+        }
+        Err(e) => {
+            eprintln!("stat failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_roofline(opts: &Opts) {
+    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+    let mut module = mperf_workloads_compile(opts.platform, KERNEL).expect("kernel compiles");
+    InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
+    let spec = opts.platform.spec();
+    let n = 32_768u64;
+    let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+        let a = vm.mem.alloc(n * 8, 64)?;
+        let b = vm.mem.alloc(n * 8, 64)?;
+        let c = vm.mem.alloc(n * 8, 64)?;
+        for i in 0..n {
+            vm.mem.write_f64(b + i * 8, i as f64)?;
+            vm.mem.write_f64(c + i * 8, 0.25)?;
+        }
+        Ok(vec![
+            Value::I64(a as i64),
+            Value::I64(b as i64),
+            Value::I64(c as i64),
+            Value::I64(n as i64),
+            Value::F64(3.0),
+        ])
+    };
+    let run = run_roofline(&module, &spec, "triad", &setup).expect("roofline run");
+    let r = &run.regions[0];
+    let ch = mperf_roofline::characterize(opts.platform);
+    let mut model = ch.to_model();
+    model.add_point(mperf_roofline::Point {
+        name: "triad".into(),
+        ai: r.ai(),
+        gflops: r.gflops(spec.freq_hz),
+    });
+    println!(
+        "{}: triad {:.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x)\n",
+        spec.name,
+        r.gflops(spec.freq_hz),
+        r.ai(),
+        r.overhead_factor()
+    );
+    print!("{}", mperf_roofline::plot::ascii(&model, 64, 16));
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: miniperf <probe|record|stat|roofline> [--platform x60|c910|u74|i5] [--period N]");
+        std::process::exit(2);
+    };
+    let opts = parse_opts(&argv[1..]);
+    match cmd.as_str() {
+        "probe" => cmd_probe(),
+        "record" => cmd_record(&opts),
+        "stat" => cmd_stat(&opts),
+        "roofline" => cmd_roofline(&opts),
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

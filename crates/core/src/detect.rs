@@ -1,0 +1,181 @@
+//! Hardware detection and capability probing.
+//!
+//! Unlike the stock `perf` utility, miniperf "relies solely on CPU
+//! identification registers. This direct hardware identification enables
+//! more robust management of supported features and platform-specific
+//! workarounds" (paper §3.3). [`detect`] reads
+//! `mvendorid`/`marchid`/`mimpid` and consults a quirk table;
+//! [`probe_sampling`] *dynamically* verifies what the kernel interface
+//! actually permits, which is how Table 1's "overflow interrupt support"
+//! row is regenerated rather than hardcoded.
+
+use mperf_event::{Errno, EventKind, HwCounter, PerfEventAttr, PerfKernel};
+use mperf_sim::csr::addr;
+use mperf_sim::{Core, HwEvent, Platform, PrivMode};
+
+/// How miniperf will obtain cycle/instruction samples on this hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Cycles/instructions sample directly (C910, x86).
+    Direct,
+    /// The §3.3 workaround: a mode-cycle counter leads a group whose
+    /// members (`mcycle`, `minstret`) are read at each leader overflow.
+    ModeCycleLeaderGroup,
+    /// No sampling-capable counter exists (U74): only counting works.
+    Unsupported,
+}
+
+/// Result of CPU-identity detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detected {
+    pub platform: Platform,
+    pub strategy: SamplingStrategy,
+    /// Raw identity registers, as read.
+    pub mvendorid: u64,
+    pub marchid: u64,
+    pub mimpid: u64,
+}
+
+/// Identify the hardware from its CPU identity registers.
+///
+/// # Errors
+/// Returns the unrecognized `(mvendorid, marchid)` pair if the part is
+/// unknown to the quirk table.
+pub fn detect(core: &Core) -> Result<Detected, (u64, u64)> {
+    let mvendorid = core
+        .csr_read_as(addr::MVENDORID, PrivMode::Machine)
+        .expect("identity registers are always readable from M-mode");
+    let marchid = core
+        .csr_read_as(addr::MARCHID, PrivMode::Machine)
+        .expect("identity registers are always readable from M-mode");
+    let mimpid = core
+        .csr_read_as(addr::MIMPID, PrivMode::Machine)
+        .expect("identity registers are always readable from M-mode");
+    let platform = Platform::ALL
+        .into_iter()
+        .find(|p| p.spec().cpu_id.mvendorid == mvendorid && p.spec().cpu_id.marchid == marchid)
+        .ok_or((mvendorid, marchid))?;
+    let strategy = match platform {
+        Platform::TheadC910 | Platform::IntelI5_1135G7 => SamplingStrategy::Direct,
+        Platform::SpacemitX60 => SamplingStrategy::ModeCycleLeaderGroup,
+        Platform::SifiveU74 => SamplingStrategy::Unsupported,
+    };
+    Ok(Detected {
+        platform,
+        strategy,
+        mvendorid,
+        marchid,
+        mimpid,
+    })
+}
+
+/// Observed sampling capability (Table 1 row, derived by probing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingSupport {
+    /// Direct cycle sampling works.
+    Full,
+    /// Direct sampling fails but a non-standard counter samples.
+    Limited,
+    /// Nothing samples.
+    None,
+}
+
+impl std::fmt::Display for SamplingSupport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplingSupport::Full => write!(f, "Yes"),
+            SamplingSupport::Limited => write!(f, "Limited"),
+            SamplingSupport::None => write!(f, "No"),
+        }
+    }
+}
+
+/// Probe what sampling the kernel interface actually allows, by opening
+/// (and closing) real events — no quirk table consulted.
+pub fn probe_sampling(core: &mut Core, kernel: &mut PerfKernel) -> SamplingSupport {
+    // 1. Try plain cycle sampling (what stock `perf record` does).
+    match kernel.open(
+        core,
+        PerfEventAttr::sampling(EventKind::Hardware(HwCounter::Cycles), 100_000),
+        None,
+    ) {
+        Ok(fd) => {
+            kernel.close(core, fd).expect("probe event closes");
+            return SamplingSupport::Full;
+        }
+        Err(Errno::EOPNOTSUPP) => {}
+        Err(_) => return SamplingSupport::None,
+    }
+    // 2. Try the non-standard mode-cycle counters.
+    let umc = core.spec.event_code(HwEvent::UModeCycles);
+    match kernel.open(
+        core,
+        PerfEventAttr::sampling(EventKind::Raw(umc), 100_000),
+        None,
+    ) {
+        Ok(fd) => {
+            kernel.close(core, fd).expect("probe event closes");
+            SamplingSupport::Limited
+        }
+        Err(_) => SamplingSupport::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_sim::PlatformSpec;
+
+    #[test]
+    fn detects_all_modeled_platforms() {
+        for p in Platform::ALL {
+            let core = Core::new(p.spec());
+            let d = detect(&core).unwrap();
+            assert_eq!(d.platform, p);
+        }
+    }
+
+    #[test]
+    fn strategies_match_quirks() {
+        let d = detect(&Core::new(PlatformSpec::x60())).unwrap();
+        assert_eq!(d.strategy, SamplingStrategy::ModeCycleLeaderGroup);
+        let d = detect(&Core::new(PlatformSpec::c910())).unwrap();
+        assert_eq!(d.strategy, SamplingStrategy::Direct);
+        let d = detect(&Core::new(PlatformSpec::u74())).unwrap();
+        assert_eq!(d.strategy, SamplingStrategy::Unsupported);
+    }
+
+    #[test]
+    fn probing_reproduces_table1_column() {
+        let expectations = [
+            (Platform::SifiveU74, SamplingSupport::None),
+            (Platform::TheadC910, SamplingSupport::Full),
+            (Platform::SpacemitX60, SamplingSupport::Limited),
+            (Platform::IntelI5_1135G7, SamplingSupport::Full),
+        ];
+        for (p, want) in expectations {
+            let mut core = Core::new(p.spec());
+            let mut kernel = PerfKernel::new(&mut core);
+            let got = probe_sampling(&mut core, &mut kernel);
+            assert_eq!(got, want, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn probe_leaves_counters_free() {
+        let mut core = Core::new(PlatformSpec::x60());
+        let mut kernel = PerfKernel::new(&mut core);
+        probe_sampling(&mut core, &mut kernel);
+        // All HPM counters must be reusable afterwards.
+        let umc = core.spec.event_code(HwEvent::UModeCycles);
+        for _ in 0..core.spec.num_hpm_counters {
+            kernel
+                .open(
+                    &mut core,
+                    PerfEventAttr::counting(EventKind::Raw(umc)),
+                    None,
+                )
+                .unwrap();
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Folded-stack aggregation (Brendan Gregg's `stackcollapse` format).
+
+use crate::profile::Profile;
+use std::collections::BTreeMap;
+
+/// Which sampled quantity weights the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// CPU cycles: the classic CPU-time flame graph.
+    Cycles,
+    /// Instructions retired: the paper's proxy for spotting
+    /// under-vectorized code (§5.1).
+    Instructions,
+}
+
+impl Metric {
+    /// Short name used in titles and filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Cycles => "cycles",
+            Metric::Instructions => "instructions",
+        }
+    }
+}
+
+/// Aggregated stacks: `root;..;leaf` → total weight. BTreeMap keeps the
+/// alphabetical order the flame graph layout wants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldedStacks {
+    pub weights: BTreeMap<String, u64>,
+    pub metric_total: u64,
+}
+
+impl FoldedStacks {
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no stack was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Fold a profile's samples by `metric`.
+pub fn fold_stacks(profile: &Profile, metric: Metric) -> FoldedStacks {
+    let mut out = FoldedStacks::default();
+    for s in &profile.samples {
+        let w = match metric {
+            Metric::Cycles => s.cycles,
+            Metric::Instructions => s.instructions,
+        };
+        if w == 0 {
+            continue;
+        }
+        let stack = profile.stack_of(s);
+        *out.weights.entry(stack).or_insert(0) += w;
+        out.metric_total += w;
+    }
+    out
+}
+
+/// Serialize in the standard `stack weight` line format.
+pub fn folded_text(folded: &FoldedStacks) -> String {
+    let mut s = String::new();
+    for (stack, w) in &folded.weights {
+        s.push_str(stack);
+        s.push(' ');
+        s.push_str(&w.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::SamplingStrategy;
+    use crate::profile::ProfSample;
+    use mperf_sim::Platform;
+
+    fn profile() -> Profile {
+        let s = |chain: Vec<u64>, cycles: u64, instr: u64| ProfSample {
+            ip: chain[0],
+            callchain: chain,
+            cycles,
+            instructions: instr,
+        };
+        Profile {
+            platform: Platform::SpacemitX60,
+            strategy: SamplingStrategy::ModeCycleLeaderGroup,
+            samples: vec![
+                s(vec![1 << 32, 0], 10, 100),
+                s(vec![1 << 32, 0], 5, 50),
+                s(vec![2 << 32, 0], 7, 7),
+                s(vec![0], 1, 0),
+            ],
+            lost: 0,
+            total_cycles: 23,
+            total_instructions: 157,
+            func_names: vec!["main".into(), "hot".into(), "cold".into()],
+        }
+    }
+
+    #[test]
+    fn folds_merge_identical_stacks() {
+        let f = fold_stacks(&profile(), Metric::Cycles);
+        assert_eq!(f.weights.get("main;hot"), Some(&15));
+        assert_eq!(f.weights.get("main;cold"), Some(&7));
+        assert_eq!(f.weights.get("main"), Some(&1));
+        assert_eq!(f.metric_total, 23);
+    }
+
+    #[test]
+    fn instruction_metric_differs() {
+        let f = fold_stacks(&profile(), Metric::Instructions);
+        assert_eq!(f.weights.get("main;hot"), Some(&150));
+        // The zero-instruction sample is dropped.
+        assert_eq!(f.weights.get("main"), None);
+        assert_eq!(f.metric_total, 157);
+    }
+
+    #[test]
+    fn folded_text_format() {
+        let f = fold_stacks(&profile(), Metric::Cycles);
+        let t = folded_text(&f);
+        assert!(t.contains("main;hot 15\n"), "{t}");
+        // Alphabetical stack order.
+        let lines: Vec<&str> = t.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,13 @@
+//! Flame graphs (paper §5.1): folded-stack aggregation and SVG rendering.
+//!
+//! The x-axis is the stack-profile population with frames *sorted
+//! alphabetically to maximize merging* (not time); the y-axis is stack
+//! depth; frame width is proportional to the sampled weight — cycles or
+//! instructions retired, the latter being the paper's proxy metric for
+//! vectorization quality.
+
+pub mod fold;
+pub mod svg;
+
+pub use fold::{fold_stacks, folded_text, FoldedStacks, Metric};
+pub use svg::render_svg;

@@ -1,0 +1,178 @@
+//! SVG flame graph rendering.
+//!
+//! Builds the merged frame tree from folded stacks (children ordered
+//! alphabetically, per the flame graph convention) and emits one `<rect>`
+//! plus label per frame, width proportional to weight.
+
+use super::fold::FoldedStacks;
+
+#[derive(Debug, Default)]
+struct Node {
+    children: std::collections::BTreeMap<String, Node>,
+    /// Total weight of this subtree.
+    weight: u64,
+    /// Weight of samples ending exactly here.
+    self_weight: u64,
+}
+
+impl Node {
+    fn insert(&mut self, frames: &[&str], w: u64) {
+        self.weight += w;
+        match frames.split_first() {
+            None => self.self_weight += w,
+            Some((head, rest)) => {
+                self.children
+                    .entry((*head).to_string())
+                    .or_default()
+                    .insert(rest, w);
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .values()
+            .map(Node::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Render a flame graph as SVG. `title` is drawn in the header.
+pub fn render_svg(folded: &FoldedStacks, title: &str, width: u32) -> String {
+    let width = width.max(320) as f64;
+    let frame_h = 18.0;
+    let mut root = Node::default();
+    for (stack, &w) in &folded.weights {
+        let frames: Vec<&str> = stack.split(';').collect();
+        root.insert(&frames, w);
+    }
+    let depth = root.depth();
+    let header = 28.0;
+    let height = header + depth as f64 * frame_h + 8.0;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    ));
+    s.push_str(&format!(
+        r##"<rect width="{width}" height="{height}" fill="#f8f8f8"/><text x="8" y="18" font-family="monospace" font-size="13">{}</text>"##,
+        xml_escape(title)
+    ));
+    if root.weight > 0 {
+        // Lay out children of the synthetic root across the full width.
+        let mut x = 0.0;
+        let scale = width / root.weight as f64;
+        for (name, child) in &root.children {
+            draw(&mut s, name, child, x, header, scale, frame_h, 0);
+            x += child.weight as f64 * scale;
+        }
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn draw(
+    s: &mut String,
+    name: &str,
+    node: &Node,
+    x: f64,
+    y: f64,
+    scale: f64,
+    frame_h: f64,
+    depth: usize,
+) {
+    let w = node.weight as f64 * scale;
+    if w < 0.5 {
+        return; // sub-pixel frames are skipped, like flamegraph.pl
+    }
+    let color = palette(name, depth);
+    s.push_str(&format!(
+        r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{:.1}" fill="{color}" stroke="white" stroke-width="0.5"><title>{} ({})</title></rect>"#,
+        frame_h - 1.0,
+        xml_escape(name),
+        node.weight
+    ));
+    // Label if it plausibly fits (~7px per character).
+    if w > name.len() as f64 * 7.0 {
+        s.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="monospace" font-size="11">{}</text>"#,
+            x + 3.0,
+            y + frame_h - 5.0,
+            xml_escape(name)
+        ));
+    }
+    let mut cx = x;
+    for (cname, child) in &node.children {
+        draw(s, cname, child, cx, y + frame_h, scale, frame_h, depth + 1);
+        cx += child.weight as f64 * scale;
+    }
+}
+
+/// Deterministic warm-palette color per frame.
+fn palette(name: &str, depth: usize) -> String {
+    let mut h: u32 = 2166136261;
+    for b in name.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 100) as u8 + (depth as u8 % 3) * 10;
+    let b = 40 + ((h >> 16) % 40) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flamegraph::fold::FoldedStacks;
+
+    fn folded() -> FoldedStacks {
+        let mut f = FoldedStacks::default();
+        f.weights.insert("main;alpha;hot".into(), 60);
+        f.weights.insert("main;beta".into(), 30);
+        f.weights.insert("main".into(), 10);
+        f.metric_total = 100;
+        f
+    }
+
+    #[test]
+    fn renders_rects_per_frame() {
+        let svg = render_svg(&folded(), "test", 800);
+        // Frames: main, alpha, hot, beta = 4 rects (+ background).
+        assert_eq!(svg.matches("<rect").count(), 5, "{svg}");
+        assert!(svg.contains("main"));
+        assert!(svg.contains("alpha"));
+    }
+
+    #[test]
+    fn widths_proportional_to_weight() {
+        let svg = render_svg(&folded(), "t", 1000);
+        // `main` spans the whole width (1000), `alpha` 60% (600).
+        assert!(svg.contains(r#"width="1000.0""#) || svg.contains(r#"width="1000""#), "{svg}");
+        assert!(svg.contains(r#"width="600.0""#), "{svg}");
+        assert!(svg.contains(r#"width="300.0""#), "{svg}");
+    }
+
+    #[test]
+    fn children_laid_out_alphabetically() {
+        let svg = render_svg(&folded(), "t", 1000);
+        let alpha_pos = svg.find(">alpha").expect("alpha labeled");
+        let beta_pos = svg.find(">beta").expect("beta labeled");
+        assert!(alpha_pos < beta_pos, "alphabetical order");
+    }
+
+    #[test]
+    fn empty_folded_renders_header_only() {
+        let svg = render_svg(&FoldedStacks::default(), "empty", 640);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Hotspot aggregation: the per-function `Total % / Instructions / IPC`
+//! breakdown of the paper's Table 2.
+
+use crate::profile::Profile;
+use std::collections::HashMap;
+
+/// One row of the hotspot table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotRow {
+    pub function: String,
+    /// Share of sampled cycles spent in the function (0..=100).
+    pub total_percent: f64,
+    /// Cycles attributed to the function.
+    pub cycles: u64,
+    /// Instructions attributed to the function.
+    pub instructions: u64,
+    /// Per-function IPC.
+    pub ipc: f64,
+    /// Number of samples whose leaf was this function.
+    pub samples: usize,
+}
+
+/// Aggregate a profile into hotspot rows, sorted by descending cycle
+/// share. Sample deltas are attributed to the *leaf* function of each
+/// sample, the usual exclusive-time convention.
+pub fn hotspot_table(profile: &Profile) -> Vec<HotspotRow> {
+    #[derive(Default)]
+    struct Acc {
+        cycles: u64,
+        instructions: u64,
+        samples: usize,
+    }
+    let mut by_func: HashMap<&str, Acc> = HashMap::new();
+    let mut total_cycles = 0u64;
+    for s in &profile.samples {
+        let name = profile.func_name(s.ip);
+        let a = by_func.entry(name).or_default();
+        a.cycles += s.cycles;
+        a.instructions += s.instructions;
+        a.samples += 1;
+        total_cycles += s.cycles;
+    }
+    let mut rows: Vec<HotspotRow> = by_func
+        .into_iter()
+        .map(|(name, a)| HotspotRow {
+            function: name.to_string(),
+            total_percent: if total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * a.cycles as f64 / total_cycles as f64
+            },
+            cycles: a.cycles,
+            instructions: a.instructions,
+            ipc: if a.cycles == 0 {
+                0.0
+            } else {
+                a.instructions as f64 / a.cycles as f64
+            },
+            samples: a.samples,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.function.cmp(&b.function)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::SamplingStrategy;
+    use crate::profile::ProfSample;
+    use mperf_sim::Platform;
+
+    fn profile() -> Profile {
+        let sample = |func: u64, cycles: u64, instr: u64| ProfSample {
+            ip: func << 32,
+            callchain: vec![func << 32],
+            cycles,
+            instructions: instr,
+        };
+        Profile {
+            platform: Platform::SpacemitX60,
+            strategy: SamplingStrategy::ModeCycleLeaderGroup,
+            samples: vec![
+                sample(1, 500, 400),
+                sample(1, 500, 500),
+                sample(2, 300, 900),
+                sample(0, 200, 100),
+            ],
+            lost: 0,
+            total_cycles: 1500,
+            total_instructions: 1900,
+            func_names: vec!["main".into(), "vdbe_exec".into(), "pattern_compare".into()],
+        }
+    }
+
+    #[test]
+    fn rows_sorted_by_cycles() {
+        let rows = hotspot_table(&profile());
+        assert_eq!(rows[0].function, "vdbe_exec");
+        assert_eq!(rows[1].function, "pattern_compare");
+        assert_eq!(rows[2].function, "main");
+    }
+
+    #[test]
+    fn percents_and_ipc() {
+        let rows = hotspot_table(&profile());
+        let top = &rows[0];
+        assert!((top.total_percent - 1000.0 / 15.0).abs() < 1e-9);
+        assert!((top.ipc - 900.0 / 1000.0).abs() < 1e-9);
+        assert_eq!(top.samples, 2);
+        let pc = &rows[1];
+        assert!((pc.ipc - 3.0).abs() < 1e-9, "900 instr / 300 cycles");
+    }
+
+    #[test]
+    fn percents_sum_to_100() {
+        let rows = hotspot_table(&profile());
+        let sum: f64 = rows.iter().map(|r| r.total_percent).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_is_empty_table() {
+        let mut p = profile();
+        p.samples.clear();
+        assert!(hotspot_table(&p).is_empty());
+    }
+}

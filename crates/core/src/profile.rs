@@ -1,0 +1,127 @@
+//! Sampled profiles: symbolized samples with per-sample counter deltas.
+
+use mperf_ir::Module;
+use mperf_sim::Platform;
+
+use crate::detect::SamplingStrategy;
+
+/// One processed sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfSample {
+    /// Instruction pointer at overflow.
+    pub ip: u64,
+    /// Call chain, innermost first (starts with `ip`'s frame).
+    pub callchain: Vec<u64>,
+    /// Cycles elapsed since the previous sample (from the group read of
+    /// `mcycle`, or the leader period when no group read is available).
+    pub cycles: u64,
+    /// Instructions retired since the previous sample (from `minstret`).
+    pub instructions: u64,
+}
+
+/// A complete recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    pub platform: Platform,
+    pub strategy: SamplingStrategy,
+    pub samples: Vec<ProfSample>,
+    /// Records dropped by the ring buffer.
+    pub lost: u64,
+    /// Whole-run totals (from the counting reads at disable time).
+    pub total_cycles: u64,
+    pub total_instructions: u64,
+    /// Function names indexed by `FuncId` (for symbolization).
+    pub func_names: Vec<String>,
+}
+
+impl Profile {
+    /// Capture function names from the module that was executed.
+    pub fn symbolize_from(module: &Module) -> Vec<String> {
+        module.iter_funcs().map(|(_, f)| f.name.clone()).collect()
+    }
+
+    /// The function name for a sampled pc.
+    pub fn func_name(&self, pc: u64) -> &str {
+        let idx = (pc >> 32) as usize;
+        self.func_names
+            .get(idx)
+            .map(String::as_str)
+            .unwrap_or("[unknown]")
+    }
+
+    /// Fold a sample's call chain into a `root;...;leaf` stack string.
+    pub fn stack_of(&self, s: &ProfSample) -> String {
+        let mut names: Vec<&str> = s
+            .callchain
+            .iter()
+            .map(|&pc| self.func_name(pc))
+            .collect();
+        if names.is_empty() {
+            names.push(self.func_name(s.ip));
+        }
+        names.reverse(); // innermost-first -> root-first
+        // Collapse adjacent duplicates from dispatch blocks within the
+        // same function.
+        names.dedup();
+        names.join(";")
+    }
+
+    /// Whole-profile IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.total_instructions as f64 / self.total_cycles as f64
+    }
+
+    /// Sum of per-sample cycles (≈ sampled portion of the run).
+    pub fn sampled_cycles(&self) -> u64 {
+        self.samples.iter().map(|s| s.cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        Profile {
+            platform: Platform::SpacemitX60,
+            strategy: SamplingStrategy::ModeCycleLeaderGroup,
+            samples: vec![
+                ProfSample {
+                    ip: 2 << 32,
+                    callchain: vec![2 << 32, 1 << 32, 0],
+                    cycles: 100,
+                    instructions: 90,
+                },
+                ProfSample {
+                    ip: 1 << 32,
+                    callchain: vec![1 << 32, 0],
+                    cycles: 50,
+                    instructions: 20,
+                },
+            ],
+            lost: 0,
+            total_cycles: 150,
+            total_instructions: 110,
+            func_names: vec!["main".into(), "query".into(), "parse".into()],
+        }
+    }
+
+    #[test]
+    fn symbolization_and_stacks() {
+        let p = profile();
+        assert_eq!(p.func_name(2 << 32), "parse");
+        assert_eq!(p.func_name(99 << 32), "[unknown]");
+        assert_eq!(p.stack_of(&p.samples[0]), "main;query;parse");
+        assert_eq!(p.stack_of(&p.samples[1]), "main;query");
+    }
+
+    #[test]
+    fn ipc_and_sampled_cycles() {
+        let p = profile();
+        assert!((p.ipc() - 110.0 / 150.0).abs() < 1e-9);
+        assert_eq!(p.sampled_cycles(), 150);
+    }
+}

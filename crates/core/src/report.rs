@@ -1,0 +1,105 @@
+//! Text-report helpers: aligned tables, thousands separators, CSV.
+
+/// Format an integer with thousands separators (`3634478335` →
+/// `"3,634,478,335"`, the paper's Table 2 style).
+pub fn thousands(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Render rows as an aligned text table. The first row is the header.
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out = out.trim_end().to_string();
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render rows as CSV (no quoting beyond commas-in-cell wrapping).
+pub fn csv_table(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') {
+                    format!("\"{c}\"")
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(3_634_478_335), "3,634,478,335");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = text_table(&[
+            vec!["Function".into(), "IPC".into()],
+            vec!["sqlite3VdbeExec".into(), "0.86".into()],
+            vec!["f".into(), "3.38".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("Function"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("0.86"));
+        // Columns align: "IPC" starts at the same offset in all rows.
+        let col = lines[0].find("IPC").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "0.86");
+    }
+
+    #[test]
+    fn csv_wraps_commas() {
+        let t = csv_table(&[vec!["a,b".into(), "c".into()]]);
+        assert_eq!(t, "\"a,b\",c\n");
+    }
+}

@@ -1,0 +1,192 @@
+//! `miniperf stat`: counting-mode measurement (works on every platform,
+//! including those without overflow interrupts).
+
+use mperf_event::{Errno, EventKind, PerfEventAttr, PerfKernel};
+use mperf_vm::{Value, Vm, VmError};
+
+/// Counted results for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatReport {
+    /// `(event, count)` in request order.
+    pub counts: Vec<(EventKind, u64)>,
+    pub cycles: u64,
+    pub instructions: u64,
+}
+
+impl StatReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Count of one requested event.
+    pub fn count_of(&self, kind: EventKind) -> Option<u64> {
+        self.counts.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v)
+    }
+}
+
+/// Statting failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatError {
+    Perf(Errno),
+    Vm(VmError),
+}
+
+impl std::fmt::Display for StatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatError::Perf(e) => write!(f, "perf_event failure: {e}"),
+            StatError::Vm(e) => write!(f, "workload trap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatError {}
+
+/// Count `events` (plus cycles and instructions) over `entry(args)`.
+///
+/// # Errors
+/// [`StatError::Perf`] when events cannot be opened (exhausted counters,
+/// undecodable raw codes), [`StatError::Vm`] on guest traps.
+pub fn stat(
+    vm: &mut Vm,
+    entry: &str,
+    args: &[Value],
+    events: &[EventKind],
+) -> Result<StatReport, StatError> {
+    use mperf_event::HwCounter;
+    if vm.kernel.is_none() {
+        let k = PerfKernel::new(&mut vm.core);
+        vm.attach_kernel(k);
+    }
+    let kernel = vm.kernel.as_mut().expect("attached above");
+
+    let mut fds = Vec::new();
+    let cycles_fd = kernel
+        .open(
+            &mut vm.core,
+            PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles)),
+            None,
+        )
+        .map_err(StatError::Perf)?;
+    let instr_fd = kernel
+        .open(
+            &mut vm.core,
+            PerfEventAttr::counting(EventKind::Hardware(HwCounter::Instructions)),
+            None,
+        )
+        .map_err(StatError::Perf)?;
+    for &ev in events {
+        let fd = kernel
+            .open(&mut vm.core, PerfEventAttr::counting(ev), None)
+            .map_err(StatError::Perf)?;
+        fds.push((ev, fd));
+    }
+    for fd in [cycles_fd, instr_fd].into_iter().chain(fds.iter().map(|(_, f)| *f)) {
+        kernel.enable(&mut vm.core, fd).map_err(StatError::Perf)?;
+    }
+
+    let run = vm.call(entry, args);
+    let kernel = vm.kernel.as_mut().expect("still attached");
+    for fd in [cycles_fd, instr_fd].into_iter().chain(fds.iter().map(|(_, f)| *f)) {
+        kernel.disable(&mut vm.core, fd).map_err(StatError::Perf)?;
+    }
+    run.map_err(StatError::Vm)?;
+
+    let read1 = |kernel: &PerfKernel, fd| -> Result<u64, StatError> {
+        Ok(kernel.read(&vm.core, fd).map_err(StatError::Perf)?[0].1)
+    };
+    let kernel = vm.kernel.as_ref().expect("still attached");
+    let cycles = read1(kernel, cycles_fd)?;
+    let instructions = read1(kernel, instr_fd)?;
+    let mut counts = Vec::new();
+    for (ev, fd) in fds {
+        counts.push((ev, read1(kernel, fd)?));
+    }
+    Ok(StatReport {
+        counts,
+        cycles,
+        instructions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_event::HwCounter;
+    use mperf_ir::compile;
+    use mperf_sim::{Core, PlatformSpec};
+
+    const SRC: &str = r#"
+        fn work(n: i64) -> i64 {
+            var s: i64 = 0;
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+            }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn stat_counts_on_all_platforms() {
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let name = spec.name;
+            let module = compile("t", SRC).unwrap();
+            let mut vm = Vm::new(&module, Core::new(spec));
+            let rep = stat(
+                &mut vm,
+                "work",
+                &[Value::I64(5000)],
+                &[
+                    EventKind::Hardware(HwCounter::BranchInstructions),
+                    EventKind::Hardware(HwCounter::BranchMisses),
+                ],
+            )
+            .unwrap();
+            assert!(rep.cycles > 0, "{name}");
+            assert!(rep.instructions > 0, "{name}");
+            let branches = rep
+                .count_of(EventKind::Hardware(HwCounter::BranchInstructions))
+                .unwrap();
+            assert!(branches >= 5000, "{name}: {branches}");
+            assert!(rep.ipc() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn stat_counting_works_even_on_u74() {
+        // The U74 cannot *sample*, but counting is fine — the distinction
+        // Table 1 draws.
+        let module = compile("t", SRC).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::u74()));
+        let rep = stat(&mut vm, "work", &[Value::I64(1000)], &[]).unwrap();
+        assert!(rep.instructions > 1000);
+    }
+
+    #[test]
+    fn exhausting_counters_reports_perf_error() {
+        let module = compile("t", SRC).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::u74()));
+        // U74 has 2 HPM counters; requesting 3 extra events fails.
+        let e = stat(
+            &mut vm,
+            "work",
+            &[Value::I64(10)],
+            &[
+                EventKind::Hardware(HwCounter::BranchMisses),
+                EventKind::Hardware(HwCounter::CacheMisses),
+                EventKind::Hardware(HwCounter::CacheReferences),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, StatError::Perf(Errno::ENOSPC)), "{e:?}");
+    }
+}

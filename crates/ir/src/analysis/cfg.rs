@@ -1,0 +1,178 @@
+//! Control-flow graph utilities: predecessors, successors, reachability,
+//! and reverse post-order.
+
+use crate::function::{BlockId, Function};
+
+/// Predecessor/successor tables plus a reverse post-order of the reachable
+/// blocks of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    /// Reverse post-order over reachable blocks (entry first).
+    rpo: Vec<BlockId>,
+    /// `rpo_index[b] == usize::MAX` for unreachable blocks.
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, block) in f.iter_blocks() {
+            for s in block.term.successors() {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        // Iterative DFS post-order from the entry.
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        state[f.entry().index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let bs = &succs[b.index()];
+            if *i < bs.len() {
+                let next = bs[*i];
+                *i += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        // Prune edges from/to unreachable blocks out of pred lists so
+        // downstream analyses see only the reachable subgraph.
+        for b in 0..n {
+            preds[b].retain(|p| rpo_index[p.index()] != usize::MAX);
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of `b` (reachable ones only).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Reverse post-order of reachable blocks, entry first.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the RPO, if reachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::types::Ty;
+    use crate::value::Operand;
+
+    /// entry -> {a, b} -> join; plus one unreachable block.
+    fn diamond() -> Function {
+        let mut bld = FunctionBuilder::new("d", &[Ty::Bool], &[]);
+        let c = bld.func().params[0];
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let j = bld.new_block();
+        let dead = bld.new_block();
+        bld.cond_br(c.into(), a, b);
+        bld.switch_to(a);
+        bld.br(j);
+        bld.switch_to(b);
+        bld.br(j);
+        bld.switch_to(j);
+        bld.ret(vec![]);
+        bld.switch_to(dead);
+        bld.ret(vec![]);
+        bld.finish()
+    }
+
+    use crate::function::Function;
+
+    #[test]
+    fn diamond_shape() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let (e, a, b, j, dead) = (
+            BlockId(0),
+            BlockId(1),
+            BlockId(2),
+            BlockId(3),
+            BlockId(4),
+        );
+        assert_eq!(cfg.succs(e), &[a, b]);
+        assert_eq!(cfg.preds(j), &[a, b]);
+        assert!(cfg.is_reachable(j));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo()[0], e);
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn rpo_orders_before_successors_in_acyclic_graph() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let e = cfg.rpo_index(BlockId(0)).unwrap();
+        let j = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(e < j);
+    }
+
+    #[test]
+    fn loop_rpo_is_complete() {
+        // entry -> header <-> body, header -> exit
+        let mut bld = FunctionBuilder::new("l", &[Ty::Bool], &[]);
+        let c = bld.func().params[0];
+        let header = bld.new_block();
+        let body = bld.new_block();
+        let exit = bld.new_block();
+        bld.br(header);
+        bld.switch_to(header);
+        bld.cond_br(c.into(), body, exit);
+        bld.switch_to(body);
+        bld.br(header);
+        bld.switch_to(exit);
+        bld.ret(vec![]);
+        let f = bld.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo().len(), 4);
+        assert_eq!(cfg.preds(header), &[BlockId(0), body]);
+        let _ = Operand::I64(0);
+    }
+}

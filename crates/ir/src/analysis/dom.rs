@@ -1,0 +1,184 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use super::cfg::Cfg;
+use crate::function::{BlockId, Function};
+
+/// Immediate-dominator table and tree depths for one function.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator; the entry maps to itself;
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    depth: Vec<u32>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Compute dominators for `f` using its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Dominators {
+        let n = f.num_blocks();
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let rpo = cfg.rpo();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, cfg, cur, p),
+                    });
+                }
+                let new_idom = new_idom.expect("reachable block must have a processed pred");
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+
+        // Depths by walking up the tree (entry depth 0).
+        let mut depth = vec![0u32; n];
+        for &b in rpo {
+            if b == entry {
+                continue;
+            }
+            let p = idom[b.index()].expect("reachable");
+            depth[b.index()] = depth[p.index()] + 1;
+        }
+        Dominators { idom, depth, entry }
+    }
+
+    fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+        let pos = |x: BlockId| cfg.rpo_index(x).expect("block in dom computation is reachable");
+        while a != b {
+            while pos(a) > pos(b) {
+                a = idom[a.index()].expect("reachable");
+            }
+            while pos(b) > pos(a) {
+                b = idom[b.index()].expect("reachable");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("walked within reachable region");
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Depth of `b` in the dominator tree (entry = 0).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::types::Ty;
+
+    /// Classic figure: entry(0) -> a(1), b(2); a -> j(3); b -> j; j -> exit(4)
+    fn diamond_doms() -> (crate::function::Function, Cfg) {
+        let mut bld = FunctionBuilder::new("d", &[Ty::Bool], &[]);
+        let c = bld.func().params[0];
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let j = bld.new_block();
+        let x = bld.new_block();
+        bld.cond_br(c.into(), a, b);
+        bld.switch_to(a);
+        bld.br(j);
+        bld.switch_to(b);
+        bld.br(j);
+        bld.switch_to(j);
+        bld.br(x);
+        bld.switch_to(x);
+        bld.ret(vec![]);
+        let f = bld.finish();
+        let cfg = Cfg::compute(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (f, cfg) = diamond_doms();
+        let dom = Dominators::compute(&f, &cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        // Join is dominated by the entry, not by either arm.
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(3)));
+        assert_eq!(dom.idom(BlockId(0)), None);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, cfg) = diamond_doms();
+        let dom = Dominators::compute(&f, &cfg);
+        assert!(dom.dominates(BlockId(0), BlockId(4)));
+        assert!(dom.dominates(BlockId(3), BlockId(4)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.strictly_dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.strictly_dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut bld = FunctionBuilder::new("l", &[Ty::Bool], &[]);
+        let c = bld.func().params[0];
+        let header = bld.new_block();
+        let body = bld.new_block();
+        let exit = bld.new_block();
+        bld.br(header);
+        bld.switch_to(header);
+        bld.cond_br(c.into(), body, exit);
+        bld.switch_to(body);
+        bld.br(header);
+        bld.switch_to(exit);
+        bld.ret(vec![]);
+        let f = bld.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert_eq!(dom.depth(header), 1);
+        assert_eq!(dom.depth(body), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Backward liveness dataflow over virtual registers.
+//!
+//! Used by the code extractor to compute live-in (region inputs) and
+//! live-out (region outputs) register sets.
+
+use super::cfg::Cfg;
+use crate::function::{BlockId, Function};
+use crate::value::Reg;
+
+/// A dense bitset over registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `n` registers.
+    pub fn new(n: usize) -> RegSet {
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert a register; returns true if newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Remove a register.
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterate members in increasing register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| Reg((wi * 64 + b) as u32))
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Per-block live-in / live-out register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let nb = f.num_blocks();
+        let nr = f.num_regs();
+
+        // Per-block use/def ("use" = read before any write in the block).
+        let mut uses = vec![RegSet::new(nr); nb];
+        let mut defs = vec![RegSet::new(nr); nb];
+        for (bid, block) in f.iter_blocks() {
+            let (u, d) = (&mut uses[bid.index()], &mut defs[bid.index()]);
+            let mut scratch: Vec<Reg> = Vec::new();
+            for inst in &block.insts {
+                scratch.clear();
+                inst.used_regs(&mut scratch);
+                for &r in &scratch {
+                    if !d.contains(r) {
+                        u.insert(r);
+                    }
+                }
+                scratch.clear();
+                inst.defs(&mut scratch);
+                for &r in &scratch {
+                    d.insert(r);
+                }
+            }
+            let mut ops = Vec::new();
+            block.term.uses(&mut ops);
+            for op in ops {
+                if let Some(r) = op.as_reg() {
+                    if !d.contains(r) {
+                        u.insert(r);
+                    }
+                }
+            }
+        }
+
+        let mut live_in = vec![RegSet::new(nr); nb];
+        let mut live_out = vec![RegSet::new(nr); nb];
+        // Iterate to fixpoint in post-order (reverse RPO) for fast
+        // convergence of the backward problem.
+        let order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = RegSet::new(nr);
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inn = out.clone();
+                inn.subtract(&defs[bi]);
+                inn.union_with(&uses[bi]);
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn liveness_of(src: &str, name: &str) -> (crate::function::Function, Cfg, Liveness) {
+        let m = compile("t", src).unwrap();
+        let f = m.func_by_name(name).unwrap().clone();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        (f, cfg, lv)
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(Reg(0)));
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(0)));
+        assert!(s.contains(Reg(129)));
+        assert_eq!(s.len(), 2);
+        let members: Vec<Reg> = s.iter().collect();
+        assert_eq!(members, vec![Reg(0), Reg(129)]);
+        s.remove(Reg(0));
+        assert!(!s.contains(Reg(0)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn regset_union_subtract() {
+        let mut a = RegSet::new(64);
+        let mut b = RegSet::new(64);
+        a.insert(Reg(1));
+        b.insert(Reg(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        a.subtract(&b);
+        assert!(a.contains(Reg(1)));
+        assert!(!a.contains(Reg(2)));
+    }
+
+    #[test]
+    fn loop_variable_is_live_around_the_loop() {
+        let (f, _cfg, lv) = liveness_of(
+            "fn f(n: i64) -> i64 { var i: i64 = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        // Find the loop header (the block whose terminator is a condbr).
+        let header = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.term, crate::inst::Term::CondBr { .. }))
+            .map(|(id, _)| id)
+            .expect("loop header exists");
+        // Param n (reg 0) and i (reg 1) are live into the header.
+        assert!(lv.live_in(header).contains(Reg(0)), "n live at header");
+        assert!(lv.live_in(header).contains(Reg(1)), "i live at header");
+    }
+
+    #[test]
+    fn dead_value_is_not_live_out() {
+        let (f, cfg, lv) = liveness_of(
+            "fn f(a: i64) -> i64 { var unused: i64 = a * 2; return a; }",
+            "f",
+        );
+        let entry = f.entry();
+        // Nothing is live out of the (single, returning) block.
+        assert!(cfg.succs(entry).is_empty());
+        assert!(lv.live_out(entry).is_empty());
+    }
+
+    #[test]
+    fn params_live_in_at_entry_when_used_later() {
+        let src = r#"
+            fn f(a: i64, b: i64) -> i64 {
+                var x: i64 = 0;
+                if (a > 0) { x = b; } else { x = a; }
+                return x;
+            }
+        "#;
+        let (f, _, lv) = liveness_of(src, "f");
+        let entry = f.entry();
+        assert!(lv.live_in(entry).contains(Reg(0)));
+        assert!(lv.live_in(entry).contains(Reg(1)));
+    }
+}

@@ -1,0 +1,351 @@
+//! Natural-loop detection and the loop nest forest (LLVM `LoopInfo`
+//! analogue).
+//!
+//! A back edge is an edge `latch -> header` where `header` dominates
+//! `latch`. The natural loop of a header is the union of all blocks that
+//! can reach one of its latches without passing through the header.
+//! Back edges sharing a header are merged into one loop.
+
+use super::cfg::Cfg;
+use super::dom::Dominators;
+use crate::function::{BlockId, Function};
+use std::collections::BTreeSet;
+
+/// Index of a loop within a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopId(pub u32);
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    pub header: BlockId,
+    /// All blocks in the loop, header included (sorted).
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// Parent loop in the nest, if any.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops.
+    pub children: Vec<LoopId>,
+    /// Nesting depth: 1 for top-level loops.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// Edges `(from, to)` leaving the loop.
+    pub fn exit_edges(&self, f: &Function) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for &b in &self.blocks {
+            for s in f.block(b).term.successors() {
+                if !self.contains(s) {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// The unique predecessor of the header from outside the loop, if there
+    /// is exactly one and it branches only to the header (a *dedicated
+    /// preheader* in LLVM terms).
+    pub fn preheader(&self, f: &Function, cfg: &Cfg) -> Option<BlockId> {
+        let outside: Vec<BlockId> = cfg
+            .preds(self.header)
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p))
+            .collect();
+        match outside.as_slice() {
+            [p] if f.block(*p).term.successors() == vec![self.header] => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// All natural loops of a function, with nesting structure.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detect loops in `f`.
+    pub fn compute(f: &Function, cfg: &Cfg, dom: &Dominators) -> LoopForest {
+        // 1. Find back edges grouped by header.
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => headers.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+
+        // 2. Build each loop's block set by reverse reachability from the
+        //    latches, stopping at the header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in headers {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if blocks.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                blocks,
+                latches,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            });
+        }
+
+        // 3. Nesting: the parent of loop L is the smallest loop that
+        //    strictly contains L's header (and is not L).
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..loops.len()).collect();
+            idx.sort_by_key(|&i| loops[i].blocks.len());
+            idx
+        };
+        for (pos, &i) in order.iter().enumerate() {
+            // Candidates: larger loops later in the sorted order.
+            for &j in order.iter().skip(pos + 1) {
+                if i != j && loops[j].blocks.contains(&loops[i].header) {
+                    loops[i].parent = Some(LoopId(j as u32));
+                    break;
+                }
+            }
+        }
+        for i in 0..loops.len() {
+            if let Some(p) = loops[i].parent {
+                loops[p.0 as usize].children.push(LoopId(i as u32));
+            }
+        }
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.0 as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // 4. Innermost loop per block.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; f.num_blocks()];
+        let mut by_size: Vec<usize> = (0..loops.len()).collect();
+        by_size.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for &i in &by_size {
+            for &b in &loops[i].blocks {
+                innermost[b.index()] = Some(LoopId(i as u32));
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops (unordered).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Look up a loop by id.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.0 as usize]
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Ids of top-level (depth-1) loops.
+    pub fn top_level(&self) -> Vec<LoopId> {
+        (0..self.loops.len() as u32)
+            .map(LoopId)
+            .filter(|id| self.get(*id).parent.is_none())
+            .collect()
+    }
+
+    /// The innermost loop containing `b`.
+    pub fn innermost(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Loop nest depth of a block (0 = not in any loop).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.innermost(b).map(|l| self.get(l).depth).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn forest_of(src: &str, name: &str) -> (crate::function::Function, LoopForest) {
+        let m = compile("t", src).unwrap();
+        let f = m.func_by_name(name).unwrap().clone();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        (f, forest)
+    }
+
+    #[test]
+    fn single_while_loop_detected() {
+        let (_, forest) = forest_of(
+            "fn f(n: i64) { var i: i64 = 0; while (i < n) { i = i + 1; } }",
+            "f",
+        );
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.latches.len(), 1);
+        assert!(l.blocks.len() >= 2);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let src = r#"
+            fn f(n: i64) {
+                var i: i64 = 0;
+                while (i < n) {
+                    var j: i64 = 0;
+                    while (j < n) { j = j + 1; }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let (_, forest) = forest_of(src, "f");
+        assert_eq!(forest.len(), 2);
+        let depths: Vec<u32> = {
+            let mut d: Vec<u32> = forest.loops().iter().map(|l| l.depth).collect();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(depths, vec![1, 2]);
+        let top = forest.top_level();
+        assert_eq!(top.len(), 1);
+        assert_eq!(forest.get(top[0]).children.len(), 1);
+    }
+
+    #[test]
+    fn triple_nest_like_matmul() {
+        let src = r#"
+            fn mm(a: *f32, b: *f32, c: *f32, n: i64) {
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    for (var j: i64 = 0; j < n; j = j + 1) {
+                        var sum: f32 = 0.0;
+                        for (var k: i64 = 0; k < n; k = k + 1) {
+                            sum = sum + a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = sum;
+                    }
+                }
+            }
+        "#;
+        let (_, forest) = forest_of(src, "mm");
+        assert_eq!(forest.len(), 3);
+        let mut depths: Vec<u32> = forest.loops().iter().map(|l| l.depth).collect();
+        depths.sort_unstable();
+        assert_eq!(depths, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn loop_contains_inner_blocks() {
+        let src = r#"
+            fn f(n: i64) {
+                var i: i64 = 0;
+                while (i < n) {
+                    var j: i64 = 0;
+                    while (j < n) { j = j + 1; }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let (_, forest) = forest_of(src, "f");
+        let outer = forest
+            .loops()
+            .iter()
+            .find(|l| l.depth == 1)
+            .expect("outer loop");
+        let inner = forest
+            .loops()
+            .iter()
+            .find(|l| l.depth == 2)
+            .expect("inner loop");
+        for b in &inner.blocks {
+            assert!(outer.contains(*b), "outer loop must contain inner block {b}");
+        }
+    }
+
+    #[test]
+    fn while_loop_has_preheader_and_single_exit() {
+        let (f, forest) = forest_of(
+            "fn f(n: i64) { var i: i64 = 0; while (i < n) { i = i + 1; } }",
+            "f",
+        );
+        let cfg = Cfg::compute(&f);
+        let l = &forest.loops()[0];
+        assert!(l.preheader(&f, &cfg).is_some(), "entry block is a preheader");
+        let exits = l.exit_edges(&f);
+        assert_eq!(exits.len(), 1);
+    }
+
+    #[test]
+    fn no_loops_in_straightline_code() {
+        let (_, forest) = forest_of("fn f(a: i64) -> i64 { return a + 1; }", "f");
+        assert!(forest.is_empty());
+    }
+
+    #[test]
+    fn innermost_maps_blocks() {
+        let src = r#"
+            fn f(n: i64) {
+                var i: i64 = 0;
+                while (i < n) {
+                    var j: i64 = 0;
+                    while (j < n) { j = j + 1; }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let (_, forest) = forest_of(src, "f");
+        let inner_id = forest
+            .loops()
+            .iter()
+            .position(|l| l.depth == 2)
+            .map(|i| LoopId(i as u32))
+            .unwrap();
+        let inner = forest.get(inner_id);
+        assert_eq!(forest.innermost(inner.header), Some(inner_id));
+        assert_eq!(forest.depth_of(inner.header), 2);
+    }
+}

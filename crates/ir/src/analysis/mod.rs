@@ -1,0 +1,18 @@
+//! Analyses over MIR functions.
+//!
+//! These are the analyses the paper's instrumentation pipeline needs:
+//! CFG utilities, dominators, natural-loop detection (LLVM `LoopInfo`
+//! analogue), liveness (for the code extractor's live-in/live-out sets),
+//! and SESE region checking (LLVM `RegionInfo` analogue).
+
+pub mod cfg;
+pub mod dom;
+pub mod liveness;
+pub mod loops;
+pub mod regions;
+
+pub use cfg::Cfg;
+pub use dom::Dominators;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};
+pub use regions::SeseRegion;

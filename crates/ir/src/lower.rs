@@ -1,0 +1,628 @@
+//! Lowering from the checked MiniC tree to MIR.
+
+use crate::function::{BlockId, Function, FunctionBuilder};
+use crate::inst::{BinOp, Callee, CastKind, CmpOp, Inst, UnOp};
+use crate::module::{FuncId, HostSig, Module};
+use crate::parser::ast::{AstTy, BinKind, CmpKind, UnKind};
+use crate::parser::typeck::{CAddr, CExpr, CExprKind, CFunc, CProgram, CStmt};
+use crate::types::Ty;
+use crate::value::{Operand, Reg};
+use std::collections::HashMap;
+
+/// Map a MiniC value type to a MIR register type.
+///
+/// # Panics
+/// Panics on narrow integer types, which the checker confines to pointees.
+fn reg_ty(t: &AstTy) -> Ty {
+    match t {
+        AstTy::I64 => Ty::I64,
+        AstTy::F32 => Ty::F32,
+        AstTy::F64 => Ty::F64,
+        AstTy::Bool => Ty::Bool,
+        AstTy::Ptr(_) => Ty::Ptr,
+        narrow => panic!("{narrow} is not a register type"),
+    }
+}
+
+/// Zero value for a register type (used for implicit returns and
+/// zero-initialized variables).
+fn zero_of(ty: Ty) -> Operand {
+    match ty {
+        Ty::I64 | Ty::Ptr => Operand::I64(0),
+        Ty::F32 => Operand::F32(0.0),
+        Ty::F64 => Operand::F64(0.0),
+        Ty::Bool => Operand::Bool(false),
+        v => panic!("no zero literal for vector type {v}"),
+    }
+}
+
+struct FnSig {
+    id: FuncId,
+    ret_tys: Vec<Ty>,
+}
+
+/// Lower a checked program into a MIR module.
+pub fn lower(name: &str, prog: &CProgram) -> Module {
+    let mut module = Module::new(name);
+    let mut sigs: HashMap<String, FnSig> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        sigs.insert(
+            f.name.clone(),
+            FnSig {
+                id: FuncId(i as u32),
+                ret_tys: f.ret.iter().map(reg_ty).collect(),
+            },
+        );
+    }
+    for e in &prog.externs {
+        module.declare_host(HostSig {
+            name: e.name.clone(),
+            param_tys: e.params.iter().map(reg_ty).collect(),
+            ret_tys: e.ret.iter().map(reg_ty).collect(),
+        });
+    }
+    for f in &prog.funcs {
+        let func = lower_fn(f, &sigs, &module);
+        module.add_func(func);
+    }
+    module
+}
+
+struct LoopCtx {
+    /// Target of `continue` (step block for `for`, header for `while`).
+    continue_to: BlockId,
+    /// Target of `break`.
+    break_to: BlockId,
+}
+
+struct Lowerer<'a> {
+    b: FunctionBuilder,
+    /// slot index -> register (1:1; parameters occupy the first slots).
+    slot_regs: Vec<Reg>,
+    sigs: &'a HashMap<String, FnSig>,
+    module: &'a Module,
+    loops: Vec<LoopCtx>,
+    ret_ty: Option<Ty>,
+}
+
+fn lower_fn(f: &CFunc, sigs: &HashMap<String, FnSig>, module: &Module) -> Function {
+    let param_tys: Vec<Ty> = f.slots[..f.num_params].iter().map(reg_ty).collect();
+    let ret_tys: Vec<Ty> = f.ret.iter().map(reg_ty).collect();
+    let mut b = FunctionBuilder::new(f.name.clone(), &param_tys, &ret_tys);
+    b.func_mut().line = f.line;
+    let mut slot_regs: Vec<Reg> = b.func().params.clone();
+    for slot_ty in &f.slots[f.num_params..] {
+        let r = b.fresh(reg_ty(slot_ty));
+        slot_regs.push(r);
+    }
+    let ret_ty = f.ret.as_ref().map(reg_ty);
+    let mut lw = Lowerer {
+        b,
+        slot_regs,
+        sigs,
+        module,
+        loops: Vec::new(),
+        ret_ty,
+    };
+    lw.stmts(&f.body);
+    // Implicit return on fall-through.
+    if !lw.b.is_sealed() {
+        match lw.ret_ty {
+            Some(t) => {
+                let z = zero_of(t);
+                lw.b.ret(vec![z]);
+            }
+            None => lw.b.ret(vec![]),
+        }
+    }
+    lw.b.finish()
+}
+
+impl Lowerer<'_> {
+    fn stmts(&mut self, body: &[CStmt]) {
+        for s in body {
+            if self.b.is_sealed() {
+                // Unreachable code after break/continue/return: skip.
+                return;
+            }
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &CStmt) {
+        match s {
+            CStmt::Var { slot, ty, init, .. } => {
+                let dst = self.slot_regs[slot.0 as usize];
+                let val = match init {
+                    Some(e) => self.expr(e),
+                    None => zero_of(reg_ty(ty)),
+                };
+                let t = reg_ty(ty);
+                self.b.push(Inst::Copy { ty: t, dst, src: val });
+            }
+            CStmt::AssignVar { slot, rhs, .. } => {
+                let dst = self.slot_regs[slot.0 as usize];
+                let val = self.expr(rhs);
+                let t = self.b.func().ty_of(dst);
+                self.b.push(Inst::Copy { ty: t, dst, src: val });
+            }
+            CStmt::Store { addr, rhs, .. } => {
+                let a = self.addr(addr);
+                let v = self.expr(rhs);
+                self.b.store(a, v, addr.elem.mem_ty());
+            }
+            CStmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let c = self.expr(cond);
+                let then_bb = self.b.new_block();
+                let join_bb = self.b.new_block();
+                let else_bb = if else_body.is_empty() {
+                    join_bb
+                } else {
+                    self.b.new_block()
+                };
+                self.b.cond_br(c, then_bb, else_bb);
+                self.b.switch_to(then_bb);
+                self.b.set_line(*line);
+                self.stmts(then_body);
+                if !self.b.is_sealed() {
+                    self.b.br(join_bb);
+                }
+                if !else_body.is_empty() {
+                    self.b.switch_to(else_bb);
+                    self.b.set_line(*line);
+                    self.stmts(else_body);
+                    if !self.b.is_sealed() {
+                        self.b.br(join_bb);
+                    }
+                }
+                self.b.switch_to(join_bb);
+            }
+            CStmt::While { cond, body, line } => {
+                let header = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(header);
+                self.b.switch_to(header);
+                self.b.set_line(*line);
+                let c = self.expr(cond);
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(body_bb);
+                self.b.set_line(*line);
+                self.loops.push(LoopCtx {
+                    continue_to: header,
+                    break_to: exit,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                if !self.b.is_sealed() {
+                    self.b.br(header);
+                }
+                self.b.switch_to(exit);
+            }
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let header = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let step_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(header);
+                self.b.switch_to(header);
+                self.b.set_line(*line);
+                match cond {
+                    Some(c) => {
+                        let cv = self.expr(c);
+                        self.b.cond_br(cv, body_bb, exit);
+                    }
+                    None => self.b.br(body_bb),
+                }
+                self.b.switch_to(body_bb);
+                self.b.set_line(*line);
+                self.loops.push(LoopCtx {
+                    continue_to: step_bb,
+                    break_to: exit,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                if !self.b.is_sealed() {
+                    self.b.br(step_bb);
+                }
+                self.b.switch_to(step_bb);
+                self.b.set_line(*line);
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                if !self.b.is_sealed() {
+                    self.b.br(header);
+                }
+                self.b.switch_to(exit);
+            }
+            CStmt::Break(_) => {
+                let target = self.loops.last().expect("checker verified loop depth").break_to;
+                self.b.br(target);
+            }
+            CStmt::Continue(_) => {
+                let target = self
+                    .loops
+                    .last()
+                    .expect("checker verified loop depth")
+                    .continue_to;
+                self.b.br(target);
+            }
+            CStmt::Return(v, _) => {
+                let vals = match v {
+                    Some(e) => vec![self.expr(e)],
+                    None => vec![],
+                };
+                self.b.ret(vals);
+            }
+            CStmt::Expr(e) => {
+                // Calls evaluated for effect.
+                let _ = self.expr(e);
+            }
+        }
+    }
+
+    /// Compute the byte address of a checked memory reference.
+    fn addr(&mut self, a: &CAddr) -> Operand {
+        let base = self.expr(&a.base);
+        match &a.idx {
+            None => base,
+            Some(idx) => {
+                let size = a.elem.mem_size() as i64;
+                let off = match self.expr(idx) {
+                    Operand::I64(k) => Operand::I64(k * size),
+                    iv => {
+                        let r = self.b.bin(BinOp::Mul, Ty::I64, iv, Operand::I64(size));
+                        r.into()
+                    }
+                };
+                if off == Operand::I64(0) {
+                    base
+                } else {
+                    self.b.ptradd(base, off).into()
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &CExpr) -> Operand {
+        match &e.kind {
+            CExprKind::Int(v) => Operand::I64(*v),
+            CExprKind::F64(v) => Operand::F64(*v),
+            CExprKind::F32(v) => Operand::F32(*v),
+            CExprKind::Bool(v) => Operand::Bool(*v),
+            CExprKind::Var(slot) => self.slot_regs[slot.0 as usize].into(),
+            CExprKind::Bin { op, lhs, rhs } => {
+                let ty = reg_ty(&e.ty);
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                let mir_op = bin_op(*op, ty);
+                self.b.bin(mir_op, ty, l, r).into()
+            }
+            CExprKind::PtrOp {
+                ptr,
+                idx,
+                elem_size,
+                sub,
+            } => {
+                let p = self.expr(ptr);
+                let scale = if *sub {
+                    -(*elem_size as i64)
+                } else {
+                    *elem_size as i64
+                };
+                let off = match self.expr(idx) {
+                    Operand::I64(k) => Operand::I64(k * scale),
+                    iv => self
+                        .b
+                        .bin(BinOp::Mul, Ty::I64, iv, Operand::I64(scale))
+                        .into(),
+                };
+                if off == Operand::I64(0) {
+                    p
+                } else {
+                    self.b.ptradd(p, off).into()
+                }
+            }
+            CExprKind::Cmp { op, lhs, rhs } => {
+                let operand_ty = reg_ty(&lhs.ty);
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                self.b.cmp(cmp_op(*op), operand_ty, l, r).into()
+            }
+            CExprKind::LogAnd(l, r) => self.short_circuit(l, r, true),
+            CExprKind::LogOr(l, r) => self.short_circuit(l, r, false),
+            CExprKind::Un { op, expr } => {
+                let ty = reg_ty(&e.ty);
+                let v = self.expr(expr);
+                let mir_op = match (op, ty.is_float()) {
+                    (UnKind::Neg, true) => UnOp::FNeg,
+                    (UnKind::Neg, false) => UnOp::Neg,
+                    (UnKind::Not, _) => UnOp::Not,
+                };
+                let dst = self.b.fresh(ty);
+                self.b.push(Inst::Un {
+                    op: mir_op,
+                    ty,
+                    dst,
+                    src: v,
+                });
+                dst.into()
+            }
+            CExprKind::Load(addr) => {
+                let a = self.addr(addr);
+                self.b.load(a, addr.elem.mem_ty()).into()
+            }
+            CExprKind::Call { name, args, is_host } => {
+                let argv: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                if *is_host {
+                    let sig = &self.module.host_sigs[name];
+                    let ret_tys = sig.ret_tys.clone();
+                    let dsts = self.b.call(Callee::Host(name.clone()), argv, &ret_tys);
+                    dsts.first().map(|&r| r.into()).unwrap_or(Operand::I64(0))
+                } else {
+                    let sig = &self.sigs[name];
+                    let ret_tys = sig.ret_tys.clone();
+                    let dsts = self.b.call(Callee::Func(sig.id), argv, &ret_tys);
+                    dsts.first().map(|&r| r.into()).unwrap_or(Operand::I64(0))
+                }
+            }
+            CExprKind::Cast { expr, to } => {
+                let from_ty = reg_ty(&expr.ty);
+                let to_ty = reg_ty(to);
+                let v = self.expr(expr);
+                if from_ty == to_ty {
+                    return v;
+                }
+                let kind = match (from_ty, to_ty) {
+                    (Ty::I64, Ty::F32 | Ty::F64) => CastKind::IntToFloat,
+                    (Ty::F32 | Ty::F64, Ty::I64) => CastKind::FloatToInt,
+                    (Ty::F32, Ty::F64) | (Ty::F64, Ty::F32) => CastKind::FloatCast,
+                    (Ty::I64, Ty::Ptr) => CastKind::IntToPtr,
+                    (Ty::Ptr, Ty::I64) => CastKind::PtrToInt,
+                    (a, b) => unreachable!("checker admitted cast {a} -> {b}"),
+                };
+                let dst = self.b.fresh(to_ty);
+                self.b.push(Inst::Cast { kind, dst, src: v });
+                dst.into()
+            }
+            CExprKind::BoolToInt(inner) => {
+                let c = self.expr(inner);
+                let dst = self.b.fresh(Ty::I64);
+                self.b.push(Inst::Select {
+                    ty: Ty::I64,
+                    dst,
+                    cond: c,
+                    t: Operand::I64(1),
+                    f: Operand::I64(0),
+                });
+                dst.into()
+            }
+        }
+    }
+
+    /// Lower `&&` / `||` with short-circuit control flow into a fresh
+    /// `bool` register.
+    fn short_circuit(&mut self, l: &CExpr, r: &CExpr, is_and: bool) -> Operand {
+        let result = self.b.fresh(Ty::Bool);
+        let lv = self.expr(l);
+        let rhs_bb = self.b.new_block();
+        let short_bb = self.b.new_block();
+        let join_bb = self.b.new_block();
+        if is_and {
+            self.b.cond_br(lv, rhs_bb, short_bb);
+        } else {
+            self.b.cond_br(lv, short_bb, rhs_bb);
+        }
+        self.b.switch_to(rhs_bb);
+        let rv = self.expr(r);
+        self.b.push(Inst::Copy {
+            ty: Ty::Bool,
+            dst: result,
+            src: rv,
+        });
+        self.b.br(join_bb);
+        self.b.switch_to(short_bb);
+        self.b.push(Inst::Copy {
+            ty: Ty::Bool,
+            dst: result,
+            src: Operand::Bool(!is_and),
+        });
+        self.b.br(join_bb);
+        self.b.switch_to(join_bb);
+        result.into()
+    }
+}
+
+fn bin_op(op: BinKind, ty: Ty) -> BinOp {
+    if ty.is_float() {
+        match op {
+            BinKind::Add => BinOp::FAdd,
+            BinKind::Sub => BinOp::FSub,
+            BinKind::Mul => BinOp::FMul,
+            BinKind::Div => BinOp::FDiv,
+            other => unreachable!("checker rejected float {other:?}"),
+        }
+    } else {
+        match op {
+            BinKind::Add => BinOp::Add,
+            BinKind::Sub => BinOp::Sub,
+            BinKind::Mul => BinOp::Mul,
+            BinKind::Div => BinOp::Div,
+            BinKind::Rem => BinOp::Rem,
+            BinKind::And => BinOp::And,
+            BinKind::Or => BinOp::Or,
+            BinKind::Xor => BinOp::Xor,
+            BinKind::Shl => BinOp::Shl,
+            BinKind::Shr => BinOp::Shr,
+        }
+    }
+}
+
+fn cmp_op(op: CmpKind) -> CmpOp {
+    match op {
+        CmpKind::Eq => CmpOp::Eq,
+        CmpKind::Ne => CmpOp::Ne,
+        CmpKind::Lt => CmpOp::Lt,
+        CmpKind::Le => CmpOp::Le,
+        CmpKind::Gt => CmpOp::Gt,
+        CmpKind::Ge => CmpOp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use crate::inst::{Inst, Term};
+
+    #[test]
+    fn lowers_simple_add() {
+        let m = compile("t", "fn add(a: i64, b: i64) -> i64 { return a + b; }").unwrap();
+        let f = m.func_by_name("add").unwrap();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 1);
+        assert!(matches!(f.blocks[0].term, Term::Ret(_)));
+    }
+
+    #[test]
+    fn lowers_while_loop_shape() {
+        let m = compile(
+            "t",
+            "fn count(n: i64) -> i64 { var i: i64 = 0; while (i < n) { i = i + 1; } return i; }",
+        )
+        .unwrap();
+        let f = m.func_by_name("count").unwrap();
+        // entry, header, body, exit
+        assert_eq!(f.num_blocks(), 4);
+    }
+
+    #[test]
+    fn for_loop_continue_goes_to_step() {
+        let src = r#"
+            fn f(n: i64) -> i64 {
+                var total: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    if (i == 2) { continue; }
+                    total = total + i;
+                }
+                return total;
+            }
+        "#;
+        let m = compile("t", src).unwrap();
+        let f = m.func_by_name("f").unwrap();
+        // Well-formed CFG with a step block; detailed shape checked by verify.
+        assert!(f.num_blocks() >= 6);
+    }
+
+    #[test]
+    fn index_scales_by_elem_size() {
+        let m = compile("t", "fn f(a: *f64, i: i64) -> f64 { return a[i]; }").unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let has_scale = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: crate::inst::BinOp::Mul,
+                    rhs: crate::value::Operand::I64(8),
+                    ..
+                }
+            )
+        });
+        assert!(has_scale, "index should be scaled by 8 for *f64:\n{f}");
+    }
+
+    #[test]
+    fn constant_index_folds_to_immediate_offset() {
+        let m = compile("t", "fn f(a: *f32) -> f32 { return a[3]; }").unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let has_imm_off = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::PtrAdd {
+                    offset: crate::value::Operand::I64(12),
+                    ..
+                }
+            )
+        });
+        assert!(has_imm_off, "constant index should fold:\n{f}");
+    }
+
+    #[test]
+    fn zero_index_skips_ptradd() {
+        let m = compile("t", "fn f(a: *i64) -> i64 { return a[0]; }").unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let ptradds = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::PtrAdd { .. }))
+            .count();
+        assert_eq!(ptradds, 0);
+    }
+
+    #[test]
+    fn short_circuit_produces_blocks() {
+        let m = compile(
+            "t",
+            "fn f(a: i64, b: i64) -> bool { return a < 1 && b > 2; }",
+        )
+        .unwrap();
+        let f = m.func_by_name("f").unwrap();
+        assert!(f.num_blocks() >= 4, "{f}");
+    }
+
+    #[test]
+    fn implicit_return_added() {
+        let m = compile("t", "fn f() -> i64 { var x: i64 = 1; }").unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let last = &f.blocks[f.num_blocks() - 1];
+        // Some block returns zero.
+        let any_ret = f
+            .blocks
+            .iter()
+            .any(|b| matches!(&b.term, Term::Ret(v) if v.len() == 1));
+        assert!(any_ret, "{last:?}");
+    }
+
+    #[test]
+    fn calls_lower_with_func_ids() {
+        let src = "fn g(x: i64) -> i64 { return x * 2; } fn f() -> i64 { return g(21); }";
+        let m = compile("t", src).unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let has_call = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { .. }));
+        assert!(has_call);
+    }
+
+    #[test]
+    fn break_terminates_block_and_skips_dead_code() {
+        let src = "fn f() { while (true) { break; var x: i64 = 0; x = x; } }";
+        let m = compile("t", src).unwrap();
+        assert!(m.func_by_name("f").is_some());
+    }
+
+    #[test]
+    fn loop_header_records_line() {
+        let src = "fn f(n: i64) {\n  var i: i64 = 0;\n  while (i < n) {\n    i = i + 1;\n  }\n}";
+        let m = compile("t", src).unwrap();
+        let f = m.func_by_name("f").unwrap();
+        let lines: Vec<u32> = f.blocks.iter().map(|b| b.line).filter(|&l| l != 0).collect();
+        assert!(lines.contains(&3), "expected header line 3, got {lines:?}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Modules: collections of functions plus instrumentation metadata.
+
+use crate::function::Function;
+use crate::types::Ty;
+use std::collections::HashMap;
+
+/// Index of a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The id as a usize (for table lookups).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Signature of a host (runtime-provided) function the module may call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSig {
+    pub name: String,
+    pub param_tys: Vec<Ty>,
+    pub ret_tys: Vec<Ty>,
+}
+
+/// Metadata describing one instrumented loop region, recorded by the
+/// instrumentation pass. This is the analogue of the paper's
+/// `LoopInfo{line, filename, func_name}` plus the pass bookkeeping that
+/// connects the original call site to its two clones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopRegionInfo {
+    /// Stable id, also passed to `mperf.loop_begin` at run time.
+    pub id: u32,
+    /// Name of the function the loop was extracted from.
+    pub source_func: String,
+    /// Source line of the loop header (0 = unknown).
+    pub line: u32,
+    /// The un-instrumented outlined clone.
+    pub outlined: FuncId,
+    /// The instrumented clone.
+    pub instrumented: FuncId,
+    /// Loop nest depth of the extracted loop (1 = top level).
+    pub depth: u32,
+    /// True if the region contains calls; per the paper (§4.4), operations
+    /// inside callees are not counted, so metrics for such regions are
+    /// lower bounds.
+    pub has_calls: bool,
+}
+
+/// A compilation unit: functions, host-function declarations, and
+/// instrumentation metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub name: String,
+    funcs: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+    /// Host functions the guest may call, keyed by name.
+    pub host_sigs: HashMap<String, HostSig>,
+    /// One entry per instrumented loop region, in instrumentation order.
+    pub loop_regions: Vec<LoopRegionInfo>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Add a function; its name must be unique within the module.
+    ///
+    /// # Panics
+    /// Panics on duplicate function names.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        let prev = self.by_name.insert(f.name.clone(), id);
+        assert!(prev.is_none(), "duplicate function name {:?}", f.name);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Declare a host function signature.
+    pub fn declare_host(&mut self, sig: HostSig) {
+        self.host_sigs.insert(sig.name.clone(), sig);
+    }
+
+    /// Look up a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Shared access by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&Function> {
+        self.func_id(name).map(|id| self.func(id))
+    }
+
+    /// Number of functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterate `(FuncId, &Function)` in id order.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Ids of all functions (useful when mutating while iterating).
+    pub fn func_ids(&self) -> Vec<FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId).collect()
+    }
+
+    /// Allocate the next loop-region id.
+    pub fn next_region_id(&self) -> u32 {
+        self.loop_regions.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new("m");
+        let id = m.add_func(Function::new("foo", &[Ty::I64], &[]));
+        assert_eq!(m.func_id("foo"), Some(id));
+        assert_eq!(m.func(id).name, "foo");
+        assert!(m.func_by_name("bar").is_none());
+        assert_eq!(m.num_funcs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("m");
+        m.add_func(Function::new("foo", &[], &[]));
+        m.add_func(Function::new("foo", &[], &[]));
+    }
+
+    #[test]
+    fn host_sigs() {
+        let mut m = Module::new("m");
+        m.declare_host(HostSig {
+            name: "print_i64".into(),
+            param_tys: vec![Ty::I64],
+            ret_tys: vec![],
+        });
+        assert!(m.host_sigs.contains_key("print_i64"));
+    }
+}

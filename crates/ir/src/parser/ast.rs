@@ -1,0 +1,280 @@
+//! Untyped MiniC AST produced by the parser.
+
+/// A MiniC surface type. Narrow integers (`i8`/`i16`/`i32`) are legal only
+/// as pointees; the type checker rejects them for variables, parameters,
+/// and return types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AstTy {
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    Bool,
+    Ptr(Box<AstTy>),
+}
+
+impl AstTy {
+    /// Size in bytes when stored in memory.
+    ///
+    /// # Panics
+    /// Panics for `bool`, which has no memory representation in MiniC.
+    pub fn mem_size(&self) -> u64 {
+        match self {
+            AstTy::I8 => 1,
+            AstTy::I16 => 2,
+            AstTy::I32 => 4,
+            AstTy::I64 => 8,
+            AstTy::F32 => 4,
+            AstTy::F64 => 8,
+            AstTy::Ptr(_) => 8,
+            AstTy::Bool => panic!("bool has no memory representation"),
+        }
+    }
+
+    /// Whether the type can live in a register / variable.
+    pub fn is_reg_ty(&self) -> bool {
+        matches!(
+            self,
+            AstTy::I64 | AstTy::F32 | AstTy::F64 | AstTy::Bool | AstTy::Ptr(_)
+        )
+    }
+
+    /// Whether the type can be a pointee (stored to / loaded from memory).
+    pub fn is_mem_ty(&self) -> bool {
+        !matches!(self, AstTy::Bool)
+    }
+
+    /// The memory access type for loads/stores of this pointee.
+    ///
+    /// # Panics
+    /// Panics for `bool` (see [`AstTy::is_mem_ty`]).
+    pub fn mem_ty(&self) -> crate::types::MemTy {
+        use crate::types::MemTy;
+        match self {
+            AstTy::I8 => MemTy::I8,
+            AstTy::I16 => MemTy::I16,
+            AstTy::I32 => MemTy::I32,
+            AstTy::I64 => MemTy::I64,
+            AstTy::F32 => MemTy::F32,
+            AstTy::F64 => MemTy::F64,
+            AstTy::Ptr(_) => MemTy::I64,
+            AstTy::Bool => panic!("bool has no memory representation"),
+        }
+    }
+}
+
+impl std::fmt::Display for AstTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AstTy::I8 => write!(f, "i8"),
+            AstTy::I16 => write!(f, "i16"),
+            AstTy::I32 => write!(f, "i32"),
+            AstTy::I64 => write!(f, "i64"),
+            AstTy::F32 => write!(f, "f32"),
+            AstTy::F64 => write!(f, "f64"),
+            AstTy::Bool => write!(f, "bool"),
+            AstTy::Ptr(p) => write!(f, "*{p}"),
+        }
+    }
+}
+
+/// Binary operators (arithmetic/bitwise; comparisons are separate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Arithmetic negation (int or float).
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Var(String),
+    Bin {
+        op: BinKind,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Cmp {
+        op: CmpKind,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    Un {
+        op: UnKind,
+        expr: Box<Expr>,
+    },
+    /// `*p` as an rvalue.
+    Deref(Box<Expr>),
+    /// `p[i]` as an rvalue.
+    Index {
+        base: Box<Expr>,
+        idx: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: AstTy,
+    },
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    /// `p[i] = v`.
+    Index { base: Expr, idx: Expr },
+    /// `*p = v`.
+    Deref(Expr),
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `var name: ty = init;` — missing initializers are zero-filled.
+    Var {
+        name: String,
+        ty: AstTy,
+        init: Option<Expr>,
+    },
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// C-style for. `init`/`step` are restricted to assignment or
+    /// declaration statements by the parser.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Break,
+    Continue,
+    Return(Option<Expr>),
+    /// Bare expression statement (must be a call; the checker enforces it).
+    Expr(Expr),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: AstTy,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Option<AstTy>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// An `extern fn` (host function) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternDecl {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Option<AstTy>,
+    pub line: u32,
+}
+
+/// A whole MiniC translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub funcs: Vec<FnDef>,
+    pub externs: Vec<ExternDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_properties() {
+        assert!(AstTy::I64.is_reg_ty());
+        assert!(!AstTy::I8.is_reg_ty());
+        assert!(AstTy::Ptr(Box::new(AstTy::I8)).is_reg_ty());
+        assert!(AstTy::I8.is_mem_ty());
+        assert!(!AstTy::Bool.is_mem_ty());
+        assert_eq!(AstTy::Ptr(Box::new(AstTy::F32)).mem_size(), 8);
+        assert_eq!(AstTy::I16.mem_size(), 2);
+    }
+
+    #[test]
+    fn ty_display() {
+        let t = AstTy::Ptr(Box::new(AstTy::Ptr(Box::new(AstTy::F32))));
+        assert_eq!(t.to_string(), "**f32");
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory representation")]
+    fn bool_mem_size_panics() {
+        let _ = AstTy::Bool.mem_size();
+    }
+}

@@ -1,0 +1,405 @@
+//! MiniC lexer.
+
+use super::CompileError;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords.
+    Fn,
+    Extern,
+    Var,
+    If,
+    Else,
+    While,
+    For,
+    Break,
+    Continue,
+    Return,
+    True,
+    False,
+    As,
+    // Type keywords.
+    TyI8,
+    TyI16,
+    TyI32,
+    TyI64,
+    TyF32,
+    TyF64,
+    TyBool,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "fn" => Tok::Fn,
+        "extern" => Tok::Extern,
+        "var" => Tok::Var,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "return" => Tok::Return,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "as" => Tok::As,
+        "i8" => Tok::TyI8,
+        "i16" => Tok::TyI16,
+        "i32" => Tok::TyI32,
+        "i64" => Tok::TyI64,
+        "f32" => Tok::TyF32,
+        "f64" => Tok::TyF64,
+        "bool" => Tok::TyBool,
+        _ => return None,
+    })
+}
+
+/// Tokenize MiniC source. Line comments (`//`) and block comments
+/// (`/* */`, non-nesting) are skipped.
+///
+/// # Errors
+/// Returns an error for unknown characters, malformed numbers, unterminated
+/// block comments, and invalid char literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |line: u32, msg: String| CompileError { line, msg };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal -> Int token. Supports \n \t \0 \\ \' escapes.
+                i += 1;
+                if i >= bytes.len() {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                let v = if bytes[i] == b'\\' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(err(line, "unterminated char literal".into()));
+                    }
+                    let e = match bytes[i] as char {
+                        'n' => b'\n',
+                        't' => b'\t',
+                        '0' => 0,
+                        '\\' => b'\\',
+                        '\'' => b'\'',
+                        other => {
+                            return Err(err(line, format!("unknown escape '\\{other}'")));
+                        }
+                    };
+                    i += 1;
+                    e as i64
+                } else {
+                    let v = bytes[i] as i64;
+                    i += 1;
+                    v
+                };
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += 1;
+                out.push(Token { tok: Tok::Int(v), line });
+            }
+            '0'..='9' => {
+                let start = i;
+                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+                {
+                    i += 2;
+                    let hstart = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        return Err(err(line, "empty hex literal".into()));
+                    }
+                    let text = &src[hstart..i];
+                    let v = u64::from_str_radix(text, 16)
+                        .map_err(|e| err(line, format!("bad hex literal: {e}")))?;
+                    out.push(Token {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| err(line, format!("bad float literal: {e}")))?;
+                    out.push(Token {
+                        tok: Tok::Float(v),
+                        line,
+                    });
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| err(line, format!("bad int literal: {e}")))?;
+                    out.push(Token { tok: Tok::Int(v), line });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()));
+                out.push(Token { tok, line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+                let (tok, len) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::NotEq, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        ':' => Tok::Colon,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '!' => Tok::Bang,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        other => {
+                            return Err(err(line, format!("unexpected character {other:?}")));
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo while x"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::While,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0xff 1.5 2e3 1.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Float(1.5),
+                Tok::Float(2000.0),
+                Tok::Float(0.015),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_then_field_like_dot_is_error_free() {
+        // "1.x" lexes as Int(1) then unexpected '.' -> error.
+        assert!(lex("1.x").is_err());
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("-> == != <= >= << >> && || = < >"),
+            vec![
+                Tok::Arrow,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_char_literals() {
+        assert_eq!(
+            kinds(r"'a' '\n' '\0' '%'"),
+            vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Int(37), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(lex("let x = @;").is_err());
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+}

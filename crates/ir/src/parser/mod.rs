@@ -1,0 +1,51 @@
+//! MiniC frontend: lexer, parser, and type checker.
+//!
+//! MiniC is the small C-like source language guest workloads are written
+//! in. It compiles to MIR via [`crate::compile`]. The language has:
+//!
+//! - scalar types `i64`, `f32`, `f64`, `bool`, and pointers `*T` (pointees
+//!   may additionally be the narrow integer types `i8`/`i16`/`i32`);
+//! - functions (recursion allowed), `extern fn` host declarations;
+//! - `var` declarations, assignments, `if`/`else`, `while`, C-style `for`,
+//!   `break`/`continue`/`return`;
+//! - pointer indexing `p[i]` (scaled by pointee size), dereference `*p`,
+//!   pointer arithmetic `p + i` / `p - i`;
+//! - casts `expr as ty`, char literals `'x'`, hex literals `0xff`,
+//!   float literals (`f64` unless context requires `f32`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parse;
+pub mod typeck;
+
+use std::fmt;
+
+/// A frontend error: lexing, parsing, type checking, or post-lowering
+/// verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line, or 0 when unknown.
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Parse MiniC source into an (untyped) AST.
+///
+/// # Errors
+/// Returns the first lexing or parsing error.
+pub fn parse(source: &str) -> Result<ast::Program, CompileError> {
+    let tokens = lexer::lex(source)?;
+    parse::Parser::new(tokens).program()
+}

@@ -1,0 +1,731 @@
+//! Recursive-descent parser for MiniC.
+
+use super::ast::*;
+use super::lexer::{Tok, Token};
+use super::CompileError;
+
+/// The parser state: a token stream with one-token lookahead.
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a lexed token stream (must end with `Eof`).
+    pub fn new(toks: Vec<Token>) -> Parser {
+        assert!(matches!(toks.last().map(|t| &t.tok), Some(Tok::Eof)));
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> CompileError {
+        CompileError {
+            line: self.line(),
+            msg,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Parse a whole translation unit.
+    ///
+    /// # Errors
+    /// Returns the first syntax error.
+    pub fn program(&mut self) -> Result<Program, CompileError> {
+        let mut p = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Extern => p.externs.push(self.extern_decl()?),
+                Tok::Fn => p.funcs.push(self.fn_def()?),
+                other => return Err(self.err(format!("expected item, found {other:?}"))),
+            }
+        }
+        Ok(p)
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternDecl, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::Extern, "'extern'")?;
+        self.expect(&Tok::Fn, "'fn'")?;
+        let name = self.ident("extern function name")?;
+        let params = self.params()?;
+        let ret = self.ret_ty()?;
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(ExternDecl {
+            name,
+            params,
+            ret,
+            line,
+        })
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::Fn, "'fn'")?;
+        let name = self.ident("function name")?;
+        let params = self.params()?;
+        let ret = self.ret_ty()?;
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut out = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let name = self.ident("parameter name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let ty = self.ty()?;
+                out.push(Param { name, ty });
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "','")?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn ret_ty(&mut self) -> Result<Option<AstTy>, CompileError> {
+        if self.eat(&Tok::Arrow) {
+            Ok(Some(self.ty()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn ty(&mut self) -> Result<AstTy, CompileError> {
+        match self.bump() {
+            Tok::TyI8 => Ok(AstTy::I8),
+            Tok::TyI16 => Ok(AstTy::I16),
+            Tok::TyI32 => Ok(AstTy::I32),
+            Tok::TyI64 => Ok(AstTy::I64),
+            Tok::TyF32 => Ok(AstTy::F32),
+            Tok::TyF64 => Ok(AstTy::F64),
+            Tok::TyBool => Ok(AstTy::Bool),
+            Tok::Star => Ok(AstTy::Ptr(Box::new(self.ty()?))),
+            other => Err(self.err(format!("expected type, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut out = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let kind = match self.peek() {
+            Tok::Var => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi, "';'")?;
+                s
+            }
+            Tok::If => self.if_stmt()?,
+            Tok::While => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Tok::For => self.for_stmt()?,
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Break
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Continue
+            }
+            Tok::Return => {
+                self.bump();
+                let v = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Return(v)
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi, "';'")?;
+                s
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, CompileError> {
+        self.expect(&Tok::If, "'if'")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "')'")?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Tok::Else) {
+            if self.peek() == &Tok::If {
+                let line = self.line();
+                let nested = self.if_stmt()?;
+                vec![Stmt { kind: nested, line }]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<StmtKind, CompileError> {
+        self.expect(&Tok::For, "'for'")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let init = if self.peek() == &Tok::Semi {
+            None
+        } else {
+            let line = self.line();
+            let kind = self.simple_stmt()?;
+            Some(Box::new(Stmt { kind, line }))
+        };
+        self.expect(&Tok::Semi, "';'")?;
+        let cond = if self.peek() == &Tok::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&Tok::Semi, "';'")?;
+        let step = if self.peek() == &Tok::RParen {
+            None
+        } else {
+            let line = self.line();
+            let kind = self.simple_stmt()?;
+            Some(Box::new(Stmt { kind, line }))
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    /// A declaration, assignment, or expression statement — without the
+    /// trailing `;` (shared between regular statements and `for` headers).
+    fn simple_stmt(&mut self) -> Result<StmtKind, CompileError> {
+        if self.eat(&Tok::Var) {
+            let name = self.ident("variable name")?;
+            self.expect(&Tok::Colon, "':'")?;
+            let ty = self.ty()?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(StmtKind::Var { name, ty, init });
+        }
+        let e = self.expr()?;
+        if self.eat(&Tok::Assign) {
+            let rhs = self.expr()?;
+            let lhs = match e.kind {
+                ExprKind::Var(name) => LValue::Var(name),
+                ExprKind::Index { base, idx } => LValue::Index {
+                    base: *base,
+                    idx: *idx,
+                },
+                ExprKind::Deref(p) => LValue::Deref(*p),
+                _ => return Err(self.err("invalid assignment target".into())),
+            };
+            Ok(StmtKind::Assign { lhs, rhs })
+        } else {
+            Ok(StmtKind::Expr(e))
+        }
+    }
+
+    /// Entry point for expression parsing (`||` level).
+    pub fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.log_or()
+    }
+
+    fn log_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.log_and()?;
+        while self.peek() == &Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.log_and()?;
+            lhs = Expr {
+                kind: ExprKind::LogOr(Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn log_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_or()?;
+        while self.peek() == &Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_or()?;
+            lhs = Expr {
+                kind: ExprKind::LogAnd(Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bin_level(
+        &mut self,
+        ops: &[(Tok, BinKind)],
+        next: fn(&mut Parser) -> Result<Expr, CompileError>,
+    ) -> Result<Expr, CompileError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, kind) in ops {
+                if self.peek() == tok {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr {
+                        kind: ExprKind::Bin {
+                            op: *kind,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Pipe, BinKind::Or)], Parser::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Caret, BinKind::Xor)], Parser::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Amp, BinKind::And)], Parser::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => CmpKind::Eq,
+                Tok::NotEq => CmpKind::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr {
+                kind: ExprKind::Cmp {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => CmpKind::Lt,
+                Tok::Le => CmpKind::Le,
+                Tok::Gt => CmpKind::Gt,
+                Tok::Ge => CmpKind::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr {
+                kind: ExprKind::Cmp {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(
+            &[(Tok::Shl, BinKind::Shl), (Tok::Shr, BinKind::Shr)],
+            Parser::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(
+            &[(Tok::Plus, BinKind::Add), (Tok::Minus, BinKind::Sub)],
+            Parser::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(
+            &[
+                (Tok::Star, BinKind::Mul),
+                (Tok::Slash, BinKind::Div),
+                (Tok::Percent, BinKind::Rem),
+            ],
+            Parser::cast,
+        )
+    }
+
+    fn cast(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.unary()?;
+        while self.peek() == &Tok::As {
+            let line = self.line();
+            self.bump();
+            let to = self.ty()?;
+            e = Expr {
+                kind: ExprKind::Cast {
+                    expr: Box::new(e),
+                    to,
+                },
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Un {
+                        op: UnKind::Neg,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Un {
+                        op: UnKind::Not,
+                        expr: Box::new(e),
+                    },
+                    line,
+                })
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Deref(Box::new(e)),
+                    line,
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket, "']'")?;
+                e = Expr {
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        idx: Box::new(idx),
+                    },
+                    line,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::Int(v),
+                line,
+            }),
+            Tok::Float(v) => Ok(Expr {
+                kind: ExprKind::Float(v),
+                line,
+            }),
+            Tok::True => Ok(Expr {
+                kind: ExprKind::Bool(true),
+                line,
+            }),
+            Tok::False => Ok(Expr {
+                kind: ExprKind::Bool(false),
+                line,
+            }),
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "','")?;
+                        }
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(CompileError {
+                line,
+                msg: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse as parse_src;
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_src(src).unwrap()
+    }
+
+    #[test]
+    fn parses_minimal_fn() {
+        let p = parse_ok("fn main() { return; }");
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert!(p.funcs[0].ret.is_none());
+    }
+
+    #[test]
+    fn parses_params_and_ret() {
+        let p = parse_ok("fn f(a: i64, b: *f32) -> f64 { return 0.0; }");
+        let f = &p.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].ty, AstTy::Ptr(Box::new(AstTy::F32)));
+        assert_eq!(f.ret, Some(AstTy::F64));
+    }
+
+    #[test]
+    fn parses_extern() {
+        let p = parse_ok("extern fn print_i64(v: i64);");
+        assert_eq!(p.externs.len(), 1);
+        assert_eq!(p.externs[0].name, "print_i64");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("fn f() -> i64 { return 1 + 2 * 3; }");
+        let body = &p.funcs[0].body;
+        match &body[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Bin { op: BinKind::Add, rhs, .. } => {
+                    assert!(matches!(rhs.kind, ExprKind::Bin { op: BinKind::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_logical() {
+        let p = parse_ok("fn f(a: i64) -> bool { return a < 1 && a > -5; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => {
+                assert!(matches!(e.kind, ExprKind::LogAnd(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_assignment() {
+        let p = parse_ok("fn f(a: *i64) { a[3] = 4; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Assign { lhs: LValue::Index { .. }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_deref_assignment_and_rvalue() {
+        let p = parse_ok("fn f(a: *i64) { *a = *a + 1; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Assign { lhs: LValue::Deref(_), rhs } => {
+                assert!(matches!(rhs.kind, ExprKind::Bin { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse_ok("fn f(n: i64) { for (var i: i64 = 0; i < n; i = i + 1) { } }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_ok(
+            "fn f(a: i64) -> i64 { if (a < 0) { return -1; } else if (a == 0) { return 0; } else { return 1; } }",
+        );
+        match &p.funcs[0].body[0].kind {
+            StmtKind::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cast_chain() {
+        let p = parse_ok("fn f(x: i64) -> f32 { return x as f64 as f32; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Cast { to, expr } => {
+                    assert_eq!(*to, AstTy::F32);
+                    assert!(matches!(expr.kind, ExprKind::Cast { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse_src("fn f() { 1 + 2 = 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semi() {
+        assert!(parse_src("fn f() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_token_at_top_level() {
+        assert!(parse_src("var x: i64 = 0;").is_err());
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_mul() {
+        // `a as f64 * b` parses as `(a as f64) * b`
+        let p = parse_ok("fn f(a: i64, b: f64) -> f64 { return a as f64 * b; }");
+        match &p.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Bin { op: BinKind::Mul, lhs, .. } => {
+                    assert!(matches!(lhs.kind, ExprKind::Cast { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

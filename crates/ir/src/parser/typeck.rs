@@ -1,0 +1,987 @@
+//! Type checker for MiniC.
+//!
+//! Produces a *checked* tree ([`CProgram`]) in which every expression
+//! carries its type, variables are resolved to per-function slot indices
+//! (so shadowing is settled here, not during lowering), and float literals
+//! have been coerced to `f32` where the context requires it.
+
+use super::ast::*;
+use super::CompileError;
+use std::collections::HashMap;
+
+/// Variable slot index, unique within one function (parameters first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u32);
+
+/// A checked expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CExpr {
+    pub kind: CExprKind,
+    pub ty: AstTy,
+    pub line: u32,
+}
+
+/// A memory address: `base` (a pointer expression) optionally displaced by
+/// `idx` scaled by the element size of `elem`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CAddr {
+    pub base: Box<CExpr>,
+    pub idx: Option<Box<CExpr>>,
+    pub elem: AstTy,
+}
+
+/// Checked expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExprKind {
+    Int(i64),
+    F64(f64),
+    F32(f32),
+    Bool(bool),
+    Var(SlotId),
+    Bin {
+        op: BinKind,
+        lhs: Box<CExpr>,
+        rhs: Box<CExpr>,
+    },
+    /// Pointer displacement `ptr ± idx` scaled by `elem_size`.
+    PtrOp {
+        ptr: Box<CExpr>,
+        idx: Box<CExpr>,
+        elem_size: u64,
+        sub: bool,
+    },
+    Cmp {
+        op: CmpKind,
+        lhs: Box<CExpr>,
+        rhs: Box<CExpr>,
+    },
+    LogAnd(Box<CExpr>, Box<CExpr>),
+    LogOr(Box<CExpr>, Box<CExpr>),
+    Un {
+        op: UnKind,
+        expr: Box<CExpr>,
+    },
+    /// A load from memory (`*p` or `p[i]` as rvalue).
+    Load(CAddr),
+    Call {
+        name: String,
+        args: Vec<CExpr>,
+        is_host: bool,
+    },
+    Cast {
+        expr: Box<CExpr>,
+        to: AstTy,
+    },
+    /// `bool as i64` — materializes 0/1.
+    BoolToInt(Box<CExpr>),
+}
+
+/// Checked statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmt {
+    /// Slot initialization (from `var`; `init` is `None` for zero-fill).
+    Var {
+        slot: SlotId,
+        ty: AstTy,
+        init: Option<CExpr>,
+        line: u32,
+    },
+    AssignVar {
+        slot: SlotId,
+        rhs: CExpr,
+        line: u32,
+    },
+    /// Store through memory (`p[i] = v` or `*p = v`).
+    Store {
+        addr: CAddr,
+        rhs: CExpr,
+        line: u32,
+    },
+    If {
+        cond: CExpr,
+        then_body: Vec<CStmt>,
+        else_body: Vec<CStmt>,
+        line: u32,
+    },
+    While {
+        cond: CExpr,
+        body: Vec<CStmt>,
+        line: u32,
+    },
+    For {
+        init: Option<Box<CStmt>>,
+        cond: Option<CExpr>,
+        step: Option<Box<CStmt>>,
+        body: Vec<CStmt>,
+        line: u32,
+    },
+    Break(u32),
+    Continue(u32),
+    Return(Option<CExpr>, u32),
+    /// A call evaluated for effect (result, if any, discarded).
+    Expr(CExpr),
+}
+
+/// A checked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFunc {
+    pub name: String,
+    /// Parameter count; parameters occupy slots `0..num_params`.
+    pub num_params: usize,
+    /// Type of every slot (parameters first, then locals in declaration order).
+    pub slots: Vec<AstTy>,
+    pub ret: Option<AstTy>,
+    pub body: Vec<CStmt>,
+    pub line: u32,
+}
+
+/// A checked extern declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CExtern {
+    pub name: String,
+    pub params: Vec<AstTy>,
+    pub ret: Option<AstTy>,
+}
+
+/// A checked program, ready for lowering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CProgram {
+    pub funcs: Vec<CFunc>,
+    pub externs: Vec<CExtern>,
+}
+
+#[derive(Clone)]
+struct Sig {
+    params: Vec<AstTy>,
+    ret: Option<AstTy>,
+    is_host: bool,
+}
+
+struct Checker<'a> {
+    sigs: HashMap<String, Sig>,
+    // Current function state.
+    slots: Vec<AstTy>,
+    scopes: Vec<HashMap<String, SlotId>>,
+    ret: Option<AstTy>,
+    loop_depth: u32,
+    fn_name: &'a str,
+    /// True while checking a bare call statement (permits void calls).
+    in_stmt_call: bool,
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Type-check a parsed program.
+///
+/// # Errors
+/// Returns the first type error (undefined names, type mismatches, invalid
+/// operand types, `break` outside a loop, arity errors, ...).
+pub fn check(p: &Program) -> Result<CProgram, CompileError> {
+    let mut sigs: HashMap<String, Sig> = HashMap::new();
+    for e in &p.externs {
+        validate_sig(&e.params, &e.ret, e.line)?;
+        if sigs
+            .insert(
+                e.name.clone(),
+                Sig {
+                    params: e.params.iter().map(|q| q.ty.clone()).collect(),
+                    ret: e.ret.clone(),
+                    is_host: true,
+                },
+            )
+            .is_some()
+        {
+            return Err(err(e.line, format!("duplicate declaration of `{}`", e.name)));
+        }
+    }
+    for f in &p.funcs {
+        validate_sig(&f.params, &f.ret, f.line)?;
+        if sigs
+            .insert(
+                f.name.clone(),
+                Sig {
+                    params: f.params.iter().map(|q| q.ty.clone()).collect(),
+                    ret: f.ret.clone(),
+                    is_host: false,
+                },
+            )
+            .is_some()
+        {
+            return Err(err(f.line, format!("duplicate definition of `{}`", f.name)));
+        }
+    }
+
+    let mut out = CProgram {
+        externs: p
+            .externs
+            .iter()
+            .map(|e| CExtern {
+                name: e.name.clone(),
+                params: e.params.iter().map(|q| q.ty.clone()).collect(),
+                ret: e.ret.clone(),
+            })
+            .collect(),
+        ..CProgram::default()
+    };
+
+    for f in &p.funcs {
+        let mut ck = Checker {
+            sigs: sigs.clone(),
+            slots: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret: f.ret.clone(),
+            loop_depth: 0,
+            fn_name: &f.name,
+            in_stmt_call: false,
+        };
+        for q in &f.params {
+            let slot = SlotId(ck.slots.len() as u32);
+            ck.slots.push(q.ty.clone());
+            if ck.scopes[0].insert(q.name.clone(), slot).is_some() {
+                return Err(err(f.line, format!("duplicate parameter `{}`", q.name)));
+            }
+        }
+        let body = ck.block(&f.body)?;
+        out.funcs.push(CFunc {
+            name: f.name.clone(),
+            num_params: f.params.len(),
+            slots: ck.slots,
+            ret: f.ret.clone(),
+            body,
+            line: f.line,
+        });
+    }
+    Ok(out)
+}
+
+fn validate_sig(params: &[Param], ret: &Option<AstTy>, line: u32) -> Result<(), CompileError> {
+    for p in params {
+        if !p.ty.is_reg_ty() {
+            return Err(err(
+                line,
+                format!("parameter `{}` has non-value type {}", p.name, p.ty),
+            ));
+        }
+    }
+    if let Some(r) = ret {
+        if !r.is_reg_ty() {
+            return Err(err(line, format!("return type {r} is not a value type")));
+        }
+    }
+    Ok(())
+}
+
+impl Checker<'_> {
+    fn lookup(&self, name: &str, line: u32) -> Result<(SlotId, AstTy), CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&slot) = scope.get(name) {
+                return Ok((slot, self.slots[slot.0 as usize].clone()));
+            }
+        }
+        Err(err(
+            line,
+            format!("undefined variable `{name}` in fn `{}`", self.fn_name),
+        ))
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<Vec<CStmt>, CompileError> {
+        self.scopes.push(HashMap::new());
+        let result = stmts.iter().map(|s| self.stmt(s)).collect();
+        self.scopes.pop();
+        result
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<CStmt, CompileError> {
+        let line = s.line;
+        match &s.kind {
+            StmtKind::Var { name, ty, init } => {
+                if !ty.is_reg_ty() {
+                    return Err(err(line, format!("variable `{name}` has non-value type {ty}")));
+                }
+                let cinit = match init {
+                    Some(e) => Some(self.expr_expect(e, ty)?),
+                    None => None,
+                };
+                let slot = SlotId(self.slots.len() as u32);
+                self.slots.push(ty.clone());
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), slot);
+                Ok(CStmt::Var {
+                    slot,
+                    ty: ty.clone(),
+                    init: cinit,
+                    line,
+                })
+            }
+            StmtKind::Assign { lhs, rhs } => match lhs {
+                LValue::Var(name) => {
+                    let (slot, ty) = self.lookup(name, line)?;
+                    let rhs = self.expr_expect(rhs, &ty)?;
+                    Ok(CStmt::AssignVar { slot, rhs, line })
+                }
+                LValue::Index { base, idx } => {
+                    let addr = self.addr_of_index(base, idx, line)?;
+                    let want = value_ty_of(&addr.elem);
+                    let rhs = self.expr_expect(rhs, &want)?;
+                    Ok(CStmt::Store { addr, rhs, line })
+                }
+                LValue::Deref(p) => {
+                    let addr = self.addr_of_deref(p, line)?;
+                    let want = value_ty_of(&addr.elem);
+                    let rhs = self.expr_expect(rhs, &want)?;
+                    Ok(CStmt::Store { addr, rhs, line })
+                }
+            },
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr_expect(cond, &AstTy::Bool)?;
+                Ok(CStmt::If {
+                    cond: c,
+                    then_body: self.block(then_body)?,
+                    else_body: self.block(else_body)?,
+                    line,
+                })
+            }
+            StmtKind::While { cond, body } => {
+                let c = self.expr_expect(cond, &AstTy::Bool)?;
+                self.loop_depth += 1;
+                let body = self.block(body);
+                self.loop_depth -= 1;
+                Ok(CStmt::While {
+                    cond: c,
+                    body: body?,
+                    line,
+                })
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The init's declared variable scopes over cond/step/body.
+                self.scopes.push(HashMap::new());
+                let result = (|| {
+                    let cinit = match init {
+                        Some(st) => Some(Box::new(self.stmt(st)?)),
+                        None => None,
+                    };
+                    let ccond = match cond {
+                        Some(c) => Some(self.expr_expect(c, &AstTy::Bool)?),
+                        None => None,
+                    };
+                    let cstep = match step {
+                        Some(st) => Some(Box::new(self.stmt(st)?)),
+                        None => None,
+                    };
+                    self.loop_depth += 1;
+                    let cbody = self.block(body);
+                    self.loop_depth -= 1;
+                    Ok(CStmt::For {
+                        init: cinit,
+                        cond: ccond,
+                        step: cstep,
+                        body: cbody?,
+                        line,
+                    })
+                })();
+                self.scopes.pop();
+                result
+            }
+            StmtKind::Break => {
+                if self.loop_depth == 0 {
+                    return Err(err(line, "`break` outside of a loop"));
+                }
+                Ok(CStmt::Break(line))
+            }
+            StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(err(line, "`continue` outside of a loop"));
+                }
+                Ok(CStmt::Continue(line))
+            }
+            StmtKind::Return(v) => match (&self.ret, v) {
+                (None, None) => Ok(CStmt::Return(None, line)),
+                (None, Some(_)) => Err(err(line, "returning a value from a void function")),
+                (Some(t), None) => Err(err(line, format!("missing return value of type {t}"))),
+                (Some(t), Some(e)) => {
+                    let t = t.clone();
+                    Ok(CStmt::Return(Some(self.expr_expect(e, &t)?), line))
+                }
+            },
+            StmtKind::Expr(e) => {
+                if !matches!(e.kind, ExprKind::Call { .. }) {
+                    return Err(err(line, "expression statement must be a call"));
+                }
+                self.in_stmt_call = true;
+                let c = self.expr(e, None);
+                self.in_stmt_call = false;
+                Ok(CStmt::Expr(c?))
+            }
+        }
+    }
+
+    /// Check `e` and require exactly type `want` (after literal coercion).
+    fn expr_expect(&mut self, e: &Expr, want: &AstTy) -> Result<CExpr, CompileError> {
+        let c = self.expr(e, Some(want))?;
+        if &c.ty != want {
+            return Err(err(
+                e.line,
+                format!("type mismatch: expected {want}, found {}", c.ty),
+            ));
+        }
+        Ok(c)
+    }
+
+    fn addr_of_index(&mut self, base: &Expr, idx: &Expr, line: u32) -> Result<CAddr, CompileError> {
+        let b = self.expr(base, None)?;
+        let AstTy::Ptr(elem) = b.ty.clone() else {
+            return Err(err(line, format!("indexing a non-pointer of type {}", b.ty)));
+        };
+        if !elem.is_mem_ty() {
+            return Err(err(line, format!("cannot access memory of type {elem}")));
+        }
+        let i = self.expr_expect(idx, &AstTy::I64)?;
+        Ok(CAddr {
+            base: Box::new(b),
+            idx: Some(Box::new(i)),
+            elem: *elem,
+        })
+    }
+
+    fn addr_of_deref(&mut self, p: &Expr, line: u32) -> Result<CAddr, CompileError> {
+        let b = self.expr(p, None)?;
+        let AstTy::Ptr(elem) = b.ty.clone() else {
+            return Err(err(line, format!("dereferencing a non-pointer of type {}", b.ty)));
+        };
+        if !elem.is_mem_ty() {
+            return Err(err(line, format!("cannot access memory of type {elem}")));
+        }
+        Ok(CAddr {
+            base: Box::new(b),
+            idx: None,
+            elem: *elem,
+        })
+    }
+
+    /// Check an expression. `hint` guides literal typing only; the caller
+    /// still validates the final type when it has a requirement.
+    fn expr(&mut self, e: &Expr, hint: Option<&AstTy>) -> Result<CExpr, CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => Ok(CExpr {
+                kind: CExprKind::Int(*v),
+                ty: AstTy::I64,
+                line,
+            }),
+            ExprKind::Float(v) => {
+                if hint == Some(&AstTy::F32) {
+                    Ok(CExpr {
+                        kind: CExprKind::F32(*v as f32),
+                        ty: AstTy::F32,
+                        line,
+                    })
+                } else {
+                    Ok(CExpr {
+                        kind: CExprKind::F64(*v),
+                        ty: AstTy::F64,
+                        line,
+                    })
+                }
+            }
+            ExprKind::Bool(v) => Ok(CExpr {
+                kind: CExprKind::Bool(*v),
+                ty: AstTy::Bool,
+                line,
+            }),
+            ExprKind::Var(name) => {
+                let (slot, ty) = self.lookup(name, line)?;
+                Ok(CExpr {
+                    kind: CExprKind::Var(slot),
+                    ty,
+                    line,
+                })
+            }
+            ExprKind::Bin { op, lhs, rhs } => self.bin(*op, lhs, rhs, hint, line),
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let (l, r) = self.unify(lhs, rhs, line)?;
+                match l.ty {
+                    AstTy::I64 | AstTy::F32 | AstTy::F64 | AstTy::Ptr(_) => {}
+                    AstTy::Bool if matches!(op, CmpKind::Eq | CmpKind::Ne) => {}
+                    ref t => {
+                        return Err(err(line, format!("cannot compare values of type {t}")));
+                    }
+                }
+                Ok(CExpr {
+                    kind: CExprKind::Cmp {
+                        op: *op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty: AstTy::Bool,
+                    line,
+                })
+            }
+            ExprKind::LogAnd(l, r) => {
+                let cl = self.expr_expect(l, &AstTy::Bool)?;
+                let cr = self.expr_expect(r, &AstTy::Bool)?;
+                Ok(CExpr {
+                    kind: CExprKind::LogAnd(Box::new(cl), Box::new(cr)),
+                    ty: AstTy::Bool,
+                    line,
+                })
+            }
+            ExprKind::LogOr(l, r) => {
+                let cl = self.expr_expect(l, &AstTy::Bool)?;
+                let cr = self.expr_expect(r, &AstTy::Bool)?;
+                Ok(CExpr {
+                    kind: CExprKind::LogOr(Box::new(cl), Box::new(cr)),
+                    ty: AstTy::Bool,
+                    line,
+                })
+            }
+            ExprKind::Un { op, expr } => {
+                let c = self.expr(expr, hint)?;
+                match op {
+                    UnKind::Neg => {
+                        if !matches!(c.ty, AstTy::I64 | AstTy::F32 | AstTy::F64) {
+                            return Err(err(line, format!("cannot negate {}", c.ty)));
+                        }
+                    }
+                    UnKind::Not => {
+                        if c.ty != AstTy::Bool {
+                            return Err(err(line, format!("`!` needs bool, found {}", c.ty)));
+                        }
+                    }
+                }
+                let ty = c.ty.clone();
+                Ok(CExpr {
+                    kind: CExprKind::Un {
+                        op: *op,
+                        expr: Box::new(c),
+                    },
+                    ty,
+                    line,
+                })
+            }
+            ExprKind::Deref(p) => {
+                let addr = self.addr_of_deref(p, line)?;
+                let ty = value_ty_of(&addr.elem);
+                Ok(CExpr {
+                    kind: CExprKind::Load(addr),
+                    ty,
+                    line,
+                })
+            }
+            ExprKind::Index { base, idx } => {
+                let addr = self.addr_of_index(base, idx, line)?;
+                let ty = value_ty_of(&addr.elem);
+                Ok(CExpr {
+                    kind: CExprKind::Load(addr),
+                    ty,
+                    line,
+                })
+            }
+            ExprKind::Call { name, args } => {
+                // Consume the statement-call marker so it only applies to
+                // the outermost call, not calls nested in the arguments.
+                let stmt_call = std::mem::take(&mut self.in_stmt_call);
+                let sig = self
+                    .sigs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| err(line, format!("call to undefined function `{name}`")))?;
+                if args.len() != sig.params.len() {
+                    return Err(err(
+                        line,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let mut cargs = Vec::with_capacity(args.len());
+                for (a, want) in args.iter().zip(&sig.params) {
+                    cargs.push(self.expr_expect(a, want)?);
+                }
+                // Void calls are only legal as statements; `stmt` strips the
+                // hint marker below before we get here, so a void type at
+                // this point means the call's value is actually consumed.
+                let Some(ty) = sig.ret.clone() else {
+                    if hint.is_none() && stmt_call {
+                        // Checked via `stmt`'s Expr arm: value discarded.
+                        return Ok(CExpr {
+                            kind: CExprKind::Call {
+                                name: name.clone(),
+                                args: cargs,
+                                is_host: sig.is_host,
+                            },
+                            ty: AstTy::I64,
+                            line,
+                        });
+                    }
+                    return Err(err(line, format!("void function `{name}` used as a value")));
+                };
+                Ok(CExpr {
+                    kind: CExprKind::Call {
+                        name: name.clone(),
+                        args: cargs,
+                        is_host: sig.is_host,
+                    },
+                    ty,
+                    line,
+                })
+            }
+            ExprKind::Cast { expr, to } => {
+                let c = self.expr(expr, None)?;
+                let from = c.ty.clone();
+                if !to.is_reg_ty() {
+                    return Err(err(line, format!("cannot cast to non-value type {to}")));
+                }
+                if from == *to {
+                    return Ok(CExpr {
+                        kind: c.kind,
+                        ty: from,
+                        line,
+                    });
+                }
+                let ok = matches!(
+                    (&from, to),
+                    (AstTy::I64, AstTy::F32)
+                        | (AstTy::I64, AstTy::F64)
+                        | (AstTy::F32, AstTy::I64)
+                        | (AstTy::F64, AstTy::I64)
+                        | (AstTy::F32, AstTy::F64)
+                        | (AstTy::F64, AstTy::F32)
+                        | (AstTy::I64, AstTy::Ptr(_))
+                        | (AstTy::Ptr(_), AstTy::I64)
+                        | (AstTy::Ptr(_), AstTy::Ptr(_))
+                );
+                if matches!((&from, to), (AstTy::Bool, AstTy::I64)) {
+                    return Ok(CExpr {
+                        kind: CExprKind::BoolToInt(Box::new(c)),
+                        ty: AstTy::I64,
+                        line,
+                    });
+                }
+                if !ok {
+                    return Err(err(line, format!("invalid cast from {from} to {to}")));
+                }
+                Ok(CExpr {
+                    kind: CExprKind::Cast {
+                        expr: Box::new(c),
+                        to: to.clone(),
+                    },
+                    ty: to.clone(),
+                    line,
+                })
+            }
+        }
+    }
+
+    fn bin(
+        &mut self,
+        op: BinKind,
+        lhs: &Expr,
+        rhs: &Expr,
+        hint: Option<&AstTy>,
+        line: u32,
+    ) -> Result<CExpr, CompileError> {
+        // Pointer arithmetic: ptr + int, ptr - int (scaled by pointee size).
+        let l0 = self.expr(lhs, hint)?;
+        if let AstTy::Ptr(elem) = l0.ty.clone() {
+            if matches!(op, BinKind::Add | BinKind::Sub) {
+                if !elem.is_mem_ty() {
+                    return Err(err(line, format!("pointer arithmetic on *{elem}")));
+                }
+                let idx = self.expr_expect(rhs, &AstTy::I64)?;
+                let ty = l0.ty.clone();
+                return Ok(CExpr {
+                    kind: CExprKind::PtrOp {
+                        ptr: Box::new(l0),
+                        idx: Box::new(idx),
+                        elem_size: elem.mem_size(),
+                        sub: op == BinKind::Sub,
+                    },
+                    ty,
+                    line,
+                });
+            }
+            return Err(err(line, "invalid operation on pointers"));
+        }
+        let l_ty = l0.ty.clone();
+        let r0 = self.expr(rhs, Some(&l_ty))?;
+        let (l, r) = coerce_pair(l0, r0, line)?;
+        let ty = l.ty.clone();
+        let int_only = matches!(
+            op,
+            BinKind::Rem | BinKind::And | BinKind::Or | BinKind::Xor | BinKind::Shl | BinKind::Shr
+        );
+        match ty {
+            AstTy::I64 => {}
+            AstTy::F32 | AstTy::F64 if !int_only => {}
+            ref t => {
+                return Err(err(
+                    line,
+                    format!("operator {op:?} is not defined for type {t}"),
+                ));
+            }
+        }
+        Ok(CExpr {
+            kind: CExprKind::Bin {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
+            ty,
+            line,
+        })
+    }
+
+    /// Check two sides of a comparison, unifying literal float types.
+    fn unify(&mut self, lhs: &Expr, rhs: &Expr, line: u32) -> Result<(CExpr, CExpr), CompileError> {
+        let l = self.expr(lhs, None)?;
+        let l_ty = l.ty.clone();
+        let r = self.expr(rhs, Some(&l_ty))?;
+        coerce_pair(l, r, line)
+    }
+}
+
+/// The register-level value type for a memory element type.
+fn value_ty_of(elem: &AstTy) -> AstTy {
+    match elem {
+        AstTy::I8 | AstTy::I16 | AstTy::I32 | AstTy::I64 => AstTy::I64,
+        AstTy::F32 => AstTy::F32,
+        AstTy::F64 => AstTy::F64,
+        AstTy::Ptr(p) => AstTy::Ptr(p.clone()),
+        AstTy::Bool => unreachable!("bool is rejected as a pointee"),
+    }
+}
+
+/// Coerce float literals so both sides have equal types, or fail.
+fn coerce_pair(l: CExpr, r: CExpr, line: u32) -> Result<(CExpr, CExpr), CompileError> {
+    if l.ty == r.ty {
+        return Ok((l, r));
+    }
+    // A bare f64 literal adapts to the other side's f32.
+    let (l, r) = match (&l.ty, &r.ty) {
+        (AstTy::F32, AstTy::F64) => {
+            if let Some(r32) = as_f32_literal(&r) {
+                (l, r32)
+            } else {
+                return Err(err(line, "mixed f32/f64 operands (insert a cast)"));
+            }
+        }
+        (AstTy::F64, AstTy::F32) => {
+            if let Some(l32) = as_f32_literal(&l) {
+                (l32, r)
+            } else {
+                return Err(err(line, "mixed f32/f64 operands (insert a cast)"));
+            }
+        }
+        (a, b) => {
+            return Err(err(line, format!("mismatched operand types {a} and {b}")));
+        }
+    };
+    Ok((l, r))
+}
+
+/// If the expression is a (possibly negated) f64 literal, re-type it to f32.
+fn as_f32_literal(e: &CExpr) -> Option<CExpr> {
+    match &e.kind {
+        CExprKind::F64(v) => Some(CExpr {
+            kind: CExprKind::F32(*v as f32),
+            ty: AstTy::F32,
+            line: e.line,
+        }),
+        CExprKind::Un {
+            op: UnKind::Neg,
+            expr,
+        } => {
+            let inner = as_f32_literal(expr)?;
+            Some(CExpr {
+                kind: CExprKind::Un {
+                    op: UnKind::Neg,
+                    expr: Box::new(inner),
+                },
+                ty: AstTy::F32,
+                line: e.line,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<CProgram, CompileError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn checks_simple_function() {
+        let p = check_src("fn add(a: i64, b: i64) -> i64 { return a + b; }").unwrap();
+        assert_eq!(p.funcs[0].slots.len(), 2);
+        assert_eq!(p.funcs[0].num_params, 2);
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        let e = check_src("fn f() -> i64 { return x; }").unwrap_err();
+        assert!(e.msg.contains("undefined variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let e = check_src("fn f(a: i64) -> f64 { return a; }").unwrap_err();
+        assert!(e.msg.contains("type mismatch"), "{e}");
+    }
+
+    #[test]
+    fn float_literal_coerces_to_f32_in_decl() {
+        let p = check_src("fn f() { var x: f32 = 1.5; x = x * 2.0; }").unwrap();
+        match &p.funcs[0].body[0] {
+            CStmt::Var { init: Some(e), .. } => assert_eq!(e.ty, AstTy::F32),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_literal_coerces_on_rhs_of_binop() {
+        // 2.0 adapts to x's f32 even when the literal is on the left.
+        check_src("fn f(x: f32) -> f32 { return 2.0 * x; }").unwrap();
+    }
+
+    #[test]
+    fn mixed_float_widths_rejected() {
+        let e = check_src("fn f(a: f32, b: f64) -> f64 { return a + b; }").unwrap_err();
+        assert!(e.msg.contains("mixed") || e.msg.contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn pointer_indexing_types() {
+        let p = check_src("fn f(a: *i8) -> i64 { return a[0]; }").unwrap();
+        match &p.funcs[0].body[0] {
+            CStmt::Return(Some(e), _) => {
+                assert_eq!(e.ty, AstTy::I64, "i8 loads widen to i64");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let p = check_src("fn f(a: *f64) -> *f64 { return a + 3; }").unwrap();
+        match &p.funcs[0].body[0] {
+            CStmt::Return(Some(e), _) => match &e.kind {
+                CExprKind::PtrOp { elem_size, sub, .. } => {
+                    assert_eq!(*elem_size, 8);
+                    assert!(!sub);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_index_of_non_pointer() {
+        let e = check_src("fn f(a: i64) -> i64 { return a[0]; }").unwrap_err();
+        assert!(e.msg.contains("non-pointer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check_src("fn f() { break; }").unwrap_err();
+        assert!(e.msg.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn continue_in_for_is_ok() {
+        check_src("fn f() { for (var i: i64 = 0; i < 3; i = i + 1) { continue; } }").unwrap();
+    }
+
+    #[test]
+    fn call_checks_arity_and_types() {
+        let ok = check_src("fn g(x: i64) -> i64 { return x; } fn f() -> i64 { return g(1); }");
+        assert!(ok.is_ok());
+        let e = check_src("fn g(x: i64) -> i64 { return x; } fn f() -> i64 { return g(); }")
+            .unwrap_err();
+        assert!(e.msg.contains("argument"), "{e}");
+    }
+
+    #[test]
+    fn extern_calls_resolve_as_host() {
+        let p =
+            check_src("extern fn print_i64(v: i64); fn f() { print_i64(42); }").unwrap();
+        match &p.funcs[0].body[0] {
+            CStmt::Expr(CExpr {
+                kind: CExprKind::Call { is_host, .. },
+                ..
+            }) => assert!(*is_host),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_resolves_to_inner_slot() {
+        let p = check_src(
+            "fn f() -> i64 { var x: i64 = 1; if (true) { var x: i64 = 2; x = 3; } return x; }",
+        )
+        .unwrap();
+        // Two distinct slots exist.
+        assert_eq!(p.funcs[0].slots.len(), 2);
+    }
+
+    #[test]
+    fn bool_compare_limited_to_eq_ne() {
+        assert!(check_src("fn f(a: bool, b: bool) -> bool { return a == b; }").is_ok());
+        assert!(check_src("fn f(a: bool, b: bool) -> bool { return a < b; }").is_err());
+    }
+
+    #[test]
+    fn cast_rules() {
+        assert!(check_src("fn f(a: i64) -> f32 { return a as f32; }").is_ok());
+        assert!(check_src("fn f(p: *i8) -> *i64 { return p as *i64; }").is_ok());
+        assert!(check_src("fn f(b: bool) -> i64 { return b as i64; }").is_ok());
+        assert!(check_src("fn f(b: f32) -> bool { return b as bool; }").is_err());
+    }
+
+    #[test]
+    fn rem_rejected_on_floats() {
+        let e = check_src("fn f(a: f64) -> f64 { return a % 2.0; }").unwrap_err();
+        assert!(e.msg.contains("not defined"), "{e}");
+    }
+
+    #[test]
+    fn expression_statement_must_be_call() {
+        let e = check_src("fn f(a: i64) { a + 1; }").unwrap_err();
+        assert!(e.msg.contains("must be a call"), "{e}");
+    }
+
+    #[test]
+    fn void_return_mismatches() {
+        assert!(check_src("fn f() { return 1; }").is_err());
+        assert!(check_src("fn f() -> i64 { return; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let e = check_src("fn f() {} fn f() {}").unwrap_err();
+        assert!(e.msg.contains("duplicate"), "{e}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Textual form of MIR, for debugging and golden tests.
+
+use crate::function::Function;
+use crate::inst::{Inst, Term};
+use crate::module::Module;
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn @{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {}", self.ty_of(*p))?;
+        }
+        write!(f, ")")?;
+        if !self.ret_tys.is_empty() {
+            write!(f, " -> (")?;
+            for (i, t) in self.ret_tys.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        writeln!(f, " {{")?;
+        for (id, b) in self.iter_blocks() {
+            if b.line != 0 {
+                writeln!(f, "{id}:  ; line {}", b.line)?;
+            } else {
+                writeln!(f, "{id}:")?;
+            }
+            for inst in &b.insts {
+                writeln!(f, "  {}", DisplayInst { inst, func: self })?;
+            }
+            writeln!(f, "  {}", DisplayTerm { term: &b.term })?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.name)?;
+        for (_, func) in self.iter_funcs() {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+struct DisplayInst<'a> {
+    inst: &'a Inst,
+    func: &'a Function,
+}
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let _ = self.func;
+        match self.inst {
+            Inst::Bin { op, ty, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {ty} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::Cmp { op, ty, dst, lhs, rhs } => {
+                write!(f, "{dst} = cmp.{} {ty} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::Un { op, ty, dst, src } => {
+                let m = match op {
+                    crate::inst::UnOp::Neg => "neg",
+                    crate::inst::UnOp::FNeg => "fneg",
+                    crate::inst::UnOp::Not => "not",
+                };
+                write!(f, "{dst} = {m} {ty} {src}")
+            }
+            Inst::Fma { ty, dst, a, b, c } => write!(f, "{dst} = fma {ty} {a}, {b}, {c}"),
+            Inst::Load { dst, addr, mem, lanes, stride } => {
+                if *lanes == 1 {
+                    write!(f, "{dst} = load.{mem} {addr}")
+                } else {
+                    write!(f, "{dst} = vload.{mem}x{lanes} {addr}, stride {stride}")
+                }
+            }
+            Inst::Store { addr, val, mem, lanes, stride } => {
+                if *lanes == 1 {
+                    write!(f, "store.{mem} {addr}, {val}")
+                } else {
+                    write!(f, "vstore.{mem}x{lanes} {addr}, {val}, stride {stride}")
+                }
+            }
+            Inst::PtrAdd { dst, base, offset } => write!(f, "{dst} = ptradd {base}, {offset}"),
+            Inst::Select { ty, dst, cond, t, f: fv } => {
+                write!(f, "{dst} = select {ty} {cond}, {t}, {fv}")
+            }
+            Inst::Cast { kind, dst, src } => {
+                let m = match kind {
+                    crate::inst::CastKind::IntToFloat => "sitofp",
+                    crate::inst::CastKind::FloatToInt => "fptosi",
+                    crate::inst::CastKind::FloatCast => "fpcast",
+                    crate::inst::CastKind::IntToPtr => "inttoptr",
+                    crate::inst::CastKind::PtrToInt => "ptrtoint",
+                };
+                write!(f, "{dst} = {m} {src}")
+            }
+            Inst::Copy { ty, dst, src } => write!(f, "{dst} = copy {ty} {src}"),
+            Inst::Splat { ty, dst, src } => write!(f, "{dst} = splat {ty} {src}"),
+            Inst::Reduce { op, dst, src } => {
+                let m = match op {
+                    crate::inst::ReduceOp::Add => "reduce.add",
+                    crate::inst::ReduceOp::FAdd => "reduce.fadd",
+                };
+                write!(f, "{dst} = {m} {src}")
+            }
+            Inst::Call { dsts, callee, args } => {
+                if !dsts.is_empty() {
+                    for (i, d) in dsts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{d}")?;
+                    }
+                    write!(f, " = ")?;
+                }
+                write!(f, "call {callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::ProfCount(c) => write!(
+                f,
+                "profcount loads={} stores={} iops={} flops={}",
+                c.loaded_bytes, c.stored_bytes, c.int_ops, c.flops
+            ),
+        }
+    }
+}
+
+struct DisplayTerm<'a> {
+    term: &'a Term,
+}
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.term {
+            Term::Br(b) => write!(f, "br {b}"),
+            Term::CondBr { cond, t, f: fb } => write!(f, "condbr {cond}, {t}, {fb}"),
+            Term::Ret(vals) => {
+                write!(f, "ret")?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i == 0 {
+                        write!(f, " ")?;
+                    } else {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::function::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::{MemTy, Ty};
+    use crate::value::Operand;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut b = FunctionBuilder::new("axpy", &[Ty::Ptr, Ty::F32, Ty::I64], &[]);
+        let p = b.func().params[0];
+        let x = b.func().params[1];
+        let v = b.load(p.into(), MemTy::F32);
+        let s = b.bin(BinOp::FMul, Ty::F32, v.into(), x.into());
+        b.store(p.into(), s.into(), MemTy::F32);
+        b.ret(vec![]);
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("fn @axpy(%0: ptr, %1: f32, %2: i64)"), "{text}");
+        assert!(text.contains("%3 = load.f32 %0"), "{text}");
+        assert!(text.contains("%4 = fmul f32 %3, %1"), "{text}");
+        assert!(text.contains("store.f32 %0, %4"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn prints_vector_ops() {
+        let mut b = FunctionBuilder::new("v", &[Ty::Ptr], &[]);
+        let p = b.func().params[0];
+        let dst = b.fresh(Ty::VecF32(8));
+        b.push(crate::inst::Inst::Load {
+            dst,
+            addr: p.into(),
+            mem: MemTy::F32,
+            lanes: 8,
+            stride: crate::value::Operand::I64(4),
+        });
+        b.ret(vec![]);
+        let text = b.finish().to_string();
+        assert!(text.contains("vload.f32x8 %0, stride 4"), "{text}");
+    }
+
+    #[test]
+    fn prints_ret_values() {
+        let mut b = FunctionBuilder::new("two", &[], &[Ty::I64, Ty::I64]);
+        b.ret(vec![Operand::I64(1), Operand::I64(2)]);
+        let text = b.finish().to_string();
+        assert!(text.contains("ret 1, 2"), "{text}");
+        assert!(text.contains("-> (i64, i64)"), "{text}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Constant folding: instructions whose operands are all immediates are
+//! replaced by `copy` of the computed constant. Also applies a few safe
+//! integer algebraic identities (`x + 0`, `x * 1`, `x << 0`, ...).
+//!
+//! Floating-point identities (`x + 0.0`, `x * 1.0`) are *not* applied —
+//! they are unsound under IEEE-754 (signed zero, NaN).
+
+use super::ModulePass;
+use crate::function::Function;
+use crate::inst::{BinOp, CastKind, CmpOp, Inst, UnOp};
+use crate::module::Module;
+use crate::types::Ty;
+use crate::value::Operand;
+
+/// The constant-folding pass.
+pub struct ConstFold;
+
+impl ModulePass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for id in module.func_ids() {
+            changed |= fold_function(module.func_mut(id));
+        }
+        changed
+    }
+}
+
+/// Fold constants in one function; returns true on change.
+pub fn fold_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Some(new) = fold_inst(inst) {
+                *inst = new;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn fold_inst(inst: &Inst) -> Option<Inst> {
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } if !ty.is_vector() => {
+            if let Some(v) = eval_bin(*op, *lhs, *rhs) {
+                return Some(Inst::Copy {
+                    ty: *ty,
+                    dst: *dst,
+                    src: v,
+                });
+            }
+            identity_bin(*op, *ty, *dst, *lhs, *rhs)
+        }
+        Inst::Cmp { op, ty, dst, lhs, rhs } if !ty.is_vector() => {
+            let v = eval_cmp(*op, *lhs, *rhs)?;
+            Some(Inst::Copy {
+                ty: Ty::Bool,
+                dst: *dst,
+                src: Operand::Bool(v),
+            })
+        }
+        Inst::Un { op, ty, dst, src } => {
+            let v = match (op, src) {
+                (UnOp::Neg, Operand::I64(v)) => Operand::I64(v.wrapping_neg()),
+                (UnOp::FNeg, Operand::F32(v)) => Operand::F32(-v),
+                (UnOp::FNeg, Operand::F64(v)) => Operand::F64(-v),
+                (UnOp::Not, Operand::Bool(v)) => Operand::Bool(!v),
+                _ => return None,
+            };
+            Some(Inst::Copy {
+                ty: *ty,
+                dst: *dst,
+                src: v,
+            })
+        }
+        Inst::Select { ty, dst, cond, t, f } => match cond {
+            Operand::Bool(true) => Some(Inst::Copy {
+                ty: *ty,
+                dst: *dst,
+                src: *t,
+            }),
+            Operand::Bool(false) => Some(Inst::Copy {
+                ty: *ty,
+                dst: *dst,
+                src: *f,
+            }),
+            _ => None,
+        },
+        Inst::Cast { kind, dst, src } => {
+            let v = match (kind, src) {
+                (CastKind::IntToFloat, Operand::I64(v)) => {
+                    // Destination width is encoded in the dst register type,
+                    // which we cannot see here; fold only via f64 and let
+                    // the verifier-typed variant below handle f32.
+                    Operand::F64(*v as f64)
+                }
+                (CastKind::FloatToInt, Operand::F32(v)) => Operand::I64(*v as i64),
+                (CastKind::FloatToInt, Operand::F64(v)) => Operand::I64(*v as i64),
+                (CastKind::FloatCast, Operand::F32(v)) => Operand::F64(*v as f64),
+                (CastKind::FloatCast, Operand::F64(v)) => Operand::F32(*v as f32),
+                (CastKind::IntToPtr, Operand::I64(v)) => Operand::I64(*v),
+                (CastKind::PtrToInt, Operand::I64(v)) => Operand::I64(*v),
+                _ => return None,
+            };
+            // Only fold when the produced immediate type is unambiguous.
+            let ty = match (kind, &v) {
+                (CastKind::IntToFloat, _) => return None, // needs dst type; skip
+                (_, Operand::I64(_)) => Ty::I64,
+                (_, Operand::F32(_)) => Ty::F32,
+                (_, Operand::F64(_)) => Ty::F64,
+                _ => return None,
+            };
+            Some(Inst::Copy {
+                ty,
+                dst: *dst,
+                src: v,
+            })
+        }
+        Inst::PtrAdd { dst, base, offset } => match (base, offset) {
+            (Operand::I64(b), Operand::I64(o)) => Some(Inst::Copy {
+                ty: Ty::Ptr,
+                dst: *dst,
+                src: Operand::I64(b.wrapping_add(*o)),
+            }),
+            (b, Operand::I64(0)) => Some(Inst::Copy {
+                ty: Ty::Ptr,
+                dst: *dst,
+                src: *b,
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn eval_bin(op: BinOp, lhs: Operand, rhs: Operand) -> Option<Operand> {
+    match (lhs, rhs) {
+        (Operand::I64(a), Operand::I64(b)) => {
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return None; // preserve the trap
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                _ => return None,
+            };
+            Some(Operand::I64(v))
+        }
+        (Operand::F32(a), Operand::F32(b)) => {
+            let v = match op {
+                BinOp::FAdd => a + b,
+                BinOp::FSub => a - b,
+                BinOp::FMul => a * b,
+                BinOp::FDiv => a / b,
+                _ => return None,
+            };
+            Some(Operand::F32(v))
+        }
+        (Operand::F64(a), Operand::F64(b)) => {
+            let v = match op {
+                BinOp::FAdd => a + b,
+                BinOp::FSub => a - b,
+                BinOp::FMul => a * b,
+                BinOp::FDiv => a / b,
+                _ => return None,
+            };
+            Some(Operand::F64(v))
+        }
+        _ => None,
+    }
+}
+
+fn eval_cmp(op: CmpOp, lhs: Operand, rhs: Operand) -> Option<bool> {
+    let cmp_i = |a: i64, b: i64| match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    };
+    match (lhs, rhs) {
+        (Operand::I64(a), Operand::I64(b)) => Some(cmp_i(a, b)),
+        (Operand::Bool(a), Operand::Bool(b)) => match op {
+            CmpOp::Eq => Some(a == b),
+            CmpOp::Ne => Some(a != b),
+            _ => None,
+        },
+        (Operand::F64(a), Operand::F64(b)) => Some(match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }),
+        (Operand::F32(a), Operand::F32(b)) => Some(match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }),
+        _ => None,
+    }
+}
+
+/// Safe integer identities that rewrite to a copy.
+fn identity_bin(
+    op: BinOp,
+    ty: Ty,
+    dst: crate::value::Reg,
+    lhs: Operand,
+    rhs: Operand,
+) -> Option<Inst> {
+    if ty != Ty::I64 {
+        return None;
+    }
+    let copy = |src: Operand| {
+        Some(Inst::Copy {
+            ty,
+            dst,
+            src,
+        })
+    };
+    match (op, lhs, rhs) {
+        (BinOp::Add, x, Operand::I64(0)) | (BinOp::Add, Operand::I64(0), x) => copy(x),
+        (BinOp::Sub, x, Operand::I64(0)) => copy(x),
+        (BinOp::Mul, x, Operand::I64(1)) | (BinOp::Mul, Operand::I64(1), x) => copy(x),
+        (BinOp::Mul, _, Operand::I64(0)) | (BinOp::Mul, Operand::I64(0), _) => {
+            copy(Operand::I64(0))
+        }
+        (BinOp::Shl | BinOp::Shr, x, Operand::I64(0)) => copy(x),
+        (BinOp::And, _, Operand::I64(0)) | (BinOp::And, Operand::I64(0), _) => {
+            copy(Operand::I64(0))
+        }
+        (BinOp::Or | BinOp::Xor, x, Operand::I64(0)) | (BinOp::Or | BinOp::Xor, Operand::I64(0), x) => {
+            copy(x)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::value::Reg;
+
+    fn fold_one(inst: Inst) -> Option<Inst> {
+        fold_inst(&inst)
+    }
+
+    #[test]
+    fn folds_int_arith() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            dst: Reg(0),
+            lhs: Operand::I64(2),
+            rhs: Operand::I64(3),
+        };
+        match fold_one(i).unwrap() {
+            Inst::Copy { src, .. } => assert_eq!(src, Operand::I64(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let i = Inst::Bin {
+            op: BinOp::Div,
+            ty: Ty::I64,
+            dst: Reg(0),
+            lhs: Operand::I64(1),
+            rhs: Operand::I64(0),
+        };
+        assert!(fold_one(i).is_none(), "div by zero must trap at runtime");
+    }
+
+    #[test]
+    fn folds_float_arith() {
+        let i = Inst::Bin {
+            op: BinOp::FMul,
+            ty: Ty::F32,
+            dst: Reg(0),
+            lhs: Operand::F32(2.0),
+            rhs: Operand::F32(4.0),
+        };
+        match fold_one(i).unwrap() {
+            Inst::Copy { src, .. } => assert_eq!(src, Operand::F32(8.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn applies_integer_identities_only() {
+        let int_id = Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            dst: Reg(1),
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::I64(0),
+        };
+        assert!(fold_one(int_id).is_some());
+        let float_id = Inst::Bin {
+            op: BinOp::FAdd,
+            ty: Ty::F64,
+            dst: Reg(1),
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::F64(0.0),
+        };
+        assert!(fold_one(float_id).is_none(), "x + 0.0 is not an identity");
+    }
+
+    #[test]
+    fn folds_cmp_and_select() {
+        let c = Inst::Cmp {
+            op: CmpOp::Lt,
+            ty: Ty::I64,
+            dst: Reg(0),
+            lhs: Operand::I64(1),
+            rhs: Operand::I64(2),
+        };
+        match fold_one(c).unwrap() {
+            Inst::Copy { src, .. } => assert_eq!(src, Operand::Bool(true)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = Inst::Select {
+            ty: Ty::I64,
+            dst: Reg(0),
+            cond: Operand::Bool(false),
+            t: Operand::I64(1),
+            f: Operand::I64(2),
+        };
+        match fold_one(s).unwrap() {
+            Inst::Copy { src, .. } => assert_eq!(src, Operand::I64(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_in_function_context() {
+        let mut b = FunctionBuilder::new("f", &[], &[Ty::I64]);
+        let r = b.bin(BinOp::Mul, Ty::I64, Operand::I64(6), Operand::I64(7));
+        b.ret(vec![r.into()]);
+        let mut f = b.finish();
+        assert!(fold_function(&mut f));
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Copy {
+                src: Operand::I64(42),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shift_masking_matches_riscv_semantics() {
+        let i = Inst::Bin {
+            op: BinOp::Shl,
+            ty: Ty::I64,
+            dst: Reg(0),
+            lhs: Operand::I64(1),
+            rhs: Operand::I64(65), // masked to 1
+        };
+        match fold_one(i).unwrap() {
+            Inst::Copy { src, .. } => assert_eq!(src, Operand::I64(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

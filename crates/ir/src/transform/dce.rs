@@ -1,0 +1,169 @@
+//! Dead-code elimination.
+//!
+//! Conservative for non-SSA MIR: an instruction is removed only when it has
+//! no side effects and *none* of the registers it defines is read anywhere
+//! in the function. Iterates to a fixpoint so chains of dead definitions
+//! collapse.
+
+use super::ModulePass;
+use crate::function::Function;
+use crate::module::Module;
+use crate::value::Reg;
+
+/// The dead-code-elimination pass.
+pub struct Dce;
+
+impl ModulePass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for id in module.func_ids() {
+            changed |= eliminate(module.func_mut(id));
+        }
+        changed
+    }
+}
+
+/// Remove dead instructions from one function; returns true on change.
+pub fn eliminate(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        // Count reads of each register across the whole function.
+        let mut read = vec![false; f.num_regs()];
+        let mut scratch: Vec<Reg> = Vec::new();
+        for b in &f.blocks {
+            for inst in &b.insts {
+                scratch.clear();
+                inst.used_regs(&mut scratch);
+                for &r in &scratch {
+                    read[r.index()] = true;
+                }
+            }
+            let mut ops = Vec::new();
+            b.term.uses(&mut ops);
+            for op in ops {
+                if let Some(r) = op.as_reg() {
+                    read[r.index()] = true;
+                }
+            }
+        }
+        // Returned values count as reads implicitly via Term::Ret above.
+        let mut local = false;
+        for b in &mut f.blocks {
+            let before = b.insts.len();
+            b.insts.retain(|inst| {
+                if inst.has_side_effects() {
+                    return true;
+                }
+                let mut defs = Vec::new();
+                inst.defs(&mut defs);
+                if defs.is_empty() {
+                    // Def-less, effect-free instruction: useless.
+                    return false;
+                }
+                defs.iter().any(|d| read[d.index()])
+            });
+            local |= b.insts.len() != before;
+        }
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::inst::Inst;
+
+    fn func_after_dce(src: &str, name: &str) -> Function {
+        let mut m = compile("t", src).unwrap();
+        Dce.run_module(&mut m);
+        m.func_by_name(name).unwrap().clone()
+    }
+
+    #[test]
+    fn removes_unused_computation() {
+        let f = func_after_dce(
+            "fn f(a: i64) -> i64 { var dead: i64 = a * 99; return a; }",
+            "f",
+        );
+        assert_eq!(f.num_insts(), 0, "{f}");
+    }
+
+    #[test]
+    fn removes_dead_chains() {
+        let f = func_after_dce(
+            "fn f(a: i64) -> i64 { var x: i64 = a + 1; var y: i64 = x * 2; var z: i64 = y - 3; return a; }",
+            "f",
+        );
+        assert_eq!(f.num_insts(), 0, "dead chain should fully collapse: {f}");
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let src = r#"
+            extern fn sink(v: i64);
+            fn f(p: *i64) { p[0] = 1; sink(2); }
+        "#;
+        let f = func_after_dce(src, "f");
+        let stores = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        let calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(stores, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn keeps_loads_feeding_returns() {
+        let f = func_after_dce("fn f(p: *i64) -> i64 { return p[2]; }", "f");
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn removes_dead_loads_like_llvm() {
+        // A load with an unused result is removable (no volatile semantics
+        // in MIR).
+        let f = func_after_dce(
+            "fn f(p: *i64) -> i64 { var dead: i64 = p[0]; return 7; }",
+            "f",
+        );
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 0, "{f}");
+    }
+
+    #[test]
+    fn loop_counters_survive() {
+        let f = func_after_dce(
+            "fn f(n: i64) -> i64 { var i: i64 = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        assert!(f.num_insts() >= 2, "loop body must survive: {f}");
+    }
+}

@@ -1,0 +1,518 @@
+//! The roofline instrumentation pass — the paper's §4.2 pipeline:
+//!
+//! 1. **Loop Nest Identification** — walk each function's loop forest.
+//! 2. **Region Extraction** — validate SESE (inserting preheaders where
+//!    needed) and outline the region with the code extractor.
+//! 3. **Function Duplication** — clone the outlined function into an
+//!    instrumented variant with per-basic-block [`ProfCounts`] updates.
+//! 4. **Call Site Modification** — dispatch between the two variants on a
+//!    runtime flag, bracketed by `mperf.loop_begin` / `mperf.loop_end`
+//!    notifications (the paper's `mperf_roofline_internal_*` functions).
+//! 5. **Metric Collection** — the per-block counters accumulate bytes
+//!    loaded/stored, integer ops, and FLOPs into the active loop handle.
+
+use super::extractor::extract_region;
+use super::loop_simplify::ensure_preheader;
+use super::simplify_cfg;
+use crate::analysis::regions::{check_sese, SeseViolation};
+use crate::analysis::{Cfg, Dominators, LoopForest};
+use crate::function::BlockId;
+use crate::inst::{Callee, Inst, ProfCounts, Term};
+use crate::module::{FuncId, HostSig, LoopRegionInfo, Module};
+use crate::types::Ty;
+use crate::value::Operand;
+use std::collections::BTreeSet;
+
+/// Host function name: `mperf.loop_begin(region_id: i64)`.
+pub const HOST_LOOP_BEGIN: &str = "mperf.loop_begin";
+/// Host function name: `mperf.is_instrumented() -> bool`.
+pub const HOST_IS_INSTRUMENTED: &str = "mperf.is_instrumented";
+/// Host function name: `mperf.loop_end(region_id: i64)`.
+pub const HOST_LOOP_END: &str = "mperf.loop_end";
+
+/// Options controlling which loops are instrumented.
+#[derive(Debug, Clone)]
+pub struct InstrumentOptions {
+    /// Instrument nested loops individually in addition to top-level
+    /// nests. Default: false (one region per loop nest, like the paper).
+    pub nested: bool,
+    /// Restrict instrumentation to these functions (by name). `None`
+    /// means all non-synthetic functions.
+    pub target_funcs: Option<Vec<String>>,
+}
+
+impl Default for InstrumentOptions {
+    fn default() -> Self {
+        InstrumentOptions {
+            nested: false,
+            target_funcs: None,
+        }
+    }
+}
+
+/// Why a loop was skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLoop {
+    pub func: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Outcome of running the instrumentation pass.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentReport {
+    /// Number of loop regions successfully instrumented.
+    pub instrumented_loops: usize,
+    /// Loops that could not be made SESE, with reasons.
+    pub skipped: Vec<SkippedLoop>,
+}
+
+/// The instrumentation pass. See the module docs for the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentPass {
+    opts: InstrumentOptions,
+}
+
+impl InstrumentPass {
+    /// Create the pass with the given options.
+    pub fn new(opts: InstrumentOptions) -> InstrumentPass {
+        InstrumentPass { opts }
+    }
+
+    /// Run over every eligible function in `module`.
+    pub fn run(&self, module: &mut Module) -> InstrumentReport {
+        declare_runtime(module);
+        let mut report = InstrumentReport::default();
+        for fid in module.func_ids() {
+            let f = module.func(fid);
+            if f.synthetic {
+                continue;
+            }
+            if let Some(targets) = &self.opts.target_funcs {
+                if !targets.contains(&f.name) {
+                    continue;
+                }
+            }
+            self.run_on_function(module, fid, &mut report);
+        }
+        report
+    }
+
+    fn run_on_function(&self, module: &mut Module, fid: FuncId, report: &mut InstrumentReport) {
+        // Headers already attempted (ids are stable: extraction appends
+        // blocks and stubs old ones without compacting).
+        let mut done: BTreeSet<BlockId> = BTreeSet::new();
+        loop {
+            let f = module.func(fid);
+            let cfg = Cfg::compute(f);
+            let dom = Dominators::compute(f, &cfg);
+            let forest = LoopForest::compute(f, &cfg, &dom);
+            let candidates: Vec<BlockId> = if self.opts.nested {
+                forest.loops().iter().map(|l| l.header).collect()
+            } else {
+                forest
+                    .top_level()
+                    .iter()
+                    .map(|&id| forest.get(id).header)
+                    .collect()
+            };
+            let Some(header) = candidates.into_iter().find(|h| !done.contains(h)) else {
+                break;
+            };
+            done.insert(header);
+            self.instrument_loop(module, fid, header, report);
+        }
+        simplify_cfg::remove_unreachable(module.func_mut(fid));
+    }
+
+    fn instrument_loop(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        header: BlockId,
+        report: &mut InstrumentReport,
+    ) {
+        let func_name = module.func(fid).name.clone();
+        // Step 2 precondition: dedicated preheader (LoopSimplify).
+        if ensure_preheader(module.func_mut(fid), header).is_none() {
+            report.skipped.push(SkippedLoop {
+                func: func_name,
+                line: module.func(fid).block(header).line,
+                reason: "loop vanished during canonicalization".into(),
+            });
+            return;
+        }
+        // Re-analyze and validate SESE.
+        let f = module.func(fid);
+        let cfg = Cfg::compute(f);
+        let dom = Dominators::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        let Some(lp) = forest.loops().iter().find(|l| l.header == header) else {
+            report.skipped.push(SkippedLoop {
+                func: func_name,
+                line: f.block(header).line,
+                reason: "loop vanished during canonicalization".into(),
+            });
+            return;
+        };
+        let depth = lp.depth;
+        let line = f.block(header).line;
+        let region = match check_sese(f, &cfg, lp) {
+            Ok(r) => r,
+            Err(v) => {
+                report.skipped.push(SkippedLoop {
+                    func: func_name,
+                    line,
+                    reason: sese_reason(&v),
+                });
+                return;
+            }
+        };
+
+        // Step 2: extraction.
+        let region_id = module.next_region_id();
+        let k = module
+            .loop_regions
+            .iter()
+            .filter(|r| r.source_func == func_name)
+            .count();
+        let outlined_name = format!("{func_name}_loop{k}_outlined");
+        let instrumented_name = format!("{func_name}_loop{k}_instrumented");
+        let ext = extract_region(module, fid, &region, &outlined_name);
+
+        // Step 3: duplication with counters.
+        let instrumented = make_instrumented(module, ext.func, &instrumented_name);
+
+        // Step 4: call-site dispatch.
+        rewrite_call_site(module, fid, ext.call_block, instrumented, region_id);
+
+        module.loop_regions.push(LoopRegionInfo {
+            id: region_id,
+            source_func: func_name,
+            line,
+            outlined: ext.func,
+            instrumented,
+            depth,
+            has_calls: ext.region_has_calls,
+        });
+        report.instrumented_loops += 1;
+    }
+}
+
+fn sese_reason(v: &SeseViolation) -> String {
+    format!("not a SESE region: {v}")
+}
+
+/// Declare the runtime notification functions (idempotent).
+fn declare_runtime(module: &mut Module) {
+    module.declare_host(HostSig {
+        name: HOST_LOOP_BEGIN.into(),
+        param_tys: vec![Ty::I64],
+        ret_tys: vec![],
+    });
+    module.declare_host(HostSig {
+        name: HOST_IS_INSTRUMENTED.into(),
+        param_tys: vec![],
+        ret_tys: vec![Ty::Bool],
+    });
+    module.declare_host(HostSig {
+        name: HOST_LOOP_END.into(),
+        param_tys: vec![Ty::I64],
+        ret_tys: vec![],
+    });
+}
+
+/// Clone `outlined` into an instrumented variant: every block gets a
+/// [`ProfCounts`] update summarizing its static op tallies (step 5).
+fn make_instrumented(module: &mut Module, outlined: FuncId, name: &str) -> FuncId {
+    let mut g = module.func(outlined).clone();
+    g.name = name.to_string();
+    g.synthetic = true;
+    for block in &mut g.blocks {
+        let counts = block
+            .insts
+            .iter()
+            .map(Inst::prof_counts)
+            .fold(ProfCounts::default(), ProfCounts::merge);
+        if !counts.is_zero() {
+            block.insts.push(Inst::ProfCount(counts));
+        }
+    }
+    module.add_func(g)
+}
+
+/// Rewrite the extractor's plain call block into the paper's dispatch:
+///
+/// ```text
+/// LoopHandle begin(region_id);
+/// if (mperf.is_instrumented()) outs = instrumented(args);
+/// else                         outs = outlined(args);
+/// mperf.loop_end(region_id);
+/// ```
+fn rewrite_call_site(
+    module: &mut Module,
+    fid: FuncId,
+    call_block: BlockId,
+    instrumented: FuncId,
+    region_id: u32,
+) {
+    let f = module.func_mut(fid);
+    let cb = f.block_mut(call_block);
+    let call_inst = cb
+        .insts
+        .pop()
+        .expect("extractor leaves exactly one call in the call block");
+    let Term::Br(exit_target) = cb.term.clone() else {
+        panic!("extractor call block ends in an unconditional branch");
+    };
+    let Inst::Call { dsts, callee, args } = call_inst else {
+        panic!("extractor call block contains a call");
+    };
+
+    let flag = f.fresh_reg(Ty::Bool);
+    let bb_instr = f.add_block();
+    let bb_plain = f.add_block();
+    let bb_end = f.add_block();
+
+    {
+        let cb = f.block_mut(call_block);
+        cb.insts.push(Inst::Call {
+            dsts: vec![],
+            callee: Callee::Host(HOST_LOOP_BEGIN.into()),
+            args: vec![Operand::I64(region_id as i64)],
+        });
+        cb.insts.push(Inst::Call {
+            dsts: vec![flag],
+            callee: Callee::Host(HOST_IS_INSTRUMENTED.into()),
+            args: vec![],
+        });
+        cb.term = Term::CondBr {
+            cond: Operand::Reg(flag),
+            t: bb_instr,
+            f: bb_plain,
+        };
+    }
+    {
+        let bi = f.block_mut(bb_instr);
+        bi.insts.push(Inst::Call {
+            dsts: dsts.clone(),
+            callee: Callee::Func(instrumented),
+            args: args.clone(),
+        });
+        bi.term = Term::Br(bb_end);
+    }
+    {
+        let bp = f.block_mut(bb_plain);
+        bp.insts.push(Inst::Call {
+            dsts,
+            callee,
+            args,
+        });
+        bp.term = Term::Br(bb_end);
+    }
+    {
+        let be = f.block_mut(bb_end);
+        be.insts.push(Inst::Call {
+            dsts: vec![],
+            callee: Callee::Host(HOST_LOOP_END.into()),
+            args: vec![Operand::I64(region_id as i64)],
+        });
+        be.term = Term::Br(exit_target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::verify::verify_module;
+
+    fn instrument(src: &str) -> (Module, InstrumentReport) {
+        let mut m = compile("t", src).unwrap();
+        let report = InstrumentPass::new(InstrumentOptions::default()).run(&mut m);
+        verify_module(&m).expect("instrumented module verifies");
+        (m, report)
+    }
+
+    const MATMUL: &str = r#"
+        fn matmul(a: *f32, b: *f32, c: *f32, n: i64) {
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                for (var j: i64 = 0; j < n; j = j + 1) {
+                    var sum: f32 = 0.0;
+                    for (var k: i64 = 0; k < n; k = k + 1) {
+                        sum = sum + a[i * n + k] * b[k * n + j];
+                    }
+                    c[i * n + j] = sum;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn instruments_matmul_nest_once() {
+        let (m, report) = instrument(MATMUL);
+        assert_eq!(report.instrumented_loops, 1, "{report:?}");
+        assert_eq!(m.loop_regions.len(), 1);
+        let info = &m.loop_regions[0];
+        assert_eq!(info.source_func, "matmul");
+        assert!(!info.has_calls);
+        assert_eq!(info.depth, 1);
+        // Both clones exist and are synthetic.
+        assert!(m.func(info.outlined).synthetic);
+        assert!(m.func(info.instrumented).synthetic);
+        assert!(m.func(info.outlined).name.ends_with("_outlined"));
+        assert!(m.func(info.instrumented).name.ends_with("_instrumented"));
+    }
+
+    #[test]
+    fn instrumented_clone_has_profcounts() {
+        let (m, _) = instrument(MATMUL);
+        let info = &m.loop_regions[0];
+        let g = m.func(info.instrumented);
+        let counts: Vec<&ProfCounts> = g
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::ProfCount(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(!counts.is_empty(), "{g}");
+        // The innermost block must count 2 flops (fma) and 8 bytes loaded.
+        let inner = counts
+            .iter()
+            .find(|c| c.flops > 0)
+            .expect("fp block counted");
+        assert!(inner.loaded_bytes >= 8, "{inner:?}");
+        // The outlined clone has none.
+        let o = m.func(info.outlined);
+        assert!(o
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .all(|i| !matches!(i, Inst::ProfCount(_))));
+    }
+
+    #[test]
+    fn call_site_dispatches_on_runtime_flag() {
+        let (m, _) = instrument(MATMUL);
+        let f = m.func_by_name("matmul").unwrap();
+        let host_calls: Vec<String> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::Call {
+                    callee: Callee::Host(h),
+                    ..
+                } => Some(h.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(host_calls.contains(&HOST_LOOP_BEGIN.to_string()), "{host_calls:?}");
+        assert!(host_calls.contains(&HOST_IS_INSTRUMENTED.to_string()));
+        assert!(host_calls.contains(&HOST_LOOP_END.to_string()));
+        // Two guest calls: one to each clone.
+        let guest_calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { callee: Callee::Func(_), .. }))
+            .count();
+        assert_eq!(guest_calls, 2);
+    }
+
+    #[test]
+    fn multiple_top_level_loops_all_instrumented() {
+        let src = r#"
+            fn two(a: *f64, n: i64) {
+                for (var i: i64 = 0; i < n; i = i + 1) { a[i] = 1.0; }
+                for (var j: i64 = 0; j < n; j = j + 1) { a[j] = a[j] * 2.0; }
+            }
+        "#;
+        let (m, report) = instrument(src);
+        assert_eq!(report.instrumented_loops, 2, "{report:?}");
+        assert_eq!(m.loop_regions.len(), 2);
+        assert_ne!(m.loop_regions[0].id, m.loop_regions[1].id);
+    }
+
+    #[test]
+    fn loops_with_calls_are_flagged() {
+        let src = r#"
+            fn leaf(x: f64) -> f64 { return x * 2.0; }
+            fn f(a: *f64, n: i64) {
+                for (var i: i64 = 0; i < n; i = i + 1) { a[i] = leaf(a[i]); }
+            }
+        "#;
+        let (m, report) = instrument(src);
+        // `leaf` has no loops; `f`'s loop contains a call.
+        assert_eq!(report.instrumented_loops, 1);
+        assert!(m.loop_regions[0].has_calls);
+    }
+
+    #[test]
+    fn nested_option_instruments_inner_loops_of_clones_only_once() {
+        let (m, report) = instrument(MATMUL);
+        // Default: only the outermost nest. The clones are synthetic and
+        // not re-instrumented.
+        assert_eq!(report.instrumented_loops, 1);
+        let names: Vec<&str> = m.iter_funcs().map(|(_, f)| f.name.as_str()).collect();
+        assert_eq!(
+            names.len(),
+            3,
+            "matmul + 2 clones, no recursive instrumentation: {names:?}"
+        );
+    }
+
+    #[test]
+    fn target_funcs_filter_limits_scope() {
+        let src = r#"
+            fn a(p: *f64, n: i64) { for (var i: i64 = 0; i < n; i = i + 1) { p[i] = 0.0; } }
+            fn b(p: *f64, n: i64) { for (var i: i64 = 0; i < n; i = i + 1) { p[i] = 1.0; } }
+        "#;
+        let mut m = compile("t", src).unwrap();
+        let report = InstrumentPass::new(InstrumentOptions {
+            target_funcs: Some(vec!["a".into()]),
+            ..InstrumentOptions::default()
+        })
+        .run(&mut m);
+        assert_eq!(report.instrumented_loops, 1);
+        assert_eq!(m.loop_regions[0].source_func, "a");
+    }
+
+    #[test]
+    fn region_metadata_has_source_line() {
+        let (m, _) = instrument(MATMUL);
+        assert!(m.loop_regions[0].line > 0, "line info propagated");
+    }
+
+    #[test]
+    fn loop_with_early_return_is_skipped_not_miscompiled() {
+        // Regression: early `return` blocks must never be absorbed into
+        // a SESE region — the outlined clone cannot represent leaving
+        // the original function (found by instrumenting patternCompare).
+        let src = r#"
+            fn find(p: *i64, n: i64, needle: i64) -> i64 {
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    if (p[i] == needle) { return i; }
+                }
+                return -1;
+            }
+        "#;
+        let (m, report) = instrument(src);
+        // The loop is skipped (not SESE) and the module still verifies
+        // (`instrument` checks that).
+        assert_eq!(report.instrumented_loops, 0, "{report:?}");
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].reason.contains("SESE"), "{report:?}");
+        assert_eq!(m.num_funcs(), 1);
+    }
+
+    #[test]
+    fn straightline_function_untouched() {
+        let (m, report) = instrument("fn f(a: i64) -> i64 { return a + 1; }");
+        assert_eq!(report.instrumented_loops, 0);
+        assert_eq!(m.num_funcs(), 1);
+    }
+}

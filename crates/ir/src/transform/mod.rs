@@ -1,0 +1,93 @@
+//! Transformations over MIR: classic cleanup passes, the code extractor,
+//! the roofline instrumentation pass, FMA fusion, and the loop vectorizer.
+
+pub mod const_fold;
+pub mod dce;
+pub mod extractor;
+pub mod fma;
+pub mod instrument;
+pub mod loop_simplify;
+pub mod simplify_cfg;
+pub mod strength_reduce;
+pub mod vectorize;
+
+use crate::module::Module;
+
+/// A module-level transformation pass.
+pub trait ModulePass {
+    /// Short machine-readable pass name (e.g. `"simplify-cfg"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the pass; returns true if the module changed.
+    fn run_module(&self, module: &mut Module) -> bool;
+}
+
+/// A straightforward pass pipeline: runs passes in order, optionally
+/// verifying after each one (enabled in debug builds and tests).
+pub struct PassManager {
+    passes: Vec<Box<dyn ModulePass>>,
+    verify_each: bool,
+}
+
+impl PassManager {
+    /// An empty pipeline. Verification-between-passes defaults to on in
+    /// debug builds.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: cfg!(debug_assertions),
+        }
+    }
+
+    /// Enable or disable verification after each pass.
+    pub fn verify_each(&mut self, on: bool) -> &mut Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Run all passes in order; returns the names of passes that changed
+    /// the module.
+    ///
+    /// # Panics
+    /// Panics if inter-pass verification is enabled and a pass breaks the
+    /// module (this is a compiler bug, not a user error).
+    pub fn run(&self, module: &mut Module) -> Vec<&'static str> {
+        let mut changed = Vec::new();
+        for pass in &self.passes {
+            if pass.run_module(module) {
+                changed.push(pass.name());
+            }
+            if self.verify_each {
+                if let Err(e) = crate::verify::verify_module(module) {
+                    panic!("pass {} broke the module: {e}", pass.name());
+                }
+            }
+        }
+        changed
+    }
+
+    /// The standard optimization pipeline used before instrumentation
+    /// (mirroring "we apply our pass late in the optimization pipeline",
+    /// paper §4.4): simplify-cfg → const-fold → DCE → FMA fusion.
+    pub fn standard() -> PassManager {
+        let mut pm = PassManager::new();
+        pm.add(simplify_cfg::SimplifyCfg)
+            .add(const_fold::ConstFold)
+            .add(strength_reduce::StrengthReduce)
+            .add(dce::Dce)
+            .add(fma::FmaFusion);
+        pm
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}

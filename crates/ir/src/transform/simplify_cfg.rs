@@ -1,0 +1,232 @@
+//! CFG simplification: constant-branch folding, unreachable-block removal,
+//! and straight-line block merging.
+
+use super::ModulePass;
+use crate::analysis::Cfg;
+use crate::function::{BlockId, Function};
+use crate::inst::Term;
+use crate::module::Module;
+use crate::value::Operand;
+
+/// The simplify-cfg pass.
+pub struct SimplifyCfg;
+
+impl ModulePass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for id in module.func_ids() {
+            changed |= simplify_function(module.func_mut(id));
+        }
+        changed
+    }
+}
+
+/// Run all simplifications on one function until fixpoint.
+pub fn simplify_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        local |= fold_constant_branches(f);
+        local |= remove_unreachable(f);
+        local |= merge_straightline(f);
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Replace `condbr true/false` and `condbr c, x, x` with plain branches.
+pub fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        if let Term::CondBr { cond, t, f: fb } = &b.term {
+            let new = match cond {
+                Operand::Bool(true) => Some(*t),
+                Operand::Bool(false) => Some(*fb),
+                _ if t == fb => Some(*t),
+                _ => None,
+            };
+            if let Some(target) = new {
+                b.term = Term::Br(target);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove unreachable blocks, compacting block ids. The entry keeps id 0.
+pub fn remove_unreachable(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let n = f.num_blocks();
+    let reachable: Vec<bool> = (0..n)
+        .map(|i| cfg.is_reachable(BlockId(i as u32)))
+        .collect();
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    let mut remap: Vec<Option<BlockId>> = vec![None; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reachable[i] {
+            remap[i] = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut b) in old_blocks.into_iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        b.term
+            .map_succs(|s| remap[s.index()].expect("reachable block branches to reachable block"));
+        f.blocks.push(b);
+    }
+    true
+}
+
+/// Merge `a -> b` when `a` ends in an unconditional branch to `b` and `b`
+/// has exactly one predecessor. Also skips over empty forwarding blocks.
+pub fn merge_straightline(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::compute(f);
+        let mut merged = false;
+        for a_idx in 0..f.num_blocks() {
+            let a = BlockId(a_idx as u32);
+            if !cfg.is_reachable(a) {
+                continue;
+            }
+            let Term::Br(b) = f.block(a).term else {
+                continue;
+            };
+            if b == a || b == f.entry() {
+                continue;
+            }
+            if cfg.preds(b).len() != 1 {
+                continue;
+            }
+            // Move b's contents into a.
+            let b_block = f.block(b).clone();
+            let a_mut = f.block_mut(a);
+            a_mut.insts.extend(b_block.insts);
+            a_mut.term = b_block.term;
+            if a_mut.line == 0 {
+                a_mut.line = b_block.line;
+            }
+            // b becomes unreachable; clean it next round.
+            let b_mut = f.block_mut(b);
+            b_mut.insts.clear();
+            b_mut.term = Term::Br(b);
+            merged = true;
+            break;
+        }
+        if merged {
+            remove_unreachable(f);
+            changed = true;
+        } else {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::function::FunctionBuilder;
+    use crate::types::Ty;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn folds_constant_true_branch() {
+        let mut b = FunctionBuilder::new("f", &[], &[]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Operand::Bool(true), t, e);
+        b.switch_to(t);
+        b.ret(vec![]);
+        b.switch_to(e);
+        b.ret(vec![]);
+        let mut f = b.finish();
+        assert!(simplify_function(&mut f));
+        // Entry merged with `t`, `e` removed.
+        assert_eq!(f.num_blocks(), 1);
+        assert!(verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn folds_same_target_condbr() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Bool], &[]);
+        let c = b.func().params[0];
+        let t = b.new_block();
+        b.cond_br(c.into(), t, t);
+        b.switch_to(t);
+        b.ret(vec![]);
+        let mut f = b.finish();
+        assert!(simplify_function(&mut f));
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let mut b = FunctionBuilder::new("f", &[], &[]);
+        let dead = b.new_block();
+        b.ret(vec![]);
+        b.switch_to(dead);
+        b.ret(vec![]);
+        let mut f = b.finish();
+        assert!(remove_unreachable(&mut f));
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn keeps_loops_intact() {
+        let src = "fn f(n: i64) -> i64 { var i: i64 = 0; while (i < n) { i = i + 1; } return i; }";
+        let mut m = compile("t", src).unwrap();
+        SimplifyCfg.run_module(&mut m);
+        let f = m.func_by_name("f").unwrap();
+        assert!(verify_function(f, Some(&m)).is_ok());
+        // The loop must still exist: some block must branch backwards.
+        let cfg = Cfg::compute(f);
+        let dom = crate::analysis::Dominators::compute(f, &cfg);
+        let forest = crate::analysis::LoopForest::compute(f, &cfg, &dom);
+        assert_eq!(forest.len(), 1);
+    }
+
+    #[test]
+    fn merge_does_not_touch_multi_pred_blocks() {
+        let src = r#"
+            fn f(c: bool) -> i64 {
+                var x: i64 = 0;
+                if (c) { x = 1; } else { x = 2; }
+                return x;
+            }
+        "#;
+        let mut m = compile("t", src).unwrap();
+        SimplifyCfg.run_module(&mut m);
+        let f = m.func_by_name("f").unwrap();
+        assert!(verify_function(f, Some(&m)).is_ok());
+        // Join block (2 preds) must survive as a separate block.
+        assert!(f.num_blocks() >= 3, "{f}");
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let src = "fn f(n: i64) -> i64 { var s: i64 = 0; for (var i: i64 = 0; i < n; i = i + 1) { s = s + i; } return s; }";
+        let mut m = compile("t", src).unwrap();
+        SimplifyCfg.run_module(&mut m);
+        let before = m.func_by_name("f").unwrap().to_string();
+        let changed = SimplifyCfg.run_module(&mut m);
+        let after = m.func_by_name("f").unwrap().to_string();
+        assert!(!changed);
+        assert_eq!(before, after);
+    }
+}

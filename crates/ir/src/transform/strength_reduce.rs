@@ -1,0 +1,306 @@
+//! Strength reduction: rewrite expensive integer operations with
+//! power-of-two constant operands into shift/mask sequences, preserving
+//! signed (truncating) division semantics.
+//!
+//! - `x * 2^k`  → `x << k`
+//! - `x / 2^k`  → `(x + ((x >> 63) & (2^k - 1))) >> k`
+//! - `x % 2^k`  → `low - bias` where `bias = (x >> 63) & (2^k - 1)` and
+//!   `low = (x + bias) & (2^k - 1)`
+//!
+//! Without this, interpreter-style code full of `i % 64` would bottleneck
+//! on the simulated divider — something no production compiler lets
+//! happen, which would skew every IPC measurement in the evaluation.
+
+use super::ModulePass;
+use crate::function::Function;
+use crate::inst::{BinOp, Inst};
+use crate::module::Module;
+use crate::types::Ty;
+use crate::value::{Operand, Reg};
+
+/// The strength-reduction pass.
+pub struct StrengthReduce;
+
+impl ModulePass for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+
+    fn run_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for id in module.func_ids() {
+            changed |= reduce_function(module.func_mut(id));
+        }
+        changed
+    }
+}
+
+/// Apply strength reduction to one function; returns true on change.
+pub fn reduce_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in 0..f.num_blocks() {
+        let mut i = 0;
+        while i < f.blocks[b].insts.len() {
+            let replacement = match &f.blocks[b].insts[i] {
+                Inst::Bin {
+                    op,
+                    ty: Ty::I64,
+                    dst,
+                    lhs,
+                    rhs: Operand::I64(d),
+                } if *d > 1 && (*d as u64).is_power_of_two() => {
+                    let k = d.trailing_zeros() as i64;
+                    match op {
+                        BinOp::Mul => Some(vec![Inst::Bin {
+                            op: BinOp::Shl,
+                            ty: Ty::I64,
+                            dst: *dst,
+                            lhs: *lhs,
+                            rhs: Operand::I64(k),
+                        }]),
+                        BinOp::Div => Some(emit_div(f, *dst, *lhs, *d, k)),
+                        BinOp::Rem => Some(emit_rem(f, *dst, *lhs, *d)),
+                        _ => None,
+                    }
+                }
+                // Multiplication is commutative; handle 2^k * x too.
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::I64,
+                    dst,
+                    lhs: Operand::I64(d),
+                    rhs,
+                } if *d > 1 && (*d as u64).is_power_of_two() => {
+                    let k = d.trailing_zeros() as i64;
+                    Some(vec![Inst::Bin {
+                        op: BinOp::Shl,
+                        ty: Ty::I64,
+                        dst: *dst,
+                        lhs: *rhs,
+                        rhs: Operand::I64(k),
+                    }])
+                }
+                _ => None,
+            };
+            match replacement {
+                Some(seq) => {
+                    let n = seq.len();
+                    f.blocks[b].insts.splice(i..=i, seq);
+                    i += n;
+                    changed = true;
+                }
+                None => i += 1,
+            }
+        }
+    }
+    changed
+}
+
+/// `dst = lhs / 2^k` with truncating signed semantics:
+/// `bias = (x >> 63) & (d-1); dst = (x + bias) >> k`.
+fn emit_div(f: &mut Function, dst: Reg, x: Operand, d: i64, k: i64) -> Vec<Inst> {
+    let sign = f.fresh_reg(Ty::I64);
+    let bias = f.fresh_reg(Ty::I64);
+    let sum = f.fresh_reg(Ty::I64);
+    vec![
+        Inst::Bin {
+            op: BinOp::Shr,
+            ty: Ty::I64,
+            dst: sign,
+            lhs: x,
+            rhs: Operand::I64(63),
+        },
+        Inst::Bin {
+            op: BinOp::And,
+            ty: Ty::I64,
+            dst: bias,
+            lhs: sign.into(),
+            rhs: Operand::I64(d - 1),
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            dst: sum,
+            lhs: x,
+            rhs: bias.into(),
+        },
+        Inst::Bin {
+            op: BinOp::Shr,
+            ty: Ty::I64,
+            dst,
+            lhs: sum.into(),
+            rhs: Operand::I64(k),
+        },
+    ]
+}
+
+/// `dst = lhs % 2^k`:
+/// `bias = (x >> 63) & (d-1); dst = ((x + bias) & (d-1)) - bias`.
+fn emit_rem(f: &mut Function, dst: Reg, x: Operand, d: i64) -> Vec<Inst> {
+    let sign = f.fresh_reg(Ty::I64);
+    let bias = f.fresh_reg(Ty::I64);
+    let sum = f.fresh_reg(Ty::I64);
+    let low = f.fresh_reg(Ty::I64);
+    vec![
+        Inst::Bin {
+            op: BinOp::Shr,
+            ty: Ty::I64,
+            dst: sign,
+            lhs: x,
+            rhs: Operand::I64(63),
+        },
+        Inst::Bin {
+            op: BinOp::And,
+            ty: Ty::I64,
+            dst: bias,
+            lhs: sign.into(),
+            rhs: Operand::I64(d - 1),
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            dst: sum,
+            lhs: x,
+            rhs: bias.into(),
+        },
+        Inst::Bin {
+            op: BinOp::And,
+            ty: Ty::I64,
+            dst: low,
+            lhs: sum.into(),
+            rhs: Operand::I64(d - 1),
+        },
+        Inst::Bin {
+            op: BinOp::Sub,
+            ty: Ty::I64,
+            dst,
+            lhs: low.into(),
+            rhs: bias.into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::verify::verify_module;
+
+    fn reduced(src: &str, name: &str) -> Function {
+        let mut m = compile("t", src).unwrap();
+        StrengthReduce.run_module(&mut m);
+        verify_module(&m).unwrap();
+        m.func_by_name(name).unwrap().clone()
+    }
+
+    fn count_divs(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::Div | BinOp::Rem,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn pow2_mul_becomes_shift() {
+        let f = reduced("fn f(x: i64) -> i64 { return x * 8; }", "f");
+        let has_shl = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Shl, rhs: Operand::I64(3), .. }));
+        assert!(has_shl, "{f}");
+    }
+
+    #[test]
+    fn pow2_div_and_rem_eliminated() {
+        let f = reduced(
+            "fn f(x: i64) -> i64 { return x / 64 + x % 16; }",
+            "f",
+        );
+        assert_eq!(count_divs(&f), 0, "{f}");
+    }
+
+    #[test]
+    fn non_pow2_untouched() {
+        let f = reduced("fn f(x: i64) -> i64 { return x % 13 + x / 7; }", "f");
+        assert_eq!(count_divs(&f), 2);
+    }
+
+    #[test]
+    fn semantics_preserved_for_signed_values() {
+        // Execute both forms symbolically via const-fold: compile a
+        // function of a constant, reduce, then fold and compare.
+        for x in [-17i64, -5, -1, 0, 1, 5, 63, 64, 65, -64, -65] {
+            for d in [2i64, 4, 8, 64] {
+                let src = format!("fn f(x: i64) -> i64 {{ return x / {d} * 1000 + x % {d}; }}");
+                let mut m = compile("t", &src).unwrap();
+                StrengthReduce.run_module(&mut m);
+                // Interpret the reduced sequence by constant folding with
+                // a known input: simulate by substituting the param.
+                // (Cheap check: use the closed form.)
+                let expected = x / d * 1000 + x % d;
+                // Evaluate the reduced IR manually.
+                let f = m.func_by_name("f").unwrap();
+                let mut regs = vec![0i64; f.num_regs()];
+                regs[f.params[0].index()] = x;
+                let mut block = f.entry();
+                let result;
+                'outer: loop {
+                    let b = f.block(block);
+                    for inst in &b.insts {
+                        if let Inst::Bin { op, dst, lhs, rhs, .. } = inst {
+                            let ev = |o: &Operand, regs: &[i64]| match o {
+                                Operand::Reg(r) => regs[r.index()],
+                                Operand::I64(v) => *v,
+                                _ => unreachable!(),
+                            };
+                            let (a, c) = (ev(lhs, &regs), ev(rhs, &regs));
+                            regs[dst.index()] = match op {
+                                BinOp::Add => a.wrapping_add(c),
+                                BinOp::Sub => a.wrapping_sub(c),
+                                BinOp::Mul => a.wrapping_mul(c),
+                                BinOp::Shl => a.wrapping_shl(c as u32),
+                                BinOp::Shr => a.wrapping_shr(c as u32),
+                                BinOp::And => a & c,
+                                BinOp::Or => a | c,
+                                BinOp::Xor => a ^ c,
+                                BinOp::Div => a / c,
+                                BinOp::Rem => a % c,
+                                other => unreachable!("{other:?}"),
+                            };
+                        } else if let Inst::Copy { dst, src, .. } = inst {
+                            let v = match src {
+                                Operand::Reg(r) => regs[r.index()],
+                                Operand::I64(v) => *v,
+                                _ => unreachable!(),
+                            };
+                            regs[dst.index()] = v;
+                        }
+                    }
+                    match &b.term {
+                        crate::inst::Term::Ret(vals) => {
+                            result = match &vals[0] {
+                                Operand::Reg(r) => regs[r.index()],
+                                Operand::I64(v) => *v,
+                                _ => unreachable!(),
+                            };
+                            break 'outer;
+                        }
+                        crate::inst::Term::Br(t) => block = *t,
+                        crate::inst::Term::CondBr { .. } => unreachable!("straightline"),
+                    }
+                }
+                assert_eq!(result, expected, "x={x} d={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Type system for MIR: scalar register types, memory access types, and
+//! fixed-width vector types.
+//!
+//! Registers hold only [`Ty`] values. Memory is accessed with a [`MemTy`]
+//! which may be narrower than any register type (`i8`/`i16`/`i32` loads
+//! zero-extend into an `i64` register, stores truncate).
+
+use std::fmt;
+
+/// A register (SSA-value-like virtual register) type.
+///
+/// `Vec*` types model fixed-width SIMD values produced by the loop
+/// vectorizer; the lane count is part of the type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit IEEE-754 float (single precision).
+    F32,
+    /// 64-bit IEEE-754 float (double precision).
+    F64,
+    /// Boolean (comparison results, branch conditions).
+    Bool,
+    /// Untyped byte address into guest memory.
+    Ptr,
+    /// Vector of `n` f32 lanes.
+    VecF32(u8),
+    /// Vector of `n` f64 lanes.
+    VecF64(u8),
+    /// Vector of `n` i64 lanes.
+    VecI64(u8),
+}
+
+impl Ty {
+    /// Whether this is any floating-point type (scalar or vector).
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64 | Ty::VecF32(_) | Ty::VecF64(_))
+    }
+
+    /// Whether this is an integer type (scalar or vector). `Ptr` and `Bool`
+    /// are not considered integers.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I64 | Ty::VecI64(_))
+    }
+
+    /// Whether this is a vector type.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Ty::VecF32(_) | Ty::VecF64(_) | Ty::VecI64(_))
+    }
+
+    /// Lane count: 1 for scalars, `n` for vectors.
+    pub fn lanes(self) -> u8 {
+        match self {
+            Ty::VecF32(n) | Ty::VecF64(n) | Ty::VecI64(n) => n,
+            _ => 1,
+        }
+    }
+
+    /// The scalar element type (identity for scalars).
+    pub fn elem(self) -> Ty {
+        match self {
+            Ty::VecF32(_) => Ty::F32,
+            Ty::VecF64(_) => Ty::F64,
+            Ty::VecI64(_) => Ty::I64,
+            t => t,
+        }
+    }
+
+    /// Build the vector type with this scalar element and `lanes` lanes.
+    ///
+    /// # Panics
+    /// Panics if the element type cannot be vectorized (`Bool`, `Ptr`,
+    /// or an already-vector type) or if `lanes == 0`.
+    pub fn vec_of(self, lanes: u8) -> Ty {
+        assert!(lanes > 0, "vector types need at least one lane");
+        match self {
+            Ty::F32 => Ty::VecF32(lanes),
+            Ty::F64 => Ty::VecF64(lanes),
+            Ty::I64 => Ty::VecI64(lanes),
+            other => panic!("cannot build a vector of {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "i64"),
+            Ty::F32 => write!(f, "f32"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Ptr => write!(f, "ptr"),
+            Ty::VecF32(n) => write!(f, "<{n} x f32>"),
+            Ty::VecF64(n) => write!(f, "<{n} x f64>"),
+            Ty::VecI64(n) => write!(f, "<{n} x i64>"),
+        }
+    }
+}
+
+/// A memory access granularity. Integer accesses narrower than 64 bits
+/// zero-extend on load and truncate on store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemTy {
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl MemTy {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemTy::I8 => 1,
+            MemTy::I16 => 2,
+            MemTy::I32 => 4,
+            MemTy::I64 => 8,
+            MemTy::F32 => 4,
+            MemTy::F64 => 8,
+        }
+    }
+
+    /// The register type a scalar load of this memory type produces.
+    pub fn reg_ty(self) -> Ty {
+        match self {
+            MemTy::I8 | MemTy::I16 | MemTy::I32 | MemTy::I64 => Ty::I64,
+            MemTy::F32 => Ty::F32,
+            MemTy::F64 => Ty::F64,
+        }
+    }
+
+    /// Whether this is a floating-point access.
+    pub fn is_float(self) -> bool {
+        matches!(self, MemTy::F32 | MemTy::F64)
+    }
+}
+
+impl fmt::Display for MemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemTy::I8 => write!(f, "i8"),
+            MemTy::I16 => write!(f, "i16"),
+            MemTy::I32 => write!(f, "i32"),
+            MemTy::I64 => write!(f, "i64"),
+            MemTy::F32 => write!(f, "f32"),
+            MemTy::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_and_elems() {
+        assert_eq!(Ty::F32.lanes(), 1);
+        assert_eq!(Ty::VecF32(8).lanes(), 8);
+        assert_eq!(Ty::VecF32(8).elem(), Ty::F32);
+        assert_eq!(Ty::F32.vec_of(8), Ty::VecF32(8));
+        assert_eq!(Ty::I64.vec_of(4), Ty::VecI64(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build a vector")]
+    fn no_vector_of_bool() {
+        let _ = Ty::Bool.vec_of(4);
+    }
+
+    #[test]
+    fn memty_widths() {
+        assert_eq!(MemTy::I8.bytes(), 1);
+        assert_eq!(MemTy::F64.bytes(), 8);
+        assert_eq!(MemTy::I8.reg_ty(), Ty::I64);
+        assert_eq!(MemTy::F32.reg_ty(), Ty::F32);
+        assert!(MemTy::F32.is_float());
+        assert!(!MemTy::I32.is_float());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::VecF64(4).is_float());
+        assert!(Ty::VecI64(2).is_int());
+        assert!(!Ty::Ptr.is_int());
+        assert!(Ty::VecF32(8).is_vector());
+        assert!(!Ty::F32.is_vector());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::VecF32(8).to_string(), "<8 x f32>");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+        assert_eq!(MemTy::I16.to_string(), "i16");
+    }
+}

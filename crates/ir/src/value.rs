@@ -1,0 +1,133 @@
+//! Virtual registers and instruction operands.
+
+use crate::types::Ty;
+use std::fmt;
+
+/// A virtual register index, local to one [`crate::Function`].
+///
+/// MIR is register-based but *not* strict SSA: the MiniC frontend maps each
+/// local variable to one register that may be written many times. Analyses
+/// in this crate (dominators, loops, liveness) do not assume SSA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register's index as a usize (for table lookups).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An instruction operand: either a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    Reg(Reg),
+    /// Immediate i64 (also used for `ptr`-typed constants such as null).
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is an immediate constant.
+    pub fn is_const(self) -> bool {
+        !matches!(self, Operand::Reg(_))
+    }
+
+    /// The scalar type of an immediate. Immediates are never vectors.
+    /// Returns `None` for registers (their type lives in the function's
+    /// register table) and treats `I64` immediates as type-ambiguous
+    /// between `i64` and `ptr` (callers resolve by context).
+    pub fn imm_ty(self) -> Option<Ty> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::I64(_) => Some(Ty::I64),
+            Operand::F32(_) => Some(Ty::F32),
+            Operand::F64(_) => Some(Ty::F64),
+            Operand::Bool(_) => Some(Ty::Bool),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::I64(v)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::F32(v)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(v: f64) -> Self {
+        Operand::F64(v)
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(v: bool) -> Self {
+        Operand::Bool(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::I64(v) => write!(f, "{v}"),
+            Operand::F32(v) => write!(f, "{v:?}f32"),
+            Operand::F64(v) => write!(f, "{v:?}f64"),
+            Operand::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg(3).into();
+        assert_eq!(o.as_reg(), Some(Reg(3)));
+        assert!(!o.is_const());
+        let i: Operand = 42i64.into();
+        assert!(i.is_const());
+        assert_eq!(i.imm_ty(), Some(Ty::I64));
+        let f: Operand = 1.5f32.into();
+        assert_eq!(f.imm_ty(), Some(Ty::F32));
+        let b: Operand = true.into();
+        assert_eq!(b.imm_ty(), Some(Ty::Bool));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::Reg(Reg(7)).to_string(), "%7");
+        assert_eq!(Operand::I64(-1).to_string(), "-1");
+        assert_eq!(Operand::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,578 @@
+//! MIR verifier: structural and type invariants.
+//!
+//! Run after lowering and after every transform in tests; transforms are
+//! expected to keep modules verifiable.
+
+use crate::function::Function;
+use crate::inst::{BinOp, Callee, CastKind, Inst, Term, UnOp};
+use crate::module::Module;
+use crate::types::Ty;
+use crate::value::{Operand, Reg};
+use std::fmt;
+
+/// A verification failure, with the function and block where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub func: String,
+    pub block: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in fn {} bb{}: {}", self.func, self.block, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify every function in a module, plus cross-function call signatures.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (_, f) in m.iter_funcs() {
+        verify_function(f, Some(m))?;
+    }
+    Ok(())
+}
+
+/// Verify a single function. If `module` is provided, call signatures are
+/// checked against their callees.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let fail = |block: u32, msg: String| {
+        Err(VerifyError {
+            func: f.name.clone(),
+            block,
+            msg,
+        })
+    };
+
+    if f.blocks.is_empty() {
+        return fail(0, "function has no blocks".into());
+    }
+    for p in &f.params {
+        if p.index() >= f.num_regs() {
+            return fail(0, format!("parameter {p} out of range"));
+        }
+    }
+
+    for (bid, block) in f.iter_blocks() {
+        let b = bid.0;
+        // Type/structure checks for each instruction.
+        for inst in &block.insts {
+            check_inst(f, inst, module).map_err(|msg| VerifyError {
+                func: f.name.clone(),
+                block: b,
+                msg,
+            })?;
+        }
+        // Terminator checks.
+        match &block.term {
+            Term::Br(t) => {
+                if t.index() >= f.num_blocks() {
+                    return fail(b, format!("branch target {t} out of range"));
+                }
+            }
+            Term::CondBr { cond, t, f: fb } => {
+                if t.index() >= f.num_blocks() || fb.index() >= f.num_blocks() {
+                    return fail(b, "branch target out of range".into());
+                }
+                if operand_ty(f, *cond).map_err(|m| verr(f, b, m))? != Ty::Bool {
+                    return fail(b, "condbr condition must be bool".into());
+                }
+            }
+            Term::Ret(vals) => {
+                if vals.len() != f.ret_tys.len() {
+                    return fail(
+                        b,
+                        format!(
+                            "return arity mismatch: {} values, signature has {}",
+                            vals.len(),
+                            f.ret_tys.len()
+                        ),
+                    );
+                }
+                for (v, want) in vals.iter().zip(&f.ret_tys) {
+                    let got = operand_ty(f, *v).map_err(|m| verr(f, b, m))?;
+                    if !ty_compatible(got, *want) {
+                        return fail(b, format!("return type mismatch: {got} vs {want}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verr(f: &Function, block: u32, msg: String) -> VerifyError {
+    VerifyError {
+        func: f.name.clone(),
+        block,
+        msg,
+    }
+}
+
+/// `i64` immediates may flow into `ptr` contexts (null pointers, cast-free
+/// address literals from the host); everything else must match exactly.
+fn ty_compatible(got: Ty, want: Ty) -> bool {
+    got == want || (got == Ty::I64 && want == Ty::Ptr)
+}
+
+fn operand_ty(f: &Function, op: Operand) -> Result<Ty, String> {
+    match op {
+        Operand::Reg(r) => {
+            if r.index() >= f.num_regs() {
+                return Err(format!("register {r} out of range"));
+            }
+            Ok(f.ty_of(r))
+        }
+        imm => Ok(imm.imm_ty().expect("immediates always have types")),
+    }
+}
+
+fn check_reg(f: &Function, r: Reg) -> Result<Ty, String> {
+    if r.index() >= f.num_regs() {
+        return Err(format!("register {r} out of range"));
+    }
+    Ok(f.ty_of(r))
+}
+
+fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), String> {
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } => {
+            let dt = check_reg(f, *dst)?;
+            if dt != *ty {
+                return Err(format!("bin dst type {dt} != inst type {ty}"));
+            }
+            if op.is_float() && !ty.is_float() {
+                return Err(format!("{} at non-float type {ty}", op.mnemonic()));
+            }
+            if !op.is_float() && ty.is_float() {
+                return Err(format!("{} at float type {ty}", op.mnemonic()));
+            }
+            if matches!(ty, Ty::Bool | Ty::Ptr) {
+                return Err(format!("bin op at type {ty}"));
+            }
+            for o in [lhs, rhs] {
+                let ot = operand_ty(f, *o)?;
+                if !operand_matches(ot, *ty) {
+                    return Err(format!("bin operand type {ot} != {ty}"));
+                }
+            }
+            Ok(())
+        }
+        Inst::Cmp { ty, dst, lhs, rhs, .. } => {
+            if check_reg(f, *dst)? != Ty::Bool {
+                return Err("cmp dst must be bool".into());
+            }
+            if ty.is_vector() {
+                return Err("cmp of vector types is not supported".into());
+            }
+            for o in [lhs, rhs] {
+                let ot = operand_ty(f, *o)?;
+                if !operand_matches(ot, *ty) && !(ot == Ty::I64 && *ty == Ty::Ptr) {
+                    return Err(format!("cmp operand type {ot} != {ty}"));
+                }
+            }
+            Ok(())
+        }
+        Inst::Un { op, ty, dst, src } => {
+            let dt = check_reg(f, *dst)?;
+            if dt != *ty {
+                return Err(format!("un dst type {dt} != {ty}"));
+            }
+            let st = operand_ty(f, *src)?;
+            if !operand_matches(st, *ty) {
+                return Err(format!("un src type {st} != {ty}"));
+            }
+            match op {
+                UnOp::Neg if ty.is_int() => Ok(()),
+                UnOp::FNeg if ty.is_float() => Ok(()),
+                UnOp::Not if *ty == Ty::Bool => Ok(()),
+                _ => Err(format!("unary {op:?} invalid at {ty}")),
+            }
+        }
+        Inst::Fma { ty, dst, a, b, c } => {
+            if !ty.is_float() {
+                return Err(format!("fma at non-float type {ty}"));
+            }
+            if check_reg(f, *dst)? != *ty {
+                return Err("fma dst type mismatch".into());
+            }
+            for o in [a, b, c] {
+                let ot = operand_ty(f, *o)?;
+                if !operand_matches(ot, *ty) {
+                    return Err(format!("fma operand type {ot} != {ty}"));
+                }
+            }
+            Ok(())
+        }
+        Inst::Load { dst, addr, mem, lanes, stride } => {
+            let at = operand_ty(f, *addr)?;
+            if !ty_compatible(at, Ty::Ptr) {
+                return Err(format!("load address has type {at}"));
+            }
+            let dt = check_reg(f, *dst)?;
+            let want = if *lanes == 1 {
+                mem.reg_ty()
+            } else {
+                mem.reg_ty().vec_of(*lanes)
+            };
+            // Pointer-typed scalar loads are stored as i64 in memory.
+            if dt != want && !(dt == Ty::Ptr && want == Ty::I64) {
+                return Err(format!("load dst type {dt}, expected {want}"));
+            }
+            if *lanes > 1 {
+                let st = operand_ty(f, *stride)?;
+                if st != Ty::I64 {
+                    return Err(format!("vector load stride has type {st}"));
+                }
+                if *stride == Operand::I64(0) {
+                    return Err("vector load with zero stride".into());
+                }
+            }
+            Ok(())
+        }
+        Inst::Store { addr, val, mem, lanes, stride } => {
+            let at = operand_ty(f, *addr)?;
+            if !ty_compatible(at, Ty::Ptr) {
+                return Err(format!("store address has type {at}"));
+            }
+            let vt = operand_ty(f, *val)?;
+            let want = if *lanes == 1 {
+                mem.reg_ty()
+            } else {
+                mem.reg_ty().vec_of(*lanes)
+            };
+            if !operand_matches(vt, want) && !(vt == Ty::Ptr && want == Ty::I64) {
+                return Err(format!("store value type {vt}, expected {want}"));
+            }
+            if *lanes > 1 {
+                let st = operand_ty(f, *stride)?;
+                if st != Ty::I64 {
+                    return Err(format!("vector store stride has type {st}"));
+                }
+                if *stride == Operand::I64(0) {
+                    return Err("vector store with zero stride".into());
+                }
+            }
+            Ok(())
+        }
+        Inst::PtrAdd { dst, base, offset } => {
+            if check_reg(f, *dst)? != Ty::Ptr {
+                return Err("ptradd dst must be ptr".into());
+            }
+            let bt = operand_ty(f, *base)?;
+            if !ty_compatible(bt, Ty::Ptr) {
+                return Err(format!("ptradd base has type {bt}"));
+            }
+            if operand_ty(f, *offset)? != Ty::I64 {
+                return Err("ptradd offset must be i64".into());
+            }
+            Ok(())
+        }
+        Inst::Select { ty, dst, cond, t, f: fv } => {
+            if check_reg(f, *dst)? != *ty {
+                return Err("select dst type mismatch".into());
+            }
+            if operand_ty(f, *cond)? != Ty::Bool {
+                return Err("select cond must be bool".into());
+            }
+            for o in [t, fv] {
+                let ot = operand_ty(f, *o)?;
+                if !operand_matches(ot, *ty) && !(ot == Ty::I64 && *ty == Ty::Ptr) {
+                    return Err(format!("select arm type {ot} != {ty}"));
+                }
+            }
+            Ok(())
+        }
+        Inst::Cast { kind, dst, src } => {
+            let dt = check_reg(f, *dst)?;
+            let st = operand_ty(f, *src)?;
+            let ok = match kind {
+                CastKind::IntToFloat => st == Ty::I64 && matches!(dt, Ty::F32 | Ty::F64),
+                CastKind::FloatToInt => matches!(st, Ty::F32 | Ty::F64) && dt == Ty::I64,
+                CastKind::FloatCast => {
+                    matches!((st, dt), (Ty::F32, Ty::F64) | (Ty::F64, Ty::F32))
+                }
+                CastKind::IntToPtr => st == Ty::I64 && dt == Ty::Ptr,
+                CastKind::PtrToInt => st == Ty::Ptr && dt == Ty::I64,
+            };
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("invalid cast {kind:?}: {st} -> {dt}"))
+            }
+        }
+        Inst::Copy { ty, dst, src } => {
+            let dt = check_reg(f, *dst)?;
+            if dt != *ty {
+                return Err(format!("copy dst type {dt} != {ty}"));
+            }
+            let st = operand_ty(f, *src)?;
+            if !operand_matches(st, *ty) && !(st == Ty::I64 && *ty == Ty::Ptr) {
+                return Err(format!("copy src type {st} != {ty}"));
+            }
+            Ok(())
+        }
+        Inst::Splat { ty, dst, src } => {
+            if !ty.is_vector() {
+                return Err("splat to non-vector type".into());
+            }
+            if check_reg(f, *dst)? != *ty {
+                return Err("splat dst type mismatch".into());
+            }
+            let st = operand_ty(f, *src)?;
+            if st != ty.elem() {
+                return Err(format!("splat src {st} != element {}", ty.elem()));
+            }
+            Ok(())
+        }
+        Inst::Reduce { dst, src, .. } => {
+            let st = operand_ty(f, *src)?;
+            if !st.is_vector() {
+                return Err("reduce of non-vector".into());
+            }
+            if check_reg(f, *dst)? != st.elem() {
+                return Err("reduce dst must be the element type".into());
+            }
+            Ok(())
+        }
+        Inst::Call { dsts, callee, args } => {
+            for d in dsts {
+                check_reg(f, *d)?;
+            }
+            if let Some(m) = module {
+                match callee {
+                    Callee::Func(id) => {
+                        if id.index() >= m.num_funcs() {
+                            return Err(format!("call to out-of-range function {id:?}"));
+                        }
+                        let callee_fn = m.func(*id);
+                        if args.len() != callee_fn.params.len() {
+                            return Err(format!(
+                                "call to {} with {} args, expected {}",
+                                callee_fn.name,
+                                args.len(),
+                                callee_fn.params.len()
+                            ));
+                        }
+                        for (a, p) in args.iter().zip(&callee_fn.params) {
+                            let at = operand_ty(f, *a)?;
+                            let pt = callee_fn.ty_of(*p);
+                            if !ty_compatible(at, pt) && at != pt {
+                                return Err(format!(
+                                    "call arg type {at} != param type {pt} for {}",
+                                    callee_fn.name
+                                ));
+                            }
+                        }
+                        if dsts.len() != callee_fn.ret_tys.len() {
+                            return Err(format!(
+                                "call to {} binds {} results, callee returns {}",
+                                callee_fn.name,
+                                dsts.len(),
+                                callee_fn.ret_tys.len()
+                            ));
+                        }
+                        for (d, rt) in dsts.iter().zip(&callee_fn.ret_tys) {
+                            let dt = f.ty_of(*d);
+                            if dt != *rt && !(dt == Ty::Ptr && *rt == Ty::I64) {
+                                return Err(format!("call result type {dt} != {rt}"));
+                            }
+                        }
+                    }
+                    Callee::Host(name) => {
+                        if let Some(sig) = m.host_sigs.get(name) {
+                            if args.len() != sig.param_tys.len() {
+                                return Err(format!(
+                                    "host call {name} with {} args, expected {}",
+                                    args.len(),
+                                    sig.param_tys.len()
+                                ));
+                            }
+                            if dsts.len() != sig.ret_tys.len() {
+                                return Err(format!(
+                                    "host call {name} binds {} results, returns {}",
+                                    dsts.len(),
+                                    sig.ret_tys.len()
+                                ));
+                            }
+                        }
+                        // Host functions added by passes (mperf.*) may be
+                        // undeclared in the module; the VM validates them.
+                    }
+                }
+            }
+            Ok(())
+        }
+        Inst::ProfCount(_) => Ok(()),
+    }
+}
+
+/// Immediates of the element type are accepted in vector positions only for
+/// `Splat`; in general an operand must match the instruction type exactly
+/// (registers) or be a scalar immediate of the element type (vectors are
+/// never immediates).
+fn operand_matches(got: Ty, want: Ty) -> bool {
+    if got == want {
+        return true;
+    }
+    // Scalar immediates cannot represent vectors.
+    false
+}
+
+/// Binary-op sanity helper used by tests: is `op` valid at `ty`?
+pub fn binop_valid_at(op: BinOp, ty: Ty) -> bool {
+    if matches!(ty, Ty::Bool | Ty::Ptr) {
+        return false;
+    }
+    op.is_float() == ty.is_float()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::inst::{BinOp, CmpOp};
+    use crate::types::MemTy;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok", &[Ty::I64], &[Ty::I64]);
+        let p = b.func().params[0];
+        let r = b.bin(BinOp::Add, Ty::I64, p.into(), Operand::I64(1));
+        b.ret(vec![r.into()]);
+        let f = b.finish();
+        assert!(verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn rejects_float_op_at_int_type() {
+        let mut b = FunctionBuilder::new("bad", &[], &[]);
+        let d = b.fresh(Ty::I64);
+        b.push(Inst::Bin {
+            op: BinOp::FAdd,
+            ty: Ty::I64,
+            dst: d,
+            lhs: Operand::I64(1),
+            rhs: Operand::I64(2),
+        });
+        b.ret(vec![]);
+        let f = b.finish();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.msg.contains("fadd"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let mut b = FunctionBuilder::new("bad", &[], &[]);
+        b.br(crate::function::BlockId(7));
+        let f = b.finish();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let mut b = FunctionBuilder::new("bad", &[], &[]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Operand::I64(1), t, e);
+        b.switch_to(t);
+        b.ret(vec![]);
+        b.switch_to(e);
+        b.ret(vec![]);
+        let f = b.finish();
+        let err = verify_function(&f, None).unwrap_err();
+        assert!(err.msg.contains("bool"), "{err}");
+    }
+
+    #[test]
+    fn rejects_return_arity_mismatch() {
+        let mut b = FunctionBuilder::new("bad", &[], &[Ty::I64]);
+        b.ret(vec![]);
+        let f = b.finish();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.msg.contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn rejects_load_type_mismatch() {
+        let mut b = FunctionBuilder::new("bad", &[Ty::Ptr], &[]);
+        let p = b.func().params[0];
+        let d = b.fresh(Ty::F64);
+        b.push(Inst::Load {
+            dst: d,
+            addr: p.into(),
+            mem: MemTy::F32,
+            lanes: 1,
+            stride: Operand::I64(4),
+        });
+        b.ret(vec![]);
+        let f = b.finish();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.msg.contains("load dst"), "{e}");
+    }
+
+    #[test]
+    fn i64_immediate_ok_as_pointer() {
+        let mut b = FunctionBuilder::new("nullstore", &[], &[]);
+        b.store(Operand::I64(4096), Operand::I64(1), MemTy::I64);
+        b.ret(vec![]);
+        let f = b.finish();
+        assert!(verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn cmp_at_ptr_allows_i64_imm() {
+        let mut b = FunctionBuilder::new("p", &[Ty::Ptr], &[Ty::Bool]);
+        let p = b.func().params[0];
+        let c = b.cmp(CmpOp::Ne, Ty::Ptr, p.into(), Operand::I64(0));
+        b.ret(vec![c.into()]);
+        let f = b.finish();
+        assert!(verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn vector_types_check() {
+        let mut b = FunctionBuilder::new("v", &[Ty::Ptr], &[]);
+        let p = b.func().params[0];
+        let v = b.fresh(Ty::VecF32(8));
+        b.push(Inst::Load {
+            dst: v,
+            addr: p.into(),
+            mem: MemTy::F32,
+            lanes: 8,
+            stride: Operand::I64(4),
+        });
+        let s = b.fresh(Ty::F32);
+        b.push(Inst::Reduce {
+            op: crate::inst::ReduceOp::FAdd,
+            dst: s,
+            src: v.into(),
+        });
+        b.ret(vec![]);
+        let f = b.finish();
+        assert!(verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn binop_validity_helper() {
+        assert!(binop_valid_at(BinOp::Add, Ty::I64));
+        assert!(!binop_valid_at(BinOp::Add, Ty::F32));
+        assert!(binop_valid_at(BinOp::FMul, Ty::VecF32(8)));
+        assert!(!binop_valid_at(BinOp::FMul, Ty::Bool));
+    }
+
+    #[test]
+    fn whole_module_verifies_calls() {
+        let src = "fn g(x: i64) -> i64 { return x; } fn f() -> i64 { return g(1); }";
+        let m = crate::compile("t", src).unwrap();
+        assert!(verify_module(&m).is_ok());
+    }
+}

@@ -1,0 +1,148 @@
+//! `perf_event_attr`-style event descriptions.
+
+use mperf_sim::HwEvent;
+
+/// Generic hardware counter kinds (`PERF_TYPE_HARDWARE` ids). The kernel
+/// driver maps these to platform event sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwCounter {
+    Cycles,
+    Instructions,
+    CacheReferences,
+    CacheMisses,
+    BranchInstructions,
+    BranchMisses,
+}
+
+impl HwCounter {
+    /// The simulator event source this generic id maps to.
+    pub fn to_hw_event(self) -> HwEvent {
+        match self {
+            HwCounter::Cycles => HwEvent::CpuCycles,
+            HwCounter::Instructions => HwEvent::Instructions,
+            HwCounter::CacheReferences => HwEvent::L1dAccess,
+            HwCounter::CacheMisses => HwEvent::L1dMiss,
+            HwCounter::BranchInstructions => HwEvent::Branches,
+            HwCounter::BranchMisses => HwEvent::BranchMisses,
+        }
+    }
+}
+
+/// What to monitor: a generic hardware id or a raw vendor event code
+/// (`PERF_TYPE_RAW`) decoded by the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    Hardware(HwCounter),
+    Raw(u64),
+}
+
+/// Which fields each sample record carries (`PERF_SAMPLE_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleType {
+    pub ip: bool,
+    pub tid: bool,
+    pub time: bool,
+    pub period: bool,
+    /// Read the whole group's counters into the sample — the mechanism
+    /// the X60 workaround uses to sample `mcycle`/`minstret`.
+    pub read: bool,
+    pub callchain: bool,
+}
+
+impl SampleType {
+    /// IP + TID + TIME + PERIOD (the common `perf record` set).
+    pub fn basic() -> SampleType {
+        SampleType {
+            ip: true,
+            tid: true,
+            time: true,
+            period: true,
+            ..SampleType::default()
+        }
+    }
+
+    /// Everything, including group reads and callchains (what miniperf
+    /// requests).
+    pub fn full() -> SampleType {
+        SampleType {
+            ip: true,
+            tid: true,
+            time: true,
+            period: true,
+            read: true,
+            callchain: true,
+        }
+    }
+}
+
+/// `read_format` flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadFormat {
+    /// Read all group members at once (`PERF_FORMAT_GROUP`).
+    pub group: bool,
+    /// Include event ids (`PERF_FORMAT_ID`).
+    pub id: bool,
+}
+
+/// The event description passed to [`crate::PerfKernel::open`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEventAttr {
+    pub kind: EventKind,
+    /// 0 = counting mode; >0 = sample every `sample_period` events.
+    pub sample_period: u64,
+    pub sample_type: SampleType,
+    pub read_format: ReadFormat,
+    /// Created disabled (enabled later via `enable`).
+    pub disabled: bool,
+}
+
+impl PerfEventAttr {
+    /// A counting-mode event.
+    pub fn counting(kind: EventKind) -> PerfEventAttr {
+        PerfEventAttr {
+            kind,
+            sample_period: 0,
+            sample_type: SampleType::default(),
+            read_format: ReadFormat::default(),
+            disabled: true,
+        }
+    }
+
+    /// A sampling-mode event with the given period.
+    pub fn sampling(kind: EventKind, period: u64) -> PerfEventAttr {
+        PerfEventAttr {
+            kind,
+            sample_period: period,
+            sample_type: SampleType::basic(),
+            read_format: ReadFormat::default(),
+            disabled: true,
+        }
+    }
+
+    /// Whether this attr requests sampling.
+    pub fn is_sampling(&self) -> bool {
+        self.sample_period > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_counter_mapping() {
+        assert_eq!(HwCounter::Cycles.to_hw_event(), HwEvent::CpuCycles);
+        assert_eq!(HwCounter::BranchMisses.to_hw_event(), HwEvent::BranchMisses);
+    }
+
+    #[test]
+    fn attr_constructors() {
+        let c = PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles));
+        assert!(!c.is_sampling());
+        let s = PerfEventAttr::sampling(EventKind::Raw(0x14001), 1000);
+        assert!(s.is_sampling());
+        assert!(s.sample_type.ip);
+        assert!(!s.sample_type.read);
+        assert!(SampleType::full().read);
+    }
+}

@@ -1,0 +1,44 @@
+//! Errno-style failures, matching what `perf_event_open(2)` returns on
+//! real kernels for the corresponding conditions.
+
+/// Error numbers surfaced by the perf-event model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Errno {
+    /// Invalid argument (bad attr combinations, bad group fd).
+    EINVAL,
+    /// The hardware cannot support the request — notably *sampling on a
+    /// counter without overflow-interrupt support*.
+    EOPNOTSUPP,
+    /// No counter available (all claimed).
+    ENOSPC,
+    /// Unknown event (undecodable raw code).
+    ENOENT,
+    /// Bad file descriptor.
+    EBADF,
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Errno::EINVAL => "EINVAL",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ENOENT => "ENOENT",
+            Errno::EBADF => "EBADF",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_names() {
+        assert_eq!(Errno::EOPNOTSUPP.to_string(), "EOPNOTSUPP");
+        assert_eq!(Errno::EINVAL.to_string(), "EINVAL");
+    }
+}

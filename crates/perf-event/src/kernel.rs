@@ -1,0 +1,705 @@
+//! The kernel object: `perf_event_open`, group scheduling, overflow
+//! handling, and ring-buffer delivery.
+
+use crate::attr::{EventKind, PerfEventAttr};
+use crate::errno::Errno;
+use crate::ring::RingBuffer;
+use crate::sample::{Record, SampleRecord};
+use mperf_sbi::{ConfigFlags, SbiError, SbiPmu, StopFlags};
+use mperf_sim::{Core, PrivMode};
+
+/// A perf event file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventFd(pub usize);
+
+/// CPU context captured at overflow time (what the real interrupt handler
+/// reads from the trap frame; supplied here by the execution engine).
+#[derive(Debug, Clone, Default)]
+pub struct OverflowCtx {
+    pub ip: u64,
+    pub tid: u32,
+    /// Innermost frame first.
+    pub callchain: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct PerfEvent {
+    attr: PerfEventAttr,
+    /// Stable id reported in group reads.
+    id: u64,
+    /// Hardware counter index claimed for this event.
+    counter: usize,
+    /// For group members: the fd index of their leader.
+    leader: Option<usize>,
+    /// For leaders: member fd indices in attach order.
+    members: Vec<usize>,
+    enabled: bool,
+    ring: Option<RingBuffer>,
+    /// Counter value at enable (counting reads return the delta).
+    base: u64,
+}
+
+/// The modeled `perf_event` subsystem for one hart.
+///
+/// All hardware access goes through the SBI PMU extension, as on a real
+/// RISC-V kernel (paper Fig. 1); there is no direct M-mode poking here.
+#[derive(Debug)]
+pub struct PerfKernel {
+    sbi: SbiPmu,
+    events: Vec<Option<PerfEvent>>,
+    next_id: u64,
+    /// Cycles charged (in Supervisor mode) per overflow handled — the
+    /// sampling overhead a real interrupt handler costs.
+    pub sample_overhead_cycles: u64,
+    samples_taken: u64,
+}
+
+impl PerfKernel {
+    /// Boot the kernel side: initializes the SBI PMU firmware state.
+    pub fn new(core: &mut Core) -> PerfKernel {
+        PerfKernel {
+            sbi: SbiPmu::new(core),
+            events: Vec::new(),
+            next_id: 1,
+            sample_overhead_cycles: 250,
+            samples_taken: 0,
+        }
+    }
+
+    /// Number of hardware counters visible to the kernel.
+    pub fn num_counters(&self) -> usize {
+        self.sbi.num_counters()
+    }
+
+    /// Total samples written to ring buffers so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// `perf_event_open`: create an event, optionally attaching it to the
+    /// group led by `group`.
+    ///
+    /// # Errors
+    /// - `ENOENT` — raw code does not decode on this platform;
+    /// - `EOPNOTSUPP` — sampling requested but the hardware cannot raise
+    ///   overflow interrupts for this event (the stock-perf X60 failure);
+    /// - `ENOSPC` — no free counter;
+    /// - `EINVAL` — bad group fd (nonexistent or itself a member).
+    pub fn open(
+        &mut self,
+        core: &mut Core,
+        attr: PerfEventAttr,
+        group: Option<EventFd>,
+    ) -> Result<EventFd, Errno> {
+        let code = match attr.kind {
+            EventKind::Hardware(h) => core.spec.event_code(h.to_hw_event()),
+            EventKind::Raw(c) => c,
+        };
+        if core.spec.decode_event(code).is_none() {
+            return Err(Errno::ENOENT);
+        }
+        let leader_idx = match group {
+            None => None,
+            Some(fd) => {
+                let le = self.event_ref(fd)?;
+                if le.leader.is_some() {
+                    return Err(Errno::EINVAL); // groups don't nest
+                }
+                Some(fd.0)
+            }
+        };
+
+        let flags = ConfigFlags {
+            clear_value: true,
+            auto_start: false,
+            irq_enable: attr.is_sampling(),
+        };
+        let counter = self
+            .sbi
+            .counter_config_matching(core, u64::MAX, flags, code)
+            .map_err(|e| match e {
+                SbiError::NotSupported => Errno::EOPNOTSUPP,
+                _ => Errno::ENOSPC,
+            })?;
+
+        let ring = attr
+            .is_sampling()
+            .then(|| RingBuffer::new(64 * 1024, attr.sample_type));
+        let ev = PerfEvent {
+            attr,
+            id: self.next_id,
+            counter,
+            leader: leader_idx,
+            members: Vec::new(),
+            enabled: false,
+            ring,
+            base: 0,
+        };
+        self.next_id += 1;
+        self.events.push(Some(ev));
+        let fd = EventFd(self.events.len() - 1);
+        if let Some(l) = leader_idx {
+            self.events[l]
+                .as_mut()
+                .expect("leader validated above")
+                .members
+                .push(fd.0);
+        }
+        Ok(fd)
+    }
+
+    /// Enable an event. Enabling a leader enables its whole group
+    /// atomically (perf group-scheduling semantics); enabling a member
+    /// directly is an error.
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds, `EINVAL` for group members.
+    pub fn enable(&mut self, core: &mut Core, fd: EventFd) -> Result<(), Errno> {
+        if self.event_ref(fd)?.leader.is_some() {
+            return Err(Errno::EINVAL);
+        }
+        for idx in self.group_indices(fd.0) {
+            let (counter, sampling, period, already) = {
+                let e = self.events[idx].as_ref().expect("group index valid");
+                (
+                    e.counter,
+                    e.attr.is_sampling(),
+                    e.attr.sample_period,
+                    e.enabled,
+                )
+            };
+            if already {
+                continue;
+            }
+            let initial = sampling.then(|| (period as i64).wrapping_neg() as u64);
+            self.sbi
+                .counter_start(core, 1u64 << counter, initial)
+                .map_err(|_| Errno::EINVAL)?;
+            let base = self.sbi.counter_read(core, counter).unwrap_or(0);
+            let e = self.events[idx].as_mut().expect("group index valid");
+            e.enabled = true;
+            e.base = base;
+        }
+        Ok(())
+    }
+
+    /// Disable an event (leaders disable the whole group).
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds, `EINVAL` for group members.
+    pub fn disable(&mut self, core: &mut Core, fd: EventFd) -> Result<(), Errno> {
+        if self.event_ref(fd)?.leader.is_some() {
+            return Err(Errno::EINVAL);
+        }
+        for idx in self.group_indices(fd.0) {
+            let (counter, enabled) = {
+                let e = self.events[idx].as_ref().expect("group index valid");
+                (e.counter, e.enabled)
+            };
+            if !enabled {
+                continue;
+            }
+            self.sbi
+                .counter_stop(core, 1u64 << counter, StopFlags::default())
+                .map_err(|_| Errno::EINVAL)?;
+            self.events[idx].as_mut().expect("group index valid").enabled = false;
+        }
+        Ok(())
+    }
+
+    /// Close an event, releasing its counter. Leaders must be closed last
+    /// (members first), as with real perf fds being reference-counted.
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds, `EINVAL` when closing a leader that still
+    /// has members.
+    pub fn close(&mut self, core: &mut Core, fd: EventFd) -> Result<(), Errno> {
+        let e = self.event_ref(fd)?;
+        if !e.members.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let counter = e.counter;
+        let enabled = e.enabled;
+        let leader = e.leader;
+        if enabled {
+            let _ = self.sbi.counter_stop(core, 1u64 << counter, StopFlags { reset: true });
+        } else {
+            // Claimed but stopped: still release the claim.
+            let _ = self.sbi.counter_start(core, 1u64 << counter, None);
+            let _ = self.sbi.counter_stop(core, 1u64 << counter, StopFlags { reset: true });
+        }
+        if let Some(l) = leader {
+            if let Some(le) = self.events[l].as_mut() {
+                le.members.retain(|&m| m != fd.0);
+            }
+        }
+        self.events[fd.0] = None;
+        Ok(())
+    }
+
+    /// Read counter value(s). With `read_format.group` on a leader this
+    /// returns `(id, value)` for the whole group, leader first; otherwise
+    /// a single pair.
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds.
+    pub fn read(&self, core: &Core, fd: EventFd) -> Result<Vec<(u64, u64)>, Errno> {
+        let e = self.event_ref(fd)?;
+        if e.attr.read_format.group && e.leader.is_none() {
+            Ok(self
+                .group_indices(fd.0)
+                .into_iter()
+                .map(|idx| {
+                    let m = self.events[idx].as_ref().expect("group index valid");
+                    (m.id, self.counter_delta(core, m))
+                })
+                .collect())
+        } else {
+            Ok(vec![(e.id, self.counter_delta(core, e))])
+        }
+    }
+
+    /// The stable id of an event (to correlate group reads in samples).
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds.
+    pub fn id_of(&self, fd: EventFd) -> Result<u64, Errno> {
+        Ok(self.event_ref(fd)?.id)
+    }
+
+    /// Drain the decoded records from a sampling event's ring buffer.
+    ///
+    /// # Errors
+    /// `EBADF` for stale fds, `EINVAL` for counting events.
+    pub fn drain_records(&mut self, fd: EventFd) -> Result<Vec<Record>, Errno> {
+        let e = self
+            .events
+            .get_mut(fd.0)
+            .and_then(|e| e.as_mut())
+            .ok_or(Errno::EBADF)?;
+        let ring = e.ring.as_mut().ok_or(Errno::EINVAL)?;
+        Ok(ring.drain())
+    }
+
+    /// The hardware overflow interrupt handler. `overflow_mask` is the
+    /// counter bitmask reported by [`Core::retire`]; `ctx` carries the
+    /// interrupted context. Builds samples, writes ring buffers, re-arms
+    /// periods, and charges handler overhead in Supervisor mode.
+    pub fn on_overflow(&mut self, core: &mut Core, overflow_mask: u32, ctx: &OverflowCtx) {
+        if overflow_mask == 0 {
+            return;
+        }
+        let prev_mode = core.mode();
+        core.set_mode(PrivMode::Supervisor);
+
+        for idx in 0..self.events.len() {
+            let Some(e) = self.events[idx].as_ref() else {
+                continue;
+            };
+            if !e.enabled || !e.attr.is_sampling() {
+                continue;
+            }
+            if overflow_mask & (1 << e.counter) == 0 {
+                continue;
+            }
+            let st = e.attr.sample_type;
+            let period = e.attr.sample_period;
+            let counter = e.counter;
+            let read_group = if st.read {
+                self.group_indices(idx)
+                    .into_iter()
+                    .map(|m| {
+                        let me = self.events[m].as_ref().expect("group index valid");
+                        (me.id, self.counter_delta_now(core, me))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let sample = SampleRecord {
+                ip: st.ip.then_some(ctx.ip),
+                tid: st.tid.then_some(ctx.tid),
+                time: st.time.then_some(core.cycles()),
+                period: st.period.then_some(period),
+                read_group,
+                callchain: if st.callchain {
+                    ctx.callchain.clone()
+                } else {
+                    Vec::new()
+                },
+            };
+            let e = self.events[idx].as_mut().expect("checked above");
+            e.ring
+                .as_mut()
+                .expect("sampling events have rings")
+                .push_sample(&sample);
+            self.samples_taken += 1;
+            // Re-arm the sampling period.
+            let rearm = (period as i64).wrapping_neg() as u64;
+            let _ = self.sbi.counter_write(core, counter, rearm);
+        }
+
+        // Handler overhead: cycles burned in supervisor mode.
+        let _ = core.idle(self.sample_overhead_cycles);
+        core.set_mode(prev_mode);
+    }
+
+    fn counter_delta(&self, core: &Core, e: &PerfEvent) -> u64 {
+        self.sbi
+            .counter_read(core, e.counter)
+            .unwrap_or(0)
+            .wrapping_sub(e.base)
+    }
+
+    /// Raw counter value for group reads in samples (tools consume
+    /// deltas between samples, so the absolute offset is irrelevant, but
+    /// subtracting `base` keeps counting and sampling reads consistent).
+    fn counter_delta_now(&self, core: &Core, e: &PerfEvent) -> u64 {
+        self.counter_delta(core, e)
+    }
+
+    fn event_ref(&self, fd: EventFd) -> Result<&PerfEvent, Errno> {
+        self.events
+            .get(fd.0)
+            .and_then(|e| e.as_ref())
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Leader index + members, in stable order.
+    fn group_indices(&self, leader_idx: usize) -> Vec<usize> {
+        let mut out = vec![leader_idx];
+        if let Some(Some(le)) = self.events.get(leader_idx) {
+            out.extend(le.members.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{HwCounter, ReadFormat, SampleType};
+    use mperf_sim::machine_op::{MachineOp, OpClass};
+    use mperf_sim::PlatformSpec;
+
+    fn boot(spec: PlatformSpec) -> (Core, PerfKernel) {
+        let mut core = Core::new(spec);
+        let kernel = PerfKernel::new(&mut core);
+        (core, kernel)
+    }
+
+    /// Drive the core through `n` ALU ops, routing overflows to the
+    /// kernel like the execution engine does.
+    fn run_ops(core: &mut Core, kernel: &mut PerfKernel, n: u64) {
+        for i in 0..n {
+            let info = core.retire(&MachineOp::simple(OpClass::IntAlu, 0x400 + i % 64));
+            if info.overflow != 0 {
+                let ctx = OverflowCtx {
+                    ip: 0x400 + i % 64,
+                    tid: 1,
+                    callchain: vec![0x400 + i % 64, 0x100],
+                };
+                kernel.on_overflow(core, info.overflow, &ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_cycles_and_instructions() {
+        let (mut core, mut kernel) = boot(PlatformSpec::c910());
+        let fd_c = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles)),
+                None,
+            )
+            .unwrap();
+        let fd_i = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Instructions)),
+                None,
+            )
+            .unwrap();
+        kernel.enable(&mut core, fd_c).unwrap();
+        kernel.enable(&mut core, fd_i).unwrap();
+        run_ops(&mut core, &mut kernel, 1000);
+        let cycles = kernel.read(&core, fd_c).unwrap()[0].1;
+        let instr = kernel.read(&core, fd_i).unwrap()[0].1;
+        assert_eq!(instr, 1000);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn sampling_works_on_c910() {
+        let (mut core, mut kernel) = boot(PlatformSpec::c910());
+        let fd = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::sampling(EventKind::Hardware(HwCounter::Cycles), 500),
+                None,
+            )
+            .unwrap();
+        kernel.enable(&mut core, fd).unwrap();
+        run_ops(&mut core, &mut kernel, 30_000);
+        let records = kernel.drain_records(fd).unwrap();
+        let samples = records
+            .iter()
+            .filter(|r| matches!(r, Record::Sample(_)))
+            .count();
+        assert!(samples > 10, "got {samples} samples");
+    }
+
+    #[test]
+    fn sampling_cycles_fails_with_eopnotsupp_on_x60() {
+        let (mut core, mut kernel) = boot(PlatformSpec::x60());
+        let err = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::sampling(EventKind::Hardware(HwCounter::Cycles), 500),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, Errno::EOPNOTSUPP);
+        let err = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::sampling(EventKind::Hardware(HwCounter::Instructions), 500),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, Errno::EOPNOTSUPP);
+    }
+
+    #[test]
+    fn sampling_anything_fails_on_u74() {
+        let (mut core, mut kernel) = boot(PlatformSpec::u74());
+        for hw in [HwCounter::Cycles, HwCounter::CacheMisses] {
+            let err = kernel
+                .open(
+                    &mut core,
+                    PerfEventAttr::sampling(EventKind::Hardware(hw), 500),
+                    None,
+                )
+                .unwrap_err();
+            assert_eq!(err, Errno::EOPNOTSUPP, "{hw:?}");
+        }
+    }
+
+    /// The paper's §3.3 workaround, end to end: a sampling-capable
+    /// `u_mode_cycle` leader with `mcycle`/`minstret` group members whose
+    /// values ride along in each sample's group read.
+    #[test]
+    fn x60_mode_cycle_leader_group_workaround() {
+        let (mut core, mut kernel) = boot(PlatformSpec::x60());
+        let umc_code = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);
+        let leader_attr = PerfEventAttr {
+            kind: EventKind::Raw(umc_code),
+            sample_period: 1000,
+            sample_type: SampleType::full(),
+            read_format: ReadFormat {
+                group: true,
+                id: true,
+            },
+            disabled: true,
+        };
+        let leader = kernel.open(&mut core, leader_attr, None).unwrap();
+        let cyc = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles)),
+                Some(leader),
+            )
+            .unwrap();
+        let ins = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Instructions)),
+                Some(leader),
+            )
+            .unwrap();
+        kernel.enable(&mut core, leader).unwrap();
+        run_ops(&mut core, &mut kernel, 50_000);
+        kernel.disable(&mut core, leader).unwrap();
+
+        let records = kernel.drain_records(leader).unwrap();
+        let samples: Vec<&SampleRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Sample(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(samples.len() >= 10, "{}", samples.len());
+        let cyc_id = kernel.id_of(cyc).unwrap();
+        let ins_id = kernel.id_of(ins).unwrap();
+        // Every sample carries all three counters.
+        for s in &samples {
+            assert_eq!(s.read_group.len(), 3, "{s:?}");
+            assert!(s.read_group.iter().any(|(id, _)| *id == cyc_id));
+            assert!(s.read_group.iter().any(|(id, _)| *id == ins_id));
+            assert!(s.ip.is_some());
+            assert!(!s.callchain.is_empty());
+        }
+        // IPC from consecutive sample deltas is finite and plausible.
+        let get = |s: &SampleRecord, id: u64| {
+            s.read_group
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, v)| *v)
+                .expect("id present")
+        };
+        let (first, last) = (samples[0], samples[samples.len() - 1]);
+        let dcyc = get(last, cyc_id) - get(first, cyc_id);
+        let dins = get(last, ins_id) - get(first, ins_id);
+        assert!(dcyc > 0 && dins > 0);
+        let ipc = dins as f64 / dcyc as f64;
+        assert!(ipc > 0.1 && ipc < 4.0, "ipc={ipc}");
+    }
+
+    #[test]
+    fn group_member_enable_is_einval() {
+        let (mut core, mut kernel) = boot(PlatformSpec::c910());
+        let leader = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::sampling(EventKind::Hardware(HwCounter::Cycles), 1000),
+                None,
+            )
+            .unwrap();
+        let member = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Instructions)),
+                Some(leader),
+            )
+            .unwrap();
+        assert_eq!(kernel.enable(&mut core, member), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn groups_do_not_nest() {
+        let (mut core, mut kernel) = boot(PlatformSpec::c910());
+        let leader = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Cycles)),
+                None,
+            )
+            .unwrap();
+        let member = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::Instructions)),
+                Some(leader),
+            )
+            .unwrap();
+        let err = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::BranchMisses)),
+                Some(member),
+            )
+            .unwrap_err();
+        assert_eq!(err, Errno::EINVAL);
+    }
+
+    #[test]
+    fn counter_exhaustion_returns_enospc() {
+        let (mut core, mut kernel) = boot(PlatformSpec::u74()); // 2 HPM counters
+        for _ in 0..2 {
+            kernel
+                .open(
+                    &mut core,
+                    PerfEventAttr::counting(EventKind::Hardware(HwCounter::CacheMisses)),
+                    None,
+                )
+                .unwrap();
+        }
+        let err = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::CacheMisses)),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, Errno::ENOSPC);
+    }
+
+    #[test]
+    fn unknown_raw_event_is_enoent() {
+        let (mut core, mut kernel) = boot(PlatformSpec::x60());
+        let err = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Raw(0xdddd_dddd)),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, Errno::ENOENT);
+    }
+
+    #[test]
+    fn close_releases_counters_members_first() {
+        let (mut core, mut kernel) = boot(PlatformSpec::u74());
+        let a = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::CacheMisses)),
+                None,
+            )
+            .unwrap();
+        let b = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::BranchMisses)),
+                Some(a),
+            )
+            .unwrap();
+        assert_eq!(kernel.close(&mut core, a), Err(Errno::EINVAL), "members first");
+        kernel.close(&mut core, b).unwrap();
+        kernel.close(&mut core, a).unwrap();
+        // Both counters free again.
+        kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::CacheMisses)),
+                None,
+            )
+            .unwrap();
+        kernel
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Hardware(HwCounter::BranchMisses)),
+                None,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn sampling_overhead_accrues_supervisor_cycles() {
+        let (mut core, mut kernel) = boot(PlatformSpec::x60());
+        // Program an HPM counter to count S-mode cycles so we can observe
+        // the handler overhead.
+        let smc_code = core.spec.event_code(mperf_sim::HwEvent::SModeCycles);
+        let s_fd = kernel
+            .open(&mut core, PerfEventAttr::counting(EventKind::Raw(smc_code)), None)
+            .unwrap();
+        kernel.enable(&mut core, s_fd).unwrap();
+        let umc = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);
+        let leader = kernel
+            .open(
+                &mut core,
+                PerfEventAttr::sampling(EventKind::Raw(umc), 2000),
+                None,
+            )
+            .unwrap();
+        kernel.enable(&mut core, leader).unwrap();
+        run_ops(&mut core, &mut kernel, 50_000);
+        let s_cycles = kernel.read(&core, s_fd).unwrap()[0].1;
+        assert!(
+            s_cycles >= kernel.samples_taken() * kernel.sample_overhead_cycles,
+            "supervisor time from sampling handlers: {s_cycles}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # mperf-event — a Linux `perf_event` subsystem model
+//!
+//! Implements the kernel side of the paper's §3.2: `perf_event_open`-style
+//! event creation, event *groups* with leader-driven scheduling, counting
+//! and sampling modes, overflow-interrupt handling, byte-encoded ring
+//! buffers, and the `PERF_SAMPLE_READ` + `PERF_FORMAT_GROUP` semantics the
+//! X60 workaround leverages (§3.3):
+//!
+//! > "configuring one of these sampling-capable counters as a leader group
+//! > causes mcycles and minstret to be sampled concurrently within that
+//! > group, triggered by the leader's overflow frequency."
+//!
+//! Failures are modeled faithfully: requesting sampling on a counter whose
+//! hardware cannot raise overflow interrupts returns `EOPNOTSUPP` (what
+//! the stock `perf` tool hits on the SpacemiT X60), while miniperf's
+//! auto-grouping sidesteps it.
+
+pub mod attr;
+pub mod errno;
+pub mod kernel;
+pub mod ring;
+pub mod sample;
+
+pub use attr::{EventKind, HwCounter, PerfEventAttr, ReadFormat, SampleType};
+pub use errno::Errno;
+pub use kernel::{EventFd, OverflowCtx, PerfKernel};
+pub use ring::RingBuffer;
+pub use sample::{Record, SampleRecord};

@@ -1,0 +1,206 @@
+//! A byte-level ring buffer with perf-style record framing.
+//!
+//! Records are written with an 8-byte header (`type: u32`, `misc: u16`,
+//! `size: u16` covering header+payload). When there is not enough free
+//! space the record is dropped and a loss counter incremented; the next
+//! successful drain surfaces the loss as a `Record::Lost`.
+
+use crate::sample::{Record, SampleRecord, RECORD_SAMPLE};
+use crate::attr::SampleType;
+
+/// Fixed-capacity byte ring buffer.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<u8>,
+    head: usize,
+    tail: usize,
+    used: usize,
+    lost: u64,
+    /// Decoding needs the sample layout; captured at creation from the
+    /// owning event's `sample_type`.
+    sample_type: SampleType,
+}
+
+const HEADER_BYTES: usize = 8;
+
+impl RingBuffer {
+    /// A ring of `capacity` bytes for records of layout `sample_type`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is smaller than one header.
+    pub fn new(capacity: usize, sample_type: SampleType) -> RingBuffer {
+        assert!(capacity >= 64, "ring too small to hold any record");
+        RingBuffer {
+            buf: vec![0; capacity],
+            head: 0,
+            tail: 0,
+            used: 0,
+            lost: 0,
+            sample_type,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes currently queued.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Records dropped since the last drain.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Append a sample; returns false (and counts a loss) when full.
+    pub fn push_sample(&mut self, s: &SampleRecord) -> bool {
+        let mut payload = Vec::with_capacity(64);
+        s.encode(self.sample_type, &mut payload);
+        let total = HEADER_BYTES + payload.len();
+        if total > self.buf.len() - self.used {
+            self.lost += 1;
+            return false;
+        }
+        let size = total as u16;
+        self.write_bytes(&RECORD_SAMPLE.to_le_bytes());
+        self.write_bytes(&0u16.to_le_bytes()); // misc
+        self.write_bytes(&size.to_le_bytes());
+        self.write_bytes(&payload);
+        true
+    }
+
+    /// Drain all queued records, decoding them. A pending loss count is
+    /// reported first.
+    pub fn drain(&mut self) -> Vec<Record> {
+        let mut out = Vec::new();
+        if self.lost > 0 {
+            out.push(Record::Lost(self.lost));
+            self.lost = 0;
+        }
+        while self.used > 0 {
+            let ty = u32::from_le_bytes(self.read_array::<4>());
+            let _misc = u16::from_le_bytes(self.read_array::<2>());
+            let size = u16::from_le_bytes(self.read_array::<2>()) as usize;
+            let payload_len = size - HEADER_BYTES;
+            let mut payload = vec![0u8; payload_len];
+            for b in payload.iter_mut() {
+                *b = self.buf[self.tail];
+                self.tail = (self.tail + 1) % self.buf.len();
+            }
+            self.used -= payload_len;
+            debug_assert_eq!(ty, RECORD_SAMPLE, "only samples are queued");
+            match SampleRecord::decode(self.sample_type, &payload) {
+                Ok(s) => out.push(Record::Sample(s)),
+                Err(e) => unreachable!("ring corrupted: {e}"),
+            }
+        }
+        out
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.buf[self.head] = b;
+            self.head = (self.head + 1) % self.buf.len();
+        }
+        self.used += bytes.len();
+    }
+
+    fn read_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = self.buf[self.tail];
+            self.tail = (self.tail + 1) % self.buf.len();
+        }
+        self.used -= N;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ip: u64) -> SampleRecord {
+        SampleRecord {
+            ip: Some(ip),
+            tid: Some(1),
+            time: Some(ip * 10),
+            period: Some(100),
+            ..SampleRecord::default()
+        }
+    }
+
+    #[test]
+    fn push_and_drain_roundtrip() {
+        let mut ring = RingBuffer::new(4096, SampleType::basic());
+        for i in 0..10 {
+            assert!(ring.push_sample(&sample(i)));
+        }
+        let records = ring.drain();
+        assert_eq!(records.len(), 10);
+        match &records[3] {
+            Record::Sample(s) => assert_eq!(s.ip, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ring.used(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_reports_lost() {
+        let mut ring = RingBuffer::new(128, SampleType::basic());
+        let mut accepted = 0;
+        for i in 0..100 {
+            if ring.push_sample(&sample(i)) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 100);
+        let records = ring.drain();
+        match &records[0] {
+            Record::Lost(n) => assert_eq!(*n, 100 - accepted),
+            other => panic!("lost record first: {other:?}"),
+        }
+        assert_eq!(records.len() as u64, accepted + 1);
+    }
+
+    #[test]
+    fn wraps_around_the_byte_boundary() {
+        let mut ring = RingBuffer::new(256, SampleType::basic());
+        // Interleave pushes and drains so head/tail wrap repeatedly.
+        for round in 0..50u64 {
+            assert!(ring.push_sample(&sample(round)));
+            assert!(ring.push_sample(&sample(round + 1000)));
+            let records = ring.drain();
+            assert_eq!(records.len(), 2, "round {round}");
+            match &records[0] {
+                Record::Sample(s) => assert_eq!(s.ip, Some(round)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn group_reads_survive_the_ring() {
+        let st = SampleType::full();
+        let mut ring = RingBuffer::new(1024, st);
+        let s = SampleRecord {
+            ip: Some(7),
+            tid: Some(1),
+            time: Some(2),
+            period: Some(3),
+            read_group: vec![(10, 111), (11, 222)],
+            callchain: vec![7, 8, 9],
+        };
+        ring.push_sample(&s);
+        match &ring.drain()[0] {
+            Record::Sample(d) => {
+                assert_eq!(d.read_group, vec![(10, 111), (11, 222)]);
+                assert_eq!(d.callchain, vec![7, 8, 9]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Sample records and their byte encoding/decoding.
+//!
+//! Records follow perf's framing: an 8-byte header (`type`, `misc`,
+//! `size`) followed by the fields selected by `sample_type`, in a fixed
+//! order (here: IP, TID, TIME, PERIOD, READ, CALLCHAIN).
+
+use crate::attr::SampleType;
+
+/// Record type tags (subset of `PERF_RECORD_*`).
+pub const RECORD_SAMPLE: u32 = 9;
+/// Synthesized when the ring buffer dropped records.
+pub const RECORD_LOST: u32 = 2;
+
+/// One decoded record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    Sample(SampleRecord),
+    /// `n` records were dropped because the ring buffer was full.
+    Lost(u64),
+}
+
+/// A decoded `PERF_RECORD_SAMPLE`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleRecord {
+    pub ip: Option<u64>,
+    pub tid: Option<u32>,
+    pub time: Option<u64>,
+    pub period: Option<u64>,
+    /// Group read: `(event_id, value)` pairs, leader first.
+    pub read_group: Vec<(u64, u64)>,
+    /// Call chain, innermost frame first.
+    pub callchain: Vec<u64>,
+}
+
+impl SampleRecord {
+    /// Encode the payload (no header) per `st`. Fields not selected are
+    /// skipped even if present on the struct.
+    pub fn encode(&self, st: SampleType, out: &mut Vec<u8>) {
+        if st.ip {
+            out.extend_from_slice(&self.ip.unwrap_or(0).to_le_bytes());
+        }
+        if st.tid {
+            out.extend_from_slice(&self.tid.unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // padding (pid slot)
+        }
+        if st.time {
+            out.extend_from_slice(&self.time.unwrap_or(0).to_le_bytes());
+        }
+        if st.period {
+            out.extend_from_slice(&self.period.unwrap_or(0).to_le_bytes());
+        }
+        if st.read {
+            out.extend_from_slice(&(self.read_group.len() as u64).to_le_bytes());
+            for (id, value) in &self.read_group {
+                out.extend_from_slice(&value.to_le_bytes());
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        if st.callchain {
+            out.extend_from_slice(&(self.callchain.len() as u64).to_le_bytes());
+            for ip in &self.callchain {
+                out.extend_from_slice(&ip.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode a payload encoded with `st`.
+    ///
+    /// # Errors
+    /// Returns a message on truncated input.
+    pub fn decode(st: SampleType, bytes: &[u8]) -> Result<SampleRecord, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let mut s = SampleRecord::default();
+        if st.ip {
+            s.ip = Some(r.u64()?);
+        }
+        if st.tid {
+            s.tid = Some(r.u32()?);
+            let _pad = r.u32()?;
+        }
+        if st.time {
+            s.time = Some(r.u64()?);
+        }
+        if st.period {
+            s.period = Some(r.u64()?);
+        }
+        if st.read {
+            let n = r.u64()? as usize;
+            if n > 1024 {
+                return Err(format!("implausible group size {n}"));
+            }
+            for _ in 0..n {
+                let value = r.u64()?;
+                let id = r.u64()?;
+                s.read_group.push((id, value));
+            }
+        }
+        if st.callchain {
+            let n = r.u64()? as usize;
+            if n > 4096 {
+                return Err(format!("implausible callchain depth {n}"));
+            }
+            for _ in 0..n {
+                s.callchain.push(r.u64()?);
+            }
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "trailing bytes: consumed {} of {}",
+                r.pos,
+                bytes.len()
+            ));
+        }
+        Ok(s)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos + 8;
+        if end > self.bytes.len() {
+            return Err("truncated record".into());
+        }
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated record".into());
+        }
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SampleRecord {
+        SampleRecord {
+            ip: Some(0x0040_1234),
+            tid: Some(42),
+            time: Some(123_456_789),
+            period: Some(4096),
+            read_group: vec![(1, 999), (2, 888), (3, 777)],
+            callchain: vec![0x0040_1234, 0x0040_0100, 0x0040_0000],
+        }
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let st = SampleType::full();
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(st, &mut buf);
+        let d = SampleRecord::decode(st, &buf).unwrap();
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn roundtrip_basic_drops_unselected_fields() {
+        let st = SampleType::basic();
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(st, &mut buf);
+        let d = SampleRecord::decode(st, &buf).unwrap();
+        assert_eq!(d.ip, s.ip);
+        assert_eq!(d.period, s.period);
+        assert!(d.read_group.is_empty());
+        assert!(d.callchain.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let st = SampleType::full();
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(st, &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert!(SampleRecord::decode(st, &buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let st = SampleType::basic();
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(st, &mut buf);
+        buf.extend_from_slice(&[0; 8]);
+        assert!(SampleRecord::decode(st, &buf).is_err());
+    }
+
+    #[test]
+    fn empty_sample_type_is_empty_payload() {
+        let st = SampleType::default();
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(st, &mut buf);
+        assert!(buf.is_empty());
+        let d = SampleRecord::decode(st, &buf).unwrap();
+        assert_eq!(d, SampleRecord::default());
+    }
+}

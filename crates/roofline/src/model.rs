@@ -1,0 +1,234 @@
+//! The roofline model: roofs, points, and bound classification.
+
+/// What limits a roof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoofKind {
+    /// A compute ceiling in GFLOP/s.
+    Compute,
+    /// A bandwidth ceiling in GB/s (performance = bw × AI).
+    Memory,
+}
+
+/// One performance ceiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roof {
+    pub name: String,
+    pub kind: RoofKind,
+    /// GFLOP/s for compute roofs; GB/s for memory roofs.
+    pub value: f64,
+}
+
+impl Roof {
+    /// A compute roof.
+    pub fn compute(name: impl Into<String>, gflops: f64) -> Roof {
+        Roof {
+            name: name.into(),
+            kind: RoofKind::Compute,
+            value: gflops,
+        }
+    }
+
+    /// A memory-bandwidth roof.
+    pub fn memory(name: impl Into<String>, gbps: f64) -> Roof {
+        Roof {
+            name: name.into(),
+            kind: RoofKind::Memory,
+            value: gbps,
+        }
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` under this roof
+    /// alone.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        match self.kind {
+            RoofKind::Compute => self.value,
+            RoofKind::Memory => self.value * ai,
+        }
+    }
+}
+
+/// A measured application point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub name: String,
+    /// Arithmetic intensity in FLOP/byte.
+    pub ai: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Which ceiling binds an application point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    MemoryBound,
+    ComputeBound,
+}
+
+/// A full roofline: the ceilings of one machine plus measured points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RooflineModel {
+    pub machine: String,
+    pub roofs: Vec<Roof>,
+    pub points: Vec<Point>,
+}
+
+impl RooflineModel {
+    /// An empty model for a machine.
+    pub fn new(machine: impl Into<String>) -> RooflineModel {
+        RooflineModel {
+            machine: machine.into(),
+            ..RooflineModel::default()
+        }
+    }
+
+    /// Add a roof (builder style).
+    pub fn with_roof(mut self, roof: Roof) -> Self {
+        self.roofs.push(roof);
+        self
+    }
+
+    /// Add a measured point.
+    pub fn add_point(&mut self, point: Point) {
+        self.points.push(point);
+    }
+
+    /// The tightest attainable GFLOP/s at intensity `ai` (the model's
+    /// upper envelope).
+    ///
+    /// # Panics
+    /// Panics if the model has no roofs.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        let best_mem = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Memory)
+            .map(|r| r.attainable(ai))
+            .fold(f64::INFINITY, f64::min);
+        let best_cmp = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Compute)
+            .map(|r| r.value)
+            .fold(f64::INFINITY, f64::min);
+        let v = best_mem.min(best_cmp);
+        assert!(v.is_finite(), "roofline model needs at least one roof");
+        v
+    }
+
+    /// Which regime an intensity falls into, using the *outermost*
+    /// memory/compute roofs (the classic dichotomy the paper describes).
+    ///
+    /// # Panics
+    /// Panics if either roof class is missing.
+    pub fn bound_at(&self, ai: f64) -> Bound {
+        let mem = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Memory)
+            .map(|r| r.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cmp = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Compute)
+            .map(|r| r.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            mem.is_finite() && cmp.is_finite(),
+            "bound_at needs a memory roof and a compute roof"
+        );
+        if mem * ai < cmp {
+            Bound::MemoryBound
+        } else {
+            Bound::ComputeBound
+        }
+    }
+
+    /// The ridge point (AI where the outermost memory roof meets the
+    /// outermost compute roof).
+    ///
+    /// # Panics
+    /// Panics if either roof class is missing.
+    pub fn ridge(&self) -> f64 {
+        let mem = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Memory)
+            .map(|r| r.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cmp = self
+            .roofs
+            .iter()
+            .filter(|r| r.kind == RoofKind::Compute)
+            .map(|r| r.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(mem.is_finite() && cmp.is_finite());
+        cmp / mem
+    }
+
+    /// Efficiency of a point: achieved / attainable at its intensity.
+    pub fn efficiency(&self, p: &Point) -> f64 {
+        p.gflops / self.attainable(p.ai)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x60_like() -> RooflineModel {
+        RooflineModel::new("x60")
+            .with_roof(Roof::compute("RVV peak", 25.6))
+            .with_roof(Roof::memory("DRAM", 5.06))
+    }
+
+    #[test]
+    fn attainable_follows_envelope() {
+        let m = x60_like();
+        // Low AI: memory bound.
+        assert!((m.attainable(0.5) - 2.53).abs() < 0.01);
+        // High AI: compute bound.
+        assert_eq!(m.attainable(100.0), 25.6);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let m = x60_like();
+        let r = m.ridge();
+        assert!((r - 25.6 / 5.06).abs() < 1e-9);
+        assert_eq!(m.bound_at(r * 0.5), Bound::MemoryBound);
+        assert_eq!(m.bound_at(r * 2.0), Bound::ComputeBound);
+    }
+
+    #[test]
+    fn efficiency_of_points() {
+        let mut m = x60_like();
+        m.add_point(Point {
+            name: "matmul".into(),
+            ai: 2.0,
+            gflops: 1.58,
+        });
+        let p = m.points[0].clone();
+        let eff = m.efficiency(&p);
+        // Attainable at AI 2.0 = min(25.6, 10.12) = 10.12.
+        assert!((eff - 1.58 / 10.12).abs() < 1e-6);
+        assert!(eff < 0.2, "paper's point is far below the roofs");
+    }
+
+    #[test]
+    fn multiple_memory_roofs_take_tightest() {
+        let m = RooflineModel::new("m")
+            .with_roof(Roof::compute("peak", 100.0))
+            .with_roof(Roof::memory("L2", 50.0))
+            .with_roof(Roof::memory("DRAM", 10.0));
+        // DRAM is the binding roof at low AI.
+        assert_eq!(m.attainable(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one roof")]
+    fn empty_model_panics() {
+        let m = RooflineModel::new("empty");
+        let _ = m.attainable(1.0);
+    }
+}

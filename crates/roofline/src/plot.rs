@@ -1,0 +1,280 @@
+//! Roofline plot rendering: ASCII (for terminals), SVG, and CSV series.
+
+use crate::model::{RoofKind, RooflineModel};
+
+/// Render an ASCII log-log roofline plot.
+///
+/// The x axis is arithmetic intensity (FLOP/byte), the y axis GFLOP/s;
+/// `*` marks application points, `-`/`\` the roof envelope.
+pub fn ascii(model: &RooflineModel, width: usize, height: usize) -> String {
+    let (width, height) = (width.max(40), height.max(10));
+    let xs = log_range(model, width);
+    let (ymin, ymax) = y_range(model);
+    let mut grid = vec![vec![b' '; width]; height];
+
+    // Envelope.
+    for (col, &ai) in xs.iter().enumerate() {
+        let y = model.attainable(ai);
+        if let Some(row) = to_row(y, ymin, ymax, height) {
+            grid[row][col] = b'-';
+        }
+    }
+    // Points.
+    for p in &model.points {
+        let col = to_col(p.ai, &xs);
+        if let Some(row) = to_row(p.gflops, ymin, ymax, height) {
+            grid[row][col] = b'*';
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Roofline: {} (y: {:.2}..{:.0} GFLOP/s, x: {:.3}..{:.0} FLOP/B, log-log)\n",
+        model.machine,
+        ymin,
+        ymax,
+        xs[0],
+        xs[width - 1]
+    ));
+    for row in grid {
+        out.push_str("  |");
+        out.push_str(&String::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for p in &model.points {
+        out.push_str(&format!(
+            "  * {}: AI={:.3} FLOP/B, {:.2} GFLOP/s ({:.1}% of attainable)\n",
+            p.name,
+            p.ai,
+            p.gflops,
+            100.0 * model.efficiency(p)
+        ));
+    }
+    out
+}
+
+/// Render an SVG roofline plot.
+pub fn svg(model: &RooflineModel, width: u32, height: u32) -> String {
+    let (w, h) = (width.max(320) as f64, height.max(240) as f64);
+    let margin = 48.0;
+    let xs = log_range(model, 256);
+    let (ymin, ymax) = y_range(model);
+    let (x0, x1) = (xs[0].log10(), xs[xs.len() - 1].log10());
+    let (ly0, ly1) = (ymin.log10(), ymax.log10());
+    let sx = |ai: f64| margin + (ai.log10() - x0) / (x1 - x0) * (w - 2.0 * margin);
+    let sy = |gf: f64| h - margin - (gf.log10() - ly0) / (ly1 - ly0) * (h - 2.0 * margin);
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    ));
+    s.push_str(&format!(
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-family="monospace" font-size="14">Roofline: {}</text>"#,
+        margin,
+        xml_escape(&model.machine)
+    ));
+    // Axes.
+    s.push_str(&format!(
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>"#,
+        m = margin,
+        b = h - margin,
+        r = w - margin,
+        t = margin
+    ));
+    // Envelope polyline.
+    let mut pts = String::new();
+    for &ai in &xs {
+        pts.push_str(&format!("{:.1},{:.1} ", sx(ai), sy(model.attainable(ai))));
+    }
+    s.push_str(&format!(
+        r##"<polyline points="{pts}" fill="none" stroke="#1f77b4" stroke-width="2"/>"##
+    ));
+    // Individual roofs as faint lines with labels.
+    for roof in &model.roofs {
+        let label = format!("{} = {:.2}", xml_escape(&roof.name), roof.value);
+        match roof.kind {
+            RoofKind::Compute => {
+                s.push_str(&format!(
+                    r##"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#aaaaaa" stroke-dasharray="4"/><text x="{}" y="{}" font-family="monospace" font-size="10">{label}</text>"##,
+                    margin,
+                    w - margin,
+                    w - margin - 220.0,
+                    sy(roof.value) - 4.0,
+                    y = sy(roof.value),
+                ));
+            }
+            RoofKind::Memory => {
+                // Diagonal: y = bw * x between the axis limits.
+                let a0 = xs[0].max(ymin / roof.value);
+                let a1 = xs[xs.len() - 1].min(ymax / roof.value);
+                if a0 < a1 {
+                    s.push_str(&format!(
+                        r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#aaaaaa" stroke-dasharray="4"/><text x="{:.1}" y="{:.1}" font-family="monospace" font-size="10">{label}</text>"##,
+                        sx(a0),
+                        sy(roof.value * a0),
+                        sx(a1),
+                        sy(roof.value * a1),
+                        sx(a0) + 4.0,
+                        sy(roof.value * a0) - 6.0,
+                    ));
+                }
+            }
+        }
+    }
+    // Points.
+    for p in &model.points {
+        s.push_str(&format!(
+            r##"<circle cx="{:.1}" cy="{:.1}" r="5" fill="#d62728"/><text x="{:.1}" y="{:.1}" font-family="monospace" font-size="11">{} ({:.2} GF/s)</text>"##,
+            sx(p.ai),
+            sy(p.gflops),
+            sx(p.ai) + 8.0,
+            sy(p.gflops) + 4.0,
+            xml_escape(&p.name),
+            p.gflops
+        ));
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Emit the model as CSV: roofs then points.
+pub fn csv(model: &RooflineModel) -> String {
+    let mut out = String::from("kind,name,ai_flop_per_byte,gflops\n");
+    for r in &model.roofs {
+        let kind = match r.kind {
+            RoofKind::Compute => "compute-roof",
+            RoofKind::Memory => "memory-roof",
+        };
+        out.push_str(&format!("{kind},{},,{}\n", csv_escape(&r.name), r.value));
+    }
+    for p in &model.points {
+        out.push_str(&format!(
+            "point,{},{},{}\n",
+            csv_escape(&p.name),
+            p.ai,
+            p.gflops
+        ));
+    }
+    out
+}
+
+fn log_range(model: &RooflineModel, steps: usize) -> Vec<f64> {
+    let mut lo: f64 = 1.0 / 64.0;
+    let mut hi: f64 = 64.0;
+    for p in &model.points {
+        lo = lo.min(p.ai / 2.0);
+        hi = hi.max(p.ai * 2.0);
+    }
+    if !model.roofs.is_empty()
+        && model.roofs.iter().any(|r| r.kind == RoofKind::Memory)
+        && model.roofs.iter().any(|r| r.kind == RoofKind::Compute)
+    {
+        let ridge = model.ridge();
+        lo = lo.min(ridge / 8.0);
+        hi = hi.max(ridge * 8.0);
+    }
+    let (l0, l1) = (lo.log10(), hi.log10());
+    (0..steps)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (steps - 1) as f64))
+        .collect()
+}
+
+fn y_range(model: &RooflineModel) -> (f64, f64) {
+    let mut top: f64 = 1.0;
+    for r in &model.roofs {
+        if r.kind == RoofKind::Compute {
+            top = top.max(r.value);
+        }
+    }
+    let mut bottom = top / 1024.0;
+    for p in &model.points {
+        top = top.max(p.gflops * 2.0);
+        bottom = bottom.min(p.gflops / 4.0);
+    }
+    (bottom.max(1e-3), top * 2.0)
+}
+
+fn to_row(y: f64, ymin: f64, ymax: f64, height: usize) -> Option<usize> {
+    if y <= 0.0 {
+        return None;
+    }
+    let t = (y.log10() - ymin.log10()) / (ymax.log10() - ymin.log10());
+    if !(0.0..=1.0).contains(&t) {
+        return None;
+    }
+    Some(((1.0 - t) * (height - 1) as f64).round() as usize)
+}
+
+fn to_col(ai: f64, xs: &[f64]) -> usize {
+    xs.iter()
+        .position(|&x| x >= ai)
+        .unwrap_or(xs.len() - 1)
+        .min(xs.len() - 1)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') {
+        format!("\"{s}\"")
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Point, Roof, RooflineModel};
+
+    fn model() -> RooflineModel {
+        let mut m = RooflineModel::new("SpacemiT X60")
+            .with_roof(Roof::compute("RVV peak", 25.6))
+            .with_roof(Roof::memory("DRAM", 5.06));
+        m.add_point(Point {
+            name: "matmul".into(),
+            ai: 2.0,
+            gflops: 1.58,
+        });
+        m
+    }
+
+    #[test]
+    fn ascii_renders_points_and_legend() {
+        let s = ascii(&model(), 60, 18);
+        assert!(s.contains('*'), "{s}");
+        assert!(s.contains("matmul"), "{s}");
+        assert!(s.contains("GFLOP/s"), "{s}");
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let s = svg(&model(), 640, 480);
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>"));
+        assert!(s.contains("circle"));
+        assert!(s.contains("polyline"));
+        assert_eq!(s.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn csv_lists_roofs_and_points() {
+        let s = csv(&model());
+        assert!(s.contains("compute-roof,RVV peak"));
+        assert!(s.contains("memory-roof,DRAM"));
+        assert!(s.contains("point,matmul,2,1.58"));
+    }
+
+    #[test]
+    fn svg_escapes_names() {
+        let mut m = model();
+        m.points[0].name = "a<b&c".into();
+        let s = svg(&m, 640, 480);
+        assert!(s.contains("a&lt;b&amp;c"));
+    }
+}

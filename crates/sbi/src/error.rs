@@ -1,0 +1,73 @@
+//! SBI return codes (per the SBI specification's `sbiret.error` values).
+
+/// SBI call failure codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbiError {
+    Failed,
+    /// The call or the requested capability is not supported — this is
+    /// what sampling requests on IRQ-less counters return.
+    NotSupported,
+    InvalidParam,
+    Denied,
+    InvalidAddress,
+    AlreadyAvailable,
+    AlreadyStarted,
+    AlreadyStopped,
+}
+
+impl SbiError {
+    /// The numeric code the SBI spec assigns.
+    pub fn code(self) -> i64 {
+        match self {
+            SbiError::Failed => -1,
+            SbiError::NotSupported => -2,
+            SbiError::InvalidParam => -3,
+            SbiError::Denied => -4,
+            SbiError::InvalidAddress => -5,
+            SbiError::AlreadyAvailable => -6,
+            SbiError::AlreadyStarted => -7,
+            SbiError::AlreadyStopped => -8,
+        }
+    }
+}
+
+impl std::fmt::Display for SbiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SbiError::Failed => "SBI_ERR_FAILED",
+            SbiError::NotSupported => "SBI_ERR_NOT_SUPPORTED",
+            SbiError::InvalidParam => "SBI_ERR_INVALID_PARAM",
+            SbiError::Denied => "SBI_ERR_DENIED",
+            SbiError::InvalidAddress => "SBI_ERR_INVALID_ADDRESS",
+            SbiError::AlreadyAvailable => "SBI_ERR_ALREADY_AVAILABLE",
+            SbiError::AlreadyStarted => "SBI_ERR_ALREADY_STARTED",
+            SbiError::AlreadyStopped => "SBI_ERR_ALREADY_STOPPED",
+        };
+        write!(f, "{name} ({})", self.code())
+    }
+}
+
+impl std::error::Error for SbiError {}
+
+/// Result alias for SBI calls.
+pub type SbiResult<T> = Result<T, SbiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_spec() {
+        assert_eq!(SbiError::Failed.code(), -1);
+        assert_eq!(SbiError::NotSupported.code(), -2);
+        assert_eq!(SbiError::InvalidParam.code(), -3);
+        assert_eq!(SbiError::AlreadyStopped.code(), -8);
+    }
+
+    #[test]
+    fn display_carries_name_and_code() {
+        let s = SbiError::NotSupported.to_string();
+        assert!(s.contains("SBI_ERR_NOT_SUPPORTED"));
+        assert!(s.contains("-2"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mperf-sbi — OpenSBI-like firmware layer
+//!
+//! The Linux kernel runs in Supervisor mode and cannot touch machine-level
+//! PMU registers (`mhpmevent*`, `mcountinhibit`, ...). Real systems bridge
+//! that privilege gap with the SBI PMU extension: the kernel issues
+//! `ecall`s and the M-mode firmware programs the CSRs on its behalf
+//! (paper §3.2, Fig. 1). This crate models that layer:
+//!
+//! - counter discovery (`num_counters`, `counter_get_info`);
+//! - `counter_config_matching` with vendor event-code decoding and —
+//!   critically — **overflow-interrupt capability checks** that surface
+//!   the platform quirk matrix (`SBI_ERR_NOT_SUPPORTED` when sampling is
+//!   requested on a counter/event the hardware cannot sample, e.g.
+//!   `mcycle` on the SpacemiT X60);
+//! - `counter_start` / `counter_stop` (inhibit-bit management, initial
+//!   values for sampling periods);
+//! - `mcounteren`/`scounteren` delegation so Supervisor/User mode can read
+//!   counters directly without further ecalls (paper §3.2).
+
+pub mod error;
+pub mod pmu_ext;
+
+pub use error::{SbiError, SbiResult};
+pub use pmu_ext::{ConfigFlags, CounterInfo, SbiPmu, StopFlags};

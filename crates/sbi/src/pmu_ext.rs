@@ -1,0 +1,474 @@
+//! The SBI PMU extension: the firmware side of counter programming.
+
+use crate::error::{SbiError, SbiResult};
+use mperf_sim::csr::addr;
+use mperf_sim::pmu::{COUNTER_CYCLE, COUNTER_INSTRET, FIRST_HPM};
+use mperf_sim::{Core, HwEvent, PrivMode};
+
+/// Flags for `counter_config_matching` (a subset of the SBI spec's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfigFlags {
+    /// Clear the counter value when claiming it.
+    pub clear_value: bool,
+    /// Start counting immediately after configuration.
+    pub auto_start: bool,
+    /// Enable the overflow interrupt (sampling). Requires hardware
+    /// support for the (counter, event) pair — the quirk check.
+    pub irq_enable: bool,
+}
+
+/// Flags for `counter_stop`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StopFlags {
+    /// Release the counter claim after stopping.
+    pub reset: bool,
+}
+
+/// Counter description returned by `counter_get_info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterInfo {
+    /// The user-level CSR address through which the counter can be read
+    /// once delegated (`cycle`, `instret`, `hpmcounterN`).
+    pub csr: u16,
+    /// Counter width in bits.
+    pub width: u32,
+    /// Hardware counter index (PMU slot).
+    pub hw_index: usize,
+}
+
+/// Per-counter firmware bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Slot {
+    claimed: bool,
+    started: bool,
+    event: Option<HwEvent>,
+}
+
+/// The M-mode PMU firmware state for one hart.
+///
+/// All hardware access goes through the core's CSR interface *as machine
+/// mode*, mirroring how OpenSBI runs in M-mode on behalf of the kernel.
+#[derive(Debug, Clone)]
+pub struct SbiPmu {
+    slots: Vec<Slot>,
+}
+
+impl SbiPmu {
+    /// Initialize the firmware for `core`, delegating counter reads to
+    /// S/U mode via `mcounteren`/`scounteren` (the read-fast-path setup
+    /// from paper §3.2) and inhibiting all generic counters.
+    pub fn new(core: &mut Core) -> SbiPmu {
+        let n = FIRST_HPM + core.pmu().num_hpm();
+        // Delegate every implemented counter for direct S/U reads.
+        let mut en: u32 = 1 << COUNTER_CYCLE | 1 << COUNTER_INSTRET;
+        for i in FIRST_HPM..n {
+            en |= 1 << i;
+        }
+        core.csr_write_as(addr::MCOUNTEREN, en as u64, PrivMode::Machine)
+            .expect("machine mode can always write mcounteren");
+        core.csr_write_as(addr::SCOUNTEREN, en as u64, PrivMode::Machine)
+            .expect("machine mode can always write scounteren");
+        // Freeze generic counters until claimed; keep cycle/instret free
+        // running (as Linux expects).
+        let inhibit: u32 = ((1u64 << n) - 1) as u32 & !(1 << COUNTER_CYCLE | 1 << COUNTER_INSTRET);
+        core.csr_write_as(addr::MCOUNTINHIBIT, inhibit as u64, PrivMode::Machine)
+            .expect("machine mode can always write mcountinhibit");
+        SbiPmu {
+            slots: vec![Slot::default(); n],
+        }
+    }
+
+    /// `sbi_pmu_num_counters`.
+    pub fn num_counters(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `sbi_pmu_counter_get_info`.
+    ///
+    /// # Errors
+    /// `InvalidParam` for out-of-range or unimplemented indices.
+    pub fn counter_get_info(&self, idx: usize) -> SbiResult<CounterInfo> {
+        if idx >= self.slots.len() || idx == 1 {
+            return Err(SbiError::InvalidParam);
+        }
+        Ok(CounterInfo {
+            csr: addr::CYCLE + idx as u16,
+            width: 64,
+            hw_index: idx,
+        })
+    }
+
+    /// `sbi_pmu_counter_config_matching`: claim a counter from
+    /// `counter_mask` that can count the vendor event `event_code`.
+    ///
+    /// # Errors
+    /// - `InvalidParam` if the code doesn't decode or the mask has no
+    ///   suitable counter;
+    /// - `NotSupported` if `flags.irq_enable` is set but the platform
+    ///   cannot raise overflow interrupts for this event (the SpacemiT
+    ///   X60 path for `mcycle`/`minstret`; everything on the U74).
+    pub fn counter_config_matching(
+        &mut self,
+        core: &mut Core,
+        counter_mask: u64,
+        flags: ConfigFlags,
+        event_code: u64,
+    ) -> SbiResult<usize> {
+        let ev = core
+            .spec
+            .decode_event(event_code)
+            .ok_or(SbiError::InvalidParam)?;
+
+        if flags.irq_enable && !core.spec.irq_capable(ev) {
+            return Err(SbiError::NotSupported);
+        }
+
+        // Fixed events bind to their architectural counters; everything
+        // else takes a free generic counter.
+        let candidates: Vec<usize> = match ev {
+            HwEvent::CpuCycles => vec![COUNTER_CYCLE],
+            HwEvent::Instructions => vec![COUNTER_INSTRET],
+            _ => (FIRST_HPM..self.slots.len()).collect(),
+        };
+        let idx = candidates
+            .into_iter()
+            .find(|&i| counter_mask >> i & 1 == 1 && !self.slots[i].claimed)
+            .ok_or(SbiError::InvalidParam)?;
+
+        // Program the event selector (M-mode work).
+        if idx >= FIRST_HPM {
+            core.pmu_mut().set_event(idx, Some(ev));
+        }
+        if flags.clear_value {
+            self.write_counter(core, idx, 0);
+        }
+        core.pmu_mut().set_irq_enable(idx, flags.irq_enable);
+        self.slots[idx] = Slot {
+            claimed: true,
+            started: false,
+            event: Some(ev),
+        };
+        if flags.auto_start {
+            self.counter_start(core, 1 << idx, None)?;
+        }
+        Ok(idx)
+    }
+
+    /// `sbi_pmu_counter_start`: un-inhibit the counters in `mask`,
+    /// optionally setting an initial value (perf writes `-period` here to
+    /// arm sampling).
+    ///
+    /// # Errors
+    /// `InvalidParam` for unclaimed counters (except the free-running
+    /// fixed ones), `AlreadyStarted` when already running.
+    pub fn counter_start(
+        &mut self,
+        core: &mut Core,
+        mask: u64,
+        initial_value: Option<u64>,
+    ) -> SbiResult<()> {
+        let mut inhibit =
+            core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
+                .expect("m-mode read") as u32;
+        for idx in self.mask_indices(mask)? {
+            let fixed = idx == COUNTER_CYCLE || idx == COUNTER_INSTRET;
+            if !self.slots[idx].claimed && !fixed {
+                return Err(SbiError::InvalidParam);
+            }
+            if self.slots[idx].started {
+                return Err(SbiError::AlreadyStarted);
+            }
+            if let Some(v) = initial_value {
+                self.write_counter(core, idx, v);
+            }
+            inhibit &= !(1 << idx);
+            self.slots[idx].started = true;
+        }
+        core.csr_write_as(addr::MCOUNTINHIBIT, inhibit as u64, PrivMode::Machine)
+            .expect("m-mode write");
+        Ok(())
+    }
+
+    /// `sbi_pmu_counter_stop`: inhibit the counters in `mask`; with
+    /// `reset`, release the claims too.
+    ///
+    /// # Errors
+    /// `AlreadyStopped` when a counter in the mask is not running.
+    pub fn counter_stop(
+        &mut self,
+        core: &mut Core,
+        mask: u64,
+        flags: StopFlags,
+    ) -> SbiResult<()> {
+        let mut inhibit =
+            core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
+                .expect("m-mode read") as u32;
+        for idx in self.mask_indices(mask)? {
+            if !self.slots[idx].started {
+                return Err(SbiError::AlreadyStopped);
+            }
+            inhibit |= 1 << idx;
+            self.slots[idx].started = false;
+            if flags.reset {
+                core.pmu_mut().set_irq_enable(idx, false);
+                if idx >= FIRST_HPM {
+                    core.pmu_mut().set_event(idx, None);
+                }
+                self.slots[idx] = Slot::default();
+            }
+        }
+        core.csr_write_as(addr::MCOUNTINHIBIT, inhibit as u64, PrivMode::Machine)
+            .expect("m-mode write");
+        Ok(())
+    }
+
+    /// Read a counter on behalf of the kernel (the slow path; the fast
+    /// path is a direct CSR read thanks to `mcounteren` delegation).
+    ///
+    /// # Errors
+    /// `InvalidParam` for bad indices.
+    pub fn counter_read(&self, core: &Core, idx: usize) -> SbiResult<u64> {
+        if idx >= self.slots.len() || idx == 1 {
+            return Err(SbiError::InvalidParam);
+        }
+        Ok(core.pmu().read(idx))
+    }
+
+    /// Write a counter (kernel rearms sampling periods through this).
+    ///
+    /// # Errors
+    /// `InvalidParam` for bad indices.
+    pub fn counter_write(&mut self, core: &mut Core, idx: usize, value: u64) -> SbiResult<()> {
+        if idx >= self.slots.len() || idx == 1 {
+            return Err(SbiError::InvalidParam);
+        }
+        self.write_counter(core, idx, value);
+        Ok(())
+    }
+
+    /// The event currently programmed on a counter.
+    pub fn event_of(&self, idx: usize) -> Option<HwEvent> {
+        self.slots.get(idx).and_then(|s| s.event)
+    }
+
+    fn mask_indices(&self, mask: u64) -> SbiResult<Vec<usize>> {
+        let out: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| mask >> i & 1 == 1)
+            .collect();
+        if out.is_empty() || mask >> self.slots.len() != 0 {
+            return Err(SbiError::InvalidParam);
+        }
+        if out.contains(&1) {
+            return Err(SbiError::InvalidParam);
+        }
+        Ok(out)
+    }
+
+    fn write_counter(&self, core: &mut Core, idx: usize, value: u64) {
+        let a = match idx {
+            COUNTER_CYCLE => addr::MCYCLE,
+            COUNTER_INSTRET => addr::MINSTRET,
+            _ => addr::MHPMCOUNTER3 + (idx - FIRST_HPM) as u16,
+        };
+        core.csr_write_as(a, value, PrivMode::Machine)
+            .expect("m-mode counter write");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_sim::machine_op::{MachineOp, OpClass};
+    use mperf_sim::PlatformSpec;
+
+    fn boot(spec: PlatformSpec) -> (Core, SbiPmu) {
+        let mut core = Core::new(spec);
+        let sbi = SbiPmu::new(&mut core);
+        (core, sbi)
+    }
+
+    #[test]
+    fn boot_delegates_counter_reads() {
+        let (core, _sbi) = boot(PlatformSpec::x60());
+        // User mode can now read the cycle CSR directly.
+        assert!(core.csr_read_as(addr::CYCLE, PrivMode::User).is_ok());
+        assert!(core.csr_read_as(addr::INSTRET, PrivMode::User).is_ok());
+    }
+
+    #[test]
+    fn counting_flow_on_c910() {
+        let (mut core, mut sbi) = boot(PlatformSpec::c910());
+        let code = core.spec.event_code(HwEvent::BranchMisses);
+        let idx = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code)
+            .unwrap();
+        assert!(idx >= FIRST_HPM);
+        sbi.counter_start(&mut core, 1 << idx, Some(0)).unwrap();
+        // Execute unpredictable branches.
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            core.retire(&MachineOp::simple(OpClass::Branch, 0x10).with_taken(x & 1 == 0));
+        }
+        sbi.counter_stop(&mut core, 1 << idx, StopFlags::default())
+            .unwrap();
+        let v = sbi.counter_read(&core, idx).unwrap();
+        assert!(v > 50, "misses counted: {v}");
+        // Stopped: no further counting.
+        for _ in 0..100 {
+            core.retire(&MachineOp::simple(OpClass::Branch, 0x10).with_taken(x & 1 == 0));
+        }
+        assert_eq!(sbi.counter_read(&core, idx).unwrap(), v);
+    }
+
+    #[test]
+    fn x60_rejects_sampling_on_cycles_but_allows_mode_cycles() {
+        let (mut core, mut sbi) = boot(PlatformSpec::x60());
+        let sampling = ConfigFlags {
+            irq_enable: true,
+            ..ConfigFlags::default()
+        };
+        // Cycles with IRQ: the documented X60 failure.
+        let cyc_code = core.spec.event_code(HwEvent::CpuCycles);
+        assert_eq!(
+            sbi.counter_config_matching(&mut core, u64::MAX, sampling, cyc_code),
+            Err(SbiError::NotSupported)
+        );
+        // Instructions with IRQ: same.
+        let ins_code = core.spec.event_code(HwEvent::Instructions);
+        assert_eq!(
+            sbi.counter_config_matching(&mut core, u64::MAX, sampling, ins_code),
+            Err(SbiError::NotSupported)
+        );
+        // u_mode_cycle with IRQ: the workaround's entry point.
+        let umc = core.spec.event_code(HwEvent::UModeCycles);
+        let idx = sbi
+            .counter_config_matching(&mut core, u64::MAX, sampling, umc)
+            .unwrap();
+        assert!(idx >= FIRST_HPM);
+        // Counting (non-IRQ) configuration of cycles still works.
+        let idx2 = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), cyc_code)
+            .unwrap();
+        assert_eq!(idx2, COUNTER_CYCLE);
+    }
+
+    #[test]
+    fn u74_rejects_all_sampling() {
+        let (mut core, mut sbi) = boot(PlatformSpec::u74());
+        let sampling = ConfigFlags {
+            irq_enable: true,
+            ..ConfigFlags::default()
+        };
+        for ev in [HwEvent::CpuCycles, HwEvent::L1dMiss, HwEvent::UModeCycles] {
+            let code = core.spec.event_code(ev);
+            let r = sbi.counter_config_matching(&mut core, u64::MAX, sampling, code);
+            // Either the event doesn't decode (not implemented) or
+            // sampling is not supported; never Ok.
+            assert!(r.is_err(), "{ev}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_period_arms_and_fires() {
+        let (mut core, mut sbi) = boot(PlatformSpec::x60());
+        let umc = core.spec.event_code(HwEvent::UModeCycles);
+        let idx = sbi
+            .counter_config_matching(
+                &mut core,
+                u64::MAX,
+                ConfigFlags {
+                    irq_enable: true,
+                    ..ConfigFlags::default()
+                },
+                umc,
+            )
+            .unwrap();
+        sbi.counter_start(&mut core, 1 << idx, Some((-1000i64) as u64))
+            .unwrap();
+        let mut fired = false;
+        for pc in 0..4000u64 {
+            let info = core.retire(&MachineOp::simple(OpClass::IntAlu, pc));
+            if info.overflow & (1 << idx) != 0 {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "overflow interrupt must fire after ~1000 u-mode cycles");
+    }
+
+    #[test]
+    fn double_start_and_double_stop_error() {
+        let (mut core, mut sbi) = boot(PlatformSpec::c910());
+        let code = core.spec.event_code(HwEvent::L1dMiss);
+        let idx = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code)
+            .unwrap();
+        sbi.counter_start(&mut core, 1 << idx, None).unwrap();
+        assert_eq!(
+            sbi.counter_start(&mut core, 1 << idx, None),
+            Err(SbiError::AlreadyStarted)
+        );
+        sbi.counter_stop(&mut core, 1 << idx, StopFlags::default())
+            .unwrap();
+        assert_eq!(
+            sbi.counter_stop(&mut core, 1 << idx, StopFlags::default()),
+            Err(SbiError::AlreadyStopped)
+        );
+    }
+
+    #[test]
+    fn stop_with_reset_releases_claim() {
+        let (mut core, mut sbi) = boot(PlatformSpec::c910());
+        let code = core.spec.event_code(HwEvent::L1dMiss);
+        let idx = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code)
+            .unwrap();
+        sbi.counter_start(&mut core, 1 << idx, None).unwrap();
+        sbi.counter_stop(&mut core, 1 << idx, StopFlags { reset: true })
+            .unwrap();
+        assert_eq!(sbi.event_of(idx), None);
+        // The slot is reusable.
+        let idx2 = sbi
+            .counter_config_matching(&mut core, 1 << idx, ConfigFlags::default(), code)
+            .unwrap();
+        assert_eq!(idx2, idx);
+    }
+
+    #[test]
+    fn counters_are_finite_resources() {
+        let (mut core, mut sbi) = boot(PlatformSpec::u74()); // only 2 HPM
+        let code = core.spec.event_code(HwEvent::L1dMiss);
+        let a = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code)
+            .unwrap();
+        let b = sbi
+            .counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code)
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(
+            sbi.counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), code),
+            Err(SbiError::InvalidParam),
+            "no free counters left"
+        );
+    }
+
+    #[test]
+    fn invalid_event_code_rejected() {
+        let (mut core, mut sbi) = boot(PlatformSpec::x60());
+        assert_eq!(
+            sbi.counter_config_matching(&mut core, u64::MAX, ConfigFlags::default(), 0xdead),
+            Err(SbiError::InvalidParam)
+        );
+    }
+
+    #[test]
+    fn get_info_reports_user_csr() {
+        let (_core, sbi) = boot(PlatformSpec::x60());
+        let info = sbi.counter_get_info(COUNTER_CYCLE).unwrap();
+        assert_eq!(info.csr, addr::CYCLE);
+        assert_eq!(info.width, 64);
+        assert!(sbi.counter_get_info(1).is_err(), "index 1 reserved");
+    }
+}

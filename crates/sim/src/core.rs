@@ -1,0 +1,405 @@
+//! The simulated core: retires machine ops, advances the timing model,
+//! drives caches/branch prediction, and ticks the PMU.
+
+use crate::branch::BranchPredictor;
+use crate::cache::MemorySystem;
+use crate::csr::{Csr, CsrError};
+use crate::events::EventDeltas;
+use crate::isa::IsaModel;
+use crate::machine_op::{MachineOp, OpClass};
+use crate::platform::{PlatformSpec, Unit};
+use crate::pmu::Pmu;
+
+/// RISC-V privilege modes (the x86 model reuses User/Supervisor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrivMode {
+    User,
+    Supervisor,
+    Machine,
+}
+
+/// Result of retiring one machine op.
+#[derive(Debug, Clone, Default)]
+pub struct RetireInfo {
+    /// Whole cycles the core advanced.
+    pub cycles: u64,
+    /// Instructions retired (ISA expansion applied).
+    pub instructions: u64,
+    /// Bitmask of PMU counters whose overflow interrupt fired.
+    pub overflow: u32,
+}
+
+/// One simulated hart.
+#[derive(Debug, Clone)]
+pub struct Core {
+    pub spec: PlatformSpec,
+    pub csr: Csr,
+    pmu: Pmu,
+    mem: MemorySystem,
+    bp: BranchPredictor,
+    isa: IsaModel,
+    mode: PrivMode,
+    /// Committed time in centi-cycles (in-order accumulator).
+    centi: u64,
+    /// Out-of-order per-unit occupancy accumulators (centi-cycles).
+    unit_busy: [u64; Unit::COUNT],
+    /// Issue-slot accumulator (centi-cycles).
+    slots: u64,
+    retired: u64,
+}
+
+impl Core {
+    /// Power on a core for `spec`.
+    pub fn new(spec: PlatformSpec) -> Core {
+        Core {
+            csr: Csr::new(spec.cpu_id),
+            pmu: Pmu::new(spec.num_hpm_counters),
+            mem: MemorySystem::new(spec.caches),
+            bp: BranchPredictor::new(spec.predictor_index_bits),
+            isa: spec.isa_model(),
+            mode: PrivMode::User,
+            centi: 0,
+            unit_busy: [0; Unit::COUNT],
+            slots: 0,
+            retired: 0,
+            spec,
+        }
+    }
+
+    /// Current privilege mode.
+    pub fn mode(&self) -> PrivMode {
+        self.mode
+    }
+
+    /// Switch privilege mode (ecall/sret boundaries in the SBI layer).
+    pub fn set_mode(&mut self, mode: PrivMode) {
+        self.mode = mode;
+    }
+
+    /// Committed whole cycles since power-on.
+    pub fn cycles(&self) -> u64 {
+        self.current_centi() / 100
+    }
+
+    /// Instructions retired since power-on.
+    pub fn instructions(&self) -> u64 {
+        self.retired
+    }
+
+    /// Shared PMU access (the SBI layer programs it through CSRs; tools
+    /// read it through this for assertions).
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// Mutable PMU access for the firmware layer.
+    pub fn pmu_mut(&mut self) -> &mut Pmu {
+        &mut self.pmu
+    }
+
+    /// Memory-hierarchy statistics access.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Flush caches and reset the branch predictor (between benchmark
+    /// phases; the PMU and clocks are *not* reset).
+    pub fn reset_microarch(&mut self) {
+        self.mem.flush();
+        self.bp.reset();
+    }
+
+    /// Read a CSR at the current privilege mode.
+    ///
+    /// # Errors
+    /// Propagates [`CsrError`] (illegal instruction) on privilege or
+    /// decode failures.
+    pub fn csr_read(&self, addr: u16) -> Result<u64, CsrError> {
+        self.csr.read(addr, self.mode, &self.pmu)
+    }
+
+    /// Read a CSR as if in `mode` (the firmware runs in M-mode while the
+    /// core state says otherwise during a trap; this keeps the model
+    /// simple without a full trap unit).
+    pub fn csr_read_as(&self, addr: u16, mode: PrivMode) -> Result<u64, CsrError> {
+        self.csr.read(addr, mode, &self.pmu)
+    }
+
+    /// Write a CSR as if in `mode`.
+    ///
+    /// # Errors
+    /// Propagates [`CsrError`] on privilege or decode failures.
+    pub fn csr_write_as(&mut self, addr: u16, value: u64, mode: PrivMode) -> Result<(), CsrError> {
+        self.csr.write(addr, value, mode, &mut self.pmu)
+    }
+
+    fn current_centi(&self) -> u64 {
+        if self.spec.out_of_order {
+            let unit_max = self.unit_busy.iter().copied().max().unwrap_or(0);
+            self.centi.max(unit_max).max(self.slots)
+        } else {
+            self.centi
+        }
+    }
+
+    /// Retire one machine op: advance time, count events, tick the PMU.
+    pub fn retire(&mut self, op: &MachineOp) -> RetireInfo {
+        let before = self.current_centi();
+        let expansion = self.isa.expand(op.class);
+        let inv_tp = self.spec.timing.inv_tp(op.class);
+        let slot_cost = (100 / self.spec.issue_width as u64).max(1) * expansion.max(1) as u64;
+
+        let mut deltas = EventDeltas {
+            instructions: expansion as u64,
+            // The PMU event applies the platform's overcount model
+            // (speculation, masked lanes); see `fp_event_percent`.
+            fp_ops: op.flops as u64 * self.spec.fp_event_percent as u64 / 100,
+            ..EventDeltas::default()
+        };
+        if op.is_vector() && expansion > 0 {
+            deltas.vec_instructions = expansion as u64;
+        }
+
+        // Branch handling. A mispredict serializes the whole pipeline:
+        // on the out-of-order model it becomes a floor on commit time
+        // rather than occupancy on one unit.
+        let mut stall_centi = 0u64;
+        let mut mispredicted = false;
+        if matches!(op.class, OpClass::Branch) {
+            deltas.branches = 1;
+            if op.taken {
+                stall_centi += self.spec.taken_branch_bubble as u64 * 100;
+            }
+            if !self.bp.predict_and_update(op.pc, op.taken) {
+                deltas.branch_misses = 1;
+                mispredicted = true;
+                if !self.spec.out_of_order {
+                    stall_centi += self.spec.branch_mispredict_penalty as u64 * 100;
+                }
+            }
+        }
+
+        // Memory handling.
+        if let Some(mem) = &op.mem {
+            let ev = self.mem.access(mem, before);
+            deltas.l1d_access += ev.l1_accesses;
+            deltas.l1d_miss += ev.l1_misses;
+            deltas.l2_miss += ev.l2_misses;
+            deltas.dram_bytes += ev.dram_bytes;
+            let miss_raw = ev.stall_cycles * 100;
+            stall_centi += if self.spec.out_of_order {
+                // L1-hit latency is fully hidden by the scheduler; miss
+                // latency partially overlaps.
+                miss_raw / self.spec.ooo_mem_overlap as u64
+            } else {
+                miss_raw
+                    + ev.hit_cycles * 100
+                    + self.spec.load_use_penalty as u64 * 100
+            };
+            // Strided vector memory ops occupy the memory unit longer.
+            if mem.lanes > 1 && !mem.is_unit_stride() {
+                stall_centi += self.spec.strided_lane_penalty_centi as u64 * mem.lanes as u64;
+            }
+        }
+
+        // Advance the clock model.
+        if self.spec.out_of_order {
+            let unit = Unit::of(op.class);
+            self.unit_busy[unit.index()] += inv_tp + stall_centi;
+            self.slots += slot_cost;
+            if mispredicted {
+                // Pipeline restart: every accumulator jumps to the
+                // mispredict resolution point.
+                let floor =
+                    self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
+                self.centi = self.centi.max(floor);
+                for u in &mut self.unit_busy {
+                    *u = (*u).max(floor);
+                }
+                self.slots = self.slots.max(floor);
+            }
+        } else {
+            self.centi += inv_tp.max(slot_cost) + stall_centi;
+        }
+
+        let after = self.current_centi();
+        deltas.cycles = after / 100 - before / 100;
+        self.retired += expansion as u64;
+
+        let overflow = self.pmu.tick(&deltas, self.mode);
+        RetireInfo {
+            cycles: deltas.cycles,
+            instructions: expansion as u64,
+            overflow,
+        }
+    }
+
+    /// Advance the clock without retiring an instruction (idle cycles,
+    /// e.g. while firmware "executes" conceptually).
+    pub fn idle(&mut self, cycles: u64) -> u32 {
+        let before = self.current_centi();
+        if self.spec.out_of_order {
+            let target = before + cycles * 100;
+            self.centi = self.centi.max(target);
+        } else {
+            self.centi += cycles * 100;
+        }
+        let after = self.current_centi();
+        let deltas = EventDeltas {
+            cycles: after / 100 - before / 100,
+            ..EventDeltas::default()
+        };
+        self.pmu.tick(&deltas, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine_op::MemRef;
+    use crate::platform::PlatformSpec;
+
+    fn x60() -> Core {
+        Core::new(PlatformSpec::x60())
+    }
+
+    fn i5() -> Core {
+        Core::new(PlatformSpec::i5_1135g7())
+    }
+
+    #[test]
+    fn retiring_advances_cycles_and_instret() {
+        let mut c = x60();
+        for i in 0..100 {
+            c.retire(&MachineOp::simple(OpClass::IntAlu, i));
+        }
+        assert_eq!(c.instructions(), 100);
+        // Dual-issue: 100 ALU ops ≈ 50 cycles.
+        assert!(c.cycles() >= 50 && c.cycles() <= 60, "{}", c.cycles());
+        assert_eq!(c.pmu().read(crate::pmu::COUNTER_INSTRET), 100);
+        assert_eq!(c.pmu().read(crate::pmu::COUNTER_CYCLE), c.cycles());
+    }
+
+    #[test]
+    fn ooo_overlaps_int_and_fp_work() {
+        let mut c = i5();
+        // Interleave 1000 int + 1000 fp ops: with separate units the total
+        // should be far less than the sum of both streams serialized.
+        for i in 0..1000 {
+            c.retire(&MachineOp::simple(OpClass::IntAlu, i));
+            c.retire(&MachineOp::simple(OpClass::FpFma, i).with_flops(2));
+        }
+        // Int: 1000*0.25c = 250c; Fp: 1000*0.5c = 500c; slots: 2000*?/5.
+        // x86 IntAlu expands 2.5x -> slots dominate: ~(2500+1000)*20 = 700c.
+        let cyc = c.cycles();
+        assert!(cyc < 900, "OoO should overlap units: {cyc}");
+        assert!(cyc >= 500, "bounded below by the FP stream: {cyc}");
+    }
+
+    #[test]
+    fn in_order_serializes() {
+        let mut c = x60();
+        for i in 0..1000 {
+            c.retire(&MachineOp::simple(OpClass::IntAlu, i));
+            c.retire(&MachineOp::simple(OpClass::FpFma, i).with_flops(2));
+        }
+        // In-order: 1000*(0.5) + 1000*(1.0) = 1500 cycles.
+        let cyc = c.cycles();
+        assert!((1480..=1550).contains(&cyc), "{cyc}");
+    }
+
+    #[test]
+    fn branch_misses_cost_cycles() {
+        let mut c = x60();
+        let mut x: u64 = 12345;
+        for i in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            let op = MachineOp::simple(OpClass::Branch, 0x40).with_taken(x & 1 == 0);
+            c.retire(&op);
+            let _ = i;
+        }
+        let cycles_random = c.cycles();
+
+        let mut c2 = x60();
+        for _ in 0..2000 {
+            c2.retire(&MachineOp::simple(OpClass::Branch, 0x40).with_taken(true));
+        }
+        let cycles_predictable = c2.cycles();
+        assert!(
+            cycles_random > cycles_predictable * 3,
+            "mispredicts must hurt: {cycles_random} vs {cycles_predictable}"
+        );
+        assert!(c.pmu().read(3) == 0, "hpm3 unprogrammed stays 0");
+    }
+
+    #[test]
+    fn memory_misses_count_and_stall() {
+        let mut c = x60();
+        // Stream over 1 MiB: mostly misses.
+        for i in 0..4096u64 {
+            let op = MachineOp::simple(OpClass::Load, i)
+                .with_mem(MemRef::scalar(i * 256, 8, false));
+            c.retire(&op);
+        }
+        let (acc, miss) = c.mem().l1d_stats();
+        assert_eq!(acc, 4096);
+        assert!(miss > 4000, "strided stream misses: {miss}");
+        // Cycles dominated by memory stalls, far above 4096 * 1c.
+        assert!(c.cycles() > 100_000, "{}", c.cycles());
+    }
+
+    #[test]
+    fn mode_cycles_accumulate_by_mode() {
+        let mut c = x60();
+        let ev = crate::events::HwEvent::UModeCycles;
+        c.pmu_mut().set_event(3, Some(ev));
+        c.retire(&MachineOp::simple(OpClass::IntAlu, 0));
+        c.retire(&MachineOp::simple(OpClass::IntAlu, 1));
+        let u_cycles = c.pmu().read(3);
+        c.set_mode(PrivMode::Machine);
+        c.idle(100);
+        assert_eq!(c.pmu().read(3), u_cycles, "frozen while in M-mode");
+        assert_eq!(c.pmu().read(0), u_cycles + 100, "mcycle keeps counting");
+    }
+
+    #[test]
+    fn overflow_interrupt_plumbs_through_retire() {
+        let mut c = x60();
+        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::UModeCycles));
+        c.pmu_mut().set_irq_enable(3, true);
+        c.pmu_mut().write(3, (-50i64) as u64);
+        let mut fired = false;
+        for i in 0..200 {
+            let info = c.retire(&MachineOp::simple(OpClass::IntAlu, i));
+            if info.overflow & (1 << 3) != 0 {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "u_mode_cycle overflow must fire");
+    }
+
+    #[test]
+    fn isa_expansion_differs_between_platforms() {
+        let mut rv = x60();
+        let mut x86 = i5();
+        for i in 0..800 {
+            rv.retire(&MachineOp::simple(OpClass::IntAlu, i));
+            x86.retire(&MachineOp::simple(OpClass::IntAlu, i));
+            rv.retire(&MachineOp::simple(OpClass::AddrCalc, i));
+            x86.retire(&MachineOp::simple(OpClass::AddrCalc, i));
+        }
+        // RISC-V: 1600 instructions. x86: 800*2.5 + 0 = 2000.
+        assert_eq!(rv.instructions(), 1600);
+        assert_eq!(x86.instructions(), 2000);
+    }
+
+    #[test]
+    fn idle_advances_clock_only() {
+        let mut c = x60();
+        c.idle(500);
+        assert_eq!(c.cycles(), 500);
+        assert_eq!(c.instructions(), 0);
+    }
+}

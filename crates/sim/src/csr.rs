@@ -1,0 +1,295 @@
+//! RISC-V control-and-status-register addressing and access control.
+//!
+//! Implements the subset of the CSR space the PMU stack touches, with
+//! privilege checking: M-mode registers are inaccessible from S/U mode
+//! (that privilege gap is exactly why the SBI firmware layer exists —
+//! paper §3.2 and Fig. 1), and user-level counter reads are gated by
+//! `mcounteren`/`scounteren`.
+
+use crate::core::PrivMode;
+use crate::platform::CpuId;
+use crate::pmu::{Pmu, FIRST_HPM, NUM_COUNTERS};
+
+/// CSR addresses (privileged spec names).
+pub mod addr {
+    /// Machine cycle counter.
+    pub const MCYCLE: u16 = 0xB00;
+    /// Machine instructions-retired counter.
+    pub const MINSTRET: u16 = 0xB02;
+    /// First machine HPM counter (`mhpmcounter3`).
+    pub const MHPMCOUNTER3: u16 = 0xB03;
+    /// First HPM event selector (`mhpmevent3`).
+    pub const MHPMEVENT3: u16 = 0x323;
+    /// Counter-inhibit register.
+    pub const MCOUNTINHIBIT: u16 = 0x320;
+    /// Machine counter-enable (delegates reads to S-mode).
+    pub const MCOUNTEREN: u16 = 0x306;
+    /// Supervisor counter-enable (delegates reads to U-mode).
+    pub const SCOUNTEREN: u16 = 0x106;
+    /// User-level read-only cycle alias.
+    pub const CYCLE: u16 = 0xC00;
+    /// User-level read-only instret alias.
+    pub const INSTRET: u16 = 0xC02;
+    /// First user-level HPM alias (`hpmcounter3`).
+    pub const HPMCOUNTER3: u16 = 0xC03;
+    /// Vendor ID.
+    pub const MVENDORID: u16 = 0xF11;
+    /// Architecture ID.
+    pub const MARCHID: u16 = 0xF12;
+    /// Implementation ID.
+    pub const MIMPID: u16 = 0xF13;
+}
+
+/// Access failure: the instruction would trap with illegal-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrError {
+    pub addr: u16,
+    pub mode: PrivMode,
+    pub write: bool,
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal-instruction: {} of CSR {:#05x} from {:?} mode",
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.mode
+        )
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// Non-PMU CSR state (counter-enable delegation + ID registers).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    pub mcounteren: u32,
+    pub scounteren: u32,
+    cpu_id: CpuId,
+}
+
+impl Csr {
+    /// Fresh CSR state for a hart with the given identity.
+    pub fn new(cpu_id: CpuId) -> Csr {
+        Csr {
+            mcounteren: 0,
+            scounteren: 0,
+            cpu_id,
+        }
+    }
+
+    /// Read a CSR as `mode`.
+    ///
+    /// # Errors
+    /// Returns [`CsrError`] when the register does not exist at that
+    /// privilege level or the counter is not delegated.
+    pub fn read(&self, a: u16, mode: PrivMode, pmu: &Pmu) -> Result<u64, CsrError> {
+        let deny = || CsrError {
+            addr: a,
+            mode,
+            write: false,
+        };
+        match a {
+            addr::MVENDORID => self.m_only(mode, self.cpu_id.mvendorid, deny),
+            addr::MARCHID => self.m_only(mode, self.cpu_id.marchid, deny),
+            addr::MIMPID => self.m_only(mode, self.cpu_id.mimpid, deny),
+            addr::MCOUNTEREN => self.m_only(mode, self.mcounteren as u64, deny),
+            addr::SCOUNTEREN => {
+                if mode == PrivMode::User {
+                    return Err(deny());
+                }
+                Ok(self.scounteren as u64)
+            }
+            addr::MCOUNTINHIBIT => self.m_only(mode, pmu.inhibit() as u64, deny),
+            addr::MCYCLE => self.m_only(mode, pmu.read(0), deny),
+            addr::MINSTRET => self.m_only(mode, pmu.read(2), deny),
+            _ if (addr::MHPMCOUNTER3..addr::MHPMCOUNTER3 + 29).contains(&a) => {
+                let idx = (a - addr::MHPMCOUNTER3) as usize + FIRST_HPM;
+                if mode != PrivMode::Machine || !pmu.is_implemented(idx) {
+                    return Err(deny());
+                }
+                Ok(pmu.read(idx))
+            }
+            _ if (addr::CYCLE..addr::CYCLE + NUM_COUNTERS as u16).contains(&a)
+                && a != 0xC01 =>
+            {
+                // User-level aliases, gated by the counteren chain.
+                let idx = (a - addr::CYCLE) as usize;
+                if !pmu.is_implemented(idx) {
+                    return Err(deny());
+                }
+                let bit = 1u32 << idx;
+                let allowed = match mode {
+                    PrivMode::Machine => true,
+                    PrivMode::Supervisor => self.mcounteren & bit != 0,
+                    PrivMode::User => {
+                        self.mcounteren & bit != 0 && self.scounteren & bit != 0
+                    }
+                };
+                if !allowed {
+                    return Err(deny());
+                }
+                Ok(pmu.read(idx))
+            }
+            _ => Err(deny()),
+        }
+    }
+
+    /// Write a CSR as `mode`.
+    ///
+    /// # Errors
+    /// Returns [`CsrError`] for non-M-mode writes and read-only registers.
+    pub fn write(
+        &mut self,
+        a: u16,
+        value: u64,
+        mode: PrivMode,
+        pmu: &mut Pmu,
+    ) -> Result<(), CsrError> {
+        let deny = || CsrError {
+            addr: a,
+            mode,
+            write: true,
+        };
+        if mode != PrivMode::Machine {
+            // All writable PMU CSRs are machine-level; this is the
+            // privilege gap the SBI layer bridges.
+            return Err(deny());
+        }
+        match a {
+            addr::MCOUNTEREN => {
+                self.mcounteren = value as u32;
+                Ok(())
+            }
+            addr::SCOUNTEREN => {
+                self.scounteren = value as u32;
+                Ok(())
+            }
+            addr::MCOUNTINHIBIT => {
+                pmu.set_inhibit(value as u32);
+                Ok(())
+            }
+            addr::MCYCLE => {
+                pmu.write(0, value);
+                Ok(())
+            }
+            addr::MINSTRET => {
+                pmu.write(2, value);
+                Ok(())
+            }
+            _ if (addr::MHPMCOUNTER3..addr::MHPMCOUNTER3 + 29).contains(&a) => {
+                let idx = (a - addr::MHPMCOUNTER3) as usize + FIRST_HPM;
+                if !pmu.is_implemented(idx) {
+                    return Err(deny());
+                }
+                pmu.write(idx, value);
+                Ok(())
+            }
+            addr::MVENDORID | addr::MARCHID | addr::MIMPID => Err(deny()),
+            _ => Err(deny()),
+        }
+    }
+
+    fn m_only(
+        &self,
+        mode: PrivMode,
+        val: u64,
+        deny: impl Fn() -> CsrError,
+    ) -> Result<u64, CsrError> {
+        if mode == PrivMode::Machine {
+            Ok(val)
+        } else {
+            Err(deny())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Csr, Pmu) {
+        let csr = Csr::new(CpuId {
+            mvendorid: 0x710,
+            marchid: 0x8000000058000001,
+            mimpid: 0x60,
+        });
+        (csr, Pmu::new(8))
+    }
+
+    #[test]
+    fn id_registers_machine_only() {
+        let (csr, pmu) = setup();
+        assert_eq!(
+            csr.read(addr::MVENDORID, PrivMode::Machine, &pmu).unwrap(),
+            0x710
+        );
+        assert!(csr.read(addr::MVENDORID, PrivMode::Supervisor, &pmu).is_err());
+        assert!(csr.read(addr::MVENDORID, PrivMode::User, &pmu).is_err());
+    }
+
+    #[test]
+    fn user_counter_reads_gated_by_counteren_chain() {
+        let (mut csr, mut pmu) = setup();
+        pmu.write(0, 1234);
+        // Nothing delegated: user read traps.
+        assert!(csr.read(addr::CYCLE, PrivMode::User, &pmu).is_err());
+        // M delegates to S only: user still traps, supervisor reads.
+        csr.write(addr::MCOUNTEREN, 1, PrivMode::Machine, &mut pmu)
+            .unwrap();
+        assert!(csr.read(addr::CYCLE, PrivMode::User, &pmu).is_err());
+        assert_eq!(csr.read(addr::CYCLE, PrivMode::Supervisor, &pmu).unwrap(), 1234);
+        // S delegates too: user reads.
+        csr.write(addr::SCOUNTEREN, 1, PrivMode::Machine, &mut pmu)
+            .unwrap();
+        assert_eq!(csr.read(addr::CYCLE, PrivMode::User, &pmu).unwrap(), 1234);
+    }
+
+    #[test]
+    fn supervisor_cannot_write_machine_csrs() {
+        let (mut csr, mut pmu) = setup();
+        let e = csr
+            .write(addr::MHPMEVENT3, 1, PrivMode::Supervisor, &mut pmu)
+            .unwrap_err();
+        assert!(e.write);
+        assert!(csr
+            .write(addr::MCYCLE, 0, PrivMode::Supervisor, &mut pmu)
+            .is_err());
+    }
+
+    #[test]
+    fn machine_writes_counters() {
+        let (mut csr, mut pmu) = setup();
+        csr.write(addr::MHPMCOUNTER3, 99, PrivMode::Machine, &mut pmu)
+            .unwrap();
+        assert_eq!(pmu.read(3), 99);
+        assert_eq!(
+            csr.read(addr::MHPMCOUNTER3, PrivMode::Machine, &pmu).unwrap(),
+            99
+        );
+    }
+
+    #[test]
+    fn unimplemented_hpm_rejected() {
+        let (mut csr, mut pmu) = setup(); // 8 HPM counters: 3..=10
+        assert!(csr
+            .write(addr::MHPMCOUNTER3 + 8, 1, PrivMode::Machine, &mut pmu)
+            .is_err());
+    }
+
+    #[test]
+    fn id_registers_read_only() {
+        let (mut csr, mut pmu) = setup();
+        assert!(csr
+            .write(addr::MVENDORID, 0, PrivMode::Machine, &mut pmu)
+            .is_err());
+    }
+
+    #[test]
+    fn time_csr_is_not_a_counter_alias() {
+        let (csr, pmu) = setup();
+        assert!(csr.read(0xC01, PrivMode::Machine, &pmu).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! The hardware performance-monitoring unit: counters, event selectors,
+//! inhibit bits, and overflow detection.
+//!
+//! Counter layout follows the RISC-V privileged spec: index 0 is `mcycle`,
+//! index 2 is `minstret`, and indices 3..=31 are the generic
+//! `mhpmcounter`s whose event selection is implementation-defined
+//! (`mhpmevent` codes are decoded by the platform model). Index 1 is
+//! reserved (`mtime` lives elsewhere), as on real hardware.
+
+use crate::core::PrivMode;
+use crate::events::{EventDeltas, HwEvent};
+
+/// Number of architectural counters (mcycle + reserved + minstret + 29 HPM).
+pub const NUM_COUNTERS: usize = 32;
+
+/// Index of `mcycle`.
+pub const COUNTER_CYCLE: usize = 0;
+/// Index of `minstret`.
+pub const COUNTER_INSTRET: usize = 2;
+/// First generic HPM counter index.
+pub const FIRST_HPM: usize = 3;
+
+/// The PMU register state of one hart.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    counters: [u64; NUM_COUNTERS],
+    /// Event selected on each generic counter (None = unprogrammed).
+    events: [Option<HwEvent>; NUM_COUNTERS],
+    /// `mcountinhibit`: bit i set = counter i frozen.
+    inhibit: u32,
+    /// Per-counter overflow-interrupt enable (Sscofpmf OVF enable bit in
+    /// `mhpmevent`, modeled separately).
+    irq_enable: u32,
+    /// Sticky overflow-status bits (Sscofpmf OF).
+    overflow_status: u32,
+    /// Number of implemented generic counters (3..3+num_hpm are usable).
+    num_hpm: usize,
+}
+
+impl Pmu {
+    /// A PMU with `num_hpm` implemented generic counters.
+    pub fn new(num_hpm: usize) -> Pmu {
+        assert!(FIRST_HPM + num_hpm <= NUM_COUNTERS);
+        Pmu {
+            counters: [0; NUM_COUNTERS],
+            events: [None; NUM_COUNTERS],
+            inhibit: 0,
+            irq_enable: 0,
+            overflow_status: 0,
+            num_hpm,
+        }
+    }
+
+    /// Number of implemented generic (HPM) counters.
+    pub fn num_hpm(&self) -> usize {
+        self.num_hpm
+    }
+
+    /// Whether `idx` addresses an implemented counter.
+    pub fn is_implemented(&self, idx: usize) -> bool {
+        idx == COUNTER_CYCLE || idx == COUNTER_INSTRET || (FIRST_HPM..FIRST_HPM + self.num_hpm).contains(&idx)
+    }
+
+    /// The event a counter observes (fixed for cycle/instret).
+    pub fn event_of(&self, idx: usize) -> Option<HwEvent> {
+        match idx {
+            COUNTER_CYCLE => Some(HwEvent::CpuCycles),
+            COUNTER_INSTRET => Some(HwEvent::Instructions),
+            _ => self.events.get(idx).copied().flatten(),
+        }
+    }
+
+    /// Program a generic counter's event selector.
+    ///
+    /// # Panics
+    /// Panics if `idx` is not an implemented generic counter (callers —
+    /// the SBI layer — validate first).
+    pub fn set_event(&mut self, idx: usize, ev: Option<HwEvent>) {
+        assert!(
+            (FIRST_HPM..FIRST_HPM + self.num_hpm).contains(&idx),
+            "counter {idx} is not a programmable HPM counter"
+        );
+        self.events[idx] = ev;
+    }
+
+    /// Read a counter.
+    pub fn read(&self, idx: usize) -> u64 {
+        self.counters[idx]
+    }
+
+    /// Write a counter (M-mode or SBI only; used to arm sampling periods
+    /// by writing `-period`).
+    pub fn write(&mut self, idx: usize, value: u64) {
+        self.counters[idx] = value;
+    }
+
+    /// The `mcountinhibit` register.
+    pub fn inhibit(&self) -> u32 {
+        self.inhibit
+    }
+
+    /// Set `mcountinhibit`.
+    pub fn set_inhibit(&mut self, value: u32) {
+        self.inhibit = value;
+    }
+
+    /// Enable/disable the overflow interrupt for a counter.
+    pub fn set_irq_enable(&mut self, idx: usize, on: bool) {
+        if on {
+            self.irq_enable |= 1 << idx;
+        } else {
+            self.irq_enable &= !(1 << idx);
+        }
+    }
+
+    /// Whether the overflow interrupt is enabled for a counter.
+    pub fn irq_enabled(&self, idx: usize) -> bool {
+        self.irq_enable >> idx & 1 == 1
+    }
+
+    /// Sticky overflow bits (cleared by [`Pmu::clear_overflow`]).
+    pub fn overflow_status(&self) -> u32 {
+        self.overflow_status
+    }
+
+    /// Clear a counter's sticky overflow bit.
+    pub fn clear_overflow(&mut self, idx: usize) {
+        self.overflow_status &= !(1 << idx);
+    }
+
+    /// Advance all enabled counters by the event deltas of one retire
+    /// step. Returns a bitmask of counters that overflowed (wrapped) this
+    /// step *and* have their interrupt enabled — the core turns those
+    /// into overflow interrupts.
+    pub fn tick(&mut self, deltas: &EventDeltas, mode: PrivMode) -> u32 {
+        let mut fired = 0u32;
+        for idx in 0..NUM_COUNTERS {
+            if !self.is_implemented(idx) {
+                continue;
+            }
+            if self.inhibit >> idx & 1 == 1 {
+                continue;
+            }
+            let Some(ev) = self.event_of(idx) else {
+                continue;
+            };
+            let delta = deltas.get(ev, mode);
+            if delta == 0 {
+                continue;
+            }
+            let (next, wrapped) = self.counters[idx].overflowing_add(delta);
+            self.counters[idx] = next;
+            if wrapped {
+                self.overflow_status |= 1 << idx;
+                if self.irq_enabled(idx) {
+                    fired |= 1 << idx;
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deltas(cycles: u64, instr: u64) -> EventDeltas {
+        EventDeltas {
+            cycles,
+            instructions: instr,
+            ..EventDeltas::default()
+        }
+    }
+
+    #[test]
+    fn fixed_counters_count() {
+        let mut p = Pmu::new(8);
+        p.tick(&deltas(5, 2), PrivMode::User);
+        assert_eq!(p.read(COUNTER_CYCLE), 5);
+        assert_eq!(p.read(COUNTER_INSTRET), 2);
+    }
+
+    #[test]
+    fn inhibit_freezes_counter() {
+        let mut p = Pmu::new(8);
+        p.set_inhibit(1 << COUNTER_CYCLE);
+        p.tick(&deltas(5, 2), PrivMode::User);
+        assert_eq!(p.read(COUNTER_CYCLE), 0);
+        assert_eq!(p.read(COUNTER_INSTRET), 2);
+    }
+
+    #[test]
+    fn hpm_counts_programmed_event() {
+        let mut p = Pmu::new(8);
+        p.set_event(3, Some(HwEvent::BranchMisses));
+        let d = EventDeltas {
+            cycles: 1,
+            branch_misses: 3,
+            ..EventDeltas::default()
+        };
+        p.tick(&d, PrivMode::User);
+        assert_eq!(p.read(3), 3);
+    }
+
+    #[test]
+    fn mode_cycle_counters_track_privilege() {
+        let mut p = Pmu::new(8);
+        p.set_event(3, Some(HwEvent::UModeCycles));
+        p.set_event(4, Some(HwEvent::MModeCycles));
+        p.tick(&deltas(10, 1), PrivMode::User);
+        p.tick(&deltas(7, 1), PrivMode::Machine);
+        assert_eq!(p.read(3), 10);
+        assert_eq!(p.read(4), 7);
+        assert_eq!(p.read(COUNTER_CYCLE), 17);
+    }
+
+    #[test]
+    fn overflow_fires_only_when_enabled() {
+        let mut p = Pmu::new(8);
+        p.set_event(3, Some(HwEvent::Instructions));
+        p.write(3, u64::MAX - 1); // overflow after 2 instructions
+        let fired = p.tick(&deltas(1, 2), PrivMode::User);
+        assert_eq!(fired, 0, "irq not enabled: silent wrap");
+        assert_ne!(p.overflow_status() & (1 << 3), 0, "OF bit set anyway");
+
+        p.clear_overflow(3);
+        p.set_irq_enable(3, true);
+        p.write(3, u64::MAX - 1);
+        let fired = p.tick(&deltas(1, 2), PrivMode::User);
+        assert_eq!(fired, 1 << 3);
+    }
+
+    #[test]
+    fn sampling_period_arming() {
+        // perf-style: write -period, overflow fires after `period` events.
+        let mut p = Pmu::new(8);
+        p.set_irq_enable(COUNTER_CYCLE, true);
+        p.write(COUNTER_CYCLE, (-1000i64) as u64);
+        let mut fired_at = None;
+        for step in 0..2000 {
+            if p.tick(&deltas(1, 0), PrivMode::User) != 0 {
+                fired_at = Some(step);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(999));
+    }
+
+    #[test]
+    fn unimplemented_counters_ignore_ticks() {
+        let mut p = Pmu::new(4);
+        assert!(p.is_implemented(3 + 3));
+        assert!(!p.is_implemented(3 + 4));
+        assert!(!p.is_implemented(1), "index 1 is reserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a programmable HPM counter")]
+    fn cannot_program_fixed_counters() {
+        let mut p = Pmu::new(8);
+        p.set_event(COUNTER_CYCLE, Some(HwEvent::L1dMiss));
+    }
+}

@@ -1,0 +1,54 @@
+//! Execution failures.
+
+use std::fmt;
+
+/// A guest trap or engine limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Memory access outside the guest address space.
+    OutOfBounds { addr: u64, bytes: u64 },
+    /// Integer division or remainder by zero.
+    DivisionByZero { pc: u64 },
+    /// Call to a host function with no registered handler.
+    UnknownHost(String),
+    /// Guest call stack exceeded the depth limit.
+    StackOverflow { depth: usize },
+    /// The operation budget ran out (guards against runaway loops).
+    OutOfFuel { executed: u64 },
+    /// A host handler reported a failure.
+    HostFault(String),
+    /// Entry function not found or arity mismatch.
+    BadEntry(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { addr, bytes } => {
+                write!(f, "guest access of {bytes} byte(s) at {addr:#x} out of bounds")
+            }
+            VmError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc:#x}"),
+            VmError::UnknownHost(name) => write!(f, "call to unknown host function `{name}`"),
+            VmError::StackOverflow { depth } => write!(f, "guest stack overflow at depth {depth}"),
+            VmError::OutOfFuel { executed } => {
+                write!(f, "operation budget exhausted after {executed} ops")
+            }
+            VmError::HostFault(msg) => write!(f, "host fault: {msg}"),
+            VmError::BadEntry(msg) => write!(f, "bad entry point: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = VmError::OutOfBounds { addr: 0x100, bytes: 8 };
+        assert!(e.to_string().contains("0x100"));
+        assert!(VmError::DivisionByZero { pc: 4 }.to_string().contains("division"));
+    }
+}

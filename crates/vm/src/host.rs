@@ -1,0 +1,168 @@
+//! Host-function dispatch and the roofline runtime.
+
+use crate::value::Value;
+use mperf_ir::ProfCounts;
+use std::collections::HashMap;
+
+/// A host function callable from guest code.
+pub type HostHandler = Box<dyn FnMut(&[Value]) -> Result<Vec<Value>, String>>;
+
+/// Per-region accumulated metrics (one per `LoopRegionInfo`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Metric tallies from `ProfCount` executions while this region was
+    /// active and instrumentation enabled.
+    pub counts: ProfCounts,
+    /// Number of `loop_begin` events.
+    pub invocations: u64,
+    /// Guest cycles spent between begin/end with instrumentation OFF
+    /// (the baseline phase timing).
+    pub baseline_cycles: u64,
+    /// Guest cycles spent between begin/end with instrumentation ON.
+    pub instrumented_cycles: u64,
+}
+
+/// The runtime half of the paper's §4.3 two-phase workflow: tracks which
+/// loop regions are active, whether the instrumented clones should run,
+/// and accumulates the per-region metric tallies reported by `ProfCount`.
+#[derive(Debug, Default)]
+pub struct RooflineRuntime {
+    /// Whether `mperf.is_instrumented` returns true (phase 2).
+    pub instrumented: bool,
+    /// Stack of active region ids with their begin-cycle stamps.
+    active: Vec<(u32, u64)>,
+    regions: HashMap<u32, RegionStats>,
+}
+
+impl RooflineRuntime {
+    /// Fresh runtime (instrumentation disabled — phase 1).
+    pub fn new() -> RooflineRuntime {
+        RooflineRuntime::default()
+    }
+
+    /// `mperf.loop_begin(region_id)` at `now` cycles.
+    pub fn loop_begin(&mut self, region_id: u32, now: u64) {
+        self.active.push((region_id, now));
+        self.regions.entry(region_id).or_default().invocations += 1;
+    }
+
+    /// `mperf.loop_end(region_id)` at `now` cycles.
+    pub fn loop_end(&mut self, region_id: u32, now: u64) {
+        let Some(pos) = self.active.iter().rposition(|&(id, _)| id == region_id) else {
+            // Unbalanced end: tolerated (mirrors a runtime that ignores
+            // stray notifications), but nothing to account.
+            return;
+        };
+        let (_, begin) = self.active.remove(pos);
+        let stats = self.regions.entry(region_id).or_default();
+        let dur = now.saturating_sub(begin);
+        if self.instrumented {
+            stats.instrumented_cycles += dur;
+        } else {
+            stats.baseline_cycles += dur;
+        }
+    }
+
+    /// A `ProfCount` executed; attribute to the innermost active region.
+    pub fn prof_count(&mut self, counts: ProfCounts) {
+        if let Some(&(id, _)) = self.active.last() {
+            let stats = self.regions.entry(id).or_default();
+            stats.counts = stats.counts.merge(counts);
+        }
+    }
+
+    /// Whether any region is currently active.
+    pub fn in_region(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Stats of one region.
+    pub fn region(&self, id: u32) -> Option<&RegionStats> {
+        self.regions.get(&id)
+    }
+
+    /// All regions, sorted by id.
+    pub fn regions(&self) -> Vec<(u32, RegionStats)> {
+        let mut v: Vec<(u32, RegionStats)> = self.regions.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Clear accumulated stats (not the instrumented flag).
+    pub fn reset_stats(&mut self) {
+        self.active.clear();
+        self.regions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(flops: u64) -> ProfCounts {
+        ProfCounts {
+            flops,
+            loaded_bytes: 8,
+            stored_bytes: 4,
+            int_ops: 2,
+        }
+    }
+
+    #[test]
+    fn two_phase_accounting() {
+        let mut rt = RooflineRuntime::new();
+        // Phase 1: baseline.
+        rt.loop_begin(0, 100);
+        rt.loop_end(0, 600);
+        // Phase 2: instrumented.
+        rt.instrumented = true;
+        rt.loop_begin(0, 1000);
+        rt.prof_count(counts(10));
+        rt.prof_count(counts(10));
+        rt.loop_end(0, 1900);
+        let s = rt.region(0).unwrap();
+        assert_eq!(s.baseline_cycles, 500);
+        assert_eq!(s.instrumented_cycles, 900);
+        assert_eq!(s.counts.flops, 20);
+        assert_eq!(s.counts.loaded_bytes, 16);
+        assert_eq!(s.invocations, 2);
+    }
+
+    #[test]
+    fn nested_regions_attribute_to_innermost() {
+        let mut rt = RooflineRuntime::new();
+        rt.instrumented = true;
+        rt.loop_begin(0, 0);
+        rt.loop_begin(1, 10);
+        rt.prof_count(counts(5));
+        rt.loop_end(1, 20);
+        rt.prof_count(counts(7));
+        rt.loop_end(0, 30);
+        assert_eq!(rt.region(1).unwrap().counts.flops, 5);
+        assert_eq!(rt.region(0).unwrap().counts.flops, 7);
+    }
+
+    #[test]
+    fn unbalanced_end_is_tolerated() {
+        let mut rt = RooflineRuntime::new();
+        rt.loop_end(42, 100);
+        assert!(rt.region(42).is_none());
+        assert!(!rt.in_region());
+    }
+
+    #[test]
+    fn prof_count_outside_region_is_dropped() {
+        let mut rt = RooflineRuntime::new();
+        rt.prof_count(counts(5));
+        assert!(rt.regions().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut rt = RooflineRuntime::new();
+        rt.loop_begin(0, 0);
+        rt.loop_end(0, 10);
+        rt.reset_stats();
+        assert!(rt.regions().is_empty());
+    }
+}

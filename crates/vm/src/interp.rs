@@ -1,0 +1,948 @@
+//! The MIR interpreter.
+
+use crate::error::VmError;
+use crate::host::{HostHandler, RooflineRuntime};
+use crate::lower::inst_class;
+use crate::memory::GuestMemory;
+use crate::value::Value;
+use mperf_event::{OverflowCtx, PerfKernel};
+use mperf_ir::{
+    BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, Reg, ReduceOp,
+    Term, Ty, UnOp,
+};
+use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
+use mperf_sim::Core;
+use std::collections::HashMap;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// MIR instructions interpreted.
+    pub mir_ops: u64,
+    /// Machine ops retired on the core.
+    pub machine_ops: u64,
+    /// Guest function calls executed.
+    pub calls: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<Value>,
+    block: BlockId,
+    idx: usize,
+    /// Registers in the caller to receive return values.
+    ret_dsts: Vec<Reg>,
+    /// PC of the call site (for callchains).
+    call_pc: u64,
+}
+
+/// The execution engine. Owns the core, optional perf kernel, guest
+/// memory, and the roofline runtime.
+pub struct Vm<'m> {
+    module: &'m Module,
+    /// The simulated hart.
+    pub core: Core,
+    /// Attached perf subsystem (overflow interrupts route here).
+    pub kernel: Option<PerfKernel>,
+    /// Guest memory.
+    pub mem: GuestMemory,
+    /// Roofline notification runtime.
+    pub roofline: RooflineRuntime,
+    host: HashMap<String, HostHandler>,
+    stack: Vec<Frame>,
+    fuel: u64,
+    stats: ExecStats,
+    max_depth: usize,
+    /// Guest scratch address used by instrumentation counter updates.
+    prof_scratch: u64,
+}
+
+fn pc_of(func: FuncId, block: BlockId, idx: usize) -> u64 {
+    ((func.0 as u64) << 32) | ((block.0 as u64) << 16) | (idx as u64 & 0xffff)
+}
+
+/// Extract the function id from a synthetic PC.
+pub fn func_of_pc(pc: u64) -> FuncId {
+    FuncId((pc >> 32) as u32)
+}
+
+impl<'m> Vm<'m> {
+    /// Create a VM over `module` on `core` with 64 MiB of guest memory.
+    pub fn new(module: &'m Module, core: Core) -> Vm<'m> {
+        Vm::with_memory(module, core, 64 << 20)
+    }
+
+    /// Create a VM with a custom guest memory size.
+    pub fn with_memory(module: &'m Module, core: Core, mem_bytes: usize) -> Vm<'m> {
+        let mut mem = GuestMemory::new(mem_bytes);
+        let prof_scratch = mem.alloc(64, 64).expect("fresh memory fits scratch");
+        Vm {
+            module,
+            core,
+            kernel: None,
+            mem,
+            roofline: RooflineRuntime::new(),
+            host: HashMap::new(),
+            stack: Vec::new(),
+            fuel: u64::MAX,
+            stats: ExecStats::default(),
+            max_depth: 1 << 14,
+            prof_scratch,
+        }
+    }
+
+    /// Attach a perf kernel (overflow interrupts start flowing to it).
+    pub fn attach_kernel(&mut self, kernel: PerfKernel) {
+        self.kernel = Some(kernel);
+    }
+
+    /// Register a host function by name.
+    pub fn register_host(&mut self, name: impl Into<String>, handler: HostHandler) {
+        self.host.insert(name.into(), handler);
+    }
+
+    /// Limit the number of machine ops executed (guards runaway loops).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Call a guest function by name.
+    ///
+    /// # Errors
+    /// [`VmError::BadEntry`] for unknown names/arity mismatches, plus any
+    /// guest trap ([`VmError`]) raised during execution.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, VmError> {
+        let fid = self
+            .module
+            .func_id(name)
+            .ok_or_else(|| VmError::BadEntry(format!("no function `{name}`")))?;
+        self.call_id(fid, args)
+    }
+
+    /// Call a guest function by id.
+    ///
+    /// # Errors
+    /// See [`Vm::call`].
+    pub fn call_id(&mut self, fid: FuncId, args: &[Value]) -> Result<Vec<Value>, VmError> {
+        let f = self.module.func(fid);
+        if f.params.len() != args.len() {
+            return Err(VmError::BadEntry(format!(
+                "`{}` takes {} argument(s), got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut regs = vec![Value::I64(0); f.num_regs()];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.index()] = a.clone();
+        }
+        let base_depth = self.stack.len();
+        self.stack.push(Frame {
+            func: fid,
+            regs,
+            block: f.entry(),
+            idx: 0,
+            ret_dsts: Vec::new(),
+            call_pc: 0,
+        });
+        let result = self.run(base_depth);
+        if result.is_err() {
+            self.stack.truncate(base_depth);
+        }
+        result
+    }
+
+    /// Interpreter main loop: runs until the frame stack returns to
+    /// `base_depth`.
+    fn run(&mut self, base_depth: usize) -> Result<Vec<Value>, VmError> {
+        loop {
+            let frame = self.stack.last().expect("run() with nonempty stack");
+            let func = self.module.func(frame.func);
+            let block = func.block(frame.block);
+            let fuel_out = self.stats.machine_ops >= self.fuel;
+            if fuel_out {
+                return Err(VmError::OutOfFuel {
+                    executed: self.stats.machine_ops,
+                });
+            }
+            if frame.idx < block.insts.len() {
+                let pc = pc_of(frame.func, frame.block, frame.idx);
+                let inst = &block.insts[frame.idx];
+                self.exec_inst(inst.clone(), pc)?;
+            } else {
+                let pc = pc_of(frame.func, frame.block, block.insts.len());
+                let term = block.term.clone();
+                if let Some(vals) = self.exec_term(term, pc)? {
+                    if self.stack.len() == base_depth {
+                        return Ok(vals);
+                    }
+                }
+            }
+        }
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        self.stack.last_mut().expect("active frame")
+    }
+
+    fn eval(&mut self, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.frame().regs[r.index()].clone(),
+            Operand::I64(v) => Value::I64(v),
+            Operand::F32(v) => Value::F32(v),
+            Operand::F64(v) => Value::F64(v),
+            Operand::Bool(v) => Value::Bool(v),
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: Value) {
+        self.frame().regs[r.index()] = v;
+    }
+
+    fn retire(&mut self, op: MachineOp) {
+        let info = self.core.retire(&op);
+        self.stats.machine_ops += 1;
+        if info.overflow != 0 {
+            let callchain = self.callchain(op.pc);
+            if let Some(kernel) = &mut self.kernel {
+                let ctx = OverflowCtx {
+                    ip: op.pc,
+                    tid: 1,
+                    callchain,
+                };
+                kernel.on_overflow(&mut self.core, info.overflow, &ctx);
+            }
+        }
+    }
+
+    /// The current call chain, innermost frame first.
+    fn callchain(&self, ip: u64) -> Vec<u64> {
+        let mut chain = vec![ip];
+        for f in self.stack.iter().rev() {
+            if f.call_pc != 0 {
+                chain.push(f.call_pc);
+            }
+        }
+        chain
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(&mut self, inst: Inst, pc: u64) -> Result<(), VmError> {
+        self.stats.mir_ops += 1;
+        self.frame().idx += 1;
+        match inst {
+            Inst::Bin { op, ty, dst, lhs, rhs } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                let v = eval_bin(op, &a, &b, pc)?;
+                self.set(dst, v);
+                let class = inst_class(&Inst::Bin { op, ty, dst, lhs, rhs });
+                self.retire(
+                    MachineOp::simple(class, pc)
+                        .with_flops(crate::lower::bin_flops(op, ty)),
+                );
+            }
+            Inst::Cmp { op, dst, lhs, rhs, .. } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                self.set(dst, Value::Bool(eval_cmp(op, &a, &b)));
+                self.retire(MachineOp::simple(OpClass::IntAlu, pc));
+            }
+            Inst::Un { op, ty, dst, src } => {
+                let v = self.eval(src);
+                let r = match (op, v) {
+                    (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
+                    (UnOp::FNeg, Value::F32(x)) => Value::F32(-x),
+                    (UnOp::FNeg, Value::F64(x)) => Value::F64(-x),
+                    (UnOp::FNeg, Value::VF32(x)) => Value::VF32(x.iter().map(|l| -l).collect()),
+                    (UnOp::FNeg, Value::VF64(x)) => Value::VF64(x.iter().map(|l| -l).collect()),
+                    (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                    (o, v) => unreachable!("verifier admits {o:?} of {v:?}"),
+                };
+                self.set(dst, r);
+                let class = if matches!(op, UnOp::FNeg) && !ty.is_vector() {
+                    OpClass::FpAdd
+                } else if ty.is_vector() {
+                    OpClass::VecAlu
+                } else {
+                    OpClass::IntAlu
+                };
+                let flops = if matches!(op, UnOp::FNeg) { ty.lanes() as u32 } else { 0 };
+                self.retire(MachineOp::simple(class, pc).with_flops(flops));
+            }
+            Inst::Fma { ty, dst, a, b, c } => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                let vc = self.eval(c);
+                let r = match (va, vb, vc) {
+                    (Value::F32(x), Value::F32(y), Value::F32(z)) => Value::F32(x.mul_add(y, z)),
+                    (Value::F64(x), Value::F64(y), Value::F64(z)) => Value::F64(x.mul_add(y, z)),
+                    (Value::VF32(x), Value::VF32(y), Value::VF32(z)) => Value::VF32(
+                        x.iter()
+                            .zip(&y)
+                            .zip(&z)
+                            .map(|((a, b), c)| a.mul_add(*b, *c))
+                            .collect(),
+                    ),
+                    (Value::VF64(x), Value::VF64(y), Value::VF64(z)) => Value::VF64(
+                        x.iter()
+                            .zip(&y)
+                            .zip(&z)
+                            .map(|((a, b), c)| a.mul_add(*b, *c))
+                            .collect(),
+                    ),
+                    (a, b, c) => unreachable!("verifier admits fma of {a:?},{b:?},{c:?}"),
+                };
+                self.set(dst, r);
+                let class = if ty.is_vector() { OpClass::VecFma } else { OpClass::FpFma };
+                self.retire(MachineOp::simple(class, pc).with_flops(2 * ty.lanes() as u32));
+            }
+            Inst::Load { dst, addr, mem, lanes, stride } => {
+                let base = self.eval(addr).as_i64() as u64;
+                let st = self.eval(stride).as_i64();
+                let v = self.load_value(base, mem, lanes, st)?;
+                self.set(dst, v);
+                let class = if lanes > 1 { OpClass::VecLoad } else { OpClass::Load };
+                let mref = MemRef {
+                    addr: base,
+                    bytes: mem.bytes() as u32,
+                    lanes: lanes as u32,
+                    stride: st,
+                    is_store: false,
+                };
+                self.retire(MachineOp::simple(class, pc).with_mem(mref));
+            }
+            Inst::Store { addr, val, mem, lanes, stride } => {
+                let base = self.eval(addr).as_i64() as u64;
+                let st = self.eval(stride).as_i64();
+                let v = self.eval(val);
+                self.store_value(base, mem, lanes, st, &v)?;
+                let class = if lanes > 1 { OpClass::VecStore } else { OpClass::Store };
+                let mref = MemRef {
+                    addr: base,
+                    bytes: mem.bytes() as u32,
+                    lanes: lanes as u32,
+                    stride: st,
+                    is_store: true,
+                };
+                self.retire(MachineOp::simple(class, pc).with_mem(mref));
+            }
+            Inst::PtrAdd { dst, base, offset } => {
+                let b = self.eval(base).as_i64();
+                let o = self.eval(offset).as_i64();
+                self.set(dst, Value::I64(b.wrapping_add(o)));
+                self.retire(MachineOp::simple(OpClass::AddrCalc, pc));
+            }
+            Inst::Select { dst, cond, t, f, .. } => {
+                let c = self.eval(cond).as_bool();
+                let v = if c { self.eval(t) } else { self.eval(f) };
+                self.set(dst, v);
+                self.retire(MachineOp::simple(OpClass::IntAlu, pc));
+            }
+            Inst::Cast { kind, dst, src } => {
+                let v = self.eval(src);
+                let dst_ty = {
+                    let frame = self.stack.last().expect("active frame");
+                    self.module.func(frame.func).ty_of(dst)
+                };
+                let r = eval_cast(kind, &v, dst_ty);
+                self.set(dst, r);
+                self.retire(MachineOp::simple(OpClass::FpCvt, pc));
+            }
+            Inst::Copy { dst, src, .. } => {
+                let v = self.eval(src);
+                self.set(dst, v);
+                self.retire(MachineOp::simple(OpClass::Move, pc));
+            }
+            Inst::Splat { ty, dst, src } => {
+                let v = self.eval(src);
+                let lanes = ty.lanes() as usize;
+                let r = match (ty.elem(), v) {
+                    (Ty::F32, Value::F32(x)) => Value::VF32(vec![x; lanes]),
+                    (Ty::F64, Value::F64(x)) => Value::VF64(vec![x; lanes]),
+                    (Ty::I64, Value::I64(x)) => Value::VI64(vec![x; lanes]),
+                    (t, v) => unreachable!("verifier admits splat {t} of {v:?}"),
+                };
+                self.set(dst, r);
+                self.retire(MachineOp::simple(OpClass::VecShuffle, pc));
+            }
+            Inst::Reduce { op, dst, src } => {
+                let v = self.eval(src);
+                let lanes = v.lanes() as u32;
+                let r = match (op, v) {
+                    (ReduceOp::FAdd, Value::VF32(x)) => Value::F32(x.iter().sum()),
+                    (ReduceOp::FAdd, Value::VF64(x)) => Value::F64(x.iter().sum()),
+                    (ReduceOp::Add, Value::VI64(x)) => {
+                        Value::I64(x.iter().fold(0i64, |a, b| a.wrapping_add(*b)))
+                    }
+                    (o, v) => unreachable!("verifier admits reduce {o:?} of {v:?}"),
+                };
+                let flops = match op {
+                    ReduceOp::FAdd => lanes.saturating_sub(1),
+                    ReduceOp::Add => 0,
+                };
+                self.set(dst, r);
+                self.retire(MachineOp::simple(OpClass::VecShuffle, pc).with_flops(flops));
+            }
+            Inst::Call { dsts, callee, args } => {
+                let argv: Vec<Value> = args.iter().map(|a| self.eval(*a)).collect();
+                self.stats.calls += 1;
+                self.retire(MachineOp::simple(OpClass::CallRet, pc));
+                match callee {
+                    Callee::Func(fid) => {
+                        if self.stack.len() >= self.max_depth {
+                            return Err(VmError::StackOverflow {
+                                depth: self.stack.len(),
+                            });
+                        }
+                        let f = self.module.func(fid);
+                        let mut regs = vec![Value::I64(0); f.num_regs()];
+                        for (p, a) in f.params.iter().zip(argv) {
+                            regs[p.index()] = a;
+                        }
+                        self.stack.push(Frame {
+                            func: fid,
+                            regs,
+                            block: f.entry(),
+                            idx: 0,
+                            ret_dsts: dsts,
+                            call_pc: pc,
+                        });
+                    }
+                    Callee::Host(name) => {
+                        let rets = self.call_host(&name, &argv, pc)?;
+                        for (d, v) in dsts.iter().zip(rets) {
+                            self.set(*d, v);
+                        }
+                    }
+                }
+            }
+            Inst::ProfCount(counts) => {
+                self.roofline.prof_count(counts);
+                // The counter update is real guest work: a handful of
+                // integer ops plus a load/store to the counter block.
+                let scratch = self.prof_scratch;
+                for _ in 0..3 {
+                    self.retire(MachineOp::simple(OpClass::IntAlu, pc));
+                }
+                self.retire(
+                    MachineOp::simple(OpClass::Load, pc)
+                        .with_mem(MemRef::scalar(scratch, 8, false)),
+                );
+                self.retire(
+                    MachineOp::simple(OpClass::Store, pc)
+                        .with_mem(MemRef::scalar(scratch, 8, true)),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `Some(values)` when a frame returned.
+    fn exec_term(&mut self, term: Term, pc: u64) -> Result<Option<Vec<Value>>, VmError> {
+        match term {
+            Term::Br(b) => {
+                self.retire(MachineOp::simple(OpClass::Move, pc));
+                let f = self.frame();
+                f.block = b;
+                f.idx = 0;
+                Ok(None)
+            }
+            Term::CondBr { cond, t, f } => {
+                let c = self.eval(cond).as_bool();
+                self.retire(MachineOp::simple(OpClass::Branch, pc).with_taken(c));
+                let fr = self.frame();
+                fr.block = if c { t } else { f };
+                fr.idx = 0;
+                Ok(None)
+            }
+            Term::Ret(vals) => {
+                let out: Vec<Value> = vals.iter().map(|v| self.eval(*v)).collect();
+                self.retire(MachineOp::simple(OpClass::CallRet, pc));
+                let frame = self.stack.pop().expect("ret with a frame");
+                if self.stack.is_empty() {
+                    return Ok(Some(out));
+                }
+                // Write return values into the caller.
+                let parent = self.stack.last_mut().expect("caller frame");
+                for (d, v) in frame.ret_dsts.iter().zip(out.iter()) {
+                    parent.regs[d.index()] = v.clone();
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    fn call_host(&mut self, name: &str, args: &[Value], pc: u64) -> Result<Vec<Value>, VmError> {
+        // Notification functions are a few instructions of real work.
+        for _ in 0..3 {
+            self.retire(MachineOp::simple(OpClass::IntAlu, pc));
+        }
+        match name {
+            "mperf.loop_begin" => {
+                let id = args[0].as_i64() as u32;
+                let now = self.core.cycles();
+                self.roofline.loop_begin(id, now);
+                Ok(vec![])
+            }
+            "mperf.loop_end" => {
+                let id = args[0].as_i64() as u32;
+                let now = self.core.cycles();
+                self.roofline.loop_end(id, now);
+                Ok(vec![])
+            }
+            "mperf.is_instrumented" => Ok(vec![Value::Bool(self.roofline.instrumented)]),
+            _ => match self.host.get_mut(name) {
+                Some(h) => h(args).map_err(VmError::HostFault),
+                None => Err(VmError::UnknownHost(name.to_string())),
+            },
+        }
+    }
+
+    fn load_value(&mut self, base: u64, mem: MemTy, lanes: u8, stride: i64) -> Result<Value, VmError> {
+        if lanes == 1 {
+            return Ok(match mem {
+                MemTy::I8 => Value::I64(self.mem.read::<1>(base)?[0] as i64),
+                MemTy::I16 => Value::I64(u16::from_le_bytes(self.mem.read::<2>(base)?) as i64),
+                MemTy::I32 => Value::I64(u32::from_le_bytes(self.mem.read::<4>(base)?) as i64),
+                MemTy::I64 => Value::I64(self.mem.read_u64(base)? as i64),
+                MemTy::F32 => Value::F32(self.mem.read_f32(base)?),
+                MemTy::F64 => Value::F64(self.mem.read_f64(base)?),
+            });
+        }
+        match mem {
+            MemTy::F32 => {
+                let mut v = Vec::with_capacity(lanes as usize);
+                for l in 0..lanes as i64 {
+                    v.push(self.mem.read_f32(base.wrapping_add_signed(stride * l))?);
+                }
+                Ok(Value::VF32(v))
+            }
+            MemTy::F64 => {
+                let mut v = Vec::with_capacity(lanes as usize);
+                for l in 0..lanes as i64 {
+                    v.push(self.mem.read_f64(base.wrapping_add_signed(stride * l))?);
+                }
+                Ok(Value::VF64(v))
+            }
+            MemTy::I64 => {
+                let mut v = Vec::with_capacity(lanes as usize);
+                for l in 0..lanes as i64 {
+                    v.push(self.mem.read_u64(base.wrapping_add_signed(stride * l))? as i64);
+                }
+                Ok(Value::VI64(v))
+            }
+            narrow => unreachable!("vectorizer only emits f32/f64/i64 vectors, got {narrow}"),
+        }
+    }
+
+    fn store_value(
+        &mut self,
+        base: u64,
+        mem: MemTy,
+        lanes: u8,
+        stride: i64,
+        v: &Value,
+    ) -> Result<(), VmError> {
+        if lanes == 1 {
+            return match (mem, v) {
+                (MemTy::I8, Value::I64(x)) => self.mem.write(base, &[(*x as u8)]),
+                (MemTy::I16, Value::I64(x)) => self.mem.write(base, &(*x as u16).to_le_bytes()),
+                (MemTy::I32, Value::I64(x)) => self.mem.write(base, &(*x as u32).to_le_bytes()),
+                (MemTy::I64, Value::I64(x)) => self.mem.write_u64(base, *x as u64),
+                (MemTy::F32, Value::F32(x)) => self.mem.write_f32(base, *x),
+                (MemTy::F64, Value::F64(x)) => self.mem.write_f64(base, *x),
+                (m, v) => unreachable!("verifier admits store {m} of {v:?}"),
+            };
+        }
+        match (mem, v) {
+            (MemTy::F32, Value::VF32(xs)) => {
+                for (l, x) in xs.iter().enumerate() {
+                    self.mem
+                        .write_f32(base.wrapping_add_signed(stride * l as i64), *x)?;
+                }
+                Ok(())
+            }
+            (MemTy::F64, Value::VF64(xs)) => {
+                for (l, x) in xs.iter().enumerate() {
+                    self.mem
+                        .write_f64(base.wrapping_add_signed(stride * l as i64), *x)?;
+                }
+                Ok(())
+            }
+            (MemTy::I64, Value::VI64(xs)) => {
+                for (l, x) in xs.iter().enumerate() {
+                    self.mem
+                        .write_u64(base.wrapping_add_signed(stride * l as i64), *x as u64)?;
+                }
+                Ok(())
+            }
+            (m, v) => unreachable!("verifier admits vstore {m} of {v:?}"),
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Value, b: &Value, pc: u64) -> Result<Value, VmError> {
+    use Value::*;
+    Ok(match (op, a, b) {
+        (BinOp::Add, I64(x), I64(y)) => I64(x.wrapping_add(*y)),
+        (BinOp::Sub, I64(x), I64(y)) => I64(x.wrapping_sub(*y)),
+        (BinOp::Mul, I64(x), I64(y)) => I64(x.wrapping_mul(*y)),
+        (BinOp::Div, I64(x), I64(y)) => {
+            if *y == 0 {
+                return Err(VmError::DivisionByZero { pc });
+            }
+            I64(x.wrapping_div(*y))
+        }
+        (BinOp::Rem, I64(x), I64(y)) => {
+            if *y == 0 {
+                return Err(VmError::DivisionByZero { pc });
+            }
+            I64(x.wrapping_rem(*y))
+        }
+        (BinOp::And, I64(x), I64(y)) => I64(x & y),
+        (BinOp::Or, I64(x), I64(y)) => I64(x | y),
+        (BinOp::Xor, I64(x), I64(y)) => I64(x ^ y),
+        (BinOp::Shl, I64(x), I64(y)) => I64(x.wrapping_shl(*y as u32 & 63)),
+        (BinOp::Shr, I64(x), I64(y)) => I64(x.wrapping_shr(*y as u32 & 63)),
+        (BinOp::FAdd, F32(x), F32(y)) => F32(x + y),
+        (BinOp::FSub, F32(x), F32(y)) => F32(x - y),
+        (BinOp::FMul, F32(x), F32(y)) => F32(x * y),
+        (BinOp::FDiv, F32(x), F32(y)) => F32(x / y),
+        (BinOp::FAdd, F64(x), F64(y)) => F64(x + y),
+        (BinOp::FSub, F64(x), F64(y)) => F64(x - y),
+        (BinOp::FMul, F64(x), F64(y)) => F64(x * y),
+        (BinOp::FDiv, F64(x), F64(y)) => F64(x / y),
+        // Vector lanes.
+        (o, VF32(x), VF32(y)) => VF32(
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| match o {
+                    BinOp::FAdd => a + b,
+                    BinOp::FSub => a - b,
+                    BinOp::FMul => a * b,
+                    BinOp::FDiv => a / b,
+                    other => unreachable!("verifier admits vector {other:?} on f32"),
+                })
+                .collect(),
+        ),
+        (o, VF64(x), VF64(y)) => VF64(
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| match o {
+                    BinOp::FAdd => a + b,
+                    BinOp::FSub => a - b,
+                    BinOp::FMul => a * b,
+                    BinOp::FDiv => a / b,
+                    other => unreachable!("verifier admits vector {other:?} on f64"),
+                })
+                .collect(),
+        ),
+        (o, VI64(x), VI64(y)) => VI64(
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| match o {
+                    BinOp::Add => a.wrapping_add(*b),
+                    BinOp::Sub => a.wrapping_sub(*b),
+                    BinOp::Mul => a.wrapping_mul(*b),
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    other => unreachable!("verifier admits vector {other:?} on i64"),
+                })
+                .collect(),
+        ),
+        (o, a, b) => unreachable!("verifier admits {o:?} of {a:?}, {b:?}"),
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
+    use Value::*;
+    match (a, b) {
+        (I64(x), I64(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+        (F32(x), F32(y)) => cmp_f(op, *x as f64, *y as f64),
+        (F64(x), F64(y)) => cmp_f(op, *x, *y),
+        (Bool(x), Bool(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            other => unreachable!("checker admits {other:?} on bool"),
+        },
+        (a, b) => unreachable!("verifier admits cmp of {a:?}, {b:?}"),
+    }
+}
+
+fn cmp_f(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+fn eval_cast(kind: CastKind, v: &Value, dst_ty: Ty) -> Value {
+    match (kind, v) {
+        (CastKind::IntToFloat, Value::I64(x)) => {
+            if dst_ty == Ty::F32 {
+                Value::F32(*x as f32)
+            } else {
+                Value::F64(*x as f64)
+            }
+        }
+        (CastKind::FloatToInt, Value::F32(x)) => Value::I64(*x as i64),
+        (CastKind::FloatToInt, Value::F64(x)) => Value::I64(*x as i64),
+        (CastKind::FloatCast, Value::F32(x)) => Value::F64(*x as f64),
+        (CastKind::FloatCast, Value::F64(x)) => Value::F32(*x as f32),
+        (CastKind::IntToPtr | CastKind::PtrToInt, Value::I64(x)) => Value::I64(*x),
+        (k, v) => unreachable!("verifier admits cast {k:?} of {v:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_ir::compile;
+    use mperf_sim::PlatformSpec;
+
+    fn run_on(src: &str, platform: PlatformSpec, entry: &str, args: &[Value]) -> Vec<Value> {
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(platform));
+        vm.call(entry, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = r#"
+            fn fib(n: i64) -> i64 {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        "#;
+        let out = run_on(src, PlatformSpec::x60(), "fib", &[Value::I64(12)]);
+        assert_eq!(out, vec![Value::I64(144)]);
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        let src = r#"
+            fn sum_array(p: *i64, n: i64) -> i64 {
+                var s: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    s = s + p[i];
+                }
+                return s;
+            }
+        "#;
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let base = vm.mem.alloc(8 * 100, 8).unwrap();
+        for i in 0..100u64 {
+            vm.mem.write_u64(base + i * 8, i).unwrap();
+        }
+        let out = vm
+            .call("sum_array", &[Value::I64(base as i64), Value::I64(100)])
+            .unwrap();
+        assert_eq!(out, vec![Value::I64(4950)]);
+        assert!(vm.core.cycles() > 100);
+        assert!(vm.core.instructions() > 400);
+    }
+
+    #[test]
+    fn float_kernels_compute_correctly() {
+        let src = r#"
+            fn dot(a: *f32, b: *f32, n: i64) -> f32 {
+                var s: f32 = 0.0;
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    s = s + a[i] * b[i];
+                }
+                return s;
+            }
+        "#;
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::i5_1135g7()));
+        let a = vm.mem.alloc(4 * 8, 4).unwrap();
+        let b = vm.mem.alloc(4 * 8, 4).unwrap();
+        for i in 0..8 {
+            vm.mem.write_f32(a + i * 4, (i + 1) as f32).unwrap();
+            vm.mem.write_f32(b + i * 4, 2.0).unwrap();
+        }
+        let out = vm
+            .call("dot", &[Value::I64(a as i64), Value::I64(b as i64), Value::I64(8)])
+            .unwrap();
+        assert_eq!(out, vec![Value::F32(72.0)]);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let src = "fn f(a: i64, b: i64) -> i64 { return a / b; }";
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let err = vm
+            .call("f", &[Value::I64(1), Value::I64(0)])
+            .unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let src = "fn f(p: *i64) -> i64 { return *p; }";
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let err = vm.call("f", &[Value::I64(0)]).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let src = "fn spin() { while (true) { } }";
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        vm.set_fuel(10_000);
+        let err = vm.call("spin", &[]).unwrap_err();
+        assert!(matches!(err, VmError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn host_function_dispatch() {
+        let src = r#"
+            extern fn add_ten(v: i64) -> i64;
+            fn f(x: i64) -> i64 { return add_ten(x) * 2; }
+        "#;
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        vm.register_host(
+            "add_ten",
+            Box::new(|args| Ok(vec![Value::I64(args[0].as_i64() + 10)])),
+        );
+        let out = vm.call("f", &[Value::I64(5)]).unwrap();
+        assert_eq!(out, vec![Value::I64(30)]);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let src = r#"
+            extern fn mystery();
+            fn f() { mystery(); }
+        "#;
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let err = vm.call("f", &[]).unwrap_err();
+        assert!(matches!(err, VmError::UnknownHost(_)));
+    }
+
+    #[test]
+    fn recursion_depth_limit() {
+        let src = "fn inf(n: i64) -> i64 { return inf(n + 1); }";
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let err = vm.call("inf", &[Value::I64(0)]).unwrap_err();
+        assert!(matches!(err, VmError::StackOverflow { .. }));
+    }
+
+    #[test]
+    fn narrow_memory_semantics() {
+        let src = r#"
+            fn f(p: *i8) -> i64 {
+                p[0] = 300;        // truncates to 44
+                return p[0];       // zero-extends back
+            }
+        "#;
+        let module = compile("t", src).unwrap();
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let a = vm.mem.alloc(16, 8).unwrap();
+        let out = vm.call("f", &[Value::I64(a as i64)]).unwrap();
+        assert_eq!(out, vec![Value::I64(300 & 0xff)]);
+    }
+
+    #[test]
+    fn same_program_same_result_on_all_platforms() {
+        let src = r#"
+            fn work(n: i64) -> i64 {
+                var acc: i64 = 0;
+                for (var i: i64 = 1; i < n; i = i + 1) {
+                    acc = acc + i * i % 7;
+                }
+                return acc;
+            }
+        "#;
+        let mut results = Vec::new();
+        let mut cycles = Vec::new();
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let module = compile("t", src).unwrap();
+            let mut vm = Vm::new(&module, Core::new(spec));
+            let out = vm.call("work", &[Value::I64(500)]).unwrap();
+            results.push(out[0].clone());
+            cycles.push(vm.core.cycles());
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+        // Timing must differ across microarchitectures.
+        let i5 = cycles[3];
+        let x60 = cycles[0];
+        assert!(x60 > i5, "in-order slower than wide OoO: {cycles:?}");
+    }
+
+    #[test]
+    fn ipc_gap_between_x60_and_i5() {
+        // Interpreter-style integer code compiled with the standard
+        // pipeline: the in-order X60 model lands well under 2 IPC, the
+        // wide OoO i5 model several times higher (Table 2's shape; the
+        // calibrated sqlite workload narrows these toward 0.86 vs 3.38).
+        let src = r#"
+            fn interp(p: *i64, n: i64) -> i64 {
+                var acc: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    var op: i64 = p[i % 64] % 4;
+                    if (op == 0) { acc = acc + i; }
+                    else if (op == 1) { acc = acc - (i % 16); }
+                    else if (op == 2) { acc = acc + p[(acc % 32 + 32) % 64]; }
+                    else { acc = acc ^ (i << 1); }
+                }
+                return acc;
+            }
+        "#;
+        let mut module = compile("t", src).unwrap();
+        mperf_ir::transform::PassManager::standard().run(&mut module);
+        let mut ipcs = Vec::new();
+        for spec in [PlatformSpec::x60(), PlatformSpec::i5_1135g7()] {
+            let mut vm = Vm::new(&module, Core::new(spec));
+            let base = vm.mem.alloc(8 * 64, 8).unwrap();
+            for i in 0..64u64 {
+                vm.mem
+                    .write_u64(base + i * 8, i.wrapping_mul(2_654_435_761))
+                    .unwrap();
+            }
+            vm.call("interp", &[Value::I64(base as i64), Value::I64(20_000)])
+                .unwrap();
+            ipcs.push(vm.core.instructions() as f64 / vm.core.cycles() as f64);
+        }
+        let (x60, i5) = (ipcs[0], ipcs[1]);
+        assert!(x60 < 1.8, "x60 ipc {x60}");
+        assert!(i5 > 2.0, "i5 ipc {i5}");
+        assert!(i5 / x60 > 2.0, "gap {}", i5 / x60);
+    }
+}

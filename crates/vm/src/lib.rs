@@ -1,0 +1,33 @@
+//! # mperf-vm — MIR execution engine over the simulated hardware
+//!
+//! Interprets [`mperf_ir`] modules, lowering each MIR instruction to
+//! machine operations (with per-ISA expansion) that retire on a
+//! [`mperf_sim::Core`]. This ties the two measurement paths of the paper
+//! together on a single execution:
+//!
+//! - **PMU path**: every retired op advances the core's counters;
+//!   overflow interrupts are routed to an attached
+//!   [`mperf_event::PerfKernel`] together with the interrupted guest PC
+//!   and call chain, so sampling profilers see real stacks.
+//! - **Compiler path**: `ProfCount` instructions and the
+//!   `mperf.loop_begin` / `mperf.loop_end` / `mperf.is_instrumented`
+//!   host calls drive the [`RooflineRuntime`], accumulating the
+//!   bytes/int-ops/FLOP tallies the instrumentation pass planted.
+//!
+//! The VM also maintains the guest call stack used for flame-graph
+//! callchains, charges instrumentation overhead as real guest
+//! instructions, and exposes a bump allocator so hosts can stage workload
+//! data in guest memory.
+
+pub mod error;
+pub mod host;
+pub mod interp;
+pub mod lower;
+pub mod memory;
+pub mod value;
+
+pub use error::VmError;
+pub use host::{HostHandler, RegionStats, RooflineRuntime};
+pub use interp::{ExecStats, Vm};
+pub use memory::GuestMemory;
+pub use value::Value;

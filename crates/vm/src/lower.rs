@@ -1,0 +1,140 @@
+//! MIR-instruction → machine-op class mapping.
+
+use mperf_ir::{BinOp, Inst, Ty, UnOp};
+use mperf_sim::machine_op::OpClass;
+
+/// The op class a scalar/vector binary operation executes as.
+pub fn bin_class(op: BinOp, ty: Ty) -> OpClass {
+    if ty.is_vector() {
+        return OpClass::VecAlu;
+    }
+    match op {
+        BinOp::Mul => OpClass::IntMul,
+        BinOp::Div | BinOp::Rem => OpClass::IntDiv,
+        BinOp::FAdd | BinOp::FSub => OpClass::FpAdd,
+        BinOp::FMul => OpClass::FpMul,
+        BinOp::FDiv => OpClass::FpDiv,
+        _ => OpClass::IntAlu,
+    }
+}
+
+/// FLOPs retired by a binary op (per the PMU's architectural view).
+pub fn bin_flops(op: BinOp, ty: Ty) -> u32 {
+    if op.is_float() {
+        ty.lanes() as u32
+    } else {
+        0
+    }
+}
+
+/// The op class of a whole instruction (memory ops handled separately by
+/// the interpreter since they need addresses).
+pub fn inst_class(inst: &Inst) -> OpClass {
+    match inst {
+        Inst::Bin { op, ty, .. } => bin_class(*op, *ty),
+        Inst::Cmp { .. } => OpClass::IntAlu,
+        Inst::Un { op, ty, .. } => match op {
+            UnOp::FNeg if ty.is_vector() => OpClass::VecAlu,
+            UnOp::FNeg => OpClass::FpAdd,
+            _ => OpClass::IntAlu,
+        },
+        Inst::Fma { ty, .. } => {
+            if ty.is_vector() {
+                OpClass::VecFma
+            } else {
+                OpClass::FpFma
+            }
+        }
+        Inst::Load { lanes, .. } => {
+            if *lanes > 1 {
+                OpClass::VecLoad
+            } else {
+                OpClass::Load
+            }
+        }
+        Inst::Store { lanes, .. } => {
+            if *lanes > 1 {
+                OpClass::VecStore
+            } else {
+                OpClass::Store
+            }
+        }
+        Inst::PtrAdd { .. } => OpClass::AddrCalc,
+        Inst::Select { .. } => OpClass::IntAlu,
+        Inst::Cast { .. } => OpClass::FpCvt,
+        Inst::Copy { .. } => OpClass::Move,
+        Inst::Splat { .. } | Inst::Reduce { .. } => OpClass::VecShuffle,
+        Inst::Call { .. } => OpClass::CallRet,
+        Inst::ProfCount(_) => OpClass::IntAlu, // expanded into a sequence
+    }
+}
+
+/// FLOPs retired by one instruction.
+pub fn inst_flops(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Bin { op, ty, .. } => bin_flops(*op, *ty),
+        Inst::Un { op: UnOp::FNeg, ty, .. } => ty.lanes() as u32,
+        Inst::Fma { ty, .. } => 2 * ty.lanes() as u32,
+        Inst::Reduce {
+            op: mperf_ir::ReduceOp::FAdd,
+            ..
+        } => 0, // lane count unknown here; the interpreter supplies it
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_ir::{Operand, Reg};
+
+    #[test]
+    fn scalar_bin_classes() {
+        assert_eq!(bin_class(BinOp::Add, Ty::I64), OpClass::IntAlu);
+        assert_eq!(bin_class(BinOp::Mul, Ty::I64), OpClass::IntMul);
+        assert_eq!(bin_class(BinOp::Div, Ty::I64), OpClass::IntDiv);
+        assert_eq!(bin_class(BinOp::FAdd, Ty::F32), OpClass::FpAdd);
+        assert_eq!(bin_class(BinOp::FDiv, Ty::F64), OpClass::FpDiv);
+    }
+
+    #[test]
+    fn vector_bins_are_vecalu() {
+        assert_eq!(bin_class(BinOp::FAdd, Ty::VecF32(8)), OpClass::VecAlu);
+        assert_eq!(bin_class(BinOp::Add, Ty::VecI64(4)), OpClass::VecAlu);
+    }
+
+    #[test]
+    fn flop_counting() {
+        assert_eq!(bin_flops(BinOp::FAdd, Ty::F32), 1);
+        assert_eq!(bin_flops(BinOp::FAdd, Ty::VecF32(8)), 8);
+        assert_eq!(bin_flops(BinOp::Add, Ty::I64), 0);
+        let fma = Inst::Fma {
+            ty: Ty::VecF32(8),
+            dst: Reg(0),
+            a: Operand::F32(0.0),
+            b: Operand::F32(0.0),
+            c: Operand::F32(0.0),
+        };
+        assert_eq!(inst_flops(&fma), 16);
+    }
+
+    #[test]
+    fn memory_classes() {
+        let l = Inst::Load {
+            dst: Reg(0),
+            addr: Operand::I64(0),
+            mem: mperf_ir::MemTy::F32,
+            lanes: 8,
+            stride: Operand::I64(4),
+        };
+        assert_eq!(inst_class(&l), OpClass::VecLoad);
+        let s = Inst::Store {
+            addr: Operand::I64(0),
+            val: Operand::F32(0.0),
+            mem: mperf_ir::MemTy::F32,
+            lanes: 1,
+            stride: Operand::I64(4),
+        };
+        assert_eq!(inst_class(&s), OpClass::Store);
+    }
+}

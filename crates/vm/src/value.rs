@@ -1,0 +1,111 @@
+//! Runtime values.
+
+use mperf_ir::Ty;
+
+/// A runtime value held in a virtual register.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Bool(bool),
+    /// Vector lanes (length = type's lane count).
+    VF32(Vec<f32>),
+    VF64(Vec<f64>),
+    VI64(Vec<i64>),
+}
+
+impl Value {
+    /// Zero value of a type.
+    pub fn zero_of(ty: Ty) -> Value {
+        match ty {
+            Ty::I64 | Ty::Ptr => Value::I64(0),
+            Ty::F32 => Value::F32(0.0),
+            Ty::F64 => Value::F64(0.0),
+            Ty::Bool => Value::Bool(false),
+            Ty::VecF32(n) => Value::VF32(vec![0.0; n as usize]),
+            Ty::VecF64(n) => Value::VF64(vec![0.0; n as usize]),
+            Ty::VecI64(n) => Value::VI64(vec![0; n as usize]),
+        }
+    }
+
+    /// The i64 payload (addresses are i64 at run time).
+    ///
+    /// # Panics
+    /// Panics on non-integer values (a type-confusion bug — the verifier
+    /// excludes it for well-formed modules).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("expected i64, found {other:?}"),
+        }
+    }
+
+    /// The f32 payload.
+    ///
+    /// # Panics
+    /// Panics on other variants.
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Value::F32(v) => *v,
+            other => panic!("expected f32, found {other:?}"),
+        }
+    }
+
+    /// The f64 payload.
+    ///
+    /// # Panics
+    /// Panics on other variants.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            other => panic!("expected f64, found {other:?}"),
+        }
+    }
+
+    /// The bool payload.
+    ///
+    /// # Panics
+    /// Panics on other variants.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    /// Lane count (1 for scalars).
+    pub fn lanes(&self) -> usize {
+        match self {
+            Value::VF32(v) => v.len(),
+            Value::VF64(v) => v.len(),
+            Value::VI64(v) => v.len(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_match_types() {
+        assert_eq!(Value::zero_of(Ty::I64), Value::I64(0));
+        assert_eq!(Value::zero_of(Ty::Ptr), Value::I64(0));
+        assert_eq!(Value::zero_of(Ty::VecF32(8)).lanes(), 8);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I64(5).as_i64(), 5);
+        assert_eq!(Value::F32(1.5).as_f32(), 1.5);
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64")]
+    fn type_confusion_panics() {
+        let _ = Value::F64(0.0).as_i64();
+    }
+}

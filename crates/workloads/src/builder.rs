@@ -1,0 +1,90 @@
+//! Compilation helper: source → optimized (and optionally instrumented)
+//! module for a target platform.
+
+use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+use mperf_ir::transform::vectorize::VectorizePass;
+use mperf_ir::transform::PassManager;
+use mperf_ir::{CompileError, Module};
+use mperf_roofline::microbench::vec_caps_for;
+use mperf_sim::Platform;
+
+/// Compile MiniC for `platform`: frontend → standard pipeline →
+/// vectorization with the platform's compiler capabilities.
+///
+/// With `instrument` set, the roofline instrumentation pass runs last
+/// ("late in the optimization pipeline", paper §4.4).
+///
+/// # Errors
+/// Propagates frontend [`CompileError`]s.
+pub fn compile_for(
+    name: &str,
+    source: &str,
+    platform: Platform,
+    instrument: bool,
+) -> Result<Module, CompileError> {
+    let mut module = mperf_ir::compile(name, source)?;
+    PassManager::standard().run(&mut module);
+    VectorizePass::new(vec_caps_for(platform)).run_with_report(&mut module);
+    if instrument {
+        InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
+    }
+    mperf_ir::verify::verify_module(&module).map_err(|e| CompileError {
+        line: 0,
+        msg: format!("internal error: post-pipeline verification failed: {e}"),
+    })?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        fn axpy(a: *f32, b: *f32, n: i64, k: f32) {
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                b[i] = b[i] + k * a[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn compiles_for_every_platform() {
+        for p in Platform::ALL {
+            let m = compile_for("t", SRC, p, false).unwrap();
+            assert!(m.func_by_name("axpy").is_some(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn x60_vectorizes_unit_stride_but_u74_does_not() {
+        let count_vec = |m: &Module| {
+            m.iter_funcs()
+                .flat_map(|(_, f)| f.blocks.iter())
+                .flat_map(|b| b.insts.iter())
+                .filter(|i| matches!(i, mperf_ir::Inst::Load { lanes, .. } if *lanes > 1))
+                .count()
+        };
+        let x60 = compile_for("t", SRC, Platform::SpacemitX60, false).unwrap();
+        let u74 = compile_for("t", SRC, Platform::SifiveU74, false).unwrap();
+        assert!(count_vec(&x60) > 0, "x60 compiles RVV for unit-stride");
+        assert_eq!(count_vec(&u74), 0, "u74 has no vector unit");
+    }
+
+    #[test]
+    fn instrumentation_adds_regions() {
+        // Vectorization splits the source loop into a vector loop plus a
+        // scalar remainder; both become regions (merged again by the
+        // roofline runner via their shared source line).
+        let m = compile_for("t", SRC, Platform::SpacemitX60, true).unwrap();
+        assert!(!m.loop_regions.is_empty());
+        let lines: std::collections::HashSet<(String, u32)> = m
+            .loop_regions
+            .iter()
+            .map(|r| (r.source_func.clone(), r.line))
+            .collect();
+        assert_eq!(lines.len(), 1, "all regions share the source loop");
+        // A scalar-only target yields exactly one region.
+        let m = compile_for("t", SRC, Platform::SifiveU74, true).unwrap();
+        assert_eq!(m.loop_regions.len(), 1);
+    }
+}

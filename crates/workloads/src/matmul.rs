@@ -1,0 +1,202 @@
+//! The paper's tiled matmul kernel (§5.2, Fig. 4), in MiniC.
+//!
+//! The loop structure is the paper's six-deep tile nest; the only
+//! restructuring is explicit `min()` bounds (`imax`, `jmax`, `kmax`)
+//! because MiniC loop conditions are single comparisons. Arithmetic,
+//! access pattern, and tiling are unchanged.
+
+use mperf_vm::{Value, Vm, VmError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The MiniC source of the kernel.
+pub const SOURCE: &str = r#"
+fn matmul_tiled(a: *f32, b: *f32, c: *f32, n: i64, tile: i64) {
+    for (var ii: i64 = 0; ii < n; ii = ii + tile) {
+        for (var jj: i64 = 0; jj < n; jj = jj + tile) {
+            for (var kk: i64 = 0; kk < n; kk = kk + tile) {
+                var imax: i64 = ii + tile;
+                if (imax > n) { imax = n; }
+                for (var i: i64 = ii; i < imax; i = i + 1) {
+                    var jmax: i64 = jj + tile;
+                    if (jmax > n) { jmax = n; }
+                    for (var j: i64 = jj; j < jmax; j = j + 1) {
+                        var sum: f32 = c[i * n + j];
+                        var kmax: i64 = kk + tile;
+                        if (kmax > n) { kmax = n; }
+                        for (var k: i64 = kk; k < kmax; k = k + 1) {
+                            sum = sum + a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = sum;
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+/// Entry function name.
+pub const ENTRY: &str = "matmul_tiled";
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulBench {
+    /// Matrix dimension (n×n, single precision).
+    pub n: usize,
+    /// Tile size (the paper's `TILE_SIZE`).
+    pub tile: usize,
+    pub seed: u64,
+}
+
+impl Default for MatmulBench {
+    fn default() -> Self {
+        MatmulBench {
+            n: 128,
+            tile: 32,
+            seed: 0x3a7_5eed,
+        }
+    }
+}
+
+impl MatmulBench {
+    /// FLOPs the kernel performs (2·n³: one FMA per element per k).
+    pub fn flops(&self) -> u64 {
+        2 * (self.n as u64).pow(3)
+    }
+
+    /// Stage A, B, C in guest memory; returns entry args. Matrices are
+    /// filled with small deterministic pseudo-random values.
+    ///
+    /// # Errors
+    /// Propagates guest allocator failures.
+    pub fn setup(&self, vm: &mut Vm) -> Result<Vec<Value>, VmError> {
+        let n = self.n as u64;
+        let bytes = n * n * 4;
+        let a = vm.mem.alloc(bytes, 64)?;
+        let b = vm.mem.alloc(bytes, 64)?;
+        let c = vm.mem.alloc(bytes, 64)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in 0..n * n {
+            vm.mem.write_f32(a + i * 4, rng.random_range(-1.0f32..1.0))?;
+            vm.mem.write_f32(b + i * 4, rng.random_range(-1.0f32..1.0))?;
+            vm.mem.write_f32(c + i * 4, 0.0)?;
+        }
+        Ok(vec![
+            Value::I64(a as i64),
+            Value::I64(b as i64),
+            Value::I64(c as i64),
+            Value::I64(self.n as i64),
+            Value::I64(self.tile as i64),
+        ])
+    }
+
+    /// Read back the C matrix (row-major) for verification.
+    ///
+    /// # Errors
+    /// Propagates guest memory faults.
+    pub fn read_c(&self, vm: &Vm, c_addr: u64) -> Result<Vec<f32>, VmError> {
+        let n = self.n as u64;
+        let mut out = Vec::with_capacity((n * n) as usize);
+        for i in 0..n * n {
+            out.push(vm.mem.read_f32(c_addr + i * 4)?);
+        }
+        Ok(out)
+    }
+
+    /// Host-side reference multiply over the same seeded inputs.
+    pub fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut a = vec![0.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        for i in 0..n * n {
+            a[i] = rng.random_range(-1.0f32..1.0);
+            b[i] = rng.random_range(-1.0f32..1.0);
+        }
+        let mut c = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for k in 0..n {
+                    s += a[i * n + k] * b[k * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::compile_for;
+    use mperf_sim::{Core, Platform};
+
+    #[test]
+    fn small_matmul_matches_reference_scalar_and_vector() {
+        let bench = MatmulBench {
+            n: 24,
+            tile: 8,
+            seed: 3,
+        };
+        for platform in [Platform::SpacemitX60, Platform::IntelI5_1135G7] {
+            let module = compile_for("mm", SOURCE, platform, false).unwrap();
+            let mut vm = Vm::new(&module, Core::new(platform.spec()));
+            let args = bench.setup(&mut vm).unwrap();
+            let c_addr = args[2].as_i64() as u64;
+            vm.call(ENTRY, &args).unwrap();
+            let got = bench.read_c(&vm, c_addr).unwrap();
+            let want = bench.reference();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-3,
+                    "{platform:?} C[{i}]: {g} vs {w} (fma/reassociation tolerance)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i5_vectorizes_and_runs_faster_per_flop() {
+        let bench = MatmulBench {
+            n: 64,
+            tile: 16,
+            seed: 9,
+        };
+        let mut results = Vec::new();
+        for platform in [Platform::SpacemitX60, Platform::IntelI5_1135G7] {
+            let module = compile_for("mm", SOURCE, platform, false).unwrap();
+            let mut vm = Vm::new(&module, Core::new(platform.spec()));
+            let args = bench.setup(&mut vm).unwrap();
+            vm.call(ENTRY, &args).unwrap();
+            let gflops = bench.flops() as f64
+                / (vm.core.cycles() as f64 / platform.spec().freq_hz as f64)
+                / 1e9;
+            results.push((platform, gflops, vm.core.instructions()));
+        }
+        let (_, x60_gf, x60_instr) = (results[0].0, results[0].1, results[0].2);
+        let (_, i5_gf, i5_instr) = (results[1].0, results[1].1, results[1].2);
+        assert!(
+            i5_gf > 8.0 * x60_gf,
+            "vectorized wide OoO vs scalar in-order: {i5_gf} vs {x60_gf}"
+        );
+        // The vectorized build retires far fewer equivalent instructions
+        // per FLOP — §5.1's vectorization proxy.
+        assert!(
+            x60_instr as f64 / i5_instr as f64 > 2.0,
+            "{x60_instr} vs {i5_instr}"
+        );
+    }
+
+    #[test]
+    fn flops_formula() {
+        let b = MatmulBench {
+            n: 10,
+            tile: 5,
+            seed: 0,
+        };
+        assert_eq!(b.flops(), 2000);
+    }
+}

@@ -1,0 +1,134 @@
+//! STREAM-style bandwidth kernels: memset, copy, triad.
+//!
+//! `memset64` is the kernel behind the paper's X60 bandwidth roof
+//! (~3.16 B/cycle); the others feed examples and the roofline benches.
+
+use mperf_vm::{Value, Vm, VmError};
+
+/// The MiniC source of the kernels.
+pub const SOURCE: &str = r#"
+fn memset64(p: *i64, n: i64, v: i64) {
+    for (var i: i64 = 0; i < n; i = i + 1) {
+        p[i] = v;
+    }
+}
+
+fn copy64(dst: *i64, src: *i64, n: i64) {
+    for (var i: i64 = 0; i < n; i = i + 1) {
+        dst[i] = src[i];
+    }
+}
+
+fn triad(a: *f64, b: *f64, c: *f64, n: i64, k: f64) {
+    for (var i: i64 = 0; i < n; i = i + 1) {
+        a[i] = b[i] + k * c[i];
+    }
+}
+
+fn dot(a: *f32, b: *f32, n: i64) -> f32 {
+    var s: f32 = 0.0;
+    for (var i: i64 = 0; i < n; i = i + 1) {
+        s = s + a[i] * b[i];
+    }
+    return s;
+}
+"#;
+
+/// Parameters for the streaming kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBench {
+    /// Elements per array (8 bytes each).
+    pub elems: u64,
+}
+
+impl Default for StreamBench {
+    fn default() -> Self {
+        StreamBench { elems: 1 << 18 } // 2 MiB per array
+    }
+}
+
+impl StreamBench {
+    /// Allocate one array and return `(addr, [p, n, v])` memset args.
+    ///
+    /// # Errors
+    /// Propagates guest allocator failures.
+    pub fn setup_memset(&self, vm: &mut Vm) -> Result<Vec<Value>, VmError> {
+        let p = vm.mem.alloc(self.elems * 8, 64)?;
+        Ok(vec![
+            Value::I64(p as i64),
+            Value::I64(self.elems as i64),
+            Value::I64(0x55),
+        ])
+    }
+
+    /// Allocate triad arrays with simple contents.
+    ///
+    /// # Errors
+    /// Propagates guest allocator failures.
+    pub fn setup_triad(&self, vm: &mut Vm) -> Result<Vec<Value>, VmError> {
+        let a = vm.mem.alloc(self.elems * 8, 64)?;
+        let b = vm.mem.alloc(self.elems * 8, 64)?;
+        let c = vm.mem.alloc(self.elems * 8, 64)?;
+        for i in 0..self.elems {
+            vm.mem.write_f64(b + i * 8, i as f64)?;
+            vm.mem.write_f64(c + i * 8, 0.5)?;
+        }
+        Ok(vec![
+            Value::I64(a as i64),
+            Value::I64(b as i64),
+            Value::I64(c as i64),
+            Value::I64(self.elems as i64),
+            Value::F64(3.0),
+        ])
+    }
+
+    /// Bytes moved by one memset invocation.
+    pub fn memset_bytes(&self) -> u64 {
+        self.elems * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::compile_for;
+    use mperf_sim::{Core, Platform};
+
+    #[test]
+    fn memset_fills_memory() {
+        let module = compile_for("s", SOURCE, Platform::SpacemitX60, false).unwrap();
+        let mut vm = Vm::new(&module, Core::new(Platform::SpacemitX60.spec()));
+        let bench = StreamBench { elems: 4096 };
+        let args = bench.setup_memset(&mut vm).unwrap();
+        let p = args[0].as_i64() as u64;
+        vm.call("memset64", &args).unwrap();
+        for i in [0u64, 1, 2048, 4095] {
+            assert_eq!(vm.mem.read_u64(p + i * 8).unwrap(), 0x55);
+        }
+    }
+
+    #[test]
+    fn triad_computes() {
+        let module = compile_for("s", SOURCE, Platform::IntelI5_1135G7, false).unwrap();
+        let mut vm = Vm::new(&module, Core::new(Platform::IntelI5_1135G7.spec()));
+        let bench = StreamBench { elems: 512 };
+        let args = bench.setup_triad(&mut vm).unwrap();
+        let a = args[0].as_i64() as u64;
+        vm.call("triad", &args).unwrap();
+        // a[i] = i + 3*0.5
+        assert_eq!(vm.mem.read_f64(a + 10 * 8).unwrap(), 11.5);
+    }
+
+    #[test]
+    fn x60_memset_saturates_dram_roof() {
+        let module = compile_for("s", SOURCE, Platform::SpacemitX60, false).unwrap();
+        let mut vm = Vm::new(&module, Core::new(Platform::SpacemitX60.spec()));
+        let bench = StreamBench { elems: 1 << 17 }; // 1 MiB > L2? (512K L2) yes
+        let args = bench.setup_memset(&mut vm).unwrap();
+        vm.call("memset64", &args).unwrap(); // warm
+        let c0 = vm.core.cycles();
+        vm.call("memset64", &args).unwrap();
+        let bpc = bench.memset_bytes() as f64 / (vm.core.cycles() - c0) as f64;
+        assert!(bpc > 2.5 && bpc <= 3.17, "paper figure ~3.16 B/cyc: {bpc}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Hotspot analysis of the sqlite-mini workload (the paper's §5.1):
+//! record with miniperf, print a Table-2-style hotspot table, and write a
+//! cycles flame graph.
+//!
+//! ```sh
+//! cargo run --release --example hotspot_sqlite
+//! ```
+
+use miniperf::flamegraph::{fold_stacks, render_svg, Metric};
+use miniperf::report::{text_table, thousands};
+use miniperf::{hotspot_table, record, RecordConfig};
+use mperf_sim::{Core, Platform};
+use mperf_vm::Vm;
+use mperf_workloads::sqlite_mini::{SqliteBench, ENTRY, SOURCE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::SpacemitX60;
+    let bench = SqliteBench {
+        rows: 256,
+        queries: 8,
+        seed: 42,
+    };
+    let module = mperf_workloads::compile_for("sqlite-mini", SOURCE, platform, false)?;
+    let mut vm = Vm::new(&module, Core::new(platform.spec()));
+    let args = bench.setup(&mut vm)?;
+    let profile = record(&mut vm, ENTRY, &args, RecordConfig { period: 9_973 })?;
+
+    println!(
+        "{}: {} samples, whole-run IPC {:.2}\n",
+        platform.spec().name,
+        profile.samples.len(),
+        profile.ipc()
+    );
+
+    let mut rows = vec![vec![
+        "Function".to_string(),
+        "Total %".to_string(),
+        "Instructions".to_string(),
+        "IPC".to_string(),
+    ]];
+    for r in hotspot_table(&profile).into_iter().take(5) {
+        rows.push(vec![
+            r.function,
+            format!("{:.2}%", r.total_percent),
+            thousands(r.instructions),
+            format!("{:.2}", r.ipc),
+        ]);
+    }
+    print!("{}", text_table(&rows));
+
+    let folded = fold_stacks(&profile, Metric::Cycles);
+    let svg = render_svg(&folded, "sqlite-mini on SpacemiT X60 (cycles)", 1000);
+    std::fs::create_dir_all("out")?;
+    std::fs::write("out/hotspot_sqlite.svg", svg)?;
+    println!("\nflame graph written to out/hotspot_sqlite.svg");
+    Ok(())
+}

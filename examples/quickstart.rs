@@ -1,0 +1,76 @@
+//! Quickstart: compile a MiniC kernel, run it on a simulated RISC-V core,
+//! and read basic PMU statistics through the whole software stack.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use miniperf::stat;
+use mperf_event::{EventKind, HwCounter};
+use mperf_sim::{Core, Platform};
+use mperf_vm::{Value, Vm};
+
+const SRC: &str = r#"
+    fn saxpy(y: *f32, x: *f32, n: i64, a: f32) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            y[i] = y[i] + a * x[i];
+        }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile for a platform (optimizations + target-specific
+    //    vectorization).
+    let platform = Platform::SpacemitX60;
+    let module = mperf_workloads::compile_for("quickstart", SRC, platform, false)?;
+
+    // 2. Stage data in guest memory.
+    let mut vm = Vm::new(&module, Core::new(platform.spec()));
+    let n = 65_536u64;
+    let y = vm.mem.alloc(n * 4, 64)?;
+    let x = vm.mem.alloc(n * 4, 64)?;
+    for i in 0..n {
+        vm.mem.write_f32(y + i * 4, 1.0)?;
+        vm.mem.write_f32(x + i * 4, i as f32)?;
+    }
+    let args = vec![
+        Value::I64(y as i64),
+        Value::I64(x as i64),
+        Value::I64(n as i64),
+        Value::F32(2.0),
+    ];
+
+    // 3. Count events while it runs (works on every platform — counting
+    //    needs no overflow interrupts).
+    let report = stat(
+        &mut vm,
+        "saxpy",
+        &args,
+        &[
+            EventKind::Hardware(HwCounter::CacheMisses),
+            EventKind::Hardware(HwCounter::BranchMisses),
+        ],
+    )?;
+
+    println!("platform:      {}", platform.spec().name);
+    println!("cycles:        {}", report.cycles);
+    println!("instructions:  {}", report.instructions);
+    println!("IPC:           {:.2}", report.ipc());
+    println!(
+        "cache misses:  {}",
+        report
+            .count_of(EventKind::Hardware(HwCounter::CacheMisses))
+            .unwrap_or(0)
+    );
+    println!(
+        "branch misses: {}",
+        report
+            .count_of(EventKind::Hardware(HwCounter::BranchMisses))
+            .unwrap_or(0)
+    );
+    // Verify the computation actually happened.
+    let y10 = vm.mem.read_f32(y + 10 * 4)?;
+    assert_eq!(y10, 1.0 + 2.0 * 10.0);
+    println!("y[10] = {y10} (verified)");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Top-Down Microarchitecture Analysis (the paper's §6 future-work
+//! extension): classify where cycles go on platforms whose PMUs expose
+//! enough events, including the X60 (counting works there; only sampling
+//! was broken).
+//!
+//! ```sh
+//! cargo run --release --example tma_analysis
+//! ```
+
+use miniperf::tma;
+use mperf_sim::{Core, Platform};
+use mperf_vm::{Value, Vm};
+use mperf_workloads::stencil::{StencilBench, ENTRY, SOURCE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = StencilBench { n: 96, steps: 4 };
+    for platform in [
+        Platform::SpacemitX60,
+        Platform::TheadC910,
+        Platform::IntelI5_1135G7,
+        Platform::SifiveU74,
+    ] {
+        let spec = platform.spec();
+        let module = mperf_workloads::compile_for("stencil", SOURCE, platform, false)?;
+        let mut vm = Vm::new(&module, Core::new(spec.clone()));
+        let args = bench.setup(&mut vm)?;
+        match tma::analyze(&mut vm, ENTRY, &args) {
+            Ok(t) => {
+                println!(
+                    "{:22} retiring {:5.1}%  bad-spec {:5.1}%  backend {:5.1}%  frontend {:5.1}%  -> {}",
+                    spec.name,
+                    100.0 * t.retiring,
+                    100.0 * t.bad_speculation,
+                    100.0 * t.backend_bound,
+                    100.0 * t.frontend_bound,
+                    t.dominant()
+                );
+            }
+            Err(e) => {
+                // The U74 path: two generic counters are not enough.
+                println!("{:22} TMA unavailable: {e}", spec.name);
+            }
+        }
+    }
+    Ok(())
+}

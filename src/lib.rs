@@ -1,0 +1,16 @@
+//! # miniperf-suite
+//!
+//! Facade crate re-exporting the whole reproduction stack of
+//! *Dissecting RISC-V Performance* (PACT 2025): the `miniperf` tool, the
+//! compiler substrate, the simulated RISC-V platforms, and the roofline
+//! machinery. See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use miniperf;
+pub use mperf_event;
+pub use mperf_ir;
+pub use mperf_roofline;
+pub use mperf_sbi;
+pub use mperf_sim;
+pub use mperf_vm;
+pub use mperf_workloads;

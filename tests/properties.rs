@@ -1,0 +1,103 @@
+//! Property-based tests over the cross-crate invariants: compiled MiniC
+//! arithmetic matches Rust semantics on random inputs, the perf ring
+//! buffer round-trips arbitrary samples, and PMU counting is exact.
+
+use mperf_event::{Record, RingBuffer, SampleRecord, SampleType};
+use mperf_ir::transform::PassManager;
+use mperf_sim::{Core, PlatformSpec};
+use mperf_vm::{Value, Vm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled integer expressions agree with Rust's wrapping semantics,
+    /// including after constant folding and strength reduction.
+    #[test]
+    fn compiled_arithmetic_matches_host(a in -1_000_000i64..1_000_000, b in 1i64..4096) {
+        let src = r#"
+            fn f(a: i64, b: i64) -> i64 {
+                return (a + b) * 3 - a / b + a % b + (a << 2) - (a >> 1) + (a & b) + (a | b) + (a ^ b);
+            }
+        "#;
+        let mut module = mperf_ir::compile("p", src).unwrap();
+        PassManager::standard().run(&mut module);
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::u74()));
+        let out = vm.call("f", &[Value::I64(a), Value::I64(b)]).unwrap();
+        let expected = (a.wrapping_add(b)).wrapping_mul(3)
+            .wrapping_sub(a / b)
+            .wrapping_add(a % b)
+            .wrapping_add(a << 2)
+            .wrapping_sub(a >> 1)
+            .wrapping_add(a & b)
+            .wrapping_add(a | b)
+            .wrapping_add(a ^ b);
+        prop_assert_eq!(out, vec![Value::I64(expected)]);
+    }
+
+    /// The fixed instruction counter is exact: a counted loop retires an
+    /// exactly predictable instruction count on the 1:1 RISC-V model.
+    #[test]
+    fn instret_is_deterministic(n in 1i64..500) {
+        let src = "fn f(n: i64) -> i64 { var s: i64 = 0; for (var i: i64 = 0; i < n; i = i + 1) { s = s + i; } return s; }";
+        let module = mperf_ir::compile("p", src).unwrap();
+        let run = || {
+            let mut vm = Vm::new(&module, Core::new(PlatformSpec::u74()));
+            vm.call("f", &[Value::I64(n)]).unwrap();
+            vm.core.instructions()
+        };
+        prop_assert_eq!(run(), run(), "same program, same instret");
+    }
+
+    /// Ring buffers round-trip arbitrary sample batches (drop-free when
+    /// sized generously).
+    #[test]
+    fn ring_roundtrip(ips in proptest::collection::vec(0u64..u64::MAX, 1..40)) {
+        let st = SampleType::full();
+        let mut ring = RingBuffer::new(64 * 1024, st);
+        for (i, ip) in ips.iter().enumerate() {
+            let s = SampleRecord {
+                ip: Some(*ip),
+                tid: Some(i as u32),
+                time: Some(i as u64 * 7),
+                period: Some(1000),
+                read_group: vec![(1, *ip ^ 0xffff), (2, i as u64)],
+                callchain: vec![*ip, ip.wrapping_add(1)],
+            };
+            prop_assert!(ring.push_sample(&s));
+        }
+        let records = ring.drain();
+        prop_assert_eq!(records.len(), ips.len());
+        for (r, ip) in records.iter().zip(&ips) {
+            match r {
+                Record::Sample(s) => prop_assert_eq!(s.ip, Some(*ip)),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+
+    /// Guest float kernels match host computation bit-for-bit for fused
+    /// shapes that avoid reassociation.
+    #[test]
+    fn float_store_load_roundtrip(vals in proptest::collection::vec(-1e6f32..1e6, 1..64)) {
+        let src = r#"
+            fn scale(p: *f32, n: i64, k: f32) {
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    p[i] = p[i] * k;
+                }
+            }
+        "#;
+        let mut module = mperf_ir::compile("p", src).unwrap();
+        PassManager::standard().run(&mut module);
+        let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+        let p = vm.mem.alloc(vals.len() as u64 * 4, 8).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            vm.mem.write_f32(p + i as u64 * 4, *v).unwrap();
+        }
+        vm.call("scale", &[Value::I64(p as i64), Value::I64(vals.len() as i64), Value::F32(1.5)]).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            let got = vm.mem.read_f32(p + i as u64 * 4).unwrap();
+            prop_assert_eq!(got, v * 1.5);
+        }
+    }
+}
