@@ -1,57 +1,21 @@
 //! Criterion benches over the execution substrate: interpreter
-//! throughput per platform model, cache hierarchy, and branch predictor.
+//! throughput per platform model (decoded vs reference engine, across
+//! ALU-, memory-, and call-heavy workloads), the core retire path, and
+//! the branch predictor.
+//!
+//! The bench bodies live in `mperf_bench::interp_bench` so the
+//! `bench_trajectory` runner measures exactly the same code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
-use mperf_sim::{Core, Platform, PlatformSpec};
-use mperf_vm::{Value, Vm};
+use mperf_bench::interp_bench::{register_interp_benches, register_retire_benches};
 use std::hint::black_box;
 
-const LOOP_SRC: &str = r#"
-    fn spin(n: i64) -> i64 {
-        var s: i64 = 0;
-        for (var i: i64 = 0; i < n; i = i + 1) {
-            s = (s ^ i) + (i >> 2);
-        }
-        return s;
-    }
-"#;
-
 fn bench_interp_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm/interp-throughput");
-    for platform in [Platform::SpacemitX60, Platform::IntelI5_1135G7] {
-        let module = mperf_workloads::compile_for("b", LOOP_SRC, platform, false).unwrap();
-        g.bench_function(platform.spec().name, |b| {
-            b.iter(|| {
-                let mut vm = Vm::with_memory(&module, Core::new(platform.spec()), 1 << 20);
-                vm.call("spin", &[Value::I64(black_box(10_000))]).unwrap()
-            })
-        });
-    }
-    g.finish();
+    let _ = register_interp_benches(c);
 }
 
 fn bench_core_retire(c: &mut Criterion) {
-    c.bench_function("sim/retire-alu-10k", |b| {
-        b.iter(|| {
-            let mut core = Core::new(PlatformSpec::x60());
-            for i in 0..10_000u64 {
-                core.retire(black_box(&MachineOp::simple(OpClass::IntAlu, i % 64)));
-            }
-            core.cycles()
-        })
-    });
-    c.bench_function("sim/retire-load-stream-10k", |b| {
-        b.iter(|| {
-            let mut core = Core::new(PlatformSpec::x60());
-            for i in 0..10_000u64 {
-                let op = MachineOp::simple(OpClass::Load, i % 64)
-                    .with_mem(MemRef::scalar(0x1_0000 + (i * 64) % (1 << 20), 8, false));
-                core.retire(black_box(&op));
-            }
-            core.cycles()
-        })
-    });
+    register_retire_benches(c);
 }
 
 fn bench_branch_predictor(c: &mut Criterion) {

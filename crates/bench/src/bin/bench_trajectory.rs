@@ -1,0 +1,125 @@
+//! Perf-trajectory runner: executes the `vm/interp-throughput` and
+//! `sim/retire-*` benches in quick mode and emits `BENCH_interp.json`
+//! so future PRs have a checked-in baseline to compare against.
+//!
+//! ```text
+//! bench_trajectory [--out PATH] [--full]
+//! ```
+//!
+//! `--full` uses the normal (longer) measurement budget; default is
+//! quick mode (~40 ms per bench). The JSON reports MIR ops/sec per
+//! workload × platform × engine plus the decoded-over-reference speedup,
+//! and ns/op for the retire microbenches.
+
+use criterion::Criterion;
+use mperf_bench::interp_bench::{register_interp_benches, register_retire_benches};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn main() {
+    let mut out_path = String::from("BENCH_interp.json");
+    let mut full = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_trajectory [--out PATH] [--full]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut c = Criterion::default();
+    c.measurement_time(Duration::from_millis(if full { 300 } else { 40 }));
+
+    let infos = register_interp_benches(&mut c);
+    register_retire_benches(&mut c);
+
+    // Index criterion results by id.
+    let ns_of = |id: &str| -> f64 {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.ns_per_iter)
+            .unwrap_or_else(|| panic!("missing bench result for {id}"))
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mperf-bench-interp/v1\",");
+    let _ = writeln!(json, "  \"quick\": {},", !full);
+    json.push_str("  \"interp\": [\n");
+    for (i, info) in infos.iter().enumerate() {
+        let ns = ns_of(&info.id);
+        let ops_per_sec = info.mir_ops_per_call as f64 * 1e9 / ns;
+        // Speedups only reported on decoded rows, vs the reference and
+        // seed (pre-PR) rows of the same workload/platform.
+        let speedups = if info.engine == "decoded" {
+            let ref_ns = ns_of(&info.id.replace("-decoded", "-reference"));
+            let seed_ns = ns_of(&info.id.replace("-decoded", "-seed"));
+            Some((ref_ns / ns, seed_ns / ns))
+        } else {
+            None
+        };
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"platform\": \"{}\", \"engine\": \"{}\", \
+             \"mir_ops_per_call\": {}, \"ns_per_call\": {:.1}, \"mir_ops_per_sec\": {:.0}",
+            info.workload, info.platform, info.engine, info.mir_ops_per_call, ns, ops_per_sec
+        );
+        if let Some((vs_ref, vs_seed)) = speedups {
+            let _ = write!(
+                json,
+                ", \"speedup_vs_reference\": {vs_ref:.2}, \"speedup_vs_seed\": {vs_seed:.2}"
+            );
+        }
+        json.push_str("}");
+        json.push_str(if i + 1 < infos.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"retire\": [\n");
+    let retire_ids = [
+        "sim/retire-alu-10k",
+        "sim/retire-load-stream-10k",
+        "sim/retire-alu-armed-10k",
+    ];
+    for (i, id) in retire_ids.iter().enumerate() {
+        let ns = ns_of(id);
+        let _ = write!(
+            json,
+            "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"ns_per_op\": {:.2}}}",
+            id,
+            ns,
+            ns / 10_000.0
+        );
+        json.push_str(if i + 1 < retire_ids.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write trajectory json");
+    println!("wrote {out_path}");
+
+    // Surface the headline numbers (and fail loudly if the decoded
+    // engine ever regresses below parity with the reference engine).
+    for info in &infos {
+        if info.engine != "decoded" {
+            continue;
+        }
+        let ns = ns_of(&info.id);
+        let vs_ref = ns_of(&info.id.replace("-decoded", "-reference")) / ns;
+        let vs_seed = ns_of(&info.id.replace("-decoded", "-seed")) / ns;
+        println!(
+            "{:<40} decoded is {vs_ref:.2}x reference, {vs_seed:.2}x seed",
+            format!("{}/{}", info.workload, info.platform),
+        );
+        assert!(
+            vs_ref > 0.9,
+            "decoded engine slower than reference on {}/{}",
+            info.workload,
+            info.platform
+        );
+    }
+}

@@ -19,6 +19,8 @@
 
 use std::path::PathBuf;
 
+pub mod interp_bench;
+
 /// Common CLI options for the figure/table binaries.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {

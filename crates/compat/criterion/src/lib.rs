@@ -1,0 +1,258 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates.io mirror, so this crate
+//! implements the benchmarking surface the workspace uses: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! warmup + timed-batch loop reporting mean ns/iter; it is deliberately
+//! lightweight rather than statistically rigorous.
+//!
+//! Two environment variables tune runs (used by the perf-trajectory
+//! runner in `crates/bench`):
+//!
+//! - `MPERF_BENCH_QUICK=1` — cut target measure time to ~40 ms/bench;
+//! - `MPERF_BENCH_MEASURE_MS=<n>` — explicit per-bench measure budget.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench id (`group/name` when run in a group).
+    pub id: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations measured (excluding warmup).
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the mean.
+    pub fn per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The timing driver handed to bench closures.
+pub struct Bencher {
+    measure: Duration,
+    result_ns: f64,
+    result_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean ns/iter on the bencher.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~10% of the budget is spent,
+        // counting iterations to size the measured batches.
+        let warm_budget = self.measure / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warm_budget && warm_iters >= 1 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.result_ns = elapsed * 1e9 / total_iters as f64;
+        self.result_iters = total_iters;
+    }
+}
+
+fn default_measure() -> Duration {
+    if let Ok(ms) = std::env::var("MPERF_BENCH_MEASURE_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            return Duration::from_millis(ms.max(1));
+        }
+    }
+    if std::env::var("MPERF_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure: default_measure(),
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Suppress per-bench stdout lines (results stay queryable).
+    pub fn quiet(mut self, quiet: bool) -> Criterion {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Override the per-bench measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Criterion {
+        self.measure = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Criterion {
+        self.run_one(id.as_ref().to_string(), f);
+        self
+    }
+
+    /// Open a named group; bench ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All results measured so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            measure: self.measure,
+            result_ns: 0.0,
+            result_iters: 0,
+        };
+        f(&mut b);
+        let r = BenchResult {
+            id,
+            ns_per_iter: b.result_ns,
+            iters: b.result_iters,
+        };
+        if !self.quiet {
+            println!(
+                "bench {:<44} {:>14.1} ns/iter ({:.2e} iter/s, n={})",
+                r.id,
+                r.ns_per_iter,
+                r.per_sec(),
+                r.iters
+            );
+        }
+        self.results.push(r);
+    }
+}
+
+/// A benchmark group (namespacing + per-group tuning).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion API compatibility; the simple driver sizes
+    /// batches from wall time, not sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the per-bench measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure = d;
+        self
+    }
+
+    /// Run one benchmark inside the group namespace.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.c.run_one(full, f);
+        self
+    }
+
+    /// Close the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a bench group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("MPERF_BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default().quiet(true);
+        c.measurement_time(Duration::from_millis(5));
+        let mut x = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+        });
+        let r = &c.results()[0];
+        assert_eq!(r.id, "spin");
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters > 0);
+    }
+
+    #[test]
+    fn groups_namespace_ids() {
+        let mut c = Criterion::default().quiet(true);
+        c.measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "g/inner");
+    }
+}

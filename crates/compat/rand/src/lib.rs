@@ -1,0 +1,178 @@
+//! Minimal in-tree stand-in for the `rand` crate.
+//!
+//! The build container has no access to a crates.io mirror, so this crate
+//! provides exactly the API surface the workspace uses: a seedable
+//! deterministic generator (`rngs::StdRng`) and uniform range sampling via
+//! [`RngExt::random_range`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic across platforms, which is all the
+//! workloads need (they fix seeds for reproducibility).
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A uniform-sampleable range bound pairing. Implemented for the numeric
+/// types the workspace draws (`u8`, `u64`, `usize`, `f32`).
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw generator interface: 64 uniformly random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Sample uniformly from `range` (half-open, as in `rand`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Unbiased sampling of `[0, bound)` by rejection from the top of the
+/// 64-bit space (Lemire-style threshold on the modulus).
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sample range");
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+impl SampleRange<u64> for core::ops::Range<u64> {
+    fn sample(self, rng: &mut dyn RngCore) -> u64 {
+        assert!(self.start < self.end, "empty sample range");
+        self.start + bounded(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for core::ops::Range<usize> {
+    fn sample(self, rng: &mut dyn RngCore) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange<u8> for core::ops::Range<u8> {
+    fn sample(self, rng: &mut dyn RngCore) -> u8 {
+        (self.start as u64..self.end as u64).sample(rng) as u8
+    }
+}
+
+impl SampleRange<i64> for core::ops::Range<i64> {
+    fn sample(self, rng: &mut dyn RngCore) -> i64 {
+        assert!(self.start < self.end, "empty sample range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(bounded(rng, span) as i64)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the role `rand::rngs::StdRng`
+    /// plays upstream: a good default, not a reproducibility contract —
+    /// here it *is* stable across versions, which the workloads rely on).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let b = r.random_range(0..8u8);
+            assert!(b < 8);
+            let f = r.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

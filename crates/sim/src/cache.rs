@@ -53,10 +53,13 @@ impl CacheConfig {
 
 #[derive(Debug, Clone)]
 struct Level {
-    /// `sets[set][way] = (tag, last_use)`; tag 0 means empty (tags are
-    /// stored +1 so tag 0 never collides with a real line).
-    sets: Vec<Vec<(u64, u64)>>,
+    /// Flat `(tag, last_use)` array, `ways` entries per set (one cache
+    /// block, no per-set pointer chase on the retire path); tag 0 means
+    /// empty (tags are stored +1 so tag 0 never collides with a real
+    /// line).
+    sets: Vec<(u64, u64)>,
     num_sets: u64,
+    ways: usize,
     latency: u32,
     accesses: u64,
     misses: u64,
@@ -66,8 +69,9 @@ impl Level {
     fn new(cfg: LevelConfig) -> Level {
         let num_sets = (cfg.size_bytes / LINE_BYTES / cfg.ways as u64).max(1);
         Level {
-            sets: vec![vec![(0, 0); cfg.ways as usize]; num_sets as usize],
+            sets: vec![(0, 0); num_sets as usize * cfg.ways as usize],
             num_sets,
+            ways: cfg.ways as usize,
             latency: cfg.latency,
             accesses: 0,
             misses: 0,
@@ -79,7 +83,7 @@ impl Level {
         self.accesses += 1;
         let set = (line % self.num_sets) as usize;
         let tag = line + 1;
-        let ways = &mut self.sets[set];
+        let ways = &mut self.sets[set * self.ways..(set + 1) * self.ways];
         if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
             w.1 = now;
             return true;
@@ -95,10 +99,8 @@ impl Level {
     }
 
     fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                *way = (0, 0);
-            }
+        for way in &mut self.sets {
+            *way = (0, 0);
         }
     }
 }
@@ -151,20 +153,20 @@ impl MemorySystem {
     pub fn access(&mut self, mem: &MemRef, now_centi: u64) -> MemEvents {
         let mut ev = MemEvents::default();
         let now = now_centi / 100;
-        for line in mem.lines() {
+        mem.for_each_line(|line| {
             ev.l1_accesses += 1;
             if self.l1d.access(line, now) {
                 if !mem.is_store {
                     ev.hit_cycles += self.l1d.latency.saturating_sub(1) as u64;
                 }
-                continue;
+                return;
             }
             ev.l1_misses += 1;
             if self.l2.access(line, now) {
                 if !mem.is_store {
                     ev.stall_cycles += self.l2.latency as u64;
                 }
-                continue;
+                return;
             }
             ev.l2_misses += 1;
             ev.dram_bytes += LINE_BYTES;
@@ -181,7 +183,7 @@ impl MemorySystem {
             if !mem.is_store {
                 ev.stall_cycles += self.cfg.dram_latency as u64;
             }
-        }
+        });
         ev
     }
 

@@ -46,6 +46,9 @@ pub struct Core {
     /// Issue-slot accumulator (centi-cycles).
     slots: u64,
     retired: u64,
+    /// Centi-cycles one issue slot costs (`100 / issue_width`, floored at
+    /// 1) — precomputed off the retire path.
+    slot_unit: u64,
 }
 
 impl Core {
@@ -62,6 +65,7 @@ impl Core {
             unit_busy: [0; Unit::COUNT],
             slots: 0,
             retired: 0,
+            slot_unit: (100 / spec.issue_width as u64).max(1),
             spec,
         }
     }
@@ -95,6 +99,12 @@ impl Core {
     /// Mutable PMU access for the firmware layer.
     pub fn pmu_mut(&mut self) -> &mut Pmu {
         &mut self.pmu
+    }
+
+    /// Toggle the PMU's batched tick path (on by default; identical
+    /// observable behaviour — see [`Pmu::set_batched`]).
+    pub fn set_pmu_batching(&mut self, on: bool) {
+        self.pmu.set_batched(on);
     }
 
     /// Memory-hierarchy statistics access.
@@ -143,19 +153,66 @@ impl Core {
     }
 
     /// Retire one machine op: advance time, count events, tick the PMU.
+    #[inline]
     pub fn retire(&mut self, op: &MachineOp) -> RetireInfo {
+        // The dominant op shape (scalar ALU/move/addr/call classes: no
+        // memory reference, no branch bookkeeping, no FLOPs, no
+        // vec-instruction event) takes a slimmer path that skips the
+        // full event bundle; identical arithmetic.
+        if op.mem.is_none()
+            && op.flops == 0
+            && !matches!(op.class, OpClass::Branch)
+            && !op.is_vector()
+        {
+            return self.retire_simple(op);
+        }
+        self.retire_full(op)
+    }
+
+    /// Fast path for non-memory, non-branch, non-FP ops.
+    fn retire_simple(&mut self, op: &MachineOp) -> RetireInfo {
         let before = self.current_centi();
         let expansion = self.isa.expand(op.class);
         let inv_tp = self.spec.timing.inv_tp(op.class);
-        let slot_cost = (100 / self.spec.issue_width as u64).max(1) * expansion.max(1) as u64;
+        let slot_cost = self.slot_unit * expansion.max(1) as u64;
+
+        if self.spec.out_of_order {
+            let unit = Unit::of(op.class);
+            self.unit_busy[unit.index()] += inv_tp;
+            self.slots += slot_cost;
+        } else {
+            self.centi += inv_tp.max(slot_cost);
+        }
+
+        let after = self.current_centi();
+        let cycles = after / 100 - before / 100;
+        self.retired += expansion as u64;
+
+        let overflow = self
+            .pmu
+            .tick_batched_simple(cycles, expansion as u64, self.mode);
+        RetireInfo {
+            cycles,
+            instructions: expansion as u64,
+            overflow,
+        }
+    }
+
+    fn retire_full(&mut self, op: &MachineOp) -> RetireInfo {
+        let before = self.current_centi();
+        let expansion = self.isa.expand(op.class);
+        let inv_tp = self.spec.timing.inv_tp(op.class);
+        let slot_cost = self.slot_unit * expansion.max(1) as u64;
 
         let mut deltas = EventDeltas {
             instructions: expansion as u64,
-            // The PMU event applies the platform's overcount model
-            // (speculation, masked lanes); see `fp_event_percent`.
-            fp_ops: op.flops as u64 * self.spec.fp_event_percent as u64 / 100,
             ..EventDeltas::default()
         };
+        if op.flops != 0 {
+            // The PMU event applies the platform's overcount model
+            // (speculation, masked lanes); see `fp_event_percent`.
+            deltas.fp_ops = op.flops as u64 * self.spec.fp_event_percent as u64 / 100;
+        }
         if op.is_vector() && expansion > 0 {
             deltas.vec_instructions = expansion as u64;
         }
@@ -226,7 +283,7 @@ impl Core {
         deltas.cycles = after / 100 - before / 100;
         self.retired += expansion as u64;
 
-        let overflow = self.pmu.tick(&deltas, self.mode);
+        let overflow = self.pmu.tick_batched(&deltas, self.mode);
         RetireInfo {
             cycles: deltas.cycles,
             instructions: expansion as u64,
@@ -249,7 +306,7 @@ impl Core {
             cycles: after / 100 - before / 100,
             ..EventDeltas::default()
         };
-        self.pmu.tick(&deltas, self.mode)
+        self.pmu.tick_batched(&deltas, self.mode)
     }
 }
 
@@ -393,6 +450,20 @@ mod tests {
         // RISC-V: 1600 instructions. x86: 800*2.5 + 0 = 2000.
         assert_eq!(rv.instructions(), 1600);
         assert_eq!(x86.instructions(), 2000);
+    }
+
+    /// Regression test: flop-less vector ops (integer VecAlu, Splat and
+    /// integer Reduce via VecShuffle) must still count vec-instruction
+    /// events — the scalar retire fast path once swallowed them.
+    #[test]
+    fn flopless_vector_ops_count_vec_instructions() {
+        let mut c = x60();
+        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::VecInstructions));
+        for i in 0..10 {
+            c.retire(&MachineOp::simple(OpClass::VecShuffle, i));
+            c.retire(&MachineOp::simple(OpClass::VecAlu, i));
+        }
+        assert_eq!(c.pmu().read(3), 20, "vector ops without flops must count");
     }
 
     #[test]

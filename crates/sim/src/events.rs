@@ -107,6 +107,39 @@ pub struct EventDeltas {
 }
 
 impl EventDeltas {
+    /// Sum of every delta field. This upper-bounds the advance of *any*
+    /// single counter for this step (each counter observes exactly one
+    /// event source), which is what the PMU's exact-overflow watermark
+    /// compares against — see [`crate::pmu::Pmu::tick_batched`].
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.cycles
+            + self.instructions
+            + self.l1d_access
+            + self.l1d_miss
+            + self.l2_miss
+            + self.branches
+            + self.branch_misses
+            + self.fp_ops
+            + self.vec_instructions
+            + self.dram_bytes
+    }
+
+    /// Component-wise accumulate (the PMU's pending-delta batch).
+    #[inline]
+    pub fn accumulate(&mut self, other: &EventDeltas) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.l1d_access += other.l1d_access;
+        self.l1d_miss += other.l1d_miss;
+        self.l2_miss += other.l2_miss;
+        self.branches += other.branches;
+        self.branch_misses += other.branch_misses;
+        self.fp_ops += other.fp_ops;
+        self.vec_instructions += other.vec_instructions;
+        self.dram_bytes += other.dram_bytes;
+    }
+
     /// The delta for one event source, given the current privilege mode's
     /// share of cycles (mode-cycle events count `cycles` when the core is
     /// in the matching mode and 0 otherwise).

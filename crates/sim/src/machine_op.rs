@@ -41,17 +41,47 @@ impl MemRef {
     /// The distinct cache-line addresses touched (line size 64).
     pub fn lines(&self) -> Vec<u64> {
         let mut out = Vec::new();
+        self.for_each_line(|l| out.push(l));
+        out
+    }
+
+    /// Visit each distinct cache-line address touched (line size 64), in
+    /// first-touch order, without allocating — this sits on the per-op
+    /// retire path for every memory access.
+    #[inline]
+    pub fn for_each_line(&self, mut f: impl FnMut(u64)) {
+        let first = self.addr / 64;
+        let last = (self.addr + self.bytes as u64 - 1) / 64;
+        if self.lanes <= 1 {
+            // A single lane's line range is distinct by construction.
+            for l in first..=last {
+                f(l);
+            }
+            return;
+        }
+        // Multi-lane: dedup through a small inline window (lanes are
+        // SIMD-width-bounded, so this covers real programs; a spill
+        // vector keeps pathological shapes correct).
+        let mut seen = [0u64; 32];
+        let mut n = 0usize;
+        let mut spill: Vec<u64> = Vec::new();
         for lane in 0..self.lanes {
             let a = self.addr.wrapping_add_signed(self.stride * lane as i64);
             let first = a / 64;
             let last = (a + self.bytes as u64 - 1) / 64;
             for l in first..=last {
-                if !out.contains(&l) {
-                    out.push(l);
+                if seen[..n].contains(&l) || spill.contains(&l) {
+                    continue;
                 }
+                if n < seen.len() {
+                    seen[n] = l;
+                    n += 1;
+                } else {
+                    spill.push(l);
+                }
+                f(l);
             }
         }
-        out
     }
 }
 

@@ -21,6 +21,21 @@ pub const COUNTER_INSTRET: usize = 2;
 pub const FIRST_HPM: usize = 3;
 
 /// The PMU register state of one hart.
+///
+/// # Batched ticking and the exact-overflow watermark
+///
+/// Scanning all 32 counters on every retired op dominates the simulator's
+/// retire cost, so the PMU batches: per-op [`EventDeltas`] accumulate into
+/// a `pending` bundle and are only *applied* (the full per-counter scan)
+/// when something could observe the difference. The invariant that makes
+/// this exact rather than approximate is the **watermark**: the minimum
+/// distance-to-wrap across every counter that is implemented, uninhibited,
+/// and observing an event. Because each counter advances by at most
+/// `EventDeltas::total()` per op, `pending_total <= watermark` guarantees
+/// no counter can wrap while deltas sit in `pending` — so overflow
+/// interrupts still fire on exactly the op that wraps (the op that would
+/// cross the watermark is ticked individually after a flush). Reads fold
+/// `pending` in lazily; every mutator flushes first.
 #[derive(Debug, Clone)]
 pub struct Pmu {
     counters: [u64; NUM_COUNTERS],
@@ -35,6 +50,20 @@ pub struct Pmu {
     overflow_status: u32,
     /// Number of implemented generic counters (3..3+num_hpm are usable).
     num_hpm: usize,
+    /// Deltas accumulated since the last flush (all in `pending_mode`).
+    pending: EventDeltas,
+    /// Upper bound on any single counter's pending advance.
+    pending_total: u64,
+    /// Privilege mode the pending deltas were accumulated in (a mode
+    /// switch forces a flush, so one batch never spans modes).
+    pending_mode: PrivMode,
+    /// Min distance-to-wrap over armed counters at the last flush.
+    watermark: u64,
+    /// False after counter/state mutation; forces recompute before use.
+    watermark_valid: bool,
+    /// When false, `tick_batched` degrades to the per-op scan (the
+    /// pre-batching behaviour; kept for baseline measurements).
+    batched: bool,
 }
 
 impl Pmu {
@@ -48,7 +77,24 @@ impl Pmu {
             irq_enable: 0,
             overflow_status: 0,
             num_hpm,
+            pending: EventDeltas::default(),
+            pending_total: 0,
+            pending_mode: PrivMode::User,
+            watermark: 0,
+            watermark_valid: false,
+            batched: true,
         }
+    }
+
+    /// Enable/disable delta batching (on by default). Disabling restores
+    /// the per-op counter scan — observable behaviour is identical either
+    /// way; this exists so benchmarks can measure the seed configuration.
+    pub fn set_batched(&mut self, on: bool) {
+        if !on {
+            self.flush();
+            self.watermark_valid = false;
+        }
+        self.batched = on;
     }
 
     /// Number of implemented generic (HPM) counters.
@@ -80,18 +126,35 @@ impl Pmu {
             (FIRST_HPM..FIRST_HPM + self.num_hpm).contains(&idx),
             "counter {idx} is not a programmable HPM counter"
         );
+        self.flush();
         self.events[idx] = ev;
+        self.watermark_valid = false;
     }
 
-    /// Read a counter.
+    /// Read a counter. Pending batched deltas are folded in lazily, so
+    /// reads always observe the exact architectural value.
     pub fn read(&self, idx: usize) -> u64 {
-        self.counters[idx]
+        let base = *self.counters.get(idx).unwrap_or(&0);
+        if self.pending_total == 0
+            || !self.is_implemented(idx)
+            || self.inhibit >> idx & 1 == 1
+        {
+            return base;
+        }
+        match self.event_of(idx) {
+            // Cannot wrap: the watermark invariant bounds the pending
+            // contribution below every counter's distance to overflow.
+            Some(ev) => base + self.pending.get(ev, self.pending_mode),
+            None => base,
+        }
     }
 
     /// Write a counter (M-mode or SBI only; used to arm sampling periods
     /// by writing `-period`).
     pub fn write(&mut self, idx: usize, value: u64) {
+        self.flush();
         self.counters[idx] = value;
+        self.watermark_valid = false;
     }
 
     /// The `mcountinhibit` register.
@@ -101,7 +164,9 @@ impl Pmu {
 
     /// Set `mcountinhibit`.
     pub fn set_inhibit(&mut self, value: u32) {
+        self.flush();
         self.inhibit = value;
+        self.watermark_valid = false;
     }
 
     /// Enable/disable the overflow interrupt for a counter.
@@ -132,7 +197,108 @@ impl Pmu {
     /// step. Returns a bitmask of counters that overflowed (wrapped) this
     /// step *and* have their interrupt enabled — the core turns those
     /// into overflow interrupts.
+    ///
+    /// This is the exact-now path: any batched deltas are flushed first,
+    /// then `deltas` are applied immediately.
     pub fn tick(&mut self, deltas: &EventDeltas, mode: PrivMode) -> u32 {
+        self.flush();
+        let fired = self.tick_now(deltas, mode);
+        self.watermark_valid = false;
+        fired
+    }
+
+    /// Advance counters by one retire step, deferring the per-counter
+    /// scan while no counter can possibly wrap (see the type-level docs
+    /// for the watermark invariant). Semantically identical to calling
+    /// [`Pmu::tick`] per op: counter reads and the op at which an
+    /// overflow interrupt fires are bit-exact.
+    #[inline]
+    pub fn tick_batched(&mut self, deltas: &EventDeltas, mode: PrivMode) -> u32 {
+        if !self.batched {
+            return self.tick(deltas, mode);
+        }
+        if mode != self.pending_mode {
+            self.flush();
+            self.pending_mode = mode;
+        }
+        if !self.watermark_valid {
+            self.flush();
+            self.recompute_watermark();
+        }
+        let op_total = deltas.total();
+        if self.pending_total.saturating_add(op_total) > self.watermark {
+            // This op *might* wrap a counter: drain the batch (which by
+            // the invariant cannot wrap), then tick the op individually
+            // so the overflow is attributed to exactly this retire.
+            self.flush();
+            let fired = self.tick_now(deltas, mode);
+            self.recompute_watermark();
+            return fired;
+        }
+        self.pending.accumulate(deltas);
+        self.pending_total += op_total;
+        0
+    }
+
+    /// Scalar fast lane of [`Pmu::tick_batched`] for ops that only
+    /// produce cycle/instruction events (no memory, branch, or FP
+    /// deltas) — skips building and scanning the full [`EventDeltas`].
+    #[inline]
+    pub fn tick_batched_simple(&mut self, cycles: u64, instructions: u64, mode: PrivMode) -> u32 {
+        let op_total = cycles + instructions;
+        if self.batched
+            && self.watermark_valid
+            && mode == self.pending_mode
+            && self.pending_total.saturating_add(op_total) <= self.watermark
+        {
+            self.pending.cycles += cycles;
+            self.pending.instructions += instructions;
+            self.pending_total += op_total;
+            return 0;
+        }
+        let deltas = EventDeltas {
+            cycles,
+            instructions,
+            ..EventDeltas::default()
+        };
+        self.tick_batched(&deltas, mode)
+    }
+
+    /// Apply any pending batched deltas to the counters. Advancing the
+    /// counters shrinks their distance-to-wrap, so the watermark is
+    /// invalidated here — callers on the tick path recompute it.
+    fn flush(&mut self) {
+        if self.pending_total == 0 {
+            return;
+        }
+        let pending = self.pending;
+        let mode = self.pending_mode;
+        self.pending = EventDeltas::default();
+        self.pending_total = 0;
+        self.watermark_valid = false;
+        let fired = self.tick_now(&pending, mode);
+        debug_assert_eq!(fired, 0, "watermark invariant: a batch never wraps");
+    }
+
+    /// Recompute the minimum distance-to-wrap across armed counters.
+    fn recompute_watermark(&mut self) {
+        debug_assert_eq!(self.pending_total, 0, "recompute only on empty batch");
+        let mut min_dist = u64::MAX;
+        for idx in 0..NUM_COUNTERS {
+            if !self.is_implemented(idx) || self.inhibit >> idx & 1 == 1 {
+                continue;
+            }
+            if self.event_of(idx).is_none() {
+                continue;
+            }
+            min_dist = min_dist.min(u64::MAX - self.counters[idx]);
+        }
+        self.watermark = min_dist;
+        self.watermark_valid = true;
+    }
+
+    /// The immediate per-counter scan (the pre-batching `tick` body).
+    fn tick_now(&mut self, deltas: &EventDeltas, mode: PrivMode) -> u32 {
         let mut fired = 0u32;
         for idx in 0..NUM_COUNTERS {
             if !self.is_implemented(idx) {
@@ -260,5 +426,70 @@ mod tests {
     fn cannot_program_fixed_counters() {
         let mut p = Pmu::new(8);
         p.set_event(COUNTER_CYCLE, Some(HwEvent::L1dMiss));
+    }
+
+    /// Regression test: flushing on a privilege-mode switch shrinks the
+    /// counters' distance-to-wrap, so the watermark must be recomputed —
+    /// a stale watermark once let a later batch wrap inside `flush`,
+    /// losing the overflow interrupt. Batched and unbatched PMUs must
+    /// agree on counter values and on the exact tick where the overflow
+    /// fires, even with frequent mode switches.
+    #[test]
+    fn batched_matches_unbatched_across_mode_switches() {
+        let mut batched = Pmu::new(8);
+        let mut exact = Pmu::new(8);
+        for p in [&mut batched, &mut exact] {
+            p.set_event(3, Some(HwEvent::CpuCycles));
+            p.set_irq_enable(3, true);
+            p.write(3, (-5_000i64) as u64);
+        }
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let mut mode = PrivMode::User;
+        for step in 0..20_000u64 {
+            // Pseudo-random cycle deltas; switch mode every ~700 steps
+            // (the perf kernel flips to Supervisor on every sample).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let d = deltas(1 + x % 7, 1);
+            if step % 700 == 699 {
+                mode = match mode {
+                    PrivMode::User => PrivMode::Supervisor,
+                    _ => PrivMode::User,
+                };
+            }
+            let fired_b = batched.tick_batched(&d, mode);
+            let fired_e = exact.tick(&d, mode);
+            assert_eq!(fired_b, fired_e, "overflow mask diverged at step {step}");
+            if fired_b != 0 {
+                // Re-arm, as a sampling kernel would.
+                batched.write(3, (-5_000i64) as u64);
+                exact.write(3, (-5_000i64) as u64);
+            }
+            assert_eq!(batched.read(3), exact.read(3), "counter diverged at step {step}");
+        }
+        assert_eq!(batched.read(COUNTER_CYCLE), exact.read(COUNTER_CYCLE));
+        assert_eq!(batched.read(COUNTER_INSTRET), exact.read(COUNTER_INSTRET));
+    }
+
+    /// The scalar fast lane must agree with the full batched path too.
+    #[test]
+    fn simple_fast_lane_matches_full_tick() {
+        let mut a = Pmu::new(8);
+        let mut b = Pmu::new(8);
+        for p in [&mut a, &mut b] {
+            p.set_event(3, Some(HwEvent::Instructions));
+            p.set_irq_enable(3, true);
+            p.write(3, (-300i64) as u64);
+        }
+        let mut fired_a = 0u32;
+        let mut fired_b = 0u32;
+        for _ in 0..1_000 {
+            fired_a |= a.tick_batched_simple(2, 1, PrivMode::User);
+            fired_b |= b.tick_batched(&deltas(2, 1), PrivMode::User);
+        }
+        assert_eq!(fired_a, fired_b);
+        assert_eq!(a.read(3), b.read(3));
+        assert_eq!(a.read(COUNTER_CYCLE), b.read(COUNTER_CYCLE));
     }
 }

@@ -1,0 +1,445 @@
+//! One-time pre-decode of a [`Module`] into a flat, index-driven form.
+//!
+//! The reference interpreter re-resolves `module → func → block` and
+//! clones each [`Inst`] (including the `Vec`-carrying `Call` payloads)
+//! on every executed step. This pass pays those costs once per module:
+//! each function's blocks are flattened into a dense `Vec<DecodedOp>`
+//! with
+//!
+//! - precomputed synthetic `pc`s (bit-identical to the reference
+//!   interpreter's `pc_of`, so PMU sample IPs and branch-predictor
+//!   indexing are unchanged),
+//! - pre-resolved jump targets as flat op indices,
+//! - precomputed [`OpClass`] and FLOP counts,
+//! - host callees pre-classified (the `mperf.*` notifications become
+//!   enum variants; other host functions get dense name-table ids).
+//!
+//! The decoded program is immutable and borrows nothing from the module,
+//! so it can be shared (`Rc`) across many short-lived [`crate::Vm`]s
+//! executing the same workload — the roofline sweep pattern.
+
+use crate::interp::pc_of;
+use crate::lower::{bin_class, bin_flops, cast_class, un_class, un_flops};
+use mperf_ir::{
+    BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, ProfCounts,
+    Reg, ReduceOp, Term, Ty, UnOp,
+};
+use mperf_sim::machine_op::OpClass;
+
+/// A pre-resolved host call target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostTarget {
+    /// `mperf.loop_begin(region_id)`.
+    LoopBegin,
+    /// `mperf.loop_end(region_id)`.
+    LoopEnd,
+    /// `mperf.is_instrumented()`.
+    IsInstrumented,
+    /// Any other host function: index into [`DecodedModule::host_names`].
+    Named(u32),
+}
+
+/// One flattened operation. Terminators are ops too, so a function body
+/// is a single dense `Vec` and the hot loop is one indexed fetch.
+#[derive(Debug, Clone)]
+pub enum DecodedOp {
+    Bin {
+        op: BinOp,
+        class: OpClass,
+        flops: u32,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Un {
+        op: UnOp,
+        class: OpClass,
+        flops: u32,
+        dst: u32,
+        src: Operand,
+    },
+    Fma {
+        class: OpClass,
+        flops: u32,
+        dst: u32,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
+    Load {
+        class: OpClass,
+        dst: u32,
+        addr: Operand,
+        mem: MemTy,
+        lanes: u8,
+        stride: Operand,
+    },
+    Store {
+        class: OpClass,
+        addr: Operand,
+        val: Operand,
+        mem: MemTy,
+        lanes: u8,
+        stride: Operand,
+    },
+    PtrAdd {
+        dst: u32,
+        base: Operand,
+        offset: Operand,
+    },
+    Select {
+        dst: u32,
+        cond: Operand,
+        t: Operand,
+        f: Operand,
+    },
+    Cast {
+        kind: CastKind,
+        class: OpClass,
+        dst_ty: Ty,
+        dst: u32,
+        src: Operand,
+    },
+    Copy {
+        dst: u32,
+        src: Operand,
+    },
+    Splat {
+        elem: Ty,
+        lanes: u8,
+        dst: u32,
+        src: Operand,
+    },
+    Reduce {
+        op: ReduceOp,
+        flops: u32,
+        dst: u32,
+        src: Operand,
+    },
+    CallFunc {
+        callee: u32,
+        dsts: Box<[Reg]>,
+        args: Box<[Operand]>,
+    },
+    CallHost {
+        target: HostTarget,
+        dsts: Box<[Reg]>,
+        args: Box<[Operand]>,
+    },
+    ProfCount(ProfCounts),
+    Br {
+        target: u32,
+    },
+    CondBr {
+        cond: Operand,
+        t: u32,
+        f: u32,
+    },
+    Ret {
+        vals: Box<[Operand]>,
+    },
+}
+
+/// One flattened function.
+#[derive(Debug, Clone)]
+pub struct DecodedFunc {
+    /// All blocks' instructions + terminators, flattened in block order.
+    pub ops: Vec<DecodedOp>,
+    /// Synthetic pc per op (parallel to `ops`); identical to the
+    /// reference interpreter's `pc_of(func, block, idx)`.
+    pub pcs: Vec<u64>,
+    /// Flat op index of each block's first op.
+    pub block_entry: Vec<u32>,
+    /// Register-file size.
+    pub num_regs: u32,
+    /// Parameter register indices, in call-argument order.
+    pub params: Box<[u32]>,
+}
+
+/// A fully pre-decoded module, ready for index-driven execution.
+#[derive(Debug, Clone)]
+pub struct DecodedModule {
+    pub funcs: Vec<DecodedFunc>,
+    /// Dense table of non-`mperf.*` host callee names.
+    pub host_names: Vec<String>,
+}
+
+impl DecodedModule {
+    /// Decode every function of `module`.
+    pub fn decode(module: &Module) -> DecodedModule {
+        let mut hosts = HostTable::default();
+        let funcs = module
+            .iter_funcs()
+            .map(|(fid, _)| decode_func(module, fid, &mut hosts))
+            .collect();
+        DecodedModule {
+            funcs,
+            host_names: hosts.names,
+        }
+    }
+}
+
+#[derive(Default)]
+struct HostTable {
+    names: Vec<String>,
+}
+
+impl HostTable {
+    fn resolve(&mut self, name: &str) -> HostTarget {
+        match name {
+            "mperf.loop_begin" => HostTarget::LoopBegin,
+            "mperf.loop_end" => HostTarget::LoopEnd,
+            "mperf.is_instrumented" => HostTarget::IsInstrumented,
+            _ => {
+                let id = match self.names.iter().position(|n| n == name) {
+                    Some(i) => i,
+                    None => {
+                        self.names.push(name.to_string());
+                        self.names.len() - 1
+                    }
+                };
+                HostTarget::Named(id as u32)
+            }
+        }
+    }
+}
+
+fn decode_func(module: &Module, fid: FuncId, hosts: &mut HostTable) -> DecodedFunc {
+    let f = module.func(fid);
+    // Pass 1: flat entry offset of every block (insts + its terminator).
+    let mut block_entry = Vec::with_capacity(f.num_blocks());
+    let mut off = 0u32;
+    for b in &f.blocks {
+        block_entry.push(off);
+        off += b.insts.len() as u32 + 1;
+    }
+
+    // Pass 2: emit ops with pre-resolved targets and classes.
+    let mut ops = Vec::with_capacity(off as usize);
+    let mut pcs = Vec::with_capacity(off as usize);
+    for (bidx, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bidx as u32);
+        for (idx, inst) in b.insts.iter().enumerate() {
+            pcs.push(pc_of(fid, bid, idx));
+            ops.push(decode_inst(f, inst, hosts));
+        }
+        pcs.push(pc_of(fid, bid, b.insts.len()));
+        ops.push(decode_term(&b.term, &block_entry));
+    }
+
+    DecodedFunc {
+        ops,
+        pcs,
+        block_entry,
+        num_regs: f.num_regs() as u32,
+        params: f.params.iter().map(|p| p.index() as u32).collect(),
+    }
+}
+
+fn decode_inst(f: &mperf_ir::Function, inst: &Inst, hosts: &mut HostTable) -> DecodedOp {
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } => DecodedOp::Bin {
+            op: *op,
+            class: bin_class(*op, *ty),
+            flops: bin_flops(*op, *ty),
+            dst: dst.index() as u32,
+            lhs: *lhs,
+            rhs: *rhs,
+        },
+        Inst::Cmp { op, dst, lhs, rhs, .. } => DecodedOp::Cmp {
+            op: *op,
+            dst: dst.index() as u32,
+            lhs: *lhs,
+            rhs: *rhs,
+        },
+        Inst::Un { op, ty, dst, src } => DecodedOp::Un {
+            op: *op,
+            class: un_class(*op, *ty),
+            flops: un_flops(*op, *ty),
+            dst: dst.index() as u32,
+            src: *src,
+        },
+        Inst::Fma { ty, dst, a, b, c } => DecodedOp::Fma {
+            class: if ty.is_vector() {
+                OpClass::VecFma
+            } else {
+                OpClass::FpFma
+            },
+            flops: 2 * ty.lanes() as u32,
+            dst: dst.index() as u32,
+            a: *a,
+            b: *b,
+            c: *c,
+        },
+        Inst::Load { dst, addr, mem, lanes, stride } => DecodedOp::Load {
+            class: if *lanes > 1 {
+                OpClass::VecLoad
+            } else {
+                OpClass::Load
+            },
+            dst: dst.index() as u32,
+            addr: *addr,
+            mem: *mem,
+            lanes: *lanes,
+            stride: *stride,
+        },
+        Inst::Store { addr, val, mem, lanes, stride } => DecodedOp::Store {
+            class: if *lanes > 1 {
+                OpClass::VecStore
+            } else {
+                OpClass::Store
+            },
+            addr: *addr,
+            val: *val,
+            mem: *mem,
+            lanes: *lanes,
+            stride: *stride,
+        },
+        Inst::PtrAdd { dst, base, offset } => DecodedOp::PtrAdd {
+            dst: dst.index() as u32,
+            base: *base,
+            offset: *offset,
+        },
+        Inst::Select { dst, cond, t, f, .. } => DecodedOp::Select {
+            dst: dst.index() as u32,
+            cond: *cond,
+            t: *t,
+            f: *f,
+        },
+        Inst::Cast { kind, dst, src } => DecodedOp::Cast {
+            kind: *kind,
+            class: cast_class(*kind),
+            dst_ty: f.ty_of(*dst),
+            dst: dst.index() as u32,
+            src: *src,
+        },
+        Inst::Copy { dst, src, .. } => DecodedOp::Copy {
+            dst: dst.index() as u32,
+            src: *src,
+        },
+        Inst::Splat { ty, dst, src } => DecodedOp::Splat {
+            elem: ty.elem(),
+            lanes: ty.lanes(),
+            dst: dst.index() as u32,
+            src: *src,
+        },
+        Inst::Reduce { op, dst, src } => DecodedOp::Reduce {
+            op: *op,
+            // The reference interpreter derives this from the runtime
+            // value's lane count; types are enforced by the verifier, so
+            // the static operand type gives the identical number.
+            flops: match op {
+                ReduceOp::FAdd => (f.operand_ty(*src).lanes() as u32).saturating_sub(1),
+                ReduceOp::Add => 0,
+            },
+            dst: dst.index() as u32,
+            src: *src,
+        },
+        Inst::Call { dsts, callee, args } => {
+            let dsts: Box<[Reg]> = dsts.clone().into_boxed_slice();
+            let args: Box<[Operand]> = args.clone().into_boxed_slice();
+            match callee {
+                Callee::Func(fid) => DecodedOp::CallFunc {
+                    callee: fid.0,
+                    dsts,
+                    args,
+                },
+                Callee::Host(name) => DecodedOp::CallHost {
+                    target: hosts.resolve(name),
+                    dsts,
+                    args,
+                },
+            }
+        }
+        Inst::ProfCount(counts) => DecodedOp::ProfCount(*counts),
+    }
+}
+
+fn decode_term(term: &Term, block_entry: &[u32]) -> DecodedOp {
+    match term {
+        Term::Br(b) => DecodedOp::Br {
+            target: block_entry[b.index()],
+        },
+        Term::CondBr { cond, t, f } => DecodedOp::CondBr {
+            cond: *cond,
+            t: block_entry[t.index()],
+            f: block_entry[f.index()],
+        },
+        Term::Ret(vals) => DecodedOp::Ret {
+            vals: vals.clone().into_boxed_slice(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_ir::compile;
+
+    #[test]
+    fn flattening_covers_every_block_and_terminator() {
+        let src = r#"
+            fn f(n: i64) -> i64 {
+                var s: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }
+        "#;
+        let module = compile("t", src).unwrap();
+        let dec = DecodedModule::decode(&module);
+        let f = module.func_by_name("f").unwrap();
+        let d = &dec.funcs[module.func_id("f").unwrap().index()];
+        let expected: usize = f.blocks.iter().map(|b| b.insts.len() + 1).sum();
+        assert_eq!(d.ops.len(), expected);
+        assert_eq!(d.pcs.len(), expected);
+        assert_eq!(d.block_entry.len(), f.num_blocks());
+        assert_eq!(d.num_regs as usize, f.num_regs());
+    }
+
+    #[test]
+    fn jump_targets_resolve_to_block_entries() {
+        let src = "fn f(c: bool) -> i64 { if (c) { return 1; } return 2; }";
+        let module = compile("t", src).unwrap();
+        let dec = DecodedModule::decode(&module);
+        let d = &dec.funcs[0];
+        for op in &d.ops {
+            match op {
+                DecodedOp::Br { target } => {
+                    assert!(d.block_entry.contains(target));
+                }
+                DecodedOp::CondBr { t, f, .. } => {
+                    assert!(d.block_entry.contains(t));
+                    assert!(d.block_entry.contains(f));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn host_targets_pre_resolve() {
+        let src = r#"
+            extern fn helper(v: i64) -> i64;
+            fn f(x: i64) -> i64 { return helper(x); }
+        "#;
+        let module = compile("t", src).unwrap();
+        let dec = DecodedModule::decode(&module);
+        assert_eq!(dec.host_names, vec!["helper".to_string()]);
+        let named = dec.funcs[0].ops.iter().any(|op| {
+            matches!(
+                op,
+                DecodedOp::CallHost {
+                    target: HostTarget::Named(0),
+                    ..
+                }
+            )
+        });
+        assert!(named, "helper call resolves to dense id 0");
+    }
+}

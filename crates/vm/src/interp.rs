@@ -1,10 +1,27 @@
-//! The MIR interpreter.
+//! The MIR execution engines.
+//!
+//! Two engines share one [`Vm`] and produce bit-identical observable
+//! behaviour (return values, [`ExecStats`], cycle counts, PMU counter
+//! values, and the op at which overflow interrupts fire):
+//!
+//! - the **reference** engine walks `module → func → block` structures
+//!   directly, cloning each instruction as it executes — simple, and the
+//!   semantic baseline;
+//! - the **decoded** engine (the default) runs the flat
+//!   [`DecodedModule`] form produced by [`crate::decode`]: an
+//!   index-driven dispatch over `&[DecodedOp]` with pre-resolved jump
+//!   targets, precomputed pcs/op classes/FLOP counts, a contiguous
+//!   register stack (no per-call allocation), and zero per-step cloning.
+//!
+//! `tests/properties.rs` holds the cross-engine equivalence property;
+//! `crates/bench` measures the throughput gap.
 
+use crate::decode::{DecodedModule, DecodedOp, HostTarget};
 use crate::error::VmError;
 use crate::host::{HostHandler, RooflineRuntime};
-use crate::lower::inst_class;
+use crate::lower::{cast_class, inst_class, un_class, un_flops};
 use crate::memory::GuestMemory;
-use crate::value::Value;
+use crate::value::{LanesF32, LanesF64, LanesI64, Value};
 use mperf_event::{OverflowCtx, PerfKernel};
 use mperf_ir::{
     BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, Reg, ReduceOp,
@@ -13,6 +30,7 @@ use mperf_ir::{
 use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
 use mperf_sim::Core;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +54,30 @@ struct Frame {
     call_pc: u64,
 }
 
+/// A decoded-engine frame: registers live in the VM's contiguous
+/// register stack starting at `base`, and `ip` indexes the function's
+/// flat op array.
+#[derive(Debug, Clone, Copy)]
+struct DFrame {
+    func: u32,
+    /// First register-stack slot of this frame.
+    base: u32,
+    /// Next op to execute (flat index).
+    ip: u32,
+    /// PC of the call site (for callchains; 0 for entry frames).
+    call_pc: u64,
+}
+
+/// Which execution engine [`Vm::call`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Flat pre-decoded dispatch (the fast default).
+    #[default]
+    Decoded,
+    /// Structure-walking interpreter (the semantic baseline).
+    Reference,
+}
+
 /// The execution engine. Owns the core, optional perf kernel, guest
 /// memory, and the roofline runtime.
 pub struct Vm<'m> {
@@ -55,9 +97,26 @@ pub struct Vm<'m> {
     max_depth: usize,
     /// Guest scratch address used by instrumentation counter updates.
     prof_scratch: u64,
+    /// Which engine `call`/`call_id` run on.
+    engine: Engine,
+    /// Lazily-built flat form of `module` (shareable across VMs).
+    decoded: Option<Rc<DecodedModule>>,
+    /// Decoded-engine frame stack.
+    dstack: Vec<DFrame>,
+    /// Decoded-engine contiguous register stack (frames slice into it).
+    dregs: Vec<Value>,
+    /// Reusable call-argument buffer (decoded engine).
+    arg_scratch: Vec<Value>,
+    /// Reusable return-value buffer (decoded engine).
+    ret_scratch: Vec<Value>,
+    /// Reusable callchain buffer for overflow samples, so sampling does
+    /// not allocate on the measured path.
+    chain_scratch: Vec<u64>,
 }
 
-fn pc_of(func: FuncId, block: BlockId, idx: usize) -> u64 {
+/// Encode the synthetic program counter for an instruction position.
+/// Shared with the decode pass so both engines emit identical pcs.
+pub(crate) fn pc_of(func: FuncId, block: BlockId, idx: usize) -> u64 {
     ((func.0 as u64) << 32) | ((block.0 as u64) << 16) | (idx as u64 & 0xffff)
 }
 
@@ -88,7 +147,48 @@ impl<'m> Vm<'m> {
             stats: ExecStats::default(),
             max_depth: 1 << 14,
             prof_scratch,
+            engine: Engine::default(),
+            decoded: None,
+            dstack: Vec::new(),
+            dregs: Vec::new(),
+            arg_scratch: Vec::new(),
+            ret_scratch: Vec::new(),
+            chain_scratch: Vec::new(),
         }
+    }
+
+    /// Select the execution engine (both are observably identical; see
+    /// the module docs).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The engine `call` currently drives.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The flat decoded form of the module, building (and caching) it on
+    /// first use. The result is `Rc`-shared: hand it to other VMs over
+    /// the same module via [`Vm::set_decoded`] to skip re-decoding.
+    pub fn decoded(&mut self) -> Rc<DecodedModule> {
+        if let Some(d) = &self.decoded {
+            return Rc::clone(d);
+        }
+        let d = Rc::new(DecodedModule::decode(self.module));
+        self.decoded = Some(Rc::clone(&d));
+        d
+    }
+
+    /// Install a pre-built decode of this VM's module (it must come from
+    /// an identical module, e.g. via [`Vm::decoded`] on a sibling VM).
+    pub fn set_decoded(&mut self, decoded: Rc<DecodedModule>) {
+        assert_eq!(
+            decoded.funcs.len(),
+            self.module.num_funcs(),
+            "decoded form does not match this module"
+        );
+        self.decoded = Some(decoded);
     }
 
     /// Attach a perf kernel (overflow interrupts start flowing to it).
@@ -143,6 +243,14 @@ impl<'m> Vm<'m> {
                 args.len()
             )));
         }
+        match self.engine {
+            Engine::Decoded => self.call_id_decoded(fid, args),
+            Engine::Reference => self.call_id_reference(fid, args),
+        }
+    }
+
+    fn call_id_reference(&mut self, fid: FuncId, args: &[Value]) -> Result<Vec<Value>, VmError> {
+        let f = self.module.func(fid);
         let mut regs = vec![Value::I64(0); f.num_regs()];
         for (p, a) in f.params.iter().zip(args) {
             regs[p.index()] = a.clone();
@@ -159,6 +267,31 @@ impl<'m> Vm<'m> {
         let result = self.run(base_depth);
         if result.is_err() {
             self.stack.truncate(base_depth);
+        }
+        result
+    }
+
+    fn call_id_decoded(&mut self, fid: FuncId, args: &[Value]) -> Result<Vec<Value>, VmError> {
+        let dec = self.decoded();
+        let base_depth = self.dstack.len();
+        let regs_floor = self.dregs.len();
+        let df = &dec.funcs[fid.index()];
+        let base = self.dregs.len();
+        self.dregs
+            .resize(base + df.num_regs as usize, Value::I64(0));
+        for (p, a) in df.params.iter().zip(args) {
+            self.dregs[base + *p as usize] = a.clone();
+        }
+        self.dstack.push(DFrame {
+            func: fid.0,
+            base: base as u32,
+            ip: 0,
+            call_pc: 0,
+        });
+        let result = self.run_decoded(&dec, base_depth);
+        if result.is_err() {
+            self.dstack.truncate(base_depth);
+            self.dregs.truncate(regs_floor);
         }
         result
     }
@@ -214,27 +347,53 @@ impl<'m> Vm<'m> {
         let info = self.core.retire(&op);
         self.stats.machine_ops += 1;
         if info.overflow != 0 {
-            let callchain = self.callchain(op.pc);
-            if let Some(kernel) = &mut self.kernel {
-                let ctx = OverflowCtx {
-                    ip: op.pc,
-                    tid: 1,
-                    callchain,
-                };
-                kernel.on_overflow(&mut self.core, info.overflow, &ctx);
-            }
+            self.deliver_overflow(op.pc, info.overflow, Engine::Reference);
         }
     }
 
-    /// The current call chain, innermost frame first.
-    fn callchain(&self, ip: u64) -> Vec<u64> {
-        let mut chain = vec![ip];
-        for f in self.stack.iter().rev() {
-            if f.call_pc != 0 {
-                chain.push(f.call_pc);
+    /// Decoded-engine retire (callchains walk the decoded frame stack).
+    fn retire_d(&mut self, op: MachineOp) {
+        let info = self.core.retire(&op);
+        self.stats.machine_ops += 1;
+        if info.overflow != 0 {
+            self.deliver_overflow(op.pc, info.overflow, Engine::Decoded);
+        }
+    }
+
+    /// Build the callchain (innermost frame first) into the reusable
+    /// scratch buffer and route the overflow to the attached kernel, so
+    /// each sample costs zero allocations on the measured path.
+    #[cold]
+    fn deliver_overflow(&mut self, pc: u64, overflow: u32, engine: Engine) {
+        let mut chain = std::mem::take(&mut self.chain_scratch);
+        chain.clear();
+        chain.push(pc);
+        match engine {
+            Engine::Reference => {
+                for f in self.stack.iter().rev() {
+                    if f.call_pc != 0 {
+                        chain.push(f.call_pc);
+                    }
+                }
+            }
+            Engine::Decoded => {
+                for f in self.dstack.iter().rev() {
+                    if f.call_pc != 0 {
+                        chain.push(f.call_pc);
+                    }
+                }
             }
         }
-        chain
+        if let Some(kernel) = &mut self.kernel {
+            let ctx = OverflowCtx {
+                ip: pc,
+                tid: 1,
+                callchain: chain,
+            };
+            kernel.on_overflow(&mut self.core, overflow, &ctx);
+            chain = ctx.callchain;
+        }
+        self.chain_scratch = chain;
     }
 
     #[allow(clippy::too_many_lines)]
@@ -271,39 +430,15 @@ impl<'m> Vm<'m> {
                     (o, v) => unreachable!("verifier admits {o:?} of {v:?}"),
                 };
                 self.set(dst, r);
-                let class = if matches!(op, UnOp::FNeg) && !ty.is_vector() {
-                    OpClass::FpAdd
-                } else if ty.is_vector() {
-                    OpClass::VecAlu
-                } else {
-                    OpClass::IntAlu
-                };
-                let flops = if matches!(op, UnOp::FNeg) { ty.lanes() as u32 } else { 0 };
-                self.retire(MachineOp::simple(class, pc).with_flops(flops));
+                self.retire(
+                    MachineOp::simple(un_class(op, ty), pc).with_flops(un_flops(op, ty)),
+                );
             }
             Inst::Fma { ty, dst, a, b, c } => {
                 let va = self.eval(a);
                 let vb = self.eval(b);
                 let vc = self.eval(c);
-                let r = match (va, vb, vc) {
-                    (Value::F32(x), Value::F32(y), Value::F32(z)) => Value::F32(x.mul_add(y, z)),
-                    (Value::F64(x), Value::F64(y), Value::F64(z)) => Value::F64(x.mul_add(y, z)),
-                    (Value::VF32(x), Value::VF32(y), Value::VF32(z)) => Value::VF32(
-                        x.iter()
-                            .zip(&y)
-                            .zip(&z)
-                            .map(|((a, b), c)| a.mul_add(*b, *c))
-                            .collect(),
-                    ),
-                    (Value::VF64(x), Value::VF64(y), Value::VF64(z)) => Value::VF64(
-                        x.iter()
-                            .zip(&y)
-                            .zip(&z)
-                            .map(|((a, b), c)| a.mul_add(*b, *c))
-                            .collect(),
-                    ),
-                    (a, b, c) => unreachable!("verifier admits fma of {a:?},{b:?},{c:?}"),
-                };
+                let r = eval_fma(va, vb, vc);
                 self.set(dst, r);
                 let class = if ty.is_vector() { OpClass::VecFma } else { OpClass::FpFma };
                 self.retire(MachineOp::simple(class, pc).with_flops(2 * ty.lanes() as u32));
@@ -358,7 +493,7 @@ impl<'m> Vm<'m> {
                 };
                 let r = eval_cast(kind, &v, dst_ty);
                 self.set(dst, r);
-                self.retire(MachineOp::simple(OpClass::FpCvt, pc));
+                self.retire(MachineOp::simple(cast_class(kind), pc));
             }
             Inst::Copy { dst, src, .. } => {
                 let v = self.eval(src);
@@ -369,9 +504,9 @@ impl<'m> Vm<'m> {
                 let v = self.eval(src);
                 let lanes = ty.lanes() as usize;
                 let r = match (ty.elem(), v) {
-                    (Ty::F32, Value::F32(x)) => Value::VF32(vec![x; lanes]),
-                    (Ty::F64, Value::F64(x)) => Value::VF64(vec![x; lanes]),
-                    (Ty::I64, Value::I64(x)) => Value::VI64(vec![x; lanes]),
+                    (Ty::F32, Value::F32(x)) => Value::VF32(LanesF32::splat(x, lanes)),
+                    (Ty::F64, Value::F64(x)) => Value::VF64(LanesF64::splat(x, lanes)),
+                    (Ty::I64, Value::I64(x)) => Value::VI64(LanesI64::splat(x, lanes)),
                     (t, v) => unreachable!("verifier admits splat {t} of {v:?}"),
                 };
                 self.set(dst, r);
@@ -484,6 +619,314 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Decoded-engine main loop: an index-driven dispatch over the flat
+    /// op arrays. Per-op order of effects (evaluate → trap → write →
+    /// retire) mirrors `exec_inst`/`exec_term` exactly, so traps, stats,
+    /// cycles, and PMU state stay bit-identical to the reference engine.
+    #[allow(clippy::too_many_lines)]
+    fn run_decoded(
+        &mut self,
+        dec: &DecodedModule,
+        base_depth: usize,
+    ) -> Result<Vec<Value>, VmError> {
+        // The active frame is cursor-cached in a local: `cur.ip` is only
+        // written back to the stack around calls (so `Ret` can find the
+        // caller's call op) — the steady-state loop touches no frame
+        // memory. `call_pc` stays correct on the stack for callchains.
+        let mut cur = *self.dstack.last().expect("run_decoded with a frame");
+        loop {
+            if self.stats.machine_ops >= self.fuel {
+                return Err(VmError::OutOfFuel {
+                    executed: self.stats.machine_ops,
+                });
+            }
+            let df = &dec.funcs[cur.func as usize];
+            let ip = cur.ip as usize;
+            let pc = df.pcs[ip];
+            let base = cur.base as usize;
+            cur.ip += 1;
+            match &df.ops[ip] {
+                DecodedOp::Bin { op, class, flops, dst, lhs, rhs } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval(base, *lhs);
+                    let b = self.deval(base, *rhs);
+                    let v = eval_bin(*op, &a, &b, pc)?;
+                    self.dset(base, *dst, v);
+                    self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
+                }
+                DecodedOp::Cmp { op, dst, lhs, rhs } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval(base, *lhs);
+                    let b = self.deval(base, *rhs);
+                    self.dset(base, *dst, Value::Bool(eval_cmp(*op, &a, &b)));
+                    self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                }
+                DecodedOp::Un { op, class, flops, dst, src } => {
+                    self.stats.mir_ops += 1;
+                    let v = self.deval(base, *src);
+                    let r = match (op, v) {
+                        (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
+                        (UnOp::FNeg, Value::F32(x)) => Value::F32(-x),
+                        (UnOp::FNeg, Value::F64(x)) => Value::F64(-x),
+                        (UnOp::FNeg, Value::VF32(x)) => {
+                            Value::VF32(x.iter().map(|l| -l).collect())
+                        }
+                        (UnOp::FNeg, Value::VF64(x)) => {
+                            Value::VF64(x.iter().map(|l| -l).collect())
+                        }
+                        (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                        (o, v) => unreachable!("verifier admits {o:?} of {v:?}"),
+                    };
+                    self.dset(base, *dst, r);
+                    self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
+                }
+                DecodedOp::Fma { class, flops, dst, a, b, c } => {
+                    self.stats.mir_ops += 1;
+                    let va = self.deval(base, *a);
+                    let vb = self.deval(base, *b);
+                    let vc = self.deval(base, *c);
+                    let r = eval_fma(va, vb, vc);
+                    self.dset(base, *dst, r);
+                    self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
+                }
+                DecodedOp::Load { class, dst, addr, mem, lanes, stride } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval(base, *addr).as_i64() as u64;
+                    let st = self.deval(base, *stride).as_i64();
+                    let v = self.load_value(a, *mem, *lanes, st)?;
+                    self.dset(base, *dst, v);
+                    let mref = MemRef {
+                        addr: a,
+                        bytes: mem.bytes() as u32,
+                        lanes: *lanes as u32,
+                        stride: st,
+                        is_store: false,
+                    };
+                    self.retire_d(MachineOp::simple(*class, pc).with_mem(mref));
+                }
+                DecodedOp::Store { class, addr, val, mem, lanes, stride } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval(base, *addr).as_i64() as u64;
+                    let st = self.deval(base, *stride).as_i64();
+                    let v = self.deval(base, *val);
+                    self.store_value(a, *mem, *lanes, st, &v)?;
+                    let mref = MemRef {
+                        addr: a,
+                        bytes: mem.bytes() as u32,
+                        lanes: *lanes as u32,
+                        stride: st,
+                        is_store: true,
+                    };
+                    self.retire_d(MachineOp::simple(*class, pc).with_mem(mref));
+                }
+                DecodedOp::PtrAdd { dst, base: b, offset } => {
+                    self.stats.mir_ops += 1;
+                    let bv = self.deval(base, *b).as_i64();
+                    let o = self.deval(base, *offset).as_i64();
+                    self.dset(base, *dst, Value::I64(bv.wrapping_add(o)));
+                    self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+                }
+                DecodedOp::Select { dst, cond, t, f } => {
+                    self.stats.mir_ops += 1;
+                    let c = self.deval(base, *cond).as_bool();
+                    let v = if c {
+                        self.deval(base, *t)
+                    } else {
+                        self.deval(base, *f)
+                    };
+                    self.dset(base, *dst, v);
+                    self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                }
+                DecodedOp::Cast { kind, class, dst_ty, dst, src } => {
+                    self.stats.mir_ops += 1;
+                    let v = self.deval(base, *src);
+                    let r = eval_cast(*kind, &v, *dst_ty);
+                    self.dset(base, *dst, r);
+                    self.retire_d(MachineOp::simple(*class, pc));
+                }
+                DecodedOp::Copy { dst, src } => {
+                    self.stats.mir_ops += 1;
+                    let v = self.deval(base, *src);
+                    self.dset(base, *dst, v);
+                    self.retire_d(MachineOp::simple(OpClass::Move, pc));
+                }
+                DecodedOp::Splat { elem, lanes, dst, src } => {
+                    self.stats.mir_ops += 1;
+                    let v = self.deval(base, *src);
+                    let n = *lanes as usize;
+                    let r = match (elem, v) {
+                        (Ty::F32, Value::F32(x)) => Value::VF32(LanesF32::splat(x, n)),
+                        (Ty::F64, Value::F64(x)) => Value::VF64(LanesF64::splat(x, n)),
+                        (Ty::I64, Value::I64(x)) => Value::VI64(LanesI64::splat(x, n)),
+                        (t, v) => unreachable!("verifier admits splat {t} of {v:?}"),
+                    };
+                    self.dset(base, *dst, r);
+                    self.retire_d(MachineOp::simple(OpClass::VecShuffle, pc));
+                }
+                DecodedOp::Reduce { op, flops, dst, src } => {
+                    self.stats.mir_ops += 1;
+                    let v = self.deval(base, *src);
+                    let r = match (op, v) {
+                        (ReduceOp::FAdd, Value::VF32(x)) => Value::F32(x.iter().sum()),
+                        (ReduceOp::FAdd, Value::VF64(x)) => Value::F64(x.iter().sum()),
+                        (ReduceOp::Add, Value::VI64(x)) => {
+                            Value::I64(x.iter().fold(0i64, |a, b| a.wrapping_add(*b)))
+                        }
+                        (o, v) => unreachable!("verifier admits reduce {o:?} of {v:?}"),
+                    };
+                    self.dset(base, *dst, r);
+                    self.retire_d(MachineOp::simple(OpClass::VecShuffle, pc).with_flops(*flops));
+                }
+                DecodedOp::CallFunc { callee, dsts: _, args } => {
+                    self.stats.mir_ops += 1;
+                    let mut argv = std::mem::take(&mut self.arg_scratch);
+                    argv.clear();
+                    for a in args.iter() {
+                        argv.push(self.deval(base, *a));
+                    }
+                    self.stats.calls += 1;
+                    self.retire_d(MachineOp::simple(OpClass::CallRet, pc));
+                    if self.dstack.len() >= self.max_depth {
+                        self.arg_scratch = argv;
+                        return Err(VmError::StackOverflow {
+                            depth: self.dstack.len(),
+                        });
+                    }
+                    let cf = &dec.funcs[*callee as usize];
+                    let new_base = self.dregs.len();
+                    self.dregs
+                        .resize(new_base + cf.num_regs as usize, Value::I64(0));
+                    for (p, a) in cf.params.iter().zip(argv.drain(..)) {
+                        self.dregs[new_base + *p as usize] = a;
+                    }
+                    self.arg_scratch = argv;
+                    self.dstack.last_mut().expect("caller frame").ip = cur.ip;
+                    cur = DFrame {
+                        func: *callee,
+                        base: new_base as u32,
+                        ip: 0,
+                        call_pc: pc,
+                    };
+                    self.dstack.push(cur);
+                }
+                DecodedOp::CallHost { target, dsts, args } => {
+                    self.stats.mir_ops += 1;
+                    let mut argv = std::mem::take(&mut self.arg_scratch);
+                    argv.clear();
+                    for a in args.iter() {
+                        argv.push(self.deval(base, *a));
+                    }
+                    self.stats.calls += 1;
+                    self.retire_d(MachineOp::simple(OpClass::CallRet, pc));
+                    // Notification functions are a few instructions of
+                    // real work (mirrors `call_host`).
+                    for _ in 0..3 {
+                        self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                    }
+                    match target {
+                        HostTarget::LoopBegin => {
+                            let id = argv[0].as_i64() as u32;
+                            let now = self.core.cycles();
+                            self.roofline.loop_begin(id, now);
+                        }
+                        HostTarget::LoopEnd => {
+                            let id = argv[0].as_i64() as u32;
+                            let now = self.core.cycles();
+                            self.roofline.loop_end(id, now);
+                        }
+                        HostTarget::IsInstrumented => {
+                            let v = Value::Bool(self.roofline.instrumented);
+                            if let Some(d) = dsts.first() {
+                                self.dregs[base + d.index()] = v;
+                            }
+                        }
+                        HostTarget::Named(id) => {
+                            let name = &dec.host_names[*id as usize];
+                            let rets = match self.host.get_mut(name) {
+                                Some(h) => h(&argv).map_err(VmError::HostFault)?,
+                                None => {
+                                    self.arg_scratch = argv;
+                                    return Err(VmError::UnknownHost(name.clone()));
+                                }
+                            };
+                            for (d, v) in dsts.iter().zip(rets) {
+                                self.dregs[base + d.index()] = v;
+                            }
+                        }
+                    }
+                    self.arg_scratch = argv;
+                }
+                DecodedOp::ProfCount(counts) => {
+                    self.stats.mir_ops += 1;
+                    self.roofline.prof_count(*counts);
+                    // The counter update is real guest work: a handful of
+                    // integer ops plus a load/store to the counter block.
+                    let scratch = self.prof_scratch;
+                    for _ in 0..3 {
+                        self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                    }
+                    self.retire_d(
+                        MachineOp::simple(OpClass::Load, pc)
+                            .with_mem(MemRef::scalar(scratch, 8, false)),
+                    );
+                    self.retire_d(
+                        MachineOp::simple(OpClass::Store, pc)
+                            .with_mem(MemRef::scalar(scratch, 8, true)),
+                    );
+                }
+                DecodedOp::Br { target } => {
+                    self.retire_d(MachineOp::simple(OpClass::Move, pc));
+                    cur.ip = *target;
+                }
+                DecodedOp::CondBr { cond, t, f } => {
+                    let c = self.deval(base, *cond).as_bool();
+                    self.retire_d(MachineOp::simple(OpClass::Branch, pc).with_taken(c));
+                    cur.ip = if c { *t } else { *f };
+                }
+                DecodedOp::Ret { vals } => {
+                    let mut out = std::mem::take(&mut self.ret_scratch);
+                    out.clear();
+                    for v in vals.iter() {
+                        out.push(self.deval(base, *v));
+                    }
+                    self.retire_d(MachineOp::simple(OpClass::CallRet, pc));
+                    self.dstack.pop();
+                    if self.dstack.len() == base_depth {
+                        self.dregs.truncate(base);
+                        return Ok(out);
+                    }
+                    cur = *self.dstack.last().expect("caller frame");
+                    let pf = &dec.funcs[cur.func as usize];
+                    let dsts = match &pf.ops[cur.ip as usize - 1] {
+                        DecodedOp::CallFunc { dsts, .. } => dsts,
+                        other => unreachable!("return to non-call op {other:?}"),
+                    };
+                    for (d, v) in dsts.iter().zip(out.drain(..)) {
+                        self.dregs[cur.base as usize + d.index()] = v;
+                    }
+                    self.dregs.truncate(base);
+                    self.ret_scratch = out;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn deval(&self, base: usize, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.dregs[base + r.index()].clone(),
+            Operand::I64(v) => Value::I64(v),
+            Operand::F32(v) => Value::F32(v),
+            Operand::F64(v) => Value::F64(v),
+            Operand::Bool(v) => Value::Bool(v),
+        }
+    }
+
+    #[inline]
+    fn dset(&mut self, base: usize, dst: u32, v: Value) {
+        self.dregs[base + dst as usize] = v;
+    }
+
     fn call_host(&mut self, name: &str, args: &[Value], pc: u64) -> Result<Vec<Value>, VmError> {
         // Notification functions are a few instructions of real work.
         for _ in 0..3 {
@@ -523,23 +966,26 @@ impl<'m> Vm<'m> {
         }
         match mem {
             MemTy::F32 => {
-                let mut v = Vec::with_capacity(lanes as usize);
+                let mut v = LanesF32::zeroed(lanes as usize);
                 for l in 0..lanes as i64 {
-                    v.push(self.mem.read_f32(base.wrapping_add_signed(stride * l))?);
+                    v.as_mut_slice()[l as usize] =
+                        self.mem.read_f32(base.wrapping_add_signed(stride * l))?;
                 }
                 Ok(Value::VF32(v))
             }
             MemTy::F64 => {
-                let mut v = Vec::with_capacity(lanes as usize);
+                let mut v = LanesF64::zeroed(lanes as usize);
                 for l in 0..lanes as i64 {
-                    v.push(self.mem.read_f64(base.wrapping_add_signed(stride * l))?);
+                    v.as_mut_slice()[l as usize] =
+                        self.mem.read_f64(base.wrapping_add_signed(stride * l))?;
                 }
                 Ok(Value::VF64(v))
             }
             MemTy::I64 => {
-                let mut v = Vec::with_capacity(lanes as usize);
+                let mut v = LanesI64::zeroed(lanes as usize);
                 for l in 0..lanes as i64 {
-                    v.push(self.mem.read_u64(base.wrapping_add_signed(stride * l))? as i64);
+                    v.as_mut_slice()[l as usize] =
+                        self.mem.read_u64(base.wrapping_add_signed(stride * l))? as i64;
                 }
                 Ok(Value::VI64(v))
             }
@@ -665,6 +1111,28 @@ fn eval_bin(op: BinOp, a: &Value, b: &Value, pc: u64) -> Result<Value, VmError> 
         ),
         (o, a, b) => unreachable!("verifier admits {o:?} of {a:?}, {b:?}"),
     })
+}
+
+fn eval_fma(a: Value, b: Value, c: Value) -> Value {
+    match (a, b, c) {
+        (Value::F32(x), Value::F32(y), Value::F32(z)) => Value::F32(x.mul_add(y, z)),
+        (Value::F64(x), Value::F64(y), Value::F64(z)) => Value::F64(x.mul_add(y, z)),
+        (Value::VF32(x), Value::VF32(y), Value::VF32(z)) => Value::VF32(
+            x.iter()
+                .zip(&y)
+                .zip(&z)
+                .map(|((a, b), c)| a.mul_add(*b, *c))
+                .collect(),
+        ),
+        (Value::VF64(x), Value::VF64(y), Value::VF64(z)) => Value::VF64(
+            x.iter()
+                .zip(&y)
+                .zip(&z)
+                .map(|((a, b), c)| a.mul_add(*b, *c))
+                .collect(),
+        ),
+        (a, b, c) => unreachable!("verifier admits fma of {a:?},{b:?},{c:?}"),
+    }
 }
 
 fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {

@@ -1,6 +1,6 @@
 //! # mperf-vm — MIR execution engine over the simulated hardware
 //!
-//! Interprets [`mperf_ir`] modules, lowering each MIR instruction to
+//! Executes [`mperf_ir`] modules, lowering each MIR instruction to
 //! machine operations (with per-ISA expansion) that retire on a
 //! [`mperf_sim::Core`]. This ties the two measurement paths of the paper
 //! together on a single execution:
@@ -14,11 +14,42 @@
 //!   host calls drive the [`RooflineRuntime`], accumulating the
 //!   bytes/int-ops/FLOP tallies the instrumentation pass planted.
 //!
+//! ## The decode → execute pipeline
+//!
+//! Execution runs on one of two engines (see [`interp::Engine`]):
+//!
+//! 1. **Decode** ([`decode`]): a one-time pass flattens each function's
+//!    blocks into a dense `Vec<DecodedOp>` with pre-resolved jump
+//!    targets (flat op indices), precomputed synthetic pcs, op classes,
+//!    and FLOP counts, and host callees resolved to dense ids. The
+//!    result ([`DecodedModule`]) borrows nothing and is `Rc`-shared
+//!    across VMs sweeping the same workload.
+//! 2. **Execute** ([`Vm::call`]): the default decoded engine dispatches
+//!    over `&[DecodedOp]` by index with zero per-step cloning and no
+//!    `module → func → block` lookups; guest frames slice a contiguous
+//!    register stack, so calls do not allocate. The reference engine
+//!    (the original structure-walking interpreter) stays available as
+//!    the semantic baseline; both produce bit-identical `ExecStats`,
+//!    cycles, and PMU state.
+//!
+//! ## The exact-overflow watermark
+//!
+//! The hot retire path pairs with `mperf_sim`'s batched PMU: per-op
+//! event deltas accumulate and the full 32-counter scan only runs when
+//! the batch could reach the *watermark* — the minimum distance-to-wrap
+//! over all armed counters. Since a counter advances by at most the
+//! batch's total events, no overflow can occur below the watermark, and
+//! the op that could cross it is ticked individually — so sampling
+//! interrupts still fire on exactly the op that wraps. See
+//! [`mperf_sim::Pmu::tick_batched`].
+//!
 //! The VM also maintains the guest call stack used for flame-graph
-//! callchains, charges instrumentation overhead as real guest
-//! instructions, and exposes a bump allocator so hosts can stage workload
-//! data in guest memory.
+//! callchains (built into a reusable scratch buffer, keeping sampling
+//! allocation-free), charges instrumentation overhead as real guest
+//! instructions, and exposes a bump allocator so hosts can stage
+//! workload data in guest memory.
 
+pub mod decode;
 pub mod error;
 pub mod host;
 pub mod interp;
@@ -26,8 +57,9 @@ pub mod lower;
 pub mod memory;
 pub mod value;
 
+pub use decode::{DecodedModule, DecodedOp};
 pub use error::VmError;
 pub use host::{HostHandler, RegionStats, RooflineRuntime};
-pub use interp::{ExecStats, Vm};
+pub use interp::{Engine, ExecStats, Vm};
 pub use memory::GuestMemory;
-pub use value::Value;
+pub use value::{Lanes, Value};

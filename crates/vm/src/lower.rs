@@ -1,6 +1,6 @@
 //! MIR-instruction → machine-op class mapping.
 
-use mperf_ir::{BinOp, Inst, Ty, UnOp};
+use mperf_ir::{BinOp, CastKind, Inst, Ty, UnOp};
 use mperf_sim::machine_op::OpClass;
 
 /// The op class a scalar/vector binary operation executes as.
@@ -27,17 +27,45 @@ pub fn bin_flops(op: BinOp, ty: Ty) -> u32 {
     }
 }
 
+/// The op class a unary operation executes as.
+pub fn un_class(op: UnOp, ty: Ty) -> OpClass {
+    if matches!(op, UnOp::FNeg) && !ty.is_vector() {
+        OpClass::FpAdd
+    } else if ty.is_vector() {
+        OpClass::VecAlu
+    } else {
+        OpClass::IntAlu
+    }
+}
+
+/// FLOPs retired by a unary op (per-lane for vector FNeg).
+pub fn un_flops(op: UnOp, ty: Ty) -> u32 {
+    if matches!(op, UnOp::FNeg) {
+        ty.lanes() as u32
+    } else {
+        0
+    }
+}
+
+/// The op class a cast executes as. Pointer⇄integer casts are pure
+/// register moves (no FP pipe involvement); everything else converts
+/// between register classes and occupies the FP-convert port. Retiring
+/// pointer casts as `FpCvt` skewed TMA port pressure on pointer-heavy
+/// code.
+pub fn cast_class(kind: CastKind) -> OpClass {
+    match kind {
+        CastKind::IntToPtr | CastKind::PtrToInt => OpClass::Move,
+        CastKind::IntToFloat | CastKind::FloatToInt | CastKind::FloatCast => OpClass::FpCvt,
+    }
+}
+
 /// The op class of a whole instruction (memory ops handled separately by
 /// the interpreter since they need addresses).
 pub fn inst_class(inst: &Inst) -> OpClass {
     match inst {
         Inst::Bin { op, ty, .. } => bin_class(*op, *ty),
         Inst::Cmp { .. } => OpClass::IntAlu,
-        Inst::Un { op, ty, .. } => match op {
-            UnOp::FNeg if ty.is_vector() => OpClass::VecAlu,
-            UnOp::FNeg => OpClass::FpAdd,
-            _ => OpClass::IntAlu,
-        },
+        Inst::Un { op, ty, .. } => un_class(*op, *ty),
         Inst::Fma { ty, .. } => {
             if ty.is_vector() {
                 OpClass::VecFma
@@ -61,7 +89,7 @@ pub fn inst_class(inst: &Inst) -> OpClass {
         }
         Inst::PtrAdd { .. } => OpClass::AddrCalc,
         Inst::Select { .. } => OpClass::IntAlu,
-        Inst::Cast { .. } => OpClass::FpCvt,
+        Inst::Cast { kind, .. } => cast_class(*kind),
         Inst::Copy { .. } => OpClass::Move,
         Inst::Splat { .. } | Inst::Reduce { .. } => OpClass::VecShuffle,
         Inst::Call { .. } => OpClass::CallRet,
@@ -116,6 +144,21 @@ mod tests {
             c: Operand::F32(0.0),
         };
         assert_eq!(inst_flops(&fma), 16);
+    }
+
+    #[test]
+    fn pointer_casts_are_moves_not_fp_conversions() {
+        assert_eq!(cast_class(CastKind::IntToPtr), OpClass::Move);
+        assert_eq!(cast_class(CastKind::PtrToInt), OpClass::Move);
+        assert_eq!(cast_class(CastKind::IntToFloat), OpClass::FpCvt);
+        assert_eq!(cast_class(CastKind::FloatToInt), OpClass::FpCvt);
+        assert_eq!(cast_class(CastKind::FloatCast), OpClass::FpCvt);
+        let c = Inst::Cast {
+            kind: CastKind::PtrToInt,
+            dst: Reg(0),
+            src: Operand::Reg(Reg(1)),
+        };
+        assert_eq!(inst_class(&c), OpClass::Move);
     }
 
     #[test]

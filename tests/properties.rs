@@ -5,8 +5,95 @@
 use mperf_event::{Record, RingBuffer, SampleRecord, SampleType};
 use mperf_ir::transform::PassManager;
 use mperf_sim::{Core, PlatformSpec};
-use mperf_vm::{Value, Vm};
+use mperf_vm::{Engine, Value, Vm};
 use proptest::prelude::*;
+
+/// Program templates for the decoded/reference equivalence property.
+/// Together they exercise arithmetic, control flow, memory traffic,
+/// guest-to-guest calls (recursion), floats, casts, and traps.
+const EQUIV_TEMPLATES: &[&str] = &[
+    // Mixed integer arithmetic with data-dependent branches.
+    r#"
+        fn main(p: *i64, n: i64) -> i64 {
+            var acc: i64 = 0;
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                var op: i64 = p[i % 32] % 4;
+                if (op == 0) { acc = acc + i * 3; }
+                else if (op == 1) { acc = acc ^ (i << 2); }
+                else if (op == 2) { acc = acc + p[(acc % 16 + 16) % 32]; }
+                else { acc = acc - (i % 7); }
+            }
+            return acc;
+        }
+    "#,
+    // Memory-heavy: strided loads and stores.
+    r#"
+        fn main(p: *i64, n: i64) -> i64 {
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                p[i % 32] = p[(i * 7) % 32] + i;
+            }
+            var s: i64 = 0;
+            for (var j: i64 = 0; j < 32; j = j + 1) { s = s + p[j]; }
+            return s;
+        }
+    "#,
+    // Call-heavy: recursion plus a helper call per iteration.
+    r#"
+        fn helper(x: i64) -> i64 { return x * 2 + 1; }
+        fn fib(n: i64) -> i64 {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main(p: *i64, n: i64) -> i64 {
+            var acc: i64 = fib(n % 12);
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                acc = acc + helper(p[i % 32]);
+            }
+            return acc;
+        }
+    "#,
+    // Floats, casts, and FP compare chains.
+    r#"
+        fn main(p: *i64, n: i64) -> i64 {
+            var s: f64 = 0.0;
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                var x: f64 = (i * 13 % 97) as f64;
+                if (x > 48.0) { s = s + x * 1.5; } else { s = s - x / 3.0; }
+            }
+            return (s as i64) + p[0];
+        }
+    "#,
+];
+
+/// Run one template on one platform/engine; returns every observable:
+/// (ret, stats, cycles, instructions, pmu counters).
+fn run_equiv(
+    module: &mperf_ir::Module,
+    spec: PlatformSpec,
+    engine: Engine,
+    data: &[i64],
+    n: i64,
+) -> (Vec<Value>, mperf_vm::ExecStats, u64, u64, Vec<u64>) {
+    let mut vm = Vm::with_memory(module, Core::new(spec), 1 << 20);
+    vm.set_engine(engine);
+    let base = vm.mem.alloc(8 * data.len() as u64, 8).unwrap();
+    for (i, v) in data.iter().enumerate() {
+        vm.mem.write_u64(base + i as u64 * 8, *v as u64).unwrap();
+    }
+    let ret = vm
+        .call("main", &[Value::I64(base as i64), Value::I64(n)])
+        .unwrap();
+    let pmu: Vec<u64> = (0..mperf_sim::pmu::NUM_COUNTERS)
+        .map(|i| vm.core.pmu().read(i))
+        .collect();
+    (
+        ret,
+        vm.stats(),
+        vm.core.cycles(),
+        vm.core.instructions(),
+        pmu,
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -100,4 +187,122 @@ proptest! {
             prop_assert_eq!(got, v * 1.5);
         }
     }
+
+    /// The decoded engine is observably identical to the reference
+    /// interpreter: for generated programs (random template, input data,
+    /// and trip count, with and without the optimization pipeline) both
+    /// engines return the same values and leave bit-identical
+    /// `ExecStats`, cycle counts, instruction counts, and PMU counter
+    /// files on every platform model.
+    #[test]
+    fn decoded_engine_matches_reference(
+        tpl in 0usize..4,
+        optimize in 0u64..2,
+        n in 1i64..120,
+        data in proptest::collection::vec(-1_000i64..1_000, 32..33),
+    ) {
+        let mut module = mperf_ir::compile("equiv", EQUIV_TEMPLATES[tpl]).unwrap();
+        if optimize == 1 {
+            PassManager::standard().run(&mut module);
+        }
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let reference = run_equiv(&module, spec.clone(), Engine::Reference, &data, n);
+            let decoded = run_equiv(&module, spec.clone(), Engine::Decoded, &data, n);
+            prop_assert_eq!(&reference.0, &decoded.0, "return values ({})", spec.name);
+            prop_assert_eq!(reference.1, decoded.1, "ExecStats ({})", spec.name);
+            prop_assert_eq!(reference.2, decoded.2, "cycles ({})", spec.name);
+            prop_assert_eq!(reference.3, decoded.3, "instructions ({})", spec.name);
+            prop_assert_eq!(&reference.4, &decoded.4, "PMU counters ({})", spec.name);
+        }
+    }
+
+    /// Traps are engine-equivalent too: both engines stop at the same
+    /// op with the same error and the same partial statistics.
+    #[test]
+    fn decoded_engine_matches_reference_on_traps(fuel in 50u64..400) {
+        let src = "fn main(n: i64) -> i64 { var s: i64 = 0; while (true) { s = s + n; } return s; }";
+        let module = mperf_ir::compile("trap", src).unwrap();
+        let run = |engine: Engine| {
+            let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
+            vm.set_engine(engine);
+            vm.set_fuel(fuel);
+            let err = vm.call("main", &[Value::I64(3)]).unwrap_err();
+            (format!("{err:?}"), vm.stats(), vm.core.cycles())
+        };
+        prop_assert_eq!(run(Engine::Reference), run(Engine::Decoded));
+    }
+}
+
+/// Overflow sampling is engine-exact: driving identical sampling setups
+/// through both engines produces the same number of samples with the
+/// same IPs and callchains (overflow interrupts fire on the same ops).
+#[test]
+fn decoded_engine_sampling_matches_reference() {
+    use mperf_event::{EventKind, PerfEventAttr, PerfKernel, ReadFormat};
+
+    let src = r#"
+        fn inner(p: *i64, n: i64) -> i64 {
+            var h: i64 = 0;
+            for (var i: i64 = 0; i < n; i = i + 1) {
+                h = (h ^ p[i % 32]) * 31 + (i >> 2);
+            }
+            return h;
+        }
+        fn main(p: *i64, n: i64) -> i64 {
+            var acc: i64 = 0;
+            for (var r: i64 = 0; r < 40; r = r + 1) {
+                acc = acc + inner(p, n);
+            }
+            return acc;
+        }
+    "#;
+    let module = mperf_ir::compile("sampling", src).unwrap();
+
+    let run = |engine: Engine| {
+        let mut core = Core::new(PlatformSpec::x60());
+        let mut kernel = PerfKernel::new(&mut core);
+        let umc = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);
+        let attr = PerfEventAttr {
+            kind: EventKind::Raw(umc),
+            sample_period: 700,
+            sample_type: SampleType::full(),
+            read_format: ReadFormat { group: true, id: true },
+            disabled: true,
+        };
+        let fd = kernel.open(&mut core, attr, None).unwrap();
+        kernel.enable(&mut core, fd).unwrap();
+        let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
+        vm.core = core;
+        vm.set_engine(engine);
+        vm.attach_kernel(kernel);
+        let base = vm.mem.alloc(8 * 32, 8).unwrap();
+        for i in 0..32u64 {
+            vm.mem
+                .write_u64(base + i * 8, i.wrapping_mul(2_654_435_761))
+                .unwrap();
+        }
+        vm.call("main", &[Value::I64(base as i64), Value::I64(150)])
+            .unwrap();
+        let mut kernel = vm.kernel.take().unwrap();
+        let records = kernel.drain_records(fd).unwrap();
+        let samples: Vec<(u64, Vec<u64>)> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Sample(s) => Some((s.ip.unwrap(), s.callchain.clone())),
+                _ => None,
+            })
+            .collect();
+        (samples, kernel.samples_taken())
+    };
+
+    let (ref_samples, ref_taken) = run(Engine::Reference);
+    let (dec_samples, dec_taken) = run(Engine::Decoded);
+    assert!(ref_taken > 5, "expected a healthy sample stream: {ref_taken}");
+    assert_eq!(ref_taken, dec_taken, "sample counts diverge");
+    assert_eq!(ref_samples, dec_samples, "sample IPs/callchains diverge");
 }
