@@ -21,14 +21,20 @@ fn main() {
         bench.rows, bench.queries
     ));
 
-    for platform in [Platform::SpacemitX60, Platform::IntelI5_1135G7] {
-        let spec = platform.spec();
+    // Each platform's record run is one sweep job (independent VM +
+    // perf kernel, Send end to end); artifacts are then written in
+    // deterministic platform order on the main thread.
+    let platforms = [Platform::SpacemitX60, Platform::IntelI5_1135G7];
+    let profiles = mperf_sweep::run_jobs(platforms.to_vec(), args.jobs, |_, platform| {
         let module = mperf_workloads::compile_for("sqlite-mini", SOURCE, platform, false)
             .expect("compiles");
-        let mut vm = Vm::new(&module, Core::new(spec.clone()));
+        let mut vm = Vm::new(&module, Core::new(platform.spec()));
         let wargs = bench.setup(&mut vm).expect("setup");
-        let profile = record(&mut vm, ENTRY, &wargs, RecordConfig { period: 9_973 })
-            .expect("record");
+        record(&mut vm, ENTRY, &wargs, RecordConfig { period: 9_973 }).expect("record")
+    });
+
+    for (platform, profile) in platforms.into_iter().zip(profiles) {
+        let spec = platform.spec();
         println!(
             "{}: {} samples via {:?} (IPC {:.2})",
             spec.name,

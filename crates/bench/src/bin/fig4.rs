@@ -62,13 +62,25 @@ fn main() {
         bench.n, bench.tile
     ));
 
-    for platform in [Platform::IntelI5_1135G7, Platform::SpacemitX60] {
+    // One sweep job per platform: each runs the two-phase roofline
+    // (itself two jobs, serial inside this job), the advisor-style PMU
+    // measurement, and the machine characterization on its own worker.
+    // Output is then printed in deterministic platform order.
+    let platforms = [Platform::IntelI5_1135G7, Platform::SpacemitX60];
+    let measured = mperf_sweep::run_jobs(platforms.to_vec(), args.jobs, |_, platform| {
         let spec = platform.spec();
-        println!("\n--- {} ---", spec.name);
         let module = mperf_workloads::compile_for("mm", SOURCE, platform, true)
             .expect("compiles instrumented");
         let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> { bench.setup(vm) };
         let run = run_roofline(&module, &spec, ENTRY, &setup).expect("roofline run");
+        let advisor_gflops = advisor_style(platform, bench);
+        let ch = characterize(platform);
+        (run, advisor_gflops, ch)
+    });
+
+    for (platform, (run, advisor_gflops, ch)) in platforms.into_iter().zip(measured) {
+        let spec = platform.spec();
+        println!("\n--- {} ---", spec.name);
         let region = &run.regions[0];
 
         let miniperf_gflops = region.gflops(spec.freq_hz);
@@ -78,7 +90,6 @@ fn main() {
         let self_gflops = bench.flops() as f64
             / (run.baseline_total_cycles as f64 / spec.freq_hz as f64)
             / 1e9;
-        let advisor_gflops = advisor_style(platform, bench);
 
         println!("  miniperf (IR counts / baseline time): {miniperf_gflops:8.2} GFLOP/s");
         println!("  self-reported (formula / wall time):  {self_gflops:8.2} GFLOP/s");
@@ -89,7 +100,6 @@ fn main() {
             region.overhead_factor()
         );
 
-        let ch = characterize(platform);
         let mut model = ch.to_model();
         println!(
             "  roofs: vector {:.1} GF/s, scalar {:.1} GF/s, DRAM {:.2} GB/s \

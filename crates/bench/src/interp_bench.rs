@@ -16,7 +16,7 @@ use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
 use mperf_sim::{Core, Platform, PlatformSpec};
 use mperf_vm::{Engine, Value, Vm};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Pure integer ALU loop (the seed benchmark's shape).
 pub const SPIN_SRC: &str = r#"
@@ -150,7 +150,7 @@ fn run_workload(
     module: &mperf_ir::Module,
     spec: PlatformSpec,
     cfg: EngineConfig,
-    decoded: Option<&Rc<mperf_vm::DecodedModule>>,
+    decoded: Option<&Arc<mperf_vm::DecodedModule>>,
     w: &InterpWorkload,
 ) -> (Vec<Value>, u64) {
     let mut core = Core::new(spec);
@@ -158,7 +158,7 @@ fn run_workload(
     let mut vm = Vm::with_memory(module, core, 1 << 20);
     vm.set_engine(cfg.engine);
     if let Some(d) = decoded {
-        vm.set_decoded(Rc::clone(d));
+        vm.set_decoded(Arc::clone(d));
     }
     let mut args = Vec::new();
     if w.buf_words > 0 {

@@ -20,6 +20,7 @@
 use std::path::PathBuf;
 
 pub mod interp_bench;
+pub mod sweep_bench;
 
 /// Common CLI options for the figure/table binaries.
 #[derive(Debug, Clone)]
@@ -28,6 +29,9 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Output directory for SVG/CSV artifacts.
     pub out_dir: PathBuf,
+    /// Worker threads for sweep-enabled binaries (`--jobs`; default:
+    /// available parallelism). Results are identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for BenchArgs {
@@ -35,12 +39,14 @@ impl Default for BenchArgs {
         BenchArgs {
             scale: 1.0,
             out_dir: PathBuf::from("out"),
+            jobs: mperf_sweep::default_jobs(),
         }
     }
 }
 
 impl BenchArgs {
-    /// Parse `--scale <f>` and `--out <dir>` from `std::env::args`.
+    /// Parse `--scale <f>`, `--out <dir>`, and `--jobs <n>` from
+    /// `std::env::args`.
     pub fn parse() -> BenchArgs {
         let mut args = BenchArgs::default();
         let mut it = std::env::args().skip(1);
@@ -56,6 +62,13 @@ impl BenchArgs {
                         args.out_dir = PathBuf::from(v);
                     }
                 }
+                "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(v)) if v >= 1 => args.jobs = v,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                },
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
         }
@@ -92,6 +105,7 @@ mod tests {
         let a = BenchArgs {
             scale: 0.5,
             out_dir: PathBuf::from("/tmp"),
+            jobs: 2,
         };
         assert_eq!(a.scaled(100), 50);
         assert_eq!(a.scaled(1), 1);

@@ -1,0 +1,160 @@
+//! The roofline sweep-scaling harness: the full `platform × workload`
+//! roofline matrix driven through the `mperf-sweep` scheduler at
+//! several worker counts, for `bench_trajectory`'s `BENCH_sweep.json`
+//! section.
+//!
+//! Every cell is one workload compiled (instrumented) for one platform;
+//! the sweep expands each cell into its baseline + instrumented phase
+//! jobs. `jobs = 1` is the serial sweep the parallel timings are
+//! compared — and bit-identity-checked — against.
+
+use miniperf::{run_roofline_sweep, RooflineJob, RooflineRun};
+use mperf_ir::Module;
+use mperf_sim::Platform;
+use mperf_vm::{Value, Vm, VmError};
+use mperf_workloads::{matmul::MatmulBench, stencil::StencilBench, stream::StreamBench};
+use std::time::{Duration, Instant};
+
+/// The per-cell setup dispatch (bench param structs are all `Copy`).
+#[derive(Debug, Clone, Copy)]
+enum CellSetup {
+    Matmul(MatmulBench),
+    Stencil(StencilBench),
+    Triad(StreamBench),
+}
+
+/// One owned cell of the sweep matrix ([`RooflineJob`] borrows it).
+struct Cell {
+    module: Module,
+    /// Decoded once at build time; every `run_at` shares it, so the
+    /// timed region measures execution, not repeated decodes.
+    decoded: std::sync::Arc<mperf_vm::DecodedModule>,
+    platform: Platform,
+    entry: &'static str,
+    setup: CellSetup,
+}
+
+/// The full sweep matrix: every roofline workload on every platform
+/// model, compiled once up front.
+pub struct SweepMatrix {
+    cells: Vec<Cell>,
+}
+
+impl SweepMatrix {
+    /// Compile the matrix at `scale` (1.0 = the sizes the checked-in
+    /// `BENCH_sweep.json` was generated with).
+    ///
+    /// # Panics
+    /// Panics if an internal workload fails to compile — a bug.
+    pub fn build(scale: f64) -> SweepMatrix {
+        let scaled = |base: usize| ((base as f64 * scale) as usize).max(8);
+        let workloads: [(&'static str, &str, &'static str, CellSetup); 3] = [
+            (
+                "matmul",
+                mperf_workloads::matmul::SOURCE,
+                mperf_workloads::matmul::ENTRY,
+                CellSetup::Matmul(MatmulBench {
+                    n: scaled(64),
+                    tile: 32.min(scaled(32)),
+                    seed: 0x3a7_5eed,
+                }),
+            ),
+            (
+                "stencil",
+                mperf_workloads::stencil::SOURCE,
+                mperf_workloads::stencil::ENTRY,
+                CellSetup::Stencil(StencilBench {
+                    n: scaled(96),
+                    steps: 4,
+                }),
+            ),
+            (
+                "stream-triad",
+                mperf_workloads::stream::SOURCE,
+                "triad",
+                CellSetup::Triad(StreamBench {
+                    elems: scaled(1 << 15) as u64,
+                }),
+            ),
+        ];
+        let mut cells = Vec::new();
+        for (name, source, entry, setup) in workloads {
+            for platform in Platform::ALL {
+                let module = mperf_workloads::compile_for(name, source, platform, true)
+                    .expect("sweep workload compiles");
+                let decoded = mperf_vm::decode_module(&module);
+                cells.push(Cell {
+                    module,
+                    decoded,
+                    platform,
+                    entry,
+                    setup,
+                });
+            }
+        }
+        SweepMatrix { cells }
+    }
+
+    /// Number of cells (each expands into two phase jobs).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix is empty (it never is; for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn jobs(&self) -> Vec<RooflineJob<'_>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let setup = c.setup;
+                RooflineJob {
+                    module: &c.module,
+                    decoded: Some(std::sync::Arc::clone(&c.decoded)),
+                    spec: c.platform.spec(),
+                    entry: c.entry.to_string(),
+                    setup: Box::new(move |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+                        match setup {
+                            CellSetup::Matmul(b) => b.setup(vm),
+                            CellSetup::Stencil(b) => b.setup(vm),
+                            CellSetup::Triad(b) => b.setup_triad(vm),
+                        }
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Run the full sweep under `threads` workers; returns wall-clock
+    /// and the per-cell results (in cell order).
+    ///
+    /// # Panics
+    /// Panics if any cell traps — the matrix is fixed, so that is a bug.
+    pub fn run_at(&self, threads: usize) -> (Duration, Vec<RooflineRun>) {
+        let jobs = self.jobs();
+        let t0 = Instant::now();
+        let results = run_roofline_sweep(&jobs, threads);
+        let wall = t0.elapsed();
+        let runs = results
+            .into_iter()
+            .map(|r| r.expect("sweep cell runs"))
+            .collect();
+        (wall, runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_is_deterministic_across_thread_counts() {
+        let matrix = SweepMatrix::build(0.15);
+        assert_eq!(matrix.len(), 12, "3 workloads × 4 platforms");
+        let (_, serial) = matrix.run_at(1);
+        let (_, parallel) = matrix.run_at(4);
+        assert_eq!(serial, parallel);
+    }
+}

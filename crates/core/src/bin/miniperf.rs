@@ -5,13 +5,13 @@
 //! miniperf probe                          # Table-1-style capability probe
 //! miniperf record [--platform x60] [--period N]   # sample a demo workload
 //! miniperf stat   [--platform u74]        # count events
-//! miniperf roofline [--platform x60]      # two-phase roofline of a kernel
+//! miniperf roofline [--platform x60] [--jobs N]   # two-phase roofline of a kernel
 //! ```
 
 use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
 use miniperf::report::{text_table, thousands};
 use miniperf::{
-    hotspot_table, probe_sampling, record, run_roofline, stat, RecordConfig,
+    hotspot_table, probe_sampling, record, run_roofline_jobs, stat, RecordConfig,
 };
 use mperf_event::{EventKind, HwCounter, PerfKernel};
 use mperf_sim::{Core, Platform};
@@ -52,33 +52,70 @@ fn parse_platform(s: &str) -> Option<Platform> {
     }
 }
 
+const USAGE: &str = "\
+miniperf — PMU profiling and hardware-agnostic roofline analysis on the
+simulated platform stack (PACT 2025 artifact).
+
+usage: miniperf <command> [options]
+
+commands:
+  probe      Table-1-style capability probe of every platform model
+  record     sample a demo workload and print hotspots + folded stacks
+  stat       count hardware events over the demo workload
+  roofline   two-phase roofline of a triad kernel (plus machine roofs)
+
+options:
+  --platform <x60|c910|u74|i5>   platform model (default: x60)
+  --period <N>                   sampling period for `record` (default: 9973)
+  --jobs <N>                     worker threads for `roofline`'s sweep jobs
+                                 (default: available parallelism; 1 = serial;
+                                 results are identical at any value)
+  -h, --help                     print this help
+";
+
 struct Opts {
     platform: Platform,
     period: u64,
+    jobs: usize,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("miniperf: {msg}\n");
+    eprint!("{USAGE}");
+    std::process::exit(2);
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut opts = Opts {
         platform: Platform::SpacemitX60,
         period: 9_973,
+        jobs: mperf_sweep::default_jobs(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--platform" => {
-                if let Some(p) = it.next().and_then(|v| parse_platform(v)) {
-                    opts.platform = p;
-                } else {
-                    eprintln!("unknown platform (use x60 | c910 | u74 | i5)");
-                    std::process::exit(2);
-                }
+            "--platform" => match it.next().map(|v| (v, parse_platform(v))) {
+                Some((_, Some(p))) => opts.platform = p,
+                Some((v, None)) => usage_error(&format!(
+                    "unknown platform {v:?} (use x60 | c910 | u74 | i5)"
+                )),
+                None => usage_error("--platform needs a value"),
+            },
+            "--period" => match it.next().map(|v| (v, v.parse::<u64>())) {
+                Some((_, Ok(v))) if v > 0 => opts.period = v,
+                Some((v, _)) => usage_error(&format!("bad --period {v:?}")),
+                None => usage_error("--period needs a value"),
+            },
+            "--jobs" => match it.next().map(|v| (v, v.parse::<usize>())) {
+                Some((_, Ok(v))) if v > 0 => opts.jobs = v,
+                Some((v, _)) => usage_error(&format!("bad --jobs {v:?}")),
+                None => usage_error("--jobs needs a value"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
             }
-            "--period" => {
-                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
-                    opts.period = v;
-                }
-            }
-            other => eprintln!("ignoring {other:?}"),
+            other => usage_error(&format!("unknown option {other:?}")),
         }
     }
     opts
@@ -231,9 +268,20 @@ fn cmd_roofline(opts: &Opts) {
             Value::F64(3.0),
         ])
     };
-    let run = run_roofline(&module, &spec, "triad", &setup).expect("roofline run");
+    // Baseline + instrumented phases run as independent sweep jobs; the
+    // machine characterization fans its memset/triad kernels out the
+    // same way.
+    let run = run_roofline_jobs(&module, &spec, "triad", &setup, opts.jobs)
+        .expect("roofline run");
     let r = &run.regions[0];
-    let ch = mperf_roofline::characterize(opts.platform);
+    if run.unbalanced_ends > 0 {
+        eprintln!(
+            "warning: {} unbalanced loop_end notification(s) — region \
+             instrumentation is broken; tallies are untrustworthy",
+            run.unbalanced_ends
+        );
+    }
+    let ch = mperf_roofline::characterize_with_jobs(opts.platform, 8 << 20, opts.jobs);
     let mut model = ch.to_model();
     model.add_point(mperf_roofline::Point {
         name: "triad".into(),
@@ -253,18 +301,18 @@ fn cmd_roofline(opts: &Opts) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: miniperf <probe|record|stat|roofline> [--platform x60|c910|u74|i5] [--period N]");
-        std::process::exit(2);
+        usage_error("missing command");
     };
+    if cmd == "-h" || cmd == "--help" {
+        print!("{USAGE}");
+        return;
+    }
     let opts = parse_opts(&argv[1..]);
     match cmd.as_str() {
         "probe" => cmd_probe(),
         "record" => cmd_record(&opts),
         "stat" => cmd_stat(&opts),
         "roofline" => cmd_roofline(&opts),
-        other => {
-            eprintln!("unknown command {other:?}");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown command {other:?}")),
     }
 }

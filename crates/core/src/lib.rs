@@ -34,5 +34,8 @@ pub use detect::{detect, probe_sampling, Detected, SamplingSupport, SamplingStra
 pub use hotspot::{hotspot_table, HotspotRow};
 pub use profile::{Profile, ProfSample};
 pub use record::{record, RecordConfig};
-pub use roofline_runner::{run_roofline, RegionMeasurement, RooflineRun};
+pub use roofline_runner::{
+    run_roofline, run_roofline_jobs, run_roofline_sweep, PhaseObservables, RegionMeasurement,
+    RooflineJob, RooflineRun, SetupFn,
+};
 pub use stat::{stat, StatReport};

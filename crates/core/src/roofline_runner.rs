@@ -7,10 +7,32 @@
 //!
 //! Correlating both yields memory traffic, computational throughput, and
 //! arithmetic intensity per region — all without touching the PMU.
+//!
+//! ## Phases are jobs
+//!
+//! The two phases are *independent simulations*: each runs on a fresh
+//! VM/core from identical initial state (the determinism assumption of
+//! §4.4), so nothing orders baseline before instrumented except the
+//! final correlation. [`run_roofline_jobs`] exploits that by submitting
+//! each phase as one job to the `mperf-sweep` scheduler — both share
+//! one `Arc`-shared decode — and correlating the collected results.
+//! [`run_roofline_sweep`] scales the same shape to a whole
+//! `workload × platform` matrix: every cell expands into its two phase
+//! jobs, all jobs drain through one worker pool, and results come back
+//! in cell order, bit-identical to the serial sweep (`jobs = 1` *is*
+//! the serial sweep — no threads are spawned).
 
 use mperf_ir::Module;
-use mperf_sim::{Core, PlatformSpec};
-use mperf_vm::{Value, Vm, VmError};
+use mperf_sim::{pmu::NUM_COUNTERS, Core, PlatformSpec};
+use mperf_sweep::{queue, Phase};
+use mperf_vm::{decode_module, DecodedModule, ExecStats, RegionStats, Value, Vm, VmError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The guest-data staging callback: runs once per phase on that phase's
+/// fresh VM (on whichever worker thread executes the phase job, hence
+/// `Sync`) and returns the entry-point arguments.
+pub type SetupFn<'a> = &'a (dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Sync);
 
 /// Per-region correlated measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +50,10 @@ pub struct RegionMeasurement {
     pub invocations: u64,
     pub baseline_cycles: u64,
     pub instrumented_cycles: u64,
+    /// Stray `loop_end` notifications attributed to this region across
+    /// both phases. Nonzero flags broken instrumentation: the cycle and
+    /// count tallies above are then untrustworthy.
+    pub unbalanced_ends: u64,
 }
 
 impl RegionMeasurement {
@@ -72,6 +98,24 @@ impl RegionMeasurement {
     }
 }
 
+/// Everything observable about one executed phase, beyond the region
+/// tallies: the full simulation fingerprint the sweep determinism
+/// property pins (`tests/properties.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseObservables {
+    /// End-to-end guest cycles of the phase (entry call only).
+    pub total_cycles: u64,
+    /// VM execution statistics (MIR ops, machine ops, calls).
+    pub exec: ExecStats,
+    /// Instructions retired on the core.
+    pub instructions: u64,
+    /// Final PMU counter file (all 32 counters).
+    pub pmu: Vec<u64>,
+    /// Stray `loop_end` notifications seen during this phase (including
+    /// region ids that match no known region).
+    pub unbalanced_ends: u64,
+}
+
 /// A whole roofline run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RooflineRun {
@@ -82,6 +126,14 @@ pub struct RooflineRun {
     pub baseline_total_cycles: u64,
     /// End-to-end cycles of the instrumented phase.
     pub instrumented_total_cycles: u64,
+    /// Total stray `loop_end` notifications across both phases (zero on
+    /// healthy instrumentation); per-region attribution is in
+    /// [`RegionMeasurement::unbalanced_ends`].
+    pub unbalanced_ends: u64,
+    /// Full simulation fingerprint of the baseline phase.
+    pub baseline: PhaseObservables,
+    /// Full simulation fingerprint of the instrumented phase.
+    pub instrumented: PhaseObservables,
 }
 
 impl RooflineRun {
@@ -91,9 +143,125 @@ impl RooflineRun {
     }
 }
 
-/// Run the two-phase workflow. `setup` stages guest data and returns the
-/// entry arguments; it runs once per phase on a fresh VM so both phases
-/// see identical initial state (the determinism assumption of §4.4).
+/// One cell of a roofline sweep: a compiled workload on one platform.
+/// [`run_roofline_sweep`] expands each cell into its baseline and
+/// instrumented phase jobs.
+pub struct RooflineJob<'a> {
+    pub module: &'a Module,
+    /// Pre-built shared decode. `None` = decode once inside the sweep;
+    /// pass `Some` to share one decode across several cells running the
+    /// same module (e.g. one workload on many platforms).
+    pub decoded: Option<Arc<DecodedModule>>,
+    pub spec: PlatformSpec,
+    pub entry: String,
+    pub setup: Box<dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Send + Sync + 'a>,
+}
+
+/// Raw output of one phase job, pre-correlation.
+struct PhaseOutput {
+    regions: Vec<(u32, RegionStats)>,
+    obs: PhaseObservables,
+}
+
+/// Execute one phase of one cell on a fresh VM sharing `decoded`.
+fn run_phase(
+    module: &Module,
+    decoded: &Arc<DecodedModule>,
+    spec: &PlatformSpec,
+    entry: &str,
+    setup: SetupFn,
+    phase: Phase,
+) -> Result<PhaseOutput, VmError> {
+    let mut vm = Vm::new(module, Core::new(spec.clone()));
+    vm.set_decoded(Arc::clone(decoded));
+    vm.roofline.instrumented = phase.instrumented();
+    let args = setup(&mut vm)?;
+    let t0 = vm.core.cycles();
+    vm.call(entry, &args)?;
+    let total_cycles = vm.core.cycles() - t0;
+    let pmu = (0..NUM_COUNTERS).map(|i| vm.core.pmu().read(i)).collect();
+    Ok(PhaseOutput {
+        regions: vm.roofline.regions(),
+        obs: PhaseObservables {
+            total_cycles,
+            exec: vm.stats(),
+            instructions: vm.core.instructions(),
+            pmu,
+            unbalanced_ends: vm.roofline.unbalanced_ends(),
+        },
+    })
+}
+
+/// Correlate a cell's two phase outputs against the module's region
+/// metadata. Regions sharing a source location are merged: the
+/// vectorizer splits one source loop into a vector loop plus a scalar
+/// remainder, and users care about the *source* loop (`LoopInfo{line,
+/// func}` in the paper). Region lookups are `HashMap`s keyed by region
+/// id, so correlation is linear in the region count.
+fn correlate(
+    module: &Module,
+    spec: &PlatformSpec,
+    base: PhaseOutput,
+    inst: PhaseOutput,
+) -> RooflineRun {
+    let base_by_id: HashMap<u32, RegionStats> = base.regions.iter().copied().collect();
+    let inst_by_id: HashMap<u32, RegionStats> = inst.regions.iter().copied().collect();
+    // Source-location → index of the merged measurement in `regions`.
+    let mut by_source: HashMap<(&str, u32), usize> = HashMap::new();
+    let mut regions: Vec<RegionMeasurement> = Vec::new();
+    for info in &module.loop_regions {
+        let b = base_by_id.get(&info.id).copied().unwrap_or_default();
+        let i = inst_by_id.get(&info.id).copied().unwrap_or_default();
+        let unbalanced = b.unbalanced_ends + i.unbalanced_ends;
+        match by_source.entry((info.source_func.as_str(), info.line)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let existing = &mut regions[*e.get()];
+                existing.has_calls |= info.has_calls;
+                existing.flops += i.counts.flops;
+                existing.loaded_bytes += i.counts.loaded_bytes;
+                existing.stored_bytes += i.counts.stored_bytes;
+                existing.int_ops += i.counts.int_ops;
+                existing.invocations =
+                    existing.invocations.max(b.invocations.max(i.invocations));
+                existing.baseline_cycles += b.baseline_cycles;
+                existing.instrumented_cycles += i.instrumented_cycles;
+                existing.unbalanced_ends += unbalanced;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(regions.len());
+                regions.push(RegionMeasurement {
+                    region_id: info.id,
+                    source_func: info.source_func.clone(),
+                    line: info.line,
+                    has_calls: info.has_calls,
+                    flops: i.counts.flops,
+                    loaded_bytes: i.counts.loaded_bytes,
+                    stored_bytes: i.counts.stored_bytes,
+                    int_ops: i.counts.int_ops,
+                    invocations: b.invocations.max(i.invocations),
+                    baseline_cycles: b.baseline_cycles,
+                    instrumented_cycles: i.instrumented_cycles,
+                    unbalanced_ends: unbalanced,
+                });
+            }
+        }
+    }
+    RooflineRun {
+        platform_name: spec.name,
+        freq_hz: spec.freq_hz,
+        regions,
+        baseline_total_cycles: base.obs.total_cycles,
+        instrumented_total_cycles: inst.obs.total_cycles,
+        unbalanced_ends: base.obs.unbalanced_ends + inst.obs.unbalanced_ends,
+        baseline: base.obs,
+        instrumented: inst.obs,
+    }
+}
+
+/// Run the two-phase workflow serially (one job at a time). `setup`
+/// stages guest data and returns the entry arguments; it runs once per
+/// phase on a fresh VM so both phases see identical initial state (the
+/// determinism assumption of §4.4).
 ///
 /// # Errors
 /// Propagates guest traps from either phase.
@@ -101,79 +269,79 @@ pub fn run_roofline(
     module: &Module,
     spec: &PlatformSpec,
     entry: &str,
-    setup: &dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError>,
+    setup: SetupFn,
 ) -> Result<RooflineRun, VmError> {
-    // Phase 1: baseline.
-    let mut baseline_vm = Vm::new(module, Core::new(spec.clone()));
-    baseline_vm.roofline.instrumented = false;
-    let args = setup(&mut baseline_vm)?;
-    let t0 = baseline_vm.core.cycles();
-    baseline_vm.call(entry, &args)?;
-    let baseline_total_cycles = baseline_vm.core.cycles() - t0;
-    let baseline_regions = baseline_vm.roofline.regions();
+    run_roofline_jobs(module, spec, entry, setup, 1)
+}
 
-    // Phase 2: instrumented.
-    let mut instr_vm = Vm::new(module, Core::new(spec.clone()));
-    instr_vm.roofline.instrumented = true;
-    let args = setup(&mut instr_vm)?;
-    let t0 = instr_vm.core.cycles();
-    instr_vm.call(entry, &args)?;
-    let instrumented_total_cycles = instr_vm.core.cycles() - t0;
-    let instr_regions = instr_vm.roofline.regions();
+/// [`run_roofline`] with the two phases submitted as independent jobs
+/// to a worker pool of `jobs` threads (`jobs = 1` is the serial
+/// fallback; results are bit-identical at any worker count). Both phase
+/// VMs share one decode, built here.
+///
+/// # Errors
+/// Propagates guest traps; with both phases failing, the baseline
+/// phase's error wins (serial order), deterministically.
+pub fn run_roofline_jobs(
+    module: &Module,
+    spec: &PlatformSpec,
+    entry: &str,
+    setup: SetupFn,
+    jobs: usize,
+) -> Result<RooflineRun, VmError> {
+    let decoded = decode_module(module);
+    let mut phases = queue::try_run_jobs(Vec::from(Phase::BOTH), jobs, |_, phase| {
+        run_phase(module, &decoded, spec, entry, setup, phase)
+    })?;
+    let inst = phases.pop().expect("instrumented phase ran");
+    let base = phases.pop().expect("baseline phase ran");
+    Ok(correlate(module, spec, base, inst))
+}
 
-    // Correlate with the module's region metadata. Regions sharing a
-    // source location are merged: the vectorizer splits one source loop
-    // into a vector loop plus a scalar remainder, and users care about
-    // the *source* loop (`LoopInfo{line, func}` in the paper).
-    let mut regions: Vec<RegionMeasurement> = Vec::new();
-    for info in &module.loop_regions {
-        let base = baseline_regions
-            .iter()
-            .find(|(id, _)| *id == info.id)
-            .map(|(_, s)| *s)
-            .unwrap_or_default();
-        let inst = instr_regions
-            .iter()
-            .find(|(id, _)| *id == info.id)
-            .map(|(_, s)| *s)
-            .unwrap_or_default();
-        if let Some(existing) = regions
-            .iter_mut()
-            .find(|r| r.source_func == info.source_func && r.line == info.line)
-        {
-            existing.has_calls |= info.has_calls;
-            existing.flops += inst.counts.flops;
-            existing.loaded_bytes += inst.counts.loaded_bytes;
-            existing.stored_bytes += inst.counts.stored_bytes;
-            existing.int_ops += inst.counts.int_ops;
-            existing.invocations = existing
-                .invocations
-                .max(base.invocations.max(inst.invocations));
-            existing.baseline_cycles += base.baseline_cycles;
-            existing.instrumented_cycles += inst.instrumented_cycles;
-            continue;
-        }
-        regions.push(RegionMeasurement {
-            region_id: info.id,
-            source_func: info.source_func.clone(),
-            line: info.line,
-            has_calls: info.has_calls,
-            flops: inst.counts.flops,
-            loaded_bytes: inst.counts.loaded_bytes,
-            stored_bytes: inst.counts.stored_bytes,
-            int_ops: inst.counts.int_ops,
-            invocations: base.invocations.max(inst.invocations),
-            baseline_cycles: base.baseline_cycles,
-            instrumented_cycles: inst.instrumented_cycles,
-        });
-    }
-    Ok(RooflineRun {
-        platform_name: spec.name,
-        freq_hz: spec.freq_hz,
-        regions,
-        baseline_total_cycles,
-        instrumented_total_cycles,
+/// Run a whole roofline sweep: every cell's baseline and instrumented
+/// phases become independent jobs draining through one pool of `jobs`
+/// worker threads, and the per-cell results come back in cell order.
+/// Output is bit-identical to running [`run_roofline`] over the cells
+/// in a loop — a failed cell reports its error (baseline phase's error
+/// first) without disturbing the other cells.
+pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<RooflineRun, VmError>> {
+    // One decode per cell, built up front on the calling thread (cells
+    // may share one via `RooflineJob::decoded`).
+    let decodes: Vec<Arc<DecodedModule>> = cells
+        .iter()
+        .map(|c| {
+            c.decoded
+                .clone()
+                .unwrap_or_else(|| decode_module(c.module))
+        })
+        .collect();
+    // Expand cells into phase jobs in serial order: cell-major, then
+    // baseline before instrumented (matching `Phase::BOTH`).
+    let phase_jobs: Vec<(usize, Phase)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| Phase::BOTH.map(|p| (i, p)))
+        .collect();
+    let mut outs = queue::run_jobs(phase_jobs, jobs, |_, (ci, phase)| {
+        let cell = &cells[ci];
+        run_phase(
+            cell.module,
+            &decodes[ci],
+            &cell.spec,
+            &cell.entry,
+            &*cell.setup,
+            phase,
+        )
     })
+    .into_iter();
+    cells
+        .iter()
+        .map(|cell| {
+            let base = outs.next().expect("baseline phase ran");
+            let inst = outs.next().expect("instrumented phase ran");
+            Ok(correlate(cell.module, &cell.spec, base?, inst?))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,7 +366,7 @@ mod tests {
         m
     }
 
-    fn triad_setup(n: u64) -> impl Fn(&mut Vm) -> Result<Vec<Value>, VmError> {
+    fn triad_setup(n: u64) -> impl Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Sync {
         move |vm: &mut Vm| {
             let a = vm.mem.alloc(n * 4, 64)?;
             let b = vm.mem.alloc(n * 4, 64)?;
@@ -239,6 +407,8 @@ mod tests {
         assert!((r.ai() - 2.0 / 12.0).abs() < 1e-9, "{}", r.ai());
         assert!(r.baseline_cycles > 0);
         assert!(r.gflops(1_600_000_000) > 0.0);
+        assert_eq!(r.unbalanced_ends, 0, "healthy instrumentation");
+        assert_eq!(run.unbalanced_ends, 0);
     }
 
     #[test]
@@ -273,6 +443,11 @@ mod tests {
             run.baseline_total_cycles,
             run.instrumented_total_cycles
         );
+        // The phase fingerprints carry the same cycles plus exec stats.
+        assert_eq!(run.baseline.total_cycles, run.baseline_total_cycles);
+        assert_eq!(run.instrumented.total_cycles, run.instrumented_total_cycles);
+        assert!(run.baseline.exec.mir_ops < run.instrumented.exec.mir_ops);
+        assert_eq!(run.baseline.pmu.len(), NUM_COUNTERS);
     }
 
     #[test]
@@ -349,5 +524,119 @@ mod tests {
         .unwrap();
         assert_eq!(run.regions[0].invocations, 1);
         assert!(run.regions[0].loaded_bytes >= 512 * 8);
+    }
+
+    #[test]
+    fn parallel_phases_match_serial() {
+        let module = instrumented_module(TRIAD);
+        let setup = triad_setup(1024);
+        let spec = mperf_sim::PlatformSpec::x60();
+        let serial = run_roofline_jobs(&module, &spec, "triad", &setup, 1).unwrap();
+        let parallel = run_roofline_jobs(&module, &spec, "triad", &setup, 2).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_matches_per_cell_runs_and_keeps_order() {
+        let module = instrumented_module(TRIAD);
+        let decoded = decode_module(&module);
+        let specs = [
+            mperf_sim::PlatformSpec::x60(),
+            mperf_sim::PlatformSpec::u74(),
+            mperf_sim::PlatformSpec::i5_1135g7(),
+        ];
+        let cells: Vec<RooflineJob> = specs
+            .iter()
+            .map(|spec| RooflineJob {
+                module: &module,
+                decoded: Some(Arc::clone(&decoded)),
+                spec: spec.clone(),
+                entry: "triad".into(),
+                setup: Box::new(triad_setup(512)),
+            })
+            .collect();
+        let swept = run_roofline_sweep(&cells, 3);
+        assert_eq!(swept.len(), 3);
+        for (spec, got) in specs.iter().zip(&swept) {
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.platform_name, spec.name, "cell order preserved");
+            let lone = run_roofline(&module, spec, "triad", &triad_setup(512)).unwrap();
+            assert_eq!(got, &lone, "sweep cell == standalone run on {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn sweep_reports_cell_errors_without_disturbing_others() {
+        let module = instrumented_module(TRIAD);
+        let good = triad_setup(256);
+        // Second cell's setup passes a null pointer for `a`.
+        let bad = |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+            let b = vm.mem.alloc(256 * 4, 64)?;
+            Ok(vec![
+                Value::I64(0),
+                Value::I64(b as i64),
+                Value::I64(b as i64),
+                Value::I64(256),
+                Value::F32(1.0),
+            ])
+        };
+        let cells = vec![
+            RooflineJob {
+                module: &module,
+                decoded: None,
+                spec: mperf_sim::PlatformSpec::x60(),
+                entry: "triad".into(),
+                setup: Box::new(good),
+            },
+            RooflineJob {
+                module: &module,
+                decoded: None,
+                spec: mperf_sim::PlatformSpec::x60(),
+                entry: "triad".into(),
+                setup: Box::new(bad),
+            },
+        ];
+        let swept = run_roofline_sweep(&cells, 2);
+        assert!(swept[0].is_ok());
+        assert!(matches!(
+            swept[1].as_ref().unwrap_err(),
+            VmError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn stray_loop_end_is_surfaced_in_the_report() {
+        use mperf_ir::{Callee, Inst, Operand};
+        let mut module = instrumented_module(TRIAD);
+        // Break the instrumentation on purpose: prepend a stray
+        // `mperf.loop_end(<region 0>)` to the entry function, before any
+        // `loop_begin` has run.
+        let region_id = module.loop_regions[0].id;
+        let fid = module.func_id("triad").unwrap();
+        let f = module.func_mut(fid);
+        let entry = f.entry();
+        f.block_mut(entry).insts.insert(
+            0,
+            Inst::Call {
+                dsts: vec![],
+                callee: Callee::Host("mperf.loop_end".into()),
+                args: vec![Operand::I64(region_id as i64)],
+            },
+        );
+        let run = run_roofline(
+            &module,
+            &mperf_sim::PlatformSpec::x60(),
+            "triad",
+            &triad_setup(128),
+        )
+        .unwrap();
+        // One stray end per phase (the entry function runs once per phase).
+        assert_eq!(run.unbalanced_ends, 2, "both phases see the stray end");
+        let r = run
+            .regions
+            .iter()
+            .find(|r| r.region_id == region_id)
+            .expect("region still measured");
+        assert_eq!(r.unbalanced_ends, 2);
     }
 }

@@ -16,5 +16,7 @@ pub mod microbench;
 pub mod model;
 pub mod plot;
 
-pub use microbench::{characterize, MachineCharacterization};
+pub use microbench::{
+    characterize, characterize_many, characterize_with_jobs, MachineCharacterization,
+};
 pub use model::{Bound, Point, Roof, RoofKind, RooflineModel};

@@ -14,7 +14,8 @@ use mperf_ir::transform::vectorize::{TargetVecCaps, VectorizePass};
 use mperf_ir::transform::PassManager;
 use mperf_sim::machine_op::OpClass;
 use mperf_sim::{Core, Platform, PlatformSpec};
-use mperf_vm::{Value, Vm};
+use mperf_sweep::{queue, SharedModule};
+use mperf_vm::Value;
 
 /// Characterization results for one platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,63 +105,130 @@ const MEMSET_SRC: &str = r#"
     }
 "#;
 
-/// Characterize a platform by running the streaming microbenchmarks on a
-/// fresh core. `working_set` is the streamed footprint in bytes (must
-/// exceed L2 to observe DRAM bandwidth; default 8 MiB via
+/// The two streaming kernels a characterization runs — each is one
+/// independent sweep job (fresh VM, shared decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamKernel {
+    Memset,
+    Triad,
+}
+
+/// Run one streaming kernel on a fresh VM sharing `shared`'s decode;
+/// returns `(bytes_streamed, cycles)` for the measured steady-state pass.
+fn stream_bandwidth(
+    shared: &SharedModule,
+    spec: &PlatformSpec,
+    working_set: u64,
+    kernel: StreamKernel,
+) -> (u64, u64) {
+    let mem_bytes = (working_set as usize) * 4 + (16 << 20);
+    let mut vm = shared.vm_with_memory(Core::new(spec.clone()), mem_bytes);
+    match kernel {
+        StreamKernel::Memset => {
+            let n = (working_set / 8).max(1024);
+            let p = vm.mem.alloc(n * 8, 64).expect("fits");
+            // Warm-up pass (page the region in, then measure a
+            // steady-state pass).
+            vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(1)])
+                .expect("memset runs");
+            let c0 = vm.core.cycles();
+            vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(2)])
+                .expect("memset runs");
+            (n * 8, vm.core.cycles() - c0)
+        }
+        StreamKernel::Triad => {
+            // 2 loads + 1 store per element.
+            let tn = (working_set / 8 / 3).max(1024);
+            let a = vm.mem.alloc(tn * 8, 64).expect("fits");
+            let b = vm.mem.alloc(tn * 8, 64).expect("fits");
+            let c = vm.mem.alloc(tn * 8, 64).expect("fits");
+            let args = [
+                Value::I64(a as i64),
+                Value::I64(b as i64),
+                Value::I64(c as i64),
+                Value::I64(tn as i64),
+                Value::F64(3.0),
+            ];
+            vm.call("triad", &args).expect("triad runs");
+            let c0 = vm.core.cycles();
+            vm.call("triad", &args).expect("triad runs");
+            (tn * 8 * 3, vm.core.cycles() - c0)
+        }
+    }
+}
+
+/// Compile the streaming kernels for `platform` and bundle them with
+/// their one shared decode.
+fn stream_module(platform: Platform) -> SharedModule {
+    let mut module = mperf_ir::compile("roofline-bench", MEMSET_SRC).expect("kernels compile");
+    PassManager::standard().run(&mut module);
+    VectorizePass::new(vec_caps_for(platform)).run_with_report(&mut module);
+    SharedModule::new(module)
+}
+
+/// Characterize a platform by running the streaming microbenchmarks on
+/// fresh cores, with the memset and triad kernels scheduled as
+/// independent sweep jobs under at most `jobs` worker threads
+/// (`jobs = 1` runs them serially on the calling thread; measured
+/// bandwidths are identical at any worker count — simulated cycles never
+/// observe host threads). `working_set` is the streamed footprint in
+/// bytes (must exceed L2 to observe DRAM bandwidth; default 8 MiB via
 /// [`characterize`]).
 ///
 /// # Panics
 /// Panics if the microbenchmark sources fail to compile or run — these
 /// are fixed internal kernels, so failure is a bug.
+pub fn characterize_with_jobs(
+    platform: Platform,
+    working_set: u64,
+    jobs: usize,
+) -> MachineCharacterization {
+    characterize_many(&[platform], working_set, jobs)
+        .pop()
+        .expect("one platform in, one characterization out")
+}
+
+/// [`characterize_with_jobs`] at `jobs = 1` (the serial path).
 pub fn characterize_with(platform: Platform, working_set: u64) -> MachineCharacterization {
-    let spec = platform.spec();
-    let mut module = mperf_ir::compile("roofline-bench", MEMSET_SRC).expect("kernels compile");
-    PassManager::standard().run(&mut module);
-    VectorizePass::new(vec_caps_for(platform)).run_with_report(&mut module);
+    characterize_with_jobs(platform, working_set, 1)
+}
 
-    // --- memset bandwidth.
-    let n = (working_set / 8).max(1024);
-    let mut vm = Vm::with_memory(&module, Core::new(spec.clone()), (working_set as usize) * 4 + (16 << 20));
-    let p = vm.mem.alloc(n * 8, 64).expect("fits");
-    // Warm-up pass (page the region in, then measure a steady-state pass).
-    vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(1)])
-        .expect("memset runs");
-    let c0 = vm.core.cycles();
-    vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(2)])
-        .expect("memset runs");
-    let memset_cycles = vm.core.cycles() - c0;
-    let memset_bytes = n * 8;
-    let memset_bpc = memset_bytes as f64 / memset_cycles as f64;
-    let memset_gbps = memset_bpc * spec.freq_hz as f64 / 1e9;
-
-    // --- triad bandwidth (2 loads + 1 store per element).
-    let tn = (working_set / 8 / 3).max(1024);
-    let mut vm = Vm::with_memory(&module, Core::new(spec.clone()), (working_set as usize) * 4 + (16 << 20));
-    let a = vm.mem.alloc(tn * 8, 64).expect("fits");
-    let b = vm.mem.alloc(tn * 8, 64).expect("fits");
-    let c = vm.mem.alloc(tn * 8, 64).expect("fits");
-    let args = [
-        Value::I64(a as i64),
-        Value::I64(b as i64),
-        Value::I64(c as i64),
-        Value::I64(tn as i64),
-        Value::F64(3.0),
-    ];
-    vm.call("triad", &args).expect("triad runs");
-    let c0 = vm.core.cycles();
-    vm.call("triad", &args).expect("triad runs");
-    let triad_cycles = vm.core.cycles() - c0;
-    let triad_bytes = tn * 8 * 3;
-    let triad_gbps = triad_bytes as f64 / triad_cycles as f64 * spec.freq_hz as f64 / 1e9;
-
-    MachineCharacterization {
-        platform,
-        peak_vector_gflops: theoretical_vector_peak_gflops(&spec),
-        peak_scalar_gflops: theoretical_scalar_peak_gflops(&spec),
-        memset_gbps,
-        triad_gbps,
-        memset_bytes_per_cycle: memset_bpc,
-    }
+/// Characterize several platforms at once: every `platform × kernel`
+/// combination is one job in a single worker pool, and results come
+/// back in `platforms` order, bit-identical to calling
+/// [`characterize_with`] in a loop.
+pub fn characterize_many(
+    platforms: &[Platform],
+    working_set: u64,
+    jobs: usize,
+) -> Vec<MachineCharacterization> {
+    // Compile + decode once per platform, up front.
+    let shared: Vec<SharedModule> = platforms.iter().map(|&p| stream_module(p)).collect();
+    let matrix: Vec<(usize, StreamKernel)> = (0..platforms.len())
+        .flat_map(|i| [(i, StreamKernel::Memset), (i, StreamKernel::Triad)])
+        .collect();
+    let measured = queue::run_jobs(matrix, jobs, |_, (pi, kernel)| {
+        stream_bandwidth(&shared[pi], &platforms[pi].spec(), working_set, kernel)
+    });
+    platforms
+        .iter()
+        .enumerate()
+        .map(|(i, &platform)| {
+            let spec = platform.spec();
+            let (memset_bytes, memset_cycles) = measured[2 * i];
+            let (triad_bytes, triad_cycles) = measured[2 * i + 1];
+            let memset_bpc = memset_bytes as f64 / memset_cycles as f64;
+            MachineCharacterization {
+                platform,
+                peak_vector_gflops: theoretical_vector_peak_gflops(&spec),
+                peak_scalar_gflops: theoretical_scalar_peak_gflops(&spec),
+                memset_gbps: memset_bpc * spec.freq_hz as f64 / 1e9,
+                triad_gbps: triad_bytes as f64 / triad_cycles as f64 * spec.freq_hz as f64
+                    / 1e9,
+                memset_bytes_per_cycle: memset_bpc,
+            }
+        })
+        .collect()
 }
 
 /// Characterize with the default 8 MiB working set.
@@ -210,6 +278,18 @@ mod tests {
         let model = ch.to_model();
         // Only scalar + memory roofs.
         assert_eq!(model.roofs.len(), 2, "{:?}", model.roofs);
+    }
+
+    #[test]
+    fn characterize_many_matches_serial_characterization() {
+        let platforms = [Platform::SpacemitX60, Platform::SifiveU74];
+        // 4 jobs (2 platforms × 2 kernels) on 3 workers vs the serial
+        // per-platform path: bit-identical measured bandwidths.
+        let many = characterize_many(&platforms, 1 << 20, 3);
+        for (p, got) in platforms.iter().zip(&many) {
+            let lone = characterize_with(*p, 1 << 20);
+            assert_eq!(got, &lone, "{p:?}");
+        }
     }
 
     #[test]

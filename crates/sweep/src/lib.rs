@@ -1,0 +1,34 @@
+//! # mperf-sweep — deterministic thread-parallel sweep scheduling
+//!
+//! The paper's methodology is a *sweep*: every roofline chart correlates
+//! a baseline and an instrumented run per region, across platforms and
+//! workloads (§4.3, Fig. 2), and hierarchical-roofline practice
+//! multiplies that further across kernels and memory levels. Each
+//! `phase × platform × workload` combination is an independent
+//! simulation — an embarrassingly parallel job matrix whose wall-clock,
+//! not single-VM throughput, dominates a full evaluation.
+//!
+//! This crate schedules that matrix over worker threads while keeping
+//! the output **bit-identical to the serial order**:
+//!
+//! - [`queue`] — a work-stealing-free job queue over
+//!   [`std::thread::scope`]: workers pop jobs front-to-back, results are
+//!   collected *by job index*, and `jobs = 1` (or a single job) takes a
+//!   strictly serial path with no threads spawned. No external
+//!   dependencies.
+//! - [`plan`] — the shared sweep vocabulary: [`Phase`] (the two-phase
+//!   protocol order every sweep's serial output is pinned to) and
+//!   [`SharedModule`] (a compiled workload bundled with its one
+//!   `Arc`-shared decode).
+//!
+//! Determinism needs no locking discipline beyond the queue itself:
+//! every job owns a fresh `Vm`/`Core` (the whole execution stack is
+//! `Send`, enforced in `mperf-vm`), shares only the immutable
+//! [`mperf_vm::DecodedModule`], and the simulated PMU/cycle state never
+//! observes host time or host thread interleaving.
+
+pub mod plan;
+pub mod queue;
+
+pub use plan::{Phase, SharedModule};
+pub use queue::{default_jobs, run_jobs, try_run_jobs};

@@ -1,0 +1,107 @@
+//! Sweep vocabulary: the two-phase enumeration and the per-workload
+//! shared decode.
+//!
+//! The serial order a sweep's output is pinned to is cell-major (the
+//! caller's cell list order), then [`Phase::BOTH`] within a cell
+//! (baseline before instrumented) — the order the pre-sweep code ran
+//! its loops in, so parallel output stays byte-comparable to
+//! historical serial output.
+
+use mperf_ir::Module;
+use mperf_sim::Core;
+use mperf_vm::{decode_module, DecodedModule, Vm};
+use std::sync::Arc;
+
+/// One phase of the paper's §4.3 two-phase roofline protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Instrumentation disabled: region begin/end timing only.
+    Baseline,
+    /// Instrumented clones run; per-block counters accumulate.
+    Instrumented,
+}
+
+impl Phase {
+    /// Both phases, in serial (correlation) order.
+    pub const BOTH: [Phase; 2] = [Phase::Baseline, Phase::Instrumented];
+
+    /// What `mperf.is_instrumented` returns during this phase.
+    pub fn instrumented(self) -> bool {
+        matches!(self, Phase::Instrumented)
+    }
+}
+
+/// A compiled workload bundled with its one shared decode: the unit a
+/// sweep fans out. Decoding happens exactly once, up front, on the
+/// calling thread; every job VM — on any worker — shares the result.
+#[derive(Debug, Clone)]
+pub struct SharedModule {
+    pub module: Arc<Module>,
+    pub decoded: Arc<DecodedModule>,
+}
+
+impl SharedModule {
+    /// Decode `module` once and take shared ownership of both forms.
+    pub fn new(module: Module) -> SharedModule {
+        let decoded = decode_module(&module);
+        SharedModule {
+            module: Arc::new(module),
+            decoded,
+        }
+    }
+
+    /// A fresh VM over this workload on `core`, with the shared decode
+    /// pre-installed (the worker never decodes).
+    pub fn vm(&self, core: Core) -> Vm<'_> {
+        let mut vm = Vm::new(&self.module, core);
+        vm.set_decoded(Arc::clone(&self.decoded));
+        vm
+    }
+
+    /// Like [`SharedModule::vm`] with a custom guest-memory size.
+    pub fn vm_with_memory(&self, core: Core, mem_bytes: usize) -> Vm<'_> {
+        let mut vm = Vm::with_memory(&self.module, core, mem_bytes);
+        vm.set_decoded(Arc::clone(&self.decoded));
+        vm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_sim::PlatformSpec;
+    use mperf_vm::Value;
+
+    #[test]
+    fn phase_order_is_baseline_then_instrumented() {
+        assert_eq!(Phase::BOTH, [Phase::Baseline, Phase::Instrumented]);
+        assert!(!Phase::Baseline.instrumented());
+        assert!(Phase::Instrumented.instrumented());
+    }
+
+    #[test]
+    fn shared_module_vms_share_one_decode() {
+        let module = mperf_ir::compile(
+            "t",
+            "fn f(n: i64) -> i64 { return n * 2 + 1; }",
+        )
+        .unwrap();
+        let shared = SharedModule::new(module);
+        let threads: Vec<_> = crate::queue::run_jobs(vec![3i64, 4, 5], 3, |_, n| {
+            let mut vm = shared.vm(Core::new(PlatformSpec::x60()));
+            vm.call("f", &[Value::I64(n)]).unwrap()
+        });
+        assert_eq!(
+            threads,
+            vec![
+                vec![Value::I64(7)],
+                vec![Value::I64(9)],
+                vec![Value::I64(11)]
+            ]
+        );
+        // Only the up-front decode plus the two Arc clones inside the
+        // jobs should ever have existed; by now the workers dropped
+        // theirs again.
+        assert_eq!(Arc::strong_count(&shared.decoded), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! The deterministic job queue.
+//!
+//! Scheduling model: a locked `VecDeque` of `(index, job)` pairs popped
+//! front-to-back by `workers` scoped threads. Which *thread* runs which
+//! job is timing-dependent; which *result slot* a job fills is not —
+//! results land at their job's index, so the returned `Vec` is
+//! bit-identical to a serial `map` regardless of interleaving. Workers
+//! are plain `std::thread::scope` threads, so jobs may borrow from the
+//! caller's stack (modules, setup closures) without `Arc`-wrapping
+//! everything.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default worker count: the host's available parallelism (the
+/// `--jobs` default throughout the CLI/bench surface).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `jobs` under at most `workers` threads, returning results in job
+/// order (index `i` of the output is job `i`'s result, always).
+///
+/// - `workers <= 1` or a single job: strictly serial on the calling
+///   thread, no threads spawned — the serial fallback the sweep
+///   determinism property tests against.
+/// - `workers` is clamped to the job count; excess workers are never
+///   spawned.
+/// - A panicking job propagates its panic to the caller after the scope
+///   joins (no result is silently dropped).
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| run(i, j))
+            .collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let queue = &queue;
+        let run = &run;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        // Pop under the lock, run outside it.
+                        let job = queue.lock().expect("sweep queue lock").pop_front();
+                        let Some((idx, j)) = job else { break };
+                        done.push((idx, run(idx, j)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => {
+                    for (idx, r) in chunk {
+                        results[idx] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("scheduler ran every job"))
+        .collect()
+}
+
+/// [`run_jobs`] over fallible jobs: returns all results, or the error of
+/// the *earliest job in serial order* that failed — so error selection
+/// is as deterministic as success output (a slow worker finishing a
+/// later failing job first cannot change which error the caller sees).
+/// On the serial path the remaining jobs are skipped after an error
+/// (the first error *is* the earliest); parallel workers may still
+/// complete in-flight later jobs.
+///
+/// # Errors
+/// The first (by job index) job error.
+pub fn try_run_jobs<J, R, E, F>(jobs: Vec<J>, workers: usize, run: F) -> Result<Vec<R>, E>
+where
+    J: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, J) -> Result<R, E> + Sync,
+{
+    let n = jobs.len();
+    if workers.max(1).min(n.max(1)) == 1 {
+        let mut ok = Vec::with_capacity(n);
+        for (i, j) in jobs.into_iter().enumerate() {
+            ok.push(run(i, j)?);
+        }
+        return Ok(ok);
+    }
+    let mut ok = Vec::with_capacity(n);
+    for r in run_jobs(jobs, workers, run) {
+        ok.push(r?);
+    }
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_job_order_at_any_worker_count() {
+        let jobs: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 64] {
+            let got = run_jobs(jobs.clone(), workers, |idx, j| {
+                assert_eq!(idx as u64, j, "index matches enumeration");
+                j * j + 1
+            });
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serial_fallback_spawns_no_threads() {
+        let main_id = std::thread::current().id();
+        let ran_on = run_jobs(vec![(); 5], 1, |_, ()| std::thread::current().id());
+        assert!(ran_on.iter().all(|id| *id == main_id));
+    }
+
+    #[test]
+    fn workers_clamp_to_job_count() {
+        // 1 job, 16 workers: must still complete (and serially).
+        let out = run_jobs(vec![41], 16, |_, j| j + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = run_jobs(Vec::<u32>::new(), 4, |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let n = 101;
+        let out = run_jobs((0..n).collect(), 4, |_, j: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+            j
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_reports_earliest_error_in_job_order() {
+        // Jobs 3 and 1 both fail; job 1's error must win regardless of
+        // which worker finishes first.
+        for workers in [1, 2, 4] {
+            let r: Result<Vec<u32>, String> = try_run_jobs(
+                (0..6u32).collect(),
+                workers,
+                |_, j| {
+                    if j == 3 || j == 1 {
+                        Err(format!("job {j} failed"))
+                    } else {
+                        Ok(j)
+                    }
+                },
+            );
+            assert_eq!(r.unwrap_err(), "job 1 failed", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serial_try_run_short_circuits_after_an_error() {
+        let executed = AtomicUsize::new(0);
+        let r: Result<Vec<u32>, &str> = try_run_jobs((0..8u32).collect(), 1, |_, j| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if j == 2 {
+                Err("boom")
+            } else {
+                Ok(j)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(executed.load(Ordering::Relaxed), 3, "jobs 3..8 skipped");
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_stack() {
+        let data = vec![10u64, 20, 30];
+        let out = run_jobs(vec![0usize, 1, 2], 2, |_, i| data[i] * 2);
+        assert_eq!(out, vec![20, 40, 60]);
+    }
+}

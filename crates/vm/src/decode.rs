@@ -15,10 +15,13 @@
 //!   enum variants; other host functions get dense name-table ids).
 //!
 //! The decoded program is immutable and borrows nothing from the module,
-//! so it can be shared (`Rc`) across many short-lived [`crate::Vm`]s
-//! executing the same workload — the roofline sweep pattern.
+//! so it can be shared (`Arc`) across many short-lived [`crate::Vm`]s
+//! executing the same workload — including VMs running concurrently on
+//! sweep worker threads. [`decode_module`] produces that shared decode
+//! directly, without constructing a throwaway VM.
 
 use crate::interp::pc_of;
+use std::sync::Arc;
 use crate::lower::{bin_class, bin_flops, cast_class, un_class, un_flops};
 use mperf_ir::{
     BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, ProfCounts,
@@ -183,6 +186,15 @@ impl DecodedModule {
             host_names: hosts.names,
         }
     }
+}
+
+/// Decode `module` once into the `Arc`-shared form every VM (and every
+/// sweep worker thread) executing it can reuse via
+/// [`crate::Vm::set_decoded`]. This is the sweep entry point: callers
+/// decode each workload exactly once, then fan its phase/platform jobs
+/// out over threads that all share this one decode.
+pub fn decode_module(module: &Module) -> Arc<DecodedModule> {
+    Arc::new(DecodedModule::decode(module))
 }
 
 #[derive(Default)]

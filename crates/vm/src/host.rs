@@ -5,7 +5,10 @@ use mperf_ir::ProfCounts;
 use std::collections::HashMap;
 
 /// A host function callable from guest code.
-pub type HostHandler = Box<dyn FnMut(&[Value]) -> Result<Vec<Value>, String>>;
+///
+/// `Send` so a [`crate::Vm`] carrying registered handlers can move to a
+/// sweep worker thread; handlers needing shared state use `Arc`.
+pub type HostHandler = Box<dyn FnMut(&[Value]) -> Result<Vec<Value>, String> + Send>;
 
 /// Per-region accumulated metrics (one per `LoopRegionInfo`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +23,11 @@ pub struct RegionStats {
     pub baseline_cycles: u64,
     /// Guest cycles spent between begin/end with instrumentation ON.
     pub instrumented_cycles: u64,
+    /// `loop_end` notifications for this region id that arrived with no
+    /// matching `loop_begin` active. Nonzero means the instrumentation
+    /// in the module is broken (or a region trapped mid-flight); the
+    /// cycle/count tallies for this region are then untrustworthy.
+    pub unbalanced_ends: u64,
 }
 
 /// The runtime half of the paper's §4.3 two-phase workflow: tracks which
@@ -50,7 +58,10 @@ impl RooflineRuntime {
     pub fn loop_end(&mut self, region_id: u32, now: u64) {
         let Some(pos) = self.active.iter().rposition(|&(id, _)| id == region_id) else {
             // Unbalanced end: tolerated (mirrors a runtime that ignores
-            // stray notifications), but nothing to account.
+            // stray notifications), but counted so broken
+            // instrumentation is visible in the roofline report instead
+            // of silently producing bogus tallies.
+            self.regions.entry(region_id).or_default().unbalanced_ends += 1;
             return;
         };
         let (_, begin) = self.active.remove(pos);
@@ -86,6 +97,12 @@ impl RooflineRuntime {
         let mut v: Vec<(u32, RegionStats)> = self.regions.iter().map(|(k, v)| (*k, *v)).collect();
         v.sort_by_key(|(k, _)| *k);
         v
+    }
+
+    /// Total `loop_end` notifications (across all region ids) that had
+    /// no matching active `loop_begin`. Zero on healthy instrumentation.
+    pub fn unbalanced_ends(&self) -> u64 {
+        self.regions.values().map(|s| s.unbalanced_ends).sum()
     }
 
     /// Clear accumulated stats (not the instrumented flag).
@@ -143,11 +160,26 @@ mod tests {
     }
 
     #[test]
-    fn unbalanced_end_is_tolerated() {
+    fn unbalanced_end_is_tolerated_but_counted() {
         let mut rt = RooflineRuntime::new();
         rt.loop_end(42, 100);
-        assert!(rt.region(42).is_none());
+        rt.loop_end(42, 120);
+        rt.loop_end(7, 130);
         assert!(!rt.in_region());
+        assert_eq!(rt.region(42).unwrap().unbalanced_ends, 2);
+        assert_eq!(rt.region(7).unwrap().unbalanced_ends, 1);
+        assert_eq!(rt.unbalanced_ends(), 3);
+        // Nothing was accounted to the stray regions.
+        assert_eq!(rt.region(42).unwrap().invocations, 0);
+        assert_eq!(rt.region(42).unwrap().baseline_cycles, 0);
+    }
+
+    #[test]
+    fn balanced_regions_report_zero_unbalanced() {
+        let mut rt = RooflineRuntime::new();
+        rt.loop_begin(0, 0);
+        rt.loop_end(0, 10);
+        assert_eq!(rt.unbalanced_ends(), 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use mperf_ir::{
 use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
 use mperf_sim::Core;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,8 +99,9 @@ pub struct Vm<'m> {
     prof_scratch: u64,
     /// Which engine `call`/`call_id` run on.
     engine: Engine,
-    /// Lazily-built flat form of `module` (shareable across VMs).
-    decoded: Option<Rc<DecodedModule>>,
+    /// Lazily-built flat form of `module` (shareable across VMs and
+    /// across sweep worker threads).
+    decoded: Option<Arc<DecodedModule>>,
     /// Decoded-engine frame stack.
     dstack: Vec<DFrame>,
     /// Decoded-engine contiguous register stack (frames slice into it).
@@ -113,6 +114,22 @@ pub struct Vm<'m> {
     /// not allocate on the measured path.
     chain_scratch: Vec<u64>,
 }
+
+// The sweep engine's contract, enforced at compile time: a fully-loaded
+// `Vm` (core + PMU, attached perf kernel, registered host handlers,
+// roofline runtime, guest memory) moves onto a worker thread, and one
+// `DecodedModule` is shared read-only by workers decoding nothing.
+// Anything reintroducing `Rc`/`RefCell`/raw-pointer state into this
+// stack breaks the build here, not at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Vm<'static>>();
+    assert_send::<Core>();
+    assert_send::<PerfKernel>();
+    assert_sync::<DecodedModule>();
+    assert_sync::<Module>();
+};
 
 /// Encode the synthetic program counter for an instruction position.
 /// Shared with the decode pass so both engines emit identical pcs.
@@ -169,20 +186,24 @@ impl<'m> Vm<'m> {
     }
 
     /// The flat decoded form of the module, building (and caching) it on
-    /// first use. The result is `Rc`-shared: hand it to other VMs over
-    /// the same module via [`Vm::set_decoded`] to skip re-decoding.
-    pub fn decoded(&mut self) -> Rc<DecodedModule> {
+    /// first use. The result is `Arc`-shared: hand it to other VMs over
+    /// the same module via [`Vm::set_decoded`] — including VMs running
+    /// on other sweep worker threads — to skip re-decoding. To decode
+    /// without constructing a throwaway VM, use
+    /// [`crate::decode::decode_module`].
+    pub fn decoded(&mut self) -> Arc<DecodedModule> {
         if let Some(d) = &self.decoded {
-            return Rc::clone(d);
+            return Arc::clone(d);
         }
-        let d = Rc::new(DecodedModule::decode(self.module));
-        self.decoded = Some(Rc::clone(&d));
+        let d = Arc::new(DecodedModule::decode(self.module));
+        self.decoded = Some(Arc::clone(&d));
         d
     }
 
     /// Install a pre-built decode of this VM's module (it must come from
-    /// an identical module, e.g. via [`Vm::decoded`] on a sibling VM).
-    pub fn set_decoded(&mut self, decoded: Rc<DecodedModule>) {
+    /// an identical module, e.g. via [`crate::decode::decode_module`] or
+    /// [`Vm::decoded`] on a sibling VM).
+    pub fn set_decoded(&mut self, decoded: Arc<DecodedModule>) {
         assert_eq!(
             decoded.funcs.len(),
             self.module.num_funcs(),

@@ -22,8 +22,9 @@
 //!    blocks into a dense `Vec<DecodedOp>` with pre-resolved jump
 //!    targets (flat op indices), precomputed synthetic pcs, op classes,
 //!    and FLOP counts, and host callees resolved to dense ids. The
-//!    result ([`DecodedModule`]) borrows nothing and is `Rc`-shared
-//!    across VMs sweeping the same workload.
+//!    result ([`DecodedModule`]) borrows nothing and is `Arc`-shared
+//!    across VMs sweeping the same workload — including VMs on other
+//!    threads (see *The `Arc`/`Send` contract* below).
 //! 2. **Execute** ([`Vm::call`]): the default decoded engine dispatches
 //!    over `&[DecodedOp]` by index with zero per-step cloning and no
 //!    `module → func → block` lookups; guest frames slice a contiguous
@@ -31,6 +32,30 @@
 //!    (the original structure-walking interpreter) stays available as
 //!    the semantic baseline; both produce bit-identical `ExecStats`,
 //!    cycles, and PMU state.
+//!
+//! ## The `Arc`/`Send` contract
+//!
+//! The roofline methodology is a *sweep*: every chart multiplies
+//! phases × platforms × workloads, and each combination is an
+//! independent simulation. The execution stack is therefore `Send` end
+//! to end, enforced by compile-time assertions in [`interp`]:
+//!
+//! - a [`Vm`] — together with its `Core` (PMU, caches, predictor), an
+//!   attached `PerfKernel`, registered [`HostHandler`]s (the type
+//!   requires `+ Send`), guest memory, and the [`RooflineRuntime`] —
+//!   moves onto a sweep worker thread;
+//! - one [`DecodedModule`] per workload is built up front with
+//!   [`decode::decode_module`] (no throwaway VM needed) and shared
+//!   read-only via `Arc` by every job of that workload, so worker
+//!   threads never decode.
+//!
+//! New workloads plug into the sweep engine by compiling a module
+//! (e.g. `mperf_workloads::compile_for`), decoding it once, and handing
+//! `(module, Arc<DecodedModule>, setup-closure)` to the scheduler in
+//! `mperf-sweep` / `miniperf::roofline_runner` — the setup closure runs
+//! on the worker to stage guest data, so it must be `Send + Sync`; all
+//! simulation state stays thread-local to the job. The same contract is
+//! what a future JIT or threaded-code dispatch will run under.
 //!
 //! ## The exact-overflow watermark
 //!
@@ -57,7 +82,7 @@ pub mod lower;
 pub mod memory;
 pub mod value;
 
-pub use decode::{DecodedModule, DecodedOp};
+pub use decode::{decode_module, DecodedModule, DecodedOp};
 pub use error::VmError;
 pub use host::{HostHandler, RegionStats, RooflineRuntime};
 pub use interp::{Engine, ExecStats, Vm};

@@ -12,5 +12,6 @@ pub use mperf_ir;
 pub use mperf_roofline;
 pub use mperf_sbi;
 pub use mperf_sim;
+pub use mperf_sweep;
 pub use mperf_vm;
 pub use mperf_workloads;

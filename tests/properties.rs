@@ -1,11 +1,14 @@
 //! Property-based tests over the cross-crate invariants: compiled MiniC
 //! arithmetic matches Rust semantics on random inputs, the perf ring
-//! buffer round-trips arbitrary samples, and PMU counting is exact.
+//! buffer round-trips arbitrary samples, PMU counting is exact, and the
+//! thread-parallel roofline sweep is bit-identical to the serial sweep.
 
+use miniperf::{run_roofline_jobs, run_roofline_sweep, RooflineJob};
 use mperf_event::{Record, RingBuffer, SampleRecord, SampleType};
+use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
 use mperf_ir::transform::PassManager;
 use mperf_sim::{Core, PlatformSpec};
-use mperf_vm::{Engine, Value, Vm};
+use mperf_vm::{Engine, Value, Vm, VmError};
 use proptest::prelude::*;
 
 /// Program templates for the decoded/reference equivalence property.
@@ -218,6 +221,117 @@ proptest! {
             prop_assert_eq!(reference.2, decoded.2, "cycles ({})", spec.name);
             prop_assert_eq!(reference.3, decoded.3, "instructions ({})", spec.name);
             prop_assert_eq!(&reference.4, &decoded.4, "PMU counters ({})", spec.name);
+        }
+    }
+
+    /// The thread-parallel roofline sweep is bit-identical to the
+    /// serial sweep: for generated instrumented workloads, running the
+    /// two-phase protocol at `jobs ∈ {2, 4}` produces the same
+    /// `RegionMeasurement`s, `ExecStats`, cycle counts, instruction
+    /// counts, and PMU counter files as `jobs = 1` on every platform
+    /// model — and the batched `run_roofline_sweep` over all four
+    /// platforms at once agrees cell for cell.
+    #[test]
+    fn parallel_sweep_matches_serial_sweep(
+        kernel in 0usize..2,
+        n in 16i64..96,
+        reps in 1i64..4,
+    ) {
+        const SWEEP_KERNELS: &[(&str, &str)] = &[
+            ("saxpy", r#"
+                fn saxpy(a: *f32, b: *f32, n: i64, reps: i64, k: f32) {
+                    for (var r: i64 = 0; r < reps; r = r + 1) {
+                        for (var i: i64 = 0; i < n; i = i + 1) {
+                            a[i] = a[i] + k * b[i];
+                        }
+                    }
+                }
+            "#),
+            ("saxpy", r#"
+                fn inner(a: *f32, b: *f32, n: i64) {
+                    for (var i: i64 = 0; i < n; i = i + 1) {
+                        a[i] = a[i] * 0.5 + b[i];
+                    }
+                }
+                fn saxpy(a: *f32, b: *f32, n: i64, reps: i64, k: f32) {
+                    for (var r: i64 = 0; r < reps; r = r + 1) {
+                        inner(a, b, n);
+                    }
+                }
+            "#),
+        ];
+        let mut module = mperf_ir::compile("sweep", SWEEP_KERNELS[kernel].1).unwrap();
+        PassManager::standard().run(&mut module);
+        InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
+        let entry = SWEEP_KERNELS[kernel].0;
+        let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+            let a = vm.mem.alloc(n as u64 * 4, 64)?;
+            let b = vm.mem.alloc(n as u64 * 4, 64)?;
+            for i in 0..n as u64 {
+                vm.mem.write_f32(a + i * 4, i as f32)?;
+                vm.mem.write_f32(b + i * 4, 1.0 + i as f32 / 7.0)?;
+            }
+            Ok(vec![
+                Value::I64(a as i64),
+                Value::I64(b as i64),
+                Value::I64(n),
+                Value::I64(reps),
+                Value::F32(1.5),
+            ])
+        };
+        let specs = [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ];
+        let mut serial_runs = Vec::new();
+        for spec in &specs {
+            let serial = run_roofline_jobs(&module, spec, entry, &setup, 1).unwrap();
+            for jobs in [2usize, 4] {
+                let parallel = run_roofline_jobs(&module, spec, entry, &setup, jobs).unwrap();
+                // Field-by-field on the named observables first (sharper
+                // failure messages), then whole-run equality.
+                prop_assert_eq!(
+                    &serial.regions, &parallel.regions,
+                    "RegionMeasurements ({}, jobs={})", spec.name, jobs
+                );
+                for (s, p) in [(&serial.baseline, &parallel.baseline),
+                               (&serial.instrumented, &parallel.instrumented)] {
+                    prop_assert_eq!(s.exec, p.exec, "ExecStats ({}, jobs={})", spec.name, jobs);
+                    prop_assert_eq!(
+                        s.total_cycles, p.total_cycles,
+                        "cycles ({}, jobs={})", spec.name, jobs
+                    );
+                    prop_assert_eq!(
+                        s.instructions, p.instructions,
+                        "instructions ({}, jobs={})", spec.name, jobs
+                    );
+                    prop_assert_eq!(&s.pmu, &p.pmu, "PMU counters ({}, jobs={})", spec.name, jobs);
+                }
+                prop_assert_eq!(&serial, &parallel, "whole run ({}, jobs={})", spec.name, jobs);
+            }
+            serial_runs.push(serial);
+        }
+        // The batched matrix sweep (all four platforms as cells in one
+        // worker pool) agrees with the per-platform serial runs, in
+        // cell order.
+        let cells: Vec<RooflineJob> = specs
+            .iter()
+            .map(|spec| RooflineJob {
+                module: &module,
+                decoded: None,
+                spec: spec.clone(),
+                entry: entry.to_string(),
+                setup: Box::new(setup),
+            })
+            .collect();
+        for jobs in [2usize, 4] {
+            let swept = run_roofline_sweep(&cells, jobs);
+            for (serial, cell) in serial_runs.iter().zip(&swept) {
+                let cell = cell.as_ref().unwrap();
+                prop_assert_eq!(serial, cell, "sweep cell (jobs={})", jobs);
+            }
         }
     }
 
