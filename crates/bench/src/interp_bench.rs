@@ -113,34 +113,51 @@ pub struct InterpBenchInfo {
     pub engine: &'static str,
     /// MIR ops executed by a single benched call.
     pub mir_ops_per_call: u64,
+    /// Decode-time fusion stats of the module this config ran (zeros for
+    /// unfused/reference/seed configs).
+    pub fusion_static: mperf_vm::FusionStats,
+    /// Runtime fusion coverage of one call (zeros when not fused).
+    pub fusion_dyn: mperf_vm::FusionDynamics,
 }
 
 /// One engine configuration benchmarked per workload × platform.
 /// `seed` reproduces the pre-PR execution stack: the structure-walking
-/// interpreter plus the per-op 32-counter PMU scan.
+/// interpreter plus the per-op 32-counter PMU scan. `decoded` is the
+/// production default (superinstruction fusion on); `decoded-nofuse`
+/// isolates the fusion contribution for bisection.
 #[derive(Clone, Copy)]
 pub struct EngineConfig {
     pub name: &'static str,
     pub engine: Engine,
+    pub fuse: bool,
     pub pmu_batched: bool,
 }
 
 /// The benchmarked engine configurations, fastest first.
-pub fn engine_configs() -> [EngineConfig; 3] {
+pub fn engine_configs() -> [EngineConfig; 4] {
     [
         EngineConfig {
             name: "decoded",
             engine: Engine::Decoded,
+            fuse: true,
+            pmu_batched: true,
+        },
+        EngineConfig {
+            name: "decoded-nofuse",
+            engine: Engine::Decoded,
+            fuse: false,
             pmu_batched: true,
         },
         EngineConfig {
             name: "reference",
             engine: Engine::Reference,
+            fuse: true,
             pmu_batched: true,
         },
         EngineConfig {
             name: "seed",
             engine: Engine::Reference,
+            fuse: true,
             pmu_batched: false,
         },
     ]
@@ -152,7 +169,7 @@ fn run_workload(
     cfg: EngineConfig,
     decoded: Option<&Arc<mperf_vm::DecodedModule>>,
     w: &InterpWorkload,
-) -> (Vec<Value>, u64) {
+) -> (Vec<Value>, u64, mperf_vm::FusionDynamics) {
     let mut core = Core::new(spec);
     core.set_pmu_batching(cfg.pmu_batched);
     let mut vm = Vm::with_memory(module, core, 1 << 20);
@@ -160,6 +177,7 @@ fn run_workload(
     if let Some(d) = decoded {
         vm.set_decoded(Arc::clone(d));
     }
+    vm.set_fusion(cfg.fuse);
     let mut args = Vec::new();
     if w.buf_words > 0 {
         let base = vm.mem.alloc(8 * w.buf_words, 8).expect("bench buffer");
@@ -172,12 +190,23 @@ fn run_workload(
     }
     args.push(Value::I64(black_box(w.n)));
     let out = vm.call(w.entry, &args).expect("bench workload runs");
-    (out, vm.stats().mir_ops)
+    (out, vm.stats().mir_ops, vm.fusion_dynamics())
 }
 
 /// Register the `vm/interp-throughput` group: every workload × platform
 /// × engine. Returns per-bench metadata aligned with the criterion ids.
 pub fn register_interp_benches(c: &mut Criterion) -> Vec<InterpBenchInfo> {
+    register_interp_benches_with(c, true)
+}
+
+/// [`register_interp_benches`] with the fused configs selectable:
+/// `include_fused = false` is `bench_trajectory --no-fuse`, measuring
+/// only the unfused decoded engine (plus reference/seed) so fusion
+/// regressions can be bisected out of the picture.
+pub fn register_interp_benches_with(
+    c: &mut Criterion,
+    include_fused: bool,
+) -> Vec<InterpBenchInfo> {
     let mut infos = Vec::new();
     let mut g = c.benchmark_group("vm/interp-throughput");
     for w in interp_workloads() {
@@ -185,26 +214,32 @@ pub fn register_interp_benches(c: &mut Criterion) -> Vec<InterpBenchInfo> {
             let spec = platform.spec();
             let module =
                 mperf_workloads::compile_for("b", w.src, platform, false).expect("bench compiles");
-            // Decode once outside the timed loop (the roofline-sweep
-            // usage pattern: many short-lived VMs, one decode).
-            let decoded = {
-                let mut vm = Vm::with_memory(&module, Core::new(spec.clone()), 1 << 20);
-                vm.decoded()
-            };
+            // Decode once per flavour outside the timed loop (the
+            // roofline-sweep usage pattern: many short-lived VMs, one
+            // decode). Configs pick the decode matching their fusion
+            // flag so no re-decode lands inside the measurement.
+            let fused = mperf_vm::decode_module_with(&module, true);
+            let unfused = mperf_vm::decode_module_with(&module, false);
             for cfg in engine_configs() {
+                if !include_fused && cfg.fuse && cfg.engine == Engine::Decoded {
+                    continue;
+                }
+                let decoded = if cfg.fuse { &fused } else { &unfused };
                 // Sanity-run once, outside timing: configs must agree.
-                let (out, mir_ops) = run_workload(&module, spec.clone(), cfg, Some(&decoded), &w);
+                let (out, mir_ops, fusion_dyn) =
+                    run_workload(&module, spec.clone(), cfg, Some(decoded), &w);
                 let seed_cfg = EngineConfig {
                     name: "seed",
                     engine: Engine::Reference,
+                    fuse: true,
                     pmu_batched: false,
                 };
-                let (ref_out, _) = run_workload(&module, spec.clone(), seed_cfg, None, &w);
+                let (ref_out, _, _) = run_workload(&module, spec.clone(), seed_cfg, None, &w);
                 assert_eq!(out, ref_out, "engine configs diverge on {}", w.name);
 
                 let id = format!("{}-{}-{}", w.name, spec.name, cfg.name);
                 g.bench_function(&id, |b| {
-                    b.iter(|| run_workload(&module, spec.clone(), cfg, Some(&decoded), &w).0)
+                    b.iter(|| run_workload(&module, spec.clone(), cfg, Some(decoded), &w).0)
                 });
                 infos.push(InterpBenchInfo {
                     id: format!("vm/interp-throughput/{id}"),
@@ -212,6 +247,12 @@ pub fn register_interp_benches(c: &mut Criterion) -> Vec<InterpBenchInfo> {
                     platform: spec.name,
                     engine: cfg.name,
                     mir_ops_per_call: mir_ops,
+                    fusion_static: if cfg.engine == Engine::Decoded && cfg.fuse {
+                        decoded.fusion
+                    } else {
+                        mperf_vm::FusionStats::default()
+                    },
+                    fusion_dyn,
                 });
             }
         }

@@ -11,11 +11,11 @@
 use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
 use miniperf::report::{text_table, thousands};
 use miniperf::{
-    hotspot_table, probe_sampling, record, run_roofline_jobs, stat, RecordConfig,
+    hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, stat, RecordConfig,
 };
 use mperf_event::{EventKind, HwCounter, PerfKernel};
 use mperf_sim::{Core, Platform};
-use mperf_vm::{Value, Vm, VmError};
+use mperf_vm::{Engine, ExecConfig, Value, Vm, VmError};
 
 const DEMO: &str = r#"
     fn inner(p: *i64, n: i64) -> i64 {
@@ -70,6 +70,11 @@ options:
   --jobs <N>                     worker threads for `roofline`'s sweep jobs
                                  (default: available parallelism; 1 = serial;
                                  results are identical at any value)
+  --engine <decoded|reference>   execution engine (default: decoded; both are
+                                 observably identical — reference is the
+                                 bisection baseline)
+  --no-fuse                      disable decode-time superinstruction fusion
+                                 (identical measurements, slower execution)
   -h, --help                     print this help
 ";
 
@@ -77,6 +82,7 @@ struct Opts {
     platform: Platform,
     period: u64,
     jobs: usize,
+    exec: ExecConfig,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -90,6 +96,7 @@ fn parse_opts(args: &[String]) -> Opts {
         platform: Platform::SpacemitX60,
         period: 9_973,
         jobs: mperf_sweep::default_jobs(),
+        exec: ExecConfig::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +118,15 @@ fn parse_opts(args: &[String]) -> Opts {
                 Some((v, _)) => usage_error(&format!("bad --jobs {v:?}")),
                 None => usage_error("--jobs needs a value"),
             },
+            "--engine" => match it.next().map(String::as_str) {
+                Some("decoded") => opts.exec.engine = Engine::Decoded,
+                Some("reference") => opts.exec.engine = Engine::Reference,
+                Some(v) => usage_error(&format!(
+                    "unknown engine {v:?} (use decoded | reference)"
+                )),
+                None => usage_error("--engine needs a value"),
+            },
+            "--no-fuse" => opts.exec.fuse = false,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -179,6 +195,7 @@ fn cmd_probe() {
 
 fn cmd_record(opts: &Opts) {
     let (mut vm, args) = demo_vm(opts.platform);
+    vm.configure(opts.exec);
     match record(&mut vm, "demo", &args, RecordConfig { period: opts.period }) {
         Ok(profile) => {
             println!(
@@ -217,6 +234,7 @@ fn cmd_record(opts: &Opts) {
 
 fn cmd_stat(opts: &Opts) {
     let (mut vm, args) = demo_vm(opts.platform);
+    vm.configure(opts.exec);
     let events = [
         EventKind::Hardware(HwCounter::BranchInstructions),
         EventKind::Hardware(HwCounter::BranchMisses),
@@ -271,7 +289,7 @@ fn cmd_roofline(opts: &Opts) {
     // Baseline + instrumented phases run as independent sweep jobs; the
     // machine characterization fans its memset/triad kernels out the
     // same way.
-    let run = run_roofline_jobs(&module, &spec, "triad", &setup, opts.jobs)
+    let run = run_roofline_jobs_cfg(&module, &spec, "triad", &setup, opts.jobs, opts.exec)
         .expect("roofline run");
     let r = &run.regions[0];
     if run.unbalanced_ends > 0 {

@@ -35,7 +35,8 @@ pub use hotspot::{hotspot_table, HotspotRow};
 pub use profile::{Profile, ProfSample};
 pub use record::{record, RecordConfig};
 pub use roofline_runner::{
-    run_roofline, run_roofline_jobs, run_roofline_sweep, PhaseObservables, RegionMeasurement,
+    run_roofline, run_roofline_jobs, run_roofline_jobs_cfg, run_roofline_sweep, PhaseObservables,
+    RegionMeasurement,
     RooflineJob, RooflineRun, SetupFn,
 };
 pub use stat::{stat, StatReport};

@@ -25,7 +25,9 @@
 use mperf_ir::Module;
 use mperf_sim::{pmu::NUM_COUNTERS, Core, PlatformSpec};
 use mperf_sweep::{queue, Phase};
-use mperf_vm::{decode_module, DecodedModule, ExecStats, RegionStats, Value, Vm, VmError};
+use mperf_vm::{
+    decode_module_with, DecodedModule, ExecConfig, ExecStats, RegionStats, Value, Vm, VmError,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -171,9 +173,11 @@ fn run_phase(
     entry: &str,
     setup: SetupFn,
     phase: Phase,
+    engine: mperf_vm::Engine,
 ) -> Result<PhaseOutput, VmError> {
     let mut vm = Vm::new(module, Core::new(spec.clone()));
     vm.set_decoded(Arc::clone(decoded));
+    vm.set_engine(engine);
     vm.roofline.instrumented = phase.instrumented();
     let args = setup(&mut vm)?;
     let t0 = vm.core.cycles();
@@ -289,9 +293,28 @@ pub fn run_roofline_jobs(
     setup: SetupFn,
     jobs: usize,
 ) -> Result<RooflineRun, VmError> {
-    let decoded = decode_module(module);
+    run_roofline_jobs_cfg(module, spec, entry, setup, jobs, ExecConfig::default())
+}
+
+/// [`run_roofline_jobs`] with an explicit engine configuration — the
+/// `--engine` / `--no-fuse` plumbing for regression bisection. Every
+/// configuration is observably identical (fusion and engine choice
+/// change speed, never measurements); the decode shared by both phase
+/// jobs is built in the requested flavour.
+///
+/// # Errors
+/// See [`run_roofline_jobs`].
+pub fn run_roofline_jobs_cfg(
+    module: &Module,
+    spec: &PlatformSpec,
+    entry: &str,
+    setup: SetupFn,
+    jobs: usize,
+    cfg: ExecConfig,
+) -> Result<RooflineRun, VmError> {
+    let decoded = decode_module_with(module, cfg.fuse);
     let mut phases = queue::try_run_jobs(Vec::from(Phase::BOTH), jobs, |_, phase| {
-        run_phase(module, &decoded, spec, entry, setup, phase)
+        run_phase(module, &decoded, spec, entry, setup, phase, cfg.engine)
     })?;
     let inst = phases.pop().expect("instrumented phase ran");
     let base = phases.pop().expect("baseline phase ran");
@@ -312,7 +335,7 @@ pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<Roof
         .map(|c| {
             c.decoded
                 .clone()
-                .unwrap_or_else(|| decode_module(c.module))
+                .unwrap_or_else(|| decode_module_with(c.module, true))
         })
         .collect();
     // Expand cells into phase jobs in serial order: cell-major, then
@@ -331,6 +354,7 @@ pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<Roof
             &cell.entry,
             &*cell.setup,
             phase,
+            mperf_vm::Engine::Decoded,
         )
     })
     .into_iter();
@@ -348,6 +372,7 @@ pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<Roof
 mod tests {
     use super::*;
     use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+    use mperf_vm::decode_module;
     use mperf_ir::transform::PassManager;
     use mperf_ir::compile;
 

@@ -152,39 +152,64 @@ impl MemorySystem {
     /// benchmark would measure DRAM *latency* instead of bandwidth.
     pub fn access(&mut self, mem: &MemRef, now_centi: u64) -> MemEvents {
         let mut ev = MemEvents::default();
-        let now = now_centi / 100;
+        // Single-line fast path: the common case for scalar accesses in
+        // triad/memset-style kernels is a reference that fits entirely in
+        // one cache line. Skip the `for_each_line` walk (closure setup,
+        // lane dedup machinery) and touch that one line directly — the
+        // arithmetic is identical to the general path below.
+        if mem.lanes <= 1 && mem.addr / LINE_BYTES == (mem.addr + mem.bytes as u64 - 1) / LINE_BYTES
+        {
+            self.access_line(mem.addr / LINE_BYTES, mem.is_store, now_centi, &mut ev);
+            return ev;
+        }
         mem.for_each_line(|line| {
-            ev.l1_accesses += 1;
-            if self.l1d.access(line, now) {
-                if !mem.is_store {
-                    ev.hit_cycles += self.l1d.latency.saturating_sub(1) as u64;
-                }
-                return;
-            }
-            ev.l1_misses += 1;
-            if self.l2.access(line, now) {
-                if !mem.is_store {
-                    ev.stall_cycles += self.l2.latency as u64;
-                }
-                return;
-            }
-            ev.l2_misses += 1;
-            ev.dram_bytes += LINE_BYTES;
-            self.total_dram_bytes += LINE_BYTES;
-            // Bandwidth limiter: each line occupies the DRAM channel for
-            // LINE_BYTES / bytes_per_cycle cycles. The core stalls only on
-            // queue backpressure (and, for loads, the access latency);
-            // channel occupancy itself is pipelined.
-            let occupancy_centi = (LINE_BYTES as f64 / self.cfg.dram_bytes_per_cycle * 100.0) as u64;
-            let start = self.dram_free_at_centi.max(now_centi);
-            self.dram_free_at_centi = start + occupancy_centi;
-            let queue_delay = (start - now_centi) / 100;
-            ev.stall_cycles += queue_delay;
-            if !mem.is_store {
-                ev.stall_cycles += self.cfg.dram_latency as u64;
-            }
+            self.access_line(line, mem.is_store, now_centi, &mut ev);
         });
         ev
+    }
+
+    /// Walk one line address through the hierarchy, accumulating events.
+    #[inline]
+    fn access_line(&mut self, line: u64, is_store: bool, now_centi: u64, ev: &mut MemEvents) {
+        let now = now_centi / 100;
+        ev.l1_accesses += 1;
+        if self.l1d.access(line, now) {
+            if !is_store {
+                ev.hit_cycles += self.l1d.latency.saturating_sub(1) as u64;
+            }
+            return;
+        }
+        ev.l1_misses += 1;
+        if self.l2.access(line, now) {
+            if !is_store {
+                ev.stall_cycles += self.l2.latency as u64;
+            }
+            return;
+        }
+        ev.l2_misses += 1;
+        ev.dram_bytes += LINE_BYTES;
+        self.total_dram_bytes += LINE_BYTES;
+        // Bandwidth limiter: each line occupies the DRAM channel for
+        // LINE_BYTES / bytes_per_cycle cycles. The core stalls only on
+        // queue backpressure (and, for loads, the access latency);
+        // channel occupancy itself is pipelined.
+        let occupancy_centi = (LINE_BYTES as f64 / self.cfg.dram_bytes_per_cycle * 100.0) as u64;
+        let start = self.dram_free_at_centi.max(now_centi);
+        self.dram_free_at_centi = start + occupancy_centi;
+        let queue_delay = (start - now_centi) / 100;
+        ev.stall_cycles += queue_delay;
+        if !is_store {
+            ev.stall_cycles += self.cfg.dram_latency as u64;
+        }
+    }
+
+    /// Whole cycles until the DRAM channel drains its current backlog,
+    /// as seen from `now_centi` (0 when the channel is free). Feeds the
+    /// conservative event bound of [`crate::Core::fused_ready`]: queue
+    /// delay is the one stall component unbounded by the platform spec.
+    #[inline]
+    pub fn backlog_cycles(&self, now_centi: u64) -> u64 {
+        self.dram_free_at_centi.saturating_sub(now_centi) / 100 + 1
     }
 
     /// Drop all cached lines (used between benchmark phases).
@@ -285,6 +310,48 @@ mod tests {
         let ev = m.access(&v, 0);
         // 32 contiguous bytes at offset 0: one line.
         assert_eq!(ev.l1_accesses, 1);
+    }
+
+    /// The single-line fast path must agree with the general walk at the
+    /// line-crossing boundary: an 8-byte scalar at offset 56 fits line 0
+    /// (fast path), the same scalar at offset 60 straddles lines 0 and 1
+    /// (general path) — and a fresh hierarchy driven through either
+    /// sequence reports identical events to one driven line by line.
+    #[test]
+    fn single_line_fast_path_boundary() {
+        let mut m = MemorySystem::new(CacheConfig::test_tiny());
+        let within = m.access(&MemRef::scalar(56, 8, false), 0);
+        assert_eq!(within.l1_accesses, 1, "56..64 is one line");
+
+        let mut m = MemorySystem::new(CacheConfig::test_tiny());
+        let crossing = m.access(&MemRef::scalar(60, 8, false), 0);
+        assert_eq!(crossing.l1_accesses, 2, "60..68 straddles the boundary");
+        assert_eq!(crossing.l1_misses, 2);
+
+        // Equivalence: the crossing access behaves exactly like touching
+        // the two lines as separate scalar accesses at the same time.
+        let mut split = MemorySystem::new(CacheConfig::test_tiny());
+        let a = split.access(&MemRef::scalar(60, 4, false), 0);
+        let b = split.access(&MemRef::scalar(64, 4, false), 0);
+        assert_eq!(
+            crossing.stall_cycles,
+            a.stall_cycles + b.stall_cycles,
+            "line walk arithmetic must not change at the boundary"
+        );
+        assert_eq!(crossing.dram_bytes, a.dram_bytes + b.dram_bytes);
+
+        // Exactly at the last in-line offset for a 4-byte scalar.
+        let mut m = MemorySystem::new(CacheConfig::test_tiny());
+        assert_eq!(m.access(&MemRef::scalar(60, 4, false), 0).l1_accesses, 1);
+    }
+
+    #[test]
+    fn backlog_reports_queue_drain() {
+        let mut m = MemorySystem::new(CacheConfig::test_tiny());
+        assert_eq!(m.backlog_cycles(0), 1, "free channel: rounding slack only");
+        // Queue a DRAM transfer; the backlog must cover its occupancy.
+        m.access(&MemRef::scalar(1 << 20, 8, false), 0);
+        assert!(m.backlog_cycles(0) >= 64 / 4, "line occupancy visible");
     }
 
     #[test]

@@ -49,23 +49,36 @@ pub struct Core {
     /// Centi-cycles one issue slot costs (`100 / issue_width`, floored at
     /// 1) — precomputed off the retire path.
     slot_unit: u64,
+    /// Precomputed conservative event-total bound for one fused retire
+    /// batch (≤ 3 ops, ≤ 1 scalar ≤ 2-line memory reference, ≤ 1 branch,
+    /// no vector ops), *excluding* the DRAM queue backlog which is added
+    /// dynamically — see [`Core::fused_ready`].
+    fused_ub_static: u64,
+    /// Like `fused_ub_static` but for memory-free batches (ALU/branch
+    /// only): no cache/DRAM terms and no backlog needed, so the probe is
+    /// a single compare — see [`Core::fused_ready_nomem`].
+    fused_ub_nomem: u64,
 }
 
 impl Core {
     /// Power on a core for `spec`.
     pub fn new(spec: PlatformSpec) -> Core {
+        let isa = spec.isa_model();
+        let slot_unit = (100 / spec.issue_width as u64).max(1);
         Core {
             csr: Csr::new(spec.cpu_id),
             pmu: Pmu::new(spec.num_hpm_counters),
             mem: MemorySystem::new(spec.caches),
             bp: BranchPredictor::new(spec.predictor_index_bits),
-            isa: spec.isa_model(),
             mode: PrivMode::User,
             centi: 0,
             unit_busy: [0; Unit::COUNT],
             slots: 0,
             retired: 0,
-            slot_unit: (100 / spec.issue_width as u64).max(1),
+            slot_unit,
+            fused_ub_static: fused_ub_static(&spec, &isa, slot_unit, true),
+            fused_ub_nomem: fused_ub_static(&spec, &isa, slot_unit, false),
+            isa,
             spec,
         }
     }
@@ -200,21 +213,59 @@ impl Core {
 
     fn retire_full(&mut self, op: &MachineOp) -> RetireInfo {
         let before = self.current_centi();
+        let mut deltas = EventDeltas::default();
+        self.apply_op(op, &mut deltas);
+        deltas.cycles = self.current_centi() / 100 - before / 100;
+        let overflow = self.pmu.tick_batched(&deltas, self.mode);
+        RetireInfo {
+            cycles: deltas.cycles,
+            instructions: deltas.instructions,
+            overflow,
+        }
+    }
+
+    /// The tick-free, cycle-free body of one retire: advance the timing
+    /// model, drive caches and branch prediction, and *accumulate* this
+    /// op's non-cycle event deltas into `deltas` — without touching the
+    /// PMU. Applying N ops in order and computing the cycle delta once is
+    /// exactly N per-op retires: per-op cycle deltas telescope
+    /// (`Σ (afterᵢ − beforeᵢ) = after_N − before_0`) and event counts are
+    /// additive — the foundation of [`Core::retire_fused`]. Returns
+    /// `true` when the op took the slim path (no events beyond
+    /// cycles/instructions).
+    #[inline]
+    fn apply_op(&mut self, op: &MachineOp, deltas: &mut EventDeltas) -> bool {
         let expansion = self.isa.expand(op.class);
         let inv_tp = self.spec.timing.inv_tp(op.class);
         let slot_cost = self.slot_unit * expansion.max(1) as u64;
+        deltas.instructions += expansion as u64;
+        self.retired += expansion as u64;
 
-        let mut deltas = EventDeltas {
-            instructions: expansion as u64,
-            ..EventDeltas::default()
-        };
+        // The dominant shape (no memory, no branch, no FLOPs, no vector
+        // event) skips the full event bundle; identical arithmetic to
+        // the slow path below with every extra term zero.
+        if op.mem.is_none()
+            && op.flops == 0
+            && !matches!(op.class, OpClass::Branch)
+            && !op.is_vector()
+        {
+            if self.spec.out_of_order {
+                self.unit_busy[Unit::of(op.class).index()] += inv_tp;
+                self.slots += slot_cost;
+            } else {
+                self.centi += inv_tp.max(slot_cost);
+            }
+            return true;
+        }
+
+        let before = self.current_centi();
         if op.flops != 0 {
             // The PMU event applies the platform's overcount model
             // (speculation, masked lanes); see `fp_event_percent`.
-            deltas.fp_ops = op.flops as u64 * self.spec.fp_event_percent as u64 / 100;
+            deltas.fp_ops += op.flops as u64 * self.spec.fp_event_percent as u64 / 100;
         }
         if op.is_vector() && expansion > 0 {
-            deltas.vec_instructions = expansion as u64;
+            deltas.vec_instructions += expansion as u64;
         }
 
         // Branch handling. A mispredict serializes the whole pipeline:
@@ -223,12 +274,12 @@ impl Core {
         let mut stall_centi = 0u64;
         let mut mispredicted = false;
         if matches!(op.class, OpClass::Branch) {
-            deltas.branches = 1;
+            deltas.branches += 1;
             if op.taken {
                 stall_centi += self.spec.taken_branch_bubble as u64 * 100;
             }
             if !self.bp.predict_and_update(op.pc, op.taken) {
-                deltas.branch_misses = 1;
+                deltas.branch_misses += 1;
                 mispredicted = true;
                 if !self.spec.out_of_order {
                     stall_centi += self.spec.branch_mispredict_penalty as u64 * 100;
@@ -279,16 +330,191 @@ impl Core {
             self.centi += inv_tp.max(slot_cost) + stall_centi;
         }
 
-        let after = self.current_centi();
-        deltas.cycles = after / 100 - before / 100;
-        self.retired += expansion as u64;
+        false
+    }
 
-        let overflow = self.pmu.tick_batched(&deltas, self.mode);
+    /// Whether the next fused batch (≤ 3 ops, ≤ 1 scalar memory
+    /// reference, ≤ 1 branch, no vector ops — the shapes the decode-time
+    /// fusion pass emits) is guaranteed not to wrap any PMU counter, so
+    /// it may retire through [`Core::retire_fused`] as one batched tick.
+    ///
+    /// The probe compares a conservative event-total upper bound
+    /// (precomputed from the platform spec, plus the current DRAM queue
+    /// backlog — the one component unbounded by the spec) against the
+    /// PMU's distance-to-overflow watermark. `false` means a counter is
+    /// near wrapping (or PMU batching is disabled): the caller must fall
+    /// back to per-op [`Core::retire`] so the overflow interrupt is
+    /// attributed to exactly the op that wraps — the same exactness rule
+    /// the watermark enforces for single-op batching.
+    #[inline]
+    pub fn fused_ready(&mut self) -> bool {
+        let ub = self.fused_ub_static + 2 * self.mem.backlog_cycles(self.current_centi());
+        let mode = self.mode;
+        self.pmu.batch_headroom(ub, mode)
+    }
+
+    /// [`Core::fused_ready`] for memory-free batches (compare-and-branch,
+    /// bin+copy): the event bound has no cache/DRAM terms, so no backlog
+    /// probe is needed — in steady state this is one compare.
+    #[inline]
+    pub fn fused_ready_nomem(&mut self) -> bool {
+        let ub = self.fused_ub_nomem;
+        let mode = self.mode;
+        self.pmu.batch_headroom(ub, mode)
+    }
+
+    /// Retire a memory-free, branch-free, FLOP-free fused batch given
+    /// just its constituent op classes — no [`MachineOp`]s are built.
+    /// Arithmetic-identical to retiring each class through
+    /// [`Core::retire`] (the slim path all such ops take), with the
+    /// per-op cycle deltas telescoped into one and a single scalar PMU
+    /// tick. Guard with [`Core::fused_ready_nomem`].
+    ///
+    /// This and [`Core::retire_fused_branch`] intentionally duplicate
+    /// [`Core::apply_op`]'s timing arithmetic: skipping `MachineOp`
+    /// construction and the full `EventDeltas` bundle is what makes the
+    /// fused fast path actually faster than per-op retire. A timing
+    /// change in `apply_op` must be mirrored here — the
+    /// `specialized_fused_retires_match_per_op` test pins all three
+    /// sites to per-op behaviour on every platform model.
+    #[inline]
+    pub fn retire_fused_simple(&mut self, classes: &[OpClass]) -> RetireInfo {
+        let start = self.current_centi();
+        let mut instr = 0u64;
+        for &class in classes {
+            let expansion = self.isa.expand(class);
+            let inv_tp = self.spec.timing.inv_tp(class);
+            let slot_cost = self.slot_unit * expansion.max(1) as u64;
+            if self.spec.out_of_order {
+                self.unit_busy[Unit::of(class).index()] += inv_tp;
+                self.slots += slot_cost;
+            } else {
+                self.centi += inv_tp.max(slot_cost);
+            }
+            instr += expansion as u64;
+        }
+        self.retired += instr;
+        let cycles = self.current_centi() / 100 - start / 100;
+        let overflow = self.pmu.tick_batched_simple(cycles, instr, self.mode);
+        debug_assert_eq!(overflow, 0, "guard retire_fused_simple with fused_ready_nomem");
         RetireInfo {
-            cycles: deltas.cycles,
-            instructions: expansion as u64,
+            cycles,
+            instructions: instr,
             overflow,
         }
+    }
+
+    /// Retire a fused compare-and-branch shape: `n_alu` scalar `IntAlu`
+    /// constituents followed by one branch at `pc` with outcome `taken`.
+    /// Mirrors the per-op arithmetic (predictor update, taken bubble,
+    /// mispredict penalty / pipeline-restart floor) with one combined
+    /// PMU tick. Guard with [`Core::fused_ready_nomem`]. Shares
+    /// [`Core::retire_fused_simple`]'s duplication contract with
+    /// `apply_op` (see its docs).
+    pub fn retire_fused_branch(&mut self, n_alu: u32, pc: u64, taken: bool) -> RetireInfo {
+        let start = self.current_centi();
+        let mut instr = 0u64;
+        for _ in 0..n_alu {
+            let expansion = self.isa.expand(OpClass::IntAlu);
+            let inv_tp = self.spec.timing.inv_tp(OpClass::IntAlu);
+            let slot_cost = self.slot_unit * expansion.max(1) as u64;
+            if self.spec.out_of_order {
+                self.unit_busy[Unit::of(OpClass::IntAlu).index()] += inv_tp;
+                self.slots += slot_cost;
+            } else {
+                self.centi += inv_tp.max(slot_cost);
+            }
+            instr += expansion as u64;
+        }
+        // The branch constituent (mirrors `apply_op`'s Branch handling).
+        let expansion = self.isa.expand(OpClass::Branch);
+        let inv_tp = self.spec.timing.inv_tp(OpClass::Branch);
+        let slot_cost = self.slot_unit * expansion.max(1) as u64;
+        let mut stall_centi = 0u64;
+        let mut misses = 0u64;
+        let mut mispredicted = false;
+        if taken {
+            stall_centi += self.spec.taken_branch_bubble as u64 * 100;
+        }
+        if !self.bp.predict_and_update(pc, taken) {
+            misses = 1;
+            mispredicted = true;
+            if !self.spec.out_of_order {
+                stall_centi += self.spec.branch_mispredict_penalty as u64 * 100;
+            }
+        }
+        if self.spec.out_of_order {
+            self.unit_busy[Unit::of(OpClass::Branch).index()] += inv_tp + stall_centi;
+            self.slots += slot_cost;
+            if mispredicted {
+                let floor =
+                    self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
+                self.centi = self.centi.max(floor);
+                for u in &mut self.unit_busy {
+                    *u = (*u).max(floor);
+                }
+                self.slots = self.slots.max(floor);
+            }
+        } else {
+            self.centi += inv_tp.max(slot_cost) + stall_centi;
+        }
+        instr += expansion as u64;
+        self.retired += instr;
+        let cycles = self.current_centi() / 100 - start / 100;
+        let deltas = EventDeltas {
+            cycles,
+            instructions: instr,
+            branches: 1,
+            branch_misses: misses,
+            ..EventDeltas::default()
+        };
+        let overflow = self.pmu.tick_batched(&deltas, self.mode);
+        debug_assert_eq!(overflow, 0, "guard retire_fused_branch with fused_ready_nomem");
+        RetireInfo {
+            cycles,
+            instructions: instr,
+            overflow,
+        }
+    }
+
+    /// Retire a fused superinstruction: apply every constituent op's
+    /// timing/cache/branch effects *in order* (identical arithmetic to N
+    /// [`Core::retire`] calls), then tick the PMU once with the combined
+    /// deltas. Callers must check [`Core::fused_ready`] first — under
+    /// that guard the combined tick cannot wrap a counter, so skipping
+    /// the per-op ticks is observably exact (counters additive, cycles
+    /// telescoping, no overflow to attribute).
+    pub fn retire_fused(&mut self, ops: &[MachineOp]) -> RetireInfo {
+        let before = self.current_centi();
+        let mut deltas = EventDeltas::default();
+        let mut all_simple = true;
+        for op in ops {
+            all_simple &= self.apply_op(op, &mut deltas);
+        }
+        let cycles = self.current_centi() / 100 - before / 100;
+        deltas.cycles = cycles;
+        // All-ALU batches (bin+copy and friends) carry only
+        // cycle/instruction events: take the PMU's scalar fast lane.
+        let overflow = if all_simple {
+            self.pmu
+                .tick_batched_simple(cycles, deltas.instructions, self.mode)
+        } else {
+            self.pmu.tick_batched(&deltas, self.mode)
+        };
+        debug_assert_eq!(
+            overflow, 0,
+            "retire_fused without fused_ready: overflow lost per-op attribution"
+        );
+        RetireInfo {
+            cycles,
+            instructions: deltas.instructions,
+            overflow,
+        }
+    }
+
+    /// Upper bound on the per-line DRAM channel occupancy in cycles.
+    fn dram_occupancy_bound(caches: &crate::cache::CacheConfig) -> u64 {
+        (crate::cache::LINE_BYTES as f64 / caches.dram_bytes_per_cycle) as u64 + 1
     }
 
     /// Advance the clock without retiring an instruction (idle cycles,
@@ -308,6 +534,44 @@ impl Core {
         };
         self.pmu.tick_batched(&deltas, self.mode)
     }
+}
+
+/// Conservative upper bound on the total PMU events (sum of every
+/// [`EventDeltas`] field) one fused batch can generate, excluding the
+/// dynamic DRAM queue backlog. Sound for the batch shapes the fusion
+/// pass emits: ≤ 3 ops, ≤ 1 scalar (≤ 2-line) memory reference, ≤ 1
+/// branch, no vector ops, ≤ 1 architectural FLOP. Overestimating only
+/// costs an occasional unnecessary per-op fallback near a counter wrap —
+/// exactly where the unfused watermark path degrades too.
+fn fused_ub_static(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64, with_mem: bool) -> u64 {
+    let max_exp = isa.max_expansion();
+    // Per-op base cycle cost: worst-class inverse throughput plus issue
+    // slots, rounded up.
+    let per_op_cycles = (spec.timing.max_inv_tp() + slot_unit * max_exp) / 100 + 1;
+    // Branch worst case: taken-fetch bubble plus the mispredict penalty,
+    // counted twice to cover both the in-order stall and the
+    // out-of-order pipeline-restart floor jump.
+    let branch_cycles =
+        spec.taken_branch_bubble as u64 + 2 * spec.branch_mispredict_penalty as u64;
+    // Scalar memory worst case: 2 lines (an 8-byte scalar straddling a
+    // boundary), each missing all the way to DRAM.
+    let caches = &spec.caches;
+    let line_cycles = caches.l1d.latency as u64
+        + caches.l2.latency as u64
+        + caches.dram_latency as u64
+        + Core::dram_occupancy_bound(caches)
+        + 1;
+    let mem_cycles = if with_mem {
+        2 * line_cycles + spec.load_use_penalty as u64
+    } else {
+        0
+    };
+    // Non-cycle events: instructions (3 ops at max expansion), branch +
+    // miss, FLOP events (1 architectural FLOP, overcount < 4x), and per
+    // line one access/miss/L2-miss plus LINE_BYTES of DRAM traffic.
+    let mem_events = if with_mem { 2 * (3 + crate::cache::LINE_BYTES) } else { 0 };
+    let events = 3 * max_exp + 2 + 4 + mem_events;
+    3 * per_op_cycles + branch_cycles + mem_cycles + events + 16
 }
 
 #[cfg(test)]
@@ -464,6 +728,143 @@ mod tests {
             c.retire(&MachineOp::simple(OpClass::VecAlu, i));
         }
         assert_eq!(c.pmu().read(3), 20, "vector ops without flops must count");
+    }
+
+    /// `retire_fused` must be arithmetic-identical to retiring the same
+    /// ops one by one: cycles, instructions, PMU counters, cache stats,
+    /// and branch-predictor state all agree on every platform model.
+    #[test]
+    fn fused_retire_matches_per_op_retire() {
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let mut fused = Core::new(spec.clone());
+            let mut serial = Core::new(spec.clone());
+            for c in [&mut fused, &mut serial] {
+                c.pmu_mut().set_event(3, Some(crate::events::HwEvent::L1dMiss));
+            }
+            let mut x: u64 = 0x9e37_79b9;
+            for i in 0..4_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                // A mix of the batch shapes the fusion pass emits:
+                // addr+load, cmp+branch, and bin+move pairs/triples.
+                let batch: Vec<MachineOp> = match x % 3 {
+                    0 => vec![
+                        MachineOp::simple(OpClass::AddrCalc, i % 64),
+                        MachineOp::simple(OpClass::Load, i % 64 + 1)
+                            .with_mem(MemRef::scalar(0x2000 + (x % 4096) * 8, 8, false)),
+                    ],
+                    1 => vec![
+                        MachineOp::simple(OpClass::IntAlu, i % 64),
+                        MachineOp::simple(OpClass::IntAlu, i % 64 + 1),
+                        MachineOp::simple(OpClass::Branch, i % 64 + 2).with_taken(x & 2 == 0),
+                    ],
+                    _ => vec![
+                        MachineOp::simple(OpClass::FpAdd, i % 64).with_flops(1),
+                        MachineOp::simple(OpClass::Move, i % 64 + 1),
+                    ],
+                };
+                assert!(fused.fused_ready(), "no counter is armed near wrap");
+                let info = fused.retire_fused(&batch);
+                assert_eq!(info.overflow, 0);
+                for op in &batch {
+                    serial.retire(op);
+                }
+                assert_eq!(fused.cycles(), serial.cycles(), "{} step {i}", spec.name);
+            }
+            assert_eq!(fused.instructions(), serial.instructions(), "{}", spec.name);
+            for idx in 0..crate::pmu::NUM_COUNTERS {
+                assert_eq!(
+                    fused.pmu().read(idx),
+                    serial.pmu().read(idx),
+                    "{} counter {idx}",
+                    spec.name
+                );
+            }
+            assert_eq!(fused.mem().l1d_stats(), serial.mem().l1d_stats());
+            assert_eq!(fused.mem().l2_stats(), serial.mem().l2_stats());
+            assert_eq!(fused.mem().dram_bytes_total(), serial.mem().dram_bytes_total());
+        }
+    }
+
+    /// The specialized fused entry points (`retire_fused_simple`,
+    /// `retire_fused_branch`) must also be arithmetic-identical to
+    /// per-op retire — including predictor state, which the serial core
+    /// trains identically over randomized branch outcomes.
+    #[test]
+    fn specialized_fused_retires_match_per_op() {
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let mut fused = Core::new(spec.clone());
+            let mut serial = Core::new(spec.clone());
+            let mut x: u64 = 0x1234_5678;
+            for i in 0..6_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                match x % 3 {
+                    0 => {
+                        assert!(fused.fused_ready_nomem());
+                        fused.retire_fused_simple(&[OpClass::IntMul, OpClass::Move]);
+                        serial.retire(&MachineOp::simple(OpClass::IntMul, i % 64));
+                        serial.retire(&MachineOp::simple(OpClass::Move, i % 64 + 1));
+                    }
+                    1 => {
+                        let pc = i % 32;
+                        let taken = x & 2 == 0;
+                        assert!(fused.fused_ready_nomem());
+                        fused.retire_fused_branch(1, pc, taken);
+                        serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + 64));
+                        serial.retire(&MachineOp::simple(OpClass::Branch, pc).with_taken(taken));
+                    }
+                    _ => {
+                        let pc = i % 32;
+                        let taken = x & 4 == 0;
+                        assert!(fused.fused_ready_nomem());
+                        fused.retire_fused_branch(2, pc, taken);
+                        for k in 0..2 {
+                            serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + k));
+                        }
+                        serial.retire(&MachineOp::simple(OpClass::Branch, pc).with_taken(taken));
+                    }
+                }
+                assert_eq!(fused.cycles(), serial.cycles(), "{} step {i}", spec.name);
+            }
+            assert_eq!(fused.instructions(), serial.instructions(), "{}", spec.name);
+            for idx in 0..crate::pmu::NUM_COUNTERS {
+                assert_eq!(
+                    fused.pmu().read(idx),
+                    serial.pmu().read(idx),
+                    "{} counter {idx}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    /// Near a programmed overflow, `fused_ready` must refuse the batch so
+    /// the caller degrades to per-op retire (exact overflow attribution).
+    #[test]
+    fn fused_ready_refuses_near_overflow() {
+        let mut c = x60();
+        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::CpuCycles));
+        c.pmu_mut().set_irq_enable(3, true);
+        c.pmu_mut().write(3, (-8i64) as u64); // 8 events from wrapping
+        assert!(!c.fused_ready(), "8 events of headroom is inside the bound");
+        // With a huge period the batch is safe again.
+        c.pmu_mut().write(3, (-10_000_000i64) as u64);
+        assert!(c.fused_ready());
+        // And with PMU batching disabled (the seed configuration) fused
+        // retire must always fall back.
+        c.set_pmu_batching(false);
+        assert!(!c.fused_ready());
     }
 
     #[test]

@@ -105,6 +105,14 @@ impl IsaModel {
         self.eighths[class.index()] as f64 / 8.0
     }
 
+    /// Upper bound on the instructions any single op can expand to
+    /// (ceiling of the largest per-class factor) — used to bound a fused
+    /// retire batch's event total (see [`crate::Core::fused_ready`]).
+    pub fn max_expansion(&self) -> u64 {
+        let max_eighths = self.eighths.iter().copied().max().unwrap_or(8) as u64;
+        max_eighths.div_ceil(8)
+    }
+
     /// Reset rounding accumulators (between measurement phases).
     pub fn reset(&mut self) {
         self.acc = [0; OpClass::COUNT];

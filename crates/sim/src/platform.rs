@@ -101,6 +101,13 @@ impl TimingTable {
     pub fn inv_tp(&self, class: OpClass) -> u64 {
         self.entries[class.index()] as u64
     }
+
+    /// The largest inverse throughput over all classes (centi-cycles) —
+    /// used to bound the cycle cost of a fused retire batch up front
+    /// (see [`crate::Core::fused_ready`]).
+    pub fn max_inv_tp(&self) -> u64 {
+        self.entries.iter().copied().max().unwrap_or(0) as u64
+    }
 }
 
 /// Execution units for the out-of-order per-unit occupancy model.

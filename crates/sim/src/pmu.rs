@@ -240,6 +240,35 @@ impl Pmu {
         0
     }
 
+    /// Whether a batch advancing every counter by at most `ub` events can
+    /// be absorbed without any counter wrapping. This is the go/no-go
+    /// probe for the core's fused multi-op retire
+    /// ([`crate::Core::retire_fused`]): when it returns `true`, the whole
+    /// batch may be ticked as one [`Pmu::tick_batched`] call and is
+    /// guaranteed to take the accumulate path (no overflow, so no
+    /// per-op attribution is needed); when `false` — a counter is within
+    /// `ub` events of wrapping, or batching is disabled — the caller must
+    /// retire op by op so the overflow interrupt fires on exactly the op
+    /// that wraps.
+    ///
+    /// Performs the same batch normalization `tick_batched` would (mode
+    /// flush, watermark recompute), which is observably transparent.
+    #[inline]
+    pub fn batch_headroom(&mut self, ub: u64, mode: PrivMode) -> bool {
+        if !self.batched {
+            return false;
+        }
+        if mode != self.pending_mode {
+            self.flush();
+            self.pending_mode = mode;
+        }
+        if !self.watermark_valid {
+            self.flush();
+            self.recompute_watermark();
+        }
+        self.pending_total.saturating_add(ub) <= self.watermark
+    }
+
     /// Scalar fast lane of [`Pmu::tick_batched`] for ops that only
     /// produce cycle/instruction events (no memory, branch, or FP
     /// deltas) — skips building and scanning the full [`EventDeltas`].
@@ -415,7 +444,7 @@ mod tests {
 
     #[test]
     fn unimplemented_counters_ignore_ticks() {
-        let mut p = Pmu::new(4);
+        let p = Pmu::new(4);
         assert!(p.is_implemented(3 + 3));
         assert!(!p.is_implemented(3 + 4));
         assert!(!p.is_implemented(1), "index 1 is reserved");

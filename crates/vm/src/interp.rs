@@ -16,7 +16,7 @@
 //! `tests/properties.rs` holds the cross-engine equivalence property;
 //! `crates/bench` measures the throughput gap.
 
-use crate::decode::{DecodedModule, DecodedOp, HostTarget};
+use crate::decode::{DecodedModule, DecodedOp, FusePattern, Fused, HostTarget};
 use crate::error::VmError;
 use crate::host::{HostHandler, RooflineRuntime};
 use crate::lower::{cast_class, inst_class, un_class, un_flops};
@@ -78,6 +78,57 @@ pub enum Engine {
     Reference,
 }
 
+/// Execution-engine configuration bundle: which engine drives the VM and
+/// whether decodes run the superinstruction fusion pass. All four
+/// combinations are observably identical; only speed differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    pub engine: Engine,
+    pub fuse: bool,
+}
+
+impl Default for ExecConfig {
+    /// The fast default: decoded engine with fusion on.
+    fn default() -> ExecConfig {
+        ExecConfig {
+            engine: Engine::Decoded,
+            fuse: true,
+        }
+    }
+}
+
+/// Runtime superinstruction statistics: how often each pattern executed
+/// on its fused fast path, and how many MIR ops that covered. Tracked
+/// outside [`ExecStats`] on purpose — fusion must leave every observable
+/// (including `ExecStats`) bit-identical, and these counters exist
+/// precisely to report how much of the dynamic stream ran fused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionDynamics {
+    /// Fast-path executions per pattern ([`FusePattern::index`] order).
+    /// Bailed executions (fuel, would-trap access, PMU near overflow)
+    /// are not counted — they ran unfused.
+    pub executed: [u64; FusePattern::COUNT],
+    /// MIR ops covered by those fast-path executions, in
+    /// [`ExecStats::mir_ops`] accounting (terminators don't count).
+    pub mir_ops_fused: u64,
+}
+
+impl FusionDynamics {
+    /// Fraction of `total_mir_ops` that executed inside a fused fast
+    /// path (pass [`ExecStats::mir_ops`]).
+    pub fn coverage(&self, total_mir_ops: u64) -> f64 {
+        if total_mir_ops == 0 {
+            return 0.0;
+        }
+        self.mir_ops_fused as f64 / total_mir_ops as f64
+    }
+
+    /// Total fast-path executions across all patterns.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+}
+
 /// The execution engine. Owns the core, optional perf kernel, guest
 /// memory, and the roofline runtime.
 pub struct Vm<'m> {
@@ -113,6 +164,10 @@ pub struct Vm<'m> {
     /// Reusable callchain buffer for overflow samples, so sampling does
     /// not allocate on the measured path.
     chain_scratch: Vec<u64>,
+    /// Whether `decoded()` builds with superinstruction fusion.
+    fuse: bool,
+    /// Runtime fusion coverage (not part of the observable contract).
+    fused_dyn: FusionDynamics,
 }
 
 // The sweep engine's contract, enforced at compile time: a fully-loaded
@@ -171,6 +226,8 @@ impl<'m> Vm<'m> {
             arg_scratch: Vec::new(),
             ret_scratch: Vec::new(),
             chain_scratch: Vec::new(),
+            fuse: true,
+            fused_dyn: FusionDynamics::default(),
         }
     }
 
@@ -185,6 +242,35 @@ impl<'m> Vm<'m> {
         self.engine
     }
 
+    /// Apply an [`ExecConfig`] bundle (engine + fusion).
+    pub fn configure(&mut self, cfg: ExecConfig) {
+        self.set_engine(cfg.engine);
+        self.set_fusion(cfg.fuse);
+    }
+
+    /// Enable/disable decode-time superinstruction fusion (on by
+    /// default; the `--no-fuse` escape hatch). Observable behaviour is
+    /// identical either way — fusion changes speed, never observables.
+    /// Takes effect on the next decode: a cached decode of the other
+    /// flavour is dropped.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.fuse = on;
+        if self.decoded.as_ref().is_some_and(|d| d.fused != on) {
+            self.decoded = None;
+        }
+    }
+
+    /// Whether `decoded()` builds with superinstruction fusion.
+    pub fn fusion(&self) -> bool {
+        self.fuse
+    }
+
+    /// Runtime superinstruction coverage accumulated so far (zeroes on
+    /// the reference engine or with fusion disabled).
+    pub fn fusion_dynamics(&self) -> FusionDynamics {
+        self.fused_dyn
+    }
+
     /// The flat decoded form of the module, building (and caching) it on
     /// first use. The result is `Arc`-shared: hand it to other VMs over
     /// the same module via [`Vm::set_decoded`] — including VMs running
@@ -195,20 +281,22 @@ impl<'m> Vm<'m> {
         if let Some(d) = &self.decoded {
             return Arc::clone(d);
         }
-        let d = Arc::new(DecodedModule::decode(self.module));
+        let d = Arc::new(DecodedModule::decode_with(self.module, self.fuse));
         self.decoded = Some(Arc::clone(&d));
         d
     }
 
     /// Install a pre-built decode of this VM's module (it must come from
     /// an identical module, e.g. via [`crate::decode::decode_module`] or
-    /// [`Vm::decoded`] on a sibling VM).
+    /// [`Vm::decoded`] on a sibling VM). The decode's fusion flavour
+    /// wins: the VM's fusion flag is synced to it.
     pub fn set_decoded(&mut self, decoded: Arc<DecodedModule>) {
         assert_eq!(
             decoded.funcs.len(),
             self.module.num_funcs(),
             "decoded form does not match this module"
         );
+        self.fuse = decoded.fused;
         self.decoded = Some(decoded);
     }
 
@@ -641,9 +729,16 @@ impl<'m> Vm<'m> {
     }
 
     /// Decoded-engine main loop: an index-driven dispatch over the flat
-    /// op arrays. Per-op order of effects (evaluate → trap → write →
-    /// retire) mirrors `exec_inst`/`exec_term` exactly, so traps, stats,
-    /// cycles, and PMU state stay bit-identical to the reference engine.
+    /// op arrays, shaped for jump-table codegen — one dense `match` whose
+    /// arms are tight handler bodies. Per-op order of effects (evaluate →
+    /// trap → write → retire) mirrors `exec_inst`/`exec_term` exactly, so
+    /// traps, stats, cycles, and PMU state stay bit-identical to the
+    /// reference engine.
+    ///
+    /// The op/pc/register fetches are *unchecked*: `validate_func` pinned
+    /// every index (jump targets, register numbers, callee/host/fused
+    /// ids, terminator-last) at decode time, so the pre-validated stream
+    /// cannot index out of bounds — see the decode-module docs.
     #[allow(clippy::too_many_lines)]
     fn run_decoded(
         &mut self,
@@ -661,12 +756,18 @@ impl<'m> Vm<'m> {
                     executed: self.stats.machine_ops,
                 });
             }
-            let df = &dec.funcs[cur.func as usize];
+            debug_assert!((cur.func as usize) < dec.funcs.len());
+            // SAFETY: `cur.func` comes from a validated `CallFunc` callee
+            // or the entry `FuncId`; `ip` stays inside `ops` because
+            // every function ends in a (validated) terminator and every
+            // jump target was range-checked at decode time.
+            let df = unsafe { dec.funcs.get_unchecked(cur.func as usize) };
             let ip = cur.ip as usize;
-            let pc = df.pcs[ip];
+            debug_assert!(ip < df.ops.len());
+            let pc = unsafe { *df.pcs.get_unchecked(ip) };
             let base = cur.base as usize;
             cur.ip += 1;
-            match &df.ops[ip] {
+            match unsafe { df.ops.get_unchecked(ip) } {
                 DecodedOp::Bin { op, class, flops, dst, lhs, rhs } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval(base, *lhs);
@@ -675,11 +776,26 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, v);
                     self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                 }
+                DecodedOp::BinI { op, class, dst, lhs, rhs } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval_i64(base, *lhs);
+                    let b = self.deval_i64(base, *rhs);
+                    let v = eval_bin_i64(*op, a, b, pc)?;
+                    self.dset(base, *dst, Value::I64(v));
+                    self.retire_d(MachineOp::simple(*class, pc));
+                }
                 DecodedOp::Cmp { op, dst, lhs, rhs } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval(base, *lhs);
                     let b = self.deval(base, *rhs);
                     self.dset(base, *dst, Value::Bool(eval_cmp(*op, &a, &b)));
+                    self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                }
+                DecodedOp::CmpI { op, dst, lhs, rhs } => {
+                    self.stats.mir_ops += 1;
+                    let a = self.deval_i64(base, *lhs);
+                    let b = self.deval_i64(base, *rhs);
+                    self.dset(base, *dst, Value::Bool(cmp_i64(*op, a, b)));
                     self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
                 }
                 DecodedOp::Un { op, class, flops, dst, src } => {
@@ -712,8 +828,8 @@ impl<'m> Vm<'m> {
                 }
                 DecodedOp::Load { class, dst, addr, mem, lanes, stride } => {
                     self.stats.mir_ops += 1;
-                    let a = self.deval(base, *addr).as_i64() as u64;
-                    let st = self.deval(base, *stride).as_i64();
+                    let a = self.deval_i64(base, *addr) as u64;
+                    let st = self.deval_i64(base, *stride);
                     let v = self.load_value(a, *mem, *lanes, st)?;
                     self.dset(base, *dst, v);
                     let mref = MemRef {
@@ -727,8 +843,8 @@ impl<'m> Vm<'m> {
                 }
                 DecodedOp::Store { class, addr, val, mem, lanes, stride } => {
                     self.stats.mir_ops += 1;
-                    let a = self.deval(base, *addr).as_i64() as u64;
-                    let st = self.deval(base, *stride).as_i64();
+                    let a = self.deval_i64(base, *addr) as u64;
+                    let st = self.deval_i64(base, *stride);
                     let v = self.deval(base, *val);
                     self.store_value(a, *mem, *lanes, st, &v)?;
                     let mref = MemRef {
@@ -742,14 +858,14 @@ impl<'m> Vm<'m> {
                 }
                 DecodedOp::PtrAdd { dst, base: b, offset } => {
                     self.stats.mir_ops += 1;
-                    let bv = self.deval(base, *b).as_i64();
-                    let o = self.deval(base, *offset).as_i64();
+                    let bv = self.deval_i64(base, *b);
+                    let o = self.deval_i64(base, *offset);
                     self.dset(base, *dst, Value::I64(bv.wrapping_add(o)));
                     self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
                 }
                 DecodedOp::Select { dst, cond, t, f } => {
                     self.stats.mir_ops += 1;
-                    let c = self.deval(base, *cond).as_bool();
+                    let c = self.deval_bool(base, *cond);
                     let v = if c {
                         self.deval(base, *t)
                     } else {
@@ -813,7 +929,8 @@ impl<'m> Vm<'m> {
                             depth: self.dstack.len(),
                         });
                     }
-                    let cf = &dec.funcs[*callee as usize];
+                    // SAFETY: callee ids are validated at decode time.
+                    let cf = unsafe { dec.funcs.get_unchecked(*callee as usize) };
                     let new_base = self.dregs.len();
                     self.dregs
                         .resize(new_base + cf.num_regs as usize, Value::I64(0));
@@ -900,7 +1017,7 @@ impl<'m> Vm<'m> {
                     cur.ip = *target;
                 }
                 DecodedOp::CondBr { cond, t, f } => {
-                    let c = self.deval(base, *cond).as_bool();
+                    let c = self.deval_bool(base, *cond);
                     self.retire_d(MachineOp::simple(OpClass::Branch, pc).with_taken(c));
                     cur.ip = if c { *t } else { *f };
                 }
@@ -928,14 +1045,431 @@ impl<'m> Vm<'m> {
                     self.dregs.truncate(base);
                     self.ret_scratch = out;
                 }
+                DecodedOp::Fused(fi) => {
+                    debug_assert!((*fi as usize) < df.fused.len());
+                    // SAFETY: fused indices validated at decode time; the
+                    // pattern window `ip..ip+width` is inside `ops`/`pcs`
+                    // (checked by `validate_func`), so the constituent pc
+                    // fetches below are in range.
+                    let fu = unsafe { df.fused.get_unchecked(*fi as usize) };
+                    let pc2 = unsafe { *df.pcs.get_unchecked(ip + 1) };
+                    match fu {
+                        Fused::CmpBranch { op, c_dst, lhs, rhs, int, write_cmp, t, f } => {
+                            let c = if *int {
+                                cmp_i64(
+                                    *op,
+                                    self.deval_i64(base, *lhs),
+                                    self.deval_i64(base, *rhs),
+                                )
+                            } else {
+                                let a = self.deval(base, *lhs);
+                                let b = self.deval(base, *rhs);
+                                eval_cmp(*op, &a, &b)
+                            };
+                            if self.stats.machine_ops + 1 >= self.fuel
+                                || !self.core.fused_ready_nomem()
+                            {
+                                // Bail: the original `Cmp`, unfused; the
+                                // loop resumes at the retained `CondBr`.
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *c_dst, Value::Bool(c));
+                                self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                                continue;
+                            }
+                            // Terminators don't count as MIR ops (as in
+                            // both unfused engines): only the Cmp does.
+                            self.stats.mir_ops += 1;
+                            if *write_cmp {
+                                self.dset(base, *c_dst, Value::Bool(c));
+                            }
+                            let info = self.core.retire_fused_branch(1, pc2, c);
+                            self.account_fused(info, 2, 1, FusePattern::CmpBranch, pc2);
+                            cur.ip = if c { *t } else { *f };
+                        }
+                        Fused::IncCmpBranch {
+                            i_op, i_dst, i_lhs, i_rhs, c_op, c_dst, c_lhs, c_rhs,
+                            c_int, write_cmp, t, f,
+                        } => {
+                            let a = self.deval_i64(base, *i_lhs);
+                            let b = self.deval_i64(base, *i_rhs);
+                            let iv = match i_op {
+                                BinOp::Add => a.wrapping_add(b),
+                                BinOp::Sub => a.wrapping_sub(b),
+                                other => unreachable!("fusion admits {other:?} back edge"),
+                            };
+                            if self.stats.machine_ops + 2 >= self.fuel
+                                || !self.core.fused_ready_nomem()
+                            {
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *i_dst, Value::I64(iv));
+                                self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+                                continue;
+                            }
+                            // The CondBr terminator is not a MIR op.
+                            self.stats.mir_ops += 2;
+                            self.dset(base, *i_dst, Value::I64(iv));
+                            let c = if *c_int {
+                                cmp_i64(
+                                    *c_op,
+                                    self.deval_i64(base, *c_lhs),
+                                    self.deval_i64(base, *c_rhs),
+                                )
+                            } else {
+                                let ca = self.deval(base, *c_lhs);
+                                let cb = self.deval(base, *c_rhs);
+                                eval_cmp(*c_op, &ca, &cb)
+                            };
+                            if *write_cmp {
+                                self.dset(base, *c_dst, Value::Bool(c));
+                            }
+                            let pc3 = unsafe { *df.pcs.get_unchecked(ip + 2) };
+                            let info = self.core.retire_fused_branch(2, pc3, c);
+                            self.account_fused(info, 3, 2, FusePattern::IncCmpBranch, pc3);
+                            cur.ip = if c { *t } else { *f };
+                        }
+                        Fused::BinCopy { op, class, flops, int, b_dst, lhs, rhs, write_bin, dst } => {
+                            // Div/Rem never fuses, so neither lane traps.
+                            let v = if *int {
+                                Value::I64(eval_bin_i64(
+                                    *op,
+                                    self.deval_i64(base, *lhs),
+                                    self.deval_i64(base, *rhs),
+                                    pc,
+                                )?)
+                            } else {
+                                let a = self.deval(base, *lhs);
+                                let b = self.deval(base, *rhs);
+                                eval_bin(*op, &a, &b, pc)?
+                            };
+                            if self.stats.machine_ops + 1 >= self.fuel
+                                || !self.core.fused_ready_nomem()
+                            {
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *b_dst, v);
+                                self.retire_d(
+                                    MachineOp::simple(*class, pc).with_flops(*flops),
+                                );
+                                continue;
+                            }
+                            self.stats.mir_ops += 2;
+                            if *write_bin {
+                                self.dset(base, *b_dst, v.clone());
+                            }
+                            self.dset(base, *dst, v);
+                            let info = if *flops == 0 {
+                                self.core.retire_fused_simple(&[*class, OpClass::Move])
+                            } else {
+                                // FP assignment: the FLOP event needs the
+                                // full batch path.
+                                self.core.retire_fused(&[
+                                    MachineOp::simple(*class, pc).with_flops(*flops),
+                                    MachineOp::simple(OpClass::Move, pc2),
+                                ])
+                            };
+                            self.account_fused(info, 2, 2, FusePattern::BinCopy, pc2);
+                            cur.ip = ip as u32 + 2;
+                        }
+                        Fused::AddrLoad { a_dst, base: b_op, offset, write_addr, dst, mem } => {
+                            let bv = self.deval_i64(base, *b_op);
+                            let ov = self.deval_i64(base, *offset);
+                            let addr = bv.wrapping_add(ov);
+                            let bytes = mem.bytes() as u64;
+                            if self.stats.machine_ops + 1 >= self.fuel
+                                || !self.mem.in_bounds(addr as u64, bytes)
+                                || !self.core.fused_ready()
+                            {
+                                // Bail: the original `PtrAdd`; a would-trap
+                                // load faults in the retained unfused op.
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *a_dst, Value::I64(addr));
+                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+                                continue;
+                            }
+                            self.stats.mir_ops += 2;
+                            if *write_addr {
+                                self.dset(base, *a_dst, Value::I64(addr));
+                            }
+                            let v = self.load_scalar(addr as u64, *mem)?;
+                            self.dset(base, *dst, v);
+                            let ops = [
+                                MachineOp::simple(OpClass::AddrCalc, pc),
+                                MachineOp::simple(OpClass::Load, pc2)
+                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, false)),
+                            ];
+                            self.finish_fused(&ops, 2, FusePattern::AddrLoad);
+                            cur.ip = ip as u32 + 2;
+                        }
+                        Fused::AddrStore { a_dst, base: b_op, offset, write_addr, val, mem } => {
+                            let bv = self.deval_i64(base, *b_op);
+                            let ov = self.deval_i64(base, *offset);
+                            let addr = bv.wrapping_add(ov);
+                            let bytes = mem.bytes() as u64;
+                            if self.stats.machine_ops + 1 >= self.fuel
+                                || !self.mem.in_bounds(addr as u64, bytes)
+                                || !self.core.fused_ready()
+                            {
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *a_dst, Value::I64(addr));
+                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+                                continue;
+                            }
+                            self.stats.mir_ops += 2;
+                            if *write_addr {
+                                self.dset(base, *a_dst, Value::I64(addr));
+                            }
+                            let v = self.subst(base, *val, *a_dst, addr);
+                            self.store_scalar(addr as u64, *mem, &v)?;
+                            let ops = [
+                                MachineOp::simple(OpClass::AddrCalc, pc),
+                                MachineOp::simple(OpClass::Store, pc2)
+                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, true)),
+                            ];
+                            self.finish_fused(&ops, 2, FusePattern::AddrStore);
+                            cur.ip = ip as u32 + 2;
+                        }
+                        Fused::LoadOp {
+                            l_dst, addr, mem, int, write_load, op, class, flops, b_dst, lhs, rhs,
+                        } => {
+                            let av = self.deval_i64(base, *addr) as u64;
+                            let bytes = mem.bytes() as u64;
+                            if self.stats.machine_ops + 1 >= self.fuel
+                                || !self.mem.in_bounds(av, bytes)
+                                || !self.core.fused_ready()
+                            {
+                                // Bail: the original scalar `Load`
+                                // (including its trap, when out of
+                                // bounds); the loop resumes at the
+                                // retained `Bin`.
+                                self.stats.mir_ops += 1;
+                                let v = self.load_scalar(av, *mem)?;
+                                self.dset(base, *l_dst, v);
+                                self.retire_d(
+                                    MachineOp::simple(OpClass::Load, pc)
+                                        .with_mem(MemRef::scalar(av, bytes as u32, false)),
+                                );
+                                continue;
+                            }
+                            self.stats.mir_ops += 2;
+                            if *int {
+                                let x = self.load_scalar_i64(av, *mem)?;
+                                if *write_load {
+                                    self.dset(base, *l_dst, Value::I64(x));
+                                }
+                                let a = self.subst_i64(base, *lhs, *l_dst, x);
+                                let b = self.subst_i64(base, *rhs, *l_dst, x);
+                                let r = eval_bin_i64(*op, a, b, pc2)?;
+                                self.dset(base, *b_dst, Value::I64(r));
+                            } else {
+                                let v = self.load_scalar(av, *mem)?;
+                                if *write_load {
+                                    self.dset(base, *l_dst, v.clone());
+                                }
+                                let a = self.subst_val(base, *lhs, *l_dst, &v);
+                                let b = self.subst_val(base, *rhs, *l_dst, &v);
+                                let r = eval_bin(*op, &a, &b, pc2)?;
+                                self.dset(base, *b_dst, r);
+                            }
+                            let ops = [
+                                MachineOp::simple(OpClass::Load, pc)
+                                    .with_mem(MemRef::scalar(av, bytes as u32, false)),
+                                MachineOp::simple(*class, pc2).with_flops(*flops),
+                            ];
+                            self.finish_fused(&ops, 2, FusePattern::LoadOp);
+                            cur.ip = ip as u32 + 2;
+                        }
+                        Fused::AddrLoadOp {
+                            a_dst, base: b_op, offset, write_addr, l_dst, mem, int, write_load,
+                            op, class, flops, b_dst, lhs, rhs,
+                        } => {
+                            let bv = self.deval_i64(base, *b_op);
+                            let ov = self.deval_i64(base, *offset);
+                            let addr = bv.wrapping_add(ov);
+                            let bytes = mem.bytes() as u64;
+                            if self.stats.machine_ops + 2 >= self.fuel
+                                || !self.mem.in_bounds(addr as u64, bytes)
+                                || !self.core.fused_ready()
+                            {
+                                self.stats.mir_ops += 1;
+                                self.dset(base, *a_dst, Value::I64(addr));
+                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+                                continue;
+                            }
+                            self.stats.mir_ops += 3;
+                            if *write_addr {
+                                self.dset(base, *a_dst, Value::I64(addr));
+                            }
+                            let pc3 = unsafe { *df.pcs.get_unchecked(ip + 2) };
+                            // Resolve bin operands: the loaded value
+                            // shadows the address register when both are
+                            // the same register (the load's write is the
+                            // later one in the unfused order).
+                            if *int {
+                                let x = self.load_scalar_i64(addr as u64, *mem)?;
+                                if *write_load {
+                                    self.dset(base, *l_dst, Value::I64(x));
+                                }
+                                let a = self.subst2_i64(base, *lhs, *l_dst, x, *a_dst, addr);
+                                let b = self.subst2_i64(base, *rhs, *l_dst, x, *a_dst, addr);
+                                let r = eval_bin_i64(*op, a, b, pc3)?;
+                                self.dset(base, *b_dst, Value::I64(r));
+                            } else {
+                                let v = self.load_scalar(addr as u64, *mem)?;
+                                if *write_load {
+                                    self.dset(base, *l_dst, v.clone());
+                                }
+                                let a = self.subst2(base, *lhs, *l_dst, &v, *a_dst, addr);
+                                let b = self.subst2(base, *rhs, *l_dst, &v, *a_dst, addr);
+                                let r = eval_bin(*op, &a, &b, pc3)?;
+                                self.dset(base, *b_dst, r);
+                            }
+                            let ops = [
+                                MachineOp::simple(OpClass::AddrCalc, pc),
+                                MachineOp::simple(OpClass::Load, pc2)
+                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, false)),
+                                MachineOp::simple(*class, pc3).with_flops(*flops),
+                            ];
+                            self.finish_fused(&ops, 3, FusePattern::AddrLoadOp);
+                            cur.ip = ip as u32 + 3;
+                        }
+                    }
+                }
             }
+        }
+    }
+
+    /// Retire one fused superinstruction (its constituents as a single
+    /// batched tick) and account the dynamic coverage. Callers checked
+    /// [`mperf_sim::Core::fused_ready`], so no overflow can fire here;
+    /// the release-mode fallback delivers at the batch's last pc rather
+    /// than losing the sample.
+    #[inline]
+    fn finish_fused(&mut self, ops: &[MachineOp], mir_ops: u64, pat: FusePattern) {
+        let info = self.core.retire_fused(ops);
+        let last_pc = ops[ops.len() - 1].pc;
+        self.account_fused(info, ops.len() as u64, mir_ops, pat, last_pc);
+    }
+
+    /// Book one fused fast-path execution: machine-op/MIR-op accounting
+    /// plus the release-mode overflow fallback (unreachable when the
+    /// `fused_ready*` guard held — delivered at the batch's last pc
+    /// rather than losing the sample).
+    #[inline]
+    fn account_fused(
+        &mut self,
+        info: mperf_sim::RetireInfo,
+        machine_ops: u64,
+        mir_ops: u64,
+        pat: FusePattern,
+        last_pc: u64,
+    ) {
+        self.stats.machine_ops += machine_ops;
+        self.fused_dyn.executed[pat.index()] += 1;
+        self.fused_dyn.mir_ops_fused += mir_ops;
+        if info.overflow != 0 {
+            self.deliver_overflow(last_pc, info.overflow, Engine::Decoded);
+        }
+    }
+
+    /// Operand resolution with one substituted register: reads of `r`
+    /// yield the address value `addr` instead of the (possibly skipped)
+    /// register-stack slot.
+    #[inline]
+    fn subst(&self, base: usize, o: Operand, r: u32, addr: i64) -> Value {
+        match o {
+            Operand::Reg(reg) if reg.index() as u32 == r => Value::I64(addr),
+            _ => self.deval(base, o),
+        }
+    }
+
+    /// Operand resolution substituting reads of `r` with value `v`.
+    #[inline]
+    fn subst_val(&self, base: usize, o: Operand, r: u32, v: &Value) -> Value {
+        match o {
+            Operand::Reg(reg) if reg.index() as u32 == r => v.clone(),
+            _ => self.deval(base, o),
+        }
+    }
+
+    /// Operand resolution with two substitutions, `r1` (loaded value)
+    /// shadowing `r2` (address register).
+    #[inline]
+    fn subst2(&self, base: usize, o: Operand, r1: u32, v: &Value, r2: u32, addr: i64) -> Value {
+        match o {
+            Operand::Reg(reg) if reg.index() as u32 == r1 => v.clone(),
+            Operand::Reg(reg) if reg.index() as u32 == r2 => Value::I64(addr),
+            _ => self.deval(base, o),
+        }
+    }
+
+    /// Raw-`i64` lane of [`Vm::subst_val`].
+    #[inline]
+    fn subst_i64(&self, base: usize, o: Operand, r: u32, x: i64) -> i64 {
+        match o {
+            Operand::Reg(reg) if reg.index() as u32 == r => x,
+            _ => self.deval_i64(base, o),
+        }
+    }
+
+    /// Raw-`i64` lane of [`Vm::subst2`].
+    #[inline]
+    fn subst2_i64(&self, base: usize, o: Operand, r1: u32, x: i64, r2: u32, addr: i64) -> i64 {
+        match o {
+            Operand::Reg(reg) if reg.index() as u32 == r1 => x,
+            Operand::Reg(reg) if reg.index() as u32 == r2 => addr,
+            _ => self.deval_i64(base, o),
+        }
+    }
+
+    /// Read an `i64` operand without cloning the `Value` enum — the
+    /// type-specialized lane behind [`DecodedOp::BinI`] and friends.
+    ///
+    /// # Panics
+    /// On non-integer values (type confusion; the verifier excludes it),
+    /// matching [`Value::as_i64`]'s contract.
+    #[inline]
+    fn deval_i64(&self, base: usize, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => {
+                debug_assert!(base + r.index() < self.dregs.len());
+                // SAFETY: see `deval`.
+                match unsafe { self.dregs.get_unchecked(base + r.index()) } {
+                    Value::I64(v) => *v,
+                    other => panic!("expected i64, found {other:?}"),
+                }
+            }
+            Operand::I64(v) => v,
+            other => panic!("expected i64, found {other:?}"),
+        }
+    }
+
+    /// Read a `bool` operand without cloning; see [`Vm::deval_i64`].
+    #[inline]
+    fn deval_bool(&self, base: usize, op: Operand) -> bool {
+        match op {
+            Operand::Reg(r) => {
+                debug_assert!(base + r.index() < self.dregs.len());
+                // SAFETY: see `deval`.
+                match unsafe { self.dregs.get_unchecked(base + r.index()) } {
+                    Value::Bool(v) => *v,
+                    other => panic!("expected bool, found {other:?}"),
+                }
+            }
+            Operand::Bool(v) => v,
+            other => panic!("expected bool, found {other:?}"),
         }
     }
 
     #[inline]
     fn deval(&self, base: usize, op: Operand) -> Value {
         match op {
-            Operand::Reg(r) => self.dregs[base + r.index()].clone(),
+            Operand::Reg(r) => {
+                debug_assert!(base + r.index() < self.dregs.len());
+                // SAFETY: operand registers are < num_regs (validated at
+                // decode time) and the active frame's register window
+                // `base..base + num_regs` is inside `dregs` by the
+                // call-path resize invariant.
+                unsafe { self.dregs.get_unchecked(base + r.index()).clone() }
+            }
             Operand::I64(v) => Value::I64(v),
             Operand::F32(v) => Value::F32(v),
             Operand::F64(v) => Value::F64(v),
@@ -945,7 +1479,12 @@ impl<'m> Vm<'m> {
 
     #[inline]
     fn dset(&mut self, base: usize, dst: u32, v: Value) {
-        self.dregs[base + dst as usize] = v;
+        debug_assert!(base + (dst as usize) < self.dregs.len());
+        // SAFETY: destination registers are < num_regs (validated at
+        // decode time); window invariant as in `deval`.
+        unsafe {
+            *self.dregs.get_unchecked_mut(base + dst as usize) = v;
+        }
     }
 
     fn call_host(&mut self, name: &str, args: &[Value], pc: u64) -> Result<Vec<Value>, VmError> {
@@ -974,16 +1513,51 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Scalar (`lanes == 1`) load — the shape fused superinstructions
+    /// handle (their fast path pre-checks bounds, so this cannot fail
+    /// there; the bail path uses the error like the unfused op).
+    #[inline]
+    fn load_scalar(&mut self, base: u64, mem: MemTy) -> Result<Value, VmError> {
+        Ok(match mem {
+            MemTy::I8 => Value::I64(self.mem.read::<1>(base)?[0] as i64),
+            MemTy::I16 => Value::I64(u16::from_le_bytes(self.mem.read::<2>(base)?) as i64),
+            MemTy::I32 => Value::I64(u32::from_le_bytes(self.mem.read::<4>(base)?) as i64),
+            MemTy::I64 => Value::I64(self.mem.read_u64(base)? as i64),
+            MemTy::F32 => Value::F32(self.mem.read_f32(base)?),
+            MemTy::F64 => Value::F64(self.mem.read_f64(base)?),
+        })
+    }
+
+    /// Raw-`i64` lane of [`Vm::load_scalar`] for integer memory types
+    /// (zero-extension semantics identical to the `Value` lane).
+    #[inline]
+    fn load_scalar_i64(&mut self, base: u64, mem: MemTy) -> Result<i64, VmError> {
+        Ok(match mem {
+            MemTy::I8 => self.mem.read::<1>(base)?[0] as i64,
+            MemTy::I16 => u16::from_le_bytes(self.mem.read::<2>(base)?) as i64,
+            MemTy::I32 => u32::from_le_bytes(self.mem.read::<4>(base)?) as i64,
+            MemTy::I64 => self.mem.read_u64(base)? as i64,
+            other => unreachable!("integer chain loads {other}"),
+        })
+    }
+
+    /// Scalar (`lanes == 1`) store; see [`Vm::load_scalar`].
+    #[inline]
+    fn store_scalar(&mut self, base: u64, mem: MemTy, v: &Value) -> Result<(), VmError> {
+        match (mem, v) {
+            (MemTy::I8, Value::I64(x)) => self.mem.write(base, &[(*x as u8)]),
+            (MemTy::I16, Value::I64(x)) => self.mem.write(base, &(*x as u16).to_le_bytes()),
+            (MemTy::I32, Value::I64(x)) => self.mem.write(base, &(*x as u32).to_le_bytes()),
+            (MemTy::I64, Value::I64(x)) => self.mem.write_u64(base, *x as u64),
+            (MemTy::F32, Value::F32(x)) => self.mem.write_f32(base, *x),
+            (MemTy::F64, Value::F64(x)) => self.mem.write_f64(base, *x),
+            (m, v) => unreachable!("verifier admits store {m} of {v:?}"),
+        }
+    }
+
     fn load_value(&mut self, base: u64, mem: MemTy, lanes: u8, stride: i64) -> Result<Value, VmError> {
         if lanes == 1 {
-            return Ok(match mem {
-                MemTy::I8 => Value::I64(self.mem.read::<1>(base)?[0] as i64),
-                MemTy::I16 => Value::I64(u16::from_le_bytes(self.mem.read::<2>(base)?) as i64),
-                MemTy::I32 => Value::I64(u32::from_le_bytes(self.mem.read::<4>(base)?) as i64),
-                MemTy::I64 => Value::I64(self.mem.read_u64(base)? as i64),
-                MemTy::F32 => Value::F32(self.mem.read_f32(base)?),
-                MemTy::F64 => Value::F64(self.mem.read_f64(base)?),
-            });
+            return self.load_scalar(base, mem);
         }
         match mem {
             MemTy::F32 => {
@@ -1023,15 +1597,7 @@ impl<'m> Vm<'m> {
         v: &Value,
     ) -> Result<(), VmError> {
         if lanes == 1 {
-            return match (mem, v) {
-                (MemTy::I8, Value::I64(x)) => self.mem.write(base, &[(*x as u8)]),
-                (MemTy::I16, Value::I64(x)) => self.mem.write(base, &(*x as u16).to_le_bytes()),
-                (MemTy::I32, Value::I64(x)) => self.mem.write(base, &(*x as u32).to_le_bytes()),
-                (MemTy::I64, Value::I64(x)) => self.mem.write_u64(base, *x as u64),
-                (MemTy::F32, Value::F32(x)) => self.mem.write_f32(base, *x),
-                (MemTy::F64, Value::F64(x)) => self.mem.write_f64(base, *x),
-                (m, v) => unreachable!("verifier admits store {m} of {v:?}"),
-            };
+            return self.store_scalar(base, mem, v);
         }
         match (mem, v) {
             (MemTy::F32, Value::VF32(xs)) => {
@@ -1057,6 +1623,48 @@ impl<'m> Vm<'m> {
             }
             (m, v) => unreachable!("verifier admits vstore {m} of {v:?}"),
         }
+    }
+}
+
+/// Scalar-integer binary evaluation on raw `i64`s — bit-identical to
+/// [`eval_bin`]'s `I64` arms (including the division-by-zero trap).
+#[inline]
+fn eval_bin_i64(op: BinOp, x: i64, y: i64, pc: u64) -> Result<i64, VmError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(VmError::DivisionByZero { pc });
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(VmError::DivisionByZero { pc });
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+        other => unreachable!("verifier admits integer {other:?}"),
+    })
+}
+
+/// Scalar-integer compare — bit-identical to [`eval_cmp`]'s `I64` arm.
+#[inline]
+fn cmp_i64(op: CmpOp, x: i64, y: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
     }
 }
 
@@ -1361,6 +1969,43 @@ mod tests {
         let a = vm.mem.alloc(16, 8).unwrap();
         let out = vm.call("f", &[Value::I64(a as i64)]).unwrap();
         assert_eq!(out, vec![Value::I64(300 & 0xff)]);
+    }
+
+    /// Fusion coverage is reported (outside the observable contract) and
+    /// the engine configurations agree on every observable.
+    #[test]
+    fn fusion_dynamics_report_coverage() {
+        let src = r#"
+            fn work(p: *i64, n: i64) -> i64 {
+                var s: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) { s = s + p[i % 32]; }
+                return s;
+            }
+        "#;
+        let mut module = compile("t", src).unwrap();
+        mperf_ir::transform::PassManager::standard().run(&mut module);
+        let run = |fuse: bool| {
+            let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+            vm.set_fusion(fuse);
+            let p = vm.mem.alloc(8 * 32, 8).unwrap();
+            for i in 0..32u64 {
+                vm.mem.write_u64(p + i * 8, i).unwrap();
+            }
+            let out = vm
+                .call("work", &[Value::I64(p as i64), Value::I64(500)])
+                .unwrap();
+            (out, vm.stats(), vm.core.cycles(), vm.fusion_dynamics())
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        assert_eq!(fused.0, unfused.0, "return values");
+        assert_eq!(fused.1, unfused.1, "ExecStats");
+        assert_eq!(fused.2, unfused.2, "cycles");
+        let dynv = fused.3;
+        assert!(dynv.total_executed() > 400, "loop body runs fused: {dynv:?}");
+        let cov = dynv.coverage(fused.1.mir_ops);
+        assert!(cov > 0.2 && cov <= 1.0, "sane dynamic coverage: {cov}");
+        assert_eq!(unfused.3.total_executed(), 0, "no-fuse reports zero");
     }
 
     #[test]

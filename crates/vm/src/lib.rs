@@ -33,6 +33,61 @@
 //!    the semantic baseline; both produce bit-identical `ExecStats`,
 //!    cycles, and PMU state.
 //!
+//! ## Superinstruction fusion
+//!
+//! After flattening, a decode-time peephole pass rewrites the hottest
+//! adjacent op pairs/triples into superinstructions with dedicated
+//! handlers ([`decode::Fused`]); the decoded hot loop itself is shaped
+//! for jump-table dispatch with **no per-op bounds checks** — every
+//! index (jump targets, register numbers, callee/host/fused ids) is
+//! pinned once per decode by `validate_func`, and scalar-integer ops
+//! are type-specialized at decode time (`BinI`/`CmpI`) so the handlers
+//! move raw `i64`s instead of cloning `Value` enums.
+//!
+//! | pattern ([`decode::FusePattern`]) | shape | width |
+//! |---|---|---|
+//! | `addr+load` | `ptradd` + scalar `load` | 2 |
+//! | `addr+store` | `ptradd` + scalar `store` | 2 |
+//! | `cmp+br` | `cmp` + `condbr` (compare-and-branch) | 2 |
+//! | `load+op` | scalar `load` + bin consuming it | 2 |
+//! | `bin+copy` | bin + `copy` of its result (assignments) | 2 |
+//! | `inc+cmp+br` | `add/sub` + `cmp` + `condbr` (counted-loop back edge) | 3 |
+//! | `addr+load+op` | `ptradd` + scalar `load` + bin | 3 |
+//!
+//! **The observables-invariance contract.** Fusion changes speed, never
+//! observables: return values, [`ExecStats`], cycle counts, PMU counter
+//! files, and the exact op at which an overflow interrupt fires (hence
+//! sampling IPs/callchains) are bit-identical to the unfused and
+//! reference engines — property-tested in `tests/properties.rs` on all
+//! four platform models. Three mechanisms enforce it:
+//!
+//! - a fused batch retires through `Core::retire_fused*` only when
+//!   `Core::fused_ready*` proves no PMU counter can wrap within a
+//!   conservative event bound (the batched-PMU watermark, extended to
+//!   multi-op batches); otherwise the superinstruction **bails** —
+//!   executes its first constituent unfused and resumes at the original
+//!   next op, which is still present in the stream (fusion replaces
+//!   only the pattern's first slot);
+//! - trap-capable interiors never fuse (`div`/`rem`) or pre-check
+//!   (loads/stores probe bounds and bail on a would-trap access), so
+//!   trap points and partial state match op-for-op; intermediate fuel
+//!   exhaustion bails the same way;
+//! - an intermediate register write is skipped only when decode-time
+//!   read counting proves every read of that register is substituted
+//!   inside the handler.
+//!
+//! **Adding a pattern**: extend [`decode::FusePattern`] (+ `ALL`,
+//! `index`, `name`, `width`) and [`decode::Fused`], recognize the shape
+//! in `pattern_at` (longest-first; compute `write_*` flags from the
+//! read counts), validate its payload in `validate_func`, and give it a
+//! handler in `interp::Vm::run_decoded` with a bail path that executes
+//! exactly the first constituent. The equivalence properties then gate
+//! the observables for free. Static site counts live in
+//! [`decode::FusionStats`] on the decode; dynamic coverage in
+//! [`interp::FusionDynamics`] on the VM (deliberately outside
+//! `ExecStats`). `--no-fuse` (CLI) / [`Vm::set_fusion`] /
+//! [`decode_module_with`] disable the pass for bisection.
+//!
 //! ## The `Arc`/`Send` contract
 //!
 //! The roofline methodology is a *sweep*: every chart multiplies
@@ -82,9 +137,11 @@ pub mod lower;
 pub mod memory;
 pub mod value;
 
-pub use decode::{decode_module, DecodedModule, DecodedOp};
+pub use decode::{
+    decode_module, decode_module_with, DecodedModule, DecodedOp, FusePattern, Fused, FusionStats,
+};
 pub use error::VmError;
 pub use host::{HostHandler, RegionStats, RooflineRuntime};
-pub use interp::{Engine, ExecStats, Vm};
+pub use interp::{Engine, ExecConfig, ExecStats, FusionDynamics, Vm};
 pub use memory::GuestMemory;
 pub use value::{Lanes, Value};

@@ -74,11 +74,13 @@ fn run_equiv(
     module: &mperf_ir::Module,
     spec: PlatformSpec,
     engine: Engine,
+    fuse: bool,
     data: &[i64],
     n: i64,
 ) -> (Vec<Value>, mperf_vm::ExecStats, u64, u64, Vec<u64>) {
     let mut vm = Vm::with_memory(module, Core::new(spec), 1 << 20);
     vm.set_engine(engine);
+    vm.set_fusion(fuse);
     let base = vm.mem.alloc(8 * data.len() as u64, 8).unwrap();
     for (i, v) in data.iter().enumerate() {
         vm.mem.write_u64(base + i as u64 * 8, *v as u64).unwrap();
@@ -191,12 +193,13 @@ proptest! {
         }
     }
 
-    /// The decoded engine is observably identical to the reference
-    /// interpreter: for generated programs (random template, input data,
-    /// and trip count, with and without the optimization pipeline) both
-    /// engines return the same values and leave bit-identical
-    /// `ExecStats`, cycle counts, instruction counts, and PMU counter
-    /// files on every platform model.
+    /// The decoded engine — fused *and* unfused — is observably
+    /// identical to the reference interpreter: for generated programs
+    /// (random template, input data, and trip count, with and without
+    /// the optimization pipeline) all three configurations return the
+    /// same values and leave bit-identical `ExecStats`, cycle counts,
+    /// instruction counts, and PMU counter files on every platform
+    /// model. Superinstruction fusion changes speed, never observables.
     #[test]
     fn decoded_engine_matches_reference(
         tpl in 0usize..4,
@@ -214,13 +217,24 @@ proptest! {
             PlatformSpec::u74(),
             PlatformSpec::i5_1135g7(),
         ] {
-            let reference = run_equiv(&module, spec.clone(), Engine::Reference, &data, n);
-            let decoded = run_equiv(&module, spec.clone(), Engine::Decoded, &data, n);
-            prop_assert_eq!(&reference.0, &decoded.0, "return values ({})", spec.name);
-            prop_assert_eq!(reference.1, decoded.1, "ExecStats ({})", spec.name);
-            prop_assert_eq!(reference.2, decoded.2, "cycles ({})", spec.name);
-            prop_assert_eq!(reference.3, decoded.3, "instructions ({})", spec.name);
-            prop_assert_eq!(&reference.4, &decoded.4, "PMU counters ({})", spec.name);
+            let reference = run_equiv(&module, spec.clone(), Engine::Reference, true, &data, n);
+            for (label, fuse) in [("fused", true), ("unfused", false)] {
+                let decoded = run_equiv(&module, spec.clone(), Engine::Decoded, fuse, &data, n);
+                prop_assert_eq!(
+                    &reference.0, &decoded.0,
+                    "return values ({}, {})", spec.name, label
+                );
+                prop_assert_eq!(reference.1, decoded.1, "ExecStats ({}, {})", spec.name, label);
+                prop_assert_eq!(reference.2, decoded.2, "cycles ({}, {})", spec.name, label);
+                prop_assert_eq!(
+                    reference.3, decoded.3,
+                    "instructions ({}, {})", spec.name, label
+                );
+                prop_assert_eq!(
+                    &reference.4, &decoded.4,
+                    "PMU counters ({}, {})", spec.name, label
+                );
+            }
         }
     }
 
@@ -230,7 +244,9 @@ proptest! {
     /// `RegionMeasurement`s, `ExecStats`, cycle counts, instruction
     /// counts, and PMU counter files as `jobs = 1` on every platform
     /// model — and the batched `run_roofline_sweep` over all four
-    /// platforms at once agrees cell for cell.
+    /// platforms at once agrees cell for cell. The sweep runs the
+    /// *fused* decoded engine (the default decode), so this also pins
+    /// fused execution under the worker pool ≡ serial fused execution.
     #[test]
     fn parallel_sweep_matches_serial_sweep(
         kernel in 0usize..2,
@@ -335,26 +351,75 @@ proptest! {
         }
     }
 
-    /// Traps are engine-equivalent too: both engines stop at the same
-    /// op with the same error and the same partial statistics.
+    /// Traps are engine-equivalent too: every configuration stops at
+    /// the same op with the same error and the same partial statistics.
+    /// Random fuel values land the exhaustion point *inside* fused
+    /// patterns, exercising the superinstruction bail paths.
     #[test]
     fn decoded_engine_matches_reference_on_traps(fuel in 50u64..400) {
         let src = "fn main(n: i64) -> i64 { var s: i64 = 0; while (true) { s = s + n; } return s; }";
         let module = mperf_ir::compile("trap", src).unwrap();
-        let run = |engine: Engine| {
+        let run = |engine: Engine, fuse: bool| {
             let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
             vm.set_engine(engine);
+            vm.set_fusion(fuse);
             vm.set_fuel(fuel);
             let err = vm.call("main", &[Value::I64(3)]).unwrap_err();
             (format!("{err:?}"), vm.stats(), vm.core.cycles())
         };
-        prop_assert_eq!(run(Engine::Reference), run(Engine::Decoded));
+        let reference = run(Engine::Reference, true);
+        prop_assert_eq!(&reference, &run(Engine::Decoded, true), "fused");
+        prop_assert_eq!(&reference, &run(Engine::Decoded, false), "unfused");
+    }
+
+    /// Guest traps land identically mid-pattern: an out-of-bounds access
+    /// whose `ptradd`+`load` pair is fused must fault at the same op
+    /// with the same partial state as the unfused and reference engines
+    /// (the fused fast path pre-checks bounds and bails).
+    #[test]
+    fn fused_memory_traps_match_unfused(n in 1i64..64, oob_at in 0i64..64) {
+        let src = r#"
+            fn main(p: *i64, n: i64, bad: *i64, bad_at: i64) -> i64 {
+                var s: i64 = 0;
+                for (var i: i64 = 0; i < n; i = i + 1) {
+                    if (i == bad_at) { s = s + bad[0]; }
+                    s = s + p[i % 16];
+                }
+                return s;
+            }
+        "#;
+        let module = mperf_ir::compile("memtrap", src).unwrap();
+        let run = |engine: Engine, fuse: bool| {
+            let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
+            vm.set_engine(engine);
+            vm.set_fusion(fuse);
+            let base = vm.mem.alloc(8 * 16, 8).unwrap();
+            for i in 0..16u64 {
+                vm.mem.write_u64(base + i * 8, i * 3).unwrap();
+            }
+            let r = vm.call(
+                "main",
+                &[
+                    Value::I64(base as i64),
+                    Value::I64(n),
+                    Value::I64(-8), // out-of-bounds pointer
+                    Value::I64(oob_at),
+                ],
+            );
+            (format!("{r:?}"), vm.stats(), vm.core.cycles())
+        };
+        let reference = run(Engine::Reference, true);
+        prop_assert_eq!(&reference, &run(Engine::Decoded, true), "fused");
+        prop_assert_eq!(&reference, &run(Engine::Decoded, false), "unfused");
     }
 }
 
 /// Overflow sampling is engine-exact: driving identical sampling setups
-/// through both engines produces the same number of samples with the
-/// same IPs and callchains (overflow interrupts fire on the same ops).
+/// through every engine configuration (reference, decoded fused,
+/// decoded unfused) produces the same number of samples with the same
+/// IPs and callchains — overflow interrupts fire on the same ops. Near
+/// a counter wrap the fused engine's `fused_ready` guard degrades to
+/// per-op retire, which is what keeps the overflow attribution exact.
 #[test]
 fn decoded_engine_sampling_matches_reference() {
     use mperf_event::{EventKind, PerfEventAttr, PerfKernel, ReadFormat};
@@ -377,7 +442,7 @@ fn decoded_engine_sampling_matches_reference() {
     "#;
     let module = mperf_ir::compile("sampling", src).unwrap();
 
-    let run = |engine: Engine| {
+    let run = |engine: Engine, fuse: bool| {
         let mut core = Core::new(PlatformSpec::x60());
         let mut kernel = PerfKernel::new(&mut core);
         let umc = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);
@@ -393,6 +458,7 @@ fn decoded_engine_sampling_matches_reference() {
         let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
         vm.core = core;
         vm.set_engine(engine);
+        vm.set_fusion(fuse);
         vm.attach_kernel(kernel);
         let base = vm.mem.alloc(8 * 32, 8).unwrap();
         for i in 0..32u64 {
@@ -414,9 +480,12 @@ fn decoded_engine_sampling_matches_reference() {
         (samples, kernel.samples_taken())
     };
 
-    let (ref_samples, ref_taken) = run(Engine::Reference);
-    let (dec_samples, dec_taken) = run(Engine::Decoded);
+    let (ref_samples, ref_taken) = run(Engine::Reference, true);
+    let (dec_samples, dec_taken) = run(Engine::Decoded, true);
+    let (nf_samples, nf_taken) = run(Engine::Decoded, false);
     assert!(ref_taken > 5, "expected a healthy sample stream: {ref_taken}");
-    assert_eq!(ref_taken, dec_taken, "sample counts diverge");
-    assert_eq!(ref_samples, dec_samples, "sample IPs/callchains diverge");
+    assert_eq!(ref_taken, dec_taken, "sample counts diverge (fused)");
+    assert_eq!(ref_samples, dec_samples, "sample IPs/callchains diverge (fused)");
+    assert_eq!(ref_taken, nf_taken, "sample counts diverge (unfused)");
+    assert_eq!(ref_samples, nf_samples, "sample IPs/callchains diverge (unfused)");
 }
