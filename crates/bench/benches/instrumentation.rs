@@ -17,8 +17,7 @@ const KERNEL: &str = r#"
 "#;
 
 fn run_phase(instrumented: bool) -> u64 {
-    let module =
-        mperf_workloads::compile_for("k", KERNEL, Platform::SpacemitX60, true).unwrap();
+    let module = mperf_workloads::compile_for("k", KERNEL, Platform::SpacemitX60, true).unwrap();
     let mut vm = Vm::with_memory(&module, Core::new(Platform::SpacemitX60.spec()), 8 << 20);
     vm.roofline.instrumented = instrumented;
     let n = 16_384u64;
@@ -51,7 +50,9 @@ fn bench_two_phase(c: &mut Criterion) {
     let mut g = c.benchmark_group("instrumentation");
     g.sample_size(10);
     g.bench_function("baseline-run", |b| b.iter(|| black_box(run_phase(false))));
-    g.bench_function("instrumented-run", |b| b.iter(|| black_box(run_phase(true))));
+    g.bench_function("instrumented-run", |b| {
+        b.iter(|| black_box(run_phase(true)))
+    });
     g.finish();
 }
 
@@ -62,13 +63,9 @@ fn bench_sampling_overhead(c: &mut Criterion) {
     for period in [2_003u64, 20_011] {
         g.bench_function(format!("record-period-{period}"), |b| {
             b.iter(|| {
-                let module = mperf_workloads::compile_for(
-                    "k",
-                    KERNEL,
-                    Platform::SpacemitX60,
-                    false,
-                )
-                .unwrap();
+                let module =
+                    mperf_workloads::compile_for("k", KERNEL, Platform::SpacemitX60, false)
+                        .unwrap();
                 let mut vm =
                     Vm::with_memory(&module, Core::new(Platform::SpacemitX60.spec()), 8 << 20);
                 let n = 8_192u64;

@@ -5,7 +5,8 @@
 //! checked-in baselines to compare against.
 //!
 //! ```text
-//! bench_trajectory [--out PATH] [--sweep-out PATH] [--jobs N] [--full] [--no-fuse]
+//! bench_trajectory [--out PATH] [--sweep-out PATH] [--jobs N] [--full]
+//!                  [--no-fuse] [--no-regalloc] [--check]
 //! ```
 //!
 //! `--full` uses the normal (longer) measurement budget; default is
@@ -13,32 +14,126 @@
 //! caps the largest worker count the sweep-scaling section measures
 //! (default: 4, the trajectory baseline; thread counts beyond the
 //! host's cores are still measured and simply won't scale). `--no-fuse`
-//! is the bisection escape hatch: the fused decoded configuration is
-//! not measured (and the fusion guards don't apply), leaving
-//! `decoded-nofuse` / `reference` / `seed` only. The interp JSON
-//! reports MIR ops/sec per workload × platform × engine plus the
-//! decoded-over-reference/seed/nofuse speedups, per-pattern fusion
-//! coverage, and ns/op for the retire microbenches; the sweep JSON
-//! reports wall-clock and speedup per worker count, after asserting the
-//! parallel results are bit-identical to the serial sweep.
+//! and `--no-regalloc` are the bisection escape hatches: the decoded
+//! configurations running the escaped pass are not measured (and its
+//! guards don't apply), leaving the remaining decoded flavour plus
+//! `reference`/`seed`.
+//!
+//! `--check` is the CI gate: it runs only the guard-relevant rows
+//! (`decoded`, `decoded-noregalloc`, `seed`) on the short workloads,
+//! enforces the perf guards (`speedup_vs_seed ≥ 2` everywhere, `≥ 3`
+//! on spin) and the regalloc copy-reduction guard (≥ 80% of dynamic
+//! `Copy` traffic elided on spin/call-tree), prints ONE machine-
+//! readable JSON line to stdout, and exits 0/1. Human detail goes to
+//! stderr; no files are written.
+//!
+//! The interp JSON reports MIR ops/sec per workload × platform ×
+//! engine plus the decoded-over-reference/seed/nofuse/noregalloc
+//! speedups, per-pattern fusion coverage, the `regalloc` copy-traffic
+//! section, and ns/op for the retire microbenches; the sweep JSON
+//! reports wall-clock and speedup per worker count, after asserting
+//! the parallel results are bit-identical to the serial sweep. Both
+//! reports embed (and the runner prints) the engine configuration they
+//! actually ran, so checked-in baselines are self-describing.
 
 use criterion::Criterion;
-use mperf_bench::interp_bench::{register_interp_benches_with, register_retire_benches};
+use mperf_bench::interp_bench::{
+    register_interp_benches_filter, register_retire_benches, EngineConfig, InterpBenchInfo,
+};
 use mperf_bench::sweep_bench::SweepMatrix;
-use mperf_vm::FusePattern;
+use mperf_vm::{Engine, ExecConfig, FusePattern};
 use std::fmt::Write as _;
 use std::time::Duration;
 
-fn main() {
-    let mut out_path = String::from("BENCH_interp.json");
-    let mut sweep_out_path = String::from("BENCH_sweep.json");
-    let mut full = false;
-    let mut fuse = true;
-    let mut max_jobs = 4usize;
+/// One evaluated guard row (for the report and the `--check` JSON).
+struct Guard {
+    name: &'static str,
+    workload: String,
+    platform: String,
+    value: f64,
+    floor: f64,
+}
+
+impl Guard {
+    fn pass(&self) -> bool {
+        self.value >= self.floor
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"workload\": \"{}\", \"platform\": \"{}\", \
+             \"value\": {:.3}, \"floor\": {:.3}, \"pass\": {}}}",
+            self.name,
+            self.workload,
+            self.platform,
+            self.value,
+            self.floor,
+            self.pass()
+        )
+    }
+}
+
+struct Opts {
+    out_path: String,
+    sweep_out_path: String,
+    full: bool,
+    fuse: bool,
+    regalloc: bool,
+    check: bool,
+    max_jobs: usize,
+}
+
+impl Opts {
+    /// The headline decoded configuration this run measures.
+    fn headline(&self) -> &'static str {
+        match (self.fuse, self.regalloc) {
+            (true, true) => "decoded",
+            (false, true) => "decoded-nofuse",
+            (true, false) => "decoded-noregalloc",
+            (false, false) => unreachable!("rejected at parse time"),
+        }
+    }
+
+    /// The `config:` header naming what actually ran (the bugfix for
+    /// silently-flagged runs: every report now self-describes). Shares
+    /// [`ExecConfig::describe`] with `miniperf`'s header so the two
+    /// formats cannot drift.
+    fn config_line(&self) -> String {
+        let exec = ExecConfig {
+            engine: Engine::Decoded,
+            fuse: self.fuse,
+            regalloc: self.regalloc,
+        };
+        format!(
+            "config: {} mode={} headline={}",
+            exec.describe(),
+            if self.check {
+                "check"
+            } else if self.full {
+                "full"
+            } else {
+                "quick"
+            },
+            self.headline(),
+        )
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        out_path: String::from("BENCH_interp.json"),
+        sweep_out_path: String::from("BENCH_sweep.json"),
+        full: false,
+        fuse: true,
+        regalloc: true,
+        check: false,
+        max_jobs: 4,
+    };
     let usage = |msg: &str| -> ! {
         eprintln!("bench_trajectory: {msg}");
         eprintln!(
-            "usage: bench_trajectory [--out PATH] [--sweep-out PATH] [--jobs N] [--full] [--no-fuse]"
+            "usage: bench_trajectory [--out PATH] [--sweep-out PATH] [--jobs N] [--full] \
+             [--no-fuse] [--no-regalloc] [--check]"
         );
         std::process::exit(2);
     };
@@ -46,79 +141,220 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => match args.next() {
-                Some(p) => out_path = p,
+                Some(p) => opts.out_path = p,
                 None => usage("--out needs a path"),
             },
             "--sweep-out" => match args.next() {
-                Some(p) => sweep_out_path = p,
+                Some(p) => opts.sweep_out_path = p,
                 None => usage("--sweep-out needs a path"),
             },
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(v)) if v >= 1 => max_jobs = v,
+                Some(Ok(v)) if v >= 1 => opts.max_jobs = v,
                 Some(_) => usage("--jobs needs a positive integer"),
                 None => usage("--jobs needs a value"),
             },
-            "--full" => full = true,
-            "--no-fuse" => fuse = false,
+            "--full" => opts.full = true,
+            "--no-fuse" => opts.fuse = false,
+            "--no-regalloc" => opts.regalloc = false,
+            "--check" => opts.check = true,
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
+    if !opts.fuse && !opts.regalloc {
+        usage("--no-fuse and --no-regalloc are exclusive escape hatches; pick one");
+    }
+    if opts.check && (!opts.fuse || !opts.regalloc) {
+        usage("--check gates the production configuration; drop the --no-* flags");
+    }
+    opts
+}
 
-    let mut c = Criterion::default();
-    c.measurement_time(Duration::from_millis(if full { 300 } else { 40 }));
-
-    let infos = register_interp_benches_with(&mut c, fuse);
-    register_retire_benches(&mut c);
-
-    // Index criterion results by id.
-    let ns_of = |id: &str| -> f64 {
+/// Look up criterion ns/iter by bench id.
+fn ns_lookup<'a>(c: &'a Criterion) -> impl Fn(&str) -> f64 + 'a {
+    move |id: &str| {
         c.results()
             .iter()
             .find(|r| r.id == id)
             .map(|r| r.ns_per_iter)
             .unwrap_or_else(|| panic!("missing bench result for {id}"))
-    };
+    }
+}
+
+/// The speedup guards over the measured rows: `speedup_vs_seed ≥ 2`
+/// everywhere, `≥ 3` on spin for the fully-optimized engine.
+fn speedup_guards(
+    infos: &[InterpBenchInfo],
+    ns_of: &impl Fn(&str) -> f64,
+    headline: &str,
+    spin_floor_applies: bool,
+) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for info in infos.iter().filter(|i| i.engine == headline) {
+        let ns = ns_of(&info.id);
+        let suffix = format!("-{}", info.engine);
+        let vs_seed = ns_of(&info.id.replace(&suffix, "-seed")) / ns;
+        let floor = if spin_floor_applies && info.workload == "spin" {
+            3.0
+        } else {
+            2.0
+        };
+        guards.push(Guard {
+            name: "speedup_vs_seed",
+            workload: info.workload.to_string(),
+            platform: info.platform.to_string(),
+            value: vs_seed,
+            floor,
+        });
+    }
+    guards
+}
+
+/// The regalloc copy-traffic guards: on the spin and call-tree
+/// workloads, ≥ 80% of the dynamic `Copy` ops that moved data without
+/// register allocation must be elided with it on. Copy counts are
+/// deterministic (no timing involved), so these are enforced in every
+/// mode.
+fn copy_reduction_guards(infos: &[InterpBenchInfo]) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for info in infos.iter().filter(|i| i.engine == "decoded") {
+        if info.workload != "spin" && info.workload != "call-tree" {
+            continue;
+        }
+        let Some(off) = infos.iter().find(|i| {
+            i.engine == "decoded-noregalloc"
+                && i.workload == info.workload
+                && i.platform == info.platform
+        }) else {
+            continue;
+        };
+        let moved_off = off.regalloc_dyn.copies_moved.max(1) as f64;
+        let reduction = 1.0 - info.regalloc_dyn.copies_moved as f64 / moved_off;
+        guards.push(Guard {
+            name: "copy_reduction",
+            workload: info.workload.to_string(),
+            platform: info.platform.to_string(),
+            value: reduction,
+            floor: 0.8,
+        });
+    }
+    guards
+}
+
+/// `--check`: the CI gate. Measures only the guard-relevant rows with a
+/// small budget, evaluates every guard, prints one JSON line to stdout
+/// One `--check` measurement pass at the given per-bench budget.
+fn measure_check(budget_ms: u64) -> Vec<Guard> {
+    // Quiet: stdout carries exactly one machine-readable JSON line.
+    let mut c = Criterion::default().quiet(true);
+    c.measurement_time(Duration::from_millis(budget_ms));
+    let infos = register_interp_benches_filter(&mut c, |cfg: &EngineConfig| {
+        matches!(cfg.name, "decoded" | "decoded-noregalloc" | "seed")
+    });
+    let ns_of = ns_lookup(&c);
+    let mut guards = speedup_guards(&infos, &ns_of, "decoded", true);
+    guards.extend(copy_reduction_guards(&infos));
+    guards
+}
+
+/// and human detail to stderr, then exits 0 (all pass) or 1.
+fn run_check() -> ! {
+    eprintln!("bench_trajectory --check: measuring decoded/decoded-noregalloc/seed rows");
+    let mut guards = measure_check(120);
+    // The speedup guards compare two timings on the same host, so load
+    // mostly cancels — but a short budget on a noisy shared runner can
+    // still flake. Re-measure once with a larger budget before failing;
+    // the copy-reduction guards are deterministic and unaffected.
+    if !guards.iter().all(Guard::pass) {
+        eprintln!("  a guard failed at the 120 ms budget; re-measuring once at 500 ms");
+        guards = measure_check(500);
+    }
+    let pass = guards.iter().all(Guard::pass);
+    for g in &guards {
+        eprintln!(
+            "  {} {}/{}: {:.2} (floor {:.2}) {}",
+            g.name,
+            g.workload,
+            g.platform,
+            g.value,
+            g.floor,
+            if g.pass() { "ok" } else { "FAIL" }
+        );
+    }
+    let rows: Vec<String> = guards.iter().map(Guard::json).collect();
+    println!(
+        "{{\"schema\": \"mperf-bench-check/v1\", \"pass\": {pass}, \"config\": \
+         {{\"engine\": \"decoded\", \"fuse\": true, \"regalloc\": true}}, \
+         \"guards\": [{}]}}",
+        rows.join(", ")
+    );
+    std::process::exit(i32::from(!pass));
+}
+
+fn main() {
+    let opts = parse_opts();
+    if opts.check {
+        run_check();
+    }
+    println!("{}", opts.config_line());
+
+    let mut c = Criterion::default();
+    c.measurement_time(Duration::from_millis(if opts.full { 300 } else { 40 }));
+
+    // Decoded configs running an escaped pass are dropped; reference
+    // and seed always run (they are the speedup denominators).
+    let (fuse, regalloc) = (opts.fuse, opts.regalloc);
+    let infos = register_interp_benches_filter(&mut c, |cfg: &EngineConfig| {
+        cfg.engine != Engine::Decoded || ((fuse || !cfg.fuse) && (regalloc || !cfg.regalloc))
+    });
+    register_retire_benches(&mut c);
+    let ns_of = ns_lookup(&c);
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": \"mperf-bench-interp/v1\",");
-    let _ = writeln!(json, "  \"quick\": {},", !full);
+    let _ = writeln!(json, "  \"quick\": {},", !opts.full);
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"fuse\": {}, \"regalloc\": {}, \"headline\": \"{}\"}},",
+        opts.fuse,
+        opts.regalloc,
+        opts.headline()
+    );
     json.push_str("  \"interp\": [\n");
     for (i, info) in infos.iter().enumerate() {
         let ns = ns_of(&info.id);
         let ops_per_sec = info.mir_ops_per_call as f64 * 1e9 / ns;
         // Speedups only reported on decoded rows, vs the reference and
         // seed (pre-PR) rows of the same workload/platform — and, for
-        // the fused row, vs its unfused sibling.
+        // the fully-optimized row, vs its single-pass-escaped siblings.
         let base_id = |engine: &str| {
             info.id
                 .replace(&format!("-{}", info.engine), &format!("-{engine}"))
         };
-        let speedups = if info.engine == "decoded" || info.engine == "decoded-nofuse" {
-            Some((ns_of(&base_id("reference")) / ns, ns_of(&base_id("seed")) / ns))
-        } else {
-            None
-        };
+        let decoded_row = info.engine.starts_with("decoded");
         let _ = write!(
             json,
             "    {{\"workload\": \"{}\", \"platform\": \"{}\", \"engine\": \"{}\", \
              \"mir_ops_per_call\": {}, \"ns_per_call\": {:.1}, \"mir_ops_per_sec\": {:.0}",
             info.workload, info.platform, info.engine, info.mir_ops_per_call, ns, ops_per_sec
         );
-        if let Some((vs_ref, vs_seed)) = speedups {
+        if decoded_row {
+            let vs_ref = ns_of(&base_id("reference")) / ns;
+            let vs_seed = ns_of(&base_id("seed")) / ns;
             let _ = write!(
                 json,
                 ", \"speedup_vs_reference\": {vs_ref:.2}, \"speedup_vs_seed\": {vs_seed:.2}"
             );
         }
-        if info.engine == "decoded" && fuse {
+        if info.engine == "decoded" && opts.fuse && opts.regalloc {
             let _ = write!(
                 json,
-                ", \"speedup_vs_nofuse\": {:.2}",
-                ns_of(&base_id("decoded-nofuse")) / ns
+                ", \"speedup_vs_nofuse\": {:.2}, \"speedup_vs_noregalloc\": {:.2}",
+                ns_of(&base_id("decoded-nofuse")) / ns,
+                ns_of(&base_id("decoded-noregalloc")) / ns
             );
         }
-        json.push_str("}");
+        json.push('}');
         json.push_str(if i + 1 < infos.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
@@ -127,7 +363,10 @@ fn main() {
     // call (what fraction of executed MIR ops ran inside a fused fast
     // path).
     json.push_str("  \"fusion\": [\n");
-    let fused_rows: Vec<_> = infos.iter().filter(|i| i.engine == "decoded" && fuse).collect();
+    let fused_rows: Vec<_> = infos
+        .iter()
+        .filter(|i| i.engine == "decoded" && opts.fuse)
+        .collect();
     for (i, info) in fused_rows.iter().enumerate() {
         let st = &info.fusion_static;
         let dynv = &info.fusion_dyn;
@@ -142,7 +381,11 @@ fn main() {
                 "\"{}\": {}{}",
                 p.name(),
                 st.sites[p.index()],
-                if pi + 1 < FusePattern::ALL.len() { ", " } else { "" }
+                if pi + 1 < FusePattern::ALL.len() {
+                    ", "
+                } else {
+                    ""
+                }
             );
         }
         let _ = write!(
@@ -153,7 +396,56 @@ fn main() {
             dynv.coverage(info.mir_ops_per_call),
             st.ineligible_mid_target
         );
-        json.push_str(if i + 1 < fused_rows.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < fused_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    // Register-allocation copy traffic: static coalescing from the
+    // decode pass, dynamic `Copy` data movement with the pass on vs off
+    // (deterministic counts, no timing).
+    json.push_str("  \"regalloc\": [\n");
+    let ra_rows: Vec<_> = infos
+        .iter()
+        .filter(|i| i.engine == "decoded" && opts.regalloc && opts.fuse)
+        .collect();
+    for (i, info) in ra_rows.iter().enumerate() {
+        let st = &info.regalloc_static;
+        let dynv = &info.regalloc_dyn;
+        let moved_off = infos
+            .iter()
+            .find(|o| {
+                o.engine == "decoded-noregalloc"
+                    && o.workload == info.workload
+                    && o.platform == info.platform
+            })
+            .map(|o| o.regalloc_dyn.copies_moved);
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"platform\": \"{}\", \
+             \"copies_static\": {}, \"copies_coalesced\": {}, \
+             \"regs_before\": {}, \"regs_after\": {}, \
+             \"copies_moved\": {}, \"copies_elided\": {}",
+            info.workload,
+            info.platform,
+            st.copies_static,
+            st.copies_coalesced,
+            st.regs_before,
+            st.regs_after,
+            dynv.copies_moved,
+            dynv.copies_elided,
+        );
+        if let Some(off) = moved_off {
+            let reduction = 1.0 - dynv.copies_moved as f64 / off.max(1) as f64;
+            let _ = write!(
+                json,
+                ", \"copies_moved_noregalloc\": {off}, \"copy_reduction\": {reduction:.3}"
+            );
+        }
+        json.push('}');
+        json.push_str(if i + 1 < ra_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"retire\": [\n");
@@ -171,16 +463,20 @@ fn main() {
             ns,
             ns / 10_000.0
         );
-        json.push_str(if i + 1 < retire_ids.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < retire_ids.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out_path, &json).expect("write trajectory json");
-    println!("wrote {out_path}");
+    std::fs::write(&opts.out_path, &json).expect("write trajectory json");
+    println!("wrote {}", opts.out_path);
 
     // Surface the headline numbers (and fail loudly if the decoded
     // engine ever regresses below parity with the reference engine).
-    let headline = if fuse { "decoded" } else { "decoded-nofuse" };
+    let headline = opts.headline();
     for info in &infos {
         if info.engine != headline {
             continue;
@@ -199,24 +495,35 @@ fn main() {
             info.workload,
             info.platform
         );
-        // The ROADMAP's interpreter guard: decoded must stay ≥ 2x the
-        // seed configuration — and, with fusion on, ≥ 3x on the spin
-        // workload (ISSUE 3 acceptance). Hard in --full mode; quick
-        // mode (40 ms budgets) only warns, since it exists to
-        // smoke-test the flow.
-        let floor = if fuse && info.workload == "spin" { 3.0 } else { 2.0 };
-        if vs_seed < floor {
+    }
+    // The ROADMAP's interpreter guard: decoded must stay ≥ 2x the seed
+    // configuration — and, with both passes on, ≥ 3x on the spin
+    // workload. Hard in --full mode; quick mode (40 ms budgets) only
+    // warns, since it exists to smoke-test the flow.
+    for g in speedup_guards(&infos, &ns_of, headline, opts.fuse && opts.regalloc) {
+        if !g.pass() {
             let msg = format!(
-                "interpreter guard: {headline} only {vs_seed:.2}x seed on {}/{} (need >= {floor})",
-                info.workload, info.platform
+                "interpreter guard: {headline} only {:.2}x seed on {}/{} (need >= {})",
+                g.value, g.workload, g.platform, g.floor
             );
-            assert!(!full, "{msg}");
+            assert!(!opts.full, "{msg}");
             eprintln!("warning ({msg} — quick mode, not enforced)");
         }
     }
+    // The regalloc guard: copy counts are deterministic, so it is
+    // enforced in every mode that measures both rows.
+    for g in copy_reduction_guards(&infos) {
+        assert!(
+            g.pass(),
+            "regalloc guard: only {:.1}% of dynamic Copy traffic elided on {}/{} (need >= 80%)",
+            g.value * 100.0,
+            g.workload,
+            g.platform
+        );
+    }
     // Per-pattern fusion coverage of the fused engine.
     for info in &infos {
-        if info.engine != "decoded" || !fuse {
+        if info.engine != "decoded" || !opts.fuse {
             continue;
         }
         let st = &info.fusion_static;
@@ -230,15 +537,29 @@ fn main() {
             "{:<40} fusion: {:.1}% of dynamic MIR ops ({})",
             format!("{}/{}", info.workload, info.platform),
             dynv.coverage(info.mir_ops_per_call) * 100.0,
-            if pats.is_empty() { "no sites hit".to_string() } else { pats.join(", ") },
+            if pats.is_empty() {
+                "no sites hit".to_string()
+            } else {
+                pats.join(", ")
+            },
         );
         assert_eq!(
             st.ineligible_mid_target, 0,
             "block flattening should never place a branch target mid-pattern"
         );
+        if opts.regalloc {
+            let ra = &info.regalloc_dyn;
+            println!(
+                "{:<40} regalloc: {} copies moved, {} elided ({:.1}% of copy traffic)",
+                format!("{}/{}", info.workload, info.platform),
+                ra.copies_moved,
+                ra.copies_elided,
+                ra.elision_rate() * 100.0,
+            );
+        }
     }
 
-    run_sweep_scaling(&sweep_out_path, full, max_jobs);
+    run_sweep_scaling(&opts.sweep_out_path, opts.full, opts.max_jobs);
 }
 
 /// The sweep-scaling section: run the full `platform × workload`
@@ -287,7 +608,11 @@ fn run_sweep_scaling(out_path: &str, full: bool, max_jobs: usize) {
     // the smallest measured row with >= 4 threads, and never silently:
     // a --jobs cap that excludes every such row prints that the guard
     // did not run.
-    match rows.iter().filter(|(t, _, _)| *t >= 4).min_by_key(|(t, _, _)| *t) {
+    match rows
+        .iter()
+        .filter(|(t, _, _)| *t >= 4)
+        .min_by_key(|(t, _, _)| *t)
+    {
         Some(&(threads, _, speedup)) => {
             if host_cpus >= 4 && speedup < 1.8 {
                 let msg = format!(

@@ -27,8 +27,10 @@ fn main() {
     let mut core = Core::new(Platform::TheadC910.spec());
     println!(
         "  [hw]     mvendorid={:#x} marchid={:#x}",
-        core.csr_read_as(addr::MVENDORID, PrivMode::Machine).expect("m-mode read"),
-        core.csr_read_as(addr::MARCHID, PrivMode::Machine).expect("m-mode read"),
+        core.csr_read_as(addr::MVENDORID, PrivMode::Machine)
+            .expect("m-mode read"),
+        core.csr_read_as(addr::MARCHID, PrivMode::Machine)
+            .expect("m-mode read"),
     );
     // Before firmware: supervisor reads of user counters trap.
     let pre = core.csr_read_as(addr::CYCLE, PrivMode::Supervisor);
@@ -54,15 +56,17 @@ fn main() {
     println!(
         "  [sbi]    counter_config_matching + counter_start issued; \
          mcountinhibit={:#x}",
-        core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine).expect("m-mode read")
+        core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
+            .expect("m-mode read")
     );
     // Touch memory so the counter moves.
     for i in 0..2048u64 {
-        let op = mperf_sim::machine_op::MachineOp::simple(
-            mperf_sim::machine_op::OpClass::Load,
-            i,
-        )
-        .with_mem(mperf_sim::machine_op::MemRef::scalar(0x1_0000 + i * 128, 8, false));
+        let op = mperf_sim::machine_op::MachineOp::simple(mperf_sim::machine_op::OpClass::Load, i)
+            .with_mem(mperf_sim::machine_op::MemRef::scalar(
+                0x1_0000 + i * 128,
+                8,
+                false,
+            ));
         core.retire(&op);
     }
     let v = kernel.read(&core, fd).expect("read")[0].1;

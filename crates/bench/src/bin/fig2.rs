@@ -64,8 +64,11 @@ fn main() {
     let run = run_roofline(&module, &spec, "scale_add", &setup).expect("roofline run");
     let r = &run.regions[0];
     println!("[phase 1] baseline:     {:>10} cycles", r.baseline_cycles);
-    println!("[phase 2] instrumented: {:>10} cycles ({:.2}x overhead)",
-        r.instrumented_cycles, r.overhead_factor());
+    println!(
+        "[phase 2] instrumented: {:>10} cycles ({:.2}x overhead)",
+        r.instrumented_cycles,
+        r.overhead_factor()
+    );
     println!(
         "[corr]    flops={} loaded={}B stored={}B  →  AI={:.3} FLOP/B, {:.2} GFLOP/s, {:.2} GB/s",
         r.flops,

@@ -14,7 +14,7 @@ fn main() {
     let bench = SqliteBench {
         rows: args.scaled(512),
         queries: args.scaled(16),
-        seed: 0x5eed_1e,
+        seed: 0x005e_ed1e,
     };
     header(&format!(
         "Figure 3: sqlite-mini flame graphs (rows={}, queries={})",
@@ -26,8 +26,8 @@ fn main() {
     // deterministic platform order on the main thread.
     let platforms = [Platform::SpacemitX60, Platform::IntelI5_1135G7];
     let profiles = mperf_sweep::run_jobs(platforms.to_vec(), args.jobs, |_, platform| {
-        let module = mperf_workloads::compile_for("sqlite-mini", SOURCE, platform, false)
-            .expect("compiles");
+        let module =
+            mperf_workloads::compile_for("sqlite-mini", SOURCE, platform, false).expect("compiles");
         let mut vm = Vm::new(&module, Core::new(platform.spec()));
         let wargs = bench.setup(&mut vm).expect("setup");
         record(&mut vm, ENTRY, &wargs, RecordConfig { period: 9_973 }).expect("record")

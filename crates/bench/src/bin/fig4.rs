@@ -20,8 +20,7 @@ use mperf_workloads::matmul::{MatmulBench, ENTRY, SOURCE};
 /// Advisor-style measurement: FLOPs from the PMU FP-op event over the
 /// un-instrumented kernel's cycles.
 fn advisor_style(platform: Platform, bench: MatmulBench) -> f64 {
-    let module =
-        mperf_workloads::compile_for("mm", SOURCE, platform, false).expect("compiles");
+    let module = mperf_workloads::compile_for("mm", SOURCE, platform, false).expect("compiles");
     let spec = platform.spec();
     let mut vm = Vm::new(&module, Core::new(spec.clone()));
     let mut kernel = mperf_event::PerfKernel::new(&mut vm.core);
@@ -87,9 +86,8 @@ fn main() {
         let ai = region.ai();
         // Self-reported: the benchmark's own FLOP formula over the
         // baseline wall time (includes dispatch/notify overhead).
-        let self_gflops = bench.flops() as f64
-            / (run.baseline_total_cycles as f64 / spec.freq_hz as f64)
-            / 1e9;
+        let self_gflops =
+            bench.flops() as f64 / (run.baseline_total_cycles as f64 / spec.freq_hz as f64) / 1e9;
 
         println!("  miniperf (IR counts / baseline time): {miniperf_gflops:8.2} GFLOP/s");
         println!("  self-reported (formula / wall time):  {self_gflops:8.2} GFLOP/s");

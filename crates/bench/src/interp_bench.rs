@@ -118,49 +118,75 @@ pub struct InterpBenchInfo {
     pub fusion_static: mperf_vm::FusionStats,
     /// Runtime fusion coverage of one call (zeros when not fused).
     pub fusion_dyn: mperf_vm::FusionDynamics,
+    /// Decode-time register-allocation stats (zeros when regalloc was
+    /// off for this config or the engine is not decoded).
+    pub regalloc_static: mperf_vm::RegallocStats,
+    /// Runtime copy-traffic split of one call.
+    pub regalloc_dyn: mperf_vm::RegallocDynamics,
 }
 
 /// One engine configuration benchmarked per workload × platform.
 /// `seed` reproduces the pre-PR execution stack: the structure-walking
 /// interpreter plus the per-op 32-counter PMU scan. `decoded` is the
-/// production default (superinstruction fusion on); `decoded-nofuse`
-/// isolates the fusion contribution for bisection.
+/// production default (superinstruction fusion + register allocation
+/// on); `decoded-nofuse` and `decoded-noregalloc` isolate each pass's
+/// contribution for bisection.
 #[derive(Clone, Copy)]
 pub struct EngineConfig {
     pub name: &'static str,
     pub engine: Engine,
     pub fuse: bool,
+    pub regalloc: bool,
     pub pmu_batched: bool,
 }
 
 /// The benchmarked engine configurations, fastest first.
-pub fn engine_configs() -> [EngineConfig; 4] {
+pub fn engine_configs() -> [EngineConfig; 5] {
     [
         EngineConfig {
             name: "decoded",
             engine: Engine::Decoded,
             fuse: true,
+            regalloc: true,
             pmu_batched: true,
         },
         EngineConfig {
             name: "decoded-nofuse",
             engine: Engine::Decoded,
             fuse: false,
+            regalloc: true,
+            pmu_batched: true,
+        },
+        EngineConfig {
+            name: "decoded-noregalloc",
+            engine: Engine::Decoded,
+            fuse: true,
+            regalloc: false,
             pmu_batched: true,
         },
         EngineConfig {
             name: "reference",
             engine: Engine::Reference,
             fuse: true,
+            regalloc: true,
             pmu_batched: true,
         },
         EngineConfig {
             name: "seed",
             engine: Engine::Reference,
             fuse: true,
+            regalloc: true,
             pmu_batched: false,
         },
     ]
+}
+
+/// Everything one un-timed sanity execution of a workload reports.
+pub struct WorkloadRun {
+    pub out: Vec<Value>,
+    pub mir_ops: u64,
+    pub fusion_dyn: mperf_vm::FusionDynamics,
+    pub regalloc_dyn: mperf_vm::RegallocDynamics,
 }
 
 fn run_workload(
@@ -169,7 +195,7 @@ fn run_workload(
     cfg: EngineConfig,
     decoded: Option<&Arc<mperf_vm::DecodedModule>>,
     w: &InterpWorkload,
-) -> (Vec<Value>, u64, mperf_vm::FusionDynamics) {
+) -> WorkloadRun {
     let mut core = Core::new(spec);
     core.set_pmu_batching(cfg.pmu_batched);
     let mut vm = Vm::with_memory(module, core, 1 << 20);
@@ -178,6 +204,7 @@ fn run_workload(
         vm.set_decoded(Arc::clone(d));
     }
     vm.set_fusion(cfg.fuse);
+    vm.set_regalloc(cfg.regalloc);
     let mut args = Vec::new();
     if w.buf_words > 0 {
         let base = vm.mem.alloc(8 * w.buf_words, 8).expect("bench buffer");
@@ -190,22 +217,28 @@ fn run_workload(
     }
     args.push(Value::I64(black_box(w.n)));
     let out = vm.call(w.entry, &args).expect("bench workload runs");
-    (out, vm.stats().mir_ops, vm.fusion_dynamics())
+    WorkloadRun {
+        out,
+        mir_ops: vm.stats().mir_ops,
+        fusion_dyn: vm.fusion_dynamics(),
+        regalloc_dyn: vm.regalloc_dynamics(),
+    }
 }
 
 /// Register the `vm/interp-throughput` group: every workload × platform
 /// × engine. Returns per-bench metadata aligned with the criterion ids.
 pub fn register_interp_benches(c: &mut Criterion) -> Vec<InterpBenchInfo> {
-    register_interp_benches_with(c, true)
+    register_interp_benches_filter(c, |_| true)
 }
 
-/// [`register_interp_benches`] with the fused configs selectable:
-/// `include_fused = false` is `bench_trajectory --no-fuse`, measuring
-/// only the unfused decoded engine (plus reference/seed) so fusion
-/// regressions can be bisected out of the picture.
-pub fn register_interp_benches_with(
+/// [`register_interp_benches`] with the engine-configuration set
+/// selectable: `keep` decides which [`engine_configs`] rows are
+/// measured. `bench_trajectory --no-fuse` / `--no-regalloc` drop the
+/// configs running the escaped pass so its regressions can be bisected
+/// out of the picture; `--check` keeps only the guard-relevant rows.
+pub fn register_interp_benches_filter(
     c: &mut Criterion,
-    include_fused: bool,
+    keep: impl Fn(&EngineConfig) -> bool,
 ) -> Vec<InterpBenchInfo> {
     let mut infos = Vec::new();
     let mut g = c.benchmark_group("vm/interp-throughput");
@@ -216,43 +249,63 @@ pub fn register_interp_benches_with(
                 mperf_workloads::compile_for("b", w.src, platform, false).expect("bench compiles");
             // Decode once per flavour outside the timed loop (the
             // roofline-sweep usage pattern: many short-lived VMs, one
-            // decode). Configs pick the decode matching their fusion
-            // flag so no re-decode lands inside the measurement.
-            let fused = mperf_vm::decode_module_with(&module, true);
-            let unfused = mperf_vm::decode_module_with(&module, false);
+            // decode). Configs pick the decode matching their pass
+            // flags so no re-decode lands inside the measurement.
+            let decode_of = |fuse: bool, regalloc: bool| {
+                mperf_vm::decode_module_cfg(&module, mperf_vm::DecodeConfig { fuse, regalloc })
+            };
+            let full = decode_of(true, true);
+            let nofuse = decode_of(false, true);
+            let noregalloc = decode_of(true, false);
             for cfg in engine_configs() {
-                if !include_fused && cfg.fuse && cfg.engine == Engine::Decoded {
+                if !keep(&cfg) {
                     continue;
                 }
-                let decoded = if cfg.fuse { &fused } else { &unfused };
+                let decoded = match (cfg.fuse, cfg.regalloc) {
+                    (true, true) => &full,
+                    (false, true) => &nofuse,
+                    (true, false) => &noregalloc,
+                    (false, false) => unreachable!("no benched config escapes both passes"),
+                };
                 // Sanity-run once, outside timing: configs must agree.
-                let (out, mir_ops, fusion_dyn) =
-                    run_workload(&module, spec.clone(), cfg, Some(decoded), &w);
+                let run = run_workload(&module, spec.clone(), cfg, Some(decoded), &w);
                 let seed_cfg = EngineConfig {
                     name: "seed",
                     engine: Engine::Reference,
                     fuse: true,
+                    regalloc: true,
                     pmu_batched: false,
                 };
-                let (ref_out, _, _) = run_workload(&module, spec.clone(), seed_cfg, None, &w);
-                assert_eq!(out, ref_out, "engine configs diverge on {}", w.name);
+                let seed_run = run_workload(&module, spec.clone(), seed_cfg, None, &w);
+                assert_eq!(
+                    run.out, seed_run.out,
+                    "engine configs diverge on {}",
+                    w.name
+                );
 
                 let id = format!("{}-{}-{}", w.name, spec.name, cfg.name);
                 g.bench_function(&id, |b| {
-                    b.iter(|| run_workload(&module, spec.clone(), cfg, Some(decoded), &w).0)
+                    b.iter(|| run_workload(&module, spec.clone(), cfg, Some(decoded), &w).out)
                 });
+                let is_decoded = cfg.engine == Engine::Decoded;
                 infos.push(InterpBenchInfo {
                     id: format!("vm/interp-throughput/{id}"),
                     workload: w.name,
                     platform: spec.name,
                     engine: cfg.name,
-                    mir_ops_per_call: mir_ops,
-                    fusion_static: if cfg.engine == Engine::Decoded && cfg.fuse {
+                    mir_ops_per_call: run.mir_ops,
+                    fusion_static: if is_decoded && cfg.fuse {
                         decoded.fusion
                     } else {
                         mperf_vm::FusionStats::default()
                     },
-                    fusion_dyn,
+                    fusion_dyn: run.fusion_dyn,
+                    regalloc_static: if is_decoded && cfg.regalloc {
+                        decoded.regalloc
+                    } else {
+                        mperf_vm::RegallocStats::default()
+                    },
+                    regalloc_dyn: run.regalloc_dyn,
                 });
             }
         }
@@ -276,8 +329,11 @@ pub fn register_retire_benches(c: &mut Criterion) {
         b.iter(|| {
             let mut core = Core::new(PlatformSpec::x60());
             for i in 0..10_000u64 {
-                let op = MachineOp::simple(OpClass::Load, i % 64)
-                    .with_mem(MemRef::scalar(0x1_0000 + (i * 64) % (1 << 20), 8, false));
+                let op = MachineOp::simple(OpClass::Load, i % 64).with_mem(MemRef::scalar(
+                    0x1_0000 + (i * 64) % (1 << 20),
+                    8,
+                    false,
+                ));
                 core.retire(black_box(&op));
             }
             core.cycles()

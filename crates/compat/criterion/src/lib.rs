@@ -192,7 +192,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark inside the group namespace.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.as_ref());
         self.c.run_one(full, f);
         self

@@ -10,9 +10,7 @@
 
 use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
 use miniperf::report::{text_table, thousands};
-use miniperf::{
-    hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, stat, RecordConfig,
-};
+use miniperf::{hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, stat, RecordConfig};
 use mperf_event::{EventKind, HwCounter, PerfKernel};
 use mperf_sim::{Core, Platform};
 use mperf_vm::{Engine, ExecConfig, Value, Vm, VmError};
@@ -75,7 +73,13 @@ options:
                                  bisection baseline)
   --no-fuse                      disable decode-time superinstruction fusion
                                  (identical measurements, slower execution)
+  --no-regalloc                  disable decode-time register allocation /
+                                 copy coalescing (identical measurements,
+                                 slower execution)
   -h, --help                     print this help
+
+Every report starts with a `config:` line naming the engine, fusion, and
+regalloc settings it actually ran, so captured output is self-describing.
 ";
 
 struct Opts {
@@ -89,6 +93,20 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("miniperf: {msg}\n");
     eprint!("{USAGE}");
     std::process::exit(2);
+}
+
+impl Opts {
+    /// The `config:` report header: the engine/fusion/regalloc
+    /// configuration this run *actually* used, so checked-in or piped
+    /// output is self-describing.
+    fn config_line(&self) -> String {
+        format!(
+            "config: platform={} {} jobs={}",
+            self.platform.spec().name,
+            self.exec.describe(),
+            self.jobs
+        )
+    }
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -121,12 +139,11 @@ fn parse_opts(args: &[String]) -> Opts {
             "--engine" => match it.next().map(String::as_str) {
                 Some("decoded") => opts.exec.engine = Engine::Decoded,
                 Some("reference") => opts.exec.engine = Engine::Reference,
-                Some(v) => usage_error(&format!(
-                    "unknown engine {v:?} (use decoded | reference)"
-                )),
+                Some(v) => usage_error(&format!("unknown engine {v:?} (use decoded | reference)")),
                 None => usage_error("--engine needs a value"),
             },
             "--no-fuse" => opts.exec.fuse = false,
+            "--no-regalloc" => opts.exec.regalloc = false,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -194,9 +211,17 @@ fn cmd_probe() {
 }
 
 fn cmd_record(opts: &Opts) {
+    println!("{}", opts.config_line());
     let (mut vm, args) = demo_vm(opts.platform);
     vm.configure(opts.exec);
-    match record(&mut vm, "demo", &args, RecordConfig { period: opts.period }) {
+    match record(
+        &mut vm,
+        "demo",
+        &args,
+        RecordConfig {
+            period: opts.period,
+        },
+    ) {
         Ok(profile) => {
             println!(
                 "{}: {} samples via {:?} (period {}), IPC {:.2}\n",
@@ -233,6 +258,7 @@ fn cmd_record(opts: &Opts) {
 }
 
 fn cmd_stat(opts: &Opts) {
+    println!("{}", opts.config_line());
     let (mut vm, args) = demo_vm(opts.platform);
     vm.configure(opts.exec);
     let events = [
@@ -266,6 +292,7 @@ fn cmd_stat(opts: &Opts) {
 
 fn cmd_roofline(opts: &Opts) {
     use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+    println!("{}", opts.config_line());
     let mut module = mperf_workloads_compile(opts.platform, KERNEL).expect("kernel compiles");
     InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
     let spec = opts.platform.spec();

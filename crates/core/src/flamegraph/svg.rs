@@ -30,12 +30,7 @@ impl Node {
     }
 
     fn depth(&self) -> usize {
-        1 + self
-            .children
-            .values()
-            .map(Node::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
     }
 }
 
@@ -125,7 +120,9 @@ fn palette(name: &str, depth: usize) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -155,7 +152,10 @@ mod tests {
     fn widths_proportional_to_weight() {
         let svg = render_svg(&folded(), "t", 1000);
         // `main` spans the whole width (1000), `alpha` 60% (600).
-        assert!(svg.contains(r#"width="1000.0""#) || svg.contains(r#"width="1000""#), "{svg}");
+        assert!(
+            svg.contains(r#"width="1000.0""#) || svg.contains(r#"width="1000""#),
+            "{svg}"
+        );
         assert!(svg.contains(r#"width="600.0""#), "{svg}");
         assert!(svg.contains(r#"width="300.0""#), "{svg}");
     }

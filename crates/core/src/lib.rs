@@ -30,13 +30,12 @@ pub mod roofline_runner;
 pub mod stat;
 pub mod tma;
 
-pub use detect::{detect, probe_sampling, Detected, SamplingSupport, SamplingStrategy};
+pub use detect::{detect, probe_sampling, Detected, SamplingStrategy, SamplingSupport};
 pub use hotspot::{hotspot_table, HotspotRow};
-pub use profile::{Profile, ProfSample};
+pub use profile::{ProfSample, Profile};
 pub use record::{record, RecordConfig};
 pub use roofline_runner::{
     run_roofline, run_roofline_jobs, run_roofline_jobs_cfg, run_roofline_sweep, PhaseObservables,
-    RegionMeasurement,
-    RooflineJob, RooflineRun, SetupFn,
+    RegionMeasurement, RooflineJob, RooflineRun, SetupFn,
 };
 pub use stat::{stat, StatReport};

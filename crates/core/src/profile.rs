@@ -51,17 +51,13 @@ impl Profile {
 
     /// Fold a sample's call chain into a `root;...;leaf` stack string.
     pub fn stack_of(&self, s: &ProfSample) -> String {
-        let mut names: Vec<&str> = s
-            .callchain
-            .iter()
-            .map(|&pc| self.func_name(pc))
-            .collect();
+        let mut names: Vec<&str> = s.callchain.iter().map(|&pc| self.func_name(pc)).collect();
         if names.is_empty() {
             names.push(self.func_name(s.ip));
         }
         names.reverse(); // innermost-first -> root-first
-        // Collapse adjacent duplicates from dispatch blocks within the
-        // same function.
+                         // Collapse adjacent duplicates from dispatch blocks within the
+                         // same function.
         names.dedup();
         names.join(";")
     }

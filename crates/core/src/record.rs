@@ -243,13 +243,13 @@ mod tests {
     fn record_on(spec: PlatformSpec) -> Result<Profile, RecordError> {
         let module = compile("t", WORK).unwrap();
         let mut vm = Vm::new(&module, Core::new(spec));
-        let p = record(
+
+        record(
             &mut vm,
             "main_work",
             &[Value::I64(2000)],
             RecordConfig { period: 5_000 },
-        );
-        p
+        )
     }
 
     #[test]
@@ -261,11 +261,8 @@ mod tests {
         let ipc = p.ipc();
         assert!(ipc > 0.1 && ipc < 2.5, "x60 ipc {ipc}");
         // Samples attribute across the two leaves.
-        let leaves: std::collections::HashSet<&str> = p
-            .samples
-            .iter()
-            .map(|s| p.func_name(s.ip))
-            .collect();
+        let leaves: std::collections::HashSet<&str> =
+            p.samples.iter().map(|s| p.func_name(s.ip)).collect();
         assert!(leaves.contains("leaf_a"), "{leaves:?}");
         assert!(leaves.contains("leaf_b"), "{leaves:?}");
     }

@@ -26,7 +26,7 @@ use mperf_ir::Module;
 use mperf_sim::{pmu::NUM_COUNTERS, Core, PlatformSpec};
 use mperf_sweep::{queue, Phase};
 use mperf_vm::{
-    decode_module_with, DecodedModule, ExecConfig, ExecStats, RegionStats, Value, Vm, VmError,
+    decode_module_cfg, DecodedModule, ExecConfig, ExecStats, RegionStats, Value, Vm, VmError,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,6 +35,10 @@ use std::sync::Arc;
 /// fresh VM (on whichever worker thread executes the phase job, hence
 /// `Sync`) and returns the entry-point arguments.
 pub type SetupFn<'a> = &'a (dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Sync);
+
+/// An owned, thread-shareable guest-staging closure (sweep cells own
+/// their setup so a cell matrix can outlive its builder).
+pub type BoxedSetupFn<'a> = Box<dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Send + Sync + 'a>;
 
 /// Per-region correlated measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,7 +160,7 @@ pub struct RooflineJob<'a> {
     pub decoded: Option<Arc<DecodedModule>>,
     pub spec: PlatformSpec,
     pub entry: String,
-    pub setup: Box<dyn Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Send + Sync + 'a>,
+    pub setup: BoxedSetupFn<'a>,
 }
 
 /// Raw output of one phase job, pre-correlation.
@@ -225,8 +229,7 @@ fn correlate(
                 existing.loaded_bytes += i.counts.loaded_bytes;
                 existing.stored_bytes += i.counts.stored_bytes;
                 existing.int_ops += i.counts.int_ops;
-                existing.invocations =
-                    existing.invocations.max(b.invocations.max(i.invocations));
+                existing.invocations = existing.invocations.max(b.invocations.max(i.invocations));
                 existing.baseline_cycles += b.baseline_cycles;
                 existing.instrumented_cycles += i.instrumented_cycles;
                 existing.unbalanced_ends += unbalanced;
@@ -297,10 +300,10 @@ pub fn run_roofline_jobs(
 }
 
 /// [`run_roofline_jobs`] with an explicit engine configuration — the
-/// `--engine` / `--no-fuse` plumbing for regression bisection. Every
-/// configuration is observably identical (fusion and engine choice
-/// change speed, never measurements); the decode shared by both phase
-/// jobs is built in the requested flavour.
+/// `--engine` / `--no-fuse` / `--no-regalloc` plumbing for regression
+/// bisection. Every configuration is observably identical (engine
+/// choice and decode passes change speed, never measurements); the
+/// decode shared by both phase jobs is built in the requested flavour.
 ///
 /// # Errors
 /// See [`run_roofline_jobs`].
@@ -312,7 +315,7 @@ pub fn run_roofline_jobs_cfg(
     jobs: usize,
     cfg: ExecConfig,
 ) -> Result<RooflineRun, VmError> {
-    let decoded = decode_module_with(module, cfg.fuse);
+    let decoded = decode_module_cfg(module, cfg.decode());
     let mut phases = queue::try_run_jobs(Vec::from(Phase::BOTH), jobs, |_, phase| {
         run_phase(module, &decoded, spec, entry, setup, phase, cfg.engine)
     })?;
@@ -335,7 +338,7 @@ pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<Roof
         .map(|c| {
             c.decoded
                 .clone()
-                .unwrap_or_else(|| decode_module_with(c.module, true))
+                .unwrap_or_else(|| decode_module_cfg(c.module, ExecConfig::default().decode()))
         })
         .collect();
     // Expand cells into phase jobs in serial order: cell-major, then
@@ -371,10 +374,10 @@ pub fn run_roofline_sweep(cells: &[RooflineJob], jobs: usize) -> Vec<Result<Roof
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
-    use mperf_vm::decode_module;
-    use mperf_ir::transform::PassManager;
     use mperf_ir::compile;
+    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+    use mperf_ir::transform::PassManager;
+    use mperf_vm::decode_module;
 
     const TRIAD: &str = r#"
         fn triad(a: *f32, b: *f32, c: *f32, n: i64, k: f32) {
@@ -494,13 +497,8 @@ mod tests {
             let a = vm.mem.alloc(1024 * 8, 64)?;
             Ok(vec![Value::I64(a as i64), Value::I64(1024), Value::I64(5)])
         };
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::c910(),
-            "driver",
-            &setup,
-        )
-        .unwrap();
+        let run =
+            run_roofline(&module, &mperf_sim::PlatformSpec::c910(), "driver", &setup).unwrap();
         // The kernel loop region is invoked 5 times. (The driver loop
         // contains a call, so it is flagged; filter to the leaf region.)
         let leaf = run

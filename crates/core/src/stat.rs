@@ -24,7 +24,10 @@ impl StatReport {
 
     /// Count of one requested event.
     pub fn count_of(&self, kind: EventKind) -> Option<u64> {
-        self.counts.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v)
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -85,13 +88,19 @@ pub fn stat(
             .map_err(StatError::Perf)?;
         fds.push((ev, fd));
     }
-    for fd in [cycles_fd, instr_fd].into_iter().chain(fds.iter().map(|(_, f)| *f)) {
+    for fd in [cycles_fd, instr_fd]
+        .into_iter()
+        .chain(fds.iter().map(|(_, f)| *f))
+    {
         kernel.enable(&mut vm.core, fd).map_err(StatError::Perf)?;
     }
 
     let run = vm.call(entry, args);
     let kernel = vm.kernel.as_mut().expect("still attached");
-    for fd in [cycles_fd, instr_fd].into_iter().chain(fds.iter().map(|(_, f)| *f)) {
+    for fd in [cycles_fd, instr_fd]
+        .into_iter()
+        .chain(fds.iter().map(|(_, f)| *f))
+    {
         kernel.disable(&mut vm.core, fd).map_err(StatError::Perf)?;
     }
     run.map_err(StatError::Vm)?;

@@ -110,8 +110,7 @@ pub fn analyze(vm: &mut Vm, entry: &str, args: &[Value]) -> Result<TmaReport, Tm
     } else {
         1.0
     };
-    let mem_cycles = (l1d_misses.saturating_sub(l2_misses)) as f64
-        * spec.caches.l2.latency as f64
+    let mem_cycles = (l1d_misses.saturating_sub(l2_misses)) as f64 * spec.caches.l2.latency as f64
         / overlap
         + l2_misses as f64 * spec.caches.dram_latency as f64 / overlap;
     let backend_bound = (mem_cycles / cycles as f64).min(1.0 - retiring - bad_speculation);
@@ -176,10 +175,7 @@ mod tests {
             &[Value::I64(p as i64), Value::I64(50_000)],
         )
         .unwrap();
-        assert!(
-            t.backend_bound > t.bad_speculation,
-            "{t:?}"
-        );
+        assert!(t.backend_bound > t.bad_speculation, "{t:?}");
         assert_eq!(t.dominant(), "backend-bound", "{t:?}");
         assert!(t.l1d_misses > 10_000, "{t:?}");
     }

@@ -54,8 +54,8 @@ impl Cfg {
         }
         // Prune edges from/to unreachable blocks out of pred lists so
         // downstream analyses see only the reachable subgraph.
-        for b in 0..n {
-            preds[b].retain(|p| rpo_index[p.index()] != usize::MAX);
+        for pred in preds.iter_mut().take(n) {
+            pred.retain(|p| rpo_index[p.index()] != usize::MAX);
         }
         Cfg {
             preds,
@@ -130,13 +130,7 @@ mod tests {
     fn diamond_shape() {
         let f = diamond();
         let cfg = Cfg::compute(&f);
-        let (e, a, b, j, dead) = (
-            BlockId(0),
-            BlockId(1),
-            BlockId(2),
-            BlockId(3),
-            BlockId(4),
-        );
+        let (e, a, b, j, dead) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3), BlockId(4));
         assert_eq!(cfg.succs(e), &[a, b]);
         assert_eq!(cfg.preds(j), &[a, b]);
         assert!(cfg.is_reachable(j));

@@ -58,7 +58,10 @@ impl Dominators {
     }
 
     fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
-        let pos = |x: BlockId| cfg.rpo_index(x).expect("block in dom computation is reachable");
+        let pos = |x: BlockId| {
+            cfg.rpo_index(x)
+                .expect("block in dom computation is reachable")
+        };
         while a != b {
             while pos(a) > pos(b) {
                 a = idom[a.index()].expect("reachable");

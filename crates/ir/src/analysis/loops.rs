@@ -302,7 +302,10 @@ mod tests {
             .find(|l| l.depth == 2)
             .expect("inner loop");
         for b in &inner.blocks {
-            assert!(outer.contains(*b), "outer loop must contain inner block {b}");
+            assert!(
+                outer.contains(*b),
+                "outer loop must contain inner block {b}"
+            );
         }
     }
 
@@ -314,7 +317,10 @@ mod tests {
         );
         let cfg = Cfg::compute(&f);
         let l = &forest.loops()[0];
-        assert!(l.preheader(&f, &cfg).is_some(), "entry block is a preheader");
+        assert!(
+            l.preheader(&f, &cfg).is_some(),
+            "entry block is a preheader"
+        );
         let exits = l.exit_edges(&f);
         assert_eq!(exits.len(), 1);
     }

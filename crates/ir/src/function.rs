@@ -254,14 +254,26 @@ impl FunctionBuilder {
     /// Emit a binary operation and return its destination register.
     pub fn bin(&mut self, op: crate::inst::BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Reg {
         let dst = self.fresh(ty);
-        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
     /// Emit a comparison producing a `bool` register.
     pub fn cmp(&mut self, op: crate::inst::CmpOp, ty: Ty, lhs: Operand, rhs: Operand) -> Reg {
         let dst = self.fresh(Ty::Bool);
-        self.push(Inst::Cmp { op, ty, dst, lhs, rhs });
+        self.push(Inst::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -297,7 +309,12 @@ impl FunctionBuilder {
     }
 
     /// Emit a call. Result registers are allocated from `ret_tys`.
-    pub fn call(&mut self, callee: crate::inst::Callee, args: Vec<Operand>, ret_tys: &[Ty]) -> Vec<Reg> {
+    pub fn call(
+        &mut self,
+        callee: crate::inst::Callee,
+        args: Vec<Operand>,
+        ret_tys: &[Ty],
+    ) -> Vec<Reg> {
         let dsts: Vec<Reg> = ret_tys.iter().map(|&t| self.fresh(t)).collect();
         self.push(Inst::Call {
             dsts: dsts.clone(),

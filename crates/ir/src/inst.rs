@@ -214,7 +214,12 @@ pub enum Inst {
         rhs: Operand,
     },
     /// `dst = un op src`.
-    Un { op: UnOp, ty: Ty, dst: Reg, src: Operand },
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: Reg,
+        src: Operand,
+    },
     /// `dst = fma ty a, b, c` computing `a * b + c` with one rounding.
     /// Counts as 2 FLOPs per lane.
     Fma {
@@ -271,7 +276,11 @@ pub enum Inst {
     Splat { ty: Ty, dst: Reg, src: Operand },
     /// `dst = reduce.op src` horizontally reducing a vector to its scalar
     /// element type.
-    Reduce { op: ReduceOp, dst: Reg, src: Operand },
+    Reduce {
+        op: ReduceOp,
+        dst: Reg,
+        src: Operand,
+    },
     /// `dsts = call callee(args)` — multi-value returns are permitted
     /// (used by the code extractor; MiniC itself only produces 0 or 1).
     Call {
@@ -337,7 +346,9 @@ impl Inst {
                 out.push(*addr);
                 out.push(*stride);
             }
-            Inst::Store { addr, val, stride, .. } => {
+            Inst::Store {
+                addr, val, stride, ..
+            } => {
                 out.push(*addr);
                 out.push(*val);
                 out.push(*stride);
@@ -389,7 +400,9 @@ impl Inst {
                 map_op(addr, &mut f);
                 map_op(stride, &mut f);
             }
-            Inst::Store { addr, val, stride, .. } => {
+            Inst::Store {
+                addr, val, stride, ..
+            } => {
                 map_op(addr, &mut f);
                 map_op(val, &mut f);
                 map_op(stride, &mut f);
@@ -519,7 +532,10 @@ impl Term {
     }
 
     /// Rewrite successor block ids through `f`.
-    pub fn map_succs(&mut self, mut f: impl FnMut(crate::function::BlockId) -> crate::function::BlockId) {
+    pub fn map_succs(
+        &mut self,
+        mut f: impl FnMut(crate::function::BlockId) -> crate::function::BlockId,
+    ) {
         match self {
             Term::Br(b) => *b = f(*b),
             Term::CondBr { t, f: fb, .. } => {
@@ -577,7 +593,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.swapped().swapped(), op);
         }

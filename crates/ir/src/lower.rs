@@ -138,13 +138,21 @@ impl Lowerer<'_> {
                     None => zero_of(reg_ty(ty)),
                 };
                 let t = reg_ty(ty);
-                self.b.push(Inst::Copy { ty: t, dst, src: val });
+                self.b.push(Inst::Copy {
+                    ty: t,
+                    dst,
+                    src: val,
+                });
             }
             CStmt::AssignVar { slot, rhs, .. } => {
                 let dst = self.slot_regs[slot.0 as usize];
                 let val = self.expr(rhs);
                 let t = self.b.func().ty_of(dst);
-                self.b.push(Inst::Copy { ty: t, dst, src: val });
+                self.b.push(Inst::Copy {
+                    ty: t,
+                    dst,
+                    src: val,
+                });
             }
             CStmt::Store { addr, rhs, .. } => {
                 let a = self.addr(addr);
@@ -250,7 +258,11 @@ impl Lowerer<'_> {
                 self.b.switch_to(exit);
             }
             CStmt::Break(_) => {
-                let target = self.loops.last().expect("checker verified loop depth").break_to;
+                let target = self
+                    .loops
+                    .last()
+                    .expect("checker verified loop depth")
+                    .break_to;
                 self.b.br(target);
             }
             CStmt::Continue(_) => {
@@ -366,7 +378,11 @@ impl Lowerer<'_> {
                 let a = self.addr(addr);
                 self.b.load(a, addr.elem.mem_ty()).into()
             }
-            CExprKind::Call { name, args, is_host } => {
+            CExprKind::Call {
+                name,
+                args,
+                is_host,
+            } => {
                 let argv: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
                 if *is_host {
                     let sig = &self.module.host_sigs[name];
@@ -622,7 +638,12 @@ mod tests {
         let src = "fn f(n: i64) {\n  var i: i64 = 0;\n  while (i < n) {\n    i = i + 1;\n  }\n}";
         let m = compile("t", src).unwrap();
         let f = m.func_by_name("f").unwrap();
-        let lines: Vec<u32> = f.blocks.iter().map(|b| b.line).filter(|&l| l != 0).collect();
+        let lines: Vec<u32> = f
+            .blocks
+            .iter()
+            .map(|b| b.line)
+            .filter(|&l| l != 0)
+            .collect();
         assert!(lines.contains(&3), "expected header line 3, got {lines:?}");
     }
 }

@@ -169,7 +169,10 @@ pub enum ExprKind {
 pub enum LValue {
     Var(String),
     /// `p[i] = v`.
-    Index { base: Expr, idx: Expr },
+    Index {
+        base: Expr,
+        idx: Expr,
+    },
     /// `*p = v`.
     Deref(Expr),
 }

@@ -174,7 +174,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     return Err(err(line, "unterminated char literal".into()));
                 }
                 i += 1;
-                out.push(Token { tok: Tok::Int(v), line });
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    line,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -201,7 +204,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -234,7 +241,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     let v: i64 = text
                         .parse()
                         .map_err(|e| err(line, format!("bad int literal: {e}")))?;
-                    out.push(Token { tok: Tok::Int(v), line });
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -302,7 +312,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -375,7 +388,13 @@ mod tests {
     fn lexes_char_literals() {
         assert_eq!(
             kinds(r"'a' '\n' '\0' '%'"),
-            vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Int(37), Tok::Eof]
+            vec![
+                Tok::Int(97),
+                Tok::Int(10),
+                Tok::Int(0),
+                Tok::Int(37),
+                Tok::Eof
+            ]
         );
     }
 

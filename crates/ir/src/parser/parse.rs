@@ -617,8 +617,18 @@ mod tests {
         let body = &p.funcs[0].body;
         match &body[0].kind {
             StmtKind::Return(Some(e)) => match &e.kind {
-                ExprKind::Bin { op: BinKind::Add, rhs, .. } => {
-                    assert!(matches!(rhs.kind, ExprKind::Bin { op: BinKind::Mul, .. }));
+                ExprKind::Bin {
+                    op: BinKind::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        rhs.kind,
+                        ExprKind::Bin {
+                            op: BinKind::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -641,7 +651,10 @@ mod tests {
     fn parses_index_assignment() {
         let p = parse_ok("fn f(a: *i64) { a[3] = 4; }");
         match &p.funcs[0].body[0].kind {
-            StmtKind::Assign { lhs: LValue::Index { .. }, .. } => {}
+            StmtKind::Assign {
+                lhs: LValue::Index { .. },
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -650,7 +663,10 @@ mod tests {
     fn parses_deref_assignment_and_rvalue() {
         let p = parse_ok("fn f(a: *i64) { *a = *a + 1; }");
         match &p.funcs[0].body[0].kind {
-            StmtKind::Assign { lhs: LValue::Deref(_), rhs } => {
+            StmtKind::Assign {
+                lhs: LValue::Deref(_),
+                rhs,
+            } => {
                 assert!(matches!(rhs.kind, ExprKind::Bin { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -661,7 +677,9 @@ mod tests {
     fn parses_for_loop() {
         let p = parse_ok("fn f(n: i64) { for (var i: i64 = 0; i < n; i = i + 1) { } }");
         match &p.funcs[0].body[0].kind {
-            StmtKind::For { init, cond, step, .. } => {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(step.is_some());
@@ -720,7 +738,11 @@ mod tests {
         let p = parse_ok("fn f(a: i64, b: f64) -> f64 { return a as f64 * b; }");
         match &p.funcs[0].body[0].kind {
             StmtKind::Return(Some(e)) => match &e.kind {
-                ExprKind::Bin { op: BinKind::Mul, lhs, .. } => {
+                ExprKind::Bin {
+                    op: BinKind::Mul,
+                    lhs,
+                    ..
+                } => {
                     assert!(matches!(lhs.kind, ExprKind::Cast { .. }));
                 }
                 other => panic!("unexpected {other:?}"),

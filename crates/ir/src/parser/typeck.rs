@@ -196,7 +196,10 @@ pub fn check(p: &Program) -> Result<CProgram, CompileError> {
             )
             .is_some()
         {
-            return Err(err(e.line, format!("duplicate declaration of `{}`", e.name)));
+            return Err(err(
+                e.line,
+                format!("duplicate declaration of `{}`", e.name),
+            ));
         }
     }
     for f in &p.funcs {
@@ -301,7 +304,10 @@ impl Checker<'_> {
         match &s.kind {
             StmtKind::Var { name, ty, init } => {
                 if !ty.is_reg_ty() {
-                    return Err(err(line, format!("variable `{name}` has non-value type {ty}")));
+                    return Err(err(
+                        line,
+                        format!("variable `{name}` has non-value type {ty}"),
+                    ));
                 }
                 let cinit = match init {
                     Some(e) => Some(self.expr_expect(e, ty)?),
@@ -446,7 +452,10 @@ impl Checker<'_> {
     fn addr_of_index(&mut self, base: &Expr, idx: &Expr, line: u32) -> Result<CAddr, CompileError> {
         let b = self.expr(base, None)?;
         let AstTy::Ptr(elem) = b.ty.clone() else {
-            return Err(err(line, format!("indexing a non-pointer of type {}", b.ty)));
+            return Err(err(
+                line,
+                format!("indexing a non-pointer of type {}", b.ty),
+            ));
         };
         if !elem.is_mem_ty() {
             return Err(err(line, format!("cannot access memory of type {elem}")));
@@ -462,7 +471,10 @@ impl Checker<'_> {
     fn addr_of_deref(&mut self, p: &Expr, line: u32) -> Result<CAddr, CompileError> {
         let b = self.expr(p, None)?;
         let AstTy::Ptr(elem) = b.ty.clone() else {
-            return Err(err(line, format!("dereferencing a non-pointer of type {}", b.ty)));
+            return Err(err(
+                line,
+                format!("dereferencing a non-pointer of type {}", b.ty),
+            ));
         };
         if !elem.is_mem_ty() {
             return Err(err(line, format!("cannot access memory of type {elem}")));
@@ -926,8 +938,7 @@ mod tests {
 
     #[test]
     fn extern_calls_resolve_as_host() {
-        let p =
-            check_src("extern fn print_i64(v: i64); fn f() { print_i64(42); }").unwrap();
+        let p = check_src("extern fn print_i64(v: i64); fn f() { print_i64(42); }").unwrap();
         match &p.funcs[0].body[0] {
             CStmt::Expr(CExpr {
                 kind: CExprKind::Call { is_host, .. },

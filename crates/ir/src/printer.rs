@@ -60,10 +60,22 @@ impl fmt::Display for DisplayInst<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let _ = self.func;
         match self.inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = {} {ty} {lhs}, {rhs}", op.mnemonic())
             }
-            Inst::Cmp { op, ty, dst, lhs, rhs } => {
+            Inst::Cmp {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = cmp.{} {ty} {lhs}, {rhs}", op.mnemonic())
             }
             Inst::Un { op, ty, dst, src } => {
@@ -75,14 +87,26 @@ impl fmt::Display for DisplayInst<'_> {
                 write!(f, "{dst} = {m} {ty} {src}")
             }
             Inst::Fma { ty, dst, a, b, c } => write!(f, "{dst} = fma {ty} {a}, {b}, {c}"),
-            Inst::Load { dst, addr, mem, lanes, stride } => {
+            Inst::Load {
+                dst,
+                addr,
+                mem,
+                lanes,
+                stride,
+            } => {
                 if *lanes == 1 {
                     write!(f, "{dst} = load.{mem} {addr}")
                 } else {
                     write!(f, "{dst} = vload.{mem}x{lanes} {addr}, stride {stride}")
                 }
             }
-            Inst::Store { addr, val, mem, lanes, stride } => {
+            Inst::Store {
+                addr,
+                val,
+                mem,
+                lanes,
+                stride,
+            } => {
                 if *lanes == 1 {
                     write!(f, "store.{mem} {addr}, {val}")
                 } else {
@@ -90,7 +114,13 @@ impl fmt::Display for DisplayInst<'_> {
                 }
             }
             Inst::PtrAdd { dst, base, offset } => write!(f, "{dst} = ptradd {base}, {offset}"),
-            Inst::Select { ty, dst, cond, t, f: fv } => {
+            Inst::Select {
+                ty,
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
                 write!(f, "{dst} = select {ty} {cond}, {t}, {fv}")
             }
             Inst::Cast { kind, dst, src } => {
@@ -183,7 +213,10 @@ mod tests {
         b.ret(vec![]);
         let f = b.finish();
         let text = f.to_string();
-        assert!(text.contains("fn @axpy(%0: ptr, %1: f32, %2: i64)"), "{text}");
+        assert!(
+            text.contains("fn @axpy(%0: ptr, %1: f32, %2: i64)"),
+            "{text}"
+        );
         assert!(text.contains("%3 = load.f32 %0"), "{text}");
         assert!(text.contains("%4 = fmul f32 %3, %1"), "{text}");
         assert!(text.contains("store.f32 %0, %4"), "{text}");

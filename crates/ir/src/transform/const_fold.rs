@@ -45,7 +45,13 @@ pub fn fold_function(f: &mut Function) -> bool {
 
 fn fold_inst(inst: &Inst) -> Option<Inst> {
     match inst {
-        Inst::Bin { op, ty, dst, lhs, rhs } if !ty.is_vector() => {
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } if !ty.is_vector() => {
             if let Some(v) = eval_bin(*op, *lhs, *rhs) {
                 return Some(Inst::Copy {
                     ty: *ty,
@@ -55,7 +61,13 @@ fn fold_inst(inst: &Inst) -> Option<Inst> {
             }
             identity_bin(*op, *ty, *dst, *lhs, *rhs)
         }
-        Inst::Cmp { op, ty, dst, lhs, rhs } if !ty.is_vector() => {
+        Inst::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } if !ty.is_vector() => {
             let v = eval_cmp(*op, *lhs, *rhs)?;
             Some(Inst::Copy {
                 ty: Ty::Bool,
@@ -77,7 +89,13 @@ fn fold_inst(inst: &Inst) -> Option<Inst> {
                 src: v,
             })
         }
-        Inst::Select { ty, dst, cond, t, f } => match cond {
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            t,
+            f,
+        } => match cond {
             Operand::Bool(true) => Some(Inst::Copy {
                 ty: *ty,
                 dst: *dst,
@@ -236,13 +254,7 @@ fn identity_bin(
     if ty != Ty::I64 {
         return None;
     }
-    let copy = |src: Operand| {
-        Some(Inst::Copy {
-            ty,
-            dst,
-            src,
-        })
-    };
+    let copy = |src: Operand| Some(Inst::Copy { ty, dst, src });
     match (op, lhs, rhs) {
         (BinOp::Add, x, Operand::I64(0)) | (BinOp::Add, Operand::I64(0), x) => copy(x),
         (BinOp::Sub, x, Operand::I64(0)) => copy(x),
@@ -254,9 +266,8 @@ fn identity_bin(
         (BinOp::And, _, Operand::I64(0)) | (BinOp::And, Operand::I64(0), _) => {
             copy(Operand::I64(0))
         }
-        (BinOp::Or | BinOp::Xor, x, Operand::I64(0)) | (BinOp::Or | BinOp::Xor, Operand::I64(0), x) => {
-            copy(x)
-        }
+        (BinOp::Or | BinOp::Xor, x, Operand::I64(0))
+        | (BinOp::Or | BinOp::Xor, Operand::I64(0), x) => copy(x),
         _ => None,
     }
 }

@@ -111,7 +111,13 @@ pub fn extract_region(
 
     // Region block order: header first, then the rest sorted.
     let mut order: Vec<BlockId> = vec![region.header];
-    order.extend(region.blocks.iter().copied().filter(|&b| b != region.header));
+    order.extend(
+        region
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| b != region.header),
+    );
 
     // Block id map; g's entry (bb0) hosts the header copy.
     let mut block_map: BTreeMap<BlockId, BlockId> = BTreeMap::new();
@@ -135,7 +141,9 @@ pub fn extract_region(
             inst.map_uses(|r| map_reg(&mut g, f, &mut reg_map, r));
             inst.map_defs(|r| map_reg(&mut g, f, &mut reg_map, r));
         }
-        new_block.term.map_uses(|r| map_reg(&mut g, f, &mut reg_map, r));
+        new_block
+            .term
+            .map_uses(|r| map_reg(&mut g, f, &mut reg_map, r));
         new_block.term.map_succs(|s| {
             if s == region.exit_target {
                 ret_bb
@@ -168,7 +176,10 @@ pub fn extract_region(
     let call_inst = Inst::Call {
         dsts: outputs.clone(),
         callee: Callee::Func(g_id),
-        args: inputs.iter().map(|&r| crate::value::Operand::Reg(r)).collect(),
+        args: inputs
+            .iter()
+            .map(|&r| crate::value::Operand::Reg(r))
+            .collect(),
     };
     {
         let cb = f.block_mut(call_block);
@@ -186,12 +197,8 @@ pub fn extract_region(
     // block ids stay stable while the instrumentation pass processes the
     // remaining loops of this function; callers compact at the end via
     // [`simplify_cfg::remove_unreachable`].
-    let stub_rets: Vec<crate::value::Operand> = f
-        .ret_tys
-        .clone()
-        .into_iter()
-        .map(zero_operand)
-        .collect();
+    let stub_rets: Vec<crate::value::Operand> =
+        f.ret_tys.clone().into_iter().map(zero_operand).collect();
     for &b in &region.blocks {
         let blk = f.block_mut(b);
         blk.insts.clear();
@@ -221,12 +228,7 @@ fn zero_operand(ty: crate::types::Ty) -> crate::value::Operand {
     }
 }
 
-fn map_reg(
-    g: &mut Function,
-    f: &Function,
-    reg_map: &mut BTreeMap<Reg, Reg>,
-    r: Reg,
-) -> Reg {
+fn map_reg(g: &mut Function, f: &Function, reg_map: &mut BTreeMap<Reg, Reg>, r: Reg) -> Reg {
     if let Some(&m) = reg_map.get(&r) {
         return m;
     }

@@ -100,17 +100,17 @@ pub fn fuse_function(f: &mut Function) -> bool {
                     } = inst
                     {
                         let t_op = Operand::Reg(t);
-                        if *add_ty == ty && (*lhs == t_op || *rhs == t_op) && !(*lhs == t_op && *rhs == t_op) {
+                        if *add_ty == ty
+                            && (*lhs == t_op || *rhs == t_op)
+                            && !(*lhs == t_op && *rhs == t_op)
+                        {
                             found = Some(j);
                         }
                     }
                     break 'scan;
                 }
                 for d in defs {
-                    if d == t
-                        || Operand::Reg(d) == a
-                        || Operand::Reg(d) == bb
-                    {
+                    if d == t || Operand::Reg(d) == a || Operand::Reg(d) == bb {
                         break 'scan;
                     }
                 }
@@ -173,7 +173,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Bin { op: BinOp::FMul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::FMul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 0, "fmul should be consumed: {f}");
     }
@@ -217,7 +225,10 @@ mod tests {
 
     #[test]
     fn int_mul_add_untouched() {
-        let f = fused("fn f(a: i64, b: i64, c: i64) -> i64 { return a * b + c; }", "f");
+        let f = fused(
+            "fn f(a: i64, b: i64, c: i64) -> i64 { return a * b + c; }",
+            "f",
+        );
         assert_eq!(count_fma(&f), 0);
     }
 }

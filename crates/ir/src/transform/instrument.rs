@@ -31,7 +31,7 @@ pub const HOST_IS_INSTRUMENTED: &str = "mperf.is_instrumented";
 pub const HOST_LOOP_END: &str = "mperf.loop_end";
 
 /// Options controlling which loops are instrumented.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct InstrumentOptions {
     /// Instrument nested loops individually in addition to top-level
     /// nests. Default: false (one region per loop nest, like the paper).
@@ -39,15 +39,6 @@ pub struct InstrumentOptions {
     /// Restrict instrumentation to these functions (by name). `None`
     /// means all non-synthetic functions.
     pub target_funcs: Option<Vec<String>>,
-}
-
-impl Default for InstrumentOptions {
-    fn default() -> Self {
-        InstrumentOptions {
-            nested: false,
-            target_funcs: None,
-        }
-    }
 }
 
 /// Why a loop was skipped.
@@ -303,11 +294,7 @@ fn rewrite_call_site(
     }
     {
         let bp = f.block_mut(bb_plain);
-        bp.insts.push(Inst::Call {
-            dsts,
-            callee,
-            args,
-        });
+        bp.insts.push(Inst::Call { dsts, callee, args });
         bp.term = Term::Br(bb_end);
     }
     {
@@ -410,7 +397,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(host_calls.contains(&HOST_LOOP_BEGIN.to_string()), "{host_calls:?}");
+        assert!(
+            host_calls.contains(&HOST_LOOP_BEGIN.to_string()),
+            "{host_calls:?}"
+        );
         assert!(host_calls.contains(&HOST_IS_INSTRUMENTED.to_string()));
         assert!(host_calls.contains(&HOST_LOOP_END.to_string()));
         // Two guest calls: one to each clone.
@@ -418,7 +408,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Call { callee: Callee::Func(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Func(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(guest_calls, 2);
     }

@@ -42,7 +42,9 @@ pub fn ensure_preheader(f: &mut Function, header: BlockId) -> Option<BlockId> {
     f.block_mut(pre).term = Term::Br(header);
     f.block_mut(pre).line = f.block(header).line;
     for p in outside_preds {
-        f.block_mut(p).term.map_succs(|s| if s == header { pre } else { s });
+        f.block_mut(p)
+            .term
+            .map_succs(|s| if s == header { pre } else { s });
     }
     Some(pre)
 }

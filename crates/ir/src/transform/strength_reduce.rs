@@ -212,20 +212,22 @@ mod tests {
     #[test]
     fn pow2_mul_becomes_shift() {
         let f = reduced("fn f(x: i64) -> i64 { return x * 8; }", "f");
-        let has_shl = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Bin { op: BinOp::Shl, rhs: Operand::I64(3), .. }));
+        let has_shl = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinOp::Shl,
+                    rhs: Operand::I64(3),
+                    ..
+                }
+            )
+        });
         assert!(has_shl, "{f}");
     }
 
     #[test]
     fn pow2_div_and_rem_eliminated() {
-        let f = reduced(
-            "fn f(x: i64) -> i64 { return x / 64 + x % 16; }",
-            "f",
-        );
+        let f = reduced("fn f(x: i64) -> i64 { return x / 64 + x % 16; }", "f");
         assert_eq!(count_divs(&f), 0, "{f}");
     }
 
@@ -257,7 +259,10 @@ mod tests {
                 'outer: loop {
                     let b = f.block(block);
                     for inst in &b.insts {
-                        if let Inst::Bin { op, dst, lhs, rhs, .. } = inst {
+                        if let Inst::Bin {
+                            op, dst, lhs, rhs, ..
+                        } = inst
+                        {
                             let ev = |o: &Operand, regs: &[i64]| match o {
                                 Operand::Reg(r) => regs[r.index()],
                                 Operand::I64(v) => *v,

@@ -418,11 +418,17 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
             _ => continue,
         };
         // Find `copy acc, x` right after.
-        let Some(j) = bblock.insts.iter().enumerate().skip(i + 1).find_map(|(j, k)| {
-            matches!(k, Inst::Copy { dst, src: Operand::Reg(s), .. }
+        let Some(j) = bblock
+            .insts
+            .iter()
+            .enumerate()
+            .skip(i + 1)
+            .find_map(|(j, k)| {
+                matches!(k, Inst::Copy { dst, src: Operand::Reg(s), .. }
                      if *dst == acc_candidate && *s == x)
-            .then_some(j)
-        }) else {
+                .then_some(j)
+            })
+        else {
             continue;
         };
         // acc must not be used elsewhere in the body.
@@ -455,20 +461,21 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
     let mut elem_tys: Vec<Ty> = Vec::new();
     let mut any_vector = false;
 
-    let deriv_of = |op: Operand, affine: &HashMap<Reg, Deriv>, body_defs: &[Reg]| -> Option<Deriv> {
-        match op {
-            Operand::Reg(r) => {
-                if let Some(d) = affine.get(&r) {
-                    Some(*d)
-                } else if !body_defs.contains(&r) {
-                    Some(Deriv::Zero)
-                } else {
-                    None
+    let deriv_of =
+        |op: Operand, affine: &HashMap<Reg, Deriv>, body_defs: &[Reg]| -> Option<Deriv> {
+            match op {
+                Operand::Reg(r) => {
+                    if let Some(d) = affine.get(&r) {
+                        Some(*d)
+                    } else if !body_defs.contains(&r) {
+                        Some(Deriv::Zero)
+                    } else {
+                        None
+                    }
                 }
+                _ => Some(Deriv::Zero),
             }
-            _ => Some(Deriv::Zero),
-        }
-    };
+        };
     let is_vec = |op: Operand, vec_regs: &[bool]| match op {
         Operand::Reg(r) => vec_regs[r.index()],
         _ => false,
@@ -497,7 +504,11 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                 let ok = match inst {
                     Inst::Bin { lhs, rhs, .. } => {
                         let (acc_reg, _) = acc.expect("reduction implies acc");
-                        let other = if *lhs == Operand::Reg(acc_reg) { *rhs } else { *lhs };
+                        let other = if *lhs == Operand::Reg(acc_reg) {
+                            *rhs
+                        } else {
+                            *lhs
+                        };
                         vectorizable_operand(other, &vec_regs, &affine, &body_defs)
                     }
                     Inst::Fma { a, b, .. } => {
@@ -522,7 +533,13 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
             }
         }
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 // Try affine/invariant scalar first.
                 let dl = deriv_of(*lhs, &affine, &body_defs);
                 let dr = deriv_of(*rhs, &affine, &body_defs);
@@ -541,9 +558,7 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                     },
                     // Strength-reduced scaling: `x << k` is `x * 2^k`.
                     (BinOp::Shl, Some(a), Some(Deriv::Zero)) => match *rhs {
-                        Operand::I64(k) if (0..63).contains(&k) => {
-                            Some(a.scale_imm(1i64 << k))
-                        }
+                        Operand::I64(k) if (0..63).contains(&k) => Some(a.scale_imm(1i64 << k)),
                         _ => None,
                     },
                     (_, Some(Deriv::Zero), Some(Deriv::Zero)) => Some(Deriv::Zero),
@@ -581,7 +596,9 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                         plans.push(Plan::VArith);
                         continue;
                     }
-                    if scalar_deriv == Some(Deriv::Zero) || (ty.is_float() && dl == Some(Deriv::Zero) && dr == Some(Deriv::Zero)) {
+                    if scalar_deriv == Some(Deriv::Zero)
+                        || (ty.is_float() && dl == Some(Deriv::Zero) && dr == Some(Deriv::Zero))
+                    {
                         // Invariant FP computation stays scalar.
                         affine.insert(*dst, Deriv::Zero);
                         plans.push(Plan::Scalar);
@@ -625,7 +642,13 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                 plans.push(Plan::Scalar);
                 continue;
             }
-            Inst::Load { dst, addr, mem, lanes, .. } => {
+            Inst::Load {
+                dst,
+                addr,
+                mem,
+                lanes,
+                ..
+            } => {
                 if *lanes != 1 {
                     return Err("already vectorized".into());
                 }
@@ -645,9 +668,7 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                     }
                     Deriv::Imm(_) | Deriv::Scaled(..) => {
                         if !caps.allow_strided {
-                            return Err(
-                                "strided vector load not supported by target".into()
-                            );
+                            return Err("strided vector load not supported by target".into());
                         }
                         vec_regs[dst.index()] = true;
                         elem_tys.push(mem.reg_ty());
@@ -657,7 +678,13 @@ fn classify(f: &Function, header: BlockId, caps: TargetVecCaps) -> Result<LoopSh
                 }
                 continue;
             }
-            Inst::Store { addr, val, mem, lanes, .. } => {
+            Inst::Store {
+                addr,
+                val,
+                mem,
+                lanes,
+                ..
+            } => {
                 if *lanes != 1 {
                     return Err("already vectorized".into());
                 }
@@ -800,27 +827,28 @@ fn emit(f: &mut Function, shape: &LoopShape) {
     // Stride materialization for Scaled derivs (shared across accesses).
     let mut stride_cache: HashMap<(Reg, i64), Reg> = HashMap::new();
     let body_insts = f.block(shape.body).insts.clone();
-    let mut materialize_stride = |f: &mut Function, vpre_insts: &mut Vec<Inst>, d: Deriv| -> Operand {
-        match d {
-            Deriv::Zero => Operand::I64(0),
-            Deriv::Imm(k) => Operand::I64(k),
-            Deriv::Scaled(r, m) => {
-                if let Some(&s) = stride_cache.get(&(r, m)) {
-                    return Operand::Reg(s);
+    let mut materialize_stride =
+        |f: &mut Function, vpre_insts: &mut Vec<Inst>, d: Deriv| -> Operand {
+            match d {
+                Deriv::Zero => Operand::I64(0),
+                Deriv::Imm(k) => Operand::I64(k),
+                Deriv::Scaled(r, m) => {
+                    if let Some(&s) = stride_cache.get(&(r, m)) {
+                        return Operand::Reg(s);
+                    }
+                    let s = f.fresh_reg(Ty::I64);
+                    vpre_insts.push(Inst::Bin {
+                        op: BinOp::Mul,
+                        ty: Ty::I64,
+                        dst: s,
+                        lhs: Operand::Reg(r),
+                        rhs: Operand::I64(m),
+                    });
+                    stride_cache.insert((r, m), s);
+                    Operand::Reg(s)
                 }
-                let s = f.fresh_reg(Ty::I64);
-                vpre_insts.push(Inst::Bin {
-                    op: BinOp::Mul,
-                    ty: Ty::I64,
-                    dst: s,
-                    lhs: Operand::Reg(r),
-                    rhs: Operand::I64(m),
-                });
-                stride_cache.insert((r, m), s);
-                Operand::Reg(s)
             }
-        }
-    };
+        };
 
     // --- vbody construction, with LICM and address strength reduction:
     // invariant/affine scalar computation is *hoisted* into the vector
@@ -942,7 +970,13 @@ fn emit(f: &mut Function, shape: &LoopShape) {
                     });
                 }
                 Plan::VArith => match inst {
-                    Inst::Bin { op, ty, dst, lhs, rhs } => {
+                    Inst::Bin {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         let vty = ty.vec_of(vf);
                         let vl = vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *lhs, vty);
                         let vr = vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *rhs, vty);
@@ -986,9 +1020,19 @@ fn emit(f: &mut Function, shape: &LoopShape) {
                     let vacc = vacc.expect("reduction implies accumulator");
                     let vty = f.ty_of(vacc);
                     match inst {
-                        Inst::Bin { op, dst: _, lhs, rhs, .. } => {
+                        Inst::Bin {
+                            op,
+                            dst: _,
+                            lhs,
+                            rhs,
+                            ..
+                        } => {
                             let (acc_reg, _) = shape.acc.expect("reduction");
-                            let other = if *lhs == Operand::Reg(acc_reg) { *rhs } else { *lhs };
+                            let other = if *lhs == Operand::Reg(acc_reg) {
+                                *rhs
+                            } else {
+                                *lhs
+                            };
                             let vother =
                                 vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, other, vty);
                             vbody_insts.push(Inst::Bin {
@@ -1000,8 +1044,10 @@ fn emit(f: &mut Function, shape: &LoopShape) {
                             });
                         }
                         Inst::Fma { a, b, .. } => {
-                            let va = vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *a, vty);
-                            let vb = vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *b, vty);
+                            let va =
+                                vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *a, vty);
+                            let vb =
+                                vec_operand(f, &mut vpre_tail, &vmap, &mut splat_cache, *b, vty);
                             vbody_insts.push(Inst::Fma {
                                 ty: vty,
                                 dst: vacc,
@@ -1044,7 +1090,11 @@ fn emit(f: &mut Function, shape: &LoopShape) {
             dst: partial,
             src: Operand::Reg(vacc),
         });
-        let op = if ety.is_float() { BinOp::FAdd } else { BinOp::Add };
+        let op = if ety.is_float() {
+            BinOp::FAdd
+        } else {
+            BinOp::Add
+        };
         mid_insts.push(Inst::Bin {
             op,
             ty: ety,
@@ -1107,7 +1157,11 @@ mod tests {
     }
 
     fn count_kind(f: &Function, pred: impl Fn(&Inst) -> bool) -> usize {
-        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| pred(i)).count()
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| pred(i))
+            .count()
     }
 
     const SAXPY: &str = r#"
@@ -1163,10 +1217,7 @@ mod tests {
         let f = m.func_by_name("dot").unwrap();
         let reduces = count_kind(f, |i| matches!(i, Inst::Reduce { .. }));
         assert_eq!(reduces, 1, "{f}");
-        let vfmas = count_kind(
-            f,
-            |i| matches!(i, Inst::Fma { ty, .. } if ty.is_vector()),
-        );
+        let vfmas = count_kind(f, |i| matches!(i, Inst::Fma { ty, .. } if ty.is_vector()));
         assert_eq!(vfmas, 1, "{f}");
         let splats = count_kind(f, |i| matches!(i, Inst::Splat { .. }));
         assert!(splats >= 1, "accumulator init splat: {f}");
@@ -1193,8 +1244,7 @@ mod tests {
         verify_module(&m1).unwrap();
 
         let mut m2 = prep(MATMUL_INNER);
-        let r2 =
-            VectorizePass::new(TargetVecCaps::rvv_256_unit_stride()).run_with_report(&mut m2);
+        let r2 = VectorizePass::new(TargetVecCaps::rvv_256_unit_stride()).run_with_report(&mut m2);
         assert_eq!(r2.vectorized(), 0, "{:?}", r2.outcomes);
         let reason = r2.outcomes[0].result.clone().unwrap_err();
         assert!(reason.contains("strided"), "{reason}");
@@ -1249,11 +1299,7 @@ mod tests {
         "#;
         let mut m = prep(src);
         let report = VectorizePass::new(TargetVecCaps::avx2()).run_with_report(&mut m);
-        let f_outcomes: Vec<_> = report
-            .outcomes
-            .iter()
-            .filter(|o| o.func == "f")
-            .collect();
+        let f_outcomes: Vec<_> = report.outcomes.iter().filter(|o| o.func == "f").collect();
         assert_eq!(f_outcomes.len(), 1);
         assert!(f_outcomes[0].result.is_err());
     }

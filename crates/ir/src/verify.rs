@@ -143,7 +143,13 @@ fn check_reg(f: &Function, r: Reg) -> Result<Ty, String> {
 
 fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), String> {
     match inst {
-        Inst::Bin { op, ty, dst, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
             let dt = check_reg(f, *dst)?;
             if dt != *ty {
                 return Err(format!("bin dst type {dt} != inst type {ty}"));
@@ -165,7 +171,9 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             Ok(())
         }
-        Inst::Cmp { ty, dst, lhs, rhs, .. } => {
+        Inst::Cmp {
+            ty, dst, lhs, rhs, ..
+        } => {
             if check_reg(f, *dst)? != Ty::Bool {
                 return Err("cmp dst must be bool".into());
             }
@@ -174,7 +182,7 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             for o in [lhs, rhs] {
                 let ot = operand_ty(f, *o)?;
-                if !operand_matches(ot, *ty) && !(ot == Ty::I64 && *ty == Ty::Ptr) {
+                if !(operand_matches(ot, *ty) || (ot == Ty::I64 && *ty == Ty::Ptr)) {
                     return Err(format!("cmp operand type {ot} != {ty}"));
                 }
             }
@@ -211,7 +219,13 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             Ok(())
         }
-        Inst::Load { dst, addr, mem, lanes, stride } => {
+        Inst::Load {
+            dst,
+            addr,
+            mem,
+            lanes,
+            stride,
+        } => {
             let at = operand_ty(f, *addr)?;
             if !ty_compatible(at, Ty::Ptr) {
                 return Err(format!("load address has type {at}"));
@@ -237,7 +251,13 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             Ok(())
         }
-        Inst::Store { addr, val, mem, lanes, stride } => {
+        Inst::Store {
+            addr,
+            val,
+            mem,
+            lanes,
+            stride,
+        } => {
             let at = operand_ty(f, *addr)?;
             if !ty_compatible(at, Ty::Ptr) {
                 return Err(format!("store address has type {at}"));
@@ -248,7 +268,7 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             } else {
                 mem.reg_ty().vec_of(*lanes)
             };
-            if !operand_matches(vt, want) && !(vt == Ty::Ptr && want == Ty::I64) {
+            if !(operand_matches(vt, want) || (vt == Ty::Ptr && want == Ty::I64)) {
                 return Err(format!("store value type {vt}, expected {want}"));
             }
             if *lanes > 1 {
@@ -275,7 +295,13 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             Ok(())
         }
-        Inst::Select { ty, dst, cond, t, f: fv } => {
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            t,
+            f: fv,
+        } => {
             if check_reg(f, *dst)? != *ty {
                 return Err("select dst type mismatch".into());
             }
@@ -284,7 +310,7 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
             }
             for o in [t, fv] {
                 let ot = operand_ty(f, *o)?;
-                if !operand_matches(ot, *ty) && !(ot == Ty::I64 && *ty == Ty::Ptr) {
+                if !(operand_matches(ot, *ty) || (ot == Ty::I64 && *ty == Ty::Ptr)) {
                     return Err(format!("select arm type {ot} != {ty}"));
                 }
             }
@@ -314,7 +340,7 @@ fn check_inst(f: &Function, inst: &Inst, module: Option<&Module>) -> Result<(), 
                 return Err(format!("copy dst type {dt} != {ty}"));
             }
             let st = operand_ty(f, *src)?;
-            if !operand_matches(st, *ty) && !(st == Ty::I64 && *ty == Ty::Ptr) {
+            if !(operand_matches(st, *ty) || (st == Ty::I64 && *ty == Ty::Ptr)) {
                 return Err(format!("copy src type {st} != {ty}"));
             }
             Ok(())

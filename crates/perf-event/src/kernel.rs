@@ -202,7 +202,10 @@ impl PerfKernel {
             self.sbi
                 .counter_stop(core, 1u64 << counter, StopFlags::default())
                 .map_err(|_| Errno::EINVAL)?;
-            self.events[idx].as_mut().expect("group index valid").enabled = false;
+            self.events[idx]
+                .as_mut()
+                .expect("group index valid")
+                .enabled = false;
         }
         Ok(())
     }
@@ -222,11 +225,15 @@ impl PerfKernel {
         let enabled = e.enabled;
         let leader = e.leader;
         if enabled {
-            let _ = self.sbi.counter_stop(core, 1u64 << counter, StopFlags { reset: true });
+            let _ = self
+                .sbi
+                .counter_stop(core, 1u64 << counter, StopFlags { reset: true });
         } else {
             // Claimed but stopped: still release the claim.
             let _ = self.sbi.counter_start(core, 1u64 << counter, None);
-            let _ = self.sbi.counter_stop(core, 1u64 << counter, StopFlags { reset: true });
+            let _ = self
+                .sbi
+                .counter_stop(core, 1u64 << counter, StopFlags { reset: true });
         }
         if let Some(l) = leader {
             if let Some(le) = self.events[l].as_mut() {
@@ -656,7 +663,11 @@ mod tests {
                 Some(a),
             )
             .unwrap();
-        assert_eq!(kernel.close(&mut core, a), Err(Errno::EINVAL), "members first");
+        assert_eq!(
+            kernel.close(&mut core, a),
+            Err(Errno::EINVAL),
+            "members first"
+        );
         kernel.close(&mut core, b).unwrap();
         kernel.close(&mut core, a).unwrap();
         // Both counters free again.
@@ -683,7 +694,11 @@ mod tests {
         // the handler overhead.
         let smc_code = core.spec.event_code(mperf_sim::HwEvent::SModeCycles);
         let s_fd = kernel
-            .open(&mut core, PerfEventAttr::counting(EventKind::Raw(smc_code)), None)
+            .open(
+                &mut core,
+                PerfEventAttr::counting(EventKind::Raw(smc_code)),
+                None,
+            )
             .unwrap();
         kernel.enable(&mut core, s_fd).unwrap();
         let umc = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);

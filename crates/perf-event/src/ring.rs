@@ -5,8 +5,8 @@
 //! space the record is dropped and a loss counter incremented; the next
 //! successful drain surfaces the loss as a `Record::Lost`.
 
-use crate::sample::{Record, SampleRecord, RECORD_SAMPLE};
 use crate::attr::SampleType;
+use crate::sample::{Record, SampleRecord, RECORD_SAMPLE};
 
 /// Fixed-capacity byte ring buffer.
 #[derive(Debug, Clone)]

@@ -44,11 +44,10 @@ impl MachineCharacterization {
                 self.peak_vector_gflops,
             ));
         }
-        m.roofs.push(Roof::compute(
-            "scalar FMA peak",
-            self.peak_scalar_gflops,
-        ));
-        m.roofs.push(Roof::memory("DRAM (memset)", self.memset_gbps));
+        m.roofs
+            .push(Roof::compute("scalar FMA peak", self.peak_scalar_gflops));
+        m.roofs
+            .push(Roof::memory("DRAM (memset)", self.memset_gbps));
         m
     }
 }
@@ -129,11 +128,17 @@ fn stream_bandwidth(
             let p = vm.mem.alloc(n * 8, 64).expect("fits");
             // Warm-up pass (page the region in, then measure a
             // steady-state pass).
-            vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(1)])
-                .expect("memset runs");
+            vm.call(
+                "memset64",
+                &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(1)],
+            )
+            .expect("memset runs");
             let c0 = vm.core.cycles();
-            vm.call("memset64", &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(2)])
-                .expect("memset runs");
+            vm.call(
+                "memset64",
+                &[Value::I64(p as i64), Value::I64(n as i64), Value::I64(2)],
+            )
+            .expect("memset runs");
             (n * 8, vm.core.cycles() - c0)
         }
         StreamKernel::Triad => {
@@ -223,8 +228,7 @@ pub fn characterize_many(
                 peak_vector_gflops: theoretical_vector_peak_gflops(&spec),
                 peak_scalar_gflops: theoretical_scalar_peak_gflops(&spec),
                 memset_gbps: memset_bpc * spec.freq_hz as f64 / 1e9,
-                triad_gbps: triad_bytes as f64 / triad_cycles as f64 * spec.freq_hz as f64
-                    / 1e9,
+                triad_gbps: triad_bytes as f64 / triad_cycles as f64 * spec.freq_hz as f64 / 1e9,
                 memset_bytes_per_cycle: memset_bpc,
             }
         })
@@ -260,7 +264,10 @@ mod tests {
             ch.memset_bytes_per_cycle
         );
         let gibps = ch.memset_gbps * 1e9 / (1u64 << 30) as f64;
-        assert!(gibps > 3.5 && gibps < 4.8, "paper ballpark ~4.7 GiB/s: {gibps}");
+        assert!(
+            gibps > 3.5 && gibps < 4.8,
+            "paper ballpark ~4.7 GiB/s: {gibps}"
+        );
     }
 
     #[test]

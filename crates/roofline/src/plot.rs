@@ -216,7 +216,9 @@ fn to_col(ai: f64, xs: &[f64]) -> usize {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn csv_escape(s: &str) -> String {

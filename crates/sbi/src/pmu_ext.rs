@@ -167,9 +167,9 @@ impl SbiPmu {
         mask: u64,
         initial_value: Option<u64>,
     ) -> SbiResult<()> {
-        let mut inhibit =
-            core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
-                .expect("m-mode read") as u32;
+        let mut inhibit = core
+            .csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
+            .expect("m-mode read") as u32;
         for idx in self.mask_indices(mask)? {
             let fixed = idx == COUNTER_CYCLE || idx == COUNTER_INSTRET;
             if !self.slots[idx].claimed && !fixed {
@@ -194,15 +194,10 @@ impl SbiPmu {
     ///
     /// # Errors
     /// `AlreadyStopped` when a counter in the mask is not running.
-    pub fn counter_stop(
-        &mut self,
-        core: &mut Core,
-        mask: u64,
-        flags: StopFlags,
-    ) -> SbiResult<()> {
-        let mut inhibit =
-            core.csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
-                .expect("m-mode read") as u32;
+    pub fn counter_stop(&mut self, core: &mut Core, mask: u64, flags: StopFlags) -> SbiResult<()> {
+        let mut inhibit = core
+            .csr_read_as(addr::MCOUNTINHIBIT, PrivMode::Machine)
+            .expect("m-mode read") as u32;
         for idx in self.mask_indices(mask)? {
             if !self.slots[idx].started {
                 return Err(SbiError::AlreadyStopped);
@@ -395,7 +390,10 @@ mod tests {
                 break;
             }
         }
-        assert!(fired, "overflow interrupt must fire after ~1000 u-mode cycles");
+        assert!(
+            fired,
+            "overflow interrupt must fire after ~1000 u-mode cycles"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub struct BranchPredictor {
 impl BranchPredictor {
     /// A predictor with `2^index_bits` counters.
     pub fn new(index_bits: u32) -> BranchPredictor {
-        assert!(index_bits > 0 && index_bits <= 24, "unreasonable table size");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "unreasonable table size"
+        );
         BranchPredictor {
             table: vec![1; 1 << index_bits], // weakly not-taken
             history: 0,

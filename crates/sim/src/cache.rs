@@ -281,11 +281,14 @@ mod tests {
         // must queue them: total stall >> 100 * dram_latency.
         let mut total_stall = 0;
         for i in 0..100u64 {
-            let ev = m.access(&MemRef::scalar(i * 64 + 1 << 20, 8, false), 0);
+            let ev = m.access(&MemRef::scalar((i * 64 + 1) << 20, 8, false), 0);
             total_stall += ev.stall_cycles;
         }
         // 100 lines * 64B / 2 B/cyc = 3200 cycles of pure occupancy.
-        assert!(total_stall >= 3200, "bandwidth limiter too weak: {total_stall}");
+        assert!(
+            total_stall >= 3200,
+            "bandwidth limiter too weak: {total_stall}"
+        );
     }
 
     #[test]

@@ -10,6 +10,12 @@ use crate::machine_op::{MachineOp, OpClass};
 use crate::platform::{PlatformSpec, Unit};
 use crate::pmu::Pmu;
 
+/// Maximum ops one fused retire batch may contain — the shape the
+/// precomputed conservative event bound ([`Core::fused_ready`]) is
+/// sound for. The decode-time fusion pass caps its site width
+/// (`MAX_FUSE_WIDTH` in `mperf-vm`) at this value.
+pub const MAX_FUSED_BATCH: usize = 6;
+
 /// RISC-V privilege modes (the x86 model reuses User/Supervisor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrivMode {
@@ -50,9 +56,9 @@ pub struct Core {
     /// 1) — precomputed off the retire path.
     slot_unit: u64,
     /// Precomputed conservative event-total bound for one fused retire
-    /// batch (≤ 3 ops, ≤ 1 scalar ≤ 2-line memory reference, ≤ 1 branch,
-    /// no vector ops), *excluding* the DRAM queue backlog which is added
-    /// dynamically — see [`Core::fused_ready`].
+    /// batch (≤ [`MAX_FUSED_BATCH`] ops, ≤ 1 scalar ≤ 2-line memory
+    /// reference, ≤ 1 branch, no vector ops), *excluding* the DRAM queue
+    /// backlog which is added dynamically — see [`Core::fused_ready`].
     fused_ub_static: u64,
     /// Like `fused_ub_static` but for memory-free batches (ALU/branch
     /// only): no cache/DRAM terms and no backlog needed, so the probe is
@@ -300,9 +306,7 @@ impl Core {
                 // latency partially overlaps.
                 miss_raw / self.spec.ooo_mem_overlap as u64
             } else {
-                miss_raw
-                    + ev.hit_cycles * 100
-                    + self.spec.load_use_penalty as u64 * 100
+                miss_raw + ev.hit_cycles * 100 + self.spec.load_use_penalty as u64 * 100
             };
             // Strided vector memory ops occupy the memory unit longer.
             if mem.lanes > 1 && !mem.is_unit_stride() {
@@ -318,8 +322,7 @@ impl Core {
             if mispredicted {
                 // Pipeline restart: every accumulator jumps to the
                 // mispredict resolution point.
-                let floor =
-                    self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
+                let floor = self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
                 self.centi = self.centi.max(floor);
                 for u in &mut self.unit_busy {
                     *u = (*u).max(floor);
@@ -333,10 +336,11 @@ impl Core {
         false
     }
 
-    /// Whether the next fused batch (≤ 3 ops, ≤ 1 scalar memory
-    /// reference, ≤ 1 branch, no vector ops — the shapes the decode-time
-    /// fusion pass emits) is guaranteed not to wrap any PMU counter, so
-    /// it may retire through [`Core::retire_fused`] as one batched tick.
+    /// Whether the next fused batch (≤ [`MAX_FUSED_BATCH`] ops, ≤ 1
+    /// scalar memory reference, ≤ 1 branch, no vector ops — the shapes
+    /// the decode-time fusion pass emits) is guaranteed not to wrap any
+    /// PMU counter, so it may retire through [`Core::retire_fused`] as
+    /// one batched tick.
     ///
     /// The probe compares a conservative event-total upper bound
     /// (precomputed from the platform spec, plus the current DRAM queue
@@ -396,7 +400,10 @@ impl Core {
         self.retired += instr;
         let cycles = self.current_centi() / 100 - start / 100;
         let overflow = self.pmu.tick_batched_simple(cycles, instr, self.mode);
-        debug_assert_eq!(overflow, 0, "guard retire_fused_simple with fused_ready_nomem");
+        debug_assert_eq!(
+            overflow, 0,
+            "guard retire_fused_simple with fused_ready_nomem"
+        );
         RetireInfo {
             cycles,
             instructions: instr,
@@ -404,22 +411,23 @@ impl Core {
         }
     }
 
-    /// Retire a fused compare-and-branch shape: `n_alu` scalar `IntAlu`
-    /// constituents followed by one branch at `pc` with outcome `taken`.
-    /// Mirrors the per-op arithmetic (predictor update, taken bubble,
-    /// mispredict penalty / pipeline-restart floor) with one combined
-    /// PMU tick. Guard with [`Core::fused_ready_nomem`]. Shares
-    /// [`Core::retire_fused_simple`]'s duplication contract with
+    /// Retire a fused branch-ending shape: the memory-free, branch-free
+    /// `prefix` classes (scalar ALU constituents plus any elided-copy
+    /// `Move`s, in stream order) followed by one branch at `pc` with
+    /// outcome `taken`. Mirrors the per-op arithmetic (predictor update,
+    /// taken bubble, mispredict penalty / pipeline-restart floor) with
+    /// one combined PMU tick. Guard with [`Core::fused_ready_nomem`].
+    /// Shares [`Core::retire_fused_simple`]'s duplication contract with
     /// `apply_op` (see its docs).
-    pub fn retire_fused_branch(&mut self, n_alu: u32, pc: u64, taken: bool) -> RetireInfo {
+    pub fn retire_fused_branch(&mut self, prefix: &[OpClass], pc: u64, taken: bool) -> RetireInfo {
         let start = self.current_centi();
         let mut instr = 0u64;
-        for _ in 0..n_alu {
-            let expansion = self.isa.expand(OpClass::IntAlu);
-            let inv_tp = self.spec.timing.inv_tp(OpClass::IntAlu);
+        for &class in prefix {
+            let expansion = self.isa.expand(class);
+            let inv_tp = self.spec.timing.inv_tp(class);
             let slot_cost = self.slot_unit * expansion.max(1) as u64;
             if self.spec.out_of_order {
-                self.unit_busy[Unit::of(OpClass::IntAlu).index()] += inv_tp;
+                self.unit_busy[Unit::of(class).index()] += inv_tp;
                 self.slots += slot_cost;
             } else {
                 self.centi += inv_tp.max(slot_cost);
@@ -447,8 +455,7 @@ impl Core {
             self.unit_busy[Unit::of(OpClass::Branch).index()] += inv_tp + stall_centi;
             self.slots += slot_cost;
             if mispredicted {
-                let floor =
-                    self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
+                let floor = self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
                 self.centi = self.centi.max(floor);
                 for u in &mut self.unit_busy {
                     *u = (*u).max(floor);
@@ -469,7 +476,10 @@ impl Core {
             ..EventDeltas::default()
         };
         let overflow = self.pmu.tick_batched(&deltas, self.mode);
-        debug_assert_eq!(overflow, 0, "guard retire_fused_branch with fused_ready_nomem");
+        debug_assert_eq!(
+            overflow, 0,
+            "guard retire_fused_branch with fused_ready_nomem"
+        );
         RetireInfo {
             cycles,
             instructions: instr,
@@ -539,11 +549,13 @@ impl Core {
 /// Conservative upper bound on the total PMU events (sum of every
 /// [`EventDeltas`] field) one fused batch can generate, excluding the
 /// dynamic DRAM queue backlog. Sound for the batch shapes the fusion
-/// pass emits: ≤ 3 ops, ≤ 1 scalar (≤ 2-line) memory reference, ≤ 1
-/// branch, no vector ops, ≤ 1 architectural FLOP. Overestimating only
-/// costs an occasional unnecessary per-op fallback near a counter wrap —
-/// exactly where the unfused watermark path degrades too.
+/// pass emits: ≤ [`MAX_FUSED_BATCH`] ops, ≤ 1 scalar (≤ 2-line) memory
+/// reference, ≤ 1 branch, no vector ops, ≤ 1 architectural FLOP.
+/// Overestimating only costs an occasional unnecessary per-op fallback
+/// near a counter wrap — exactly where the unfused watermark path
+/// degrades too.
 fn fused_ub_static(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64, with_mem: bool) -> u64 {
+    let max_ops = MAX_FUSED_BATCH as u64;
     let max_exp = isa.max_expansion();
     // Per-op base cycle cost: worst-class inverse throughput plus issue
     // slots, rounded up.
@@ -551,8 +563,7 @@ fn fused_ub_static(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64, with_mem
     // Branch worst case: taken-fetch bubble plus the mispredict penalty,
     // counted twice to cover both the in-order stall and the
     // out-of-order pipeline-restart floor jump.
-    let branch_cycles =
-        spec.taken_branch_bubble as u64 + 2 * spec.branch_mispredict_penalty as u64;
+    let branch_cycles = spec.taken_branch_bubble as u64 + 2 * spec.branch_mispredict_penalty as u64;
     // Scalar memory worst case: 2 lines (an 8-byte scalar straddling a
     // boundary), each missing all the way to DRAM.
     let caches = &spec.caches;
@@ -566,12 +577,17 @@ fn fused_ub_static(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64, with_mem
     } else {
         0
     };
-    // Non-cycle events: instructions (3 ops at max expansion), branch +
-    // miss, FLOP events (1 architectural FLOP, overcount < 4x), and per
-    // line one access/miss/L2-miss plus LINE_BYTES of DRAM traffic.
-    let mem_events = if with_mem { 2 * (3 + crate::cache::LINE_BYTES) } else { 0 };
-    let events = 3 * max_exp + 2 + 4 + mem_events;
-    3 * per_op_cycles + branch_cycles + mem_cycles + events + 16
+    // Non-cycle events: instructions (MAX_FUSED_BATCH ops at max
+    // expansion), branch + miss, FLOP events (1 architectural FLOP,
+    // overcount < 4x), and per line one access/miss/L2-miss plus
+    // LINE_BYTES of DRAM traffic.
+    let mem_events = if with_mem {
+        2 * (3 + crate::cache::LINE_BYTES)
+    } else {
+        0
+    };
+    let events = max_ops * max_exp + 2 + 4 + mem_events;
+    max_ops * per_op_cycles + branch_cycles + mem_cycles + events + 16
 }
 
 #[cfg(test)]
@@ -659,8 +675,8 @@ mod tests {
         let mut c = x60();
         // Stream over 1 MiB: mostly misses.
         for i in 0..4096u64 {
-            let op = MachineOp::simple(OpClass::Load, i)
-                .with_mem(MemRef::scalar(i * 256, 8, false));
+            let op =
+                MachineOp::simple(OpClass::Load, i).with_mem(MemRef::scalar(i * 256, 8, false));
             c.retire(&op);
         }
         let (acc, miss) = c.mem().l1d_stats();
@@ -687,7 +703,8 @@ mod tests {
     #[test]
     fn overflow_interrupt_plumbs_through_retire() {
         let mut c = x60();
-        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::UModeCycles));
+        c.pmu_mut()
+            .set_event(3, Some(crate::events::HwEvent::UModeCycles));
         c.pmu_mut().set_irq_enable(3, true);
         c.pmu_mut().write(3, (-50i64) as u64);
         let mut fired = false;
@@ -722,7 +739,8 @@ mod tests {
     #[test]
     fn flopless_vector_ops_count_vec_instructions() {
         let mut c = x60();
-        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::VecInstructions));
+        c.pmu_mut()
+            .set_event(3, Some(crate::events::HwEvent::VecInstructions));
         for i in 0..10 {
             c.retire(&MachineOp::simple(OpClass::VecShuffle, i));
             c.retire(&MachineOp::simple(OpClass::VecAlu, i));
@@ -744,7 +762,8 @@ mod tests {
             let mut fused = Core::new(spec.clone());
             let mut serial = Core::new(spec.clone());
             for c in [&mut fused, &mut serial] {
-                c.pmu_mut().set_event(3, Some(crate::events::HwEvent::L1dMiss));
+                c.pmu_mut()
+                    .set_event(3, Some(crate::events::HwEvent::L1dMiss));
             }
             let mut x: u64 = 0x9e37_79b9;
             for i in 0..4_000u64 {
@@ -755,8 +774,11 @@ mod tests {
                 let batch: Vec<MachineOp> = match x % 3 {
                     0 => vec![
                         MachineOp::simple(OpClass::AddrCalc, i % 64),
-                        MachineOp::simple(OpClass::Load, i % 64 + 1)
-                            .with_mem(MemRef::scalar(0x2000 + (x % 4096) * 8, 8, false)),
+                        MachineOp::simple(OpClass::Load, i % 64 + 1).with_mem(MemRef::scalar(
+                            0x2000 + (x % 4096) * 8,
+                            8,
+                            false,
+                        )),
                     ],
                     1 => vec![
                         MachineOp::simple(OpClass::IntAlu, i % 64),
@@ -787,7 +809,10 @@ mod tests {
             }
             assert_eq!(fused.mem().l1d_stats(), serial.mem().l1d_stats());
             assert_eq!(fused.mem().l2_stats(), serial.mem().l2_stats());
-            assert_eq!(fused.mem().dram_bytes_total(), serial.mem().dram_bytes_total());
+            assert_eq!(
+                fused.mem().dram_bytes_total(),
+                serial.mem().dram_bytes_total()
+            );
         }
     }
 
@@ -809,7 +834,7 @@ mod tests {
             for i in 0..6_000u64 {
                 x ^= x << 13;
                 x ^= x >> 7;
-                match x % 3 {
+                match x % 4 {
                     0 => {
                         assert!(fused.fused_ready_nomem());
                         fused.retire_fused_simple(&[OpClass::IntMul, OpClass::Move]);
@@ -820,18 +845,34 @@ mod tests {
                         let pc = i % 32;
                         let taken = x & 2 == 0;
                         assert!(fused.fused_ready_nomem());
-                        fused.retire_fused_branch(1, pc, taken);
+                        fused.retire_fused_branch(&[OpClass::IntAlu], pc, taken);
                         serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + 64));
                         serial.retire(&MachineOp::simple(OpClass::Branch, pc).with_taken(taken));
                     }
-                    _ => {
+                    2 => {
                         let pc = i % 32;
                         let taken = x & 4 == 0;
                         assert!(fused.fused_ready_nomem());
-                        fused.retire_fused_branch(2, pc, taken);
+                        fused.retire_fused_branch(&[OpClass::IntAlu, OpClass::IntAlu], pc, taken);
                         for k in 0..2 {
                             serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + k));
                         }
+                        serial.retire(&MachineOp::simple(OpClass::Branch, pc).with_taken(taken));
+                    }
+                    _ => {
+                        // A coalesced back edge: inc + elided-copy Move +
+                        // cmp + branch, as the regalloc'd decode emits.
+                        let pc = i % 32;
+                        let taken = x & 8 == 0;
+                        assert!(fused.fused_ready_nomem());
+                        fused.retire_fused_branch(
+                            &[OpClass::IntAlu, OpClass::Move, OpClass::IntAlu],
+                            pc,
+                            taken,
+                        );
+                        serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + 64));
+                        serial.retire(&MachineOp::simple(OpClass::Move, pc + 65));
+                        serial.retire(&MachineOp::simple(OpClass::IntAlu, pc + 66));
                         serial.retire(&MachineOp::simple(OpClass::Branch, pc).with_taken(taken));
                     }
                 }
@@ -854,7 +895,8 @@ mod tests {
     #[test]
     fn fused_ready_refuses_near_overflow() {
         let mut c = x60();
-        c.pmu_mut().set_event(3, Some(crate::events::HwEvent::CpuCycles));
+        c.pmu_mut()
+            .set_event(3, Some(crate::events::HwEvent::CpuCycles));
         c.pmu_mut().set_irq_enable(3, true);
         c.pmu_mut().write(3, (-8i64) as u64); // 8 events from wrapping
         assert!(!c.fused_ready(), "8 events of headroom is inside the bound");

@@ -112,9 +112,7 @@ impl Csr {
                 }
                 Ok(pmu.read(idx))
             }
-            _ if (addr::CYCLE..addr::CYCLE + NUM_COUNTERS as u16).contains(&a)
-                && a != 0xC01 =>
-            {
+            _ if (addr::CYCLE..addr::CYCLE + NUM_COUNTERS as u16).contains(&a) && a != 0xC01 => {
                 // User-level aliases, gated by the counteren chain.
                 let idx = (a - addr::CYCLE) as usize;
                 if !pmu.is_implemented(idx) {
@@ -124,9 +122,7 @@ impl Csr {
                 let allowed = match mode {
                     PrivMode::Machine => true,
                     PrivMode::Supervisor => self.mcounteren & bit != 0,
-                    PrivMode::User => {
-                        self.mcounteren & bit != 0 && self.scounteren & bit != 0
-                    }
+                    PrivMode::User => self.mcounteren & bit != 0 && self.scounteren & bit != 0,
                 };
                 if !allowed {
                     return Err(deny());
@@ -226,7 +222,9 @@ mod tests {
             csr.read(addr::MVENDORID, PrivMode::Machine, &pmu).unwrap(),
             0x710
         );
-        assert!(csr.read(addr::MVENDORID, PrivMode::Supervisor, &pmu).is_err());
+        assert!(csr
+            .read(addr::MVENDORID, PrivMode::Supervisor, &pmu)
+            .is_err());
         assert!(csr.read(addr::MVENDORID, PrivMode::User, &pmu).is_err());
     }
 
@@ -240,7 +238,10 @@ mod tests {
         csr.write(addr::MCOUNTEREN, 1, PrivMode::Machine, &mut pmu)
             .unwrap();
         assert!(csr.read(addr::CYCLE, PrivMode::User, &pmu).is_err());
-        assert_eq!(csr.read(addr::CYCLE, PrivMode::Supervisor, &pmu).unwrap(), 1234);
+        assert_eq!(
+            csr.read(addr::CYCLE, PrivMode::Supervisor, &pmu).unwrap(),
+            1234
+        );
         // S delegates too: user reads.
         csr.write(addr::SCOUNTEREN, 1, PrivMode::Machine, &mut pmu)
             .unwrap();
@@ -266,7 +267,8 @@ mod tests {
             .unwrap();
         assert_eq!(pmu.read(3), 99);
         assert_eq!(
-            csr.read(addr::MHPMCOUNTER3, PrivMode::Machine, &pmu).unwrap(),
+            csr.read(addr::MHPMCOUNTER3, PrivMode::Machine, &pmu)
+                .unwrap(),
             99
         );
     }

@@ -616,7 +616,10 @@ mod tests {
     fn x60_bandwidth_matches_memset_figure() {
         let x60 = PlatformSpec::x60();
         let gbps = x60.caches.dram_bytes_per_cycle * x60.freq_hz as f64 / 1e9;
-        assert!((gbps - 5.056).abs() < 0.1, "3.16 B/c * 1.6 GHz ≈ 5.06 GB/s raw: {gbps}");
+        assert!(
+            (gbps - 5.056).abs() < 0.1,
+            "3.16 B/c * 1.6 GHz ≈ 5.06 GB/s raw: {gbps}"
+        );
     }
 
     #[test]

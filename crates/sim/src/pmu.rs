@@ -104,7 +104,9 @@ impl Pmu {
 
     /// Whether `idx` addresses an implemented counter.
     pub fn is_implemented(&self, idx: usize) -> bool {
-        idx == COUNTER_CYCLE || idx == COUNTER_INSTRET || (FIRST_HPM..FIRST_HPM + self.num_hpm).contains(&idx)
+        idx == COUNTER_CYCLE
+            || idx == COUNTER_INSTRET
+            || (FIRST_HPM..FIRST_HPM + self.num_hpm).contains(&idx)
     }
 
     /// The event a counter observes (fixed for cycle/instret).
@@ -135,10 +137,7 @@ impl Pmu {
     /// reads always observe the exact architectural value.
     pub fn read(&self, idx: usize) -> u64 {
         let base = *self.counters.get(idx).unwrap_or(&0);
-        if self.pending_total == 0
-            || !self.is_implemented(idx)
-            || self.inhibit >> idx & 1 == 1
-        {
+        if self.pending_total == 0 || !self.is_implemented(idx) || self.inhibit >> idx & 1 == 1 {
             return base;
         }
         match self.event_of(idx) {
@@ -495,7 +494,11 @@ mod tests {
                 batched.write(3, (-5_000i64) as u64);
                 exact.write(3, (-5_000i64) as u64);
             }
-            assert_eq!(batched.read(3), exact.read(3), "counter diverged at step {step}");
+            assert_eq!(
+                batched.read(3),
+                exact.read(3),
+                "counter diverged at step {step}"
+            );
         }
         assert_eq!(batched.read(COUNTER_CYCLE), exact.read(COUNTER_CYCLE));
         assert_eq!(batched.read(COUNTER_INSTRET), exact.read(COUNTER_INSTRET));

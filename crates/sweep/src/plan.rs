@@ -81,11 +81,7 @@ mod tests {
 
     #[test]
     fn shared_module_vms_share_one_decode() {
-        let module = mperf_ir::compile(
-            "t",
-            "fn f(n: i64) -> i64 { return n * 2 + 1; }",
-        )
-        .unwrap();
+        let module = mperf_ir::compile("t", "fn f(n: i64) -> i64 { return n * 2 + 1; }").unwrap();
         let shared = SharedModule::new(module);
         let threads: Vec<_> = crate::queue::run_jobs(vec![3i64, 4, 5], 3, |_, n| {
             let mut vm = shared.vm(Core::new(PlatformSpec::x60()));

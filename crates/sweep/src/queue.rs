@@ -170,17 +170,13 @@ mod tests {
         // Jobs 3 and 1 both fail; job 1's error must win regardless of
         // which worker finishes first.
         for workers in [1, 2, 4] {
-            let r: Result<Vec<u32>, String> = try_run_jobs(
-                (0..6u32).collect(),
-                workers,
-                |_, j| {
-                    if j == 3 || j == 1 {
-                        Err(format!("job {j} failed"))
-                    } else {
-                        Ok(j)
-                    }
-                },
-            );
+            let r: Result<Vec<u32>, String> = try_run_jobs((0..6u32).collect(), workers, |_, j| {
+                if j == 3 || j == 1 {
+                    Err(format!("job {j} failed"))
+                } else {
+                    Ok(j)
+                }
+            });
             assert_eq!(r.unwrap_err(), "job 1 failed", "workers={workers}");
         }
     }
@@ -202,7 +198,7 @@ mod tests {
 
     #[test]
     fn jobs_may_borrow_caller_stack() {
-        let data = vec![10u64, 20, 30];
+        let data = [10u64, 20, 30];
         let out = run_jobs(vec![0usize, 1, 2], 2, |_, i| data[i] * 2);
         assert_eq!(out, vec![20, 40, 60]);
     }

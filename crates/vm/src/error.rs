@@ -25,7 +25,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::OutOfBounds { addr, bytes } => {
-                write!(f, "guest access of {bytes} byte(s) at {addr:#x} out of bounds")
+                write!(
+                    f,
+                    "guest access of {bytes} byte(s) at {addr:#x} out of bounds"
+                )
             }
             VmError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc:#x}"),
             VmError::UnknownHost(name) => write!(f, "call to unknown host function `{name}`"),
@@ -47,8 +50,13 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = VmError::OutOfBounds { addr: 0x100, bytes: 8 };
+        let e = VmError::OutOfBounds {
+            addr: 0x100,
+            bytes: 8,
+        };
         assert!(e.to_string().contains("0x100"));
-        assert!(VmError::DivisionByZero { pc: 4 }.to_string().contains("division"));
+        assert!(VmError::DivisionByZero { pc: 4 }
+            .to_string()
+            .contains("division"));
     }
 }

@@ -16,7 +16,9 @@
 //! `tests/properties.rs` holds the cross-engine equivalence property;
 //! `crates/bench` measures the throughput gap.
 
-use crate::decode::{DecodedModule, DecodedOp, FusePattern, Fused, HostTarget};
+use crate::decode::{
+    DecodeConfig, DecodedModule, DecodedOp, FusePattern, Fused, HostTarget, MAX_FUSE_WIDTH,
+};
 use crate::error::VmError;
 use crate::host::{HostHandler, RooflineRuntime};
 use crate::lower::{cast_class, inst_class, un_class, un_flops};
@@ -24,7 +26,7 @@ use crate::memory::GuestMemory;
 use crate::value::{LanesF32, LanesF64, LanesI64, Value};
 use mperf_event::{OverflowCtx, PerfKernel};
 use mperf_ir::{
-    BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, Reg, ReduceOp,
+    BinOp, BlockId, Callee, CastKind, CmpOp, FuncId, Inst, MemTy, Module, Operand, ReduceOp, Reg,
     Term, Ty, UnOp,
 };
 use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
@@ -78,22 +80,51 @@ pub enum Engine {
     Reference,
 }
 
-/// Execution-engine configuration bundle: which engine drives the VM and
-/// whether decodes run the superinstruction fusion pass. All four
-/// combinations are observably identical; only speed differs.
+/// Execution-engine configuration bundle: which engine drives the VM
+/// and which decode-time passes (superinstruction fusion, register
+/// allocation) its decodes run. Every combination is observably
+/// identical; only speed differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     pub engine: Engine,
     pub fuse: bool,
+    pub regalloc: bool,
 }
 
 impl Default for ExecConfig {
-    /// The fast default: decoded engine with fusion on.
+    /// The fast default: decoded engine with fusion and register
+    /// allocation on.
     fn default() -> ExecConfig {
         ExecConfig {
             engine: Engine::Decoded,
             fuse: true,
+            regalloc: true,
         }
+    }
+}
+
+impl ExecConfig {
+    /// The decode-pass half of this configuration.
+    pub fn decode(self) -> DecodeConfig {
+        DecodeConfig {
+            fuse: self.fuse,
+            regalloc: self.regalloc,
+        }
+    }
+
+    /// Human-readable form for report headers (`engine=decoded fuse=on
+    /// regalloc=on`), so printed measurements are self-describing.
+    pub fn describe(&self) -> String {
+        let on = |b: bool| if b { "on" } else { "off" };
+        format!(
+            "engine={} fuse={} regalloc={}",
+            match self.engine {
+                Engine::Decoded => "decoded",
+                Engine::Reference => "reference",
+            },
+            on(self.fuse),
+            on(self.regalloc),
+        )
     }
 }
 
@@ -126,6 +157,35 @@ impl FusionDynamics {
     /// Total fast-path executions across all patterns.
     pub fn total_executed(&self) -> u64 {
         self.executed.iter().sum()
+    }
+}
+
+/// Runtime copy-traffic statistics: how many executed `Copy` ops moved
+/// data versus having been coalesced away by the decode-time register
+/// allocator. Like [`FusionDynamics`], tracked outside [`ExecStats`] on
+/// purpose — register allocation must leave every observable
+/// bit-identical, and these counters exist precisely to report how much
+/// copy traffic it removed (the `regalloc` section of
+/// `BENCH_interp.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegallocDynamics {
+    /// Executed `Copy` ops that moved data (standalone `Copy` dispatch
+    /// or the real-copy constituent of a fused `bin+copy` batch).
+    pub copies_moved: u64,
+    /// Executed elided copies: retire-only `Move` ticks with no data
+    /// movement (standalone `ElidedCopy` dispatch or elided slots
+    /// riding inside fused batches).
+    pub copies_elided: u64,
+}
+
+impl RegallocDynamics {
+    /// Fraction of dynamic copy traffic that was elided.
+    pub fn elision_rate(&self) -> f64 {
+        let total = self.copies_moved + self.copies_elided;
+        if total == 0 {
+            return 0.0;
+        }
+        self.copies_elided as f64 / total as f64
     }
 }
 
@@ -166,8 +226,12 @@ pub struct Vm<'m> {
     chain_scratch: Vec<u64>,
     /// Whether `decoded()` builds with superinstruction fusion.
     fuse: bool,
+    /// Whether `decoded()` builds with register allocation.
+    regalloc: bool,
     /// Runtime fusion coverage (not part of the observable contract).
     fused_dyn: FusionDynamics,
+    /// Runtime copy-traffic split (not part of the observable contract).
+    regalloc_dyn: RegallocDynamics,
 }
 
 // The sweep engine's contract, enforced at compile time: a fully-loaded
@@ -227,7 +291,9 @@ impl<'m> Vm<'m> {
             ret_scratch: Vec::new(),
             chain_scratch: Vec::new(),
             fuse: true,
+            regalloc: true,
             fused_dyn: FusionDynamics::default(),
+            regalloc_dyn: RegallocDynamics::default(),
         }
     }
 
@@ -242,10 +308,11 @@ impl<'m> Vm<'m> {
         self.engine
     }
 
-    /// Apply an [`ExecConfig`] bundle (engine + fusion).
+    /// Apply an [`ExecConfig`] bundle (engine + fusion + regalloc).
     pub fn configure(&mut self, cfg: ExecConfig) {
         self.set_engine(cfg.engine);
         self.set_fusion(cfg.fuse);
+        self.set_regalloc(cfg.regalloc);
     }
 
     /// Enable/disable decode-time superinstruction fusion (on by
@@ -265,10 +332,32 @@ impl<'m> Vm<'m> {
         self.fuse
     }
 
+    /// Enable/disable decode-time register allocation / copy coalescing
+    /// (on by default; the `--no-regalloc` escape hatch). Observable
+    /// behaviour is identical either way. Takes effect on the next
+    /// decode: a cached decode of the other flavour is dropped.
+    pub fn set_regalloc(&mut self, on: bool) {
+        self.regalloc = on;
+        if self.decoded.as_ref().is_some_and(|d| d.coalesced != on) {
+            self.decoded = None;
+        }
+    }
+
+    /// Whether `decoded()` builds with register allocation.
+    pub fn regalloc(&self) -> bool {
+        self.regalloc
+    }
+
     /// Runtime superinstruction coverage accumulated so far (zeroes on
     /// the reference engine or with fusion disabled).
     pub fn fusion_dynamics(&self) -> FusionDynamics {
         self.fused_dyn
+    }
+
+    /// Runtime copy-traffic split accumulated so far (the elided lane is
+    /// zero on the reference engine or with register allocation off).
+    pub fn regalloc_dynamics(&self) -> RegallocDynamics {
+        self.regalloc_dyn
     }
 
     /// The flat decoded form of the module, building (and caching) it on
@@ -281,15 +370,21 @@ impl<'m> Vm<'m> {
         if let Some(d) = &self.decoded {
             return Arc::clone(d);
         }
-        let d = Arc::new(DecodedModule::decode_with(self.module, self.fuse));
+        let d = Arc::new(DecodedModule::decode_cfg(
+            self.module,
+            DecodeConfig {
+                fuse: self.fuse,
+                regalloc: self.regalloc,
+            },
+        ));
         self.decoded = Some(Arc::clone(&d));
         d
     }
 
     /// Install a pre-built decode of this VM's module (it must come from
     /// an identical module, e.g. via [`crate::decode::decode_module`] or
-    /// [`Vm::decoded`] on a sibling VM). The decode's fusion flavour
-    /// wins: the VM's fusion flag is synced to it.
+    /// [`Vm::decoded`] on a sibling VM). The decode's pass flavour wins:
+    /// the VM's fusion and regalloc flags are synced to it.
     pub fn set_decoded(&mut self, decoded: Arc<DecodedModule>) {
         assert_eq!(
             decoded.funcs.len(),
@@ -297,6 +392,7 @@ impl<'m> Vm<'m> {
             "decoded form does not match this module"
         );
         self.fuse = decoded.fused;
+        self.regalloc = decoded.coalesced;
         self.decoded = Some(decoded);
     }
 
@@ -510,18 +606,31 @@ impl<'m> Vm<'m> {
         self.stats.mir_ops += 1;
         self.frame().idx += 1;
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.eval(lhs);
                 let b = self.eval(rhs);
                 let v = eval_bin(op, &a, &b, pc)?;
                 self.set(dst, v);
-                let class = inst_class(&Inst::Bin { op, ty, dst, lhs, rhs });
+                let class = inst_class(&Inst::Bin {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                });
                 self.retire(
-                    MachineOp::simple(class, pc)
-                        .with_flops(crate::lower::bin_flops(op, ty)),
+                    MachineOp::simple(class, pc).with_flops(crate::lower::bin_flops(op, ty)),
                 );
             }
-            Inst::Cmp { op, dst, lhs, rhs, .. } => {
+            Inst::Cmp {
+                op, dst, lhs, rhs, ..
+            } => {
                 let a = self.eval(lhs);
                 let b = self.eval(rhs);
                 self.set(dst, Value::Bool(eval_cmp(op, &a, &b)));
@@ -539,9 +648,7 @@ impl<'m> Vm<'m> {
                     (o, v) => unreachable!("verifier admits {o:?} of {v:?}"),
                 };
                 self.set(dst, r);
-                self.retire(
-                    MachineOp::simple(un_class(op, ty), pc).with_flops(un_flops(op, ty)),
-                );
+                self.retire(MachineOp::simple(un_class(op, ty), pc).with_flops(un_flops(op, ty)));
             }
             Inst::Fma { ty, dst, a, b, c } => {
                 let va = self.eval(a);
@@ -549,15 +656,29 @@ impl<'m> Vm<'m> {
                 let vc = self.eval(c);
                 let r = eval_fma(va, vb, vc);
                 self.set(dst, r);
-                let class = if ty.is_vector() { OpClass::VecFma } else { OpClass::FpFma };
+                let class = if ty.is_vector() {
+                    OpClass::VecFma
+                } else {
+                    OpClass::FpFma
+                };
                 self.retire(MachineOp::simple(class, pc).with_flops(2 * ty.lanes() as u32));
             }
-            Inst::Load { dst, addr, mem, lanes, stride } => {
+            Inst::Load {
+                dst,
+                addr,
+                mem,
+                lanes,
+                stride,
+            } => {
                 let base = self.eval(addr).as_i64() as u64;
                 let st = self.eval(stride).as_i64();
                 let v = self.load_value(base, mem, lanes, st)?;
                 self.set(dst, v);
-                let class = if lanes > 1 { OpClass::VecLoad } else { OpClass::Load };
+                let class = if lanes > 1 {
+                    OpClass::VecLoad
+                } else {
+                    OpClass::Load
+                };
                 let mref = MemRef {
                     addr: base,
                     bytes: mem.bytes() as u32,
@@ -567,12 +688,22 @@ impl<'m> Vm<'m> {
                 };
                 self.retire(MachineOp::simple(class, pc).with_mem(mref));
             }
-            Inst::Store { addr, val, mem, lanes, stride } => {
+            Inst::Store {
+                addr,
+                val,
+                mem,
+                lanes,
+                stride,
+            } => {
                 let base = self.eval(addr).as_i64() as u64;
                 let st = self.eval(stride).as_i64();
                 let v = self.eval(val);
                 self.store_value(base, mem, lanes, st, &v)?;
-                let class = if lanes > 1 { OpClass::VecStore } else { OpClass::Store };
+                let class = if lanes > 1 {
+                    OpClass::VecStore
+                } else {
+                    OpClass::Store
+                };
                 let mref = MemRef {
                     addr: base,
                     bytes: mem.bytes() as u32,
@@ -588,7 +719,9 @@ impl<'m> Vm<'m> {
                 self.set(dst, Value::I64(b.wrapping_add(o)));
                 self.retire(MachineOp::simple(OpClass::AddrCalc, pc));
             }
-            Inst::Select { dst, cond, t, f, .. } => {
+            Inst::Select {
+                dst, cond, t, f, ..
+            } => {
                 let c = self.eval(cond).as_bool();
                 let v = if c { self.eval(t) } else { self.eval(f) };
                 self.set(dst, v);
@@ -607,6 +740,7 @@ impl<'m> Vm<'m> {
             Inst::Copy { dst, src, .. } => {
                 let v = self.eval(src);
                 self.set(dst, v);
+                self.regalloc_dyn.copies_moved += 1;
                 self.retire(MachineOp::simple(OpClass::Move, pc));
             }
             Inst::Splat { ty, dst, src } => {
@@ -768,7 +902,14 @@ impl<'m> Vm<'m> {
             let base = cur.base as usize;
             cur.ip += 1;
             match unsafe { df.ops.get_unchecked(ip) } {
-                DecodedOp::Bin { op, class, flops, dst, lhs, rhs } => {
+                DecodedOp::Bin {
+                    op,
+                    class,
+                    flops,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval(base, *lhs);
                     let b = self.deval(base, *rhs);
@@ -776,7 +917,13 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, v);
                     self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                 }
-                DecodedOp::BinI { op, class, dst, lhs, rhs } => {
+                DecodedOp::BinI {
+                    op,
+                    class,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval_i64(base, *lhs);
                     let b = self.deval_i64(base, *rhs);
@@ -798,26 +945,35 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, Value::Bool(cmp_i64(*op, a, b)));
                     self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
                 }
-                DecodedOp::Un { op, class, flops, dst, src } => {
+                DecodedOp::Un {
+                    op,
+                    class,
+                    flops,
+                    dst,
+                    src,
+                } => {
                     self.stats.mir_ops += 1;
                     let v = self.deval(base, *src);
                     let r = match (op, v) {
                         (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
                         (UnOp::FNeg, Value::F32(x)) => Value::F32(-x),
                         (UnOp::FNeg, Value::F64(x)) => Value::F64(-x),
-                        (UnOp::FNeg, Value::VF32(x)) => {
-                            Value::VF32(x.iter().map(|l| -l).collect())
-                        }
-                        (UnOp::FNeg, Value::VF64(x)) => {
-                            Value::VF64(x.iter().map(|l| -l).collect())
-                        }
+                        (UnOp::FNeg, Value::VF32(x)) => Value::VF32(x.iter().map(|l| -l).collect()),
+                        (UnOp::FNeg, Value::VF64(x)) => Value::VF64(x.iter().map(|l| -l).collect()),
                         (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
                         (o, v) => unreachable!("verifier admits {o:?} of {v:?}"),
                     };
                     self.dset(base, *dst, r);
                     self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                 }
-                DecodedOp::Fma { class, flops, dst, a, b, c } => {
+                DecodedOp::Fma {
+                    class,
+                    flops,
+                    dst,
+                    a,
+                    b,
+                    c,
+                } => {
                     self.stats.mir_ops += 1;
                     let va = self.deval(base, *a);
                     let vb = self.deval(base, *b);
@@ -826,7 +982,14 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, r);
                     self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                 }
-                DecodedOp::Load { class, dst, addr, mem, lanes, stride } => {
+                DecodedOp::Load {
+                    class,
+                    dst,
+                    addr,
+                    mem,
+                    lanes,
+                    stride,
+                } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval_i64(base, *addr) as u64;
                     let st = self.deval_i64(base, *stride);
@@ -841,7 +1004,14 @@ impl<'m> Vm<'m> {
                     };
                     self.retire_d(MachineOp::simple(*class, pc).with_mem(mref));
                 }
-                DecodedOp::Store { class, addr, val, mem, lanes, stride } => {
+                DecodedOp::Store {
+                    class,
+                    addr,
+                    val,
+                    mem,
+                    lanes,
+                    stride,
+                } => {
                     self.stats.mir_ops += 1;
                     let a = self.deval_i64(base, *addr) as u64;
                     let st = self.deval_i64(base, *stride);
@@ -856,7 +1026,11 @@ impl<'m> Vm<'m> {
                     };
                     self.retire_d(MachineOp::simple(*class, pc).with_mem(mref));
                 }
-                DecodedOp::PtrAdd { dst, base: b, offset } => {
+                DecodedOp::PtrAdd {
+                    dst,
+                    base: b,
+                    offset,
+                } => {
                     self.stats.mir_ops += 1;
                     let bv = self.deval_i64(base, *b);
                     let o = self.deval_i64(base, *offset);
@@ -874,7 +1048,13 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, v);
                     self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
                 }
-                DecodedOp::Cast { kind, class, dst_ty, dst, src } => {
+                DecodedOp::Cast {
+                    kind,
+                    class,
+                    dst_ty,
+                    dst,
+                    src,
+                } => {
                     self.stats.mir_ops += 1;
                     let v = self.deval(base, *src);
                     let r = eval_cast(*kind, &v, *dst_ty);
@@ -885,9 +1065,23 @@ impl<'m> Vm<'m> {
                     self.stats.mir_ops += 1;
                     let v = self.deval(base, *src);
                     self.dset(base, *dst, v);
+                    self.regalloc_dyn.copies_moved += 1;
                     self.retire_d(MachineOp::simple(OpClass::Move, pc));
                 }
-                DecodedOp::Splat { elem, lanes, dst, src } => {
+                DecodedOp::ElidedCopy => {
+                    // A coalesced copy: the producer already wrote the
+                    // shared register, so only the modeled `Move` retires
+                    // — same machine op, same pc, no data movement.
+                    self.stats.mir_ops += 1;
+                    self.regalloc_dyn.copies_elided += 1;
+                    self.retire_d(MachineOp::simple(OpClass::Move, pc));
+                }
+                DecodedOp::Splat {
+                    elem,
+                    lanes,
+                    dst,
+                    src,
+                } => {
                     self.stats.mir_ops += 1;
                     let v = self.deval(base, *src);
                     let n = *lanes as usize;
@@ -900,7 +1094,12 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, r);
                     self.retire_d(MachineOp::simple(OpClass::VecShuffle, pc));
                 }
-                DecodedOp::Reduce { op, flops, dst, src } => {
+                DecodedOp::Reduce {
+                    op,
+                    flops,
+                    dst,
+                    src,
+                } => {
                     self.stats.mir_ops += 1;
                     let v = self.deval(base, *src);
                     let r = match (op, v) {
@@ -914,7 +1113,11 @@ impl<'m> Vm<'m> {
                     self.dset(base, *dst, r);
                     self.retire_d(MachineOp::simple(OpClass::VecShuffle, pc).with_flops(*flops));
                 }
-                DecodedOp::CallFunc { callee, dsts: _, args } => {
+                DecodedOp::CallFunc {
+                    callee,
+                    dsts: _,
+                    args,
+                } => {
                     self.stats.mir_ops += 1;
                     let mut argv = std::mem::take(&mut self.arg_scratch);
                     argv.clear();
@@ -1048,47 +1251,82 @@ impl<'m> Vm<'m> {
                 DecodedOp::Fused(fi) => {
                     debug_assert!((*fi as usize) < df.fused.len());
                     // SAFETY: fused indices validated at decode time; the
-                    // pattern window `ip..ip+width` is inside `ops`/`pcs`
-                    // (checked by `validate_func`), so the constituent pc
+                    // site window `ip..ip+width` is inside `ops`/`pcs`
+                    // (checked by `validate_func`), so the per-slot pc
                     // fetches below are in range.
-                    let fu = unsafe { df.fused.get_unchecked(*fi as usize) };
-                    let pc2 = unsafe { *df.pcs.get_unchecked(ip + 1) };
-                    match fu {
-                        Fused::CmpBranch { op, c_dst, lhs, rhs, int, write_cmp, t, f } => {
+                    let site = unsafe { df.fused.get_unchecked(*fi as usize) };
+                    let w = site.width as usize;
+                    let elided = site.elided;
+                    // Machine ops the batch retires beyond its first
+                    // constituent — every covered slot (constituent or
+                    // elided copy) is exactly one machine op.
+                    let extra = w as u64 - 1;
+                    let n_elided = elided.count_ones() as u64;
+                    let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+                    match &site.op {
+                        Fused::CmpBranch {
+                            op,
+                            c_dst,
+                            lhs,
+                            rhs,
+                            int,
+                            write_cmp,
+                            t,
+                            f,
+                        } => {
                             let c = if *int {
-                                cmp_i64(
-                                    *op,
-                                    self.deval_i64(base, *lhs),
-                                    self.deval_i64(base, *rhs),
-                                )
+                                cmp_i64(*op, self.deval_i64(base, *lhs), self.deval_i64(base, *rhs))
                             } else {
                                 let a = self.deval(base, *lhs);
                                 let b = self.deval(base, *rhs);
                                 eval_cmp(*op, &a, &b)
                             };
-                            if self.stats.machine_ops + 1 >= self.fuel
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.core.fused_ready_nomem()
                             {
                                 // Bail: the original `Cmp`, unfused; the
-                                // loop resumes at the retained `CondBr`.
+                                // loop resumes at the next retained slot.
                                 self.stats.mir_ops += 1;
                                 self.dset(base, *c_dst, Value::Bool(c));
                                 self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
                                 continue;
                             }
                             // Terminators don't count as MIR ops (as in
-                            // both unfused engines): only the Cmp does.
-                            self.stats.mir_ops += 1;
+                            // both unfused engines): the Cmp and any
+                            // elided copies do.
+                            self.stats.mir_ops += extra;
                             if *write_cmp {
                                 self.dset(base, *c_dst, Value::Bool(c));
                             }
-                            let info = self.core.retire_fused_branch(1, pc2, c);
-                            self.account_fused(info, 2, 1, FusePattern::CmpBranch, pc2);
+                            // Prefix = cmp plus any interior elided
+                            // copies; the branch retires last.
+                            let mut prefix = [OpClass::Move; MAX_FUSE_WIDTH];
+                            prefix[0] = OpClass::IntAlu;
+                            let last_pc = pc_at(w - 1);
+                            let info = self.core.retire_fused_branch(&prefix[..w - 1], last_pc, c);
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.account_fused(
+                                info,
+                                w as u64,
+                                extra,
+                                FusePattern::CmpBranch,
+                                last_pc,
+                            );
                             cur.ip = if c { *t } else { *f };
                         }
                         Fused::IncCmpBranch {
-                            i_op, i_dst, i_lhs, i_rhs, c_op, c_dst, c_lhs, c_rhs,
-                            c_int, write_cmp, t, f,
+                            i_op,
+                            i_dst,
+                            i_lhs,
+                            i_rhs,
+                            c_op,
+                            c_dst,
+                            c_lhs,
+                            c_rhs,
+                            c_int,
+                            write_cmp,
+                            t,
+                            f,
                         } => {
                             let a = self.deval_i64(base, *i_lhs);
                             let b = self.deval_i64(base, *i_rhs);
@@ -1097,7 +1335,7 @@ impl<'m> Vm<'m> {
                                 BinOp::Sub => a.wrapping_sub(b),
                                 other => unreachable!("fusion admits {other:?} back edge"),
                             };
-                            if self.stats.machine_ops + 2 >= self.fuel
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.core.fused_ready_nomem()
                             {
                                 self.stats.mir_ops += 1;
@@ -1105,8 +1343,9 @@ impl<'m> Vm<'m> {
                                 self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
                                 continue;
                             }
-                            // The CondBr terminator is not a MIR op.
-                            self.stats.mir_ops += 2;
+                            // The CondBr terminator is not a MIR op; the
+                            // inc, cmp, and any elided copies are.
+                            self.stats.mir_ops += extra;
                             self.dset(base, *i_dst, Value::I64(iv));
                             let c = if *c_int {
                                 cmp_i64(
@@ -1122,12 +1361,37 @@ impl<'m> Vm<'m> {
                             if *write_cmp {
                                 self.dset(base, *c_dst, Value::Bool(c));
                             }
-                            let pc3 = unsafe { *df.pcs.get_unchecked(ip + 2) };
-                            let info = self.core.retire_fused_branch(2, pc3, c);
-                            self.account_fused(info, 3, 2, FusePattern::IncCmpBranch, pc3);
+                            // Prefix = inc + cmp with elided copies
+                            // interleaved at their slots; branch last.
+                            let mut prefix = [OpClass::IntAlu; MAX_FUSE_WIDTH];
+                            for (k, slot) in prefix.iter_mut().enumerate().take(w - 1).skip(1) {
+                                if elided & (1 << k) != 0 {
+                                    *slot = OpClass::Move;
+                                }
+                            }
+                            let last_pc = pc_at(w - 1);
+                            let info = self.core.retire_fused_branch(&prefix[..w - 1], last_pc, c);
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.account_fused(
+                                info,
+                                w as u64,
+                                extra,
+                                FusePattern::IncCmpBranch,
+                                last_pc,
+                            );
                             cur.ip = if c { *t } else { *f };
                         }
-                        Fused::BinCopy { op, class, flops, int, b_dst, lhs, rhs, write_bin, dst } => {
+                        Fused::BinCopy {
+                            op,
+                            class,
+                            flops,
+                            int,
+                            b_dst,
+                            lhs,
+                            rhs,
+                            write_bin,
+                            dst,
+                        } => {
                             // Div/Rem never fuses, so neither lane traps.
                             let v = if *int {
                                 Value::I64(eval_bin_i64(
@@ -1141,40 +1405,62 @@ impl<'m> Vm<'m> {
                                 let b = self.deval(base, *rhs);
                                 eval_bin(*op, &a, &b, pc)?
                             };
-                            if self.stats.machine_ops + 1 >= self.fuel
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.core.fused_ready_nomem()
                             {
                                 self.stats.mir_ops += 1;
                                 self.dset(base, *b_dst, v);
-                                self.retire_d(
-                                    MachineOp::simple(*class, pc).with_flops(*flops),
-                                );
+                                self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                                 continue;
                             }
-                            self.stats.mir_ops += 2;
+                            self.stats.mir_ops += w as u64;
                             if *write_bin {
                                 self.dset(base, *b_dst, v.clone());
                             }
                             self.dset(base, *dst, v);
+                            // Every trailing slot — the real copy (if it
+                            // survived coalescing) and any elided copies
+                            // — retires as a `Move` at its own pc.
+                            let last_pc = pc_at(w - 1);
                             let info = if *flops == 0 {
-                                self.core.retire_fused_simple(&[*class, OpClass::Move])
+                                let mut classes = [OpClass::Move; MAX_FUSE_WIDTH];
+                                classes[0] = *class;
+                                self.core.retire_fused_simple(&classes[..w])
                             } else {
                                 // FP assignment: the FLOP event needs the
                                 // full batch path.
-                                self.core.retire_fused(&[
-                                    MachineOp::simple(*class, pc).with_flops(*flops),
-                                    MachineOp::simple(OpClass::Move, pc2),
-                                ])
+                                let mut ops_arr =
+                                    [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+                                ops_arr[0] = MachineOp::simple(*class, pc).with_flops(*flops);
+                                for (k, op_slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                                    *op_slot = MachineOp::simple(OpClass::Move, pc_at(k));
+                                }
+                                self.core.retire_fused(&ops_arr[..w])
                             };
-                            self.account_fused(info, 2, 2, FusePattern::BinCopy, pc2);
-                            cur.ip = ip as u32 + 2;
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.regalloc_dyn.copies_moved += extra - n_elided;
+                            self.account_fused(
+                                info,
+                                w as u64,
+                                w as u64,
+                                FusePattern::BinCopy,
+                                last_pc,
+                            );
+                            cur.ip = ip as u32 + w as u32;
                         }
-                        Fused::AddrLoad { a_dst, base: b_op, offset, write_addr, dst, mem } => {
+                        Fused::AddrLoad {
+                            a_dst,
+                            base: b_op,
+                            offset,
+                            write_addr,
+                            dst,
+                            mem,
+                        } => {
                             let bv = self.deval_i64(base, *b_op);
                             let ov = self.deval_i64(base, *offset);
                             let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes() as u64;
-                            if self.stats.machine_ops + 1 >= self.fuel
+                            let bytes = mem.bytes();
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.mem.in_bounds(addr as u64, bytes)
                                 || !self.core.fused_ready()
                             {
@@ -1185,26 +1471,39 @@ impl<'m> Vm<'m> {
                                 self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
                                 continue;
                             }
-                            self.stats.mir_ops += 2;
+                            self.stats.mir_ops += w as u64;
                             if *write_addr {
                                 self.dset(base, *a_dst, Value::I64(addr));
                             }
                             let v = self.load_scalar(addr as u64, *mem)?;
                             self.dset(base, *dst, v);
-                            let ops = [
-                                MachineOp::simple(OpClass::AddrCalc, pc),
-                                MachineOp::simple(OpClass::Load, pc2)
-                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, false)),
-                            ];
-                            self.finish_fused(&ops, 2, FusePattern::AddrLoad);
-                            cur.ip = ip as u32 + 2;
+                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                                *slot = if elided & (1 << k) != 0 {
+                                    MachineOp::simple(OpClass::Move, pc_at(k))
+                                } else {
+                                    MachineOp::simple(OpClass::Load, pc_at(k))
+                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, false))
+                                };
+                            }
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoad);
+                            cur.ip = ip as u32 + w as u32;
                         }
-                        Fused::AddrStore { a_dst, base: b_op, offset, write_addr, val, mem } => {
+                        Fused::AddrStore {
+                            a_dst,
+                            base: b_op,
+                            offset,
+                            write_addr,
+                            val,
+                            mem,
+                        } => {
                             let bv = self.deval_i64(base, *b_op);
                             let ov = self.deval_i64(base, *offset);
                             let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes() as u64;
-                            if self.stats.machine_ops + 1 >= self.fuel
+                            let bytes = mem.bytes();
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.mem.in_bounds(addr as u64, bytes)
                                 || !self.core.fused_ready()
                             {
@@ -1213,43 +1512,68 @@ impl<'m> Vm<'m> {
                                 self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
                                 continue;
                             }
-                            self.stats.mir_ops += 2;
+                            self.stats.mir_ops += w as u64;
                             if *write_addr {
                                 self.dset(base, *a_dst, Value::I64(addr));
                             }
                             let v = self.subst(base, *val, *a_dst, addr);
                             self.store_scalar(addr as u64, *mem, &v)?;
-                            let ops = [
-                                MachineOp::simple(OpClass::AddrCalc, pc),
-                                MachineOp::simple(OpClass::Store, pc2)
-                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, true)),
-                            ];
-                            self.finish_fused(&ops, 2, FusePattern::AddrStore);
-                            cur.ip = ip as u32 + 2;
+                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                                *slot = if elided & (1 << k) != 0 {
+                                    MachineOp::simple(OpClass::Move, pc_at(k))
+                                } else {
+                                    MachineOp::simple(OpClass::Store, pc_at(k))
+                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, true))
+                                };
+                            }
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrStore);
+                            cur.ip = ip as u32 + w as u32;
                         }
                         Fused::LoadOp {
-                            l_dst, addr, mem, int, write_load, op, class, flops, b_dst, lhs, rhs,
+                            l_dst,
+                            addr,
+                            mem,
+                            int,
+                            write_load,
+                            op,
+                            class,
+                            flops,
+                            b_dst,
+                            lhs,
+                            rhs,
                         } => {
                             let av = self.deval_i64(base, *addr) as u64;
-                            let bytes = mem.bytes() as u64;
-                            if self.stats.machine_ops + 1 >= self.fuel
+                            let bytes = mem.bytes();
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.mem.in_bounds(av, bytes)
                                 || !self.core.fused_ready()
                             {
                                 // Bail: the original scalar `Load`
                                 // (including its trap, when out of
-                                // bounds); the loop resumes at the
-                                // retained `Bin`.
+                                // bounds); the loop resumes at the next
+                                // retained slot.
                                 self.stats.mir_ops += 1;
                                 let v = self.load_scalar(av, *mem)?;
                                 self.dset(base, *l_dst, v);
                                 self.retire_d(
-                                    MachineOp::simple(OpClass::Load, pc)
-                                        .with_mem(MemRef::scalar(av, bytes as u32, false)),
+                                    MachineOp::simple(OpClass::Load, pc).with_mem(MemRef::scalar(
+                                        av,
+                                        bytes as u32,
+                                        false,
+                                    )),
                                 );
                                 continue;
                             }
-                            self.stats.mir_ops += 2;
+                            self.stats.mir_ops += w as u64;
+                            // The bin constituent sits at the first
+                            // non-elided slot after the load.
+                            let bin_off = (1..w)
+                                .find(|&k| elided & (1 << k) == 0)
+                                .expect("LoadOp site keeps its bin constituent");
+                            let pc_bin = pc_at(bin_off);
                             if *int {
                                 let x = self.load_scalar_i64(av, *mem)?;
                                 if *write_load {
@@ -1257,7 +1581,7 @@ impl<'m> Vm<'m> {
                                 }
                                 let a = self.subst_i64(base, *lhs, *l_dst, x);
                                 let b = self.subst_i64(base, *rhs, *l_dst, x);
-                                let r = eval_bin_i64(*op, a, b, pc2)?;
+                                let r = eval_bin_i64(*op, a, b, pc_bin)?;
                                 self.dset(base, *b_dst, Value::I64(r));
                             } else {
                                 let v = self.load_scalar(av, *mem)?;
@@ -1266,26 +1590,44 @@ impl<'m> Vm<'m> {
                                 }
                                 let a = self.subst_val(base, *lhs, *l_dst, &v);
                                 let b = self.subst_val(base, *rhs, *l_dst, &v);
-                                let r = eval_bin(*op, &a, &b, pc2)?;
+                                let r = eval_bin(*op, &a, &b, pc_bin)?;
                                 self.dset(base, *b_dst, r);
                             }
-                            let ops = [
-                                MachineOp::simple(OpClass::Load, pc)
-                                    .with_mem(MemRef::scalar(av, bytes as u32, false)),
-                                MachineOp::simple(*class, pc2).with_flops(*flops),
-                            ];
-                            self.finish_fused(&ops, 2, FusePattern::LoadOp);
-                            cur.ip = ip as u32 + 2;
+                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+                            ops_arr[0] = MachineOp::simple(OpClass::Load, pc)
+                                .with_mem(MemRef::scalar(av, bytes as u32, false));
+                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                                *slot = if elided & (1 << k) != 0 {
+                                    MachineOp::simple(OpClass::Move, pc_at(k))
+                                } else {
+                                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
+                                };
+                            }
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::LoadOp);
+                            cur.ip = ip as u32 + w as u32;
                         }
                         Fused::AddrLoadOp {
-                            a_dst, base: b_op, offset, write_addr, l_dst, mem, int, write_load,
-                            op, class, flops, b_dst, lhs, rhs,
+                            a_dst,
+                            base: b_op,
+                            offset,
+                            write_addr,
+                            l_dst,
+                            mem,
+                            int,
+                            write_load,
+                            op,
+                            class,
+                            flops,
+                            b_dst,
+                            lhs,
+                            rhs,
                         } => {
                             let bv = self.deval_i64(base, *b_op);
                             let ov = self.deval_i64(base, *offset);
                             let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes() as u64;
-                            if self.stats.machine_ops + 2 >= self.fuel
+                            let bytes = mem.bytes();
+                            if self.stats.machine_ops + extra >= self.fuel
                                 || !self.mem.in_bounds(addr as u64, bytes)
                                 || !self.core.fused_ready()
                             {
@@ -1294,11 +1636,19 @@ impl<'m> Vm<'m> {
                                 self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
                                 continue;
                             }
-                            self.stats.mir_ops += 3;
+                            self.stats.mir_ops += w as u64;
                             if *write_addr {
                                 self.dset(base, *a_dst, Value::I64(addr));
                             }
-                            let pc3 = unsafe { *df.pcs.get_unchecked(ip + 2) };
+                            // The load and bin constituents sit at the
+                            // first and second non-elided slots.
+                            let load_off = (1..w)
+                                .find(|&k| elided & (1 << k) == 0)
+                                .expect("AddrLoadOp site keeps its load constituent");
+                            let bin_off = (load_off + 1..w)
+                                .find(|&k| elided & (1 << k) == 0)
+                                .expect("AddrLoadOp site keeps its bin constituent");
+                            let pc_bin = pc_at(bin_off);
                             // Resolve bin operands: the loaded value
                             // shadows the address register when both are
                             // the same register (the load's write is the
@@ -1310,7 +1660,7 @@ impl<'m> Vm<'m> {
                                 }
                                 let a = self.subst2_i64(base, *lhs, *l_dst, x, *a_dst, addr);
                                 let b = self.subst2_i64(base, *rhs, *l_dst, x, *a_dst, addr);
-                                let r = eval_bin_i64(*op, a, b, pc3)?;
+                                let r = eval_bin_i64(*op, a, b, pc_bin)?;
                                 self.dset(base, *b_dst, Value::I64(r));
                             } else {
                                 let v = self.load_scalar(addr as u64, *mem)?;
@@ -1319,17 +1669,24 @@ impl<'m> Vm<'m> {
                                 }
                                 let a = self.subst2(base, *lhs, *l_dst, &v, *a_dst, addr);
                                 let b = self.subst2(base, *rhs, *l_dst, &v, *a_dst, addr);
-                                let r = eval_bin(*op, &a, &b, pc3)?;
+                                let r = eval_bin(*op, &a, &b, pc_bin)?;
                                 self.dset(base, *b_dst, r);
                             }
-                            let ops = [
-                                MachineOp::simple(OpClass::AddrCalc, pc),
-                                MachineOp::simple(OpClass::Load, pc2)
-                                    .with_mem(MemRef::scalar(addr as u64, bytes as u32, false)),
-                                MachineOp::simple(*class, pc3).with_flops(*flops),
-                            ];
-                            self.finish_fused(&ops, 3, FusePattern::AddrLoadOp);
-                            cur.ip = ip as u32 + 3;
+                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                                *slot = if elided & (1 << k) != 0 {
+                                    MachineOp::simple(OpClass::Move, pc_at(k))
+                                } else if k == load_off {
+                                    MachineOp::simple(OpClass::Load, pc_at(k))
+                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, false))
+                                } else {
+                                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
+                                };
+                            }
+                            self.regalloc_dyn.copies_elided += n_elided;
+                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoadOp);
+                            cur.ip = ip as u32 + w as u32;
                         }
                     }
                 }
@@ -1555,7 +1912,13 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn load_value(&mut self, base: u64, mem: MemTy, lanes: u8, stride: i64) -> Result<Value, VmError> {
+    fn load_value(
+        &mut self,
+        base: u64,
+        mem: MemTy,
+        lanes: u8,
+        stride: i64,
+    ) -> Result<Value, VmError> {
         if lanes == 1 {
             return self.load_scalar(base, mem);
         }
@@ -1884,7 +2247,10 @@ mod tests {
             vm.mem.write_f32(b + i * 4, 2.0).unwrap();
         }
         let out = vm
-            .call("dot", &[Value::I64(a as i64), Value::I64(b as i64), Value::I64(8)])
+            .call(
+                "dot",
+                &[Value::I64(a as i64), Value::I64(b as i64), Value::I64(8)],
+            )
             .unwrap();
         assert_eq!(out, vec![Value::F32(72.0)]);
     }
@@ -1894,9 +2260,7 @@ mod tests {
         let src = "fn f(a: i64, b: i64) -> i64 { return a / b; }";
         let module = compile("t", src).unwrap();
         let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
-        let err = vm
-            .call("f", &[Value::I64(1), Value::I64(0)])
-            .unwrap_err();
+        let err = vm.call("f", &[Value::I64(1), Value::I64(0)]).unwrap_err();
         assert!(matches!(err, VmError::DivisionByZero { .. }));
     }
 
@@ -2002,7 +2366,10 @@ mod tests {
         assert_eq!(fused.1, unfused.1, "ExecStats");
         assert_eq!(fused.2, unfused.2, "cycles");
         let dynv = fused.3;
-        assert!(dynv.total_executed() > 400, "loop body runs fused: {dynv:?}");
+        assert!(
+            dynv.total_executed() > 400,
+            "loop body runs fused: {dynv:?}"
+        );
         let cov = dynv.coverage(fused.1.mir_ops);
         assert!(cov > 0.2 && cov <= 1.0, "sane dynamic coverage: {cov}");
         assert_eq!(unfused.3.total_executed(), 0, "no-fuse reports zero");

@@ -33,16 +33,65 @@
 //!    the semantic baseline; both produce bit-identical `ExecStats`,
 //!    cycles, and PMU state.
 //!
+//! ## Register allocation
+//!
+//! Before fusion, a decode-time copy-coalescing pass ([`regalloc`])
+//! attacks the dominant op the frontend emits: the `copy dst = src`
+//! behind every `var = expr` assignment (~1/3 of the dynamic stream on
+//! assignment-heavy code). Per function it:
+//!
+//! 1. computes backward **liveness** over the flat op stream (uses =
+//!    operand registers, defs = destinations incl. call return slots;
+//!    `Br`/`CondBr` follow their pre-resolved targets, `Ret` ends the
+//!    walk) to a fixpoint;
+//! 2. builds a register **interference** relation: each op's defs
+//!    conflict with everything live-out of the op (minus the copy's
+//!    own `dst`/`src` pair at the copy itself, where both hold the
+//!    same value), same-op defs conflict pairwise, and parameters
+//!    conflict pairwise and with everything live-in at entry;
+//! 3. greedily **coalesces** each reg-to-reg copy whose source and
+//!    destination classes don't interfere (union-find with per-class
+//!    interference sets), then **compacts** register numbers so frames
+//!    slice a smaller register-stack window.
+//!
+//! A copy is elidable exactly when its operands end up in one class:
+//! the producer already wrote the shared slot, so the slot is
+//! rewritten to [`decode::DecodedOp::ElidedCopy`] — a retire-only op.
+//!
+//! **The observable-invariance contract** (same as fusion's): the
+//! elided copy still retires the same `Move` machine op at the same
+//! pc, so cycle counts, instruction counts, PMU counter files, and
+//! sampling IPs/callchains are bit-identical to the uncoalesced and
+//! reference streams — coalescing removes *our* dispatch cost (the
+//! `Value` clone and register write), never modeled work. Merged
+//! classes always carry one value type (unions are driven only by
+//! type-checked copies), so the raw-`i64` register lanes stay sound,
+//! and reads of never-written registers still see the zero-initialized
+//! slot (a def that could clobber it would have interfered). The
+//! regalloc × fusion × engine equivalence matrix is property-tested in
+//! `tests/properties.rs` on all four platform models, including traps
+//! landing on elided-copy slots. Static coalescing rates live in
+//! [`RegallocStats`] on the decode; dynamic copy traffic (moved vs
+//! elided) in [`interp::RegallocDynamics`] on the VM. `--no-regalloc`
+//! (CLI) / [`Vm::set_regalloc`] / [`DecodeConfig`] disable the pass
+//! for bisection.
+//!
 //! ## Superinstruction fusion
 //!
-//! After flattening, a decode-time peephole pass rewrites the hottest
-//! adjacent op pairs/triples into superinstructions with dedicated
-//! handlers ([`decode::Fused`]); the decoded hot loop itself is shaped
-//! for jump-table dispatch with **no per-op bounds checks** — every
-//! index (jump targets, register numbers, callee/host/fused ids) is
-//! pinned once per decode by `validate_func`, and scalar-integer ops
-//! are type-specialized at decode time (`BinI`/`CmpI`) so the handlers
-//! move raw `i64`s instead of cloning `Value` enums.
+//! After register allocation, a decode-time peephole pass rewrites the
+//! hottest adjacent op pairs/triples into superinstructions with
+//! dedicated handlers ([`decode::Fused`]); the decoded hot loop itself
+//! is shaped for jump-table dispatch with **no per-op bounds checks**
+//! — every index (jump targets, register numbers, callee/host/fused
+//! ids) is pinned once per decode by `validate_func`, and
+//! scalar-integer ops are type-specialized at decode time
+//! (`BinI`/`CmpI`) so the handlers move raw `i64`s instead of cloning
+//! `Value` enums. Elided copies are transparent to the matcher:
+//! constituents may be separated by (or trailed by) `ElidedCopy` slots,
+//! which join the batch as `Move` ticks at their own pcs — so
+//! `inc+cmp+br` fires across a coalesced copy and a bare
+//! `bin + elided-copy` still batches as `bin+copy`
+//! ([`decode::FusedSite`] records the covered window).
 //!
 //! | pattern ([`decode::FusePattern`]) | shape | width |
 //! |---|---|---|
@@ -86,7 +135,7 @@
 //! [`decode::FusionStats`] on the decode; dynamic coverage in
 //! [`interp::FusionDynamics`] on the VM (deliberately outside
 //! `ExecStats`). `--no-fuse` (CLI) / [`Vm::set_fusion`] /
-//! [`decode_module_with`] disable the pass for bisection.
+//! [`decode_module_cfg`] disable the pass for bisection.
 //!
 //! ## The `Arc`/`Send` contract
 //!
@@ -135,13 +184,16 @@ pub mod host;
 pub mod interp;
 pub mod lower;
 pub mod memory;
+pub mod regalloc;
 pub mod value;
 
 pub use decode::{
-    decode_module, decode_module_with, DecodedModule, DecodedOp, FusePattern, Fused, FusionStats,
+    decode_module, decode_module_cfg, decode_module_with, DecodeConfig, DecodedModule, DecodedOp,
+    FusePattern, Fused, FusedSite, FusionStats,
 };
 pub use error::VmError;
 pub use host::{HostHandler, RegionStats, RooflineRuntime};
-pub use interp::{Engine, ExecConfig, ExecStats, FusionDynamics, Vm};
+pub use interp::{Engine, ExecConfig, ExecStats, FusionDynamics, RegallocDynamics, Vm};
 pub use memory::GuestMemory;
+pub use regalloc::RegallocStats;
 pub use value::{Lanes, Value};

@@ -101,7 +101,9 @@ pub fn inst_class(inst: &Inst) -> OpClass {
 pub fn inst_flops(inst: &Inst) -> u32 {
     match inst {
         Inst::Bin { op, ty, .. } => bin_flops(*op, *ty),
-        Inst::Un { op: UnOp::FNeg, ty, .. } => ty.lanes() as u32,
+        Inst::Un {
+            op: UnOp::FNeg, ty, ..
+        } => ty.lanes() as u32,
         Inst::Fma { ty, .. } => 2 * ty.lanes() as u32,
         Inst::Reduce {
             op: mperf_ir::ReduceOp::FAdd,

@@ -78,8 +78,10 @@ impl MatmulBench {
         let c = vm.mem.alloc(bytes, 64)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         for i in 0..n * n {
-            vm.mem.write_f32(a + i * 4, rng.random_range(-1.0f32..1.0))?;
-            vm.mem.write_f32(b + i * 4, rng.random_range(-1.0f32..1.0))?;
+            vm.mem
+                .write_f32(a + i * 4, rng.random_range(-1.0f32..1.0))?;
+            vm.mem
+                .write_f32(b + i * 4, rng.random_range(-1.0f32..1.0))?;
             vm.mem.write_f32(c + i * 4, 0.0)?;
         }
         Ok(vec![

@@ -227,7 +227,7 @@ impl Default for SqliteBench {
         SqliteBench {
             rows: 512,
             queries: 8,
-            seed: 0x5eed_1e,
+            seed: 0x005e_ed1e,
         }
     }
 }
@@ -342,11 +342,7 @@ mod tests {
         let mut vm = Vm::new(&module, Core::new(platform.spec()));
         let args = bench.setup(&mut vm).unwrap();
         let out = vm.call(ENTRY, &args).unwrap();
-        (
-            out[0].as_i64(),
-            vm.core.cycles(),
-            vm.core.instructions(),
-        )
+        (out[0].as_i64(), vm.core.cycles(), vm.core.instructions())
     }
 
     #[test]

@@ -90,9 +90,8 @@ mod tests {
         vm.call(ENTRY, &args).unwrap();
         // After an even number of steps the result lives in `a`... the
         // last write with steps=6 goes into `a` (s=5 odd writes a).
-        let read_grid = |vm: &Vm, base: u64, i: u64, j: u64| {
-            vm.mem.read_f64(base + (i * 32 + j) * 8).unwrap()
-        };
+        let read_grid =
+            |vm: &Vm, base: u64, i: u64, j: u64| vm.mem.read_f64(base + (i * 32 + j) * 8).unwrap();
         let near_hot = read_grid(&vm, a, 1, 16).max(read_grid(&vm, b, 1, 16));
         let far = read_grid(&vm, a, 30, 16).max(read_grid(&vm, b, 30, 16));
         assert!(near_hot > 1.0, "heat reached row 1: {near_hot}");

@@ -9,7 +9,7 @@
 
 use miniperf::tma;
 use mperf_sim::{Core, Platform};
-use mperf_vm::{Value, Vm};
+use mperf_vm::Vm;
 use mperf_workloads::stencil::{StencilBench, ENTRY, SOURCE};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

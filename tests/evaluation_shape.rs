@@ -19,7 +19,7 @@ fn bench() -> SqliteBench {
     SqliteBench {
         rows: 384,
         queries: 10,
-        seed: 0x5eed_1e,
+        seed: 0x005e_ed1e,
     }
 }
 

@@ -68,6 +68,15 @@ const EQUIV_TEMPLATES: &[&str] = &[
     "#,
 ];
 
+/// Every decoded-engine pass combination the equivalence properties
+/// pin against the reference engine, with display labels.
+const DECODED_CONFIGS: [(&str, bool, bool); 4] = [
+    ("fused+regalloc", true, true),
+    ("fused", true, false),
+    ("regalloc", false, true),
+    ("bare", false, false),
+];
+
 /// Run one template on one platform/engine; returns every observable:
 /// (ret, stats, cycles, instructions, pmu counters).
 fn run_equiv(
@@ -75,12 +84,14 @@ fn run_equiv(
     spec: PlatformSpec,
     engine: Engine,
     fuse: bool,
+    regalloc: bool,
     data: &[i64],
     n: i64,
 ) -> (Vec<Value>, mperf_vm::ExecStats, u64, u64, Vec<u64>) {
     let mut vm = Vm::with_memory(module, Core::new(spec), 1 << 20);
     vm.set_engine(engine);
     vm.set_fusion(fuse);
+    vm.set_regalloc(regalloc);
     let base = vm.mem.alloc(8 * data.len() as u64, 8).unwrap();
     for (i, v) in data.iter().enumerate() {
         vm.mem.write_u64(base + i as u64 * 8, *v as u64).unwrap();
@@ -193,13 +204,14 @@ proptest! {
         }
     }
 
-    /// The decoded engine — fused *and* unfused — is observably
-    /// identical to the reference interpreter: for generated programs
-    /// (random template, input data, and trip count, with and without
-    /// the optimization pipeline) all three configurations return the
-    /// same values and leave bit-identical `ExecStats`, cycle counts,
-    /// instruction counts, and PMU counter files on every platform
-    /// model. Superinstruction fusion changes speed, never observables.
+    /// The decoded engine — across the full register-allocation ×
+    /// fusion matrix — is observably identical to the reference
+    /// interpreter: for generated programs (random template, input
+    /// data, and trip count, with and without the optimization
+    /// pipeline) every configuration returns the same values and leaves
+    /// bit-identical `ExecStats`, cycle counts, instruction counts, and
+    /// PMU counter files on every platform model. Decode-time passes
+    /// change speed, never observables.
     #[test]
     fn decoded_engine_matches_reference(
         tpl in 0usize..4,
@@ -217,9 +229,12 @@ proptest! {
             PlatformSpec::u74(),
             PlatformSpec::i5_1135g7(),
         ] {
-            let reference = run_equiv(&module, spec.clone(), Engine::Reference, true, &data, n);
-            for (label, fuse) in [("fused", true), ("unfused", false)] {
-                let decoded = run_equiv(&module, spec.clone(), Engine::Decoded, fuse, &data, n);
+            let reference =
+                run_equiv(&module, spec.clone(), Engine::Reference, true, true, &data, n);
+            for (label, fuse, regalloc) in DECODED_CONFIGS {
+                let decoded = run_equiv(
+                    &module, spec.clone(), Engine::Decoded, fuse, regalloc, &data, n,
+                );
                 prop_assert_eq!(
                     &reference.0, &decoded.0,
                     "return values ({}, {})", spec.name, label
@@ -354,28 +369,34 @@ proptest! {
     /// Traps are engine-equivalent too: every configuration stops at
     /// the same op with the same error and the same partial statistics.
     /// Random fuel values land the exhaustion point *inside* fused
-    /// patterns, exercising the superinstruction bail paths.
+    /// patterns and *on* elided-copy slots (the loop body's `s = ...`
+    /// copy coalesces away under regalloc), exercising both the
+    /// superinstruction bail paths and the retire-only elided-copy
+    /// dispatch at the trap boundary.
     #[test]
     fn decoded_engine_matches_reference_on_traps(fuel in 50u64..400) {
         let src = "fn main(n: i64) -> i64 { var s: i64 = 0; while (true) { s = s + n; } return s; }";
         let module = mperf_ir::compile("trap", src).unwrap();
-        let run = |engine: Engine, fuse: bool| {
+        let run = |engine: Engine, fuse: bool, regalloc: bool| {
             let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
             vm.set_engine(engine);
             vm.set_fusion(fuse);
+            vm.set_regalloc(regalloc);
             vm.set_fuel(fuel);
             let err = vm.call("main", &[Value::I64(3)]).unwrap_err();
             (format!("{err:?}"), vm.stats(), vm.core.cycles())
         };
-        let reference = run(Engine::Reference, true);
-        prop_assert_eq!(&reference, &run(Engine::Decoded, true), "fused");
-        prop_assert_eq!(&reference, &run(Engine::Decoded, false), "unfused");
+        let reference = run(Engine::Reference, true, true);
+        for (label, fuse, regalloc) in DECODED_CONFIGS {
+            prop_assert_eq!(&reference, &run(Engine::Decoded, fuse, regalloc), "{}", label);
+        }
     }
 
     /// Guest traps land identically mid-pattern: an out-of-bounds access
     /// whose `ptradd`+`load` pair is fused must fault at the same op
-    /// with the same partial state as the unfused and reference engines
-    /// (the fused fast path pre-checks bounds and bails).
+    /// with the same partial state as every other configuration (the
+    /// fused fast path pre-checks bounds and bails), with and without
+    /// the copy-coalescing pass rewriting the surrounding stream.
     #[test]
     fn fused_memory_traps_match_unfused(n in 1i64..64, oob_at in 0i64..64) {
         let src = r#"
@@ -389,10 +410,11 @@ proptest! {
             }
         "#;
         let module = mperf_ir::compile("memtrap", src).unwrap();
-        let run = |engine: Engine, fuse: bool| {
+        let run = |engine: Engine, fuse: bool, regalloc: bool| {
             let mut vm = Vm::with_memory(&module, Core::new(PlatformSpec::x60()), 1 << 20);
             vm.set_engine(engine);
             vm.set_fusion(fuse);
+            vm.set_regalloc(regalloc);
             let base = vm.mem.alloc(8 * 16, 8).unwrap();
             for i in 0..16u64 {
                 vm.mem.write_u64(base + i * 8, i * 3).unwrap();
@@ -408,18 +430,22 @@ proptest! {
             );
             (format!("{r:?}"), vm.stats(), vm.core.cycles())
         };
-        let reference = run(Engine::Reference, true);
-        prop_assert_eq!(&reference, &run(Engine::Decoded, true), "fused");
-        prop_assert_eq!(&reference, &run(Engine::Decoded, false), "unfused");
+        let reference = run(Engine::Reference, true, true);
+        for (label, fuse, regalloc) in DECODED_CONFIGS {
+            prop_assert_eq!(&reference, &run(Engine::Decoded, fuse, regalloc), "{}", label);
+        }
     }
 }
 
 /// Overflow sampling is engine-exact: driving identical sampling setups
-/// through every engine configuration (reference, decoded fused,
-/// decoded unfused) produces the same number of samples with the same
-/// IPs and callchains — overflow interrupts fire on the same ops. Near
-/// a counter wrap the fused engine's `fused_ready` guard degrades to
-/// per-op retire, which is what keeps the overflow attribution exact.
+/// through every engine configuration (reference, and the decoded
+/// engine across the regalloc × fusion matrix) produces the same number
+/// of samples with the same IPs and callchains — overflow interrupts
+/// fire on the same ops, including samples landing on elided-copy slots
+/// (which retire the same `Move` at the same pc as the original copy).
+/// Near a counter wrap the fused engine's `fused_ready` guard degrades
+/// to per-op retire, which is what keeps the overflow attribution
+/// exact.
 #[test]
 fn decoded_engine_sampling_matches_reference() {
     use mperf_event::{EventKind, PerfEventAttr, PerfKernel, ReadFormat};
@@ -442,7 +468,7 @@ fn decoded_engine_sampling_matches_reference() {
     "#;
     let module = mperf_ir::compile("sampling", src).unwrap();
 
-    let run = |engine: Engine, fuse: bool| {
+    let run = |engine: Engine, fuse: bool, regalloc: bool| {
         let mut core = Core::new(PlatformSpec::x60());
         let mut kernel = PerfKernel::new(&mut core);
         let umc = core.spec.event_code(mperf_sim::HwEvent::UModeCycles);
@@ -450,7 +476,10 @@ fn decoded_engine_sampling_matches_reference() {
             kind: EventKind::Raw(umc),
             sample_period: 700,
             sample_type: SampleType::full(),
-            read_format: ReadFormat { group: true, id: true },
+            read_format: ReadFormat {
+                group: true,
+                id: true,
+            },
             disabled: true,
         };
         let fd = kernel.open(&mut core, attr, None).unwrap();
@@ -459,6 +488,7 @@ fn decoded_engine_sampling_matches_reference() {
         vm.core = core;
         vm.set_engine(engine);
         vm.set_fusion(fuse);
+        vm.set_regalloc(regalloc);
         vm.attach_kernel(kernel);
         let base = vm.mem.alloc(8 * 32, 8).unwrap();
         for i in 0..32u64 {
@@ -480,12 +510,17 @@ fn decoded_engine_sampling_matches_reference() {
         (samples, kernel.samples_taken())
     };
 
-    let (ref_samples, ref_taken) = run(Engine::Reference, true);
-    let (dec_samples, dec_taken) = run(Engine::Decoded, true);
-    let (nf_samples, nf_taken) = run(Engine::Decoded, false);
-    assert!(ref_taken > 5, "expected a healthy sample stream: {ref_taken}");
-    assert_eq!(ref_taken, dec_taken, "sample counts diverge (fused)");
-    assert_eq!(ref_samples, dec_samples, "sample IPs/callchains diverge (fused)");
-    assert_eq!(ref_taken, nf_taken, "sample counts diverge (unfused)");
-    assert_eq!(ref_samples, nf_samples, "sample IPs/callchains diverge (unfused)");
+    let (ref_samples, ref_taken) = run(Engine::Reference, true, true);
+    assert!(
+        ref_taken > 5,
+        "expected a healthy sample stream: {ref_taken}"
+    );
+    for (label, fuse, regalloc) in DECODED_CONFIGS {
+        let (samples, taken) = run(Engine::Decoded, fuse, regalloc);
+        assert_eq!(ref_taken, taken, "sample counts diverge ({label})");
+        assert_eq!(
+            ref_samples, samples,
+            "sample IPs/callchains diverge ({label})"
+        );
+    }
 }

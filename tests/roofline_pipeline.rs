@@ -11,7 +11,6 @@ use mperf_sim::Platform;
 use mperf_vm::{Value, Vm, VmError};
 use mperf_workloads::matmul::{MatmulBench, ENTRY as MM_ENTRY, SOURCE as MM_SOURCE};
 
-
 fn mm_setup(bench: MatmulBench) -> impl Fn(&mut Vm) -> Result<Vec<Value>, VmError> {
     move |vm: &mut Vm| bench.setup(vm)
 }
@@ -153,13 +152,7 @@ fn advisor_style_reads_higher_than_miniperf_on_ooo_hardware() {
     vm.attach_kernel(kernel);
     let args = bench.setup(&mut vm).unwrap();
     vm.call(MM_ENTRY, &args).unwrap();
-    let pmu_flops = vm
-        .kernel
-        .as_ref()
-        .unwrap()
-        .read(&vm.core, fp)
-        .unwrap()[0]
-        .1;
+    let pmu_flops = vm.kernel.as_ref().unwrap().read(&vm.core, fp).unwrap()[0].1;
     let ratio = pmu_flops as f64 / ir_flops as f64;
     assert!(
         (1.2..1.7).contains(&ratio),
