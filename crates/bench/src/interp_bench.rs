@@ -123,14 +123,31 @@ pub struct InterpBenchInfo {
     pub regalloc_static: mperf_vm::RegallocStats,
     /// Runtime copy-traffic split of one call.
     pub regalloc_dyn: mperf_vm::RegallocDynamics,
+    /// Cache-hierarchy counters of one call (feeds the `mru` section of
+    /// `BENCH_interp.json`).
+    pub mem: MemStats,
+}
+
+/// Cache counters of one sanity run: per level (accesses, misses, hits
+/// served by the MRU fast probe).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    pub l1_accesses: u64,
+    pub l1_misses: u64,
+    pub l1_mru_hits: u64,
+    pub l2_accesses: u64,
+    pub l2_misses: u64,
+    pub l2_mru_hits: u64,
 }
 
 /// One engine configuration benchmarked per workload × platform.
 /// `seed` reproduces the pre-PR execution stack: the structure-walking
-/// interpreter plus the per-op 32-counter PMU scan. `decoded` is the
-/// production default (superinstruction fusion + register allocation
-/// on); `decoded-nofuse` and `decoded-noregalloc` isolate each pass's
-/// contribution for bisection.
+/// interpreter plus the per-op 32-counter PMU scan. `threaded` is the
+/// production default (template dispatch + superblock retire, with
+/// superinstruction fusion and register allocation on);
+/// `threaded-nofuse` / `threaded-noregalloc` isolate each decode pass
+/// under the template engine, and the `decoded*` rows keep the
+/// first-generation match-dispatch engine measurable for bisection.
 #[derive(Clone, Copy)]
 pub struct EngineConfig {
     pub name: &'static str,
@@ -141,8 +158,29 @@ pub struct EngineConfig {
 }
 
 /// The benchmarked engine configurations, fastest first.
-pub fn engine_configs() -> [EngineConfig; 5] {
+pub fn engine_configs() -> [EngineConfig; 8] {
     [
+        EngineConfig {
+            name: "threaded",
+            engine: Engine::Threaded,
+            fuse: true,
+            regalloc: true,
+            pmu_batched: true,
+        },
+        EngineConfig {
+            name: "threaded-nofuse",
+            engine: Engine::Threaded,
+            fuse: false,
+            regalloc: true,
+            pmu_batched: true,
+        },
+        EngineConfig {
+            name: "threaded-noregalloc",
+            engine: Engine::Threaded,
+            fuse: true,
+            regalloc: false,
+            pmu_batched: true,
+        },
         EngineConfig {
             name: "decoded",
             engine: Engine::Decoded,
@@ -187,6 +225,7 @@ pub struct WorkloadRun {
     pub mir_ops: u64,
     pub fusion_dyn: mperf_vm::FusionDynamics,
     pub regalloc_dyn: mperf_vm::RegallocDynamics,
+    pub mem: MemStats,
 }
 
 fn run_workload(
@@ -217,11 +256,22 @@ fn run_workload(
     }
     args.push(Value::I64(black_box(w.n)));
     let out = vm.call(w.entry, &args).expect("bench workload runs");
+    let (l1_accesses, l1_misses) = vm.core.mem().l1d_stats();
+    let (l2_accesses, l2_misses) = vm.core.mem().l2_stats();
+    let mem = MemStats {
+        l1_accesses,
+        l1_misses,
+        l1_mru_hits: vm.core.mem().l1d_mru_hits(),
+        l2_accesses,
+        l2_misses,
+        l2_mru_hits: vm.core.mem().l2_mru_hits(),
+    };
     WorkloadRun {
         out,
         mir_ops: vm.stats().mir_ops,
         fusion_dyn: vm.fusion_dynamics(),
         regalloc_dyn: vm.regalloc_dynamics(),
+        mem,
     }
 }
 
@@ -287,7 +337,7 @@ pub fn register_interp_benches_filter(
                 g.bench_function(&id, |b| {
                     b.iter(|| run_workload(&module, spec.clone(), cfg, Some(decoded), &w).out)
                 });
-                let is_decoded = cfg.engine == Engine::Decoded;
+                let is_decoded = cfg.engine != Engine::Reference;
                 infos.push(InterpBenchInfo {
                     id: format!("vm/interp-throughput/{id}"),
                     workload: w.name,
@@ -306,6 +356,7 @@ pub fn register_interp_benches_filter(
                         mperf_vm::RegallocStats::default()
                     },
                     regalloc_dyn: run.regalloc_dyn,
+                    mem: run.mem,
                 });
             }
         }

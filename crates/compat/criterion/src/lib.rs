@@ -4,8 +4,9 @@
 //! implements the benchmarking surface the workspace uses: `Criterion`,
 //! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
 //! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
-//! warmup + timed-batch loop reporting mean ns/iter; it is deliberately
-//! lightweight rather than statistically rigorous.
+//! warmup + timed-batch loop reporting the *minimum* batch-mean ns/iter
+//! (robust against noisy-neighbor load on shared CI hosts); it is
+//! deliberately lightweight rather than statistically rigorous.
 //!
 //! Two environment variables tune runs (used by the perf-trajectory
 //! runner in `crates/bench`):
@@ -22,14 +23,15 @@ pub use std::hint::black_box;
 pub struct BenchResult {
     /// Full bench id (`group/name` when run in a group).
     pub id: String,
-    /// Mean wall time per iteration, in nanoseconds.
+    /// Best (minimum) batch-mean wall time per iteration, in
+    /// nanoseconds — see [`Bencher::iter`].
     pub ns_per_iter: f64,
     /// Iterations measured (excluding warmup).
     pub iters: u64,
 }
 
 impl BenchResult {
-    /// Iterations per second implied by the mean.
+    /// Iterations per second implied by the estimate.
     pub fn per_sec(&self) -> f64 {
         if self.ns_per_iter > 0.0 {
             1e9 / self.ns_per_iter
@@ -47,7 +49,11 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `routine`, storing the mean ns/iter on the bencher.
+    /// Time `routine`, storing the best (minimum) batch-mean ns/iter on
+    /// the bencher. The minimum over many short batches is far more
+    /// robust than a whole-budget mean on shared/noisy hosts: transient
+    /// load lands in *some* batches and is discarded, so ratios between
+    /// benches (the speedup guards) stop drifting with neighbor noise.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup + calibration: run until ~10% of the budget is spent,
         // counting iterations to size the measured batches.
@@ -62,21 +68,25 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let batch = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        // ~10 ms batches: long enough to amortize timer overhead, short
+        // enough that a budget yields tens of samples for the minimum.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
 
         let mut total_iters: u64 = 0;
+        let mut best = f64::MAX;
         let start = Instant::now();
         loop {
+            let b0 = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
+            best = best.min(b0.elapsed().as_secs_f64() / batch as f64);
             total_iters += batch;
             if start.elapsed() >= self.measure {
                 break;
             }
         }
-        let elapsed = start.elapsed().as_secs_f64();
-        self.result_ns = elapsed * 1e9 / total_iters as f64;
+        self.result_ns = best * 1e9;
         self.result_iters = total_iters;
     }
 }

@@ -68,9 +68,11 @@ options:
   --jobs <N>                     worker threads for `roofline`'s sweep jobs
                                  (default: available parallelism; 1 = serial;
                                  results are identical at any value)
-  --engine <decoded|reference>   execution engine (default: decoded; both are
-                                 observably identical — reference is the
-                                 bisection baseline)
+  --engine <threaded|decoded|reference>
+                                 execution engine (default: threaded — template
+                                 dispatch with superblock PMU retire; all are
+                                 observably identical — decoded/reference are
+                                 the bisection baselines)
   --no-fuse                      disable decode-time superinstruction fusion
                                  (identical measurements, slower execution)
   --no-regalloc                  disable decode-time register allocation /
@@ -137,9 +139,12 @@ fn parse_opts(args: &[String]) -> Opts {
                 None => usage_error("--jobs needs a value"),
             },
             "--engine" => match it.next().map(String::as_str) {
+                Some("threaded") => opts.exec.engine = Engine::Threaded,
                 Some("decoded") => opts.exec.engine = Engine::Decoded,
                 Some("reference") => opts.exec.engine = Engine::Reference,
-                Some(v) => usage_error(&format!("unknown engine {v:?} (use decoded | reference)")),
+                Some(v) => usage_error(&format!(
+                    "unknown engine {v:?} (use threaded | decoded | reference)"
+                )),
                 None => usage_error("--engine needs a value"),
             },
             "--no-fuse" => opts.exec.fuse = false,

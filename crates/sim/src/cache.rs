@@ -58,11 +58,18 @@ struct Level {
     /// empty (tags are stored +1 so tag 0 never collides with a real
     /// line).
     sets: Vec<(u64, u64)>,
+    /// Per-set index of the most-recently-hit (or most-recently-filled)
+    /// way: the MRU fast-hit probe checks this way before the full set
+    /// scan. Pure memoization — hit/miss decisions, LRU timestamps, and
+    /// victim selection are bit-identical with or without it.
+    mru: Vec<u32>,
     num_sets: u64,
     ways: usize,
     latency: u32,
     accesses: u64,
     misses: u64,
+    /// Hits satisfied by the MRU probe alone (no set scan).
+    mru_hits: u64,
 }
 
 impl Level {
@@ -70,37 +77,59 @@ impl Level {
         let num_sets = (cfg.size_bytes / LINE_BYTES / cfg.ways as u64).max(1);
         Level {
             sets: vec![(0, 0); num_sets as usize * cfg.ways as usize],
+            mru: vec![0; num_sets as usize],
             num_sets,
             ways: cfg.ways as usize,
             latency: cfg.latency,
             accesses: 0,
             misses: 0,
+            mru_hits: 0,
         }
     }
 
-    /// Access `line` (line address, i.e. byte address / 64). Returns hit.
-    fn access(&mut self, line: u64, now: u64) -> bool {
+    /// Access `line` (line address, i.e. byte address / 64). Returns
+    /// `(hit, hit_via_mru_probe)`.
+    #[inline]
+    fn access(&mut self, line: u64, now: u64) -> (bool, bool) {
         self.accesses += 1;
         let set = (line % self.num_sets) as usize;
         let tag = line + 1;
-        let ways = &mut self.sets[set * self.ways..(set + 1) * self.ways];
-        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
-            w.1 = now;
-            return true;
+        let base = set * self.ways;
+        // MRU fast hit: streaming kernels touch the same line many times
+        // in a row, so probe the most-recently-hit way before paying the
+        // full scan. The accounting (timestamp update, hit count) is
+        // exactly what the scan would have done for the same way.
+        let m = self.mru[set] as usize;
+        if self.sets[base + m].0 == tag {
+            self.sets[base + m].1 = now;
+            self.mru_hits += 1;
+            return (true, true);
+        }
+        let ways = &mut self.sets[base..base + self.ways];
+        if let Some((w, slot)) = ways.iter_mut().enumerate().find(|(_, (t, _))| *t == tag) {
+            slot.1 = now;
+            self.mru[set] = w as u32;
+            return (true, false);
         }
         self.misses += 1;
-        // Evict LRU.
-        let victim = ways
+        // Evict LRU (first minimum in way order, as before the MRU
+        // probe existed — ties must resolve identically).
+        let (victim_way, victim) = ways
             .iter_mut()
-            .min_by_key(|(t, lu)| if *t == 0 { (0, 0) } else { (1, *lu) })
+            .enumerate()
+            .min_by_key(|(_, (t, lu))| if *t == 0 { (0, 0) } else { (1, *lu) })
             .expect("cache has at least one way");
         *victim = (tag, now);
-        false
+        self.mru[set] = victim_way as u32;
+        (false, false)
     }
 
     fn invalidate_all(&mut self) {
         for way in &mut self.sets {
             *way = (0, 0);
+        }
+        for m in &mut self.mru {
+            *m = 0;
         }
     }
 }
@@ -117,6 +146,12 @@ pub struct MemEvents {
     /// L1-hit latency cycles. In-order cores expose these (load-use);
     /// out-of-order schedulers hide them completely.
     pub hit_cycles: u64,
+    /// L1 hits satisfied by the MRU fast probe (simulator-internal
+    /// telemetry, not a PMU event; cumulative rates feed the `mru`
+    /// section of `BENCH_interp.json`).
+    pub l1_mru_hits: u64,
+    /// L2 hits satisfied by the MRU fast probe.
+    pub l2_mru_hits: u64,
 }
 
 /// The memory hierarchy attached to one core.
@@ -173,14 +208,18 @@ impl MemorySystem {
     fn access_line(&mut self, line: u64, is_store: bool, now_centi: u64, ev: &mut MemEvents) {
         let now = now_centi / 100;
         ev.l1_accesses += 1;
-        if self.l1d.access(line, now) {
+        let (l1_hit, l1_mru) = self.l1d.access(line, now);
+        if l1_hit {
+            ev.l1_mru_hits += l1_mru as u64;
             if !is_store {
                 ev.hit_cycles += self.l1d.latency.saturating_sub(1) as u64;
             }
             return;
         }
         ev.l1_misses += 1;
-        if self.l2.access(line, now) {
+        let (l2_hit, l2_mru) = self.l2.access(line, now);
+        if l2_hit {
+            ev.l2_mru_hits += l2_mru as u64;
             if !is_store {
                 ev.stall_cycles += self.l2.latency as u64;
             }
@@ -231,6 +270,16 @@ impl MemorySystem {
     /// (accesses, misses) for L2.
     pub fn l2_stats(&self) -> (u64, u64) {
         (self.l2.accesses, self.l2.misses)
+    }
+
+    /// Cumulative L1D hits satisfied by the MRU fast probe.
+    pub fn l1d_mru_hits(&self) -> u64 {
+        self.l1d.mru_hits
+    }
+
+    /// Cumulative L2 hits satisfied by the MRU fast probe.
+    pub fn l2_mru_hits(&self) -> u64 {
+        self.l2.mru_hits
     }
 
     /// The configuration this hierarchy was built from.
@@ -355,6 +404,49 @@ mod tests {
         // Queue a DRAM transfer; the backlog must cover its occupancy.
         m.access(&MemRef::scalar(1 << 20, 8, false), 0);
         assert!(m.backlog_cycles(0) >= 64 / 4, "line occupancy visible");
+    }
+
+    /// The MRU fast-hit probe is pure memoization: repeated hits to one
+    /// line are counted as MRU hits, and the hit/miss/eviction stream is
+    /// identical to a scan-only level (pinned here by re-deriving the
+    /// expected stream from the same access pattern).
+    #[test]
+    fn mru_probe_counts_and_stays_bit_identical() {
+        let mut m = MemorySystem::new(CacheConfig::test_tiny());
+        // Same line 3 times: 1 miss (fill sets MRU), then 2 MRU hits.
+        for t in 0..3u64 {
+            let ev = m.access(&mem(0x100), t * 100);
+            if t > 0 {
+                assert_eq!(ev.l1_mru_hits, 1, "repeat hit rides the MRU probe");
+            }
+        }
+        assert_eq!(m.l1d_mru_hits(), 2);
+        let (acc, miss) = m.l1d_stats();
+        assert_eq!((acc, miss), (3, 1));
+
+        // A conflicting line in the same set (8 sets in the tiny L1)
+        // lands in the other way: hitting it is a scan hit first, an MRU
+        // hit after, and flipping between the two lines never produces a
+        // false MRU hit.
+        let conflict = 0x100 + 8 * 64;
+        m.access(&mem(conflict), 400); // miss, fills way 1, MRU -> way 1
+        let back = m.access(&mem(0x100), 500); // hit via scan (MRU points at way 1)
+        assert_eq!(back.l1_mru_hits, 0);
+        assert_eq!(back.l1_misses, 0);
+        let again = m.access(&mem(0x100), 600); // now the MRU probe hits
+        assert_eq!(again.l1_mru_hits, 1);
+
+        // Eviction order is unchanged: the LRU victim is still chosen by
+        // timestamp, so after touching two fresh conflicting lines the
+        // oldest line is gone.
+        let third = 0x100 + 16 * 64;
+        m.access(&mem(third), 700); // evicts LRU = conflict (last used 400)
+        assert_eq!(m.access(&mem(0x100), 800).l1_misses, 0, "0x100 survives");
+        assert_eq!(
+            m.access(&mem(conflict), 900).l1_misses,
+            1,
+            "LRU line was evicted, as without the MRU probe"
+        );
     }
 
     #[test]

@@ -35,6 +35,29 @@ pub struct RetireInfo {
     pub overflow: u32,
 }
 
+/// Deferred-retire accumulator for one superblock: ops apply their
+/// timing/cache/branch effects immediately (so `Core::cycles` stays
+/// exact mid-block) while their PMU event deltas accumulate here, to be
+/// ticked once by [`Core::retire_block`]. Armed in place by
+/// [`Core::block_begin_in`]; guard the whole block with
+/// [`Core::block_ready`] first so the single combined tick cannot wrap
+/// a counter.
+#[derive(Debug, Clone, Default)]
+pub struct BlockAcc {
+    /// Commit time at block entry (centi-cycles).
+    start_centi: u64,
+    /// Instruction events from the scalar class lanes
+    /// ([`Core::block_apply_class`]/[`Core::block_apply_classes`]) — the
+    /// dominant case, kept out of the full [`EventDeltas`] bundle so an
+    /// all-ALU block touches two words, not twelve.
+    instructions: u64,
+    /// Whether any applied op carried events beyond cycles/instructions
+    /// (memory, branch, FP, vector) — selects the PMU tick lane, and
+    /// marks `deltas` dirty (reset lazily by [`Core::block_begin_in`]).
+    complex: bool,
+    deltas: EventDeltas,
+}
+
 /// One simulated hart.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -64,6 +87,18 @@ pub struct Core {
     /// only): no cache/DRAM terms and no backlog needed, so the probe is
     /// a single compare — see [`Core::fused_ready_nomem`].
     fused_ub_nomem: u64,
+    /// Per-unit conservative event bounds for superblock retire
+    /// ([`Core::block_ready`]): events+cycles per machine op, …
+    block_op_ub: u64,
+    /// … extra per scalar (≤ 2-line) memory reference (static part; the
+    /// DRAM queue backlog is added dynamically), …
+    block_mem_ub: u64,
+    /// … extra per branch, …
+    block_branch_ub: u64,
+    /// … FP-event multiplier per architectural FLOP, …
+    block_fp_ub: u64,
+    /// … and the per-line DRAM channel occupancy bound.
+    block_occ_ub: u64,
 }
 
 impl Core {
@@ -84,6 +119,11 @@ impl Core {
             slot_unit,
             fused_ub_static: fused_ub_static(&spec, &isa, slot_unit, true),
             fused_ub_nomem: fused_ub_static(&spec, &isa, slot_unit, false),
+            block_op_ub: block_op_ub(&spec, &isa, slot_unit),
+            block_mem_ub: block_mem_ub(&spec),
+            block_branch_ub: block_branch_ub(&spec),
+            block_fp_ub: spec.fp_event_percent as u64 / 100 + 1,
+            block_occ_ub: Core::dram_occupancy_bound(&spec.caches),
             isa,
             spec,
         }
@@ -522,6 +562,180 @@ impl Core {
         }
     }
 
+    /// Whether a straight-line superblock with the given shape —
+    /// `machine_ops` total machine ops, `mem_refs` scalar (≤ 2-line)
+    /// memory references, `branches` branch ops, `flops` architectural
+    /// FLOPs, no vector memory ops — is guaranteed not to wrap any PMU
+    /// counter, so the whole block may retire as one batched tick via
+    /// [`Core::retire_block`].
+    ///
+    /// The probe compares a conservative event-total upper bound (three
+    /// multiplies over per-unit bounds precomputed from the platform
+    /// spec, plus the dynamic DRAM queue backlog when the block touches
+    /// memory) against the PMU's distance-to-overflow watermark.
+    /// `false` means a counter is near wrapping (or PMU batching is
+    /// disabled): the caller must execute the block op by op through
+    /// the ordinary retire path so the overflow interrupt is attributed
+    /// to exactly the op that wraps — the same degradation rule
+    /// [`Core::fused_ready`] applies to fused batches.
+    #[inline]
+    pub fn block_ready(
+        &mut self,
+        machine_ops: u32,
+        mem_refs: u32,
+        branches: u32,
+        flops: u32,
+    ) -> bool {
+        let mut ub = machine_ops as u64 * self.block_op_ub
+            + branches as u64 * self.block_branch_ub
+            + flops as u64 * self.block_fp_ub
+            + 16;
+        if mem_refs > 0 {
+            // Each scalar reference touches ≤ 2 lines; queue delay is
+            // bounded by the current backlog plus the block's own lines
+            // stacking up behind each other.
+            let lines = 2 * mem_refs as u64;
+            ub += mem_refs as u64 * self.block_mem_ub
+                + lines
+                    * (self.mem.backlog_cycles(self.current_centi()) + lines * self.block_occ_ub);
+        }
+        let mode = self.mode;
+        self.pmu.batch_headroom(ub, mode)
+    }
+
+    /// Arm the deferred-retire accumulator for one superblock (resetting
+    /// it in place — the full delta bundle is only cleared when the
+    /// previous block dirtied it). Apply ops through
+    /// [`Core::block_apply`] (or the specialized class/branch lanes) and
+    /// commit with [`Core::retire_block`]; guard the block with
+    /// [`Core::block_ready`] first.
+    #[inline]
+    pub fn block_begin_in(&self, acc: &mut BlockAcc) {
+        acc.start_centi = self.current_centi();
+        acc.instructions = 0;
+        if acc.complex {
+            acc.deltas = EventDeltas::default();
+            acc.complex = false;
+        }
+    }
+
+    /// Apply one op's timing/cache/branch effects now, accumulating its
+    /// PMU event deltas into `acc` instead of ticking — the per-op half
+    /// of [`Core::retire_block`]. Arithmetic-identical to
+    /// [`Core::retire`] with the tick deferred.
+    #[inline]
+    pub fn block_apply(&mut self, op: &MachineOp, acc: &mut BlockAcc) {
+        let instr_before = acc.deltas.instructions;
+        let simple = self.apply_op(op, &mut acc.deltas);
+        if simple {
+            // A simple op's only event is its instruction count: move it
+            // to the scalar lane so the accumulator keeps the
+            // `!complex ⇒ deltas all-zero` invariant — the simple tick
+            // path in `retire_block` reads only `acc.instructions`, and
+            // the lazily-reset delta bundle must stay clean.
+            acc.instructions += acc.deltas.instructions - instr_before;
+            acc.deltas.instructions = instr_before;
+        } else {
+            acc.complex = true;
+        }
+    }
+
+    /// [`Core::block_apply`] for one memory-free, branch-free,
+    /// FLOP-free, scalar class, skipping `MachineOp` construction
+    /// (mirrors [`Core::retire_fused_simple`]'s arithmetic minus the
+    /// tick, and shares its duplication contract with `apply_op`).
+    #[inline]
+    pub fn block_apply_class(&mut self, class: OpClass, acc: &mut BlockAcc) {
+        let expansion = self.isa.expand(class);
+        let inv_tp = self.spec.timing.inv_tp(class);
+        let slot_cost = self.slot_unit * expansion.max(1) as u64;
+        if self.spec.out_of_order {
+            self.unit_busy[Unit::of(class).index()] += inv_tp;
+            self.slots += slot_cost;
+        } else {
+            self.centi += inv_tp.max(slot_cost);
+        }
+        self.retired += expansion as u64;
+        acc.instructions += expansion as u64;
+    }
+
+    /// [`Core::block_apply_class`] over a class slice.
+    #[inline]
+    pub fn block_apply_classes(&mut self, classes: &[OpClass], acc: &mut BlockAcc) {
+        for &class in classes {
+            self.block_apply_class(class, acc);
+        }
+    }
+
+    /// [`Core::block_apply`] for one branch at `pc` with outcome
+    /// `taken` (mirrors the branch tail of [`Core::retire_fused_branch`]
+    /// minus the tick).
+    #[inline]
+    pub fn block_apply_branch(&mut self, pc: u64, taken: bool, acc: &mut BlockAcc) {
+        let expansion = self.isa.expand(OpClass::Branch);
+        let inv_tp = self.spec.timing.inv_tp(OpClass::Branch);
+        let slot_cost = self.slot_unit * expansion.max(1) as u64;
+        let mut stall_centi = 0u64;
+        let mut mispredicted = false;
+        acc.deltas.branches += 1;
+        acc.complex = true;
+        if taken {
+            stall_centi += self.spec.taken_branch_bubble as u64 * 100;
+        }
+        if !self.bp.predict_and_update(pc, taken) {
+            acc.deltas.branch_misses += 1;
+            mispredicted = true;
+            if !self.spec.out_of_order {
+                stall_centi += self.spec.branch_mispredict_penalty as u64 * 100;
+            }
+        }
+        if self.spec.out_of_order {
+            self.unit_busy[Unit::of(OpClass::Branch).index()] += inv_tp + stall_centi;
+            self.slots += slot_cost;
+            if mispredicted {
+                let floor = self.current_centi() + self.spec.branch_mispredict_penalty as u64 * 100;
+                self.centi = self.centi.max(floor);
+                for u in &mut self.unit_busy {
+                    *u = (*u).max(floor);
+                }
+                self.slots = self.slots.max(floor);
+            }
+        } else {
+            self.centi += inv_tp.max(slot_cost) + stall_centi;
+        }
+        self.retired += expansion as u64;
+        acc.deltas.instructions += expansion as u64;
+    }
+
+    /// Commit one superblock: tick the PMU once with the accumulated
+    /// event deltas (per-op cycle deltas telescope into `now − start`).
+    /// Under the [`Core::block_ready`] guard the combined tick cannot
+    /// wrap a counter, so skipping the per-op ticks is observably exact;
+    /// committing a *partial* block (a trap landed mid-block, after some
+    /// ops applied) is exact for the same reason — counters are additive
+    /// and the partial bound is below the full block's. The accumulator
+    /// is left dirty; the next [`Core::block_begin_in`] resets it.
+    pub fn retire_block(&mut self, acc: &mut BlockAcc) -> RetireInfo {
+        let cycles = self.current_centi() / 100 - acc.start_centi / 100;
+        let instructions;
+        let overflow = if acc.complex {
+            acc.deltas.cycles = cycles;
+            acc.deltas.instructions += acc.instructions;
+            instructions = acc.deltas.instructions;
+            self.pmu.tick_batched(&acc.deltas, self.mode)
+        } else {
+            instructions = acc.instructions;
+            self.pmu
+                .tick_batched_simple(cycles, instructions, self.mode)
+        };
+        debug_assert_eq!(overflow, 0, "guard retire_block with block_ready");
+        RetireInfo {
+            cycles,
+            instructions,
+            overflow,
+        }
+    }
+
     /// Upper bound on the per-line DRAM channel occupancy in cycles.
     fn dram_occupancy_bound(caches: &crate::cache::CacheConfig) -> u64 {
         (crate::cache::LINE_BYTES as f64 / caches.dram_bytes_per_cycle) as u64 + 1
@@ -588,6 +802,38 @@ fn fused_ub_static(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64, with_mem
     };
     let events = max_ops * max_exp + 2 + 4 + mem_events;
     max_ops * per_op_cycles + branch_cycles + mem_cycles + events + 16
+}
+
+/// Conservative per-machine-op event bound for superblock retire:
+/// worst-case whole cycles plus instruction *and* vector-instruction
+/// events at maximum ISA expansion. FLOP, branch, and memory events are
+/// bounded separately per unit by [`Core::block_ready`].
+fn block_op_ub(spec: &PlatformSpec, isa: &IsaModel, slot_unit: u64) -> u64 {
+    let max_exp = isa.max_expansion();
+    let per_op_cycles = (spec.timing.max_inv_tp() + slot_unit * max_exp) / 100 + 1;
+    per_op_cycles + 2 * max_exp
+}
+
+/// Conservative extra events per scalar (≤ 2-line) memory reference in a
+/// superblock, excluding the dynamic DRAM queue backlog: per line the
+/// full hit/miss latency chain plus an access/miss/L2-miss event and
+/// `LINE_BYTES` of DRAM traffic.
+fn block_mem_ub(spec: &PlatformSpec) -> u64 {
+    let caches = &spec.caches;
+    let line_cycles = caches.l1d.latency as u64
+        + caches.l2.latency as u64
+        + caches.dram_latency as u64
+        + Core::dram_occupancy_bound(caches)
+        + 1;
+    2 * (line_cycles + 3 + crate::cache::LINE_BYTES) + spec.load_use_penalty as u64
+}
+
+/// Conservative extra events per branch in a superblock: taken-fetch
+/// bubble plus the mispredict penalty (twice, covering both the in-order
+/// stall and the out-of-order pipeline-restart floor) plus the branch
+/// and branch-miss events.
+fn block_branch_ub(spec: &PlatformSpec) -> u64 {
+    spec.taken_branch_bubble as u64 + 2 * spec.branch_mispredict_penalty as u64 + 2
 }
 
 #[cfg(test)]
@@ -890,6 +1136,125 @@ mod tests {
         }
     }
 
+    /// Superblock retire (`block_begin`/`block_apply*`/`retire_block`)
+    /// must be arithmetic-identical to per-op retire: cycles,
+    /// instructions, PMU counters, cache stats, and predictor state all
+    /// agree on every platform model, for blocks mixing ALU, memory,
+    /// FLOP, and branch ops applied through every lane of the API.
+    #[test]
+    fn block_retire_matches_per_op_retire() {
+        for spec in [
+            PlatformSpec::x60(),
+            PlatformSpec::c910(),
+            PlatformSpec::u74(),
+            PlatformSpec::i5_1135g7(),
+        ] {
+            let mut blocked = Core::new(spec.clone());
+            let mut serial = Core::new(spec.clone());
+            for c in [&mut blocked, &mut serial] {
+                c.pmu_mut()
+                    .set_event(3, Some(crate::events::HwEvent::L1dMiss));
+            }
+            let mut x: u64 = 0xdead_beef;
+            let mut acc = BlockAcc::default();
+            for i in 0..3_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                let ops: Vec<MachineOp> = match x % 3 {
+                    0 => vec![
+                        MachineOp::simple(OpClass::IntAlu, i % 64),
+                        MachineOp::simple(OpClass::AddrCalc, i % 64 + 1),
+                        MachineOp::simple(OpClass::Load, i % 64 + 2).with_mem(MemRef::scalar(
+                            0x4000 + (x % 2048) * 8,
+                            8,
+                            false,
+                        )),
+                        MachineOp::simple(OpClass::Move, i % 64 + 3),
+                    ],
+                    1 => vec![
+                        MachineOp::simple(OpClass::FpFma, i % 64).with_flops(2),
+                        MachineOp::simple(OpClass::IntMul, i % 64 + 1),
+                        MachineOp::simple(OpClass::Branch, i % 64 + 2).with_taken(x & 2 == 0),
+                    ],
+                    _ => vec![
+                        MachineOp::simple(OpClass::IntAlu, i % 64),
+                        MachineOp::simple(OpClass::IntAlu, i % 64 + 1),
+                        MachineOp::simple(OpClass::Move, i % 64 + 2),
+                    ],
+                };
+                let mem_refs = ops.iter().filter(|o| o.mem.is_some()).count() as u32;
+                let branches = ops
+                    .iter()
+                    .filter(|o| matches!(o.class, OpClass::Branch))
+                    .count() as u32;
+                let flops: u32 = ops.iter().map(|o| o.flops).sum();
+                assert!(blocked.block_ready(ops.len() as u32, mem_refs, branches, flops));
+                blocked.block_begin_in(&mut acc);
+                for op in &ops {
+                    // Exercise all three apply lanes.
+                    if matches!(op.class, OpClass::Branch) {
+                        blocked.block_apply_branch(op.pc, op.taken, &mut acc);
+                    } else if op.mem.is_none() && op.flops == 0 && x.is_multiple_of(2) {
+                        blocked.block_apply_class(op.class, &mut acc);
+                    } else {
+                        blocked.block_apply(op, &mut acc);
+                    }
+                }
+                let info = blocked.retire_block(&mut acc);
+                assert_eq!(info.overflow, 0);
+                for op in &ops {
+                    serial.retire(op);
+                }
+                assert_eq!(blocked.cycles(), serial.cycles(), "{} step {i}", spec.name);
+                // PMU counters must agree after *every* block commit —
+                // an instruction-event leak between the simple and
+                // complex tick lanes once cancelled out across blocks
+                // and survived the end-of-run comparison below.
+                for idx in [0usize, 2, 3] {
+                    assert_eq!(
+                        blocked.pmu().read(idx),
+                        serial.pmu().read(idx),
+                        "{} counter {idx} at step {i}",
+                        spec.name
+                    );
+                }
+            }
+            assert_eq!(
+                blocked.instructions(),
+                serial.instructions(),
+                "{}",
+                spec.name
+            );
+            for idx in 0..crate::pmu::NUM_COUNTERS {
+                assert_eq!(
+                    blocked.pmu().read(idx),
+                    serial.pmu().read(idx),
+                    "{} counter {idx}",
+                    spec.name
+                );
+            }
+            assert_eq!(blocked.mem().l1d_stats(), serial.mem().l1d_stats());
+            assert_eq!(blocked.mem().l2_stats(), serial.mem().l2_stats());
+        }
+    }
+
+    /// Near a programmed overflow, `block_ready` must refuse the block
+    /// (same degradation rule as `fused_ready`), and a partial commit
+    /// after a hypothetical mid-block trap stays exact.
+    #[test]
+    fn block_ready_refuses_near_overflow() {
+        let mut c = x60();
+        c.pmu_mut()
+            .set_event(3, Some(crate::events::HwEvent::CpuCycles));
+        c.pmu_mut().set_irq_enable(3, true);
+        c.pmu_mut().write(3, (-8i64) as u64);
+        assert!(!c.block_ready(6, 1, 1, 2));
+        c.pmu_mut().write(3, (-10_000_000i64) as u64);
+        assert!(c.block_ready(6, 1, 1, 2));
+        c.set_pmu_batching(false);
+        assert!(!c.block_ready(6, 1, 1, 2));
+    }
+
     /// Near a programmed overflow, `fused_ready` must refuse the batch so
     /// the caller degrades to per-op retire (exact overflow attribution).
     #[test]
@@ -907,6 +1272,28 @@ mod tests {
         // retire must always fall back.
         c.set_pmu_batching(false);
         assert!(!c.fused_ready());
+    }
+
+    /// Regression test: a block containing only *simple* ops applied
+    /// through the general `block_apply` lane (not the class lane) must
+    /// still tick their instruction events — `apply_op` records them in
+    /// the delta bundle, and `block_apply` has to move them to the
+    /// scalar lane the simple commit path reads, or they are silently
+    /// dropped (and the stale bundle later double-ticks in a complex
+    /// block).
+    #[test]
+    fn block_apply_simple_ops_keep_instruction_events() {
+        let mut blocked = x60();
+        let mut serial = x60();
+        let mut acc = BlockAcc::default();
+        blocked.block_begin_in(&mut acc);
+        for pc in 0..2u64 {
+            blocked.block_apply(&MachineOp::simple(OpClass::IntAlu, pc), &mut acc);
+            serial.retire(&MachineOp::simple(OpClass::IntAlu, pc));
+        }
+        blocked.retire_block(&mut acc);
+        assert_eq!(blocked.pmu().read(2), serial.pmu().read(2), "instret");
+        assert_eq!(blocked.pmu().read(0), serial.pmu().read(0), "cycles");
     }
 
     #[test]

@@ -537,6 +537,11 @@ impl Default for DecodeConfig {
 #[derive(Debug, Clone)]
 pub struct DecodedModule {
     pub funcs: Vec<DecodedFunc>,
+    /// Per-function threaded template form (parallel to `funcs`):
+    /// pre-bound op thunks + superblock table, compiled once here so
+    /// `Arc`-sharing a decode also shares the template compile (see
+    /// [`crate::threaded`]).
+    pub threaded: Vec<crate::threaded::ThreadedFunc>,
     /// Dense table of non-`mperf.*` host callee names.
     pub host_names: Vec<String>,
     /// Decode-time fusion statistics (all zero when `fused` is false).
@@ -591,8 +596,9 @@ impl DecodedModule {
                 fuse_func(f, &mut fusion);
             }
         }
-        let dm = DecodedModule {
+        let mut dm = DecodedModule {
             funcs,
+            threaded: Vec::new(),
             host_names: hosts.names,
             fusion,
             regalloc,
@@ -604,6 +610,9 @@ impl DecodedModule {
         for f in &dm.funcs {
             validate_func(f, dm.funcs.len(), dm.host_names.len());
         }
+        // Template compilation runs last, over the validated stream —
+        // the threaded engine's thunks inherit the same pinned indices.
+        dm.threaded = dm.funcs.iter().map(crate::threaded::compile_func).collect();
         dm
     }
 }

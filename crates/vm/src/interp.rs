@@ -17,12 +17,14 @@
 //! `crates/bench` measures the throughput gap.
 
 use crate::decode::{
-    DecodeConfig, DecodedModule, DecodedOp, FusePattern, Fused, HostTarget, MAX_FUSE_WIDTH,
+    DecodeConfig, DecodedFunc, DecodedModule, DecodedOp, FusePattern, Fused, FusedSite, HostTarget,
+    MAX_FUSE_WIDTH,
 };
 use crate::error::VmError;
 use crate::host::{HostHandler, RooflineRuntime};
 use crate::lower::{cast_class, inst_class, un_class, un_flops};
 use crate::memory::GuestMemory;
+use crate::threaded;
 use crate::value::{LanesF32, LanesF64, LanesI64, Value};
 use mperf_event::{OverflowCtx, PerfKernel};
 use mperf_ir::{
@@ -30,7 +32,7 @@ use mperf_ir::{
     Term, Ty, UnOp,
 };
 use mperf_sim::machine_op::{MachineOp, MemRef, OpClass};
-use mperf_sim::Core;
+use mperf_sim::{BlockAcc, Core};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -58,23 +60,46 @@ struct Frame {
 
 /// A decoded-engine frame: registers live in the VM's contiguous
 /// register stack starting at `base`, and `ip` indexes the function's
-/// flat op array.
+/// flat op array. Shared with the threaded engine (same frame layout,
+/// same register stack).
 #[derive(Debug, Clone, Copy)]
-struct DFrame {
-    func: u32,
+pub(crate) struct DFrame {
+    pub(crate) func: u32,
     /// First register-stack slot of this frame.
-    base: u32,
+    pub(crate) base: u32,
     /// Next op to execute (flat index).
-    ip: u32,
+    pub(crate) ip: u32,
     /// PC of the call site (for callchains; 0 for entry frames).
-    call_pc: u64,
+    pub(crate) call_pc: u64,
+}
+
+/// What a threaded-engine template thunk tells the driver loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Keep dispatching at the (already updated) `cur.ip`.
+    Continue,
+    /// A `Ret` popped the entry frame; the return values are parked in
+    /// the VM's `ret_scratch` buffer.
+    Finished,
+}
+
+/// Per-invocation state the threaded driver threads through thunks.
+pub(crate) struct TCtx {
+    /// The active frame (cursor-cached, like `run_decoded`'s `cur`).
+    pub(crate) cur: DFrame,
+    /// Frame-stack depth at which this invocation returns.
+    pub(crate) base_depth: usize,
 }
 
 /// Which execution engine [`Vm::call`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Flat pre-decoded dispatch (the fast default).
+    /// Pre-bound template dispatch with superblock PMU retire (the fast
+    /// default; see [`crate::threaded`]).
     #[default]
+    Threaded,
+    /// Flat pre-decoded dispatch (`match`-driven; the first-generation
+    /// fast engine, kept for bisection).
     Decoded,
     /// Structure-walking interpreter (the semantic baseline).
     Reference,
@@ -92,11 +117,11 @@ pub struct ExecConfig {
 }
 
 impl Default for ExecConfig {
-    /// The fast default: decoded engine with fusion and register
+    /// The fast default: threaded engine with fusion and register
     /// allocation on.
     fn default() -> ExecConfig {
         ExecConfig {
-            engine: Engine::Decoded,
+            engine: Engine::Threaded,
             fuse: true,
             regalloc: true,
         }
@@ -119,6 +144,7 @@ impl ExecConfig {
         format!(
             "engine={} fuse={} regalloc={}",
             match self.engine {
+                Engine::Threaded => "threaded",
                 Engine::Decoded => "decoded",
                 Engine::Reference => "reference",
             },
@@ -201,37 +227,41 @@ pub struct Vm<'m> {
     pub mem: GuestMemory,
     /// Roofline notification runtime.
     pub roofline: RooflineRuntime,
-    host: HashMap<String, HostHandler>,
+    pub(crate) host: HashMap<String, HostHandler>,
     stack: Vec<Frame>,
-    fuel: u64,
-    stats: ExecStats,
-    max_depth: usize,
+    pub(crate) fuel: u64,
+    pub(crate) stats: ExecStats,
+    pub(crate) max_depth: usize,
     /// Guest scratch address used by instrumentation counter updates.
-    prof_scratch: u64,
+    pub(crate) prof_scratch: u64,
     /// Which engine `call`/`call_id` run on.
     engine: Engine,
     /// Lazily-built flat form of `module` (shareable across VMs and
     /// across sweep worker threads).
     decoded: Option<Arc<DecodedModule>>,
-    /// Decoded-engine frame stack.
-    dstack: Vec<DFrame>,
-    /// Decoded-engine contiguous register stack (frames slice into it).
-    dregs: Vec<Value>,
-    /// Reusable call-argument buffer (decoded engine).
-    arg_scratch: Vec<Value>,
-    /// Reusable return-value buffer (decoded engine).
-    ret_scratch: Vec<Value>,
+    /// Decoded/threaded-engine frame stack.
+    pub(crate) dstack: Vec<DFrame>,
+    /// Decoded/threaded-engine contiguous register stack (frames slice
+    /// into it).
+    pub(crate) dregs: Vec<Value>,
+    /// Reusable call-argument buffer (decoded/threaded engines).
+    pub(crate) arg_scratch: Vec<Value>,
+    /// Reusable return-value buffer (decoded/threaded engines).
+    pub(crate) ret_scratch: Vec<Value>,
     /// Reusable callchain buffer for overflow samples, so sampling does
     /// not allocate on the measured path.
     chain_scratch: Vec<u64>,
+    /// The open superblock's deferred-retire accumulator (threaded
+    /// engine; idle outside a block fast path).
+    pub(crate) block_acc: BlockAcc,
     /// Whether `decoded()` builds with superinstruction fusion.
     fuse: bool,
     /// Whether `decoded()` builds with register allocation.
     regalloc: bool,
     /// Runtime fusion coverage (not part of the observable contract).
-    fused_dyn: FusionDynamics,
+    pub(crate) fused_dyn: FusionDynamics,
     /// Runtime copy-traffic split (not part of the observable contract).
-    regalloc_dyn: RegallocDynamics,
+    pub(crate) regalloc_dyn: RegallocDynamics,
 }
 
 // The sweep engine's contract, enforced at compile time: a fully-loaded
@@ -290,6 +320,7 @@ impl<'m> Vm<'m> {
             arg_scratch: Vec::new(),
             ret_scratch: Vec::new(),
             chain_scratch: Vec::new(),
+            block_acc: BlockAcc::default(),
             fuse: true,
             regalloc: true,
             fused_dyn: FusionDynamics::default(),
@@ -449,7 +480,8 @@ impl<'m> Vm<'m> {
             )));
         }
         match self.engine {
-            Engine::Decoded => self.call_id_decoded(fid, args),
+            Engine::Threaded => self.call_id_flat(fid, args, true),
+            Engine::Decoded => self.call_id_flat(fid, args, false),
             Engine::Reference => self.call_id_reference(fid, args),
         }
     }
@@ -476,7 +508,14 @@ impl<'m> Vm<'m> {
         result
     }
 
-    fn call_id_decoded(&mut self, fid: FuncId, args: &[Value]) -> Result<Vec<Value>, VmError> {
+    /// Shared entry for the flat-stream engines (decoded and threaded):
+    /// both run the same frame layout over the same register stack.
+    fn call_id_flat(
+        &mut self,
+        fid: FuncId,
+        args: &[Value],
+        threaded: bool,
+    ) -> Result<Vec<Value>, VmError> {
         let dec = self.decoded();
         let base_depth = self.dstack.len();
         let regs_floor = self.dregs.len();
@@ -493,7 +532,11 @@ impl<'m> Vm<'m> {
             ip: 0,
             call_pc: 0,
         });
-        let result = self.run_decoded(&dec, base_depth);
+        let result = if threaded {
+            self.run_threaded(&dec, base_depth)
+        } else {
+            self.run_decoded(&dec, base_depth)
+        };
         if result.is_err() {
             self.dstack.truncate(base_depth);
             self.dregs.truncate(regs_floor);
@@ -556,8 +599,9 @@ impl<'m> Vm<'m> {
         }
     }
 
-    /// Decoded-engine retire (callchains walk the decoded frame stack).
-    fn retire_d(&mut self, op: MachineOp) {
+    /// Decoded/threaded-engine retire (callchains walk the flat frame
+    /// stack).
+    pub(crate) fn retire_d(&mut self, op: MachineOp) {
         let info = self.core.retire(&op);
         self.stats.machine_ops += 1;
         if info.overflow != 0 {
@@ -565,11 +609,52 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Retire one machine op either immediately (`DEFER = false`: the
+    /// ordinary tick-per-op path, overflow delivered at the op's pc) or
+    /// into the open superblock accumulator (`DEFER = true`: timing
+    /// applies now, the PMU tick is deferred to the block commit, which
+    /// the block guard proved cannot overflow).
+    #[inline]
+    pub(crate) fn retire_one<const DEFER: bool>(&mut self, op: MachineOp) {
+        if DEFER {
+            self.stats.machine_ops += 1;
+            self.core.block_apply(&op, &mut self.block_acc);
+        } else {
+            self.retire_d(op);
+        }
+    }
+
+    /// [`Vm::retire_one`] for one memory/branch/FLOP-free *scalar*
+    /// class (skips `MachineOp` construction on the deferred lane).
+    #[inline]
+    pub(crate) fn retire_class<const DEFER: bool>(&mut self, class: OpClass, pc: u64) {
+        if DEFER {
+            self.stats.machine_ops += 1;
+            self.core.block_apply_class(class, &mut self.block_acc);
+        } else {
+            self.retire_d(MachineOp::simple(class, pc));
+        }
+    }
+
+    /// [`Vm::retire_one`] for memory/branch/FLOP-free scalar classes
+    /// (skips `MachineOp` construction on the deferred lane).
+    #[inline]
+    pub(crate) fn retire_classes<const DEFER: bool>(&mut self, classes: &[OpClass], pcs: &[u64]) {
+        if DEFER {
+            self.stats.machine_ops += classes.len() as u64;
+            self.core.block_apply_classes(classes, &mut self.block_acc);
+        } else {
+            for (class, pc) in classes.iter().zip(pcs) {
+                self.retire_d(MachineOp::simple(*class, *pc));
+            }
+        }
+    }
+
     /// Build the callchain (innermost frame first) into the reusable
     /// scratch buffer and route the overflow to the attached kernel, so
     /// each sample costs zero allocations on the measured path.
     #[cold]
-    fn deliver_overflow(&mut self, pc: u64, overflow: u32, engine: Engine) {
+    pub(crate) fn deliver_overflow(&mut self, pc: u64, overflow: u32, engine: Engine) {
         let mut chain = std::mem::take(&mut self.chain_scratch);
         chain.clear();
         chain.push(pc);
@@ -581,7 +666,7 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            Engine::Decoded => {
+            Engine::Decoded | Engine::Threaded => {
                 for f in self.dstack.iter().rev() {
                     if f.call_pc != 0 {
                         chain.push(f.call_pc);
@@ -1253,445 +1338,629 @@ impl<'m> Vm<'m> {
                     // SAFETY: fused indices validated at decode time; the
                     // site window `ip..ip+width` is inside `ops`/`pcs`
                     // (checked by `validate_func`), so the per-slot pc
-                    // fetches below are in range.
+                    // fetches in the pattern handlers are in range.
                     let site = unsafe { df.fused.get_unchecked(*fi as usize) };
-                    let w = site.width as usize;
-                    let elided = site.elided;
-                    // Machine ops the batch retires beyond its first
-                    // constituent — every covered slot (constituent or
-                    // elided copy) is exactly one machine op.
-                    let extra = w as u64 - 1;
-                    let n_elided = elided.count_ones() as u64;
-                    let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+                    // One dispatch on the pattern kind selects the shared
+                    // per-pattern handler (the threaded engine binds these
+                    // same handlers as per-pattern templates, skipping
+                    // this match entirely).
                     match &site.op {
-                        Fused::CmpBranch {
-                            op,
-                            c_dst,
-                            lhs,
-                            rhs,
-                            int,
-                            write_cmp,
-                            t,
-                            f,
-                        } => {
-                            let c = if *int {
-                                cmp_i64(*op, self.deval_i64(base, *lhs), self.deval_i64(base, *rhs))
-                            } else {
-                                let a = self.deval(base, *lhs);
-                                let b = self.deval(base, *rhs);
-                                eval_cmp(*op, &a, &b)
-                            };
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.core.fused_ready_nomem()
-                            {
-                                // Bail: the original `Cmp`, unfused; the
-                                // loop resumes at the next retained slot.
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *c_dst, Value::Bool(c));
-                                self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
-                                continue;
-                            }
-                            // Terminators don't count as MIR ops (as in
-                            // both unfused engines): the Cmp and any
-                            // elided copies do.
-                            self.stats.mir_ops += extra;
-                            if *write_cmp {
-                                self.dset(base, *c_dst, Value::Bool(c));
-                            }
-                            // Prefix = cmp plus any interior elided
-                            // copies; the branch retires last.
-                            let mut prefix = [OpClass::Move; MAX_FUSE_WIDTH];
-                            prefix[0] = OpClass::IntAlu;
-                            let last_pc = pc_at(w - 1);
-                            let info = self.core.retire_fused_branch(&prefix[..w - 1], last_pc, c);
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.account_fused(
-                                info,
-                                w as u64,
-                                extra,
-                                FusePattern::CmpBranch,
-                                last_pc,
-                            );
-                            cur.ip = if c { *t } else { *f };
+                        Fused::CmpBranch { .. } => {
+                            self.fused_cmp_branch(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::IncCmpBranch {
-                            i_op,
-                            i_dst,
-                            i_lhs,
-                            i_rhs,
-                            c_op,
-                            c_dst,
-                            c_lhs,
-                            c_rhs,
-                            c_int,
-                            write_cmp,
-                            t,
-                            f,
-                        } => {
-                            let a = self.deval_i64(base, *i_lhs);
-                            let b = self.deval_i64(base, *i_rhs);
-                            let iv = match i_op {
-                                BinOp::Add => a.wrapping_add(b),
-                                BinOp::Sub => a.wrapping_sub(b),
-                                other => unreachable!("fusion admits {other:?} back edge"),
-                            };
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.core.fused_ready_nomem()
-                            {
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *i_dst, Value::I64(iv));
-                                self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
-                                continue;
-                            }
-                            // The CondBr terminator is not a MIR op; the
-                            // inc, cmp, and any elided copies are.
-                            self.stats.mir_ops += extra;
-                            self.dset(base, *i_dst, Value::I64(iv));
-                            let c = if *c_int {
-                                cmp_i64(
-                                    *c_op,
-                                    self.deval_i64(base, *c_lhs),
-                                    self.deval_i64(base, *c_rhs),
-                                )
-                            } else {
-                                let ca = self.deval(base, *c_lhs);
-                                let cb = self.deval(base, *c_rhs);
-                                eval_cmp(*c_op, &ca, &cb)
-                            };
-                            if *write_cmp {
-                                self.dset(base, *c_dst, Value::Bool(c));
-                            }
-                            // Prefix = inc + cmp with elided copies
-                            // interleaved at their slots; branch last.
-                            let mut prefix = [OpClass::IntAlu; MAX_FUSE_WIDTH];
-                            for (k, slot) in prefix.iter_mut().enumerate().take(w - 1).skip(1) {
-                                if elided & (1 << k) != 0 {
-                                    *slot = OpClass::Move;
-                                }
-                            }
-                            let last_pc = pc_at(w - 1);
-                            let info = self.core.retire_fused_branch(&prefix[..w - 1], last_pc, c);
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.account_fused(
-                                info,
-                                w as u64,
-                                extra,
-                                FusePattern::IncCmpBranch,
-                                last_pc,
-                            );
-                            cur.ip = if c { *t } else { *f };
+                        Fused::IncCmpBranch { .. } => {
+                            self.fused_inc_cmp_branch(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::BinCopy {
-                            op,
-                            class,
-                            flops,
-                            int,
-                            b_dst,
-                            lhs,
-                            rhs,
-                            write_bin,
-                            dst,
-                        } => {
-                            // Div/Rem never fuses, so neither lane traps.
-                            let v = if *int {
-                                Value::I64(eval_bin_i64(
-                                    *op,
-                                    self.deval_i64(base, *lhs),
-                                    self.deval_i64(base, *rhs),
-                                    pc,
-                                )?)
-                            } else {
-                                let a = self.deval(base, *lhs);
-                                let b = self.deval(base, *rhs);
-                                eval_bin(*op, &a, &b, pc)?
-                            };
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.core.fused_ready_nomem()
-                            {
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *b_dst, v);
-                                self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
-                                continue;
-                            }
-                            self.stats.mir_ops += w as u64;
-                            if *write_bin {
-                                self.dset(base, *b_dst, v.clone());
-                            }
-                            self.dset(base, *dst, v);
-                            // Every trailing slot — the real copy (if it
-                            // survived coalescing) and any elided copies
-                            // — retires as a `Move` at its own pc.
-                            let last_pc = pc_at(w - 1);
-                            let info = if *flops == 0 {
-                                let mut classes = [OpClass::Move; MAX_FUSE_WIDTH];
-                                classes[0] = *class;
-                                self.core.retire_fused_simple(&classes[..w])
-                            } else {
-                                // FP assignment: the FLOP event needs the
-                                // full batch path.
-                                let mut ops_arr =
-                                    [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
-                                ops_arr[0] = MachineOp::simple(*class, pc).with_flops(*flops);
-                                for (k, op_slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
-                                    *op_slot = MachineOp::simple(OpClass::Move, pc_at(k));
-                                }
-                                self.core.retire_fused(&ops_arr[..w])
-                            };
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.regalloc_dyn.copies_moved += extra - n_elided;
-                            self.account_fused(
-                                info,
-                                w as u64,
-                                w as u64,
-                                FusePattern::BinCopy,
-                                last_pc,
-                            );
-                            cur.ip = ip as u32 + w as u32;
+                        Fused::BinCopy { .. } => {
+                            self.fused_bin_copy(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::AddrLoad {
-                            a_dst,
-                            base: b_op,
-                            offset,
-                            write_addr,
-                            dst,
-                            mem,
-                        } => {
-                            let bv = self.deval_i64(base, *b_op);
-                            let ov = self.deval_i64(base, *offset);
-                            let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes();
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.mem.in_bounds(addr as u64, bytes)
-                                || !self.core.fused_ready()
-                            {
-                                // Bail: the original `PtrAdd`; a would-trap
-                                // load faults in the retained unfused op.
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *a_dst, Value::I64(addr));
-                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
-                                continue;
-                            }
-                            self.stats.mir_ops += w as u64;
-                            if *write_addr {
-                                self.dset(base, *a_dst, Value::I64(addr));
-                            }
-                            let v = self.load_scalar(addr as u64, *mem)?;
-                            self.dset(base, *dst, v);
-                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
-                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
-                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
-                                *slot = if elided & (1 << k) != 0 {
-                                    MachineOp::simple(OpClass::Move, pc_at(k))
-                                } else {
-                                    MachineOp::simple(OpClass::Load, pc_at(k))
-                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, false))
-                                };
-                            }
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoad);
-                            cur.ip = ip as u32 + w as u32;
+                        Fused::AddrLoad { .. } => {
+                            self.fused_addr_load(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::AddrStore {
-                            a_dst,
-                            base: b_op,
-                            offset,
-                            write_addr,
-                            val,
-                            mem,
-                        } => {
-                            let bv = self.deval_i64(base, *b_op);
-                            let ov = self.deval_i64(base, *offset);
-                            let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes();
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.mem.in_bounds(addr as u64, bytes)
-                                || !self.core.fused_ready()
-                            {
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *a_dst, Value::I64(addr));
-                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
-                                continue;
-                            }
-                            self.stats.mir_ops += w as u64;
-                            if *write_addr {
-                                self.dset(base, *a_dst, Value::I64(addr));
-                            }
-                            let v = self.subst(base, *val, *a_dst, addr);
-                            self.store_scalar(addr as u64, *mem, &v)?;
-                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
-                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
-                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
-                                *slot = if elided & (1 << k) != 0 {
-                                    MachineOp::simple(OpClass::Move, pc_at(k))
-                                } else {
-                                    MachineOp::simple(OpClass::Store, pc_at(k))
-                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, true))
-                                };
-                            }
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrStore);
-                            cur.ip = ip as u32 + w as u32;
+                        Fused::AddrStore { .. } => {
+                            self.fused_addr_store(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::LoadOp {
-                            l_dst,
-                            addr,
-                            mem,
-                            int,
-                            write_load,
-                            op,
-                            class,
-                            flops,
-                            b_dst,
-                            lhs,
-                            rhs,
-                        } => {
-                            let av = self.deval_i64(base, *addr) as u64;
-                            let bytes = mem.bytes();
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.mem.in_bounds(av, bytes)
-                                || !self.core.fused_ready()
-                            {
-                                // Bail: the original scalar `Load`
-                                // (including its trap, when out of
-                                // bounds); the loop resumes at the next
-                                // retained slot.
-                                self.stats.mir_ops += 1;
-                                let v = self.load_scalar(av, *mem)?;
-                                self.dset(base, *l_dst, v);
-                                self.retire_d(
-                                    MachineOp::simple(OpClass::Load, pc).with_mem(MemRef::scalar(
-                                        av,
-                                        bytes as u32,
-                                        false,
-                                    )),
-                                );
-                                continue;
-                            }
-                            self.stats.mir_ops += w as u64;
-                            // The bin constituent sits at the first
-                            // non-elided slot after the load.
-                            let bin_off = (1..w)
-                                .find(|&k| elided & (1 << k) == 0)
-                                .expect("LoadOp site keeps its bin constituent");
-                            let pc_bin = pc_at(bin_off);
-                            if *int {
-                                let x = self.load_scalar_i64(av, *mem)?;
-                                if *write_load {
-                                    self.dset(base, *l_dst, Value::I64(x));
-                                }
-                                let a = self.subst_i64(base, *lhs, *l_dst, x);
-                                let b = self.subst_i64(base, *rhs, *l_dst, x);
-                                let r = eval_bin_i64(*op, a, b, pc_bin)?;
-                                self.dset(base, *b_dst, Value::I64(r));
-                            } else {
-                                let v = self.load_scalar(av, *mem)?;
-                                if *write_load {
-                                    self.dset(base, *l_dst, v.clone());
-                                }
-                                let a = self.subst_val(base, *lhs, *l_dst, &v);
-                                let b = self.subst_val(base, *rhs, *l_dst, &v);
-                                let r = eval_bin(*op, &a, &b, pc_bin)?;
-                                self.dset(base, *b_dst, r);
-                            }
-                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
-                            ops_arr[0] = MachineOp::simple(OpClass::Load, pc)
-                                .with_mem(MemRef::scalar(av, bytes as u32, false));
-                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
-                                *slot = if elided & (1 << k) != 0 {
-                                    MachineOp::simple(OpClass::Move, pc_at(k))
-                                } else {
-                                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
-                                };
-                            }
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::LoadOp);
-                            cur.ip = ip as u32 + w as u32;
+                        Fused::LoadOp { .. } => {
+                            self.fused_load_op(df, site, ip, base, &mut cur)?;
                         }
-                        Fused::AddrLoadOp {
-                            a_dst,
-                            base: b_op,
-                            offset,
-                            write_addr,
-                            l_dst,
-                            mem,
-                            int,
-                            write_load,
-                            op,
-                            class,
-                            flops,
-                            b_dst,
-                            lhs,
-                            rhs,
-                        } => {
-                            let bv = self.deval_i64(base, *b_op);
-                            let ov = self.deval_i64(base, *offset);
-                            let addr = bv.wrapping_add(ov);
-                            let bytes = mem.bytes();
-                            if self.stats.machine_ops + extra >= self.fuel
-                                || !self.mem.in_bounds(addr as u64, bytes)
-                                || !self.core.fused_ready()
-                            {
-                                self.stats.mir_ops += 1;
-                                self.dset(base, *a_dst, Value::I64(addr));
-                                self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
-                                continue;
-                            }
-                            self.stats.mir_ops += w as u64;
-                            if *write_addr {
-                                self.dset(base, *a_dst, Value::I64(addr));
-                            }
-                            // The load and bin constituents sit at the
-                            // first and second non-elided slots.
-                            let load_off = (1..w)
-                                .find(|&k| elided & (1 << k) == 0)
-                                .expect("AddrLoadOp site keeps its load constituent");
-                            let bin_off = (load_off + 1..w)
-                                .find(|&k| elided & (1 << k) == 0)
-                                .expect("AddrLoadOp site keeps its bin constituent");
-                            let pc_bin = pc_at(bin_off);
-                            // Resolve bin operands: the loaded value
-                            // shadows the address register when both are
-                            // the same register (the load's write is the
-                            // later one in the unfused order).
-                            if *int {
-                                let x = self.load_scalar_i64(addr as u64, *mem)?;
-                                if *write_load {
-                                    self.dset(base, *l_dst, Value::I64(x));
-                                }
-                                let a = self.subst2_i64(base, *lhs, *l_dst, x, *a_dst, addr);
-                                let b = self.subst2_i64(base, *rhs, *l_dst, x, *a_dst, addr);
-                                let r = eval_bin_i64(*op, a, b, pc_bin)?;
-                                self.dset(base, *b_dst, Value::I64(r));
-                            } else {
-                                let v = self.load_scalar(addr as u64, *mem)?;
-                                if *write_load {
-                                    self.dset(base, *l_dst, v.clone());
-                                }
-                                let a = self.subst2(base, *lhs, *l_dst, &v, *a_dst, addr);
-                                let b = self.subst2(base, *rhs, *l_dst, &v, *a_dst, addr);
-                                let r = eval_bin(*op, &a, &b, pc_bin)?;
-                                self.dset(base, *b_dst, r);
-                            }
-                            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
-                            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
-                            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
-                                *slot = if elided & (1 << k) != 0 {
-                                    MachineOp::simple(OpClass::Move, pc_at(k))
-                                } else if k == load_off {
-                                    MachineOp::simple(OpClass::Load, pc_at(k))
-                                        .with_mem(MemRef::scalar(addr as u64, bytes as u32, false))
-                                } else {
-                                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
-                                };
-                            }
-                            self.regalloc_dyn.copies_elided += n_elided;
-                            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoadOp);
-                            cur.ip = ip as u32 + w as u32;
+                        Fused::AddrLoadOp { .. } => {
+                            self.fused_addr_load_op(df, site, ip, base, &mut cur)?;
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Commit path for branch-ending fused fast paths: the specialized
+    /// one-tick batch retire plus coverage accounting.
+    #[inline]
+    fn fused_branch_retire(
+        &mut self,
+        prefix: &[OpClass],
+        last_pc: u64,
+        taken: bool,
+        mir_ops: u64,
+        pat: FusePattern,
+    ) {
+        let info = self.core.retire_fused_branch(prefix, last_pc, taken);
+        self.account_fused(info, prefix.len() as u64 + 1, mir_ops, pat, last_pc);
+    }
+
+    /// Commit path for memory-free, FLOP-free fused fast paths (classes
+    /// only); see [`Vm::fused_branch_retire`].
+    #[inline]
+    fn fused_simple_retire(
+        &mut self,
+        classes: &[OpClass],
+        last_pc: u64,
+        mir_ops: u64,
+        pat: FusePattern,
+    ) {
+        let info = self.core.retire_fused_simple(classes);
+        self.account_fused(info, classes.len() as u64, mir_ops, pat, last_pc);
+    }
+
+    /// `cmp + condbr` fused fast path. Shared by the decoded engine and
+    /// the threaded engine's out-of-block template dispatch (inside a
+    /// superblock, fused sites execute as their constituent templates —
+    /// the block already batches the PMU tick, so the one-tick fused
+    /// retire would add no value there). Caller pre-incremented
+    /// `cur.ip`; a bail leaves it there (the next constituent slot), the
+    /// fast path jumps it.
+    pub(crate) fn fused_cmp_branch(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::CmpBranch {
+            op,
+            c_dst,
+            lhs,
+            rhs,
+            int,
+            write_cmp,
+            t,
+            f,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let extra = w as u64 - 1;
+        let n_elided = site.elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let c = if *int {
+            cmp_i64(*op, self.deval_i64(base, *lhs), self.deval_i64(base, *rhs))
+        } else {
+            let a = self.deval(base, *lhs);
+            let b = self.deval(base, *rhs);
+            eval_cmp(*op, &a, &b)
+        };
+        if self.stats.machine_ops + extra >= self.fuel || !self.core.fused_ready_nomem() {
+            // Bail: the original `Cmp`, unfused; the loop resumes at the
+            // next retained slot.
+            self.stats.mir_ops += 1;
+            self.dset(base, *c_dst, Value::Bool(c));
+            self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+            return Ok(());
+        }
+        // Terminators don't count as MIR ops (as in both unfused
+        // engines): the Cmp and any elided copies do.
+        self.stats.mir_ops += extra;
+        if *write_cmp {
+            self.dset(base, *c_dst, Value::Bool(c));
+        }
+        // Prefix = cmp plus any interior elided copies; the branch
+        // retires last.
+        let mut prefix = [OpClass::Move; MAX_FUSE_WIDTH];
+        prefix[0] = OpClass::IntAlu;
+        let last_pc = unsafe { *df.pcs.get_unchecked(ip + w - 1) };
+        self.regalloc_dyn.copies_elided += n_elided;
+        self.fused_branch_retire(&prefix[..w - 1], last_pc, c, extra, FusePattern::CmpBranch);
+        cur.ip = if c { *t } else { *f };
+        Ok(())
+    }
+
+    /// `add/sub + cmp + condbr` (counted-loop back edge) fused fast
+    /// path; see [`Vm::fused_cmp_branch`].
+    pub(crate) fn fused_inc_cmp_branch(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::IncCmpBranch {
+            i_op,
+            i_dst,
+            i_lhs,
+            i_rhs,
+            c_op,
+            c_dst,
+            c_lhs,
+            c_rhs,
+            c_int,
+            write_cmp,
+            t,
+            f,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let a = self.deval_i64(base, *i_lhs);
+        let b = self.deval_i64(base, *i_rhs);
+        let iv = match i_op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            other => unreachable!("fusion admits {other:?} back edge"),
+        };
+        if self.stats.machine_ops + extra >= self.fuel || !self.core.fused_ready_nomem() {
+            self.stats.mir_ops += 1;
+            self.dset(base, *i_dst, Value::I64(iv));
+            self.retire_d(MachineOp::simple(OpClass::IntAlu, pc));
+            return Ok(());
+        }
+        // The CondBr terminator is not a MIR op; the inc, cmp, and any
+        // elided copies are.
+        self.stats.mir_ops += extra;
+        self.dset(base, *i_dst, Value::I64(iv));
+        let c = if *c_int {
+            cmp_i64(
+                *c_op,
+                self.deval_i64(base, *c_lhs),
+                self.deval_i64(base, *c_rhs),
+            )
+        } else {
+            let ca = self.deval(base, *c_lhs);
+            let cb = self.deval(base, *c_rhs);
+            eval_cmp(*c_op, &ca, &cb)
+        };
+        if *write_cmp {
+            self.dset(base, *c_dst, Value::Bool(c));
+        }
+        // Prefix = inc + cmp with elided copies interleaved at their
+        // slots; branch last.
+        let mut prefix = [OpClass::IntAlu; MAX_FUSE_WIDTH];
+        for (k, slot) in prefix.iter_mut().enumerate().take(w - 1).skip(1) {
+            if elided & (1 << k) != 0 {
+                *slot = OpClass::Move;
+            }
+        }
+        let last_pc = unsafe { *df.pcs.get_unchecked(ip + w - 1) };
+        self.regalloc_dyn.copies_elided += n_elided;
+        self.fused_branch_retire(
+            &prefix[..w - 1],
+            last_pc,
+            c,
+            extra,
+            FusePattern::IncCmpBranch,
+        );
+        cur.ip = if c { *t } else { *f };
+        Ok(())
+    }
+
+    /// `bin + copy` fused fast path; see [`Vm::fused_cmp_branch`].
+    pub(crate) fn fused_bin_copy(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::BinCopy {
+            op,
+            class,
+            flops,
+            int,
+            b_dst,
+            lhs,
+            rhs,
+            write_bin,
+            dst,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+        // Div/Rem never fuses, so neither lane traps.
+        let v = if *int {
+            Value::I64(eval_bin_i64(
+                *op,
+                self.deval_i64(base, *lhs),
+                self.deval_i64(base, *rhs),
+                pc,
+            )?)
+        } else {
+            let a = self.deval(base, *lhs);
+            let b = self.deval(base, *rhs);
+            eval_bin(*op, &a, &b, pc)?
+        };
+        if self.stats.machine_ops + extra >= self.fuel || !self.core.fused_ready_nomem() {
+            self.stats.mir_ops += 1;
+            self.dset(base, *b_dst, v);
+            self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
+            return Ok(());
+        }
+        self.stats.mir_ops += w as u64;
+        if *write_bin {
+            self.dset(base, *b_dst, v.clone());
+        }
+        self.dset(base, *dst, v);
+        // Every trailing slot — the real copy (if it survived
+        // coalescing) and any elided copies — retires as a `Move` at its
+        // own pc.
+        let last_pc = pc_at(w - 1);
+        if *flops == 0 {
+            let mut classes = [OpClass::Move; MAX_FUSE_WIDTH];
+            classes[0] = *class;
+            self.fused_simple_retire(&classes[..w], last_pc, w as u64, FusePattern::BinCopy);
+        } else {
+            // FP assignment: the FLOP event needs the full batch path.
+            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+            ops_arr[0] = MachineOp::simple(*class, pc).with_flops(*flops);
+            for (k, op_slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                *op_slot = MachineOp::simple(OpClass::Move, pc_at(k));
+            }
+            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::BinCopy);
+        }
+        self.regalloc_dyn.copies_elided += n_elided;
+        self.regalloc_dyn.copies_moved += extra - n_elided;
+        cur.ip = ip as u32 + w as u32;
+        Ok(())
+    }
+
+    /// `ptradd + load` fused fast path; see [`Vm::fused_cmp_branch`].
+    pub(crate) fn fused_addr_load(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::AddrLoad {
+            a_dst,
+            base: b_op,
+            offset,
+            write_addr,
+            dst,
+            mem,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+        let bv = self.deval_i64(base, *b_op);
+        let ov = self.deval_i64(base, *offset);
+        let addr = bv.wrapping_add(ov);
+        let bytes = mem.bytes();
+        if self.stats.machine_ops + extra >= self.fuel
+            || !self.mem.in_bounds(addr as u64, bytes)
+            || !self.core.fused_ready()
+        {
+            // Bail: the original `PtrAdd`; a would-trap load faults in
+            // the retained unfused op.
+            self.stats.mir_ops += 1;
+            self.dset(base, *a_dst, Value::I64(addr));
+            self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+            return Ok(());
+        }
+        self.stats.mir_ops += w as u64;
+        if *write_addr {
+            self.dset(base, *a_dst, Value::I64(addr));
+        }
+        let v = self.load_scalar(addr as u64, *mem)?;
+        self.dset(base, *dst, v);
+        self.regalloc_dyn.copies_elided += n_elided;
+        {
+            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                *slot = if elided & (1 << k) != 0 {
+                    MachineOp::simple(OpClass::Move, pc_at(k))
+                } else {
+                    MachineOp::simple(OpClass::Load, pc_at(k)).with_mem(MemRef::scalar(
+                        addr as u64,
+                        bytes as u32,
+                        false,
+                    ))
+                };
+            }
+            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoad);
+        }
+        cur.ip = ip as u32 + w as u32;
+        Ok(())
+    }
+
+    /// `ptradd + store` fused fast path; see [`Vm::fused_addr_load`].
+    pub(crate) fn fused_addr_store(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::AddrStore {
+            a_dst,
+            base: b_op,
+            offset,
+            write_addr,
+            val,
+            mem,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+        let bv = self.deval_i64(base, *b_op);
+        let ov = self.deval_i64(base, *offset);
+        let addr = bv.wrapping_add(ov);
+        let bytes = mem.bytes();
+        if self.stats.machine_ops + extra >= self.fuel
+            || !self.mem.in_bounds(addr as u64, bytes)
+            || !self.core.fused_ready()
+        {
+            self.stats.mir_ops += 1;
+            self.dset(base, *a_dst, Value::I64(addr));
+            self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+            return Ok(());
+        }
+        self.stats.mir_ops += w as u64;
+        if *write_addr {
+            self.dset(base, *a_dst, Value::I64(addr));
+        }
+        let v = self.subst(base, *val, *a_dst, addr);
+        self.store_scalar(addr as u64, *mem, &v)?;
+        self.regalloc_dyn.copies_elided += n_elided;
+        {
+            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                *slot = if elided & (1 << k) != 0 {
+                    MachineOp::simple(OpClass::Move, pc_at(k))
+                } else {
+                    MachineOp::simple(OpClass::Store, pc_at(k)).with_mem(MemRef::scalar(
+                        addr as u64,
+                        bytes as u32,
+                        true,
+                    ))
+                };
+            }
+            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrStore);
+        }
+        cur.ip = ip as u32 + w as u32;
+        Ok(())
+    }
+
+    /// `load + bin` fused fast path; see [`Vm::fused_addr_load`].
+    pub(crate) fn fused_load_op(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::LoadOp {
+            l_dst,
+            addr,
+            mem,
+            int,
+            write_load,
+            op,
+            class,
+            flops,
+            b_dst,
+            lhs,
+            rhs,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+        let av = self.deval_i64(base, *addr) as u64;
+        let bytes = mem.bytes();
+        if self.stats.machine_ops + extra >= self.fuel
+            || !self.mem.in_bounds(av, bytes)
+            || !self.core.fused_ready()
+        {
+            // Bail: the original scalar `Load` (including its trap, when
+            // out of bounds); the loop resumes at the next retained slot.
+            self.stats.mir_ops += 1;
+            let v = self.load_scalar(av, *mem)?;
+            self.dset(base, *l_dst, v);
+            self.retire_d(
+                MachineOp::simple(OpClass::Load, pc).with_mem(MemRef::scalar(
+                    av,
+                    bytes as u32,
+                    false,
+                )),
+            );
+            return Ok(());
+        }
+        self.stats.mir_ops += w as u64;
+        // The bin constituent sits at the first non-elided slot after
+        // the load.
+        let bin_off = (1..w)
+            .find(|&k| elided & (1 << k) == 0)
+            .expect("LoadOp site keeps its bin constituent");
+        let pc_bin = pc_at(bin_off);
+        if *int {
+            let x = self.load_scalar_i64(av, *mem)?;
+            if *write_load {
+                self.dset(base, *l_dst, Value::I64(x));
+            }
+            let a = self.subst_i64(base, *lhs, *l_dst, x);
+            let b = self.subst_i64(base, *rhs, *l_dst, x);
+            let r = eval_bin_i64(*op, a, b, pc_bin)?;
+            self.dset(base, *b_dst, Value::I64(r));
+        } else {
+            let v = self.load_scalar(av, *mem)?;
+            if *write_load {
+                self.dset(base, *l_dst, v.clone());
+            }
+            let a = self.subst_val(base, *lhs, *l_dst, &v);
+            let b = self.subst_val(base, *rhs, *l_dst, &v);
+            let r = eval_bin(*op, &a, &b, pc_bin)?;
+            self.dset(base, *b_dst, r);
+        }
+        self.regalloc_dyn.copies_elided += n_elided;
+        {
+            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+            ops_arr[0] = MachineOp::simple(OpClass::Load, pc).with_mem(MemRef::scalar(
+                av,
+                bytes as u32,
+                false,
+            ));
+            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                *slot = if elided & (1 << k) != 0 {
+                    MachineOp::simple(OpClass::Move, pc_at(k))
+                } else {
+                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
+                };
+            }
+            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::LoadOp);
+        }
+        cur.ip = ip as u32 + w as u32;
+        Ok(())
+    }
+
+    /// `ptradd + load + bin` fused fast path; see
+    /// [`Vm::fused_addr_load`].
+    pub(crate) fn fused_addr_load_op(
+        &mut self,
+        df: &DecodedFunc,
+        site: &FusedSite,
+        ip: usize,
+        base: usize,
+        cur: &mut DFrame,
+    ) -> Result<(), VmError> {
+        let Fused::AddrLoadOp {
+            a_dst,
+            base: b_op,
+            offset,
+            write_addr,
+            l_dst,
+            mem,
+            int,
+            write_load,
+            op,
+            class,
+            flops,
+            b_dst,
+            lhs,
+            rhs,
+        } = &site.op
+        else {
+            unreachable!("dispatched on pattern kind")
+        };
+        let w = site.width as usize;
+        let elided = site.elided;
+        let extra = w as u64 - 1;
+        let n_elided = elided.count_ones() as u64;
+        let pc = unsafe { *df.pcs.get_unchecked(ip) };
+        let pc_at = |k: usize| unsafe { *df.pcs.get_unchecked(ip + k) };
+        let bv = self.deval_i64(base, *b_op);
+        let ov = self.deval_i64(base, *offset);
+        let addr = bv.wrapping_add(ov);
+        let bytes = mem.bytes();
+        if self.stats.machine_ops + extra >= self.fuel
+            || !self.mem.in_bounds(addr as u64, bytes)
+            || !self.core.fused_ready()
+        {
+            self.stats.mir_ops += 1;
+            self.dset(base, *a_dst, Value::I64(addr));
+            self.retire_d(MachineOp::simple(OpClass::AddrCalc, pc));
+            return Ok(());
+        }
+        self.stats.mir_ops += w as u64;
+        if *write_addr {
+            self.dset(base, *a_dst, Value::I64(addr));
+        }
+        // The load and bin constituents sit at the first and second
+        // non-elided slots.
+        let load_off = (1..w)
+            .find(|&k| elided & (1 << k) == 0)
+            .expect("AddrLoadOp site keeps its load constituent");
+        let bin_off = (load_off + 1..w)
+            .find(|&k| elided & (1 << k) == 0)
+            .expect("AddrLoadOp site keeps its bin constituent");
+        let pc_bin = pc_at(bin_off);
+        // Resolve bin operands: the loaded value shadows the address
+        // register when both are the same register (the load's write is
+        // the later one in the unfused order).
+        if *int {
+            let x = self.load_scalar_i64(addr as u64, *mem)?;
+            if *write_load {
+                self.dset(base, *l_dst, Value::I64(x));
+            }
+            let a = self.subst2_i64(base, *lhs, *l_dst, x, *a_dst, addr);
+            let b = self.subst2_i64(base, *rhs, *l_dst, x, *a_dst, addr);
+            let r = eval_bin_i64(*op, a, b, pc_bin)?;
+            self.dset(base, *b_dst, Value::I64(r));
+        } else {
+            let v = self.load_scalar(addr as u64, *mem)?;
+            if *write_load {
+                self.dset(base, *l_dst, v.clone());
+            }
+            let a = self.subst2(base, *lhs, *l_dst, &v, *a_dst, addr);
+            let b = self.subst2(base, *rhs, *l_dst, &v, *a_dst, addr);
+            let r = eval_bin(*op, &a, &b, pc_bin)?;
+            self.dset(base, *b_dst, r);
+        }
+        self.regalloc_dyn.copies_elided += n_elided;
+        {
+            let mut ops_arr = [MachineOp::simple(OpClass::Move, 0); MAX_FUSE_WIDTH];
+            ops_arr[0] = MachineOp::simple(OpClass::AddrCalc, pc);
+            for (k, slot) in ops_arr.iter_mut().enumerate().take(w).skip(1) {
+                *slot = if elided & (1 << k) != 0 {
+                    MachineOp::simple(OpClass::Move, pc_at(k))
+                } else if k == load_off {
+                    MachineOp::simple(OpClass::Load, pc_at(k)).with_mem(MemRef::scalar(
+                        addr as u64,
+                        bytes as u32,
+                        false,
+                    ))
+                } else {
+                    MachineOp::simple(*class, pc_at(k)).with_flops(*flops)
+                };
+            }
+            self.finish_fused(&ops_arr[..w], w as u64, FusePattern::AddrLoadOp);
+        }
+        cur.ip = ip as u32 + w as u32;
+        Ok(())
     }
 
     /// Retire one fused superinstruction (its constituents as a single
@@ -1731,7 +2000,7 @@ impl<'m> Vm<'m> {
     /// yield the address value `addr` instead of the (possibly skipped)
     /// register-stack slot.
     #[inline]
-    fn subst(&self, base: usize, o: Operand, r: u32, addr: i64) -> Value {
+    pub(crate) fn subst(&self, base: usize, o: Operand, r: u32, addr: i64) -> Value {
         match o {
             Operand::Reg(reg) if reg.index() as u32 == r => Value::I64(addr),
             _ => self.deval(base, o),
@@ -1740,7 +2009,7 @@ impl<'m> Vm<'m> {
 
     /// Operand resolution substituting reads of `r` with value `v`.
     #[inline]
-    fn subst_val(&self, base: usize, o: Operand, r: u32, v: &Value) -> Value {
+    pub(crate) fn subst_val(&self, base: usize, o: Operand, r: u32, v: &Value) -> Value {
         match o {
             Operand::Reg(reg) if reg.index() as u32 == r => v.clone(),
             _ => self.deval(base, o),
@@ -1750,7 +2019,15 @@ impl<'m> Vm<'m> {
     /// Operand resolution with two substitutions, `r1` (loaded value)
     /// shadowing `r2` (address register).
     #[inline]
-    fn subst2(&self, base: usize, o: Operand, r1: u32, v: &Value, r2: u32, addr: i64) -> Value {
+    pub(crate) fn subst2(
+        &self,
+        base: usize,
+        o: Operand,
+        r1: u32,
+        v: &Value,
+        r2: u32,
+        addr: i64,
+    ) -> Value {
         match o {
             Operand::Reg(reg) if reg.index() as u32 == r1 => v.clone(),
             Operand::Reg(reg) if reg.index() as u32 == r2 => Value::I64(addr),
@@ -1760,7 +2037,7 @@ impl<'m> Vm<'m> {
 
     /// Raw-`i64` lane of [`Vm::subst_val`].
     #[inline]
-    fn subst_i64(&self, base: usize, o: Operand, r: u32, x: i64) -> i64 {
+    pub(crate) fn subst_i64(&self, base: usize, o: Operand, r: u32, x: i64) -> i64 {
         match o {
             Operand::Reg(reg) if reg.index() as u32 == r => x,
             _ => self.deval_i64(base, o),
@@ -1769,7 +2046,15 @@ impl<'m> Vm<'m> {
 
     /// Raw-`i64` lane of [`Vm::subst2`].
     #[inline]
-    fn subst2_i64(&self, base: usize, o: Operand, r1: u32, x: i64, r2: u32, addr: i64) -> i64 {
+    pub(crate) fn subst2_i64(
+        &self,
+        base: usize,
+        o: Operand,
+        r1: u32,
+        x: i64,
+        r2: u32,
+        addr: i64,
+    ) -> i64 {
         match o {
             Operand::Reg(reg) if reg.index() as u32 == r1 => x,
             Operand::Reg(reg) if reg.index() as u32 == r2 => addr,
@@ -1784,7 +2069,7 @@ impl<'m> Vm<'m> {
     /// On non-integer values (type confusion; the verifier excludes it),
     /// matching [`Value::as_i64`]'s contract.
     #[inline]
-    fn deval_i64(&self, base: usize, op: Operand) -> i64 {
+    pub(crate) fn deval_i64(&self, base: usize, op: Operand) -> i64 {
         match op {
             Operand::Reg(r) => {
                 debug_assert!(base + r.index() < self.dregs.len());
@@ -1801,7 +2086,7 @@ impl<'m> Vm<'m> {
 
     /// Read a `bool` operand without cloning; see [`Vm::deval_i64`].
     #[inline]
-    fn deval_bool(&self, base: usize, op: Operand) -> bool {
+    pub(crate) fn deval_bool(&self, base: usize, op: Operand) -> bool {
         match op {
             Operand::Reg(r) => {
                 debug_assert!(base + r.index() < self.dregs.len());
@@ -1817,7 +2102,7 @@ impl<'m> Vm<'m> {
     }
 
     #[inline]
-    fn deval(&self, base: usize, op: Operand) -> Value {
+    pub(crate) fn deval(&self, base: usize, op: Operand) -> Value {
         match op {
             Operand::Reg(r) => {
                 debug_assert!(base + r.index() < self.dregs.len());
@@ -1835,12 +2120,148 @@ impl<'m> Vm<'m> {
     }
 
     #[inline]
-    fn dset(&mut self, base: usize, dst: u32, v: Value) {
+    pub(crate) fn dset(&mut self, base: usize, dst: u32, v: Value) {
         debug_assert!(base + (dst as usize) < self.dregs.len());
         // SAFETY: destination registers are < num_regs (validated at
         // decode time); window invariant as in `deval`.
         unsafe {
             *self.dregs.get_unchecked_mut(base + dst as usize) = v;
+        }
+    }
+
+    /// Threaded-engine operand read through a pre-bound slot: either a
+    /// register-stack index or (high bit set) an index into the
+    /// function's constant pool — no `Operand` enum unpacking on the
+    /// template fast path.
+    #[inline]
+    pub(crate) fn tval(&self, base: usize, slot: u32, consts: &[Value]) -> Value {
+        if slot & threaded::SLOT_CONST != 0 {
+            consts[(slot & !threaded::SLOT_CONST) as usize].clone()
+        } else {
+            debug_assert!((base + slot as usize) < self.dregs.len());
+            // SAFETY: register slots are < num_regs (validated at
+            // template-compile time); window invariant as in `deval`.
+            unsafe { self.dregs.get_unchecked(base + slot as usize).clone() }
+        }
+    }
+
+    /// Raw-`i64` lane of [`Vm::tval`] (pool of raw `i64` immediates).
+    #[inline]
+    pub(crate) fn tval_i64(&self, base: usize, slot: u32, consts: &[i64]) -> i64 {
+        if slot & threaded::SLOT_CONST != 0 {
+            consts[(slot & !threaded::SLOT_CONST) as usize]
+        } else {
+            debug_assert!((base + slot as usize) < self.dregs.len());
+            // SAFETY: see `tval`.
+            match unsafe { self.dregs.get_unchecked(base + slot as usize) } {
+                Value::I64(v) => *v,
+                other => panic!("expected i64, found {other:?}"),
+            }
+        }
+    }
+
+    /// `bool` lane of [`Vm::tval`].
+    #[inline]
+    pub(crate) fn tval_bool(&self, base: usize, slot: u32, consts: &[Value]) -> bool {
+        if slot & threaded::SLOT_CONST != 0 {
+            match &consts[(slot & !threaded::SLOT_CONST) as usize] {
+                Value::Bool(b) => *b,
+                other => panic!("expected bool, found {other:?}"),
+            }
+        } else {
+            debug_assert!((base + slot as usize) < self.dregs.len());
+            // SAFETY: see `tval`.
+            match unsafe { self.dregs.get_unchecked(base + slot as usize) } {
+                Value::Bool(v) => *v,
+                other => panic!("expected bool, found {other:?}"),
+            }
+        }
+    }
+
+    /// Threaded-engine main loop: `loop { (templates[ip].fn)(...) }` —
+    /// an indirect call through the function's pre-bound template array
+    /// (see [`crate::threaded`]), with no `match` on op kind and no enum
+    /// payload unpacking on the hot path. On top of the template stream,
+    /// straight-line superblocks retire as one PMU batch: when the next
+    /// ip starts a block and the block-entry guard holds (fuel for the
+    /// whole block, [`mperf_sim::Core::block_ready`] headroom), every
+    /// covered template applies its timing eagerly but defers its PMU
+    /// tick into the VM's [`BlockAcc`], committed once by
+    /// [`mperf_sim::Core::retire_block`]. A trap mid-block commits the
+    /// partial accumulator first (counters are additive and the partial
+    /// bound is below the guarded full bound, so this stays bit-exact);
+    /// when the guard fails, the block's templates run one by one
+    /// through their tick-per-op entry points — identical to the decoded
+    /// engine op for op.
+    fn run_threaded(
+        &mut self,
+        dec: &DecodedModule,
+        base_depth: usize,
+    ) -> Result<Vec<Value>, VmError> {
+        let mut ctx = TCtx {
+            cur: *self.dstack.last().expect("run_threaded with a frame"),
+            base_depth,
+        };
+        loop {
+            if self.stats.machine_ops >= self.fuel {
+                return Err(VmError::OutOfFuel {
+                    executed: self.stats.machine_ops,
+                });
+            }
+            debug_assert!((ctx.cur.func as usize) < dec.threaded.len());
+            // SAFETY: `cur.func` comes from a validated `CallFunc` callee
+            // or the entry `FuncId`; `ip` stays inside the template
+            // array (parallel to `ops`, same validated jump targets).
+            let tf = unsafe { dec.threaded.get_unchecked(ctx.cur.func as usize) };
+            let ip = ctx.cur.ip as usize;
+            debug_assert!(ip < tf.templates.len());
+            let bi = unsafe { *tf.block_at.get_unchecked(ip) };
+            if bi != u32::MAX {
+                let b = *unsafe { tf.blocks.get_unchecked(bi as usize) };
+                if self.stats.machine_ops + b.machine_ops as u64 <= self.fuel
+                    && self
+                        .core
+                        .block_ready(b.machine_ops, b.mem_refs, b.branches, b.flops)
+                {
+                    // Superblock fast path: one PMU tick for the whole
+                    // straight-line run.
+                    self.core.block_begin_in(&mut self.block_acc);
+                    let mut err = None;
+                    let mut last_ip;
+                    loop {
+                        let ipb = ctx.cur.ip as usize;
+                        last_ip = ipb;
+                        debug_assert!(ipb < tf.templates.len());
+                        let t = unsafe { tf.templates.get_unchecked(ipb) };
+                        ctx.cur.ip += 1;
+                        if let Err(e) = (t.block)(self, dec, tf, &t.args, &mut ctx) {
+                            err = Some(e);
+                            break;
+                        }
+                        if ipb as u32 >= b.last {
+                            break;
+                        }
+                    }
+                    let info = self.core.retire_block(&mut self.block_acc);
+                    if info.overflow != 0 {
+                        // Unreachable under `block_ready`; the release-
+                        // mode fallback delivers at the last executed pc
+                        // rather than losing the sample.
+                        let pc = dec.funcs[ctx.cur.func as usize].pcs[last_ip];
+                        self.deliver_overflow(pc, info.overflow, Engine::Threaded);
+                    }
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    continue;
+                }
+            }
+            let t = unsafe { tf.templates.get_unchecked(ip) };
+            ctx.cur.ip += 1;
+            match (t.single)(self, dec, tf, &t.args, &mut ctx)? {
+                Step::Continue => {}
+                Step::Finished => return Ok(std::mem::take(&mut self.ret_scratch)),
+            }
         }
     }
 
@@ -1874,7 +2295,7 @@ impl<'m> Vm<'m> {
     /// handle (their fast path pre-checks bounds, so this cannot fail
     /// there; the bail path uses the error like the unfused op).
     #[inline]
-    fn load_scalar(&mut self, base: u64, mem: MemTy) -> Result<Value, VmError> {
+    pub(crate) fn load_scalar(&mut self, base: u64, mem: MemTy) -> Result<Value, VmError> {
         Ok(match mem {
             MemTy::I8 => Value::I64(self.mem.read::<1>(base)?[0] as i64),
             MemTy::I16 => Value::I64(u16::from_le_bytes(self.mem.read::<2>(base)?) as i64),
@@ -1888,7 +2309,7 @@ impl<'m> Vm<'m> {
     /// Raw-`i64` lane of [`Vm::load_scalar`] for integer memory types
     /// (zero-extension semantics identical to the `Value` lane).
     #[inline]
-    fn load_scalar_i64(&mut self, base: u64, mem: MemTy) -> Result<i64, VmError> {
+    pub(crate) fn load_scalar_i64(&mut self, base: u64, mem: MemTy) -> Result<i64, VmError> {
         Ok(match mem {
             MemTy::I8 => self.mem.read::<1>(base)?[0] as i64,
             MemTy::I16 => u16::from_le_bytes(self.mem.read::<2>(base)?) as i64,
@@ -1900,7 +2321,7 @@ impl<'m> Vm<'m> {
 
     /// Scalar (`lanes == 1`) store; see [`Vm::load_scalar`].
     #[inline]
-    fn store_scalar(&mut self, base: u64, mem: MemTy, v: &Value) -> Result<(), VmError> {
+    pub(crate) fn store_scalar(&mut self, base: u64, mem: MemTy, v: &Value) -> Result<(), VmError> {
         match (mem, v) {
             (MemTy::I8, Value::I64(x)) => self.mem.write(base, &[(*x as u8)]),
             (MemTy::I16, Value::I64(x)) => self.mem.write(base, &(*x as u16).to_le_bytes()),
@@ -1912,7 +2333,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn load_value(
+    pub(crate) fn load_value(
         &mut self,
         base: u64,
         mem: MemTy,
@@ -1951,7 +2372,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn store_value(
+    pub(crate) fn store_value(
         &mut self,
         base: u64,
         mem: MemTy,
@@ -1992,7 +2413,7 @@ impl<'m> Vm<'m> {
 /// Scalar-integer binary evaluation on raw `i64`s — bit-identical to
 /// [`eval_bin`]'s `I64` arms (including the division-by-zero trap).
 #[inline]
-fn eval_bin_i64(op: BinOp, x: i64, y: i64, pc: u64) -> Result<i64, VmError> {
+pub(crate) fn eval_bin_i64(op: BinOp, x: i64, y: i64, pc: u64) -> Result<i64, VmError> {
     Ok(match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
@@ -2020,7 +2441,7 @@ fn eval_bin_i64(op: BinOp, x: i64, y: i64, pc: u64) -> Result<i64, VmError> {
 
 /// Scalar-integer compare — bit-identical to [`eval_cmp`]'s `I64` arm.
 #[inline]
-fn cmp_i64(op: CmpOp, x: i64, y: i64) -> bool {
+pub(crate) fn cmp_i64(op: CmpOp, x: i64, y: i64) -> bool {
     match op {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -2031,7 +2452,7 @@ fn cmp_i64(op: CmpOp, x: i64, y: i64) -> bool {
     }
 }
 
-fn eval_bin(op: BinOp, a: &Value, b: &Value, pc: u64) -> Result<Value, VmError> {
+pub(crate) fn eval_bin(op: BinOp, a: &Value, b: &Value, pc: u64) -> Result<Value, VmError> {
     use Value::*;
     Ok(match (op, a, b) {
         (BinOp::Add, I64(x), I64(y)) => I64(x.wrapping_add(*y)),
@@ -2105,7 +2526,7 @@ fn eval_bin(op: BinOp, a: &Value, b: &Value, pc: u64) -> Result<Value, VmError> 
     })
 }
 
-fn eval_fma(a: Value, b: Value, c: Value) -> Value {
+pub(crate) fn eval_fma(a: Value, b: Value, c: Value) -> Value {
     match (a, b, c) {
         (Value::F32(x), Value::F32(y), Value::F32(z)) => Value::F32(x.mul_add(y, z)),
         (Value::F64(x), Value::F64(y), Value::F64(z)) => Value::F64(x.mul_add(y, z)),
@@ -2127,7 +2548,7 @@ fn eval_fma(a: Value, b: Value, c: Value) -> Value {
     }
 }
 
-fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
+pub(crate) fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
     use Value::*;
     match (a, b) {
         (I64(x), I64(y)) => match op {
@@ -2160,7 +2581,7 @@ fn cmp_f(op: CmpOp, x: f64, y: f64) -> bool {
     }
 }
 
-fn eval_cast(kind: CastKind, v: &Value, dst_ty: Ty) -> Value {
+pub(crate) fn eval_cast(kind: CastKind, v: &Value, dst_ty: Ty) -> Value {
     match (kind, v) {
         (CastKind::IntToFloat, Value::I64(x)) => {
             if dst_ty == Ty::F32 {
@@ -2350,6 +2771,11 @@ mod tests {
         mperf_ir::transform::PassManager::standard().run(&mut module);
         let run = |fuse: bool| {
             let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+            // Pin the decoded engine: it runs every fused site through
+            // its fast path, so dynamic coverage reflects the full
+            // stream. (The threaded engine executes in-block sites as
+            // constituent templates, counting only out-of-block sites.)
+            vm.set_engine(Engine::Decoded);
             vm.set_fusion(fuse);
             let p = vm.mem.alloc(8 * 32, 8).unwrap();
             for i in 0..32u64 {

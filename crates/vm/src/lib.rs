@@ -16,22 +16,26 @@
 //!
 //! ## The decode → execute pipeline
 //!
-//! Execution runs on one of two engines (see [`interp::Engine`]):
+//! Execution runs on one of three engines (see [`interp::Engine`]):
 //!
 //! 1. **Decode** ([`decode`]): a one-time pass flattens each function's
 //!    blocks into a dense `Vec<DecodedOp>` with pre-resolved jump
 //!    targets (flat op indices), precomputed synthetic pcs, op classes,
-//!    and FLOP counts, and host callees resolved to dense ids. The
+//!    and FLOP counts, and host callees resolved to dense ids — then
+//!    runs register allocation, fusion, validation, and the threaded
+//!    template compile (see *Threaded templates & superblocks*). The
 //!    result ([`DecodedModule`]) borrows nothing and is `Arc`-shared
 //!    across VMs sweeping the same workload — including VMs on other
 //!    threads (see *The `Arc`/`Send` contract* below).
-//! 2. **Execute** ([`Vm::call`]): the default decoded engine dispatches
-//!    over `&[DecodedOp]` by index with zero per-step cloning and no
-//!    `module → func → block` lookups; guest frames slice a contiguous
-//!    register stack, so calls do not allocate. The reference engine
-//!    (the original structure-walking interpreter) stays available as
-//!    the semantic baseline; both produce bit-identical `ExecStats`,
-//!    cycles, and PMU state.
+//! 2. **Execute** ([`Vm::call`]): the default **threaded** engine calls
+//!    through each function's pre-bound template array and retires
+//!    straight-line superblocks as one PMU batch; the **decoded**
+//!    engine (the first-generation fast engine) dispatches over
+//!    `&[DecodedOp]` by index with a dense `match`; the **reference**
+//!    engine (the original structure-walking interpreter) stays the
+//!    semantic baseline. All three produce bit-identical `ExecStats`,
+//!    cycles, and PMU state; guest frames slice a contiguous register
+//!    stack, so calls do not allocate on any engine.
 //!
 //! ## Register allocation
 //!
@@ -137,6 +141,61 @@
 //! `ExecStats`). `--no-fuse` (CLI) / [`Vm::set_fusion`] /
 //! [`decode_module_cfg`] disable the pass for bisection.
 //!
+//! ## Threaded templates & superblocks
+//!
+//! The threaded engine (the default; [`threaded`]) is the baseline
+//! template-JIT layer over the coalesced + fused stream — the substrate
+//! a future native JIT would drop into (same compile point, same
+//! observable contract, fn pointers swapped for emitted code).
+//!
+//! **Template binding rules.** At decode time every op slot is lowered
+//! to a pre-bound template: a `fn` pointer plus a packed operand struct
+//! (`threaded::TArgs`). Operand immediates are materialized into
+//! per-function constant pools, so every operand is one `u32` slot
+//! (register index, or pool index with the high bit set) and the hot
+//! loop does no `Operand` enum unpacking; the synthetic pc rides in the
+//! template. Type-specialized scalar-integer ops get one monomorphic
+//! thunk per operator (`t_bini::<B_ADD>`, …) and scalar memory ops one
+//! per `MemTy` — op kinds are const generics, folded at compile time.
+//! Each fusion pattern binds its own template calling the one-tick
+//! handlers shared with the decoded engine, and `ElidedCopy` binds a
+//! retire-only thunk. Payload-carrying cold ops (calls, wide returns,
+//! vector memory, FP-lane arithmetic) keep monomorphic thunks that read
+//! their own `DecodedOp` — still no dispatch `match`.
+//!
+//! **Superblock formation.** The compile pass partitions each function
+//! into straight-line superblocks: maximal runs of block-eligible
+//! templates (no calls/returns/vector memory, no interior jump
+//! targets), each with a precomputed shape (machine ops, scalar memory
+//! references, branches, FLOPs). At run time a block whose fuel and
+//! [`mperf_sim::Core::block_ready`] guards hold executes with eager
+//! timing but a *deferred* PMU tick: every template applies its
+//! cycle/cache/branch effects immediately (so `Core::cycles` stays
+//! exact mid-block) while event deltas accumulate in a `BlockAcc`,
+//! committed as one `Core::retire_block` tick — blocks of 6–20 ops tick
+//! the PMU once instead of per op. Fused sites inside a block execute
+//! as their *constituent templates* (exactly their bail path — the
+//! block already batches the tick, so the one-tick fused retire adds
+//! nothing); outside blocks they run the fused fast path.
+//!
+//! **The observable-invariance contract** (same as fusion's and
+//! regalloc's): return values, `ExecStats`, cycles, instructions, PMU
+//! counter files, and sampling IPs/callchains are bit-identical to the
+//! decoded and reference engines — property-tested across the full
+//! engine × fusion × regalloc matrix on all four platform models.
+//! Near a counter wrap `block_ready` refuses the block and the
+//! templates run one by one with per-op ticks (exact overflow
+//! attribution, as everywhere else); a trap mid-block commits the
+//! partial accumulator first (counters are additive, so the split is
+//! unobservable) and propagates.
+//!
+//! **Adding a `DecodedOp`** now means: give it a template thunk
+//! (generic over `const DEFER: bool` for the single/block retire
+//! lanes), bind it in `threaded::bind`, and classify it in
+//! `threaded::unit_cost`; the equivalence properties gate the
+//! observables. `--engine threaded|decoded|reference` is wired through
+//! `miniperf` and `bench_trajectory` for bisection.
+//!
 //! ## The `Arc`/`Send` contract
 //!
 //! The roofline methodology is a *sweep*: every chart multiplies
@@ -185,6 +244,7 @@ pub mod interp;
 pub mod lower;
 pub mod memory;
 pub mod regalloc;
+pub mod threaded;
 pub mod value;
 
 pub use decode::{

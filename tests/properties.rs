@@ -29,14 +29,16 @@ const EQUIV_TEMPLATES: &[&str] = &[
             return acc;
         }
     "#,
-    // Memory-heavy: strided loads and stores.
+    // Memory-heavy: strided loads and stores, plus a flop-free unary
+    // negation in straight-line code (a superblock shape whose
+    // instruction events once leaked between the block tick lanes).
     r#"
         fn main(p: *i64, n: i64) -> i64 {
             for (var i: i64 = 0; i < n; i = i + 1) {
-                p[i % 32] = p[(i * 7) % 32] + i;
+                p[i % 32] = -p[(i * 7) % 32] + i;
             }
             var s: i64 = 0;
-            for (var j: i64 = 0; j < 32; j = j + 1) { s = s + p[j]; }
+            for (var j: i64 = 0; j < 32; j = j + 1) { s = s + (-s ^ p[j]); }
             return s;
         }
     "#,
@@ -76,6 +78,19 @@ const DECODED_CONFIGS: [(&str, bool, bool); 4] = [
     ("regalloc", false, true),
     ("bare", false, false),
 ];
+
+/// The full engine × pass matrix pinned against the reference engine:
+/// the decoded (match-dispatch) and threaded (template + superblock)
+/// engines, each across the fusion × regalloc combinations.
+fn engine_matrix() -> Vec<(String, Engine, bool, bool)> {
+    let mut m = Vec::new();
+    for (engine, ename) in [(Engine::Decoded, "decoded"), (Engine::Threaded, "threaded")] {
+        for (label, fuse, regalloc) in DECODED_CONFIGS {
+            m.push((format!("{ename}/{label}"), engine, fuse, regalloc));
+        }
+    }
+    m
+}
 
 /// Run one template on one platform/engine; returns every observable:
 /// (ret, stats, cycles, instructions, pmu counters).
@@ -231,9 +246,9 @@ proptest! {
         ] {
             let reference =
                 run_equiv(&module, spec.clone(), Engine::Reference, true, true, &data, n);
-            for (label, fuse, regalloc) in DECODED_CONFIGS {
+            for (label, engine, fuse, regalloc) in engine_matrix() {
                 let decoded = run_equiv(
-                    &module, spec.clone(), Engine::Decoded, fuse, regalloc, &data, n,
+                    &module, spec.clone(), engine, fuse, regalloc, &data, n,
                 );
                 prop_assert_eq!(
                     &reference.0, &decoded.0,
@@ -319,6 +334,22 @@ proptest! {
         let mut serial_runs = Vec::new();
         for spec in &specs {
             let serial = run_roofline_jobs(&module, spec, entry, &setup, 1).unwrap();
+            // The sweep defaults to the threaded engine; the decoded
+            // engine must produce the identical run (cross-engine sweep
+            // identity), so parallel threaded ≡ serial decoded too.
+            let decoded_cfg = mperf_vm::ExecConfig {
+                engine: Engine::Decoded,
+                fuse: true,
+                regalloc: true,
+            };
+            let decoded = miniperf::run_roofline_jobs_cfg(
+                &module, spec, entry, &setup, 1, decoded_cfg,
+            )
+            .unwrap();
+            prop_assert_eq!(
+                &serial, &decoded,
+                "threaded sweep diverges from decoded sweep ({})", spec.name
+            );
             for jobs in [2usize, 4] {
                 let parallel = run_roofline_jobs(&module, spec, entry, &setup, jobs).unwrap();
                 // Field-by-field on the named observables first (sharper
@@ -387,8 +418,8 @@ proptest! {
             (format!("{err:?}"), vm.stats(), vm.core.cycles())
         };
         let reference = run(Engine::Reference, true, true);
-        for (label, fuse, regalloc) in DECODED_CONFIGS {
-            prop_assert_eq!(&reference, &run(Engine::Decoded, fuse, regalloc), "{}", label);
+        for (label, engine, fuse, regalloc) in engine_matrix() {
+            prop_assert_eq!(&reference, &run(engine, fuse, regalloc), "{}", label);
         }
     }
 
@@ -431,8 +462,8 @@ proptest! {
             (format!("{r:?}"), vm.stats(), vm.core.cycles())
         };
         let reference = run(Engine::Reference, true, true);
-        for (label, fuse, regalloc) in DECODED_CONFIGS {
-            prop_assert_eq!(&reference, &run(Engine::Decoded, fuse, regalloc), "{}", label);
+        for (label, engine, fuse, regalloc) in engine_matrix() {
+            prop_assert_eq!(&reference, &run(engine, fuse, regalloc), "{}", label);
         }
     }
 }
@@ -515,8 +546,8 @@ fn decoded_engine_sampling_matches_reference() {
         ref_taken > 5,
         "expected a healthy sample stream: {ref_taken}"
     );
-    for (label, fuse, regalloc) in DECODED_CONFIGS {
-        let (samples, taken) = run(Engine::Decoded, fuse, regalloc);
+    for (label, engine, fuse, regalloc) in engine_matrix() {
+        let (samples, taken) = run(engine, fuse, regalloc);
         assert_eq!(ref_taken, taken, "sample counts diverge ({label})");
         assert_eq!(
             ref_samples, samples,
