@@ -86,6 +86,8 @@ struct Opts {
     regalloc: bool,
     check: bool,
     max_jobs: usize,
+    journal: Option<std::path::PathBuf>,
+    resume: bool,
 }
 
 impl Opts {
@@ -134,12 +136,14 @@ fn parse_opts() -> Opts {
         regalloc: true,
         check: false,
         max_jobs: 4,
+        journal: None,
+        resume: false,
     };
     let usage = |msg: &str| -> ! {
         eprintln!("bench_trajectory: {msg}");
         eprintln!(
             "usage: bench_trajectory [--out PATH] [--sweep-out PATH] [--jobs N] [--full] \
-             [--no-fuse] [--no-regalloc] [--check]"
+             [--no-fuse] [--no-regalloc] [--journal PATH] [--resume] [--check]"
         );
         std::process::exit(2);
     };
@@ -162,6 +166,11 @@ fn parse_opts() -> Opts {
             "--full" => opts.full = true,
             "--no-fuse" => opts.fuse = false,
             "--no-regalloc" => opts.regalloc = false,
+            "--journal" => match args.next() {
+                Some(p) => opts.journal = Some(std::path::PathBuf::from(p)),
+                None => usage("--journal needs a path"),
+            },
+            "--resume" => opts.resume = true,
             "--check" => opts.check = true,
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -171,6 +180,9 @@ fn parse_opts() -> Opts {
     }
     if opts.check && (!opts.fuse || !opts.regalloc) {
         usage("--check gates the production configuration; drop the --no-* flags");
+    }
+    if opts.resume && opts.journal.is_none() {
+        usage("--resume requires --journal");
     }
     opts
 }
@@ -269,9 +281,41 @@ fn measure_check(budget_ms: u64) -> Vec<Guard> {
     guards
 }
 
+/// The checked-in interp baseline, validated just enough to be useful
+/// in the `--check` banner: the file must exist, carry our schema
+/// marker, and name a headline configuration.
+fn baseline_headline(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("checked-in baseline {path} is missing ({e})"))?;
+    if !text.contains("\"schema\": \"mperf-bench-interp/v1\"") {
+        return Err(format!(
+            "checked-in baseline {path} is not an mperf-bench-interp/v1 report \
+             (corrupt or from another tool?)"
+        ));
+    }
+    let key = "\"headline\": \"";
+    let start = text
+        .find(key)
+        .map(|i| i + key.len())
+        .ok_or_else(|| format!("checked-in baseline {path} has no \"headline\" field"))?;
+    let end = text[start..]
+        .find('"')
+        .ok_or_else(|| format!("checked-in baseline {path} is truncated mid-headline"))?;
+    Ok(text[start..start + end].to_string())
+}
+
 /// and human detail to stderr, then exits 0 (all pass) or 1.
-fn run_check() -> ! {
+fn run_check(opts: &Opts) -> ! {
     eprintln!("bench_trajectory --check: measuring threaded/decoded/decoded-noregalloc/seed rows");
+    // The guards measure fresh timings, so a missing/corrupt baseline
+    // is a diagnostic, never a panic or a gate failure.
+    match baseline_headline(&opts.out_path) {
+        Ok(h) => eprintln!("  baseline {}: headline {h}", opts.out_path),
+        Err(msg) => eprintln!(
+            "  note: {msg} — guards run against fresh measurements; \
+             regenerate it with `bench_trajectory`"
+        ),
+    }
     let mut guards = measure_check(120);
     // The speedup guards compare two timings on the same host, so load
     // mostly cancels — but a short budget on a noisy shared runner can
@@ -306,7 +350,7 @@ fn run_check() -> ! {
 fn main() {
     let opts = parse_opts();
     if opts.check {
-        run_check();
+        run_check(&opts);
     }
     println!("{}", opts.config_line());
 
@@ -627,13 +671,14 @@ fn main() {
         }
     }
 
-    run_sweep_scaling(&opts.sweep_out_path, opts.full, opts.max_jobs);
+    run_sweep_scaling(&opts);
 }
 
 /// The sweep-scaling section: run the full `platform × workload`
 /// roofline sweep serially and at rising worker counts, check the
 /// results are bit-identical, and emit `BENCH_sweep.json`.
-fn run_sweep_scaling(out_path: &str, full: bool, max_jobs: usize) {
+fn run_sweep_scaling(opts: &Opts) {
+    let (out_path, full, max_jobs) = (&opts.sweep_out_path, opts.full, opts.max_jobs);
     let host_cpus = mperf_sweep::default_jobs();
     let matrix = SweepMatrix::build(if full { 1.0 } else { 0.25 });
     println!(
@@ -649,8 +694,42 @@ fn run_sweep_scaling(out_path: &str, full: bool, max_jobs: usize) {
     }
 
     // Warm-up pass so first-touch costs (lazy pages, allocator growth)
-    // don't land on the serial measurement.
-    let (_, reference) = matrix.run_at(1);
+    // don't land on the serial measurement. With `--journal` this pass
+    // runs under the fault-tolerant supervisor, checkpointing every
+    // cell; `--resume` then satisfies already-journaled cells so an
+    // interrupted run restarts with only the remaining cells.
+    let reference: Vec<_> = if let Some(path) = &opts.journal {
+        let (_, sweep) = match matrix.run_supervised(1, Some(path.clone()), opts.resume) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench_trajectory: cannot open sweep journal: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !sweep.resumed.is_empty() {
+            println!(
+                "  reference pass: {}/{} cells resumed from {}",
+                sweep.resumed.len(),
+                matrix.len(),
+                path.display()
+            );
+        }
+        if !sweep.report.all_ok() {
+            for f in &sweep.report.failed {
+                eprintln!("  cell {} failed: {}", f.index, f.error);
+            }
+            eprintln!(
+                "bench_trajectory: {} sweep cell(s) failed, {} skipped; completed cells \
+                 are journaled — re-run with --resume to retry only the rest",
+                sweep.report.failed.len(),
+                sweep.report.skipped.len()
+            );
+            std::process::exit(1);
+        }
+        sweep.report.results.into_iter().flatten().collect()
+    } else {
+        matrix.run_at(1).1
+    };
 
     let mut rows = Vec::new();
     let mut serial_ms = 0.0f64;

@@ -8,11 +8,16 @@
 //! jobs. `jobs = 1` is the serial sweep the parallel timings are
 //! compared — and bit-identity-checked — against.
 
-use miniperf::{run_roofline_sweep, RooflineJob, RooflineRun};
+use miniperf::{
+    run_roofline_sweep, run_roofline_sweep_supervised, RooflineJob, RooflineRun, SupervisedSweep,
+    SweepOptions,
+};
 use mperf_ir::Module;
 use mperf_sim::Platform;
+use mperf_sweep::JournalError;
 use mperf_vm::{Value, Vm, VmError};
 use mperf_workloads::{matmul::MatmulBench, stencil::StencilBench, stream::StreamBench};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// The per-cell setup dispatch (bench param structs are all `Copy`).
@@ -139,9 +144,46 @@ impl SweepMatrix {
         let wall = t0.elapsed();
         let runs = results
             .into_iter()
-            .map(|r| r.expect("sweep cell runs"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|e| {
+                    let c = &self.cells[i];
+                    panic!(
+                        "sweep cell {i} ({} on {}) trapped: {e}",
+                        c.entry,
+                        c.platform.spec().name
+                    )
+                })
+            })
             .collect();
         (wall, runs)
+    }
+
+    /// Run the full sweep under the fault-tolerant supervisor,
+    /// optionally checkpointing every completed cell to `journal` and
+    /// (with `resume`) satisfying already-journaled cells without
+    /// re-executing them. Completed cells are bit-identical to
+    /// [`SweepMatrix::run_at`].
+    ///
+    /// # Errors
+    /// Journal open failures (bad path, foreign file); per-cell
+    /// failures are reported inside the returned [`SupervisedSweep`].
+    pub fn run_supervised(
+        &self,
+        threads: usize,
+        journal: Option<PathBuf>,
+        resume: bool,
+    ) -> Result<(Duration, SupervisedSweep), JournalError> {
+        let jobs = self.jobs();
+        let opts = SweepOptions {
+            jobs: threads,
+            journal,
+            resume,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let sweep = run_roofline_sweep_supervised(&jobs, &opts)?;
+        Ok((t0.elapsed(), sweep))
     }
 }
 
@@ -156,5 +198,25 @@ mod tests {
         let (_, serial) = matrix.run_at(1);
         let (_, parallel) = matrix.run_at(4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn supervised_matches_direct_and_resumes_from_journal() {
+        let matrix = SweepMatrix::build(0.15);
+        let (_, direct) = matrix.run_at(1);
+        let path = std::env::temp_dir().join(format!("mperf-bench-jrn-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (_, sweep) = matrix.run_supervised(2, Some(path.clone()), false).unwrap();
+        assert!(sweep.report.all_ok());
+        assert!(sweep.resumed.is_empty());
+        let runs: Vec<RooflineRun> = sweep.report.results.into_iter().flatten().collect();
+        assert_eq!(runs, direct);
+        // A resume pass satisfies every cell from the journal,
+        // byte-identical to re-execution.
+        let (_, resumed) = matrix.run_supervised(1, Some(path.clone()), true).unwrap();
+        assert_eq!(resumed.resumed.len(), matrix.len());
+        let runs: Vec<RooflineRun> = resumed.report.results.into_iter().flatten().collect();
+        assert_eq!(runs, direct);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -10,10 +10,15 @@
 
 use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
 use miniperf::report::{text_table, thousands};
-use miniperf::{hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, stat, RecordConfig};
+use miniperf::{
+    hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, run_roofline_sweep_supervised,
+    stat, RecordConfig, RooflineJob, SweepOptions,
+};
 use mperf_event::{EventKind, HwCounter, PerfKernel};
 use mperf_sim::{Core, Platform};
+use mperf_sweep::RetryPolicy;
 use mperf_vm::{Engine, ExecConfig, Value, Vm, VmError};
+use std::path::PathBuf;
 
 const DEMO: &str = r#"
     fn inner(p: *i64, n: i64) -> i64 {
@@ -61,6 +66,10 @@ commands:
   record     sample a demo workload and print hotspots + folded stacks
   stat       count hardware events over the demo workload
   roofline   two-phase roofline of a triad kernel (plus machine roofs)
+  sweep      supervised triad roofline across every platform model:
+             panics and traps are isolated per cell, transient failures
+             retry, and healthy cells always complete (exit 0 = all
+             cells ok, 3 = partial results, 4 = fatal or no results)
 
 options:
   --platform <x60|c910|u74|i5>   platform model (default: x60)
@@ -78,6 +87,15 @@ options:
   --no-regalloc                  disable decode-time register allocation /
                                  copy coalescing (identical measurements,
                                  slower execution)
+  --journal <PATH>               checkpoint journal for `sweep`: every
+                                 completed cell is appended (crash-safe,
+                                 torn tails are recovered on open)
+  --resume                       satisfy `sweep` cells from the journal
+                                 instead of re-executing them (requires
+                                 --journal; the final report is
+                                 byte-identical to an uninterrupted run)
+  --retries <N>                  attempts per sweep cell before it is
+                                 quarantined (default: 3; 1 = no retries)
   -h, --help                     print this help
 
 Every report starts with a `config:` line naming the engine, fusion, and
@@ -89,6 +107,9 @@ struct Opts {
     period: u64,
     jobs: usize,
     exec: ExecConfig,
+    journal: Option<PathBuf>,
+    resume: bool,
+    retries: u32,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -117,6 +138,9 @@ fn parse_opts(args: &[String]) -> Opts {
         period: 9_973,
         jobs: mperf_sweep::default_jobs(),
         exec: ExecConfig::default(),
+        journal: None,
+        resume: false,
+        retries: 3,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -149,12 +173,25 @@ fn parse_opts(args: &[String]) -> Opts {
             },
             "--no-fuse" => opts.exec.fuse = false,
             "--no-regalloc" => opts.exec.regalloc = false,
+            "--journal" => match it.next() {
+                Some(v) => opts.journal = Some(PathBuf::from(v)),
+                None => usage_error("--journal needs a path"),
+            },
+            "--resume" => opts.resume = true,
+            "--retries" => match it.next().map(|v| (v, v.parse::<u32>())) {
+                Some((_, Ok(v))) if v > 0 => opts.retries = v,
+                Some((v, _)) => usage_error(&format!("bad --retries {v:?}")),
+                None => usage_error("--retries needs a value"),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             other => usage_error(&format!("unknown option {other:?}")),
         }
+    }
+    if opts.resume && opts.journal.is_none() {
+        usage_error("--resume requires --journal");
     }
     opts
 }
@@ -295,14 +332,10 @@ fn cmd_stat(opts: &Opts) {
     }
 }
 
-fn cmd_roofline(opts: &Opts) {
-    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
-    println!("{}", opts.config_line());
-    let mut module = mperf_workloads_compile(opts.platform, KERNEL).expect("kernel compiles");
-    InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
-    let spec = opts.platform.spec();
-    let n = 32_768u64;
-    let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> {
+/// Stage the triad operands: three 64-byte-aligned f64 arrays plus the
+/// trip count and scalar.
+fn triad_setup(n: u64) -> impl Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Send + Sync {
+    move |vm: &mut Vm| {
         let a = vm.mem.alloc(n * 8, 64)?;
         let b = vm.mem.alloc(n * 8, 64)?;
         let c = vm.mem.alloc(n * 8, 64)?;
@@ -317,12 +350,34 @@ fn cmd_roofline(opts: &Opts) {
             Value::I64(n as i64),
             Value::F64(3.0),
         ])
-    };
+    }
+}
+
+/// The triad kernel, compiled + instrumented for one platform's vector
+/// capabilities.
+fn triad_module(platform: Platform) -> mperf_ir::Module {
+    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
+    let mut module = mperf_workloads_compile(platform, KERNEL).expect("kernel compiles");
+    InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
+    module
+}
+
+fn cmd_roofline(opts: &Opts) {
+    println!("{}", opts.config_line());
+    let module = triad_module(opts.platform);
+    let spec = opts.platform.spec();
+    let setup = triad_setup(32_768);
     // Baseline + instrumented phases run as independent sweep jobs; the
     // machine characterization fans its memset/triad kernels out the
     // same way.
-    let run = run_roofline_jobs_cfg(&module, &spec, "triad", &setup, opts.jobs, opts.exec)
-        .expect("roofline run");
+    let run = match run_roofline_jobs_cfg(&module, &spec, "triad", &setup, opts.jobs, opts.exec) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("roofline failed: {e}");
+            eprintln!("hint: `miniperf sweep` isolates per-platform failures.");
+            std::process::exit(1);
+        }
+    };
     let r = &run.regions[0];
     if run.unbalanced_ends > 0 {
         eprintln!(
@@ -348,6 +403,117 @@ fn cmd_roofline(opts: &Opts) {
     print!("{}", mperf_roofline::plot::ascii(&model, 64, 16));
 }
 
+/// Supervised roofline sweep of the triad kernel across every platform
+/// model. Each cell is panic-isolated and retried per `--retries`;
+/// healthy cells always complete and are reported even when others
+/// fail. Exit status: 0 = every cell completed, 3 = partial results,
+/// 4 = fatal failure or no results at all.
+fn cmd_sweep(opts: &Opts) -> i32 {
+    println!(
+        "config: sweep platforms={} {} jobs={} retries={}{}{}",
+        Platform::ALL.len(),
+        opts.exec.describe(),
+        opts.jobs,
+        opts.retries,
+        opts.journal
+            .as_ref()
+            .map(|p| format!(" journal={}", p.display()))
+            .unwrap_or_default(),
+        if opts.resume { " resume" } else { "" },
+    );
+    let n = 32_768u64;
+    let modules: Vec<mperf_ir::Module> = Platform::ALL.iter().map(|&p| triad_module(p)).collect();
+    let cells: Vec<RooflineJob> = modules
+        .iter()
+        .zip(Platform::ALL)
+        .map(|(module, p)| RooflineJob {
+            module,
+            decoded: None,
+            spec: p.spec(),
+            entry: "triad".into(),
+            setup: Box::new(triad_setup(n)),
+        })
+        .collect();
+    let sweep_opts = SweepOptions {
+        jobs: opts.jobs,
+        cfg: opts.exec,
+        policy: RetryPolicy {
+            max_attempts: opts.retries,
+            retry_panics: true,
+        },
+        journal: opts.journal.clone(),
+        resume: opts.resume,
+    };
+    let sweep = match run_roofline_sweep_supervised(&cells, &sweep_opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep failed before any cell ran: {e}");
+            return 4;
+        }
+    };
+    let report = &sweep.report;
+    for (i, cell) in cells.iter().enumerate() {
+        let retries = report.retried.iter().filter(|(idx, _)| *idx == i).count();
+        let tag = if sweep.resumed.contains(&i) {
+            " [resumed]".to_string()
+        } else if retries > 0 {
+            format!(
+                " [{retries} retr{}]",
+                if retries == 1 { "y" } else { "ies" }
+            )
+        } else {
+            String::new()
+        };
+        match &report.results[i] {
+            Some(run) => {
+                let r = &run.regions[0];
+                println!(
+                    "  {:<22} triad {:>6.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x){tag}",
+                    run.platform_name,
+                    r.gflops(run.freq_hz),
+                    r.ai(),
+                    r.overhead_factor()
+                );
+            }
+            None => {
+                if let Some(f) = report.failed.iter().find(|f| f.index == i) {
+                    let why = if f.quarantined {
+                        format!("quarantined after {} attempts", f.attempts)
+                    } else {
+                        format!("attempt {}", f.attempts)
+                    };
+                    println!(
+                        "  {:<22} triad FAILED ({why}): {}{tag}",
+                        cell.spec.name, f.error
+                    );
+                } else {
+                    println!(
+                        "  {:<22} triad SKIPPED (sweep cancelled by a fatal failure)",
+                        cell.spec.name
+                    );
+                }
+            }
+        }
+    }
+    let completed = report.completed();
+    println!(
+        "sweep: {completed}/{} cells completed, {} failed, {} skipped, \
+         {} retries granted, {} resumed from journal",
+        cells.len(),
+        report.failed.len(),
+        report.skipped.len(),
+        report.retried.len(),
+        sweep.resumed.len()
+    );
+    if report.all_ok() {
+        0
+    } else if completed > 0 && report.skipped.is_empty() {
+        3
+    } else {
+        4
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -363,6 +529,7 @@ fn main() {
         "record" => cmd_record(&opts),
         "stat" => cmd_stat(&opts),
         "roofline" => cmd_roofline(&opts),
+        "sweep" => std::process::exit(cmd_sweep(&opts)),
         other => usage_error(&format!("unknown command {other:?}")),
     }
 }

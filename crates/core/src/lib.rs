@@ -28,6 +28,7 @@ pub mod record;
 pub mod report;
 pub mod roofline_runner;
 pub mod stat;
+pub mod sweep_supervisor;
 pub mod tma;
 
 pub use detect::{detect, probe_sampling, Detected, SamplingStrategy, SamplingSupport};
@@ -39,3 +40,6 @@ pub use roofline_runner::{
     RegionMeasurement, RooflineJob, RooflineRun, SetupFn,
 };
 pub use stat::{stat, StatReport};
+pub use sweep_supervisor::{
+    run_roofline_sweep_supervised, SupervisedSweep, SweepCellError, SweepOptions,
+};

@@ -164,9 +164,9 @@ pub struct RooflineJob<'a> {
 }
 
 /// Raw output of one phase job, pre-correlation.
-struct PhaseOutput {
+pub(crate) struct PhaseOutput {
     regions: Vec<(u32, RegionStats)>,
-    obs: PhaseObservables,
+    pub(crate) obs: PhaseObservables,
 }
 
 /// Execute one phase of one cell on a fresh VM sharing `decoded`.
@@ -179,13 +179,42 @@ fn run_phase(
     phase: Phase,
     engine: mperf_vm::Engine,
 ) -> Result<PhaseOutput, VmError> {
+    run_phase_opts(module, decoded, spec, entry, setup, phase, engine, None).map_err(|(e, _)| e)
+}
+
+/// [`run_phase`] with an optional fuel clamp (the supervised sweep's
+/// injected fuel-exhaustion fault) and, on error, the trap site the VM
+/// captured alongside it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_phase_opts(
+    module: &Module,
+    decoded: &Arc<DecodedModule>,
+    spec: &PlatformSpec,
+    entry: &str,
+    setup: SetupFn,
+    phase: Phase,
+    engine: mperf_vm::Engine,
+    fuel: Option<u64>,
+) -> Result<PhaseOutput, (VmError, Option<mperf_vm::TrapInfo>)> {
     let mut vm = Vm::new(module, Core::new(spec.clone()));
     vm.set_decoded(Arc::clone(decoded));
     vm.set_engine(engine);
+    if let Some(f) = fuel {
+        vm.set_fuel(f);
+    }
     vm.roofline.instrumented = phase.instrumented();
-    let args = setup(&mut vm)?;
+    let trap_of = |vm: &Vm, e: VmError| {
+        let t = vm.trap_info().cloned();
+        (e, t)
+    };
+    let args = match setup(&mut vm) {
+        Ok(a) => a,
+        Err(e) => return Err(trap_of(&vm, e)),
+    };
     let t0 = vm.core.cycles();
-    vm.call(entry, &args)?;
+    if let Err(e) = vm.call(entry, &args) {
+        return Err(trap_of(&vm, e));
+    }
     let total_cycles = vm.core.cycles() - t0;
     let pmu = (0..NUM_COUNTERS).map(|i| vm.core.pmu().read(i)).collect();
     Ok(PhaseOutput {
@@ -206,7 +235,7 @@ fn run_phase(
 /// remainder, and users care about the *source* loop (`LoopInfo{line,
 /// func}` in the paper). Region lookups are `HashMap`s keyed by region
 /// id, so correlation is linear in the region count.
-fn correlate(
+pub(crate) fn correlate(
     module: &Module,
     spec: &PlatformSpec,
     base: PhaseOutput,

@@ -1,0 +1,517 @@
+//! Fault-tolerant, resumable roofline sweeps.
+//!
+//! [`run_roofline_sweep_supervised`] runs the same `platform × workload`
+//! cell matrix as [`crate::run_roofline_sweep`], but each cell (both of
+//! its §4.3 phases) executes under the `mperf-sweep` supervisor: a
+//! panicking or trapping cell is isolated and reported with its
+//! faulting pc and function ([`mperf_vm::TrapInfo`]), transient
+//! failures retry with deterministic backoff, and a journal failure
+//! cancels the sweep instead of silently losing checkpoints.
+//!
+//! With a journal attached, every completed cell is appended under a
+//! content-hash key of everything that determines its result: platform
+//! spec name and frequency, entry point, [`ExecConfig`], and the full
+//! printed module text. `resume` then satisfies matching cells straight
+//! from the journal — bit-identical to re-execution, because the
+//! simulation itself is deterministic and the codec is bit-exact
+//! (`f64` fields travel as `to_bits`).
+//!
+//! Failpoints (feature `failpoints`): `sweep.cell`, keyed by cell
+//! index, fires before a cell executes — `Panic` unwinds the job,
+//! `Trap` fails it deterministically, `TransientIo` fails it
+//! retryably, `FuelExhaustion` clamps the cell's fuel so the guest
+//! traps mid-run. `sweep.journal` (in `mperf_sweep::journal`) injects
+//! append failures, which classify as fatal.
+
+use crate::roofline_runner::{
+    correlate, run_phase_opts, PhaseObservables, RegionMeasurement, RooflineJob, RooflineRun,
+};
+use mperf_sim::PlatformSpec;
+use mperf_sweep::journal::{Journal, JournalError};
+use mperf_sweep::supervise::{run_jobs_supervised, FailureClass, RetryPolicy, SweepReport};
+use mperf_sweep::wire::{fnv1a, Dec, Enc, WireError};
+use mperf_sweep::Phase;
+use mperf_vm::{decode_module_cfg, ExecConfig, TrapInfo, VmError};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Journal payload schema version (bumped on codec changes; a bump
+/// changes every key, so stale journals simply miss).
+const SCHEMA: u32 = 1;
+
+/// Why a supervised sweep cell failed.
+#[derive(Debug)]
+pub enum SweepCellError {
+    /// A guest trap (or injected fault) in one of the cell's phases,
+    /// with the trap site when the VM captured one.
+    Trap {
+        phase: Phase,
+        error: VmError,
+        trap: Option<TrapInfo>,
+    },
+    /// The checkpoint journal could not be written — fatal, because
+    /// continuing would silently lose resume state.
+    Journal(String),
+}
+
+impl std::fmt::Display for SweepCellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepCellError::Trap { phase, error, trap } => {
+                let phase = match phase {
+                    Phase::Baseline => "baseline",
+                    Phase::Instrumented => "instrumented",
+                };
+                write!(f, "{phase} phase trapped: {error}")?;
+                if let Some(t) = trap {
+                    write!(f, " ({t})")?;
+                }
+                Ok(())
+            }
+            SweepCellError::Journal(msg) => write!(f, "journal failure: {msg}"),
+        }
+    }
+}
+
+/// The supervisor's failure taxonomy for sweep cells.
+pub fn classify_cell_error(e: &SweepCellError) -> FailureClass {
+    match e {
+        SweepCellError::Journal(_) => FailureClass::Fatal,
+        SweepCellError::Trap { error, .. } => match error {
+            // Injected fuel exhaustion (and fuel misconfiguration)
+            // recovers on retry once the failpoint is spent.
+            VmError::OutOfFuel { .. } => FailureClass::Transient,
+            // The transient-I/O fault family announces itself.
+            VmError::HostFault(msg) if msg.starts_with("transient") => FailureClass::Transient,
+            // Real guest traps are deterministic: retrying reproduces
+            // them bit-for-bit.
+            _ => FailureClass::Permanent,
+        },
+    }
+}
+
+/// Options for [`run_roofline_sweep_supervised`].
+pub struct SweepOptions {
+    /// Worker threads (1 = strictly serial).
+    pub jobs: usize,
+    /// Engine configuration for every cell.
+    pub cfg: ExecConfig,
+    /// Retry/quarantine policy.
+    pub policy: RetryPolicy,
+    /// Checkpoint journal path; `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Satisfy cells from the journal instead of re-executing them
+    /// (requires `journal`).
+    pub resume: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            jobs: 1,
+            cfg: ExecConfig::default(),
+            policy: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// Outcome of a supervised sweep: the per-cell report plus which cells
+/// were satisfied from the journal.
+pub struct SupervisedSweep {
+    /// `results[i]` is cell `i`'s run (`None` = failed or skipped);
+    /// completed slots are bit-identical to a fault-free serial sweep.
+    pub report: SweepReport<RooflineRun, SweepCellError>,
+    /// Cells decoded from the journal instead of executed, in order.
+    pub resumed: Vec<usize>,
+}
+
+/// Content-hash journal key of one cell under one configuration.
+pub fn cell_key(spec: &PlatformSpec, entry: &str, cfg: ExecConfig, module_text: &str) -> u64 {
+    let mut e = Enc::new();
+    e.u32(SCHEMA);
+    e.str(spec.name);
+    e.u64(spec.freq_hz);
+    e.str(entry);
+    e.str(&cfg.describe());
+    e.str(module_text);
+    fnv1a(&e.into_bytes())
+}
+
+fn enc_phase(e: &mut Enc, p: &PhaseObservables) {
+    e.u64(p.total_cycles);
+    e.u64(p.exec.mir_ops);
+    e.u64(p.exec.machine_ops);
+    e.u64(p.exec.calls);
+    e.u64(p.instructions);
+    e.u32(p.pmu.len() as u32);
+    for c in &p.pmu {
+        e.u64(*c);
+    }
+    e.u64(p.unbalanced_ends);
+}
+
+fn dec_phase(d: &mut Dec) -> Result<PhaseObservables, WireError> {
+    let total_cycles = d.u64()?;
+    let exec = mperf_vm::ExecStats {
+        mir_ops: d.u64()?,
+        machine_ops: d.u64()?,
+        calls: d.u64()?,
+    };
+    let instructions = d.u64()?;
+    let n = d.u32()? as usize;
+    let mut pmu = Vec::with_capacity(n);
+    for _ in 0..n {
+        pmu.push(d.u64()?);
+    }
+    Ok(PhaseObservables {
+        total_cycles,
+        exec,
+        instructions,
+        pmu,
+        unbalanced_ends: d.u64()?,
+    })
+}
+
+/// Encode a completed run as a journal payload (bit-exact roundtrip).
+pub fn encode_run(run: &RooflineRun) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(run.platform_name);
+    e.u64(run.freq_hz);
+    e.u32(run.regions.len() as u32);
+    for r in &run.regions {
+        e.u32(r.region_id);
+        e.str(&r.source_func);
+        e.u32(r.line);
+        e.u8(r.has_calls as u8);
+        e.u64(r.flops);
+        e.u64(r.loaded_bytes);
+        e.u64(r.stored_bytes);
+        e.u64(r.int_ops);
+        e.u64(r.invocations);
+        e.u64(r.baseline_cycles);
+        e.u64(r.instrumented_cycles);
+        e.u64(r.unbalanced_ends);
+    }
+    e.u64(run.baseline_total_cycles);
+    e.u64(run.instrumented_total_cycles);
+    e.u64(run.unbalanced_ends);
+    enc_phase(&mut e, &run.baseline);
+    enc_phase(&mut e, &run.instrumented);
+    e.into_bytes()
+}
+
+/// Decode a journal payload back into a run. `spec` must be the cell's
+/// platform: the payload's platform name is checked against it (and the
+/// run's `&'static` name is taken from the spec, since the journal
+/// cannot carry static strings).
+pub fn decode_run(bytes: &[u8], spec: &PlatformSpec) -> Result<RooflineRun, String> {
+    let mut d = Dec::new(bytes);
+    let inner = |d: &mut Dec| -> Result<RooflineRun, WireError> {
+        let name = d.str()?;
+        if name != spec.name {
+            // Key collisions across platforms are astronomically
+            // unlikely, but a mismatch must never fabricate a run.
+            return Err(WireError::Truncated);
+        }
+        let freq_hz = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut regions = Vec::with_capacity(n);
+        for _ in 0..n {
+            regions.push(RegionMeasurement {
+                region_id: d.u32()?,
+                source_func: d.str()?,
+                line: d.u32()?,
+                has_calls: d.u8()? != 0,
+                flops: d.u64()?,
+                loaded_bytes: d.u64()?,
+                stored_bytes: d.u64()?,
+                int_ops: d.u64()?,
+                invocations: d.u64()?,
+                baseline_cycles: d.u64()?,
+                instrumented_cycles: d.u64()?,
+                unbalanced_ends: d.u64()?,
+            });
+        }
+        Ok(RooflineRun {
+            platform_name: spec.name,
+            freq_hz,
+            regions,
+            baseline_total_cycles: d.u64()?,
+            instrumented_total_cycles: d.u64()?,
+            unbalanced_ends: d.u64()?,
+            baseline: dec_phase(d)?,
+            instrumented: dec_phase(d)?,
+        })
+    };
+    let run = inner(&mut d).map_err(|e| format!("corrupt journal payload: {e}"))?;
+    d.finish()
+        .map_err(|e| format!("corrupt journal payload: {e}"))?;
+    Ok(run)
+}
+
+/// Run a roofline sweep under supervision: panic isolation, retry with
+/// quarantine, trap-site reporting, and (optionally) checkpoint
+/// journaling with resume. Completed cells are bit-identical to a
+/// fault-free serial [`crate::run_roofline_sweep`] over the same cells
+/// with the same [`ExecConfig`].
+///
+/// # Errors
+/// Only journal *open* problems surface here (bad path, foreign file);
+/// everything that happens while sweeping — including journal append
+/// failures — is reported per cell in the returned report.
+pub fn run_roofline_sweep_supervised(
+    cells: &[RooflineJob],
+    opts: &SweepOptions,
+) -> Result<SupervisedSweep, JournalError> {
+    let journal = match &opts.journal {
+        Some(path) => Some(Mutex::new(Journal::open(path)?)),
+        None => None,
+    };
+    // Per-cell decode (cells may share one) and journal key.
+    let decodes: Vec<_> = cells
+        .iter()
+        .map(|c| {
+            c.decoded
+                .clone()
+                .unwrap_or_else(|| decode_module_cfg(c.module, opts.cfg.decode()))
+        })
+        .collect();
+    let keys: Vec<u64> = cells
+        .iter()
+        .map(|c| cell_key(&c.spec, &c.entry, opts.cfg, &c.module.to_string()))
+        .collect();
+
+    // Resume: satisfy cells straight from the journal.
+    let mut prefilled: Vec<Option<RooflineRun>> = Vec::with_capacity(cells.len());
+    prefilled.resize_with(cells.len(), || None);
+    let mut resumed = Vec::new();
+    if opts.resume {
+        if let Some(j) = &journal {
+            let j = j.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, cell) in cells.iter().enumerate() {
+                if let Some(payload) = j.lookup(keys[i]) {
+                    // A payload that fails to decode is treated as a
+                    // miss — the cell simply re-executes.
+                    if let Ok(run) = decode_run(payload, &cell.spec) {
+                        prefilled[i] = Some(run);
+                        resumed.push(i);
+                    }
+                }
+            }
+        }
+    }
+    let pending: Vec<usize> = (0..cells.len())
+        .filter(|i| prefilled[*i].is_none())
+        .collect();
+
+    // One supervised job per pending cell: both phases, serially, so
+    // retry/journal granularity is the cell.
+    let inner = run_jobs_supervised(
+        &pending,
+        opts.jobs,
+        &opts.policy,
+        |_, &ci, _ctx| -> Result<RooflineRun, SweepCellError> {
+            let cell = &cells[ci];
+            let mut fuel = None;
+            if let Some(kind) = mperf_fault::hit("sweep.cell", ci as u64) {
+                match kind {
+                    mperf_fault::FaultKind::Panic => {
+                        mperf_fault::injected_panic("sweep.cell", ci as u64)
+                    }
+                    mperf_fault::FaultKind::Trap => {
+                        return Err(SweepCellError::Trap {
+                            phase: Phase::Baseline,
+                            error: VmError::HostFault("injected trap".into()),
+                            trap: None,
+                        })
+                    }
+                    mperf_fault::FaultKind::TransientIo => {
+                        return Err(SweepCellError::Trap {
+                            phase: Phase::Baseline,
+                            error: VmError::HostFault("transient i/o (injected)".into()),
+                            trap: None,
+                        })
+                    }
+                    mperf_fault::FaultKind::FuelExhaustion => fuel = Some(10),
+                }
+            }
+            let mut phases = Vec::with_capacity(2);
+            for phase in Phase::BOTH {
+                match run_phase_opts(
+                    cell.module,
+                    &decodes[ci],
+                    &cell.spec,
+                    &cell.entry,
+                    &*cell.setup,
+                    phase,
+                    opts.cfg.engine,
+                    fuel,
+                ) {
+                    Ok(out) => phases.push(out),
+                    Err((error, trap)) => return Err(SweepCellError::Trap { phase, error, trap }),
+                }
+            }
+            let inst = phases.pop().expect("instrumented phase ran");
+            let base = phases.pop().expect("baseline phase ran");
+            let run = correlate(cell.module, &cell.spec, base, inst);
+            if let Some(j) = &journal {
+                let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+                j.append(keys[ci], &encode_run(&run))
+                    .map_err(|e| SweepCellError::Journal(e.to_string()))?;
+            }
+            Ok(run)
+        },
+        classify_cell_error,
+    );
+
+    // Fold the pending-index report back onto cell indexes.
+    let mut report = SweepReport {
+        results: prefilled,
+        failed: inner
+            .failed
+            .into_iter()
+            .map(|mut f| {
+                f.index = pending[f.index];
+                f
+            })
+            .collect(),
+        retried: inner
+            .retried
+            .into_iter()
+            .map(|(i, a)| (pending[i], a))
+            .collect(),
+        skipped: inner.skipped.into_iter().map(|i| pending[i]).collect(),
+    };
+    for (slot, r) in inner.results.into_iter().enumerate() {
+        if let Some(run) = r {
+            report.results[pending[slot]] = Some(run);
+        }
+    }
+    Ok(SupervisedSweep { report, resumed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_codec_roundtrips_bit_exactly() {
+        let run = RooflineRun {
+            platform_name: "SpacemiT X60",
+            freq_hz: 1_600_000_000,
+            regions: vec![RegionMeasurement {
+                region_id: 3,
+                source_func: "triad".into(),
+                line: 7,
+                has_calls: true,
+                flops: 123,
+                loaded_bytes: 456,
+                stored_bytes: 789,
+                int_ops: 10,
+                invocations: 2,
+                baseline_cycles: 999,
+                instrumented_cycles: 1234,
+                unbalanced_ends: 0,
+            }],
+            baseline_total_cycles: 5000,
+            instrumented_total_cycles: 6000,
+            unbalanced_ends: 1,
+            baseline: PhaseObservables {
+                total_cycles: 5000,
+                exec: mperf_vm::ExecStats {
+                    mir_ops: 1,
+                    machine_ops: 2,
+                    calls: 3,
+                },
+                instructions: 4,
+                pmu: vec![0, 1, 2, 3],
+                unbalanced_ends: 0,
+            },
+            instrumented: PhaseObservables {
+                total_cycles: 6000,
+                exec: mperf_vm::ExecStats {
+                    mir_ops: 5,
+                    machine_ops: 6,
+                    calls: 7,
+                },
+                instructions: 8,
+                pmu: vec![9, 10],
+                unbalanced_ends: 1,
+            },
+        };
+        let spec = PlatformSpec::x60();
+        assert_eq!(spec.name, "SpacemiT X60");
+        let bytes = encode_run(&run);
+        let back = decode_run(&bytes, &spec).unwrap();
+        assert_eq!(back, run);
+        // Re-encoding the decoded run is byte-identical.
+        assert_eq!(encode_run(&back), bytes);
+    }
+
+    #[test]
+    fn decode_refuses_platform_mismatch_and_corruption() {
+        let run = RooflineRun {
+            platform_name: "SpacemiT X60",
+            freq_hz: 1,
+            regions: vec![],
+            baseline_total_cycles: 0,
+            instrumented_total_cycles: 0,
+            unbalanced_ends: 0,
+            baseline: PhaseObservables {
+                total_cycles: 0,
+                exec: Default::default(),
+                instructions: 0,
+                pmu: vec![],
+                unbalanced_ends: 0,
+            },
+            instrumented: PhaseObservables {
+                total_cycles: 0,
+                exec: Default::default(),
+                instructions: 0,
+                pmu: vec![],
+                unbalanced_ends: 0,
+            },
+        };
+        let bytes = encode_run(&run);
+        assert!(decode_run(&bytes, &PlatformSpec::c910()).is_err());
+        assert!(decode_run(&bytes[..bytes.len() - 1], &PlatformSpec::x60()).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_run(&trailing, &PlatformSpec::x60()).is_err());
+    }
+
+    #[test]
+    fn cell_key_separates_configurations() {
+        let spec = PlatformSpec::x60();
+        let base = cell_key(&spec, "triad", ExecConfig::default(), "module text");
+        assert_eq!(
+            base,
+            cell_key(&spec, "triad", ExecConfig::default(), "module text"),
+            "stable"
+        );
+        assert_ne!(
+            base,
+            cell_key(
+                &PlatformSpec::c910(),
+                "triad",
+                ExecConfig::default(),
+                "module text"
+            )
+        );
+        assert_ne!(
+            base,
+            cell_key(&spec, "other", ExecConfig::default(), "module text")
+        );
+        let cfg = ExecConfig {
+            fuse: false,
+            ..Default::default()
+        };
+        assert_ne!(base, cell_key(&spec, "triad", cfg, "module text"));
+        assert_ne!(
+            base,
+            cell_key(&spec, "triad", ExecConfig::default(), "other text")
+        );
+    }
+}

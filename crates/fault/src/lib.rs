@@ -1,0 +1,414 @@
+//! # mperf-fault — deterministic, zero-dependency fault injection
+//!
+//! Long `platform × workload × phase` sweeps (the paper's §4.3 roofline
+//! protocol) are only trustworthy at production scale if the machinery
+//! around them survives misbehaving cells. This crate provides the
+//! *controlled* misbehaviour: named failpoints (à la the `fail` crate's
+//! `fail::point!`) that production code probes at interesting sites, and
+//! a seeded [`FaultPlan`] that decides — deterministically — which hits
+//! of which site fire which [`FaultKind`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Compiled out by default.** Without the `failpoints` feature,
+//!    [`hit`] is a `const`-foldable `None` and the registry does not
+//!    exist. Production binaries carry zero code and zero branches for
+//!    this crate.
+//! 2. **Deterministic.** A plan is data: explicit `(site, key)` specs,
+//!    or pseudo-random scatter derived from the plan's seed via a fixed
+//!    SplitMix64 — never host time, never thread timing. The same plan
+//!    against the same execution order of probes fires the same faults.
+//! 3. **Zero dependencies.** `std` only, like the rest of the workspace.
+//!
+//! ## Probing
+//!
+//! Call sites probe with [`hit`] (or the [`fail_point!`] macro) and map
+//! the returned [`FaultKind`] onto their own failure vocabulary:
+//!
+//! ```ignore
+//! if let Some(kind) = mperf_fault::hit("sweep.cell", cell_index as u64) {
+//!     match kind {
+//!         FaultKind::Panic => mperf_fault::injected_panic("sweep.cell", cell_index as u64),
+//!         FaultKind::Trap => return Err(VmError::DivisionByZero { pc: 0 }),
+//!         FaultKind::TransientIo => return Err(VmError::HostFault("transient i/o".into())),
+//!         FaultKind::FuelExhaustion => vm.set_fuel(1),
+//!     }
+//! }
+//! ```
+//!
+//! ## Arming
+//!
+//! Tests arm a plan with [`arm_scoped`], which also serialises armed
+//! sections across test threads (the registry is process-global) and
+//! disarms on drop:
+//!
+//! ```ignore
+//! let _armed = mperf_fault::arm_scoped(
+//!     FaultPlan::new(7).inject("sweep.cell", 2, FaultKind::Panic, 1),
+//! );
+//! ```
+
+use std::fmt;
+
+/// What an armed failpoint injects when it fires. The probe site owns
+/// the mapping onto its local failure vocabulary; the kinds here name
+/// the four failure families the sweep robustness layer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Unwind the probing thread (the site calls [`injected_panic`]).
+    Panic,
+    /// A deterministic guest trap (the site returns its trap error).
+    Trap,
+    /// A transient I/O-style failure: goes away when retried.
+    TransientIo,
+    /// Exhaust the operation budget (the site clamps its fuel).
+    FuelExhaustion,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Trap => "trap",
+            FaultKind::TransientIo => "transient-io",
+            FaultKind::FuelExhaustion => "fuel-exhaustion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One armed failpoint: fire `kind` on the first `times` hits of
+/// `(site, key)`. A `key` of [`FaultSpec::ANY_KEY`] matches every key
+/// probed at the site (hit counts are still tracked per concrete key,
+/// so `times: 1` fires once *per key*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub site: String,
+    pub key: u64,
+    pub kind: FaultKind,
+    pub times: u32,
+}
+
+impl FaultSpec {
+    /// Wildcard key: the spec applies to every key probed at its site.
+    pub const ANY_KEY: u64 = u64::MAX;
+}
+
+/// A deterministic injection plan: a seed plus the armed specs. Pure
+/// data — arming the same plan twice produces identical fault
+/// sequences for identical probe orders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (used by [`FaultPlan::scatter`]).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Arm `site`/`key` to fire `kind` on its first `times` hits.
+    #[must_use]
+    pub fn inject(
+        mut self,
+        site: impl Into<String>,
+        key: u64,
+        kind: FaultKind,
+        times: u32,
+    ) -> FaultPlan {
+        self.specs.push(FaultSpec {
+            site: site.into(),
+            key,
+            kind,
+            times,
+        });
+        self
+    }
+
+    /// Arm `site` for every key (see [`FaultSpec::ANY_KEY`]).
+    #[must_use]
+    pub fn inject_all(self, site: impl Into<String>, kind: FaultKind, times: u32) -> FaultPlan {
+        self.inject(site, FaultSpec::ANY_KEY, kind, times)
+    }
+
+    /// Scatter `count` single-shot faults of `kind` over the key space
+    /// `0..universe` at `site`, choosing distinct keys pseudo-randomly
+    /// from the plan's seed (SplitMix64 — stable across platforms and
+    /// runs). The chosen keys are returned for assertions.
+    pub fn scatter(
+        &mut self,
+        site: impl Into<String>,
+        kind: FaultKind,
+        count: usize,
+        universe: u64,
+    ) -> Vec<u64> {
+        let site = site.into();
+        let mut state = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut chosen: Vec<u64> = Vec::with_capacity(count);
+        while chosen.len() < count && (chosen.len() as u64) < universe {
+            state = splitmix64(&mut state);
+            let key = state % universe.max(1);
+            if !chosen.contains(&key) {
+                chosen.push(key);
+                self.specs.push(FaultSpec {
+                    site: site.clone(),
+                    key,
+                    kind,
+                    times: 1,
+                });
+            }
+        }
+        chosen
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One fired fault, for post-run assertions (see [`drain_log`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub site: String,
+    pub key: u64,
+    pub kind: FaultKind,
+    /// 1-based hit count of `(site, key)` at fire time.
+    pub hit: u32,
+}
+
+/// The panic payload prefix every injected panic carries, so panic
+/// hooks and `catch_unwind` consumers can recognise (and e.g. silence)
+/// injected unwinds without string-matching test-specific text.
+pub const PANIC_PREFIX: &str = "mperf-fault: injected panic";
+
+/// Panic with the canonical injected-panic payload for `site`/`key`.
+/// Call this (rather than a bare `panic!`) when [`hit`] returns
+/// [`FaultKind::Panic`].
+pub fn injected_panic(site: &str, key: u64) -> ! {
+    panic!("{PANIC_PREFIX} at {site}[{key}]");
+}
+
+#[cfg(any(test, feature = "failpoints"))]
+mod registry {
+    use super::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Armed {
+        plan: FaultPlan,
+        /// Hits so far per (spec index, concrete key).
+        hits: HashMap<(usize, u64), u32>,
+        log: Vec<FaultEvent>,
+    }
+
+    static REGISTRY: Mutex<Option<Armed>> = Mutex::new(None);
+
+    /// Serialises armed sections across test threads: the registry is
+    /// process-global, so two concurrently armed plans would interfere.
+    static SCOPE: OnceLock<Mutex<()>> = OnceLock::new();
+
+    fn registry() -> MutexGuard<'static, Option<Armed>> {
+        // A worker thread that panicked *while holding the registry
+        // lock* cannot exist: `probe` drops the guard before any
+        // injected panic unwinds. Recover defensively anyway.
+        REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// An armed registry scope; disarms (and releases the cross-test
+    /// serialisation lock) on drop.
+    pub struct ArmedGuard {
+        _scope: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ArmedGuard {
+        fn drop(&mut self) {
+            *registry() = None;
+        }
+    }
+
+    pub fn arm_scoped(plan: FaultPlan) -> ArmedGuard {
+        let scope = SCOPE
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            // An injected panic unwinding through a test body poisons
+            // nothing we care about: the guard's Drop already disarmed.
+            .unwrap_or_else(|e| e.into_inner());
+        *registry() = Some(Armed {
+            plan,
+            hits: HashMap::new(),
+            log: Vec::new(),
+        });
+        ArmedGuard { _scope: scope }
+    }
+
+    pub fn probe(site: &str, key: u64) -> Option<FaultKind> {
+        let mut reg = registry();
+        let armed = reg.as_mut()?;
+        // First matching spec wins; wildcard specs count hits per
+        // concrete key so `times` bounds each key independently.
+        let idx = armed
+            .plan
+            .specs
+            .iter()
+            .position(|s| s.site == site && (s.key == key || s.key == FaultSpec::ANY_KEY))?;
+        let spec = &armed.plan.specs[idx];
+        let hit = armed.hits.entry((idx, key)).or_insert(0);
+        if *hit >= spec.times {
+            return None;
+        }
+        *hit += 1;
+        let event = FaultEvent {
+            site: site.to_string(),
+            key,
+            kind: spec.kind,
+            hit: *hit,
+        };
+        let kind = spec.kind;
+        armed.log.push(event);
+        Some(kind)
+    }
+
+    pub fn drain_log() -> Vec<FaultEvent> {
+        registry()
+            .as_mut()
+            .map(|a| std::mem::take(&mut a.log))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(any(test, feature = "failpoints"))]
+pub use registry::{arm_scoped, ArmedGuard};
+
+/// Probe the failpoint `site` with `key`. Returns the fault to inject,
+/// or `None` (always `None` when nothing matching is armed — and, with
+/// the `failpoints` feature off, at compile time).
+#[cfg(any(test, feature = "failpoints"))]
+#[inline]
+pub fn hit(site: &str, key: u64) -> Option<FaultKind> {
+    registry::probe(site, key)
+}
+
+/// Feature-off stub: constant `None`, foldable to nothing.
+#[cfg(not(any(test, feature = "failpoints")))]
+#[inline(always)]
+pub fn hit(_site: &str, _key: u64) -> Option<FaultKind> {
+    None
+}
+
+/// Drain the fired-fault log (for post-run assertions). Empty when
+/// nothing is armed or the feature is off.
+#[cfg(any(test, feature = "failpoints"))]
+pub fn drain_log() -> Vec<FaultEvent> {
+    registry::drain_log()
+}
+
+/// Feature-off stub.
+#[cfg(not(any(test, feature = "failpoints")))]
+pub fn drain_log() -> Vec<FaultEvent> {
+    Vec::new()
+}
+
+/// Probe a failpoint: `fail_point!("site", key)` evaluates to
+/// `Option<FaultKind>`. Thin sugar over [`hit`] so probe sites read as
+/// declarations rather than function calls.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        $crate::hit($site, 0)
+    };
+    ($site:expr, $key:expr) => {
+        $crate::hit($site, $key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_probes_fire_nothing() {
+        let _armed = arm_scoped(FaultPlan::default());
+        assert_eq!(hit("anything", 0), None);
+        assert!(drain_log().is_empty());
+    }
+
+    #[test]
+    fn specs_fire_exactly_times_then_pass() {
+        let _armed = arm_scoped(FaultPlan::new(1).inject("s", 3, FaultKind::TransientIo, 2));
+        assert_eq!(hit("s", 3), Some(FaultKind::TransientIo));
+        assert_eq!(hit("s", 3), Some(FaultKind::TransientIo));
+        assert_eq!(hit("s", 3), None, "times exhausted");
+        assert_eq!(hit("s", 4), None, "other keys unaffected");
+        assert_eq!(hit("t", 3), None, "other sites unaffected");
+        let log = drain_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].hit, 1);
+        assert_eq!(log[1].hit, 2);
+    }
+
+    #[test]
+    fn wildcard_counts_per_concrete_key() {
+        let _armed = arm_scoped(FaultPlan::new(1).inject_all("s", FaultKind::Trap, 1));
+        assert_eq!(hit("s", 0), Some(FaultKind::Trap));
+        assert_eq!(hit("s", 0), None, "key 0 exhausted");
+        assert_eq!(
+            hit("s", 9),
+            Some(FaultKind::Trap),
+            "key 9 has its own count"
+        );
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_distinct() {
+        let mut a = FaultPlan::new(42);
+        let ka = a.scatter("s", FaultKind::Panic, 3, 8);
+        let mut b = FaultPlan::new(42);
+        let kb = b.scatter("s", FaultKind::Panic, 3, 8);
+        assert_eq!(ka, kb, "same seed, same keys");
+        assert_eq!(ka.len(), 3);
+        let mut sorted = ka.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "keys are distinct");
+        assert!(ka.iter().all(|k| *k < 8));
+        let mut c = FaultPlan::new(43);
+        let kc = c.scatter("s", FaultKind::Panic, 3, 8);
+        assert_ne!(
+            ka, kc,
+            "different seed, different keys (for this seed pair)"
+        );
+    }
+
+    #[test]
+    fn scatter_saturates_at_universe() {
+        let mut p = FaultPlan::new(7);
+        let keys = p.scatter("s", FaultKind::Trap, 10, 4);
+        assert_eq!(keys.len(), 4, "only 4 distinct keys exist");
+    }
+
+    #[test]
+    fn disarm_on_drop() {
+        {
+            let _armed = arm_scoped(FaultPlan::new(1).inject("s", 0, FaultKind::Panic, 1));
+            assert!(hit("s", 0).is_some());
+        }
+        assert_eq!(hit("s", 0), None, "guard dropped, registry disarmed");
+    }
+
+    #[test]
+    fn injected_panic_payload_is_recognisable() {
+        let err = std::panic::catch_unwind(|| injected_panic("site", 5)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.starts_with(PANIC_PREFIX), "{msg}");
+        assert!(msg.contains("site[5]"), "{msg}");
+    }
+}

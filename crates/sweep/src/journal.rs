@@ -1,0 +1,304 @@
+//! Append-only checkpoint journal for resumable sweeps.
+//!
+//! ## Format
+//!
+//! An 8-byte magic (`MPSWJRN1`) followed by self-delimiting frames:
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(key ‖ payload): u32 LE][key: u64 LE][payload]
+//! ```
+//!
+//! `key` is a content hash of whatever configuration produced the
+//! payload (the sweep layer hashes platform, workload, phase and
+//! `ExecConfig`), so a journal written by one configuration can never
+//! satisfy a resume under another — the key simply misses.
+//!
+//! ## Crash safety
+//!
+//! Appends go straight to the file descriptor; a crash mid-append
+//! leaves a torn final frame. On open, the journal parses frames
+//! front-to-back and stops at the first frame that is truncated or
+//! fails its CRC; everything after that point is discarded by
+//! atomically rewriting the valid prefix (tempfile + rename), so a
+//! recovered journal is always well-formed and appendable. Corruption
+//! is therefore prefix-recoverable: the journal is append-only, and a
+//! bad frame invalidates its suffix, never its prefix.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wire::crc32;
+
+/// File magic: `MPSW` journal, format version 1.
+pub const MAGIC: &[u8; 8] = b"MPSWJRN1";
+
+/// Why a journal could not be opened or written.
+#[derive(Debug)]
+pub enum JournalError {
+    Io(io::Error),
+    /// The file exists but does not start with the journal magic —
+    /// refused rather than truncated, since it is probably not ours.
+    NotAJournal {
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::NotAJournal { path } => {
+                write!(f, "{} is not a sweep journal (bad magic)", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// An open journal: the records that survived recovery plus an append
+/// handle.
+#[derive(Debug)]
+pub struct Journal {
+    file: fs::File,
+    path: PathBuf,
+    entries: Vec<(u64, Vec<u8>)>,
+    truncated_bytes: usize,
+}
+
+impl Journal {
+    /// Opens `path`, creating an empty journal if absent, and recovers
+    /// from a torn tail (see the module docs).
+    ///
+    /// # Errors
+    /// I/O failures, or [`JournalError::NotAJournal`] for an existing
+    /// non-empty file without the magic.
+    pub fn open(path: &Path) -> Result<Journal, JournalError> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        if !bytes.is_empty() && (bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC[..]) {
+            return Err(JournalError::NotAJournal {
+                path: path.to_path_buf(),
+            });
+        }
+        let body = bytes.get(MAGIC.len()..).unwrap_or(&[]);
+        let (entries, valid_body_len) = parse_frames(body);
+        let valid_len = MAGIC.len() + valid_body_len;
+        let truncated_bytes = bytes.len().saturating_sub(valid_len);
+        if bytes.is_empty() {
+            write_atomic(path, MAGIC)?;
+        } else if truncated_bytes > 0 {
+            write_atomic(path, &bytes[..valid_len])?;
+        }
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            entries,
+            truncated_bytes,
+        })
+    }
+
+    /// Records recovered at open plus those appended since, in append
+    /// order. Later records with the same key supersede earlier ones
+    /// (the journal itself does not deduplicate).
+    pub fn entries(&self) -> &[(u64, Vec<u8>)] {
+        &self.entries
+    }
+
+    /// The latest payload appended under `key`, if any.
+    pub fn lookup(&self, key: u64) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Bytes of torn/corrupt tail discarded when the journal was
+    /// opened (0 for a clean open).
+    pub fn truncated_bytes(&self) -> usize {
+        self.truncated_bytes
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and pushes it straight to the OS.
+    ///
+    /// # Errors
+    /// I/O failures (including injected ones: this is the
+    /// `sweep.journal` failpoint, keyed by `key`).
+    pub fn append(&mut self, key: u64, payload: &[u8]) -> Result<(), JournalError> {
+        if let Some(kind) = mperf_fault::hit("sweep.journal", key) {
+            match kind {
+                mperf_fault::FaultKind::Panic => mperf_fault::injected_panic("sweep.journal", key),
+                _ => {
+                    return Err(JournalError::Io(io::Error::other(
+                        "injected transient i/o failure",
+                    )))
+                }
+            }
+        }
+        let mut frame = Vec::with_capacity(16 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&key.to_le_bytes());
+        body.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.entries.push((key, payload.to_vec()));
+        Ok(())
+    }
+}
+
+/// Parses frames front-to-back; returns the decoded records and the
+/// byte length of the valid prefix (everything past it is torn or
+/// corrupt).
+fn parse_frames(buf: &[u8]) -> (Vec<(u64, Vec<u8>)>, usize) {
+    let mut entries = Vec::new();
+    let mut pos = 0;
+    while let Some(header) = buf.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(body) = buf.get(pos + 8..pos + 8 + 8 + len) else {
+            break;
+        };
+        if crc32(body) != crc {
+            break;
+        }
+        let key = u64::from_le_bytes(body[..8].try_into().unwrap());
+        entries.push((key, body[8..].to_vec()));
+        pos += 16 + len;
+    }
+    (entries, pos)
+}
+
+/// Atomic whole-file replace: write a sibling tempfile, flush, rename
+/// over the target (rename is atomic on the same filesystem).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "journal".to_string());
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mperf-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = tmp_path("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert!(j.entries().is_empty());
+            j.append(1, b"first").unwrap();
+            j.append(2, b"second").unwrap();
+            j.append(1, b"first-updated").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.truncated_bytes(), 0);
+        assert_eq!(j.entries().len(), 3);
+        assert_eq!(j.lookup(1), Some(&b"first-updated"[..]));
+        assert_eq!(j.lookup(2), Some(&b"second"[..]));
+        assert_eq!(j.lookup(3), None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let path = tmp_path("torn");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(10, b"aaaa").unwrap();
+            j.append(20, b"bbbbbbbb").unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        let frame1_end = MAGIC.len() + 16 + 4;
+        // Cut the file everywhere inside the second frame: recovery
+        // must keep exactly the first record and leave an appendable
+        // journal.
+        for cut in frame1_end..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let mut j = Journal::open(&path).unwrap();
+            assert_eq!(j.truncated_bytes(), cut - frame1_end, "cut={cut}");
+            assert_eq!(j.entries(), &[(10, b"aaaa".to_vec())], "cut={cut}");
+            j.append(30, b"cc").unwrap();
+            let j2 = Journal::open(&path).unwrap();
+            assert_eq!(j2.entries().len(), 2, "cut={cut}");
+            assert_eq!(j2.lookup(30), Some(&b"cc"[..]));
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_frame_invalidates_its_suffix() {
+        let path = tmp_path("corrupt");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(1, b"good").unwrap();
+            j.append(2, b"flip").unwrap();
+            j.append(3, b"tail").unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte inside the second frame.
+        let second_payload = MAGIC.len() + (16 + 4) + 16;
+        bytes[second_payload] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.entries(), &[(1, b"good".to_vec())]);
+        assert!(j.truncated_bytes() > 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let path = tmp_path("foreign");
+        fs::write(&path, b"definitely not a journal").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(matches!(err, JournalError::NotAJournal { .. }), "{err}");
+        // And untouched.
+        assert_eq!(fs::read(&path).unwrap(), b"definitely not a journal");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_existing_file_becomes_a_fresh_journal() {
+        let path = tmp_path("empty");
+        fs::write(&path, b"").unwrap();
+        let mut j = Journal::open(&path).unwrap();
+        j.append(5, b"x").unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.entries(), &[(5, b"x".to_vec())]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -26,9 +26,46 @@
 //! `Send`, enforced in `mperf-vm`), shares only the immutable
 //! [`mperf_vm::DecodedModule`], and the simulated PMU/cycle state never
 //! observes host time or host thread interleaving.
+//!
+//! ## Fault tolerance, journaling & resume
+//!
+//! Production-scale sweeps (thousands of cells, hours of wall-clock)
+//! must survive misbehaving cells and interrupted runs. Three layers
+//! provide that, each independently testable:
+//!
+//! - [`supervise`] — [`run_jobs_supervised`] wraps every job in
+//!   `catch_unwind`, so a panicking cell becomes a structured
+//!   [`CellError::Panicked`] instead of tearing down the sweep.
+//!   Failures are classified ([`FailureClass`]): *transient* ones
+//!   retry with a deterministic backoff (counted in queue pops, never
+//!   wall-clock) until quarantined, *permanent* ones fail just their
+//!   own cell, and *fatal* ones flip a shared cancellation flag that
+//!   keeps still-queued cells from starting (reported as skipped).
+//!   The [`SweepReport`] keeps the core determinism contract: every
+//!   completed slot is bit-identical to a serial run of the same jobs.
+//! - [`journal`] — an append-only checkpoint file (`MPSWJRN1`) of
+//!   CRC-framed records keyed by a content hash of the producing
+//!   configuration. A torn tail from a crash mid-append is detected
+//!   and truncated on open via an atomic tempfile + rename, so the
+//!   journal is always left well-formed. Resume is a cache lookup:
+//!   cells whose key already has a payload are decoded instead of
+//!   re-executed, and a journal written under a different
+//!   configuration simply never matches.
+//! - [`mperf_fault`] (the `failpoints` feature) — deterministic fault
+//!   injection for exercising the two layers above: named probe sites
+//!   (the journal probes `sweep.journal`; the roofline runner probes
+//!   `sweep.cell`) armed by a seeded plan. Compiled out entirely when
+//!   the feature is off.
 
+pub mod journal;
 pub mod plan;
 pub mod queue;
+pub mod supervise;
+pub mod wire;
 
+pub use journal::{Journal, JournalError};
 pub use plan::{Phase, SharedModule};
 pub use queue::{default_jobs, run_jobs, try_run_jobs};
+pub use supervise::{
+    run_jobs_supervised, CellError, CellFailure, FailureClass, JobCtx, RetryPolicy, SweepReport,
+};

@@ -10,6 +10,7 @@
 //! everything.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Default worker count: the host's available parallelism (the
@@ -87,9 +88,11 @@ where
 /// the *earliest job in serial order* that failed — so error selection
 /// is as deterministic as success output (a slow worker finishing a
 /// later failing job first cannot change which error the caller sees).
-/// On the serial path the remaining jobs are skipped after an error
-/// (the first error *is* the earliest); parallel workers may still
-/// complete in-flight later jobs.
+/// After any failure the queue stops draining: workers may finish jobs
+/// already in flight, but no still-queued job starts. The earliest-error
+/// contract survives cancellation because jobs are popped front-to-back —
+/// every never-started job has a higher index than every failure already
+/// observed.
 ///
 /// # Errors
 /// The first (by job index) job error.
@@ -101,15 +104,55 @@ where
     F: Fn(usize, J) -> Result<R, E> + Sync,
 {
     let n = jobs.len();
-    if workers.max(1).min(n.max(1)) == 1 {
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 {
         let mut ok = Vec::with_capacity(n);
         for (i, j) in jobs.into_iter().enumerate() {
             ok.push(run(i, j)?);
         }
         return Ok(ok);
     }
+
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let failed = AtomicBool::new(false);
+    let mut results: Vec<Option<Result<R, E>>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let queue = &queue;
+        let failed = &failed;
+        let run = &run;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    while !failed.load(Ordering::Acquire) {
+                        let job = queue.lock().expect("sweep queue lock").pop_front();
+                        let Some((idx, j)) = job else { break };
+                        let r = run(idx, j);
+                        if r.is_err() {
+                            failed.store(true, Ordering::Release);
+                        }
+                        done.push((idx, r));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => {
+                    for (idx, r) in chunk {
+                        results[idx] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    // Earliest failure by job index wins; absent that, every job ran
+    // (the queue only stops draining after a failure).
     let mut ok = Vec::with_capacity(n);
-    for r in run_jobs(jobs, workers, run) {
+    for r in results.into_iter().flatten() {
         ok.push(r?);
     }
     Ok(ok)
@@ -194,6 +237,35 @@ mod tests {
         });
         assert_eq!(r.unwrap_err(), "boom");
         assert_eq!(executed.load(Ordering::Relaxed), 3, "jobs 3..8 skipped");
+    }
+
+    #[test]
+    fn parallel_try_run_stops_draining_after_a_failure() {
+        use std::sync::atomic::AtomicBool;
+        // Job 0 (always popped first — FIFO) fails immediately; every
+        // other job waits until that failure has happened, then gives the
+        // scheduler ample time to publish the cancellation flag before
+        // finishing. Only jobs already in flight when job 0 failed may
+        // complete, so at most `workers` jobs ever execute.
+        let workers = 4;
+        let n = 64u32;
+        let job0_failed = AtomicBool::new(false);
+        let executed = AtomicUsize::new(0);
+        let r: Result<Vec<u32>, &str> = try_run_jobs((0..n).collect(), workers, |_, j| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if j == 0 {
+                job0_failed.store(true, Ordering::Release);
+                return Err("boom");
+            }
+            while !job0_failed.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(j)
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran <= workers, "queue kept draining: {ran} of {n} jobs ran");
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Supervised job execution: panic isolation, retry with quarantine,
+//! and cooperative cancellation on fatal errors.
+//!
+//! [`run_jobs_supervised`] is the fault-tolerant sibling of
+//! [`crate::try_run_jobs`]: instead of surfacing the earliest error and
+//! discarding everything else, it isolates each job behind
+//! `catch_unwind`, classifies failures ([`FailureClass`]), retries
+//! transient ones with a deterministic backoff, quarantines jobs that
+//! keep failing, and returns a [`SweepReport`] carrying every surviving
+//! result plus a structured account of what went wrong.
+//!
+//! Determinism contract: a job's result lands at its job index, so the
+//! `results` vector of a supervised run is bit-identical to a serial
+//! run of the same jobs at any worker count — faults in one cell never
+//! perturb the values computed by healthy cells. Retry backoff is
+//! counted in queue pops, not wall-clock time, so scheduling stays
+//! reproducible under test.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How a job failure should be treated by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Worth retrying: the failure is expected to go away (I/O hiccup,
+    /// injected fuel exhaustion). Retried up to
+    /// [`RetryPolicy::max_attempts`], then quarantined.
+    Transient,
+    /// Deterministic: retrying would reproduce it. Fails immediately,
+    /// other jobs continue.
+    Permanent,
+    /// The sweep itself can no longer be trusted (journal write failed,
+    /// environment gone). Cancels all still-queued jobs.
+    Fatal,
+}
+
+/// Retry budget and backoff for [`run_jobs_supervised`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first run included). `1` disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// Whether a panicking job is retried like a transient failure
+    /// before being quarantined. Panics never cancel other jobs either
+    /// way.
+    pub retry_panics: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            retry_panics: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based retries), counted
+    /// in queue pops rather than wall-clock time: a delayed entry is
+    /// skipped (and its delay decremented) that many times before it
+    /// runs again. Exponential, capped.
+    pub fn backoff_pops(&self, attempt: u32) -> u32 {
+        1u32 << attempt.min(6)
+    }
+}
+
+/// Why a job ultimately failed.
+#[derive(Debug)]
+pub enum CellError<E> {
+    /// The job panicked; the payload is the panic message.
+    Panicked { payload: String },
+    /// The job returned an error.
+    Failed(E),
+}
+
+impl<E: fmt::Display> fmt::Display for CellError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Panicked { payload } => write!(f, "panicked: {payload}"),
+            CellError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A job the supervisor gave up on.
+#[derive(Debug)]
+pub struct CellFailure<E> {
+    /// Job index (slot in [`SweepReport::results`]).
+    pub index: usize,
+    /// Attempts consumed (1 = failed on first run, no retry granted).
+    pub attempts: u32,
+    /// True when the job exhausted its retry budget (it failed
+    /// repeatedly); false when its failure class never allowed a retry.
+    pub quarantined: bool,
+    pub error: CellError<E>,
+}
+
+/// Outcome of a supervised run. `results[i]` is job `i`'s value —
+/// `None` when it failed or was skipped; completed slots are
+/// bit-identical to a serial run of the same jobs.
+#[derive(Debug)]
+pub struct SweepReport<R, E> {
+    pub results: Vec<Option<R>>,
+    /// Jobs that ultimately failed, sorted by index.
+    pub failed: Vec<CellFailure<E>>,
+    /// Every granted retry as `(index, attempt_that_failed)` (0-based
+    /// attempt), in index order.
+    pub retried: Vec<(usize, u32)>,
+    /// Jobs cancelled before they ever ran (a fatal failure aborted the
+    /// sweep), sorted by index.
+    pub skipped: Vec<usize>,
+}
+
+impl<R, E> SweepReport<R, E> {
+    /// Number of jobs that produced a result.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when every job produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Per-attempt context handed to a supervised job.
+pub struct JobCtx<'a> {
+    /// 0-based attempt number (0 = first run).
+    pub attempt: u32,
+    cancel: &'a AtomicBool,
+}
+
+impl JobCtx<'_> {
+    /// True once a fatal failure has cancelled the sweep; long-running
+    /// jobs may poll this and bail early (their result is discarded
+    /// only if they return an error).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+}
+
+/// Queue entry: job index, attempt number, and remaining backoff pops.
+#[derive(Clone, Copy)]
+struct Entry {
+    idx: usize,
+    attempt: u32,
+    delay: u32,
+}
+
+/// Run `jobs` under at most `workers` threads with panic isolation,
+/// retry, quarantine, and fatal-error cancellation. Jobs are borrowed
+/// (`&J`) so a retried job re-runs against identical input.
+///
+/// - A panic in a job is caught and recorded; it never unwinds the
+///   caller and never disturbs other jobs.
+/// - `classify` maps a job error onto its [`FailureClass`];
+///   [`FailureClass::Fatal`] flips a shared cancellation flag that
+///   stops still-queued jobs from starting (they are reported in
+///   [`SweepReport::skipped`]).
+/// - `workers <= 1` runs strictly serially on the calling thread (the
+///   reference order the determinism tests compare against).
+pub fn run_jobs_supervised<J, R, E, F, C>(
+    jobs: &[J],
+    workers: usize,
+    policy: &RetryPolicy,
+    run: F,
+    classify: C,
+) -> SweepReport<R, E>
+where
+    J: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &J, &JobCtx) -> Result<R, E> + Sync,
+    C: Fn(&E) -> FailureClass + Sync,
+{
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    let max_attempts = policy.max_attempts.max(1);
+
+    let queue: Mutex<VecDeque<Entry>> = Mutex::new(
+        (0..n)
+            .map(|idx| Entry {
+                idx,
+                attempt: 0,
+                delay: 0,
+            })
+            .collect(),
+    );
+    let cancel = AtomicBool::new(false);
+    struct State<R, E> {
+        results: Vec<Option<R>>,
+        failed: Vec<CellFailure<E>>,
+        retried: Vec<(usize, u32)>,
+    }
+    let state: Mutex<State<R, E>> = Mutex::new(State {
+        results: {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || None);
+            v
+        },
+        failed: Vec::new(),
+        retried: Vec::new(),
+    });
+
+    let worker_loop = |_worker: usize| {
+        loop {
+            if cancel.load(Ordering::Acquire) {
+                break;
+            }
+            let entry = {
+                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                match q.pop_front() {
+                    None => break,
+                    Some(mut e) if e.delay > 0 => {
+                        // Backoff: burn one pop, requeue at the back.
+                        e.delay -= 1;
+                        q.push_back(e);
+                        continue;
+                    }
+                    Some(e) => e,
+                }
+            };
+            let ctx = JobCtx {
+                attempt: entry.attempt,
+                cancel: &cancel,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| run(entry.idx, &jobs[entry.idx], &ctx)));
+            let attempts = entry.attempt + 1;
+            // Decide: record a result, grant a retry, or give up.
+            let (error, quarantine_on_exhaust) = match outcome {
+                Ok(Ok(r)) => {
+                    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.results[entry.idx] = Some(r);
+                    continue;
+                }
+                Ok(Err(e)) => match classify(&e) {
+                    FailureClass::Fatal => {
+                        cancel.store(true, Ordering::Release);
+                        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                        st.failed.push(CellFailure {
+                            index: entry.idx,
+                            attempts,
+                            quarantined: false,
+                            error: CellError::Failed(e),
+                        });
+                        continue;
+                    }
+                    FailureClass::Permanent => (CellError::Failed(e), false),
+                    FailureClass::Transient => (CellError::Failed(e), true),
+                },
+                Err(panic) => (
+                    CellError::Panicked {
+                        // `&*`: downcast the payload, not the box.
+                        payload: panic_payload(&*panic),
+                    },
+                    policy.retry_panics,
+                ),
+            };
+            if quarantine_on_exhaust && attempts < max_attempts {
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.retried.push((entry.idx, entry.attempt));
+                drop(st);
+                queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(Entry {
+                        idx: entry.idx,
+                        attempt: entry.attempt + 1,
+                        delay: policy.backoff_pops(entry.attempt + 1),
+                    });
+            } else {
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.failed.push(CellFailure {
+                    index: entry.idx,
+                    attempts,
+                    quarantined: quarantine_on_exhaust,
+                    error,
+                });
+            }
+        }
+    };
+
+    if workers == 1 {
+        worker_loop(0);
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| s.spawn(move || worker_loop(w)))
+                .collect();
+            for h in handles {
+                // Worker closures catch job panics; a join error would
+                // mean the supervisor itself is broken.
+                h.join().expect("supervisor worker");
+            }
+        });
+    }
+
+    let State {
+        results,
+        mut failed,
+        mut retried,
+    } = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    failed.sort_by_key(|f| f.index);
+    retried.sort_unstable();
+    let mut skipped: Vec<usize> = queue
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|e| e.idx)
+        .collect();
+    skipped.sort_unstable();
+    SweepReport {
+        results,
+        failed,
+        retried,
+        skipped,
+    }
+}
+
+/// Best-effort render of a panic payload (the `&str`/`String` payloads
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            retry_panics: false,
+        }
+    }
+
+    #[test]
+    fn all_healthy_jobs_match_serial_at_any_worker_count() {
+        let jobs: Vec<u64> = (0..23).collect();
+        let serial = run_jobs_supervised(
+            &jobs,
+            1,
+            &RetryPolicy::default(),
+            |_, j, _| Ok::<u64, String>(j * 3 + 1),
+            |_| FailureClass::Permanent,
+        );
+        for workers in [2, 4, 8] {
+            let par = run_jobs_supervised(
+                &jobs,
+                workers,
+                &RetryPolicy::default(),
+                |_, j, _| Ok::<u64, String>(j * 3 + 1),
+                |_| FailureClass::Permanent,
+            );
+            assert_eq!(par.results, serial.results, "workers={workers}");
+            assert!(par.all_ok());
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_and_other_results_are_bit_identical() {
+        let jobs: Vec<u64> = (0..16).collect();
+        for workers in [1, 4] {
+            let report = run_jobs_supervised(
+                &jobs,
+                workers,
+                &no_retry(),
+                |_, j, _| {
+                    if *j == 5 || *j == 11 {
+                        panic!("injected {j}");
+                    }
+                    Ok::<u64, String>(j + 100)
+                },
+                |_| FailureClass::Permanent,
+            );
+            for (i, r) in report.results.iter().enumerate() {
+                if i == 5 || i == 11 {
+                    assert_eq!(*r, None);
+                } else {
+                    assert_eq!(*r, Some(i as u64 + 100), "workers={workers}");
+                }
+            }
+            assert_eq!(report.failed.len(), 2);
+            assert_eq!(report.failed[0].index, 5);
+            assert!(
+                matches!(&report.failed[0].error, CellError::Panicked { payload } if payload.contains("injected 5"))
+            );
+            assert_eq!(report.failed[1].index, 11);
+            assert!(report.skipped.is_empty(), "panics are not fatal");
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_then_succeed() {
+        let attempts_seen = AtomicUsize::new(0);
+        let jobs = [0u64];
+        let report = run_jobs_supervised(
+            &jobs,
+            1,
+            &RetryPolicy::default(),
+            |_, _, ctx| {
+                attempts_seen.fetch_add(1, Ordering::Relaxed);
+                if ctx.attempt < 2 {
+                    Err("flaky".to_string())
+                } else {
+                    Ok(7u64)
+                }
+            },
+            |_| FailureClass::Transient,
+        );
+        assert_eq!(report.results, vec![Some(7)]);
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 3);
+        assert_eq!(report.retried, vec![(0, 0), (0, 1)]);
+        assert!(report.failed.is_empty());
+    }
+
+    #[test]
+    fn repeatedly_failing_jobs_are_quarantined() {
+        let jobs = [0u64];
+        let report = run_jobs_supervised(
+            &jobs,
+            1,
+            &RetryPolicy::default(),
+            |_, _, _| Err::<u64, _>("always down".to_string()),
+            |_| FailureClass::Transient,
+        );
+        assert_eq!(report.results, vec![None]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].attempts, 3);
+        assert!(report.failed[0].quarantined);
+        assert_eq!(report.retried.len(), 2);
+    }
+
+    #[test]
+    fn permanent_failures_do_not_retry() {
+        let runs = AtomicUsize::new(0);
+        let jobs = [0u64];
+        let report = run_jobs_supervised(
+            &jobs,
+            1,
+            &RetryPolicy::default(),
+            |_, _, _| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                Err::<u64, _>("deterministic".to_string())
+            },
+            |_| FailureClass::Permanent,
+        );
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        assert!(!report.failed[0].quarantined);
+        assert!(report.retried.is_empty());
+    }
+
+    #[test]
+    fn fatal_failures_cancel_queued_jobs() {
+        // Serial: job 2 is fatal, so jobs 3..8 never start.
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<u64> = (0..8).collect();
+        let report = run_jobs_supervised(
+            &jobs,
+            1,
+            &no_retry(),
+            |_, j, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if *j == 2 {
+                    Err("disk gone".to_string())
+                } else {
+                    Ok(*j)
+                }
+            },
+            |_| FailureClass::Fatal,
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        assert_eq!(report.skipped, vec![3, 4, 5, 6, 7]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].index, 2);
+        assert_eq!(report.completed(), 2);
+    }
+
+    #[test]
+    fn fatal_cancellation_is_observable_from_job_ctx() {
+        // Parallel shape of the same property, deterministic via the
+        // ctx: job 0 fails fatally; every other job waits until it
+        // observes the cancellation flag, so no later job can finish
+        // before cancellation and the still-queued tail is skipped.
+        let jobs: Vec<u64> = (0..32).collect();
+        let report = run_jobs_supervised(
+            &jobs,
+            2,
+            &no_retry(),
+            |_, j, ctx| {
+                if *j == 0 {
+                    return Err("fatal".to_string());
+                }
+                while !ctx.cancelled() {
+                    std::thread::yield_now();
+                }
+                Err::<u64, _>("cancelled".to_string())
+            },
+            |e| {
+                if e == "fatal" {
+                    FailureClass::Fatal
+                } else {
+                    FailureClass::Permanent
+                }
+            },
+        );
+        assert!(!report.skipped.is_empty(), "tail was cancelled");
+        assert!(report.failed.iter().any(|f| f.index == 0));
+        // Cancelled + failed + skipped covers every job.
+        assert_eq!(report.failed.len() + report.skipped.len(), jobs.len());
+    }
+
+    #[test]
+    fn backoff_is_counted_in_pops_not_time() {
+        // One flaky job plus filler: the retried job must come back
+        // after its backoff pops, with filler jobs unaffected.
+        let jobs: Vec<u64> = (0..6).collect();
+        let report = run_jobs_supervised(
+            &jobs,
+            1,
+            &RetryPolicy::default(),
+            |_, j, ctx| {
+                if *j == 0 && ctx.attempt == 0 {
+                    Err("flaky".to_string())
+                } else {
+                    Ok(*j * 2)
+                }
+            },
+            |_| FailureClass::Transient,
+        );
+        assert_eq!(
+            report.results,
+            (0..6).map(|j| Some(j * 2)).collect::<Vec<_>>()
+        );
+        assert_eq!(report.retried, vec![(0, 0)]);
+    }
+}

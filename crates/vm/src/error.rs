@@ -44,6 +44,39 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+impl VmError {
+    /// The faulting pc embedded in the error itself, when the variant
+    /// carries one (the most precise location available).
+    pub fn embedded_pc(&self) -> Option<u64> {
+        match self {
+            VmError::DivisionByZero { pc } => Some(*pc),
+            _ => None,
+        }
+    }
+}
+
+/// Where a propagated trap fired: the synthetic pc of the faulting
+/// operation and the guest function containing it. Captured by the
+/// engines on the cold error path only (see [`crate::Vm::trap_info`])
+/// so a failed sweep cell reports *where* it died, not just the trap
+/// kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapInfo {
+    /// Synthetic pc (`func << 32 | block << 16 | idx`) of the faulting
+    /// operation — exact when the error carries its own pc or the
+    /// engine noted the faulting site, otherwise the nearest frame
+    /// position known to the engine.
+    pub pc: u64,
+    /// Name of the guest function the trap fired in.
+    pub func: String,
+}
+
+impl fmt::Display for TrapInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {:#x} in `{}`", self.pc, self.func)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

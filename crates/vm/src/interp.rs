@@ -20,7 +20,7 @@ use crate::decode::{
     DecodeConfig, DecodedFunc, DecodedModule, DecodedOp, FusePattern, Fused, FusedSite, HostTarget,
     MAX_FUSE_WIDTH,
 };
-use crate::error::VmError;
+use crate::error::{TrapInfo, VmError};
 use crate::host::{HostHandler, RooflineRuntime};
 use crate::lower::{cast_class, inst_class, un_class, un_flops};
 use crate::memory::GuestMemory;
@@ -262,6 +262,12 @@ pub struct Vm<'m> {
     pub(crate) fused_dyn: FusionDynamics,
     /// Runtime copy-traffic split (not part of the observable contract).
     pub(crate) regalloc_dyn: RegallocDynamics,
+    /// Trap-site note from the engine loops: the pc of the faulting op,
+    /// set on the cold error path only (see [`Vm::trap_info`]).
+    trap_pc: Option<u64>,
+    /// Where the last error returned by [`Vm::call`] fired (pc + guest
+    /// function), finalized when the error leaves the engine.
+    last_trap: Option<TrapInfo>,
 }
 
 // The sweep engine's contract, enforced at compile time: a fully-loaded
@@ -325,6 +331,8 @@ impl<'m> Vm<'m> {
             regalloc: true,
             fused_dyn: FusionDynamics::default(),
             regalloc_dyn: RegallocDynamics::default(),
+            trap_pc: None,
+            last_trap: None,
         }
     }
 
@@ -479,11 +487,59 @@ impl<'m> Vm<'m> {
                 args.len()
             )));
         }
+        self.trap_pc = None;
+        self.last_trap = None;
         match self.engine {
             Engine::Threaded => self.call_id_flat(fid, args, true),
             Engine::Decoded => self.call_id_flat(fid, args, false),
             Engine::Reference => self.call_id_reference(fid, args),
         }
+    }
+
+    /// Where the last error returned by [`Vm::call`] / [`Vm::call_id`]
+    /// fired: faulting pc plus guest function name. `None` until a call
+    /// fails; cleared on the next call. Capture happens only on the cold
+    /// error path, so the hot loops pay nothing for it.
+    pub fn trap_info(&self) -> Option<&TrapInfo> {
+        self.last_trap.as_ref()
+    }
+
+    /// Renders a [`VmError`] together with the captured trap site, e.g.
+    /// `"division by zero at pc 0x... (pc 0x... in \`triad\`)"`.
+    pub fn describe_error(&self, err: &VmError) -> String {
+        match self.trap_info() {
+            Some(t) => format!("{err} ({t})"),
+            None => err.to_string(),
+        }
+    }
+
+    /// Notes the pc of a faulting op. Set-if-unset so the innermost
+    /// (first-noting) site wins when the error unwinds through callers.
+    #[cold]
+    fn note_trap(&mut self, pc: u64) {
+        if self.trap_pc.is_none() {
+            self.trap_pc = Some(pc);
+        }
+    }
+
+    /// Passes `r` through, noting `pc` as the trap site on `Err`. The
+    /// `Ok` path is a single already-present branch; the note is `#[cold]`.
+    #[inline]
+    fn trap_at<T>(&mut self, r: Result<T, VmError>, pc: u64) -> Result<T, VmError> {
+        if r.is_err() {
+            self.note_trap(pc);
+        }
+        r
+    }
+
+    /// Builds [`TrapInfo`] from the error's embedded pc (most precise),
+    /// falling back to the pc noted by the engine loop, then to a frame
+    /// fallback supplied by the caller.
+    #[cold]
+    fn finalize_trap(&mut self, err: &VmError, frame_pc: u64) {
+        let pc = err.embedded_pc().or(self.trap_pc).unwrap_or(frame_pc);
+        let func = self.module.func(func_of_pc(pc)).name.clone();
+        self.last_trap = Some(TrapInfo { pc, func });
     }
 
     fn call_id_reference(&mut self, fid: FuncId, args: &[Value]) -> Result<Vec<Value>, VmError> {
@@ -502,7 +558,14 @@ impl<'m> Vm<'m> {
             call_pc: 0,
         });
         let result = self.run(base_depth);
-        if result.is_err() {
+        if let Err(err) = &result {
+            let frame_pc = self
+                .stack
+                .last()
+                .map(|fr| pc_of(fr.func, fr.block, fr.idx.saturating_sub(1)))
+                .unwrap_or(0);
+            let err = err.clone();
+            self.finalize_trap(&err, frame_pc);
             self.stack.truncate(base_depth);
         }
         result
@@ -537,7 +600,18 @@ impl<'m> Vm<'m> {
         } else {
             self.run_decoded(&dec, base_depth)
         };
-        if result.is_err() {
+        if let Err(err) = &result {
+            let frame_pc = self
+                .dstack
+                .last()
+                .map(|fr| {
+                    let df = &dec.funcs[fr.func as usize];
+                    let ip = (fr.ip as usize).saturating_sub(1);
+                    df.pcs.get(ip).copied().unwrap_or(0)
+                })
+                .unwrap_or(0);
+            let err = err.clone();
+            self.finalize_trap(&err, frame_pc);
             self.dstack.truncate(base_depth);
             self.dregs.truncate(regs_floor);
         }
@@ -553,6 +627,7 @@ impl<'m> Vm<'m> {
             let block = func.block(frame.block);
             let fuel_out = self.stats.machine_ops >= self.fuel;
             if fuel_out {
+                self.note_trap(pc_of(frame.func, frame.block, frame.idx));
                 return Err(VmError::OutOfFuel {
                     executed: self.stats.machine_ops,
                 });
@@ -560,14 +635,24 @@ impl<'m> Vm<'m> {
             if frame.idx < block.insts.len() {
                 let pc = pc_of(frame.func, frame.block, frame.idx);
                 let inst = &block.insts[frame.idx];
-                self.exec_inst(inst.clone(), pc)?;
+                if let Err(e) = self.exec_inst(inst.clone(), pc) {
+                    self.note_trap(pc);
+                    return Err(e);
+                }
             } else {
                 let pc = pc_of(frame.func, frame.block, block.insts.len());
                 let term = block.term.clone();
-                if let Some(vals) = self.exec_term(term, pc)? {
-                    if self.stack.len() == base_depth {
-                        return Ok(vals);
+                match self.exec_term(term, pc) {
+                    Err(e) => {
+                        self.note_trap(pc);
+                        return Err(e);
                     }
+                    Ok(Some(vals)) => {
+                        if self.stack.len() == base_depth {
+                            return Ok(vals);
+                        }
+                    }
+                    Ok(None) => {}
                 }
             }
         }
@@ -971,6 +1056,9 @@ impl<'m> Vm<'m> {
         let mut cur = *self.dstack.last().expect("run_decoded with a frame");
         loop {
             if self.stats.machine_ops >= self.fuel {
+                if let Some(p) = dec.funcs[cur.func as usize].pcs.get(cur.ip as usize) {
+                    self.note_trap(*p);
+                }
                 return Err(VmError::OutOfFuel {
                     executed: self.stats.machine_ops,
                 });
@@ -998,7 +1086,8 @@ impl<'m> Vm<'m> {
                     self.stats.mir_ops += 1;
                     let a = self.deval(base, *lhs);
                     let b = self.deval(base, *rhs);
-                    let v = eval_bin(*op, &a, &b, pc)?;
+                    let v = eval_bin(*op, &a, &b, pc);
+                    let v = self.trap_at(v, pc)?;
                     self.dset(base, *dst, v);
                     self.retire_d(MachineOp::simple(*class, pc).with_flops(*flops));
                 }
@@ -1012,7 +1101,8 @@ impl<'m> Vm<'m> {
                     self.stats.mir_ops += 1;
                     let a = self.deval_i64(base, *lhs);
                     let b = self.deval_i64(base, *rhs);
-                    let v = eval_bin_i64(*op, a, b, pc)?;
+                    let v = eval_bin_i64(*op, a, b, pc);
+                    let v = self.trap_at(v, pc)?;
                     self.dset(base, *dst, Value::I64(v));
                     self.retire_d(MachineOp::simple(*class, pc));
                 }
@@ -1078,7 +1168,8 @@ impl<'m> Vm<'m> {
                     self.stats.mir_ops += 1;
                     let a = self.deval_i64(base, *addr) as u64;
                     let st = self.deval_i64(base, *stride);
-                    let v = self.load_value(a, *mem, *lanes, st)?;
+                    let v = self.load_value(a, *mem, *lanes, st);
+                    let v = self.trap_at(v, pc)?;
                     self.dset(base, *dst, v);
                     let mref = MemRef {
                         addr: a,
@@ -1101,7 +1192,8 @@ impl<'m> Vm<'m> {
                     let a = self.deval_i64(base, *addr) as u64;
                     let st = self.deval_i64(base, *stride);
                     let v = self.deval(base, *val);
-                    self.store_value(a, *mem, *lanes, st, &v)?;
+                    let stored = self.store_value(a, *mem, *lanes, st, &v);
+                    self.trap_at(stored, pc)?;
                     let mref = MemRef {
                         addr: a,
                         bytes: mem.bytes() as u32,
@@ -1213,6 +1305,7 @@ impl<'m> Vm<'m> {
                     self.retire_d(MachineOp::simple(OpClass::CallRet, pc));
                     if self.dstack.len() >= self.max_depth {
                         self.arg_scratch = argv;
+                        self.note_trap(pc);
                         return Err(VmError::StackOverflow {
                             depth: self.dstack.len(),
                         });
@@ -1269,9 +1362,17 @@ impl<'m> Vm<'m> {
                         HostTarget::Named(id) => {
                             let name = &dec.host_names[*id as usize];
                             let rets = match self.host.get_mut(name) {
-                                Some(h) => h(&argv).map_err(VmError::HostFault)?,
+                                Some(h) => match h(&argv) {
+                                    Ok(rets) => rets,
+                                    Err(msg) => {
+                                        self.arg_scratch = argv;
+                                        self.note_trap(pc);
+                                        return Err(VmError::HostFault(msg));
+                                    }
+                                },
                                 None => {
                                     self.arg_scratch = argv;
+                                    self.note_trap(pc);
                                     return Err(VmError::UnknownHost(name.clone()));
                                 }
                             };
@@ -1344,29 +1445,26 @@ impl<'m> Vm<'m> {
                     // per-pattern handler (the threaded engine binds these
                     // same handlers as per-pattern templates, skipping
                     // this match entirely).
-                    match &site.op {
+                    let fused_result = match &site.op {
                         Fused::CmpBranch { .. } => {
-                            self.fused_cmp_branch(df, site, ip, base, &mut cur)?;
+                            self.fused_cmp_branch(df, site, ip, base, &mut cur)
                         }
                         Fused::IncCmpBranch { .. } => {
-                            self.fused_inc_cmp_branch(df, site, ip, base, &mut cur)?;
+                            self.fused_inc_cmp_branch(df, site, ip, base, &mut cur)
                         }
-                        Fused::BinCopy { .. } => {
-                            self.fused_bin_copy(df, site, ip, base, &mut cur)?;
-                        }
+                        Fused::BinCopy { .. } => self.fused_bin_copy(df, site, ip, base, &mut cur),
                         Fused::AddrLoad { .. } => {
-                            self.fused_addr_load(df, site, ip, base, &mut cur)?;
+                            self.fused_addr_load(df, site, ip, base, &mut cur)
                         }
                         Fused::AddrStore { .. } => {
-                            self.fused_addr_store(df, site, ip, base, &mut cur)?;
+                            self.fused_addr_store(df, site, ip, base, &mut cur)
                         }
-                        Fused::LoadOp { .. } => {
-                            self.fused_load_op(df, site, ip, base, &mut cur)?;
-                        }
+                        Fused::LoadOp { .. } => self.fused_load_op(df, site, ip, base, &mut cur),
                         Fused::AddrLoadOp { .. } => {
-                            self.fused_addr_load_op(df, site, ip, base, &mut cur)?;
+                            self.fused_addr_load_op(df, site, ip, base, &mut cur)
                         }
-                    }
+                    };
+                    self.trap_at(fused_result, pc)?;
                 }
             }
         }
@@ -2204,6 +2302,12 @@ impl<'m> Vm<'m> {
         };
         loop {
             if self.stats.machine_ops >= self.fuel {
+                if let Some(p) = dec.funcs[ctx.cur.func as usize]
+                    .pcs
+                    .get(ctx.cur.ip as usize)
+                {
+                    self.note_trap(*p);
+                }
                 return Err(VmError::OutOfFuel {
                     executed: self.stats.machine_ops,
                 });
@@ -2251,6 +2355,7 @@ impl<'m> Vm<'m> {
                         self.deliver_overflow(pc, info.overflow, Engine::Threaded);
                     }
                     if let Some(e) = err {
+                        self.note_trap(dec.funcs[ctx.cur.func as usize].pcs[last_ip]);
                         return Err(e);
                     }
                     continue;
@@ -2258,9 +2363,13 @@ impl<'m> Vm<'m> {
             }
             let t = unsafe { tf.templates.get_unchecked(ip) };
             ctx.cur.ip += 1;
-            match (t.single)(self, dec, tf, &t.args, &mut ctx)? {
-                Step::Continue => {}
-                Step::Finished => return Ok(std::mem::take(&mut self.ret_scratch)),
+            match (t.single)(self, dec, tf, &t.args, &mut ctx) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Finished) => return Ok(std::mem::take(&mut self.ret_scratch)),
+                Err(e) => {
+                    self.note_trap(dec.funcs[ctx.cur.func as usize].pcs[ip]);
+                    return Err(e);
+                }
             }
         }
     }
@@ -2692,6 +2801,51 @@ mod tests {
         let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
         let err = vm.call("f", &[Value::I64(0)]).unwrap_err();
         assert!(matches!(err, VmError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn trap_info_reports_pc_and_function_on_every_engine() {
+        let src = r#"
+            fn deref(p: *i64) -> i64 { return *p; }
+            fn outer(p: *i64) -> i64 { return deref(p); }
+        "#;
+        let module = compile("t", src).unwrap();
+        for engine in [Engine::Threaded, Engine::Decoded, Engine::Reference] {
+            let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+            vm.set_engine(engine);
+            assert!(vm.trap_info().is_none());
+            let err = vm.call("outer", &[Value::I64(0)]).unwrap_err();
+            assert!(matches!(err, VmError::OutOfBounds { .. }));
+            let trap = vm.trap_info().expect("trap site captured").clone();
+            assert_eq!(trap.func, "deref", "{engine:?} names the faulting fn");
+            assert_eq!(func_of_pc(trap.pc), module.func_id("deref").unwrap());
+            let rendered = vm.describe_error(&err);
+            assert!(rendered.contains("deref"), "{rendered}");
+            assert!(rendered.contains("out of bounds"), "{rendered}");
+            // A successful call clears the stale site.
+            let base = vm.mem.alloc(8, 8).unwrap();
+            vm.mem.write_u64(base, 7).unwrap();
+            vm.call("outer", &[Value::I64(base as i64)]).unwrap();
+            assert!(vm.trap_info().is_none());
+        }
+    }
+
+    #[test]
+    fn trap_info_on_division_uses_embedded_pc() {
+        let src = "fn div(a: i64, b: i64) -> i64 { return a / b; }";
+        let module = compile("t", src).unwrap();
+        for engine in [Engine::Threaded, Engine::Decoded, Engine::Reference] {
+            let mut vm = Vm::new(&module, Core::new(PlatformSpec::x60()));
+            vm.set_engine(engine);
+            let err = vm.call("div", &[Value::I64(1), Value::I64(0)]).unwrap_err();
+            let pc = match err {
+                VmError::DivisionByZero { pc } => pc,
+                other => panic!("expected div-by-zero, got {other:?}"),
+            };
+            let trap = vm.trap_info().expect("trap site captured");
+            assert_eq!(trap.pc, pc, "{engine:?} uses the error's own pc");
+            assert_eq!(trap.func, "div");
+        }
     }
 
     #[test]

@@ -251,7 +251,7 @@ pub use decode::{
     decode_module, decode_module_cfg, decode_module_with, DecodeConfig, DecodedModule, DecodedOp,
     FusePattern, Fused, FusedSite, FusionStats,
 };
-pub use error::VmError;
+pub use error::{TrapInfo, VmError};
 pub use host::{HostHandler, RegionStats, RooflineRuntime};
 pub use interp::{Engine, ExecConfig, ExecStats, FusionDynamics, RegallocDynamics, Vm};
 pub use memory::GuestMemory;

@@ -1,0 +1,267 @@
+//! Fault-tolerance integration tests (tier-1, no `failpoints` feature):
+//! the supervised sweep isolates panicking/trapping cells, keeps every
+//! surviving cell bit-identical to the serial sweep, reports trap sites
+//! actionably, and resumes from a checkpoint journal — including a
+//! torn-tail journal — to a byte-identical final report.
+
+use miniperf::sweep_supervisor::encode_run;
+use miniperf::{run_roofline_sweep, run_roofline_sweep_supervised, RooflineJob, SweepOptions};
+use mperf_sim::Platform;
+use mperf_sweep::{run_jobs_supervised, FailureClass, RetryPolicy};
+use mperf_vm::{Value, Vm};
+use mperf_workloads::stream::StreamBench;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// Silence the default panic printout for panics this suite injects on
+/// purpose (they are caught by the supervisor; the noise is misleading
+/// in test logs). Installed once, forwards everything else.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let msg = p
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| p.downcast_ref::<&str>().copied());
+            if msg.is_some_and(|m| m.contains("injected panic")) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+/// The 4-platform triad sweep used throughout (modules leaked: tests).
+fn triad_cells(elems: u64) -> Vec<RooflineJob<'static>> {
+    Platform::ALL
+        .iter()
+        .map(|&p| {
+            let module = Box::leak(Box::new(
+                mperf_workloads::compile_for(
+                    "stream-triad",
+                    mperf_workloads::stream::SOURCE,
+                    p,
+                    true,
+                )
+                .expect("stream compiles"),
+            ));
+            let bench = StreamBench { elems };
+            RooflineJob {
+                module: &*module,
+                decoded: None,
+                spec: p.spec(),
+                entry: "triad".into(),
+                setup: Box::new(move |vm: &mut Vm| bench.setup_triad(vm)),
+            }
+        })
+        .collect()
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mperf-ft-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Byte offset of the end of each journal frame (after the magic).
+fn frame_ends(bytes: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut pos = 8;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 16 + len;
+        ends.push(pos);
+    }
+    ends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Panics and traps injected at arbitrary job subsets never disturb
+    /// the survivors: every healthy slot is bit-identical to the serial
+    /// computation, every faulty slot is reported (panics as
+    /// `Panicked`, errors as `Failed`), and nothing is skipped.
+    #[test]
+    fn injected_failures_leave_survivors_bit_identical(
+        faults in proptest::collection::vec(0usize..16, 0..6),
+        workers in 1usize..5,
+    ) {
+        quiet_injected_panics();
+        let faults: HashSet<usize> = faults.into_iter().collect();
+        let jobs: Vec<u64> = (0..16u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let compute = |x: u64| x.wrapping_mul(31).rotate_left(7);
+        let report = run_jobs_supervised(
+            &jobs,
+            workers,
+            &RetryPolicy { max_attempts: 1, retry_panics: false },
+            |i, &x, _ctx| {
+                if faults.contains(&i) {
+                    if i % 2 == 0 {
+                        panic!("injected panic at {i}");
+                    }
+                    return Err(format!("injected trap at {i}"));
+                }
+                Ok(compute(x))
+            },
+            |_e| FailureClass::Permanent,
+        );
+        prop_assert!(report.skipped.is_empty());
+        for (i, &x) in jobs.iter().enumerate() {
+            if faults.contains(&i) {
+                prop_assert!(report.results[i].is_none());
+                prop_assert!(report.failed.iter().any(|f| f.index == i), "missing failure {i}");
+            } else {
+                prop_assert_eq!(report.results[i], Some(compute(x)), "slot {}", i);
+            }
+        }
+        prop_assert_eq!(report.failed.len(), faults.len());
+    }
+
+    /// Transient failures retry to success: jobs that fail on their
+    /// first attempt still land bit-identical results, and every retry
+    /// is accounted for.
+    #[test]
+    fn transient_failures_recover_on_retry(
+        flaky in proptest::collection::vec(0usize..12, 0..5),
+        workers in 1usize..4,
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let flaky: HashSet<usize> = flaky.into_iter().collect();
+        let first_attempts: Vec<AtomicU32> = (0..12).map(|_| AtomicU32::new(0)).collect();
+        let jobs: Vec<u64> = (0..12u64).collect();
+        let report = run_jobs_supervised(
+            &jobs,
+            workers,
+            &RetryPolicy { max_attempts: 3, retry_panics: false },
+            |i, &x, _ctx| {
+                if flaky.contains(&i) && first_attempts[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    return Err("transient".to_string());
+                }
+                Ok(x * x)
+            },
+            |_e| FailureClass::Transient,
+        );
+        prop_assert!(report.all_ok());
+        for (i, &x) in jobs.iter().enumerate() {
+            prop_assert_eq!(report.results[i], Some(x * x));
+        }
+        let retried: HashSet<usize> = report.retried.iter().map(|&(i, _)| i).collect();
+        prop_assert_eq!(retried, flaky);
+    }
+}
+
+/// The supervised sweep (parallel, journaling) is bit-identical to the
+/// plain serial sweep; a journal torn mid-frame resumes to a
+/// byte-identical final report, re-executing only the missing cells.
+#[test]
+fn supervised_sweep_matches_serial_and_resumes_byte_identically() {
+    let cells = triad_cells(1024);
+    let serial: Vec<_> = run_roofline_sweep(&cells, 1)
+        .into_iter()
+        .map(|r| r.expect("serial cell runs"))
+        .collect();
+    let serial_bytes: Vec<Vec<u8>> = serial.iter().map(encode_run).collect();
+
+    let path = tmp_journal("resume");
+    let opts = SweepOptions {
+        jobs: 3,
+        journal: Some(path.clone()),
+        ..Default::default()
+    };
+    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    assert!(sweep.report.all_ok());
+    assert!(sweep.resumed.is_empty());
+    for (i, run) in sweep.report.results.iter().enumerate() {
+        let run = run.as_ref().expect("cell completed");
+        assert_eq!(run, &serial[i], "cell {i} diverged from serial");
+        assert_eq!(encode_run(run), serial_bytes[i], "cell {i} bytes");
+    }
+
+    // Interrupt: keep two complete frames plus a torn slice of the
+    // third. Resume must satisfy exactly the two journaled cells and
+    // re-execute the rest to a byte-identical report.
+    let full = std::fs::read(&path).unwrap();
+    let ends = frame_ends(&full);
+    assert_eq!(ends.len(), cells.len(), "one frame per cell");
+    std::fs::write(&path, &full[..ends[1] + 5]).unwrap();
+    let opts = SweepOptions {
+        jobs: 2,
+        journal: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    assert_eq!(sweep.resumed.len(), 2, "two cells survived the tear");
+    assert!(sweep.report.all_ok());
+    for (i, run) in sweep.report.results.iter().enumerate() {
+        assert_eq!(
+            encode_run(run.as_ref().unwrap()),
+            serial_bytes[i],
+            "cell {i} not byte-identical after resume"
+        );
+    }
+
+    // The journal is complete again: a third pass resumes everything.
+    let opts = SweepOptions {
+        jobs: 1,
+        journal: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    assert_eq!(sweep.resumed.len(), cells.len());
+    assert!(sweep.report.all_ok());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A guest trap in one cell is reported with its faulting pc and
+/// function name, classified permanent (no useless retries), and the
+/// healthy cells still complete bit-identically.
+#[test]
+fn trapping_cell_reports_trap_site_and_spares_healthy_cells() {
+    let mut cells = triad_cells(512);
+    let healthy = cells.len();
+    let serial: Vec<_> = run_roofline_sweep(&cells, 1)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let src = "fn boom(a: i64, b: i64) -> i64 { return a / b; }";
+    let module = Box::leak(Box::new(
+        mperf_workloads::compile_for("boom", src, Platform::SifiveU74, true).unwrap(),
+    ));
+    cells.push(RooflineJob {
+        module: &*module,
+        decoded: None,
+        spec: Platform::SifiveU74.spec(),
+        entry: "boom".into(),
+        setup: Box::new(|_vm: &mut Vm| Ok(vec![Value::I64(7), Value::I64(0)])),
+    });
+
+    let sweep = run_roofline_sweep_supervised(&cells, &SweepOptions::default()).unwrap();
+    assert_eq!(sweep.report.failed.len(), 1);
+    let f = &sweep.report.failed[0];
+    assert_eq!(f.index, healthy);
+    assert_eq!(f.attempts, 1, "deterministic traps are not retried");
+    assert!(!f.quarantined);
+    let msg = f.error.to_string();
+    assert!(msg.contains("phase trapped"), "{msg}");
+    assert!(
+        msg.contains("in `boom`"),
+        "trap site names the function: {msg}"
+    );
+    assert!(msg.contains("pc 0x"), "trap site names the pc: {msg}");
+    for (i, serial_run) in serial.iter().enumerate() {
+        assert_eq!(
+            sweep.report.results[i].as_ref(),
+            Some(serial_run),
+            "healthy cell {i} diverged"
+        );
+    }
+}
