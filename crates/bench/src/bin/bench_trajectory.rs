@@ -36,8 +36,11 @@
 //! fusion coverage, the `regalloc` copy-traffic section, the cache
 //! `mru` fast-probe hit rates, and ns/op for the retire microbenches;
 //! the sweep JSON
-//! reports wall-clock and speedup per worker count, after asserting
-//! the parallel results are bit-identical to the serial sweep. Both
+//! reports wall-clock and speedup per worker count — for both the
+//! in-process thread pool and the multi-process sharded supervisor
+//! (this binary re-entered as a sweep worker via `MPERF_SWEEP_WORKER`)
+//! — after asserting every configuration is bit-identical to the
+//! serial sweep. Both
 //! reports embed (and the runner prints) the engine configuration they
 //! actually ran, so checked-in baselines are self-describing.
 
@@ -348,6 +351,13 @@ fn run_check(opts: &Opts) -> ! {
 }
 
 fn main() {
+    // Re-entry marker for the sweep-scaling section's *process-sharded*
+    // pass: the supervisor respawns this very binary with the marker
+    // set, and the child becomes a protocol-speaking sweep worker
+    // instead of a bench run.
+    if std::env::var_os("MPERF_SWEEP_WORKER").is_some() {
+        std::process::exit(miniperf::worker_main());
+    }
     let opts = parse_opts();
     if opts.check {
         run_check(&opts);
@@ -782,9 +792,43 @@ fn run_sweep_scaling(opts: &Opts) {
         );
     }
 
+    // Process-sharded pass: the same matrix through real worker
+    // processes (this binary, re-entered via `MPERF_SWEEP_WORKER`),
+    // checked bit-identical to the in-process serial reference. Spawn +
+    // recompile overhead makes this slower than threads on small
+    // matrices; the rows exist to track that overhead, not to win.
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut sharded_rows = Vec::new();
+    for &shards in &thread_counts {
+        let mut worker = mperf_sweep::WorkerCmd::new(&exe);
+        worker.envs.push(("MPERF_SWEEP_WORKER".into(), "1".into()));
+        let (wall, sweep) = matrix
+            .run_sharded(shards, worker)
+            .expect("sharded sweep (no journal attached)");
+        assert!(
+            sweep.all_ok(),
+            "sharded sweep at {shards} shards failed: {:?} / {} cell failures",
+            sweep.fatal,
+            sweep.failed.len()
+        );
+        let runs: Vec<_> = sweep.results.into_iter().flatten().collect();
+        assert_eq!(
+            runs, reference,
+            "sharded sweep at {shards} shards diverges from the serial sweep"
+        );
+        let ms = wall.as_secs_f64() * 1e3;
+        let speedup = if ms > 0.0 { serial_ms / ms } else { 0.0 };
+        println!(
+            "  shards={shards}: {ms:9.1} ms  ({speedup:.2}x vs serial threads, \
+             results identical, {} respawns)",
+            sweep.respawns
+        );
+        sharded_rows.push((shards, ms, speedup));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"mperf-bench-sweep/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"mperf-bench-sweep/v2\",");
     let _ = writeln!(json, "  \"quick\": {},", !full);
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"cells\": {},", matrix.len());
@@ -798,6 +842,20 @@ fn run_sweep_scaling(opts: &Opts) {
              \"speedup_vs_serial\": {speedup:.2}}}"
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sharded\": [\n");
+    for (i, (shards, ms, speedup)) in sharded_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shards\": {shards}, \"wall_ms\": {ms:.1}, \
+             \"speedup_vs_serial\": {speedup:.2}}}"
+        );
+        json.push_str(if i + 1 < sharded_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
     std::fs::write(out_path, &json).expect("write sweep trajectory json");

@@ -9,13 +9,14 @@
 //! compared — and bit-identity-checked — against.
 
 use miniperf::{
-    run_roofline_sweep, run_roofline_sweep_supervised, RooflineJob, RooflineRun, SupervisedSweep,
+    run_roofline_sweep, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
+    RooflineRun, SetupSpec, ShardedCellSpec, ShardedSweep, ShardedSweepOptions, SupervisedSweep,
     SweepOptions,
 };
 use mperf_ir::Module;
 use mperf_sim::Platform;
-use mperf_sweep::JournalError;
-use mperf_vm::{Value, Vm, VmError};
+use mperf_sweep::{JournalError, RetryPolicy, WorkerCmd};
+use mperf_vm::{ExecConfig, Value, Vm, VmError};
 use mperf_workloads::{matmul::MatmulBench, stencil::StencilBench, stream::StreamBench};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -30,6 +31,10 @@ enum CellSetup {
 
 /// One owned cell of the sweep matrix ([`RooflineJob`] borrows it).
 struct Cell {
+    /// Workload name, as compiled (also names the cell in a
+    /// [`ShardedCellSpec`] so worker processes rebuild it identically).
+    name: &'static str,
+    source: &'static str,
     module: Module,
     /// Decoded once at build time; every `run_at` shares it, so the
     /// timed region measures execution, not repeated decodes.
@@ -53,7 +58,7 @@ impl SweepMatrix {
     /// Panics if an internal workload fails to compile — a bug.
     pub fn build(scale: f64) -> SweepMatrix {
         let scaled = |base: usize| ((base as f64 * scale) as usize).max(8);
-        let workloads: [(&'static str, &str, &'static str, CellSetup); 3] = [
+        let workloads: [(&'static str, &'static str, &'static str, CellSetup); 3] = [
             (
                 "matmul",
                 mperf_workloads::matmul::SOURCE,
@@ -89,6 +94,8 @@ impl SweepMatrix {
                     .expect("sweep workload compiles");
                 let decoded = mperf_vm::decode_module(&module);
                 cells.push(Cell {
+                    name,
+                    source,
                     module,
                     decoded,
                     platform,
@@ -183,6 +190,62 @@ impl SweepMatrix {
         };
         let t0 = Instant::now();
         let sweep = run_roofline_sweep_supervised(&jobs, &opts)?;
+        Ok((t0.elapsed(), sweep))
+    }
+
+    /// The matrix as self-contained cell specs for the multi-process
+    /// sharded sweep (workers recompile from source, so the specs carry
+    /// everything [`SweepMatrix::build`] knew).
+    fn sharded_specs(&self) -> Vec<ShardedCellSpec> {
+        self.cells
+            .iter()
+            .map(|c| ShardedCellSpec {
+                workload: c.name.to_string(),
+                source: c.source.to_string(),
+                entry: c.entry.to_string(),
+                platform: c.platform,
+                setup: match c.setup {
+                    CellSetup::Matmul(b) => SetupSpec::Matmul {
+                        n: b.n as u64,
+                        tile: b.tile as u64,
+                        seed: b.seed,
+                    },
+                    CellSetup::Stencil(b) => SetupSpec::Stencil {
+                        n: b.n as u64,
+                        steps: b.steps as u64,
+                    },
+                    CellSetup::Triad(b) => SetupSpec::StreamTriad { elems: b.elems },
+                },
+            })
+            .collect()
+    }
+
+    /// Run the full sweep across `shards` worker *processes* (spawned
+    /// from `worker`, which must dispatch into
+    /// [`miniperf::worker_main`]). Completed cells are bit-identical to
+    /// [`SweepMatrix::run_at`].
+    ///
+    /// # Errors
+    /// Journal errors only (none are possible here: no journal is
+    /// attached); per-cell failures live in the returned
+    /// [`ShardedSweep`].
+    pub fn run_sharded(
+        &self,
+        shards: usize,
+        worker: WorkerCmd,
+    ) -> Result<(Duration, ShardedSweep), JournalError> {
+        let opts = ShardedSweepOptions {
+            shards,
+            cfg: ExecConfig::default(),
+            policy: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+            deadline_ticks: 600,
+            tick: Duration::from_millis(50),
+            worker,
+        };
+        let t0 = Instant::now();
+        let sweep = run_roofline_sweep_sharded(&self.sharded_specs(), &opts)?;
         Ok((t0.elapsed(), sweep))
     }
 }

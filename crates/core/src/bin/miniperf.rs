@@ -11,14 +11,16 @@
 use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
 use miniperf::report::{text_table, thousands};
 use miniperf::{
-    hotspot_table, probe_sampling, record, run_roofline_jobs_cfg, run_roofline_sweep_supervised,
-    stat, RecordConfig, RooflineJob, SweepOptions,
+    cli_triad_setup, hotspot_table, probe_sampling, record, run_roofline_jobs_cfg,
+    run_roofline_sweep_sharded, run_roofline_sweep_supervised, stat, RecordConfig, RooflineJob,
+    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
 };
 use mperf_event::{EventKind, HwCounter, PerfKernel};
 use mperf_sim::{Core, Platform};
-use mperf_sweep::RetryPolicy;
-use mperf_vm::{Engine, ExecConfig, Value, Vm, VmError};
+use mperf_sweep::{RetryPolicy, WorkerCmd};
+use mperf_vm::{Engine, ExecConfig, Value, Vm};
 use std::path::PathBuf;
+use std::time::Duration;
 
 const DEMO: &str = r#"
     fn inner(p: *i64, n: i64) -> i64 {
@@ -96,6 +98,11 @@ options:
                                  byte-identical to an uninterrupted run)
   --retries <N>                  attempts per sweep cell before it is
                                  quarantined (default: 3; 1 = no retries)
+  --shards <N>                   run `sweep` across N worker *processes*
+                                 (crash/hang isolation: a killed or stalled
+                                 worker is respawned and its cell retried;
+                                 results stay bit-identical to --shards 1
+                                 and compose with --journal/--resume)
   -h, --help                     print this help
 
 Every report starts with a `config:` line naming the engine, fusion, and
@@ -110,6 +117,8 @@ struct Opts {
     journal: Option<PathBuf>,
     resume: bool,
     retries: u32,
+    /// Worker processes for `sweep` (0 = in-process threads).
+    shards: usize,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -141,6 +150,7 @@ fn parse_opts(args: &[String]) -> Opts {
         journal: None,
         resume: false,
         retries: 3,
+        shards: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -183,6 +193,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 Some((v, _)) => usage_error(&format!("bad --retries {v:?}")),
                 None => usage_error("--retries needs a value"),
             },
+            "--shards" => match it.next().map(|v| (v, v.parse::<usize>())) {
+                Some((_, Ok(v))) if v > 0 => opts.shards = v,
+                Some((v, _)) => usage_error(&format!("bad --shards {v:?}")),
+                None => usage_error("--shards needs a value"),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -198,7 +213,7 @@ fn parse_opts(args: &[String]) -> Opts {
 
 fn demo_vm(platform: Platform) -> (Vm<'static>, Vec<Value>) {
     let module = Box::leak(Box::new(
-        mperf_workloads_compile(platform, DEMO).expect("demo compiles"),
+        mperf_workloads::compile_for("cli", DEMO, platform, false).expect("demo compiles"),
     ));
     let mut vm = Vm::new(module, Core::new(platform.spec()));
     let p = vm.mem.alloc(512 * 8, 64).expect("alloc");
@@ -209,20 +224,6 @@ fn demo_vm(platform: Platform) -> (Vm<'static>, Vec<Value>) {
     }
     let args = vec![Value::I64(p as i64), Value::I64(20_000), Value::I64(10)];
     (vm, args)
-}
-
-// Local shim: `miniperf` (the crate) must not depend on the workloads
-// crate (it is lower in the DAG), so the binary inlines the pipeline.
-fn mperf_workloads_compile(
-    platform: Platform,
-    src: &str,
-) -> Result<mperf_ir::Module, mperf_ir::CompileError> {
-    use mperf_ir::transform::{vectorize::VectorizePass, PassManager};
-    let mut module = mperf_ir::compile("cli", src)?;
-    PassManager::standard().run(&mut module);
-    let caps = mperf_roofline::microbench::vec_caps_for(platform);
-    VectorizePass::new(caps).run_with_report(&mut module);
-    Ok(module)
 }
 
 fn cmd_probe() {
@@ -332,41 +333,19 @@ fn cmd_stat(opts: &Opts) {
     }
 }
 
-/// Stage the triad operands: three 64-byte-aligned f64 arrays plus the
-/// trip count and scalar.
-fn triad_setup(n: u64) -> impl Fn(&mut Vm) -> Result<Vec<Value>, VmError> + Send + Sync {
-    move |vm: &mut Vm| {
-        let a = vm.mem.alloc(n * 8, 64)?;
-        let b = vm.mem.alloc(n * 8, 64)?;
-        let c = vm.mem.alloc(n * 8, 64)?;
-        for i in 0..n {
-            vm.mem.write_f64(b + i * 8, i as f64)?;
-            vm.mem.write_f64(c + i * 8, 0.25)?;
-        }
-        Ok(vec![
-            Value::I64(a as i64),
-            Value::I64(b as i64),
-            Value::I64(c as i64),
-            Value::I64(n as i64),
-            Value::F64(3.0),
-        ])
-    }
-}
-
 /// The triad kernel, compiled + instrumented for one platform's vector
-/// capabilities.
+/// capabilities. The same pipeline a `sweep-worker` runs on its side of
+/// the process boundary, so serial and sharded sweeps hash identical
+/// modules into their journal keys.
 fn triad_module(platform: Platform) -> mperf_ir::Module {
-    use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
-    let mut module = mperf_workloads_compile(platform, KERNEL).expect("kernel compiles");
-    InstrumentPass::new(InstrumentOptions::default()).run(&mut module);
-    module
+    mperf_workloads::compile_for("cli", KERNEL, platform, true).expect("kernel compiles")
 }
 
 fn cmd_roofline(opts: &Opts) {
     println!("{}", opts.config_line());
     let module = triad_module(opts.platform);
     let spec = opts.platform.spec();
-    let setup = triad_setup(32_768);
+    let setup = cli_triad_setup(32_768);
     // Baseline + instrumented phases run as independent sweep jobs; the
     // machine characterization fans its memset/triad kernels out the
     // same way.
@@ -409,6 +388,9 @@ fn cmd_roofline(opts: &Opts) {
 /// fail. Exit status: 0 = every cell completed, 3 = partial results,
 /// 4 = fatal failure or no results at all.
 fn cmd_sweep(opts: &Opts) -> i32 {
+    if opts.shards > 0 {
+        return cmd_sweep_sharded(opts);
+    }
     println!(
         "config: sweep platforms={} {} jobs={} retries={}{}{}",
         Platform::ALL.len(),
@@ -431,7 +413,7 @@ fn cmd_sweep(opts: &Opts) -> i32 {
             decoded: None,
             spec: p.spec(),
             entry: "triad".into(),
-            setup: Box::new(triad_setup(n)),
+            setup: Box::new(cli_triad_setup(n)),
         })
         .collect();
     let sweep_opts = SweepOptions {
@@ -514,6 +496,120 @@ fn cmd_sweep(opts: &Opts) -> i32 {
     }
 }
 
+/// `sweep --shards N`: the same triad sweep pushed across worker
+/// *processes* — crashes, hangs, and corrupt frames are survived by
+/// kill + respawn + retry, and completed cells are bit-identical to
+/// the in-process sweep. Same exit-status contract as [`cmd_sweep`].
+fn cmd_sweep_sharded(opts: &Opts) -> i32 {
+    println!(
+        "config: sweep platforms={} {} shards={} retries={}{}{}",
+        Platform::ALL.len(),
+        opts.exec.describe(),
+        opts.shards,
+        opts.retries,
+        opts.journal
+            .as_ref()
+            .map(|p| format!(" journal={}", p.display()))
+            .unwrap_or_default(),
+        if opts.resume { " resume" } else { "" },
+    );
+    let specs: Vec<ShardedCellSpec> = Platform::ALL
+        .iter()
+        .map(|&p| ShardedCellSpec {
+            workload: "cli".into(),
+            source: KERNEL.into(),
+            entry: "triad".into(),
+            platform: p,
+            setup: SetupSpec::CliTriad { n: 32_768 },
+        })
+        .collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let mut worker = WorkerCmd::new(exe);
+    worker.args.push("sweep-worker".into());
+    let sharded_opts = ShardedSweepOptions {
+        shards: opts.shards,
+        cfg: opts.exec,
+        policy: RetryPolicy {
+            max_attempts: opts.retries,
+            retry_panics: true,
+        },
+        journal: opts.journal.clone(),
+        resume: opts.resume,
+        deadline_ticks: 600,
+        tick: Duration::from_millis(50),
+        worker,
+    };
+    let sweep = match run_roofline_sweep_sharded(&specs, &sharded_opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep failed before any cell ran: {e}");
+            return 4;
+        }
+    };
+    for (i, spec) in specs.iter().enumerate() {
+        let retries = sweep.retried.iter().filter(|(idx, _)| *idx == i).count();
+        let tag = if sweep.resumed.contains(&i) {
+            " [resumed]".to_string()
+        } else if retries > 0 {
+            format!(
+                " [{retries} retr{}]",
+                if retries == 1 { "y" } else { "ies" }
+            )
+        } else {
+            String::new()
+        };
+        match &sweep.results[i] {
+            Some(run) => {
+                let r = &run.regions[0];
+                println!(
+                    "  {:<22} triad {:>6.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x){tag}",
+                    run.platform_name,
+                    r.gflops(run.freq_hz),
+                    r.ai(),
+                    r.overhead_factor()
+                );
+            }
+            None => {
+                let name = spec.platform.spec().name;
+                if let Some(f) = sweep.failed.iter().find(|f| f.index == i) {
+                    let why = if sweep.poisoned.contains(&i) {
+                        format!("poison cell, quarantined after {} attempts", f.attempts)
+                    } else if f.quarantined {
+                        format!("quarantined after {} attempts", f.attempts)
+                    } else {
+                        format!("attempt {}", f.attempts)
+                    };
+                    println!("  {name:<22} triad FAILED ({why}): {}{tag}", f.error);
+                } else {
+                    println!("  {name:<22} triad SKIPPED (sweep cancelled by a fatal failure)");
+                }
+            }
+        }
+    }
+    if let Some(fatal) = &sweep.fatal {
+        eprintln!("sweep cancelled: {fatal}");
+    }
+    let completed = sweep.completed();
+    println!(
+        "sweep: {completed}/{} cells completed, {} failed ({} poison), {} skipped, \
+         {} retries granted, {} worker respawns, {} resumed from journal",
+        specs.len(),
+        sweep.failed.len(),
+        sweep.poisoned.len(),
+        sweep.skipped.len(),
+        sweep.retried.len(),
+        sweep.respawns,
+        sweep.resumed.len()
+    );
+    if sweep.all_ok() {
+        0
+    } else if completed > 0 && sweep.skipped.is_empty() {
+        3
+    } else {
+        4
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -522,6 +618,11 @@ fn main() {
     if cmd == "-h" || cmd == "--help" {
         print!("{USAGE}");
         return;
+    }
+    // Hidden worker entry point: `sweep --shards N` children. Takes no
+    // options — everything a cell needs travels in its payload.
+    if cmd == "sweep-worker" {
+        std::process::exit(miniperf::worker_main());
     }
     let opts = parse_opts(&argv[1..]);
     match cmd.as_str() {

@@ -27,6 +27,7 @@ pub mod profile;
 pub mod record;
 pub mod report;
 pub mod roofline_runner;
+pub mod shard_exec;
 pub mod stat;
 pub mod sweep_supervisor;
 pub mod tma;
@@ -38,6 +39,10 @@ pub use record::{record, RecordConfig};
 pub use roofline_runner::{
     run_roofline, run_roofline_jobs, run_roofline_jobs_cfg, run_roofline_sweep, PhaseObservables,
     RegionMeasurement, RooflineJob, RooflineRun, SetupFn,
+};
+pub use shard_exec::{
+    cli_triad_setup, run_roofline_sweep_sharded, worker_main, SetupSpec, ShardedCellSpec,
+    ShardedSweep, ShardedSweepOptions,
 };
 pub use stat::{stat, StatReport};
 pub use sweep_supervisor::{

@@ -335,6 +335,10 @@ pub fn run_roofline_sweep_supervised(
                         })
                     }
                     mperf_fault::FaultKind::FuelExhaustion => fuel = Some(10),
+                    // Process-level kinds target the sharded worker's
+                    // sites (`worker.exit`/`worker.stall`), not the
+                    // in-process cell probe.
+                    mperf_fault::FaultKind::Exit | mperf_fault::FaultKind::Stall => {}
                 }
             }
             let mut phases = Vec::with_capacity(2);

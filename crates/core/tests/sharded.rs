@@ -1,0 +1,222 @@
+//! Process-sharded sweep integration: real `miniperf sweep-worker`
+//! child processes, driven over the framed IPC protocol, must produce
+//! results bit-identical to the in-process serial sweep at every shard
+//! count — and the checkpoint journal must compose across modes
+//! (serial writes, sharded resumes, and vice versa).
+
+use miniperf::sweep_supervisor::encode_run;
+use miniperf::{
+    cli_triad_setup, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
+    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
+};
+use mperf_sim::Platform;
+use mperf_sweep::{RetryPolicy, WorkerCmd};
+use mperf_vm::ExecConfig;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+const SRC: &str = r#"
+    fn triad(a: *f64, b: *f64, c: *f64, n: i64, k: f64) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            a[i] = b[i] + k * c[i];
+        }
+    }
+"#;
+
+const N: u64 = 2_048;
+
+fn specs() -> Vec<ShardedCellSpec> {
+    Platform::ALL
+        .iter()
+        .map(|&p| ShardedCellSpec {
+            workload: "cli".into(),
+            source: SRC.into(),
+            entry: "triad".into(),
+            platform: p,
+            setup: SetupSpec::CliTriad { n: N },
+        })
+        .collect()
+}
+
+fn worker_cmd() -> WorkerCmd {
+    let mut cmd = WorkerCmd::new(env!("CARGO_BIN_EXE_miniperf"));
+    cmd.args.push("sweep-worker".into());
+    cmd
+}
+
+fn sharded_opts(shards: usize) -> ShardedSweepOptions {
+    ShardedSweepOptions {
+        shards,
+        cfg: ExecConfig::default(),
+        policy: RetryPolicy::default(),
+        journal: None,
+        resume: false,
+        deadline_ticks: 600,
+        tick: Duration::from_millis(10),
+        worker: worker_cmd(),
+    }
+}
+
+/// The in-process serial sweep of the same cells, as encoded payloads —
+/// the byte-level reference every sharded configuration must match.
+fn serial_baseline() -> Vec<Vec<u8>> {
+    let modules: Vec<mperf_ir::Module> = Platform::ALL
+        .iter()
+        .map(|&p| mperf_workloads::compile_for("cli", SRC, p, true).unwrap())
+        .collect();
+    let cells: Vec<RooflineJob> = modules
+        .iter()
+        .zip(Platform::ALL)
+        .map(|(module, p)| RooflineJob {
+            module,
+            decoded: None,
+            spec: p.spec(),
+            entry: "triad".into(),
+            setup: Box::new(cli_triad_setup(N)),
+        })
+        .collect();
+    let sweep = run_roofline_sweep_supervised(
+        &cells,
+        &SweepOptions {
+            jobs: 1,
+            cfg: ExecConfig::default(),
+            policy: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+        },
+    )
+    .unwrap();
+    assert!(sweep.report.all_ok());
+    sweep
+        .report
+        .results
+        .iter()
+        .map(|r| encode_run(r.as_ref().unwrap()))
+        .collect()
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mperf-sharded-{name}-{}.jrn", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn sharded_results_are_bit_identical_to_serial_at_every_shard_count() {
+    let serial = serial_baseline();
+    let specs = specs();
+    for shards in [1, 2, 3] {
+        let sweep = run_roofline_sweep_sharded(&specs, &sharded_opts(shards)).unwrap();
+        assert!(sweep.all_ok(), "shards={shards}: {:?}", sweep.fatal);
+        assert_eq!(sweep.respawns, 0, "shards={shards}");
+        for (i, run) in sweep.results.iter().enumerate() {
+            assert_eq!(
+                encode_run(run.as_ref().unwrap()),
+                serial[i],
+                "cell {i} differs from serial at shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn journal_composes_across_serial_and_sharded_modes() {
+    let serial = serial_baseline();
+    let specs = specs();
+    let path = tmp_journal("cross-mode");
+
+    // Sharded sweep writes the journal...
+    let mut opts = sharded_opts(2);
+    opts.journal = Some(path.clone());
+    let first = run_roofline_sweep_sharded(&specs, &opts).unwrap();
+    assert!(first.all_ok());
+    assert!(first.resumed.is_empty());
+
+    // ...a later sharded run resumes every cell from it...
+    opts.resume = true;
+    let resumed = run_roofline_sweep_sharded(&specs, &opts).unwrap();
+    assert_eq!(resumed.resumed, vec![0, 1, 2, 3]);
+    for (i, run) in resumed.results.iter().enumerate() {
+        assert_eq!(encode_run(run.as_ref().unwrap()), serial[i], "cell {i}");
+    }
+
+    // ...and so does the *in-process* serial sweep: the key schema is
+    // shared, so journals cross the mode boundary byte-identically.
+    let modules: Vec<mperf_ir::Module> = Platform::ALL
+        .iter()
+        .map(|&p| mperf_workloads::compile_for("cli", SRC, p, true).unwrap())
+        .collect();
+    let cells: Vec<RooflineJob> = modules
+        .iter()
+        .zip(Platform::ALL)
+        .map(|(module, p)| RooflineJob {
+            module,
+            decoded: None,
+            spec: p.spec(),
+            entry: "triad".into(),
+            setup: Box::new(cli_triad_setup(N)),
+        })
+        .collect();
+    let sweep = run_roofline_sweep_supervised(
+        &cells,
+        &SweepOptions {
+            jobs: 1,
+            cfg: ExecConfig::default(),
+            policy: RetryPolicy::default(),
+            journal: Some(path.clone()),
+            resume: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(sweep.resumed, vec![0, 1, 2, 3]);
+    for (i, run) in sweep.report.results.iter().enumerate() {
+        assert_eq!(encode_run(run.as_ref().unwrap()), serial[i], "cell {i}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `sweep --shards N` end-to-end: same cell lines as the in-process
+/// sweep (bit-identical measurements render identically), exit 0.
+#[test]
+fn cli_sharded_sweep_matches_in_process_sweep() {
+    let serial = Command::new(env!("CARGO_BIN_EXE_miniperf"))
+        .arg("sweep")
+        .output()
+        .unwrap();
+    assert!(serial.status.success());
+    let sharded = Command::new(env!("CARGO_BIN_EXE_miniperf"))
+        .args(["sweep", "--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        sharded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let cells = |out: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| l.contains("GFLOP/s"))
+            .map(str::to_string)
+            .collect()
+    };
+    let serial_cells = cells(&serial.stdout);
+    assert_eq!(serial_cells.len(), Platform::ALL.len());
+    assert_eq!(serial_cells, cells(&sharded.stdout));
+}
+
+/// A worker handed a fault plan it cannot arm (no `failpoints` feature
+/// compiled in) must refuse to run rather than silently test nothing.
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn worker_refuses_fault_plan_without_failpoints() {
+    let out = Command::new(env!("CARGO_BIN_EXE_miniperf"))
+        .arg("sweep-worker")
+        .env(mperf_fault::ENV_VAR, "seed=1;worker.exit:*:exit:1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failpoints"));
+}

@@ -1,0 +1,223 @@
+//! Acceptance tests for sharded-sweep fault tolerance, using *real*
+//! `miniperf sweep-worker` child processes armed via the env-serialized
+//! fault plan ([`mperf_fault::ENV_VAR`]): SIGKILLed workers, stalled
+//! workers, corrupt response frames, poison-cell quarantine, and
+//! journal recovery after a mid-cell kill. Runs only with
+//! `--features failpoints` (the CI fault job).
+
+#![cfg(feature = "failpoints")]
+
+use miniperf::sweep_supervisor::encode_run;
+use miniperf::{
+    cli_triad_setup, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
+    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
+};
+use mperf_fault::{FaultKind, FaultPlan};
+use mperf_sim::Platform;
+use mperf_sweep::proto::fault_key;
+use mperf_sweep::{Journal, RetryPolicy, WorkerCmd};
+use mperf_vm::ExecConfig;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+const SRC: &str = r#"
+    fn triad(a: *f64, b: *f64, c: *f64, n: i64, k: f64) {
+        for (var i: i64 = 0; i < n; i = i + 1) {
+            a[i] = b[i] + k * c[i];
+        }
+    }
+"#;
+
+const N: u64 = 2_048;
+
+fn specs() -> Vec<ShardedCellSpec> {
+    Platform::ALL
+        .iter()
+        .map(|&p| ShardedCellSpec {
+            workload: "cli".into(),
+            source: SRC.into(),
+            entry: "triad".into(),
+            platform: p,
+            setup: SetupSpec::CliTriad { n: N },
+        })
+        .collect()
+}
+
+/// Sharded options with the worker armed by `plan` (shipped through the
+/// environment, exactly as production fault drills would).
+fn opts_with_plan(shards: usize, plan: &FaultPlan) -> ShardedSweepOptions {
+    let mut worker = WorkerCmd::new(env!("CARGO_BIN_EXE_miniperf"));
+    worker.args.push("sweep-worker".into());
+    worker
+        .envs
+        .push((mperf_fault::ENV_VAR.into(), plan.to_env()));
+    ShardedSweepOptions {
+        shards,
+        cfg: ExecConfig::default(),
+        policy: RetryPolicy::default(),
+        journal: None,
+        resume: false,
+        // Generous for healthy debug-build cells, small enough that a
+        // stalled worker is detected in seconds.
+        deadline_ticks: 400,
+        tick: Duration::from_millis(10),
+        worker,
+    }
+}
+
+fn serial_baseline() -> Vec<Vec<u8>> {
+    let modules: Vec<mperf_ir::Module> = Platform::ALL
+        .iter()
+        .map(|&p| mperf_workloads::compile_for("cli", SRC, p, true).unwrap())
+        .collect();
+    let cells: Vec<RooflineJob> = modules
+        .iter()
+        .zip(Platform::ALL)
+        .map(|(module, p)| RooflineJob {
+            module,
+            decoded: None,
+            spec: p.spec(),
+            entry: "triad".into(),
+            setup: Box::new(cli_triad_setup(N)),
+        })
+        .collect();
+    let sweep = run_roofline_sweep_supervised(
+        &cells,
+        &SweepOptions {
+            jobs: 1,
+            cfg: ExecConfig::default(),
+            policy: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+        },
+    )
+    .unwrap();
+    assert!(sweep.report.all_ok());
+    sweep
+        .report
+        .results
+        .iter()
+        .map(|r| encode_run(r.as_ref().unwrap()))
+        .collect()
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mperf-shfp-{name}-{}.jrn", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The headline acceptance: one worker SIGKILLed mid-cell *and* one
+/// stalled past its deadline in the same 4-platform sweep, at every
+/// tested shard count — both recover, and the final report is
+/// bit-identical to a fault-free serial sweep.
+#[test]
+fn kill9_and_stall_in_same_sweep_recover_bit_identical() {
+    let serial = serial_baseline();
+    let specs = specs();
+    // Cell 0's first attempt dies by SIGKILL; cell 2's first attempt
+    // hangs forever. Attempt-qualified keys keep the respawned
+    // incarnations (which re-arm the same plan) from re-firing.
+    let plan = FaultPlan::new(5)
+        .inject("worker.exit", fault_key(0, 0), FaultKind::Exit, 1)
+        .inject("worker.stall", fault_key(2, 0), FaultKind::Stall, 1);
+    for shards in [2, 3] {
+        let sweep = run_roofline_sweep_sharded(&specs, &opts_with_plan(shards, &plan)).unwrap();
+        assert!(sweep.all_ok(), "shards={shards}: {:?}", sweep.fatal);
+        assert_eq!(sweep.respawns, 2, "shards={shards}");
+        let mut retried = sweep.retried.clone();
+        retried.sort_unstable();
+        assert_eq!(retried, vec![(0, 1), (2, 1)], "shards={shards}");
+        assert!(sweep.poisoned.is_empty());
+        for (i, run) in sweep.results.iter().enumerate() {
+            assert_eq!(
+                encode_run(run.as_ref().unwrap()),
+                serial[i],
+                "cell {i} differs from fault-free serial at shards={shards}"
+            );
+        }
+    }
+}
+
+/// A corrupt response frame burns an attempt as *transient* (the CRC
+/// rejects it, the worker is recycled) and the retry recovers.
+#[test]
+fn corrupt_frame_is_transient_and_recovers() {
+    let serial = serial_baseline();
+    let specs = specs();
+    let plan = FaultPlan::new(9).inject("ipc.frame", fault_key(1, 0), FaultKind::TransientIo, 1);
+    let sweep = run_roofline_sweep_sharded(&specs, &opts_with_plan(2, &plan)).unwrap();
+    assert!(sweep.all_ok(), "{:?}", sweep.fatal);
+    assert_eq!(sweep.respawns, 1);
+    assert_eq!(sweep.retried, vec![(1, 1)]);
+    for (i, run) in sweep.results.iter().enumerate() {
+        assert_eq!(encode_run(run.as_ref().unwrap()), serial[i], "cell {i}");
+    }
+}
+
+/// A cell that kills its worker on every attempt is quarantined as a
+/// poison cell; every other cell completes, and the journal written
+/// underneath is recoverable and resumes byte-identically.
+#[test]
+fn poison_cell_quarantine_and_journal_recovery_after_kills() {
+    let serial = serial_baseline();
+    let specs = specs();
+    let path = tmp_journal("poison");
+    let plan = FaultPlan::new(13)
+        .inject("worker.exit", fault_key(2, 0), FaultKind::Exit, 1)
+        .inject("worker.exit", fault_key(2, 1), FaultKind::Exit, 1);
+    let mut opts = opts_with_plan(2, &plan);
+    opts.policy.max_attempts = 2;
+    opts.journal = Some(path.clone());
+    let sweep = run_roofline_sweep_sharded(&specs, &opts).unwrap();
+    assert!(sweep.fatal.is_none());
+    assert_eq!(sweep.poisoned, vec![2]);
+    assert_eq!(sweep.completed(), 3);
+    assert!(sweep.skipped.is_empty());
+    let f = &sweep.failed[0];
+    assert_eq!((f.index, f.attempts, f.quarantined), (2, 2, true));
+    assert_eq!(sweep.respawns, 2);
+
+    // The journal the kills were tearing at is well-formed and holds
+    // exactly the three completed cells.
+    assert_eq!(Journal::open(&path).unwrap().entries().len(), 3);
+
+    // A fault-free resume completes the poisoned cell and lands
+    // byte-identical to a clean serial sweep.
+    let mut resume_opts = opts_with_plan(2, &FaultPlan::new(0));
+    resume_opts.journal = Some(path.clone());
+    resume_opts.resume = true;
+    let resumed = run_roofline_sweep_sharded(&specs, &resume_opts).unwrap();
+    assert!(resumed.all_ok(), "{:?}", resumed.fatal);
+    assert_eq!(resumed.resumed, vec![0, 1, 3]);
+    for (i, run) in resumed.results.iter().enumerate() {
+        assert_eq!(encode_run(run.as_ref().unwrap()), serial[i], "cell {i}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The CLI acceptance path: `sweep --shards 2 --retries 2` with a
+/// repeat-killer cell exits 3 (partial results), reports the poison
+/// quarantine, and completes every healthy cell.
+#[test]
+fn cli_poison_cell_exits_3_with_all_healthy_cells_completed() {
+    let plan = FaultPlan::new(21)
+        .inject("worker.exit", fault_key(1, 0), FaultKind::Exit, 1)
+        .inject("worker.exit", fault_key(1, 1), FaultKind::Exit, 1);
+    let out = Command::new(env!("CARGO_BIN_EXE_miniperf"))
+        .args(["sweep", "--shards", "2", "--retries", "2"])
+        .env(mperf_fault::ENV_VAR, plan.to_env())
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("poison cell, quarantined after 2 attempts"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("3/4 cells completed"), "{stdout}");
+    assert!(stdout.contains("1 failed (1 poison)"), "{stdout}");
+    assert_eq!(stdout.matches("GFLOP/s").count(), 3, "{stdout}");
+}

@@ -63,17 +63,43 @@ pub enum FaultKind {
     TransientIo,
     /// Exhaust the operation budget (the site clamps its fuel).
     FuelExhaustion,
+    /// Kill the probing *process* abruptly (the site exits or raises a
+    /// fatal signal against itself) — a worker crash as seen from a
+    /// shard supervisor.
+    Exit,
+    /// Hang the probing process/thread indefinitely, so deadline-based
+    /// supervision has something real to detect.
+    Stall,
 }
 
-impl fmt::Display for FaultKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
             FaultKind::Panic => "panic",
             FaultKind::Trap => "trap",
             FaultKind::TransientIo => "transient-io",
             FaultKind::FuelExhaustion => "fuel-exhaustion",
-        };
-        f.write_str(s)
+            FaultKind::Exit => "exit",
+            FaultKind::Stall => "stall",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "panic" => FaultKind::Panic,
+            "trap" => FaultKind::Trap,
+            "transient-io" => FaultKind::TransientIo,
+            "fuel-exhaustion" => FaultKind::FuelExhaustion,
+            "exit" => FaultKind::Exit,
+            "stall" => FaultKind::Stall,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -165,7 +191,78 @@ impl FaultPlan {
         }
         chosen
     }
+
+    /// Serialize for [`ENV_VAR`]: `seed=N;site:key:kind:times;...`,
+    /// with `*` for [`FaultSpec::ANY_KEY`]. Inverse of
+    /// [`FaultPlan::from_env`]; pure text so a supervisor can ship a
+    /// plan into worker child processes deterministically.
+    pub fn to_env(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for s in &self.specs {
+            out.push(';');
+            out.push_str(&s.site);
+            out.push(':');
+            if s.key == FaultSpec::ANY_KEY {
+                out.push('*');
+            } else {
+                out.push_str(&s.key.to_string());
+            }
+            out.push(':');
+            out.push_str(s.kind.name());
+            out.push(':');
+            out.push_str(&s.times.to_string());
+        }
+        out
+    }
+
+    /// Parse a [`FaultPlan::to_env`] string.
+    ///
+    /// # Errors
+    /// A description of the malformed field. Worker processes must
+    /// treat this as fatal (exit, don't run unarmed): a typo'd plan
+    /// silently testing nothing is worse than no test.
+    pub fn from_env(text: &str) -> Result<FaultPlan, String> {
+        let mut parts = text.split(';');
+        let seed_part = parts.next().unwrap_or_default();
+        let seed = seed_part
+            .strip_prefix("seed=")
+            .ok_or_else(|| format!("expected `seed=N`, got `{seed_part}`"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad seed in `{seed_part}`: {e}"))?;
+        let mut plan = FaultPlan::new(seed);
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = part.split(':').collect();
+            let [site, key, kind, times] = fields[..] else {
+                return Err(format!("expected `site:key:kind:times`, got `{part}`"));
+            };
+            let key = if key == "*" {
+                FaultSpec::ANY_KEY
+            } else {
+                key.parse::<u64>()
+                    .map_err(|e| format!("bad key in `{part}`: {e}"))?
+            };
+            let kind =
+                FaultKind::from_name(kind).ok_or_else(|| format!("unknown kind in `{part}`"))?;
+            let times = times
+                .parse::<u32>()
+                .map_err(|e| format!("bad times in `{part}`: {e}"))?;
+            plan.specs.push(FaultSpec {
+                site: site.to_string(),
+                key,
+                kind,
+                times,
+            });
+        }
+        Ok(plan)
+    }
 }
+
+/// Environment variable worker child processes read a serialized
+/// [`FaultPlan`] from (see [`FaultPlan::to_env`] / [`arm_process`]).
+pub const ENV_VAR: &str = "MPERF_FAULT_PLAN";
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -283,10 +380,25 @@ mod registry {
             .map(|a| std::mem::take(&mut a.log))
             .unwrap_or_default()
     }
+
+    /// Arm `plan` for the lifetime of the process, without the
+    /// cross-test serialisation lock: for *worker child processes*
+    /// (each has its own registry and nothing else contends), where a
+    /// scope guard has nothing meaningful to drop. Each respawned
+    /// incarnation re-arms the same env plan with fresh hit counts —
+    /// which is why process-level failpoints key probes by
+    /// `(attempt << 32) | cell` rather than relying on counts.
+    pub fn arm_process(plan: FaultPlan) {
+        *registry() = Some(Armed {
+            plan,
+            hits: HashMap::new(),
+            log: Vec::new(),
+        });
+    }
 }
 
 #[cfg(any(test, feature = "failpoints"))]
-pub use registry::{arm_scoped, ArmedGuard};
+pub use registry::{arm_process, arm_scoped, ArmedGuard};
 
 /// Probe the failpoint `site` with `key`. Returns the fault to inject,
 /// or `None` (always `None` when nothing matching is armed — and, with
@@ -402,6 +514,49 @@ mod tests {
             assert!(hit("s", 0).is_some());
         }
         assert_eq!(hit("s", 0), None, "guard dropped, registry disarmed");
+    }
+
+    #[test]
+    fn env_roundtrip_preserves_every_spec() {
+        let plan = FaultPlan::new(99)
+            .inject("worker.exit", 2, FaultKind::Exit, 1)
+            .inject("worker.stall", (1u64 << 32) | 3, FaultKind::Stall, 2)
+            .inject_all("ipc.frame", FaultKind::TransientIo, 1);
+        let text = plan.to_env();
+        assert_eq!(
+            text,
+            "seed=99;worker.exit:2:exit:1;worker.stall:4294967299:stall:2;ipc.frame:*:transient-io:1"
+        );
+        assert_eq!(FaultPlan::from_env(&text).unwrap(), plan);
+        let empty = FaultPlan::new(0);
+        assert_eq!(FaultPlan::from_env(&empty.to_env()).unwrap(), empty);
+    }
+
+    #[test]
+    fn env_parse_rejects_malformed_plans() {
+        for bad in [
+            "",
+            "seed=",
+            "seed=x",
+            "7",
+            "seed=1;site:key",
+            "seed=1;s:nope:exit:1",
+            "seed=1;s:2:frobnicate:1",
+            "seed=1;s:2:exit:lots",
+        ] {
+            assert!(FaultPlan::from_env(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn arm_process_arms_without_a_scope_guard() {
+        // Grab the cross-test lock so this test doesn't race the
+        // scoped ones, then overwrite the registry the worker way.
+        let guard = arm_scoped(FaultPlan::default());
+        arm_process(FaultPlan::new(1).inject("w", 5, FaultKind::Exit, 1));
+        assert_eq!(hit("w", 5), Some(FaultKind::Exit));
+        assert_eq!(hit("w", 5), None);
+        drop(guard);
     }
 
     #[test]

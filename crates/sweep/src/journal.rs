@@ -23,6 +23,15 @@
 //! recovered journal is always well-formed and appendable. Corruption
 //! is therefore prefix-recoverable: the journal is append-only, and a
 //! bad frame invalidates its suffix, never its prefix.
+//!
+//! ## Process hygiene
+//!
+//! In a sharded sweep the *supervisor alone* appends: worker children
+//! never see the journal fd. `std` opens files with `O_CLOEXEC` on
+//! Linux (asserted by test), so the append handle cannot leak across
+//! `exec` into spawned workers — a killed worker can tear at most the
+//! supervisor's own in-flight frame, which open-time recovery already
+//! handles.
 
 use std::fmt;
 use std::fs;
@@ -212,6 +221,32 @@ mod tests {
         p.push(format!("mperf-journal-{name}-{}", std::process::id()));
         let _ = fs::remove_file(&p);
         p
+    }
+
+    /// The sharded-sweep hygiene contract: the append fd is
+    /// close-on-exec, so spawned `sweep-worker` children can never
+    /// inherit (and corrupt) the supervisor's journal handle.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn append_fd_is_close_on_exec() {
+        use std::os::fd::AsRawFd;
+        let path = tmp_path("cloexec");
+        let j = Journal::open(&path).unwrap();
+        let fdinfo =
+            fs::read_to_string(format!("/proc/self/fdinfo/{}", j.file.as_raw_fd())).unwrap();
+        let flags = fdinfo
+            .lines()
+            .find_map(|l| l.strip_prefix("flags:"))
+            .expect("fdinfo flags line")
+            .trim();
+        let flags = u32::from_str_radix(flags, 8).expect("octal flags");
+        assert_ne!(flags & libc_o_cloexec(), 0, "flags {flags:o}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[cfg(target_os = "linux")]
+    fn libc_o_cloexec() -> u32 {
+        0o2000000
     }
 
     #[test]

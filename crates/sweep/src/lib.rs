@@ -54,18 +54,70 @@
 //! - [`mperf_fault`] (the `failpoints` feature) — deterministic fault
 //!   injection for exercising the two layers above: named probe sites
 //!   (the journal probes `sweep.journal`; the roofline runner probes
-//!   `sweep.cell`) armed by a seeded plan. Compiled out entirely when
-//!   the feature is off.
+//!   `sweep.cell`; the process layer probes `ipc.frame`, `worker.exit`,
+//!   and `worker.stall`) armed by a seeded plan. Compiled out entirely
+//!   when the feature is off.
+//!
+//! ## Process sharding
+//!
+//! Thread-level supervision cannot survive a worker that segfaults, is
+//! OOM-killed, or hangs — those take the whole process down (or wedge
+//! it). [`shard`] moves the isolation boundary to child processes:
+//! [`run_sharded`] drives N workers over their stdin/stdout with the
+//! [`proto`] protocol, and [`WorkerCmd`] launches real worker binaries
+//! (`miniperf sweep-worker`).
+//!
+//! **Wire format.** Every message is one CRC-framed record,
+//! `[body len: u32 LE][crc32(body): u32 LE][body]`, with bodies encoded
+//! by the same bit-exact [`wire`] codec the journal uses. The message
+//! set is `Hello`, `Cell` (index + attempt + opaque request payload),
+//! `Done` (index + opaque result payload), `Fail` (index +
+//! [`FailureClass`] + message + optional `TrapInfo` — failure structure
+//! survives the process boundary), and `Shutdown`.
+//!
+//! **Handshake & versioning.** A worker's first frame is `Hello`
+//! carrying the 8-byte magic (`MPSWIPC1`) and schema version. Any
+//! mismatch is *fatal*, never retried: version skew means the binary
+//! pair cannot make progress. Schema bumps are breaking by design.
+//! This handshake/framing substrate is what the planned
+//! `miniperf serve` daemon (ROADMAP item 2) reuses.
+//!
+//! **Failure taxonomy.** Worker crash (nonzero exit, signal,
+//! unexpected EOF), stall (per-cell deadline in heartbeat *ticks*, not
+//! wall-clock), and corrupt/short frames all classify as transient:
+//! kill + respawn the worker and requeue the cell through the shared
+//! [`RetryPolicy`] attempt accounting. A cell that kills its worker
+//! `max_attempts` times is quarantined as a **poison cell**
+//! (crash-loop protection) while healthy cells keep flowing.
+//! Worker-reported failures keep their class across the wire; fatal
+//! errors (including a failed journal append) cancel still-queued
+//! cells on every shard.
+//!
+//! **Determinism contract.** Results are collected by cell index, so
+//! every completed slot is bit-identical to a serial sweep at any
+//! shard count, regardless of dispatch order (cost-ordered,
+//! longest-first), retries, respawns, or which worker incarnation ran
+//! the cell. The journal is written by the supervisor alone — workers
+//! never see the fd (std opens files `O_CLOEXEC` on Linux) — so
+//! `--journal`/`--resume` compose: a supervisor crash resumes
+//! byte-identically.
 
 pub mod journal;
 pub mod plan;
+pub mod proto;
 pub mod queue;
+pub mod shard;
 pub mod supervise;
 pub mod wire;
 
 pub use journal::{Journal, JournalError};
 pub use plan::{Phase, SharedModule};
+pub use proto::{ProtoError, WorkerFailure};
 pub use queue::{default_jobs, run_jobs, try_run_jobs};
+pub use shard::{
+    run_sharded, ShardCell, ShardCellError, ShardFailure, ShardOptions, ShardReport, WorkerCmd,
+    WorkerLink,
+};
 pub use supervise::{
     run_jobs_supervised, CellError, CellFailure, FailureClass, JobCtx, RetryPolicy, SweepReport,
 };
