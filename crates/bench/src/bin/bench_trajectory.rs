@@ -45,13 +45,19 @@
 //! actually ran, so checked-in baselines are self-describing.
 
 use criterion::Criterion;
+use miniperf::cli::{self, JobKind, JobSpec};
+use miniperf::sweep_supervisor::encode_run;
+use miniperf::{CommonOpts, RooflineRequest};
 use mperf_bench::interp_bench::{
     register_interp_benches_filter, register_retire_benches, EngineConfig, InterpBenchInfo,
 };
 use mperf_bench::sweep_bench::SweepMatrix;
+use mperf_sim::Platform;
+use mperf_sweep::proto::Msg;
+use mperf_sweep::serve::ClientSession;
 use mperf_vm::{Engine, ExecConfig, FusePattern};
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One evaluated guard row (for the report and the `--check` JSON).
 struct Guard {
@@ -826,9 +832,11 @@ fn run_sweep_scaling(opts: &Opts) {
         sharded_rows.push((shards, ms, speedup));
     }
 
+    let serve = run_serve_row(full, max_jobs.clamp(1, 4));
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"mperf-bench-sweep/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"mperf-bench-sweep/v3\",");
     let _ = writeln!(json, "  \"quick\": {},", !full);
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"cells\": {},", matrix.len());
@@ -857,7 +865,90 @@ fn run_sweep_scaling(opts: &Opts) {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let (serve_ms, batch_ms) = serve;
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\"wall_ms\": {serve_ms:.1}, \"batch_wall_ms\": {batch_ms:.1}, \
+         \"overhead_ms\": {:.1}, \"streamed_identical\": true}}",
+        serve_ms - batch_ms
+    );
+    json.push_str("}\n");
     std::fs::write(out_path, &json).expect("write sweep trajectory json");
     println!("wrote {out_path}");
+}
+
+/// The serve-path row: the CLI triad sweep submitted to an in-process
+/// `miniperf serve` daemon over a real Unix socket, timed against the
+/// identical sweep run directly in-process. The delta is the cost of
+/// the socket round-trip, job decode, and per-cell result streaming;
+/// the streamed `CellDone` payloads must be bit-identical to the batch
+/// cells' journal encodings.
+fn run_serve_row(full: bool, jobs: usize) -> (f64, f64) {
+    let n = if full {
+        cli::CLI_TRIAD_N
+    } else {
+        cli::CLI_TRIAD_N / 4
+    };
+
+    // Batch reference, timed from module compile (the daemon compiles
+    // inside its job too, so both sides carry the same setup work).
+    let t0 = Instant::now();
+    let modules: Vec<_> = Platform::ALL
+        .iter()
+        .map(|&p| cli::triad_module(p))
+        .collect();
+    let cells = cli::triad_sweep_cells(&modules, None, n);
+    let sweep = RooflineRequest::new()
+        .jobs(jobs)
+        .run_supervised(&cells)
+        .expect("batch triad sweep (no journal attached)");
+    let batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(sweep.report.all_ok(), "batch triad sweep failed");
+    let reference: Vec<Vec<u8>> = sweep
+        .report
+        .results
+        .iter()
+        .map(|r| encode_run(r.as_ref().expect("all_ok")))
+        .collect();
+
+    let socket =
+        std::env::temp_dir().join(format!("mperf-bench-serve-{}.sock", std::process::id()));
+    let handle = miniperf::serve::start(&socket, &CommonOpts::default()).expect("start daemon");
+    let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect to daemon");
+    let reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut session = ClientSession::connect(reader, stream).expect("serve handshake");
+
+    let spec = JobSpec {
+        n,
+        jobs,
+        ..JobSpec::from_opts(JobKind::Sweep, &CommonOpts::default())
+    };
+    let t0 = Instant::now();
+    let job = session.submit(spec.encode()).expect("submit sweep job");
+    let mut streamed: Vec<(u64, Vec<u8>)> = Vec::new();
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::CellDone { index, payload, .. } = m {
+                streamed.push((*index, payload.clone()));
+            }
+        })
+        .expect("drain sweep job");
+    let serve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(res.code, 0, "serve sweep failed: {}", res.message);
+    streamed.sort_by_key(|(i, _)| *i);
+    let streamed: Vec<Vec<u8>> = streamed.into_iter().map(|(_, p)| p).collect();
+    assert_eq!(
+        streamed, reference,
+        "streamed serve cells diverge from the batch sweep"
+    );
+    drop(session);
+    handle.stop();
+
+    println!(
+        "  serve: {serve_ms:9.1} ms  (batch {batch_ms:.1} ms, +{:.1} ms socket/stream \
+         overhead, results identical)",
+        serve_ms - batch_ms
+    );
+    (serve_ms, batch_ms)
 }

@@ -3,7 +3,7 @@
 //! compile → instrument (loop nest → SESE → outline → duplicate →
 //! dispatch) → baseline run → instrumented run → correlated metrics.
 
-use miniperf::run_roofline;
+use miniperf::RooflineRequest;
 use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
 use mperf_ir::transform::PassManager;
 use mperf_sim::PlatformSpec;
@@ -61,7 +61,9 @@ fn main() {
         ])
     };
     let spec = PlatformSpec::x60();
-    let run = run_roofline(&module, &spec, "scale_add", &setup).expect("roofline run");
+    let run = RooflineRequest::new()
+        .run(&module, &spec, "scale_add", &setup)
+        .expect("roofline run");
     let r = &run.regions[0];
     println!("[phase 1] baseline:     {:>10} cycles", r.baseline_cycles);
     println!(

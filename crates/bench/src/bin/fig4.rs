@@ -8,7 +8,7 @@
 //!   roof (the paper's 25.6 GFLOP/s derivation) and the memset-derived
 //!   memory roof (~3.16 B/cycle).
 
-use miniperf::run_roofline;
+use miniperf::RooflineRequest;
 use mperf_bench::{header, BenchArgs};
 use mperf_event::{EventKind, HwCounter, PerfEventAttr};
 use mperf_roofline::model::Point;
@@ -71,7 +71,9 @@ fn main() {
         let module = mperf_workloads::compile_for("mm", SOURCE, platform, true)
             .expect("compiles instrumented");
         let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> { bench.setup(vm) };
-        let run = run_roofline(&module, &spec, ENTRY, &setup).expect("roofline run");
+        let run = RooflineRequest::new()
+            .run(&module, &spec, ENTRY, &setup)
+            .expect("roofline run");
         let advisor_gflops = advisor_style(platform, bench);
         let ch = characterize(platform);
         (run, advisor_gflops, ch)

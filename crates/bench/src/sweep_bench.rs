@@ -9,9 +9,8 @@
 //! compared — and bit-identity-checked — against.
 
 use miniperf::{
-    run_roofline_sweep, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
-    RooflineRun, SetupSpec, ShardedCellSpec, ShardedSweep, ShardedSweepOptions, SupervisedSweep,
-    SweepOptions,
+    run_roofline_sweep, run_roofline_sweep_sharded, RooflineJob, RooflineRequest, RooflineRun,
+    SetupSpec, ShardedCellSpec, ShardedSweep, ShardedSweepOptions, SupervisedSweep,
 };
 use mperf_ir::Module;
 use mperf_sim::Platform;
@@ -182,14 +181,12 @@ impl SweepMatrix {
         resume: bool,
     ) -> Result<(Duration, SupervisedSweep), JournalError> {
         let jobs = self.jobs();
-        let opts = SweepOptions {
-            jobs: threads,
-            journal,
-            resume,
-            ..Default::default()
-        };
+        let request = RooflineRequest::new()
+            .jobs(threads)
+            .journal_opt(journal)
+            .resume(resume);
         let t0 = Instant::now();
-        let sweep = run_roofline_sweep_supervised(&jobs, &opts)?;
+        let sweep = request.run_supervised(&jobs)?;
         Ok((t0.elapsed(), sweep))
     }
 

@@ -6,631 +6,25 @@
 //! miniperf record [--platform x60] [--period N]   # sample a demo workload
 //! miniperf stat   [--platform u74]        # count events
 //! miniperf roofline [--platform x60] [--jobs N]   # two-phase roofline of a kernel
+//! miniperf sweep  [--shards N] [--journal PATH]   # supervised all-platform sweep
+//! miniperf serve  [--socket PATH]         # profiling-as-a-service daemon
+//! miniperf submit <kind> [--socket PATH]  # run one job on a serve daemon
 //! ```
-
-use miniperf::flamegraph::{fold_stacks, folded_text, Metric};
-use miniperf::report::{text_table, thousands};
-use miniperf::{
-    cli_triad_setup, hotspot_table, probe_sampling, record, run_roofline_jobs_cfg,
-    run_roofline_sweep_sharded, run_roofline_sweep_supervised, stat, RecordConfig, RooflineJob,
-    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
-};
-use mperf_event::{EventKind, HwCounter, PerfKernel};
-use mperf_sim::{Core, Platform};
-use mperf_sweep::{RetryPolicy, WorkerCmd};
-use mperf_vm::{Engine, ExecConfig, Value, Vm};
-use std::path::PathBuf;
-use std::time::Duration;
-
-const DEMO: &str = r#"
-    fn inner(p: *i64, n: i64) -> i64 {
-        var h: i64 = 0;
-        for (var i: i64 = 0; i < n; i = i + 1) {
-            h = (h ^ p[i % 512]) * 31 + (i >> 2);
-        }
-        return h;
-    }
-    fn demo(p: *i64, n: i64, rounds: i64) -> i64 {
-        var acc: i64 = 0;
-        for (var r: i64 = 0; r < rounds; r = r + 1) {
-            acc = acc + inner(p, n);
-        }
-        return acc;
-    }
-"#;
-
-const KERNEL: &str = r#"
-    fn triad(a: *f64, b: *f64, c: *f64, n: i64, k: f64) {
-        for (var i: i64 = 0; i < n; i = i + 1) {
-            a[i] = b[i] + k * c[i];
-        }
-    }
-"#;
-
-fn parse_platform(s: &str) -> Option<Platform> {
-    match s {
-        "x60" | "spacemit-x60" => Some(Platform::SpacemitX60),
-        "c910" | "thead-c910" => Some(Platform::TheadC910),
-        "u74" | "sifive-u74" => Some(Platform::SifiveU74),
-        "i5" | "x86" => Some(Platform::IntelI5_1135G7),
-        _ => None,
-    }
-}
-
-const USAGE: &str = "\
-miniperf — PMU profiling and hardware-agnostic roofline analysis on the
-simulated platform stack (PACT 2025 artifact).
-
-usage: miniperf <command> [options]
-
-commands:
-  probe      Table-1-style capability probe of every platform model
-  record     sample a demo workload and print hotspots + folded stacks
-  stat       count hardware events over the demo workload
-  roofline   two-phase roofline of a triad kernel (plus machine roofs)
-  sweep      supervised triad roofline across every platform model:
-             panics and traps are isolated per cell, transient failures
-             retry, and healthy cells always complete (exit 0 = all
-             cells ok, 3 = partial results, 4 = fatal or no results)
-
-options:
-  --platform <x60|c910|u74|i5>   platform model (default: x60)
-  --period <N>                   sampling period for `record` (default: 9973)
-  --jobs <N>                     worker threads for `roofline`'s sweep jobs
-                                 (default: available parallelism; 1 = serial;
-                                 results are identical at any value)
-  --engine <threaded|decoded|reference>
-                                 execution engine (default: threaded — template
-                                 dispatch with superblock PMU retire; all are
-                                 observably identical — decoded/reference are
-                                 the bisection baselines)
-  --no-fuse                      disable decode-time superinstruction fusion
-                                 (identical measurements, slower execution)
-  --no-regalloc                  disable decode-time register allocation /
-                                 copy coalescing (identical measurements,
-                                 slower execution)
-  --journal <PATH>               checkpoint journal for `sweep`: every
-                                 completed cell is appended (crash-safe,
-                                 torn tails are recovered on open)
-  --resume                       satisfy `sweep` cells from the journal
-                                 instead of re-executing them (requires
-                                 --journal; the final report is
-                                 byte-identical to an uninterrupted run)
-  --retries <N>                  attempts per sweep cell before it is
-                                 quarantined (default: 3; 1 = no retries)
-  --shards <N>                   run `sweep` across N worker *processes*
-                                 (crash/hang isolation: a killed or stalled
-                                 worker is respawned and its cell retried;
-                                 results stay bit-identical to --shards 1
-                                 and compose with --journal/--resume)
-  -h, --help                     print this help
-
-Every report starts with a `config:` line naming the engine, fusion, and
-regalloc settings it actually ran, so captured output is self-describing.
-";
-
-struct Opts {
-    platform: Platform,
-    period: u64,
-    jobs: usize,
-    exec: ExecConfig,
-    journal: Option<PathBuf>,
-    resume: bool,
-    retries: u32,
-    /// Worker processes for `sweep` (0 = in-process threads).
-    shards: usize,
-}
-
-fn usage_error(msg: &str) -> ! {
-    eprintln!("miniperf: {msg}\n");
-    eprint!("{USAGE}");
-    std::process::exit(2);
-}
-
-impl Opts {
-    /// The `config:` report header: the engine/fusion/regalloc
-    /// configuration this run *actually* used, so checked-in or piped
-    /// output is self-describing.
-    fn config_line(&self) -> String {
-        format!(
-            "config: platform={} {} jobs={}",
-            self.platform.spec().name,
-            self.exec.describe(),
-            self.jobs
-        )
-    }
-}
-
-fn parse_opts(args: &[String]) -> Opts {
-    let mut opts = Opts {
-        platform: Platform::SpacemitX60,
-        period: 9_973,
-        jobs: mperf_sweep::default_jobs(),
-        exec: ExecConfig::default(),
-        journal: None,
-        resume: false,
-        retries: 3,
-        shards: 0,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--platform" => match it.next().map(|v| (v, parse_platform(v))) {
-                Some((_, Some(p))) => opts.platform = p,
-                Some((v, None)) => usage_error(&format!(
-                    "unknown platform {v:?} (use x60 | c910 | u74 | i5)"
-                )),
-                None => usage_error("--platform needs a value"),
-            },
-            "--period" => match it.next().map(|v| (v, v.parse::<u64>())) {
-                Some((_, Ok(v))) if v > 0 => opts.period = v,
-                Some((v, _)) => usage_error(&format!("bad --period {v:?}")),
-                None => usage_error("--period needs a value"),
-            },
-            "--jobs" => match it.next().map(|v| (v, v.parse::<usize>())) {
-                Some((_, Ok(v))) if v > 0 => opts.jobs = v,
-                Some((v, _)) => usage_error(&format!("bad --jobs {v:?}")),
-                None => usage_error("--jobs needs a value"),
-            },
-            "--engine" => match it.next().map(String::as_str) {
-                Some("threaded") => opts.exec.engine = Engine::Threaded,
-                Some("decoded") => opts.exec.engine = Engine::Decoded,
-                Some("reference") => opts.exec.engine = Engine::Reference,
-                Some(v) => usage_error(&format!(
-                    "unknown engine {v:?} (use threaded | decoded | reference)"
-                )),
-                None => usage_error("--engine needs a value"),
-            },
-            "--no-fuse" => opts.exec.fuse = false,
-            "--no-regalloc" => opts.exec.regalloc = false,
-            "--journal" => match it.next() {
-                Some(v) => opts.journal = Some(PathBuf::from(v)),
-                None => usage_error("--journal needs a path"),
-            },
-            "--resume" => opts.resume = true,
-            "--retries" => match it.next().map(|v| (v, v.parse::<u32>())) {
-                Some((_, Ok(v))) if v > 0 => opts.retries = v,
-                Some((v, _)) => usage_error(&format!("bad --retries {v:?}")),
-                None => usage_error("--retries needs a value"),
-            },
-            "--shards" => match it.next().map(|v| (v, v.parse::<usize>())) {
-                Some((_, Ok(v))) if v > 0 => opts.shards = v,
-                Some((v, _)) => usage_error(&format!("bad --shards {v:?}")),
-                None => usage_error("--shards needs a value"),
-            },
-            "-h" | "--help" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => usage_error(&format!("unknown option {other:?}")),
-        }
-    }
-    if opts.resume && opts.journal.is_none() {
-        usage_error("--resume requires --journal");
-    }
-    opts
-}
-
-fn demo_vm(platform: Platform) -> (Vm<'static>, Vec<Value>) {
-    let module = Box::leak(Box::new(
-        mperf_workloads::compile_for("cli", DEMO, platform, false).expect("demo compiles"),
-    ));
-    let mut vm = Vm::new(module, Core::new(platform.spec()));
-    let p = vm.mem.alloc(512 * 8, 64).expect("alloc");
-    for i in 0..512u64 {
-        vm.mem
-            .write_u64(p + i * 8, i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .expect("write");
-    }
-    let args = vec![Value::I64(p as i64), Value::I64(20_000), Value::I64(10)];
-    (vm, args)
-}
-
-fn cmd_probe() {
-    let mut rows = vec![vec![
-        "Platform".to_string(),
-        "OoO".to_string(),
-        "Vector".to_string(),
-        "Sampling".to_string(),
-        "Strategy".to_string(),
-    ]];
-    for p in Platform::ALL {
-        let spec = p.spec();
-        let mut core = Core::new(spec.clone());
-        let mut kernel = PerfKernel::new(&mut core);
-        let support = probe_sampling(&mut core, &mut kernel);
-        let detected = miniperf::detect(&core).expect("modeled platform");
-        rows.push(vec![
-            spec.name.to_string(),
-            if spec.out_of_order { "yes" } else { "no" }.into(),
-            spec.vector
-                .map(|v| v.version.to_string())
-                .unwrap_or_else(|| "-".into()),
-            support.to_string(),
-            format!("{:?}", detected.strategy),
-        ]);
-    }
-    print!("{}", text_table(&rows));
-}
-
-fn cmd_record(opts: &Opts) {
-    println!("{}", opts.config_line());
-    let (mut vm, args) = demo_vm(opts.platform);
-    vm.configure(opts.exec);
-    match record(
-        &mut vm,
-        "demo",
-        &args,
-        RecordConfig {
-            period: opts.period,
-        },
-    ) {
-        Ok(profile) => {
-            println!(
-                "{}: {} samples via {:?} (period {}), IPC {:.2}\n",
-                opts.platform.spec().name,
-                profile.samples.len(),
-                profile.strategy,
-                opts.period,
-                profile.ipc()
-            );
-            let mut rows = vec![vec![
-                "Function".to_string(),
-                "Total %".to_string(),
-                "Instructions".to_string(),
-                "IPC".to_string(),
-            ]];
-            for r in hotspot_table(&profile).into_iter().take(8) {
-                rows.push(vec![
-                    r.function,
-                    format!("{:.2}%", r.total_percent),
-                    thousands(r.instructions),
-                    format!("{:.2}", r.ipc),
-                ]);
-            }
-            print!("{}", text_table(&rows));
-            println!("\nfolded stacks (cycles):");
-            print!("{}", folded_text(&fold_stacks(&profile, Metric::Cycles)));
-        }
-        Err(e) => {
-            eprintln!("record failed: {e}");
-            eprintln!("hint: `miniperf stat` works on every platform.");
-            std::process::exit(1);
-        }
-    }
-}
-
-fn cmd_stat(opts: &Opts) {
-    println!("{}", opts.config_line());
-    let (mut vm, args) = demo_vm(opts.platform);
-    vm.configure(opts.exec);
-    let events = [
-        EventKind::Hardware(HwCounter::BranchInstructions),
-        EventKind::Hardware(HwCounter::BranchMisses),
-        EventKind::Hardware(HwCounter::CacheReferences),
-        EventKind::Hardware(HwCounter::CacheMisses),
-    ];
-    // The U74 only has two generic counters; degrade gracefully.
-    let trimmed: &[EventKind] = if opts.platform == Platform::SifiveU74 {
-        &events[..2]
-    } else {
-        &events
-    };
-    match stat(&mut vm, "demo", &args, trimmed) {
-        Ok(rep) => {
-            println!("{}:", opts.platform.spec().name);
-            println!("  cycles        {}", thousands(rep.cycles));
-            println!("  instructions  {}", thousands(rep.instructions));
-            println!("  IPC           {:.2}", rep.ipc());
-            for (ev, v) in &rep.counts {
-                println!("  {ev:?}  {}", thousands(*v));
-            }
-        }
-        Err(e) => {
-            eprintln!("stat failed: {e}");
-            std::process::exit(1);
-        }
-    }
-}
-
-/// The triad kernel, compiled + instrumented for one platform's vector
-/// capabilities. The same pipeline a `sweep-worker` runs on its side of
-/// the process boundary, so serial and sharded sweeps hash identical
-/// modules into their journal keys.
-fn triad_module(platform: Platform) -> mperf_ir::Module {
-    mperf_workloads::compile_for("cli", KERNEL, platform, true).expect("kernel compiles")
-}
-
-fn cmd_roofline(opts: &Opts) {
-    println!("{}", opts.config_line());
-    let module = triad_module(opts.platform);
-    let spec = opts.platform.spec();
-    let setup = cli_triad_setup(32_768);
-    // Baseline + instrumented phases run as independent sweep jobs; the
-    // machine characterization fans its memset/triad kernels out the
-    // same way.
-    let run = match run_roofline_jobs_cfg(&module, &spec, "triad", &setup, opts.jobs, opts.exec) {
-        Ok(run) => run,
-        Err(e) => {
-            eprintln!("roofline failed: {e}");
-            eprintln!("hint: `miniperf sweep` isolates per-platform failures.");
-            std::process::exit(1);
-        }
-    };
-    let r = &run.regions[0];
-    if run.unbalanced_ends > 0 {
-        eprintln!(
-            "warning: {} unbalanced loop_end notification(s) — region \
-             instrumentation is broken; tallies are untrustworthy",
-            run.unbalanced_ends
-        );
-    }
-    let ch = mperf_roofline::characterize_with_jobs(opts.platform, 8 << 20, opts.jobs);
-    let mut model = ch.to_model();
-    model.add_point(mperf_roofline::Point {
-        name: "triad".into(),
-        ai: r.ai(),
-        gflops: r.gflops(spec.freq_hz),
-    });
-    println!(
-        "{}: triad {:.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x)\n",
-        spec.name,
-        r.gflops(spec.freq_hz),
-        r.ai(),
-        r.overhead_factor()
-    );
-    print!("{}", mperf_roofline::plot::ascii(&model, 64, 16));
-}
-
-/// Supervised roofline sweep of the triad kernel across every platform
-/// model. Each cell is panic-isolated and retried per `--retries`;
-/// healthy cells always complete and are reported even when others
-/// fail. Exit status: 0 = every cell completed, 3 = partial results,
-/// 4 = fatal failure or no results at all.
-fn cmd_sweep(opts: &Opts) -> i32 {
-    if opts.shards > 0 {
-        return cmd_sweep_sharded(opts);
-    }
-    println!(
-        "config: sweep platforms={} {} jobs={} retries={}{}{}",
-        Platform::ALL.len(),
-        opts.exec.describe(),
-        opts.jobs,
-        opts.retries,
-        opts.journal
-            .as_ref()
-            .map(|p| format!(" journal={}", p.display()))
-            .unwrap_or_default(),
-        if opts.resume { " resume" } else { "" },
-    );
-    let n = 32_768u64;
-    let modules: Vec<mperf_ir::Module> = Platform::ALL.iter().map(|&p| triad_module(p)).collect();
-    let cells: Vec<RooflineJob> = modules
-        .iter()
-        .zip(Platform::ALL)
-        .map(|(module, p)| RooflineJob {
-            module,
-            decoded: None,
-            spec: p.spec(),
-            entry: "triad".into(),
-            setup: Box::new(cli_triad_setup(n)),
-        })
-        .collect();
-    let sweep_opts = SweepOptions {
-        jobs: opts.jobs,
-        cfg: opts.exec,
-        policy: RetryPolicy {
-            max_attempts: opts.retries,
-            retry_panics: true,
-        },
-        journal: opts.journal.clone(),
-        resume: opts.resume,
-    };
-    let sweep = match run_roofline_sweep_supervised(&cells, &sweep_opts) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("sweep failed before any cell ran: {e}");
-            return 4;
-        }
-    };
-    let report = &sweep.report;
-    for (i, cell) in cells.iter().enumerate() {
-        let retries = report.retried.iter().filter(|(idx, _)| *idx == i).count();
-        let tag = if sweep.resumed.contains(&i) {
-            " [resumed]".to_string()
-        } else if retries > 0 {
-            format!(
-                " [{retries} retr{}]",
-                if retries == 1 { "y" } else { "ies" }
-            )
-        } else {
-            String::new()
-        };
-        match &report.results[i] {
-            Some(run) => {
-                let r = &run.regions[0];
-                println!(
-                    "  {:<22} triad {:>6.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x){tag}",
-                    run.platform_name,
-                    r.gflops(run.freq_hz),
-                    r.ai(),
-                    r.overhead_factor()
-                );
-            }
-            None => {
-                if let Some(f) = report.failed.iter().find(|f| f.index == i) {
-                    let why = if f.quarantined {
-                        format!("quarantined after {} attempts", f.attempts)
-                    } else {
-                        format!("attempt {}", f.attempts)
-                    };
-                    println!(
-                        "  {:<22} triad FAILED ({why}): {}{tag}",
-                        cell.spec.name, f.error
-                    );
-                } else {
-                    println!(
-                        "  {:<22} triad SKIPPED (sweep cancelled by a fatal failure)",
-                        cell.spec.name
-                    );
-                }
-            }
-        }
-    }
-    let completed = report.completed();
-    println!(
-        "sweep: {completed}/{} cells completed, {} failed, {} skipped, \
-         {} retries granted, {} resumed from journal",
-        cells.len(),
-        report.failed.len(),
-        report.skipped.len(),
-        report.retried.len(),
-        sweep.resumed.len()
-    );
-    if report.all_ok() {
-        0
-    } else if completed > 0 && report.skipped.is_empty() {
-        3
-    } else {
-        4
-    }
-}
-
-/// `sweep --shards N`: the same triad sweep pushed across worker
-/// *processes* — crashes, hangs, and corrupt frames are survived by
-/// kill + respawn + retry, and completed cells are bit-identical to
-/// the in-process sweep. Same exit-status contract as [`cmd_sweep`].
-fn cmd_sweep_sharded(opts: &Opts) -> i32 {
-    println!(
-        "config: sweep platforms={} {} shards={} retries={}{}{}",
-        Platform::ALL.len(),
-        opts.exec.describe(),
-        opts.shards,
-        opts.retries,
-        opts.journal
-            .as_ref()
-            .map(|p| format!(" journal={}", p.display()))
-            .unwrap_or_default(),
-        if opts.resume { " resume" } else { "" },
-    );
-    let specs: Vec<ShardedCellSpec> = Platform::ALL
-        .iter()
-        .map(|&p| ShardedCellSpec {
-            workload: "cli".into(),
-            source: KERNEL.into(),
-            entry: "triad".into(),
-            platform: p,
-            setup: SetupSpec::CliTriad { n: 32_768 },
-        })
-        .collect();
-    let exe = std::env::current_exe().expect("current exe");
-    let mut worker = WorkerCmd::new(exe);
-    worker.args.push("sweep-worker".into());
-    let sharded_opts = ShardedSweepOptions {
-        shards: opts.shards,
-        cfg: opts.exec,
-        policy: RetryPolicy {
-            max_attempts: opts.retries,
-            retry_panics: true,
-        },
-        journal: opts.journal.clone(),
-        resume: opts.resume,
-        deadline_ticks: 600,
-        tick: Duration::from_millis(50),
-        worker,
-    };
-    let sweep = match run_roofline_sweep_sharded(&specs, &sharded_opts) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("sweep failed before any cell ran: {e}");
-            return 4;
-        }
-    };
-    for (i, spec) in specs.iter().enumerate() {
-        let retries = sweep.retried.iter().filter(|(idx, _)| *idx == i).count();
-        let tag = if sweep.resumed.contains(&i) {
-            " [resumed]".to_string()
-        } else if retries > 0 {
-            format!(
-                " [{retries} retr{}]",
-                if retries == 1 { "y" } else { "ies" }
-            )
-        } else {
-            String::new()
-        };
-        match &sweep.results[i] {
-            Some(run) => {
-                let r = &run.regions[0];
-                println!(
-                    "  {:<22} triad {:>6.2} GFLOP/s at AI {:.3} FLOP/B (overhead {:.2}x){tag}",
-                    run.platform_name,
-                    r.gflops(run.freq_hz),
-                    r.ai(),
-                    r.overhead_factor()
-                );
-            }
-            None => {
-                let name = spec.platform.spec().name;
-                if let Some(f) = sweep.failed.iter().find(|f| f.index == i) {
-                    let why = if sweep.poisoned.contains(&i) {
-                        format!("poison cell, quarantined after {} attempts", f.attempts)
-                    } else if f.quarantined {
-                        format!("quarantined after {} attempts", f.attempts)
-                    } else {
-                        format!("attempt {}", f.attempts)
-                    };
-                    println!("  {name:<22} triad FAILED ({why}): {}{tag}", f.error);
-                } else {
-                    println!("  {name:<22} triad SKIPPED (sweep cancelled by a fatal failure)");
-                }
-            }
-        }
-    }
-    if let Some(fatal) = &sweep.fatal {
-        eprintln!("sweep cancelled: {fatal}");
-    }
-    let completed = sweep.completed();
-    println!(
-        "sweep: {completed}/{} cells completed, {} failed ({} poison), {} skipped, \
-         {} retries granted, {} worker respawns, {} resumed from journal",
-        specs.len(),
-        sweep.failed.len(),
-        sweep.poisoned.len(),
-        sweep.skipped.len(),
-        sweep.retried.len(),
-        sweep.respawns,
-        sweep.resumed.len()
-    );
-    if sweep.all_ok() {
-        0
-    } else if completed > 0 && sweep.skipped.is_empty() {
-        3
-    } else {
-        4
-    }
-}
+//!
+//! This file is deliberately a shell: [`miniperf::cli::parse`] owns the
+//! argument surface, [`miniperf::cli::run`] owns execution, and the one
+//! `std::process::exit` below runs after every destructor — the serve
+//! daemon's socket-file guard, journal flushes — has had its say.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first() else {
-        usage_error("missing command");
+    let code = match miniperf::cli::parse(&argv) {
+        Ok(cmd) => miniperf::cli::run(cmd),
+        Err(msg) => {
+            eprintln!("miniperf: {msg}\n");
+            eprint!("{}", miniperf::cli::USAGE);
+            2
+        }
     };
-    if cmd == "-h" || cmd == "--help" {
-        print!("{USAGE}");
-        return;
-    }
-    // Hidden worker entry point: `sweep --shards N` children. Takes no
-    // options — everything a cell needs travels in its payload.
-    if cmd == "sweep-worker" {
-        std::process::exit(miniperf::worker_main());
-    }
-    let opts = parse_opts(&argv[1..]);
-    match cmd.as_str() {
-        "probe" => cmd_probe(),
-        "record" => cmd_record(&opts),
-        "stat" => cmd_stat(&opts),
-        "roofline" => cmd_roofline(&opts),
-        "sweep" => std::process::exit(cmd_sweep(&opts)),
-        other => usage_error(&format!("unknown command {other:?}")),
-    }
+    std::process::exit(code);
 }

@@ -20,6 +20,7 @@
 //!    plus a TMA-style top-level breakdown ([`tma`], the paper's §6
 //!    future-work direction) on platforms with full PMUs.
 
+pub mod cli;
 pub mod detect;
 pub mod flamegraph;
 pub mod hotspot;
@@ -27,24 +28,29 @@ pub mod profile;
 pub mod record;
 pub mod report;
 pub mod roofline_runner;
+pub mod serve;
 pub mod shard_exec;
 pub mod stat;
 pub mod sweep_supervisor;
 pub mod tma;
 
+pub use cli::{Command, CommonOpts, JobKind, JobSpec};
 pub use detect::{detect, probe_sampling, Detected, SamplingStrategy, SamplingSupport};
 pub use hotspot::{hotspot_table, HotspotRow};
 pub use profile::{ProfSample, Profile};
 pub use record::{record, RecordConfig};
+#[allow(deprecated)]
+pub use roofline_runner::{run_roofline, run_roofline_jobs, run_roofline_jobs_cfg};
 pub use roofline_runner::{
-    run_roofline, run_roofline_jobs, run_roofline_jobs_cfg, run_roofline_sweep, PhaseObservables,
-    RegionMeasurement, RooflineJob, RooflineRun, SetupFn,
+    run_roofline_sweep, PhaseObservables, RegionMeasurement, RooflineJob, RooflineRequest,
+    RooflineRun, SetupFn,
 };
+pub use serve::{run_daemon, run_submit, ServeHandle, ServeStats};
 pub use shard_exec::{
     cli_triad_setup, run_roofline_sweep_sharded, worker_main, SetupSpec, ShardedCellSpec,
     ShardedSweep, ShardedSweepOptions,
 };
 pub use stat::{stat, StatReport};
-pub use sweep_supervisor::{
-    run_roofline_sweep_supervised, SupervisedSweep, SweepCellError, SweepOptions,
-};
+#[allow(deprecated)]
+pub use sweep_supervisor::run_roofline_sweep_supervised;
+pub use sweep_supervisor::{SupervisedSweep, SweepCellError, SweepOptions};

@@ -85,6 +85,28 @@ pub fn record(
     args: &[Value],
     cfg: RecordConfig,
 ) -> Result<Profile, RecordError> {
+    let mut samples = Vec::new();
+    let mut profile = record_streamed(vm, entry, args, cfg, &mut |s| samples.push(s))?;
+    profile.samples = samples;
+    Ok(profile)
+}
+
+/// [`record`] with per-sample streaming: every decoded [`ProfSample`]
+/// is handed to `sink` as it is drained from the ring buffer, and the
+/// returned [`Profile`] carries an **empty** `samples` vector — only
+/// totals, strategy, and symbolization. This is the serve daemon's
+/// bounded-memory path: resident sample state is one sample, not the
+/// run length.
+///
+/// # Errors
+/// See [`record`].
+pub fn record_streamed(
+    vm: &mut Vm,
+    entry: &str,
+    args: &[Value],
+    cfg: RecordConfig,
+    sink: &mut dyn FnMut(ProfSample),
+) -> Result<Profile, RecordError> {
     if vm.kernel.is_none() {
         let k = PerfKernel::new(&mut vm.core);
         vm.attach_kernel(k);
@@ -160,9 +182,10 @@ pub fn record(
     };
     let total_instructions = total_of(instr_id);
 
-    // Decode samples into per-sample deltas.
+    // Decode samples into per-sample deltas, handing each one to the
+    // sink as soon as it is decoded (nothing accumulates here).
     let records = kernel.drain_records(leader)?;
-    let mut samples = Vec::new();
+    let mut sampled_cycles = 0u64;
     let mut lost = 0u64;
     let mut prev_cycles = 0u64;
     let mut prev_instr = 0u64;
@@ -187,7 +210,8 @@ pub fn record(
                     d
                 };
                 let i = get(instr_id);
-                samples.push(ProfSample {
+                sampled_cycles += cycles;
+                sink(ProfSample {
                     ip: s.ip.unwrap_or(0),
                     callchain: s.callchain.clone(),
                     cycles,
@@ -198,7 +222,7 @@ pub fn record(
         }
     }
     let total_cycles = if direct {
-        samples.iter().map(|s| s.cycles).sum()
+        sampled_cycles
     } else {
         total_of(cycles_id)
     };
@@ -206,7 +230,7 @@ pub fn record(
     Ok(Profile {
         platform: detected.platform,
         strategy: detected.strategy,
-        samples,
+        samples: Vec::new(),
         lost,
         total_cycles,
         total_instructions,

@@ -13,22 +13,34 @@
 //! The two phases are *independent simulations*: each runs on a fresh
 //! VM/core from identical initial state (the determinism assumption of
 //! §4.4), so nothing orders baseline before instrumented except the
-//! final correlation. [`run_roofline_jobs`] exploits that by submitting
-//! each phase as one job to the `mperf-sweep` scheduler — both share
-//! one `Arc`-shared decode — and correlating the collected results.
-//! [`run_roofline_sweep`] scales the same shape to a whole
+//! final correlation. [`RooflineRequest::run`] exploits that by
+//! submitting each phase as one job to the `mperf-sweep` scheduler —
+//! both share one `Arc`-shared decode — and correlating the collected
+//! results. [`run_roofline_sweep`] scales the same shape to a whole
 //! `workload × platform` matrix: every cell expands into its two phase
 //! jobs, all jobs drain through one worker pool, and results come back
 //! in cell order, bit-identical to the serial sweep (`jobs = 1` *is*
 //! the serial sweep — no threads are spawned).
+//!
+//! ## One entry point
+//!
+//! [`RooflineRequest`] is a builder over every knob the historical
+//! `run_roofline` / `run_roofline_jobs` / `run_roofline_jobs_cfg` /
+//! `run_roofline_sweep_supervised` family accumulated: worker threads,
+//! engine configuration, retry policy, journal path, resume. Defaults
+//! reproduce the old zero-argument behavior exactly; the old functions
+//! survive as deprecated one-line shims.
 
+use crate::sweep_supervisor::{SupervisedSweep, SweepOptions};
 use mperf_ir::Module;
 use mperf_sim::{pmu::NUM_COUNTERS, Core, PlatformSpec};
-use mperf_sweep::{queue, Phase};
+use mperf_sweep::journal::JournalError;
+use mperf_sweep::{queue, Phase, RetryPolicy};
 use mperf_vm::{
     decode_module_cfg, DecodedModule, ExecConfig, ExecStats, RegionStats, Value, Vm, VmError,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The guest-data staging callback: runs once per phase on that phase's
@@ -294,30 +306,195 @@ pub(crate) fn correlate(
     }
 }
 
-/// Run the two-phase workflow serially (one job at a time). `setup`
-/// stages guest data and returns the entry arguments; it runs once per
-/// phase on a fresh VM so both phases see identical initial state (the
-/// determinism assumption of §4.4).
+/// Builder for roofline measurements: one entry point for single runs
+/// ([`RooflineRequest::run`]) and supervised sweeps
+/// ([`RooflineRequest::run_supervised`]), with every knob defaulted.
+///
+/// `RooflineRequest::new()` reproduces the historical `run_roofline`
+/// behavior exactly: serial (`jobs = 1`), default [`ExecConfig`],
+/// default [`RetryPolicy`], no journal, no resume.
+///
+/// ```no_run
+/// # use miniperf::RooflineRequest;
+/// # fn demo(module: &mperf_ir::Module, spec: &mperf_sim::PlatformSpec,
+/// #         setup: miniperf::SetupFn) {
+/// let run = RooflineRequest::new()
+///     .jobs(4)
+///     .run(module, spec, "triad", setup)
+///     .unwrap();
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RooflineRequest {
+    jobs: Option<usize>,
+    cfg: ExecConfig,
+    policy: RetryPolicy,
+    journal: Option<PathBuf>,
+    resume: bool,
+}
+
+impl RooflineRequest {
+    pub fn new() -> RooflineRequest {
+        RooflineRequest::default()
+    }
+
+    /// Worker threads for phase/cell jobs (default 1 = strictly serial;
+    /// results are bit-identical at any worker count).
+    pub fn jobs(mut self, jobs: usize) -> RooflineRequest {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Engine configuration (the `--engine` / `--no-fuse` /
+    /// `--no-regalloc` plumbing for regression bisection). Every
+    /// configuration is observably identical: engine choice and decode
+    /// passes change speed, never measurements.
+    pub fn config(mut self, cfg: ExecConfig) -> RooflineRequest {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Retry/quarantine policy for supervised sweeps.
+    pub fn policy(mut self, policy: RetryPolicy) -> RooflineRequest {
+        self.policy = policy;
+        self
+    }
+
+    /// Checkpoint journal for supervised sweeps: every completed cell
+    /// is appended under its content-hash key.
+    pub fn journal(self, path: impl Into<PathBuf>) -> RooflineRequest {
+        self.journal_opt(Some(path.into()))
+    }
+
+    /// [`RooflineRequest::journal`] taking the option directly (CLI
+    /// plumbing).
+    pub fn journal_opt(mut self, path: Option<PathBuf>) -> RooflineRequest {
+        self.journal = path;
+        self
+    }
+
+    /// Satisfy sweep cells from the journal instead of re-executing
+    /// them (requires a journal; the report is byte-identical to an
+    /// uninterrupted run).
+    pub fn resume(mut self, resume: bool) -> RooflineRequest {
+        self.resume = resume;
+        self
+    }
+
+    /// Run the two-phase workflow on one module/platform. `setup`
+    /// stages guest data and returns the entry arguments; it runs once
+    /// per phase on a fresh VM so both phases see identical initial
+    /// state (the determinism assumption of §4.4). The two phases are
+    /// submitted as independent jobs to a pool of [`Self::jobs`]
+    /// threads; both phase VMs share one decode, built here in the
+    /// configured flavour.
+    ///
+    /// # Errors
+    /// Propagates guest traps; with both phases failing, the baseline
+    /// phase's error wins (serial order), deterministically.
+    pub fn run(
+        &self,
+        module: &Module,
+        spec: &PlatformSpec,
+        entry: &str,
+        setup: SetupFn,
+    ) -> Result<RooflineRun, VmError> {
+        let decoded = decode_module_cfg(module, self.cfg.decode());
+        self.run_prepared(module, &decoded, spec, entry, setup)
+    }
+
+    /// [`Self::run`] over a pre-built decode (must have been built with
+    /// this request's [`ExecConfig`]) — the serve daemon's warm-cache
+    /// path, where many jobs share one `Arc<DecodedModule>`.
+    ///
+    /// # Errors
+    /// See [`Self::run`].
+    pub fn run_prepared(
+        &self,
+        module: &Module,
+        decoded: &Arc<DecodedModule>,
+        spec: &PlatformSpec,
+        entry: &str,
+        setup: SetupFn,
+    ) -> Result<RooflineRun, VmError> {
+        let jobs = self.jobs.unwrap_or(1);
+        let mut phases = queue::try_run_jobs(Vec::from(Phase::BOTH), jobs, |_, phase| {
+            run_phase(module, decoded, spec, entry, setup, phase, self.cfg.engine)
+        })?;
+        let inst = phases.pop().expect("instrumented phase ran");
+        let base = phases.pop().expect("baseline phase ran");
+        Ok(correlate(module, spec, base, inst))
+    }
+
+    /// Run a cell matrix under supervision: panic isolation, retry with
+    /// quarantine per [`Self::policy`], trap-site reporting, and
+    /// (optionally) checkpoint journaling with resume. Completed cells
+    /// are bit-identical to fault-free [`Self::run`] calls over the
+    /// same cells.
+    ///
+    /// # Errors
+    /// Only journal *open* problems surface here; everything that
+    /// happens while sweeping is reported per cell in the returned
+    /// report.
+    pub fn run_supervised(&self, cells: &[RooflineJob]) -> Result<SupervisedSweep, JournalError> {
+        crate::sweep_supervisor::supervised_sweep(cells, &self.sweep_options())
+    }
+
+    /// [`Self::run_supervised`] with streaming and cancellation: every
+    /// completed cell (including journal-resumed ones) is handed to
+    /// `on_cell` the moment it exists — on whichever worker thread
+    /// produced it — and a set `cancel` flag fails the next cell as
+    /// fatal so still-queued cells skip. This is the serve daemon's
+    /// incremental-results bridge.
+    ///
+    /// # Errors
+    /// See [`Self::run_supervised`].
+    pub fn run_supervised_streaming(
+        &self,
+        cells: &[RooflineJob],
+        on_cell: &(dyn Fn(usize, &RooflineRun) + Sync),
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Result<SupervisedSweep, JournalError> {
+        crate::sweep_supervisor::supervised_sweep_hooked(
+            cells,
+            &self.sweep_options(),
+            crate::sweep_supervisor::SweepHooks {
+                on_cell: Some(on_cell),
+                cancel: Some(cancel),
+            },
+        )
+    }
+
+    fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            jobs: self.jobs.unwrap_or(1),
+            cfg: self.cfg,
+            policy: self.policy.clone(),
+            journal: self.journal.clone(),
+            resume: self.resume,
+        }
+    }
+}
+
+/// Run the two-phase workflow serially (one job at a time).
 ///
 /// # Errors
 /// Propagates guest traps from either phase.
+#[deprecated(note = "use RooflineRequest::new().run(...)")]
 pub fn run_roofline(
     module: &Module,
     spec: &PlatformSpec,
     entry: &str,
     setup: SetupFn,
 ) -> Result<RooflineRun, VmError> {
-    run_roofline_jobs(module, spec, entry, setup, 1)
+    RooflineRequest::new().run(module, spec, entry, setup)
 }
 
-/// [`run_roofline`] with the two phases submitted as independent jobs
-/// to a worker pool of `jobs` threads (`jobs = 1` is the serial
-/// fallback; results are bit-identical at any worker count). Both phase
-/// VMs share one decode, built here.
+/// Two-phase workflow over a worker pool of `jobs` threads.
 ///
 /// # Errors
-/// Propagates guest traps; with both phases failing, the baseline
-/// phase's error wins (serial order), deterministically.
+/// See [`RooflineRequest::run`].
+#[deprecated(note = "use RooflineRequest::new().jobs(n).run(...)")]
 pub fn run_roofline_jobs(
     module: &Module,
     spec: &PlatformSpec,
@@ -325,17 +502,16 @@ pub fn run_roofline_jobs(
     setup: SetupFn,
     jobs: usize,
 ) -> Result<RooflineRun, VmError> {
-    run_roofline_jobs_cfg(module, spec, entry, setup, jobs, ExecConfig::default())
+    RooflineRequest::new()
+        .jobs(jobs)
+        .run(module, spec, entry, setup)
 }
 
-/// [`run_roofline_jobs`] with an explicit engine configuration — the
-/// `--engine` / `--no-fuse` / `--no-regalloc` plumbing for regression
-/// bisection. Every configuration is observably identical (engine
-/// choice and decode passes change speed, never measurements); the
-/// decode shared by both phase jobs is built in the requested flavour.
+/// Two-phase workflow with an explicit engine configuration.
 ///
 /// # Errors
-/// See [`run_roofline_jobs`].
+/// See [`RooflineRequest::run`].
+#[deprecated(note = "use RooflineRequest::new().jobs(n).config(cfg).run(...)")]
 pub fn run_roofline_jobs_cfg(
     module: &Module,
     spec: &PlatformSpec,
@@ -344,13 +520,10 @@ pub fn run_roofline_jobs_cfg(
     jobs: usize,
     cfg: ExecConfig,
 ) -> Result<RooflineRun, VmError> {
-    let decoded = decode_module_cfg(module, cfg.decode());
-    let mut phases = queue::try_run_jobs(Vec::from(Phase::BOTH), jobs, |_, phase| {
-        run_phase(module, &decoded, spec, entry, setup, phase, cfg.engine)
-    })?;
-    let inst = phases.pop().expect("instrumented phase ran");
-    let base = phases.pop().expect("baseline phase ran");
-    Ok(correlate(module, spec, base, inst))
+    RooflineRequest::new()
+        .jobs(jobs)
+        .config(cfg)
+        .run(module, spec, entry, setup)
 }
 
 /// Run a whole roofline sweep: every cell's baseline and instrumented
@@ -446,13 +619,14 @@ mod tests {
     fn triad_measurement_matches_static_counts() {
         let n = 4096u64;
         let module = instrumented_module(TRIAD);
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::x60(),
-            "triad",
-            &triad_setup(n),
-        )
-        .unwrap();
+        let run = RooflineRequest::new()
+            .run(
+                &module,
+                &mperf_sim::PlatformSpec::x60(),
+                "triad",
+                &triad_setup(n),
+            )
+            .unwrap();
         assert_eq!(run.regions.len(), 1);
         let r = &run.regions[0];
         // Per iteration: load b + load c (8 bytes), store a (4), fma (2).
@@ -471,13 +645,14 @@ mod tests {
     #[test]
     fn instrumentation_overhead_is_visible_but_bounded() {
         let module = instrumented_module(TRIAD);
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::x60(),
-            "triad",
-            &triad_setup(2048),
-        )
-        .unwrap();
+        let run = RooflineRequest::new()
+            .run(
+                &module,
+                &mperf_sim::PlatformSpec::x60(),
+                "triad",
+                &triad_setup(2048),
+            )
+            .unwrap();
         let r = &run.regions[0];
         let ovh = r.overhead_factor();
         assert!(ovh > 1.05, "counters cost something: {ovh}");
@@ -487,13 +662,14 @@ mod tests {
     #[test]
     fn baseline_phase_runs_uninstrumented_code() {
         let module = instrumented_module(TRIAD);
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::x60(),
-            "triad",
-            &triad_setup(2048),
-        )
-        .unwrap();
+        let run = RooflineRequest::new()
+            .run(
+                &module,
+                &mperf_sim::PlatformSpec::x60(),
+                "triad",
+                &triad_setup(2048),
+            )
+            .unwrap();
         assert!(
             run.baseline_total_cycles < run.instrumented_total_cycles,
             "{} vs {}",
@@ -526,8 +702,9 @@ mod tests {
             let a = vm.mem.alloc(1024 * 8, 64)?;
             Ok(vec![Value::I64(a as i64), Value::I64(1024), Value::I64(5)])
         };
-        let run =
-            run_roofline(&module, &mperf_sim::PlatformSpec::c910(), "driver", &setup).unwrap();
+        let run = RooflineRequest::new()
+            .run(&module, &mperf_sim::PlatformSpec::c910(), "driver", &setup)
+            .unwrap();
         // The kernel loop region is invoked 5 times. (The driver loop
         // contains a call, so it is flagged; filter to the leaf region.)
         let leaf = run
@@ -567,13 +744,14 @@ mod tests {
             }
             Ok(vec![Value::I64(a as i64), Value::I64(512)])
         };
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::x60(),
-            "count_positive",
-            &setup,
-        )
-        .unwrap();
+        let run = RooflineRequest::new()
+            .run(
+                &module,
+                &mperf_sim::PlatformSpec::x60(),
+                "count_positive",
+                &setup,
+            )
+            .unwrap();
         assert_eq!(run.regions[0].invocations, 1);
         assert!(run.regions[0].loaded_bytes >= 512 * 8);
     }
@@ -583,8 +761,13 @@ mod tests {
         let module = instrumented_module(TRIAD);
         let setup = triad_setup(1024);
         let spec = mperf_sim::PlatformSpec::x60();
-        let serial = run_roofline_jobs(&module, &spec, "triad", &setup, 1).unwrap();
-        let parallel = run_roofline_jobs(&module, &spec, "triad", &setup, 2).unwrap();
+        let request = RooflineRequest::new();
+        let serial = request.run(&module, &spec, "triad", &setup).unwrap();
+        let parallel = request
+            .clone()
+            .jobs(2)
+            .run(&module, &spec, "triad", &setup)
+            .unwrap();
         assert_eq!(serial, parallel);
     }
 
@@ -612,7 +795,9 @@ mod tests {
         for (spec, got) in specs.iter().zip(&swept) {
             let got = got.as_ref().unwrap();
             assert_eq!(got.platform_name, spec.name, "cell order preserved");
-            let lone = run_roofline(&module, spec, "triad", &triad_setup(512)).unwrap();
+            let lone = RooflineRequest::new()
+                .run(&module, spec, "triad", &triad_setup(512))
+                .unwrap();
             assert_eq!(got, &lone, "sweep cell == standalone run on {}", spec.name);
         }
     }
@@ -675,13 +860,14 @@ mod tests {
                 args: vec![Operand::I64(region_id as i64)],
             },
         );
-        let run = run_roofline(
-            &module,
-            &mperf_sim::PlatformSpec::x60(),
-            "triad",
-            &triad_setup(128),
-        )
-        .unwrap();
+        let run = RooflineRequest::new()
+            .run(
+                &module,
+                &mperf_sim::PlatformSpec::x60(),
+                "triad",
+                &triad_setup(128),
+            )
+            .unwrap();
         // One stray end per phase (the entry function runs once per phase).
         assert_eq!(run.unbalanced_ends, 2, "both phases see the stray end");
         let r = run

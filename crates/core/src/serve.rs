@@ -1,0 +1,925 @@
+//! `miniperf serve`: profiling as a service over a Unix-domain socket.
+//!
+//! The daemon accepts `record`/`stat`/`roofline`/`sweep` jobs from any
+//! number of concurrent clients and executes them on the same machinery
+//! the batch commands use — [`crate::record::record_streamed`] for
+//! sampling, [`RooflineRequest`] for rooflines, and the supervised
+//! sweep (worker threads, retry policy, journal-backed resume) for
+//! sweeps. Results are *streamed*: every sample, region measurement,
+//! and completed sweep cell is framed and flushed the moment it exists,
+//! so daemon memory is bounded by one in-flight frame, not the job
+//! size. The wire format is [`mperf_sweep::proto`] — the same
+//! `MPSWIPC1` frames and handshake the sharded-sweep workers speak —
+//! and the session choreography is [`mperf_sweep::serve`].
+//!
+//! ## Warm decode cache
+//!
+//! All connections share one [`DecodeCache`] keyed by
+//! [`cell_key`] — the sweep journal's content-hash key (platform ×
+//! entry × exec config × module text) — so the second identical job
+//! performs **zero** module decodes. [`ServeHandle::stats`] exposes the
+//! decode/hit counters so tests can assert exactly that.
+//!
+//! ## Exit-status contract
+//!
+//! A job's terminal [`Msg::JobStatus`] code mirrors the batch CLI exit
+//! code (0 ok, 1 record/stat/roofline failure, 2 malformed job
+//! description, sweep 0/3/4) and [`CODE_CANCELLED`] for a cancelled
+//! job. `miniperf submit` exits with that code and renders through the
+//! same [`crate::cli`] body functions the batch commands print through,
+//! so streamed output is byte-identical to batch output.
+
+use crate::cli::{self, CommonOpts, JobKind, JobSpec, SweepOutcome};
+use crate::detect::SamplingStrategy;
+use crate::profile::{ProfSample, Profile};
+use crate::record::{record_streamed, RecordConfig};
+use crate::roofline_runner::{RegionMeasurement, RooflineRequest, RooflineRun};
+use crate::stat::{stat, StatReport};
+use crate::sweep_supervisor::{cell_key, decode_run, encode_run};
+use mperf_event::EventKind;
+use mperf_sim::{Core, Platform};
+use mperf_sweep::proto::{read_msg, write_msg, Msg, ProtoError, CODE_CANCELLED};
+use mperf_sweep::serve::{handshake_accept, ClientSession};
+use mperf_sweep::wire::{Dec, Enc, WireError};
+use mperf_sweep::RetryPolicy;
+use mperf_vm::{decode_module_cfg, DecodedModule, ExecConfig, Vm};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Event payload codecs. The framing layer treats these as opaque; both
+// ends of the socket agree on them here (same binary, same module).
+
+pub fn encode_sample(s: &ProfSample) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(s.ip);
+    e.u32(s.callchain.len() as u32);
+    for pc in &s.callchain {
+        e.u64(*pc);
+    }
+    e.u64(s.cycles);
+    e.u64(s.instructions);
+    e.into_bytes()
+}
+
+pub fn decode_sample(bytes: &[u8]) -> Result<ProfSample, String> {
+    let mut d = Dec::new(bytes);
+    let inner = |d: &mut Dec| -> Result<ProfSample, WireError> {
+        let ip = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut callchain = Vec::with_capacity(n);
+        for _ in 0..n {
+            callchain.push(d.u64()?);
+        }
+        Ok(ProfSample {
+            ip,
+            callchain,
+            cycles: d.u64()?,
+            instructions: d.u64()?,
+        })
+    };
+    let s = inner(&mut d).map_err(|e| format!("malformed sample: {e}"))?;
+    d.finish().map_err(|e| format!("malformed sample: {e}"))?;
+    Ok(s)
+}
+
+fn strategy_code(s: SamplingStrategy) -> u8 {
+    match s {
+        SamplingStrategy::Direct => 0,
+        SamplingStrategy::ModeCycleLeaderGroup => 1,
+        SamplingStrategy::Unsupported => 2,
+    }
+}
+
+fn strategy_from_code(b: u8) -> Option<SamplingStrategy> {
+    match b {
+        0 => Some(SamplingStrategy::Direct),
+        1 => Some(SamplingStrategy::ModeCycleLeaderGroup),
+        2 => Some(SamplingStrategy::Unsupported),
+        _ => None,
+    }
+}
+
+/// The `record` job summary: everything in a [`Profile`] *except* the
+/// samples, which were already streamed one [`Msg::Sample`] at a time.
+pub fn encode_profile_meta(p: &Profile) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(cli::platform_code(p.platform));
+    e.u8(strategy_code(p.strategy));
+    e.u64(p.lost);
+    e.u64(p.total_cycles);
+    e.u64(p.total_instructions);
+    e.u32(p.func_names.len() as u32);
+    for name in &p.func_names {
+        e.str(name);
+    }
+    e.into_bytes()
+}
+
+pub fn decode_profile_meta(bytes: &[u8]) -> Result<Profile, String> {
+    let mut d = Dec::new(bytes);
+    let inner = |d: &mut Dec| -> Result<Profile, WireError> {
+        let platform = cli::platform_from_code(d.u8()?).ok_or(WireError::Truncated)?;
+        let strategy = strategy_from_code(d.u8()?).ok_or(WireError::Truncated)?;
+        let lost = d.u64()?;
+        let total_cycles = d.u64()?;
+        let total_instructions = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut func_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            func_names.push(d.str()?);
+        }
+        Ok(Profile {
+            platform,
+            strategy,
+            samples: Vec::new(),
+            lost,
+            total_cycles,
+            total_instructions,
+            func_names,
+        })
+    };
+    let p = inner(&mut d).map_err(|e| format!("malformed profile summary: {e}"))?;
+    d.finish()
+        .map_err(|e| format!("malformed profile summary: {e}"))?;
+    Ok(p)
+}
+
+/// The `stat` job summary. Only the counter *values* travel — the event
+/// list is a pure function of the platform ([`cli::stat_events`]), so
+/// the client re-derives it rather than trusting the wire.
+pub fn encode_stat(rep: &StatReport) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(rep.cycles);
+    e.u64(rep.instructions);
+    e.u32(rep.counts.len() as u32);
+    for (_, v) in &rep.counts {
+        e.u64(*v);
+    }
+    e.into_bytes()
+}
+
+pub fn decode_stat(bytes: &[u8], events: &[EventKind]) -> Result<StatReport, String> {
+    let mut d = Dec::new(bytes);
+    let inner = |d: &mut Dec| -> Result<StatReport, WireError> {
+        let cycles = d.u64()?;
+        let instructions = d.u64()?;
+        let n = d.u32()? as usize;
+        if n != events.len() {
+            return Err(WireError::Truncated);
+        }
+        let mut counts = Vec::with_capacity(n);
+        for ev in events {
+            counts.push((*ev, d.u64()?));
+        }
+        Ok(StatReport {
+            counts,
+            cycles,
+            instructions,
+        })
+    };
+    let rep = inner(&mut d).map_err(|e| format!("malformed stat summary: {e}"))?;
+    d.finish()
+        .map_err(|e| format!("malformed stat summary: {e}"))?;
+    Ok(rep)
+}
+
+/// One streamed region measurement (informational: the final report
+/// renders from the bit-exact `RooflineRun` in the `CellDone` frame;
+/// this event exists so a client can watch correlation progress).
+fn encode_region(r: &RegionMeasurement) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(r.region_id);
+    e.str(&r.source_func);
+    e.u32(r.line);
+    e.u64(r.flops);
+    e.u64(r.loaded_bytes);
+    e.u64(r.stored_bytes);
+    e.u64(r.baseline_cycles);
+    e.u64(r.instrumented_cycles);
+    e.into_bytes()
+}
+
+// ---------------------------------------------------------------------
+// The warm decode cache.
+
+/// Decode/hit counters from a daemon's shared module cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Module decodes actually performed.
+    pub decodes: u64,
+    /// Jobs served from an already-warm decode.
+    pub hits: u64,
+}
+
+/// All connections share one decoded-module cache keyed by
+/// [`cell_key`] — the same content hash the sweep journal files cells
+/// under — so identical jobs across clients share one decode.
+#[derive(Default)]
+struct DecodeCache {
+    map: Mutex<HashMap<u64, Arc<DecodedModule>>>,
+    decodes: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl DecodeCache {
+    /// The decoded form of `module` under `exec`, built at most once
+    /// per key. The decode happens *under* the map lock: two identical
+    /// jobs racing on a cold cache must still produce exactly one
+    /// decode (the zero-decode warm-cache guarantee is deterministic,
+    /// not probabilistic).
+    fn decoded_for(
+        &self,
+        module: &mperf_ir::Module,
+        platform: Platform,
+        entry: &str,
+        exec: ExecConfig,
+    ) -> Arc<DecodedModule> {
+        let key = cell_key(&platform.spec(), entry, exec, &module.to_string());
+        let mut map = self.map.lock().unwrap();
+        if let Some(d) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(d);
+        }
+        let d = decode_module_cfg(module, exec.decode());
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&d));
+        d
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            decodes: self.decodes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The daemon.
+
+/// Daemon-wide shared state: per-daemon options (journal/resume applied
+/// to sweep jobs) plus the warm cache and the live-connection count.
+struct DaemonCtx {
+    opts: CommonOpts,
+    cache: DecodeCache,
+    active: AtomicU64,
+}
+
+/// Removes the socket file when the accept loop exits, however it
+/// exits — the single cleanup path `run_daemon`'s signal-driven
+/// shutdown relies on.
+struct SocketGuard(PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A running daemon: stop it, query its cache stats, find its socket.
+/// Dropping the handle also stops the daemon.
+pub struct ServeHandle {
+    socket: PathBuf,
+    stop: Arc<AtomicBool>,
+    ctx: Arc<DaemonCtx>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The socket path the daemon is listening on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Decode-cache counters (for the warm-cache guarantee).
+    pub fn stats(&self) -> ServeStats {
+        self.ctx.cache.stats()
+    }
+
+    /// Stop accepting, wait for in-flight connections to drain
+    /// (bounded), and remove the socket file.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // Idempotent: `stop()` consumes self and Drop runs right after,
+        // so the drain below must only happen on the first call.
+        let Some(t) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = t.join();
+        // Connections are detached threads; give running jobs a
+        // bounded window to finish their terminal sends.
+        for _ in 0..1000 {
+            if self.ctx.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `socket` and start accepting clients in a background thread.
+/// A stale socket file from a dead daemon is replaced.
+///
+/// # Errors
+/// Bind/listen failures (bad path, permissions, a *live* listener).
+pub fn start(socket: &Path, opts: &CommonOpts) -> io::Result<ServeHandle> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    listener.set_nonblocking(true)?;
+    let ctx = Arc::new(DaemonCtx {
+        opts: opts.clone(),
+        cache: DecodeCache::default(),
+        active: AtomicU64::new(0),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let guard = SocketGuard(socket.to_path_buf());
+    let accept = thread::Builder::new()
+        .name("miniperf-serve-accept".into())
+        .spawn({
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            move || accept_loop(listener, ctx, stop, guard)
+        })?;
+    Ok(ServeHandle {
+        socket: socket.to_path_buf(),
+        stop,
+        ctx,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: UnixListener,
+    ctx: Arc<DaemonCtx>,
+    stop: Arc<AtomicBool>,
+    _guard: SocketGuard,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener polls non-blocking; the per-connection
+                // streams must block on reads between frames.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                ctx.active.fetch_add(1, Ordering::SeqCst);
+                let ctx = Arc::clone(&ctx);
+                thread::spawn(move || {
+                    handle_conn(&ctx, stream);
+                    ctx.active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Best-effort framed send under the connection's write lock. A dead
+/// client makes sends fail silently; the reader loop then sees EOF and
+/// the connection winds down.
+fn send(writer: &Mutex<UnixStream>, msg: &Msg) {
+    if let Ok(mut w) = writer.lock() {
+        let _ = write_msg(&mut *w, msg);
+    }
+}
+
+/// One accepted connection: handshake, then a read loop that spawns a
+/// scoped job thread per `Submit` (one client can run jobs
+/// concurrently) and flips cancel flags on `Cancel`. The scope joins
+/// all job threads before the connection closes, so every submitted
+/// job gets its terminal `JobStatus` (or a dead socket swallows it).
+fn handle_conn(ctx: &DaemonCtx, mut stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    if handshake_accept(&mut reader, &mut stream).is_err() {
+        return;
+    }
+    let writer = Mutex::new(stream);
+    let cancels: Mutex<HashMap<u64, Arc<AtomicBool>>> = Mutex::new(HashMap::new());
+    thread::scope(|s| loop {
+        match read_msg(&mut reader) {
+            Ok(Msg::Submit { job, payload }) => {
+                let cancel = Arc::new(AtomicBool::new(false));
+                cancels.lock().unwrap().insert(job, Arc::clone(&cancel));
+                let writer = &writer;
+                let cancels = &cancels;
+                s.spawn(move || {
+                    let (code, message, summary) = match JobSpec::decode(&payload) {
+                        Ok(spec) => execute_job(ctx, &spec, job, writer, &cancel),
+                        Err(e) => (2, format!("miniperf: {e}"), Vec::new()),
+                    };
+                    send(
+                        writer,
+                        &Msg::JobStatus {
+                            job,
+                            code,
+                            message,
+                            payload: summary,
+                        },
+                    );
+                    cancels.lock().unwrap().remove(&job);
+                });
+            }
+            Ok(Msg::Cancel { job }) => {
+                if let Some(flag) = cancels.lock().unwrap().get(&job) {
+                    flag.store(true, Ordering::SeqCst);
+                }
+            }
+            // Clean session end, a vanished client, or a stream that
+            // lost framing: all wind down the same way.
+            Ok(Msg::Shutdown) | Ok(_) | Err(ProtoError::Eof) | Err(_) => break,
+        }
+    });
+}
+
+/// Execute one decoded job, streaming events to `writer` as they are
+/// produced. Returns the terminal `(code, message, summary)` —
+/// `message` is exactly what the batch command would have printed to
+/// stderr, `code` its exit code.
+fn execute_job(
+    ctx: &DaemonCtx,
+    spec: &JobSpec,
+    job: u64,
+    writer: &Mutex<UnixStream>,
+    cancel: &AtomicBool,
+) -> (u32, String, Vec<u8>) {
+    if cancel.load(Ordering::SeqCst) {
+        return (CODE_CANCELLED, "job cancelled".into(), Vec::new());
+    }
+    match spec.kind {
+        JobKind::Record => {
+            let module = cli::compile_demo(spec.platform);
+            let decoded = ctx
+                .cache
+                .decoded_for(&module, spec.platform, "demo", spec.exec);
+            let mut vm = Vm::new(&module, Core::new(spec.platform.spec()));
+            vm.configure(spec.exec);
+            vm.set_decoded(decoded);
+            let args = cli::demo_args(&mut vm);
+            let mut sink = |s: ProfSample| {
+                send(
+                    writer,
+                    &Msg::Sample {
+                        job,
+                        payload: encode_sample(&s),
+                    },
+                );
+            };
+            let cfg = RecordConfig {
+                period: spec.period,
+            };
+            match record_streamed(&mut vm, "demo", &args, cfg, &mut sink) {
+                Ok(profile) => (0, String::new(), encode_profile_meta(&profile)),
+                Err(e) => (1, cli::record_failure_message(&e), Vec::new()),
+            }
+        }
+        JobKind::Stat => {
+            let module = cli::compile_demo(spec.platform);
+            let decoded = ctx
+                .cache
+                .decoded_for(&module, spec.platform, "demo", spec.exec);
+            let mut vm = Vm::new(&module, Core::new(spec.platform.spec()));
+            vm.configure(spec.exec);
+            vm.set_decoded(decoded);
+            let args = cli::demo_args(&mut vm);
+            let events = cli::stat_events(spec.platform);
+            match stat(&mut vm, "demo", &args, &events) {
+                Ok(rep) => (0, String::new(), encode_stat(&rep)),
+                Err(e) => (1, format!("stat failed: {e}"), Vec::new()),
+            }
+        }
+        JobKind::Roofline => {
+            let module = cli::triad_module(spec.platform);
+            let decoded = ctx
+                .cache
+                .decoded_for(&module, spec.platform, "triad", spec.exec);
+            let setup = crate::shard_exec::cli_triad_setup(spec.n);
+            let request = RooflineRequest::new().jobs(spec.jobs).config(spec.exec);
+            match request.run_prepared(&module, &decoded, &spec.platform.spec(), "triad", &setup) {
+                Ok(run) => {
+                    for r in &run.regions {
+                        send(
+                            writer,
+                            &Msg::Region {
+                                job,
+                                payload: encode_region(r),
+                            },
+                        );
+                    }
+                    send(
+                        writer,
+                        &Msg::CellDone {
+                            job,
+                            index: 0,
+                            payload: encode_run(&run),
+                        },
+                    );
+                    (0, String::new(), Vec::new())
+                }
+                Err(e) => (
+                    1,
+                    format!(
+                        "roofline failed: {e}\n\
+                         hint: `miniperf sweep` isolates per-platform failures."
+                    ),
+                    Vec::new(),
+                ),
+            }
+        }
+        JobKind::Sweep => {
+            let modules: Vec<mperf_ir::Module> = Platform::ALL
+                .iter()
+                .map(|&p| cli::triad_module(p))
+                .collect();
+            let decodeds: Vec<Arc<DecodedModule>> = modules
+                .iter()
+                .zip(Platform::ALL)
+                .map(|(m, p)| ctx.cache.decoded_for(m, p, "triad", spec.exec))
+                .collect();
+            let cells = cli::triad_sweep_cells(&modules, Some(decodeds), spec.n);
+            let request = RooflineRequest::new()
+                .jobs(spec.jobs)
+                .config(spec.exec)
+                .policy(RetryPolicy {
+                    max_attempts: spec.retries,
+                    retry_panics: true,
+                })
+                .journal_opt(ctx.opts.journal.clone())
+                .resume(ctx.opts.resume);
+            let on_cell = |i: usize, run: &RooflineRun| {
+                send(
+                    writer,
+                    &Msg::CellDone {
+                        job,
+                        index: i as u64,
+                        payload: encode_run(run),
+                    },
+                );
+            };
+            match request.run_supervised_streaming(&cells, &on_cell, cancel) {
+                Ok(sweep) => {
+                    if cancel.load(Ordering::SeqCst) {
+                        return (CODE_CANCELLED, "job cancelled".into(), Vec::new());
+                    }
+                    let names = Platform::ALL
+                        .iter()
+                        .map(|p| p.spec().name.to_string())
+                        .collect();
+                    let outcome = SweepOutcome::from_supervised(&sweep, names);
+                    (
+                        outcome.exit_code() as u32,
+                        String::new(),
+                        outcome.encode_summary(),
+                    )
+                }
+                Err(e) => (
+                    4,
+                    format!("sweep failed before any cell ran: {e}"),
+                    Vec::new(),
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The `miniperf serve` command: signal-driven daemon lifetime.
+
+static STOP_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+unsafe extern "C" {
+    /// libc `signal(2)`; no `libc` crate in this workspace, and the
+    /// async-signal-safety story is trivial (one atomic store).
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Run the daemon until SIGTERM/SIGINT, then drain and clean up the
+/// socket file. Returns the process exit code.
+pub fn run_daemon(socket: &Path, opts: &CommonOpts) -> i32 {
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let handle = match start(socket, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    eprintln!("serve: listening on {}", handle.socket().display());
+    while !STOP_SIGNAL.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("serve: shutting down");
+    handle.stop();
+    0
+}
+
+// ---------------------------------------------------------------------
+// The `miniperf submit` client.
+
+/// Connect to a daemon, run one job, and render its streamed results
+/// exactly as the equivalent batch command would have (same body
+/// functions, same exit code, same `config:` header).
+pub fn run_submit(socket: &Path, spec: &JobSpec, opts: &CommonOpts) -> i32 {
+    let stream = match UnixStream::connect(socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("submit: cannot connect to {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    let Ok(read_half) = stream.try_clone() else {
+        eprintln!("submit: cannot split the socket");
+        return 1;
+    };
+    let mut session = match ClientSession::connect(BufReader::new(read_half), stream) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return 1;
+        }
+    };
+    // The config header goes out before any streamed result lands,
+    // matching the batch commands' print order.
+    match spec.kind {
+        JobKind::Sweep => println!("{}", opts.sweep_config_line()),
+        _ => println!("{}", opts.config_line()),
+    }
+    let job = match session.submit(spec.encode()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return 1;
+        }
+    };
+    let code = drain_and_render(&mut session, job, spec);
+    let _ = session.shutdown();
+    code
+}
+
+type Session = ClientSession<BufReader<UnixStream>, UnixStream>;
+
+/// On a non-zero status, print the daemon's message (verbatim batch
+/// stderr) and map the code; on success hand the summary payload to
+/// the per-kind renderer.
+fn drain_and_render(session: &mut Session, job: u64, spec: &JobSpec) -> i32 {
+    let result = match spec.kind {
+        JobKind::Record => drain_record(session, job, spec),
+        JobKind::Stat => drain_stat(session, job, spec),
+        JobKind::Roofline => drain_roofline(session, job, spec),
+        JobKind::Sweep => drain_sweep(session, job, spec),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            1
+        }
+    }
+}
+
+fn drain_record(session: &mut Session, job: u64, spec: &JobSpec) -> Result<i32, String> {
+    let mut samples = Vec::new();
+    let mut bad = None;
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::Sample { payload, .. } = m {
+                match decode_sample(payload) {
+                    Ok(s) => samples.push(s),
+                    Err(e) => bad = Some(e),
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = bad {
+        return Err(e);
+    }
+    if res.code != 0 {
+        if !res.message.is_empty() {
+            eprintln!("{}", res.message);
+        }
+        return Ok(res.code as i32);
+    }
+    let mut profile = decode_profile_meta(&res.payload)?;
+    profile.samples = samples;
+    print!("{}", cli::record_body(&profile, spec.platform, spec.period));
+    Ok(0)
+}
+
+fn drain_stat(session: &mut Session, job: u64, spec: &JobSpec) -> Result<i32, String> {
+    let res = session.drain_job(job, |_| {}).map_err(|e| e.to_string())?;
+    if res.code != 0 {
+        if !res.message.is_empty() {
+            eprintln!("{}", res.message);
+        }
+        return Ok(res.code as i32);
+    }
+    let events = cli::stat_events(spec.platform);
+    let rep = decode_stat(&res.payload, &events)?;
+    print!("{}", cli::stat_body(spec.platform, &rep));
+    Ok(0)
+}
+
+fn drain_roofline(session: &mut Session, job: u64, spec: &JobSpec) -> Result<i32, String> {
+    let mut run = None;
+    let mut bad = None;
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::CellDone { payload, .. } = m {
+                match decode_run(payload, &spec.platform.spec()) {
+                    Ok(r) => run = Some(r),
+                    Err(e) => bad = Some(e),
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = bad {
+        return Err(e);
+    }
+    if res.code != 0 {
+        if !res.message.is_empty() {
+            eprintln!("{}", res.message);
+        }
+        return Ok(res.code as i32);
+    }
+    let run = run.ok_or("daemon reported success without a roofline result")?;
+    if let Some(w) = cli::roofline_warning(&run) {
+        eprintln!("{w}");
+    }
+    print!("{}", cli::roofline_body(&run, spec.platform, spec.jobs));
+    Ok(0)
+}
+
+fn drain_sweep(session: &mut Session, job: u64, _spec: &JobSpec) -> Result<i32, String> {
+    let mut results: Vec<Option<RooflineRun>> = vec![None; Platform::ALL.len()];
+    let mut bad = None;
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::CellDone { index, payload, .. } = m {
+                let i = *index as usize;
+                if i >= results.len() {
+                    bad = Some(format!("cell index {i} out of range"));
+                    return;
+                }
+                match decode_run(payload, &Platform::ALL[i].spec()) {
+                    Ok(r) => results[i] = Some(r),
+                    Err(e) => bad = Some(e),
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = bad {
+        return Err(e);
+    }
+    if !res.message.is_empty() {
+        eprintln!("{}", res.message);
+    }
+    if res.payload.is_empty() {
+        // Cancelled or failed before any accounting existed: no body.
+        return Ok(res.code as i32);
+    }
+    let names = Platform::ALL
+        .iter()
+        .map(|p| p.spec().name.to_string())
+        .collect();
+    let outcome = SweepOutcome::decode_summary(&res.payload, names, results)?;
+    print!("{}", outcome.body());
+    Ok(res.code as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mperf_event::HwCounter;
+
+    #[test]
+    fn sample_codec_roundtrips() {
+        let s = ProfSample {
+            ip: 0x0000_0003_0000_0021,
+            callchain: vec![1, 2, 3],
+            cycles: 9973,
+            instructions: 1234,
+        };
+        assert_eq!(decode_sample(&encode_sample(&s)).unwrap(), s);
+        assert!(decode_sample(&encode_sample(&s)[..5]).is_err());
+        let mut trailing = encode_sample(&s);
+        trailing.push(0);
+        assert!(decode_sample(&trailing).is_err());
+    }
+
+    #[test]
+    fn profile_meta_codec_roundtrips_without_samples() {
+        let p = Profile {
+            platform: Platform::TheadC910,
+            strategy: SamplingStrategy::Direct,
+            samples: vec![ProfSample {
+                ip: 1,
+                callchain: vec![],
+                cycles: 2,
+                instructions: 3,
+            }],
+            lost: 7,
+            total_cycles: 1_000_000,
+            total_instructions: 900_000,
+            func_names: vec!["inner".into(), "demo".into()],
+        };
+        let back = decode_profile_meta(&encode_profile_meta(&p)).unwrap();
+        assert!(back.samples.is_empty(), "samples travel separately");
+        assert_eq!(back.platform, p.platform);
+        assert_eq!(back.strategy, p.strategy);
+        assert_eq!(back.lost, p.lost);
+        assert_eq!(back.total_cycles, p.total_cycles);
+        assert_eq!(back.total_instructions, p.total_instructions);
+        assert_eq!(back.func_names, p.func_names);
+        assert!(decode_profile_meta(&[9, 9]).is_err());
+    }
+
+    #[test]
+    fn stat_codec_checks_the_event_list_length() {
+        let events = cli::stat_events(Platform::SpacemitX60);
+        let rep = StatReport {
+            counts: events.iter().map(|&e| (e, 11u64)).collect(),
+            cycles: 5,
+            instructions: 6,
+        };
+        let bytes = encode_stat(&rep);
+        assert_eq!(decode_stat(&bytes, &events).unwrap(), rep);
+        // The U74 list is shorter: a mismatched platform must not
+        // silently mislabel counters.
+        let short = cli::stat_events(Platform::SifiveU74);
+        assert!(decode_stat(&bytes, &short).is_err());
+    }
+
+    #[test]
+    fn decode_cache_decodes_each_key_exactly_once() {
+        let cache = DecodeCache::default();
+        let module = cli::compile_demo(Platform::SpacemitX60);
+        let exec = ExecConfig::default();
+        let a = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec);
+        let b = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec);
+        assert!(Arc::ptr_eq(&a, &b), "second job reuses the warm decode");
+        assert_eq!(
+            cache.stats(),
+            ServeStats {
+                decodes: 1,
+                hits: 1
+            }
+        );
+        // A different exec flavour is a different key.
+        let no_fuse = ExecConfig {
+            fuse: false,
+            ..ExecConfig::default()
+        };
+        cache.decoded_for(&module, Platform::SpacemitX60, "demo", no_fuse);
+        assert_eq!(
+            cache.stats(),
+            ServeStats {
+                decodes: 2,
+                hits: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stat_events_include_branches_on_full_pmus() {
+        // decode_stat's zip trusts this derivation; pin it.
+        let events = cli::stat_events(Platform::SpacemitX60);
+        assert_eq!(
+            events[0],
+            EventKind::Hardware(HwCounter::BranchInstructions)
+        );
+        assert_eq!(events.len(), 4);
+        assert_eq!(cli::stat_events(Platform::SifiveU74).len(), 2);
+    }
+}

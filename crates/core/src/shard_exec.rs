@@ -367,7 +367,7 @@ pub fn worker_main() -> i32 {
                         let message = err.to_string();
                         let trap = match err {
                             SweepCellError::Trap { trap, .. } => trap,
-                            SweepCellError::Journal(_) => None,
+                            SweepCellError::Journal(_) | SweepCellError::Cancelled => None,
                         };
                         return Err(WorkerFailure {
                             class,

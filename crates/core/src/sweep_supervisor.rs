@@ -1,6 +1,6 @@
 //! Fault-tolerant, resumable roofline sweeps.
 //!
-//! [`run_roofline_sweep_supervised`] runs the same `platform × workload`
+//! [`crate::RooflineRequest::run_supervised`] runs the same `platform × workload`
 //! cell matrix as [`crate::run_roofline_sweep`], but each cell (both of
 //! its §4.3 phases) executes under the `mperf-sweep` supervisor: a
 //! panicking or trapping cell is isolated and reported with its
@@ -52,6 +52,10 @@ pub enum SweepCellError {
     /// The checkpoint journal could not be written — fatal, because
     /// continuing would silently lose resume state.
     Journal(String),
+    /// The caller cancelled the sweep (serve-daemon job cancellation);
+    /// classified fatal so still-queued cells are skipped, never
+    /// retried.
+    Cancelled,
 }
 
 impl std::fmt::Display for SweepCellError {
@@ -69,6 +73,7 @@ impl std::fmt::Display for SweepCellError {
                 Ok(())
             }
             SweepCellError::Journal(msg) => write!(f, "journal failure: {msg}"),
+            SweepCellError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -76,7 +81,7 @@ impl std::fmt::Display for SweepCellError {
 /// The supervisor's failure taxonomy for sweep cells.
 pub fn classify_cell_error(e: &SweepCellError) -> FailureClass {
     match e {
-        SweepCellError::Journal(_) => FailureClass::Fatal,
+        SweepCellError::Journal(_) | SweepCellError::Cancelled => FailureClass::Fatal,
         SweepCellError::Trap { error, .. } => match error {
             // Injected fuel exhaustion (and fuel misconfiguration)
             // recovers on retry once the failpoint is spent.
@@ -90,7 +95,9 @@ pub fn classify_cell_error(e: &SweepCellError) -> FailureClass {
     }
 }
 
-/// Options for [`run_roofline_sweep_supervised`].
+/// Options for [`supervised_sweep`] (built by
+/// [`crate::RooflineRequest`]; construct directly only through the
+/// deprecated shim).
 pub struct SweepOptions {
     /// Worker threads (1 = strictly serial).
     pub jobs: usize,
@@ -251,19 +258,56 @@ pub fn decode_run(bytes: &[u8], spec: &PlatformSpec) -> Result<RooflineRun, Stri
     Ok(run)
 }
 
-/// Run a roofline sweep under supervision: panic isolation, retry with
-/// quarantine, trap-site reporting, and (optionally) checkpoint
-/// journaling with resume. Completed cells are bit-identical to a
-/// fault-free serial [`crate::run_roofline_sweep`] over the same cells
-/// with the same [`ExecConfig`].
+/// Run a roofline sweep under supervision (see
+/// [`crate::RooflineRequest::run_supervised`], the public face of this
+/// function).
 ///
 /// # Errors
 /// Only journal *open* problems surface here (bad path, foreign file);
 /// everything that happens while sweeping — including journal append
 /// failures — is reported per cell in the returned report.
+#[deprecated(note = "use RooflineRequest::new().jobs(n).policy(p).run_supervised(cells)")]
 pub fn run_roofline_sweep_supervised(
     cells: &[RooflineJob],
     opts: &SweepOptions,
+) -> Result<SupervisedSweep, JournalError> {
+    supervised_sweep(cells, opts)
+}
+
+/// A borrowed cell-completion callback (see [`SweepHooks::on_cell`]).
+pub(crate) type OnCellFn<'a> = &'a (dyn Fn(usize, &RooflineRun) + Sync);
+
+/// Streaming/cancellation hooks for [`supervised_sweep_hooked`] (the
+/// serve daemon's bridge into the sweep).
+#[derive(Default)]
+pub(crate) struct SweepHooks<'a> {
+    /// Called with `(cell index, run)` the moment a cell completes —
+    /// on whichever worker thread completed it — including cells
+    /// satisfied from the journal (reported before execution starts).
+    pub on_cell: Option<OnCellFn<'a>>,
+    /// Checked before each cell executes; once set, the current cell
+    /// fails [`SweepCellError::Cancelled`] (fatal) and still-queued
+    /// cells are skipped.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+}
+
+/// The supervised-sweep implementation: panic isolation, retry with
+/// quarantine, trap-site reporting, and (optionally) checkpoint
+/// journaling with resume. Completed cells are bit-identical to a
+/// fault-free serial [`crate::run_roofline_sweep`] over the same cells
+/// with the same [`ExecConfig`].
+pub(crate) fn supervised_sweep(
+    cells: &[RooflineJob],
+    opts: &SweepOptions,
+) -> Result<SupervisedSweep, JournalError> {
+    supervised_sweep_hooked(cells, opts, SweepHooks::default())
+}
+
+/// [`supervised_sweep`] with streaming/cancellation hooks.
+pub(crate) fn supervised_sweep_hooked(
+    cells: &[RooflineJob],
+    opts: &SweepOptions,
+    hooks: SweepHooks,
 ) -> Result<SupervisedSweep, JournalError> {
     let journal = match &opts.journal {
         Some(path) => Some(Mutex::new(Journal::open(path)?)),
@@ -302,6 +346,11 @@ pub fn run_roofline_sweep_supervised(
             }
         }
     }
+    if let Some(on_cell) = hooks.on_cell {
+        for &i in &resumed {
+            on_cell(i, prefilled[i].as_ref().expect("resumed cell prefilled"));
+        }
+    }
     let pending: Vec<usize> = (0..cells.len())
         .filter(|i| prefilled[*i].is_none())
         .collect();
@@ -313,6 +362,11 @@ pub fn run_roofline_sweep_supervised(
         opts.jobs,
         &opts.policy,
         |_, &ci, _ctx| -> Result<RooflineRun, SweepCellError> {
+            if let Some(c) = hooks.cancel {
+                if c.load(std::sync::atomic::Ordering::Acquire) {
+                    return Err(SweepCellError::Cancelled);
+                }
+            }
             let cell = &cells[ci];
             let mut fuel = None;
             if let Some(kind) = mperf_fault::hit("sweep.cell", ci as u64) {
@@ -364,6 +418,9 @@ pub fn run_roofline_sweep_supervised(
                 let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
                 j.append(keys[ci], &encode_run(&run))
                     .map_err(|e| SweepCellError::Journal(e.to_string()))?;
+            }
+            if let Some(on_cell) = hooks.on_cell {
+                on_cell(ci, &run);
             }
             Ok(run)
         },

@@ -1,0 +1,201 @@
+//! End-to-end tests for the `miniperf serve` daemon: concurrent
+//! clients over a real Unix-domain socket, streamed results checked
+//! bit-identical against the in-process batch path, the shared warm
+//! decode cache, cancellation, and malformed-job rejection.
+
+use miniperf::cli::{self, JobKind, JobSpec};
+use miniperf::serve::{self, decode_profile_meta, decode_sample, encode_sample};
+use miniperf::sweep_supervisor::encode_run;
+use miniperf::{record, CommonOpts, RecordConfig, RooflineRequest};
+use mperf_sim::Platform;
+use mperf_sweep::proto::{Msg, CODE_CANCELLED};
+use mperf_sweep::serve::ClientSession;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// A short, per-test socket path (bind fails past ~100 bytes).
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mperf-{tag}-{}.sock", std::process::id()))
+}
+
+fn sweep_spec(n: u64, jobs: usize) -> JobSpec {
+    JobSpec {
+        n,
+        jobs,
+        ..JobSpec::from_opts(JobKind::Sweep, &CommonOpts::default())
+    }
+}
+
+type Session = ClientSession<BufReader<UnixStream>, UnixStream>;
+
+fn connect(socket: &std::path::Path) -> Session {
+    let stream = UnixStream::connect(socket).expect("daemon is listening");
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    ClientSession::connect(reader, stream).expect("handshake")
+}
+
+/// Submit a sweep and drain it, returning the terminal code and the
+/// streamed `CellDone` payloads in cell order.
+fn run_sweep(session: &mut Session, spec: &JobSpec) -> (u32, Vec<Vec<u8>>) {
+    let job = session.submit(spec.encode()).unwrap();
+    let mut cells: Vec<(u64, Vec<u8>)> = Vec::new();
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::CellDone { index, payload, .. } = m {
+                cells.push((*index, payload.clone()));
+            }
+        })
+        .unwrap();
+    cells.sort_by_key(|(i, _)| *i);
+    (res.code, cells.into_iter().map(|(_, p)| p).collect())
+}
+
+/// The batch-path reference: the exact cells the daemon builds, run
+/// through the same supervisor, each result as its journal encoding.
+fn batch_reference(n: u64, jobs: usize) -> Vec<Vec<u8>> {
+    let modules: Vec<_> = Platform::ALL
+        .iter()
+        .map(|&p| cli::triad_module(p))
+        .collect();
+    let cells = cli::triad_sweep_cells(&modules, None, n);
+    let sweep = RooflineRequest::new()
+        .jobs(jobs)
+        .run_supervised(&cells)
+        .unwrap();
+    assert!(sweep.report.all_ok());
+    sweep
+        .report
+        .results
+        .iter()
+        .map(|r| encode_run(r.as_ref().unwrap()))
+        .collect()
+}
+
+#[test]
+fn two_concurrent_clients_stream_bit_identical_sweeps() {
+    const N: u64 = 512;
+    let socket = socket_path("two-clients");
+    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let expected = batch_reference(N, 2);
+
+    let streamed: Vec<(u32, Vec<Vec<u8>>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let socket = &socket;
+                s.spawn(move || run_sweep(&mut connect(socket), &sweep_spec(N, 2)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (code, cells) in &streamed {
+        assert_eq!(*code, 0);
+        assert_eq!(cells.len(), Platform::ALL.len());
+        assert_eq!(cells, &expected, "streamed cells ≡ batch, byte for byte");
+    }
+    handle.stop();
+    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn second_identical_job_hits_the_warm_cache_with_zero_decodes() {
+    const N: u64 = 256;
+    let socket = socket_path("warm-cache");
+    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let mut session = connect(&socket);
+
+    let (code, first) = run_sweep(&mut session, &sweep_spec(N, 1));
+    assert_eq!(code, 0);
+    let after_first = handle.stats();
+    assert_eq!(
+        after_first.decodes,
+        Platform::ALL.len() as u64,
+        "cold daemon decodes each platform module exactly once"
+    );
+
+    let (code, second) = run_sweep(&mut session, &sweep_spec(N, 1));
+    assert_eq!(code, 0);
+    assert_eq!(second, first, "warm result is bit-identical to cold");
+    let after_second = handle.stats();
+    assert_eq!(
+        after_second.decodes, after_first.decodes,
+        "second identical job performs zero decodes"
+    );
+    assert_eq!(
+        after_second.hits,
+        after_first.hits + Platform::ALL.len() as u64
+    );
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn cancelled_sweep_reports_the_interrupt_exit_code() {
+    let socket = socket_path("cancel");
+    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let mut session = connect(&socket);
+
+    // The Cancel frame is read by the connection thread within
+    // microseconds of Submit, while the job thread is still compiling
+    // its modules — so the flag is always set before the final cell
+    // completes, even at a modest problem size.
+    let job = session.submit(sweep_spec(4096, 1).encode()).unwrap();
+    session.cancel(job).unwrap();
+    let res = session.drain_job(job, |_| {}).unwrap();
+    assert_eq!(res.code, CODE_CANCELLED);
+    assert_eq!(res.message, "job cancelled");
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn malformed_job_descriptions_fail_with_the_usage_exit_code() {
+    let socket = socket_path("malformed");
+    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let mut session = connect(&socket);
+
+    let job = session.submit(vec![0xde, 0xad]).unwrap();
+    let res = session.drain_job(job, |_| {}).unwrap();
+    assert_eq!(res.code, 2, "usage-class failure, like the CLI");
+    assert!(res
+        .message
+        .starts_with("miniperf: malformed job description"));
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn streamed_record_reassembles_into_the_batch_profile() {
+    let socket = socket_path("record");
+    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let mut session = connect(&socket);
+
+    let opts = CommonOpts::default();
+    let spec = JobSpec::from_opts(JobKind::Record, &opts);
+    let job = session.submit(spec.encode()).unwrap();
+    let mut samples = Vec::new();
+    let res = session
+        .drain_job(job, |m| {
+            if let Msg::Sample { payload, .. } = m {
+                samples.push(decode_sample(payload).unwrap());
+            }
+        })
+        .unwrap();
+    assert_eq!(res.code, 0);
+    let mut profile = decode_profile_meta(&res.payload).unwrap();
+    profile.samples = samples;
+
+    let (mut vm, args) = cli::demo_vm(opts.platform);
+    vm.configure(opts.exec);
+    let cfg = RecordConfig {
+        period: opts.period,
+    };
+    let batch = record(&mut vm, "demo", &args, cfg).unwrap();
+    assert_eq!(profile, batch, "streamed samples + summary ≡ batch record");
+    for (streamed, batch) in profile.samples.iter().zip(&batch.samples) {
+        assert_eq!(encode_sample(streamed), encode_sample(batch));
+    }
+    drop(session);
+    handle.stop();
+}

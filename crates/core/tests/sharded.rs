@@ -6,8 +6,8 @@
 
 use miniperf::sweep_supervisor::encode_run;
 use miniperf::{
-    cli_triad_setup, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
-    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
+    cli_triad_setup, run_roofline_sweep_sharded, RooflineJob, RooflineRequest, SetupSpec,
+    ShardedCellSpec, ShardedSweepOptions,
 };
 use mperf_sim::Platform;
 use mperf_sweep::{RetryPolicy, WorkerCmd};
@@ -76,17 +76,10 @@ fn serial_baseline() -> Vec<Vec<u8>> {
             setup: Box::new(cli_triad_setup(N)),
         })
         .collect();
-    let sweep = run_roofline_sweep_supervised(
-        &cells,
-        &SweepOptions {
-            jobs: 1,
-            cfg: ExecConfig::default(),
-            policy: RetryPolicy::default(),
-            journal: None,
-            resume: false,
-        },
-    )
-    .unwrap();
+    let sweep = RooflineRequest::new()
+        .jobs(1)
+        .run_supervised(&cells)
+        .unwrap();
     assert!(sweep.report.all_ok());
     sweep
         .report
@@ -159,17 +152,12 @@ fn journal_composes_across_serial_and_sharded_modes() {
             setup: Box::new(cli_triad_setup(N)),
         })
         .collect();
-    let sweep = run_roofline_sweep_supervised(
-        &cells,
-        &SweepOptions {
-            jobs: 1,
-            cfg: ExecConfig::default(),
-            policy: RetryPolicy::default(),
-            journal: Some(path.clone()),
-            resume: true,
-        },
-    )
-    .unwrap();
+    let sweep = RooflineRequest::new()
+        .jobs(1)
+        .journal(path.clone())
+        .resume(true)
+        .run_supervised(&cells)
+        .unwrap();
     assert_eq!(sweep.resumed, vec![0, 1, 2, 3]);
     for (i, run) in sweep.report.results.iter().enumerate() {
         assert_eq!(encode_run(run.as_ref().unwrap()), serial[i], "cell {i}");

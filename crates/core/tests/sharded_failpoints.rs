@@ -9,8 +9,8 @@
 
 use miniperf::sweep_supervisor::encode_run;
 use miniperf::{
-    cli_triad_setup, run_roofline_sweep_sharded, run_roofline_sweep_supervised, RooflineJob,
-    SetupSpec, ShardedCellSpec, ShardedSweepOptions, SweepOptions,
+    cli_triad_setup, run_roofline_sweep_sharded, RooflineJob, RooflineRequest, SetupSpec,
+    ShardedCellSpec, ShardedSweepOptions,
 };
 use mperf_fault::{FaultKind, FaultPlan};
 use mperf_sim::Platform;
@@ -82,17 +82,10 @@ fn serial_baseline() -> Vec<Vec<u8>> {
             setup: Box::new(cli_triad_setup(N)),
         })
         .collect();
-    let sweep = run_roofline_sweep_supervised(
-        &cells,
-        &SweepOptions {
-            jobs: 1,
-            cfg: ExecConfig::default(),
-            policy: RetryPolicy::default(),
-            journal: None,
-            resume: false,
-        },
-    )
-    .unwrap();
+    let sweep = RooflineRequest::new()
+        .jobs(1)
+        .run_supervised(&cells)
+        .unwrap();
     assert!(sweep.report.all_ok());
     sweep
         .report

@@ -75,12 +75,40 @@
 //! [`FailureClass`] + message + optional `TrapInfo` — failure structure
 //! survives the process boundary), and `Shutdown`.
 //!
-//! **Handshake & versioning.** A worker's first frame is `Hello`
-//! carrying the 8-byte magic (`MPSWIPC1`) and schema version. Any
-//! mismatch is *fatal*, never retried: version skew means the binary
-//! pair cannot make progress. Schema bumps are breaking by design.
-//! This handshake/framing substrate is what the planned
-//! `miniperf serve` daemon (ROADMAP item 2) reuses.
+//! **Handshake & versioning.** The initiating peer's first frame is
+//! `Hello` carrying the 8-byte magic (`MPSWIPC1`) and schema version —
+//! a worker to its supervisor, a socket client to the serve daemon.
+//! Any mismatch is *fatal*, never retried: version skew means the
+//! binary pair cannot make progress. Schema bumps are breaking by
+//! design.
+//!
+//! ## Serve protocol
+//!
+//! The `miniperf serve` daemon speaks the same framed, versioned
+//! protocol over a Unix-domain socket; [`serve`] holds the session
+//! layer ([`ClientSession`], the handshake helpers) and documents the
+//! session shape. The serve subset of the message set:
+//!
+//! | Message | Direction | Meaning |
+//! |---|---|---|
+//! | `Hello` | client → daemon, then daemon → client | magic + schema; mismatch drops the connection |
+//! | `Submit {job, payload}` | client → daemon | one encoded job description (`JobSpec` codec); `job` is client-chosen and echoed in every event |
+//! | `Sample {job, payload}` | daemon → client | one profiling sample, flushed as drained from the PMU ring |
+//! | `Region {job, payload}` | daemon → client | one roofline region measurement, flushed as correlated |
+//! | `CellDone {job, index, payload}` | daemon → client | one sweep cell result — the bit-exact `RooflineRun` journal codec |
+//! | `Cancel {job}` | client → daemon | stop `job` at the next cell/drain boundary |
+//! | `JobStatus {job, code, message, payload}` | daemon → client | terminal, exactly one per job; `code` mirrors the batch CLI exit code (130 = cancelled), `payload` is a job-kind summary |
+//! | `Shutdown` | client → daemon | end of session (EOF is equivalent) |
+//!
+//! **Versioning rules.** One [`proto::SCHEMA`] gates shard *and* serve
+//! subsets together (a serve-side change bumps the shard protocol too
+//! — both live in the same binary, so skew between roles is
+//! impossible). The handshake is symmetric-fatal: daemon and client
+//! each validate the peer's `Hello` and drop the connection on any
+//! mismatch; there is no field-level negotiation. Event payloads are
+//! opaque to the protocol layer and versioned by their own codecs
+//! (job specs and summaries carry their own schema bytes, cell
+//! payloads reuse the journal's `RooflineRun` codec).
 //!
 //! **Failure taxonomy.** Worker crash (nonzero exit, signal,
 //! unexpected EOF), stall (per-cell deadline in heartbeat *ticks*, not
@@ -106,6 +134,7 @@ pub mod journal;
 pub mod plan;
 pub mod proto;
 pub mod queue;
+pub mod serve;
 pub mod shard;
 pub mod supervise;
 pub mod wire;
@@ -114,6 +143,7 @@ pub use journal::{Journal, JournalError};
 pub use plan::{Phase, SharedModule};
 pub use proto::{ProtoError, WorkerFailure};
 pub use queue::{default_jobs, run_jobs, try_run_jobs};
+pub use serve::{ClientSession, JobResult};
 pub use shard::{
     run_sharded, ShardCell, ShardCellError, ShardFailure, ShardOptions, ShardReport, WorkerCmd,
     WorkerLink,

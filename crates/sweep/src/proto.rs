@@ -1,9 +1,15 @@
-//! Versioned, framed IPC protocol for multi-process sweep sharding.
+//! Versioned, framed IPC protocol for multi-process sweep sharding and
+//! the `miniperf serve` daemon.
 //!
-//! The shard supervisor ([`crate::shard`]) and its worker processes
-//! speak this protocol over the workers' stdin/stdout. ROADMAP item 2's
-//! `miniperf serve` daemon is the next consumer of the same
-//! handshake/framing substrate.
+//! Two kinds of peers speak this protocol. The shard supervisor
+//! ([`crate::shard`]) and its worker processes use the
+//! `Cell`/`Done`/`Fail`/`Shutdown` subset over the workers'
+//! stdin/stdout. Socket clients of the `miniperf serve` daemon use the
+//! `Submit`/`Sample`/`Region`/`CellDone`/`Cancel`/`JobStatus` subset
+//! over a Unix-domain socket ([`crate::serve`] holds the session
+//! layer). Both subsets share one schema version, one frame format,
+//! and one handshake, so a single binary can be supervisor, worker,
+//! daemon, and client without version drift between roles.
 //!
 //! ## Framing
 //!
@@ -22,13 +28,15 @@
 //!
 //! ## Handshake and versioning
 //!
-//! The first frame a worker writes is [`Msg::Hello`] carrying the
-//! 8-byte protocol magic ([`MAGIC`]) and its [`SCHEMA`] version. The
-//! supervisor refuses a worker whose magic or schema does not match its
-//! own — version skew is a *fatal* error (the binary pair cannot make
-//! progress), not a retryable one. Schema bumps are breaking by
-//! design: there is no field-level negotiation, the version gates the
-//! whole message set.
+//! The first frame the *initiating* peer writes is [`Msg::Hello`]
+//! carrying the 8-byte protocol magic ([`MAGIC`]) and its [`SCHEMA`]
+//! version: a shard worker speaks first to its supervisor; a socket
+//! client speaks first to the serve daemon (which replies with its own
+//! `Hello`). Either side refuses a peer whose magic or schema does not
+//! match its own — version skew is a *fatal* error (the binary pair
+//! cannot make progress), not a retryable one. Schema bumps are
+//! breaking by design: there is no field-level negotiation, the
+//! version gates the whole message set.
 //!
 //! ## Error taxonomy
 //!
@@ -50,7 +58,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: &[u8; 8] = b"MPSWIPC1";
 
 /// Message-set schema version; bumped on any wire-visible change.
-pub const SCHEMA: u32 = 1;
+/// Schema 2 added the serve-daemon subset (`Submit` through
+/// `JobStatus`).
+pub const SCHEMA: u32 = 2;
 
 /// Upper bound on one frame body. A length field beyond this is
 /// treated as corruption, never allocated.
@@ -89,11 +99,21 @@ pub fn fault_key(index: u64, attempt: u32) -> u64 {
     ((attempt as u64) << 32) | (index & 0xffff_ffff)
 }
 
-/// One protocol message. `Hello`/`Done`/`Fail` flow worker → supervisor;
+/// One protocol message.
+///
+/// Shard subset: `Hello`/`Done`/`Fail` flow worker → supervisor;
 /// `Cell`/`Shutdown` flow supervisor → worker.
+///
+/// Serve subset: `Submit`/`Cancel` flow client → daemon;
+/// `Sample`/`Region`/`CellDone`/`JobStatus` flow daemon → client.
+/// `job` identifiers are chosen by the client and echoed back opaquely,
+/// so one connection can tell its own jobs apart. Event payloads are
+/// opaque to this layer: the job-execution bridge defines their codecs
+/// and keeps them bit-exact (the same `RooflineRun` codec the sweep
+/// journal uses).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Worker's first frame: magic + schema version.
+    /// The initiating peer's first frame: magic + schema version.
     Hello { magic: [u8; 8], schema: u32 },
     /// Dispatch one cell (opaque payload) to a worker. `attempt` is the
     /// supervisor's 0-based attempt number, forwarded so worker-side
@@ -115,7 +135,43 @@ pub enum Msg {
     },
     /// Supervisor asks the worker to exit cleanly.
     Shutdown,
+    /// Client submits one job. `payload` is an encoded job description
+    /// (the same typed `JobSpec` the CLI parses); `job` is the client's
+    /// identifier for it, echoed in every event the job produces.
+    Submit { job: u64, payload: Vec<u8> },
+    /// One profiling sample, streamed as it is drained from the PMU
+    /// ring — never accumulated daemon-side.
+    Sample { job: u64, payload: Vec<u8> },
+    /// One roofline region measurement, streamed as correlation
+    /// produces it.
+    Region { job: u64, payload: Vec<u8> },
+    /// One sweep cell completed; `payload` is the bit-exact
+    /// `RooflineRun` codec the journal uses, `index` the cell's slot.
+    CellDone {
+        job: u64,
+        index: u64,
+        payload: Vec<u8>,
+    },
+    /// Client asks the daemon to cancel a submitted job. Takes effect
+    /// at the next cell/drain boundary; the job still terminates with a
+    /// `JobStatus`.
+    Cancel { job: u64 },
+    /// Terminal job status. `code` mirrors the batch CLI exit code for
+    /// a natural completion (0 ok, 1 failed, 3 partial, 4 fatal) and is
+    /// [`CODE_CANCELLED`] for a cancelled job; `payload` is a
+    /// job-kind-specific summary (profile totals, stat counts, sweep
+    /// retry accounting) the client needs to render the batch report.
+    JobStatus {
+        job: u64,
+        code: u32,
+        message: String,
+        payload: Vec<u8>,
+    },
 }
+
+/// [`Msg::JobStatus`] code for a job stopped by [`Msg::Cancel`]:
+/// `128 + SIGINT`, the shell convention for an interrupted run.
+pub const CODE_CANCELLED: u32 = 130;
 
 impl Msg {
     /// The canonical hello for this binary's protocol version.
@@ -132,6 +188,12 @@ const TAG_CELL: u8 = 2;
 const TAG_DONE: u8 = 3;
 const TAG_FAIL: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
+const TAG_SUBMIT: u8 = 6;
+const TAG_SAMPLE: u8 = 7;
+const TAG_REGION: u8 = 8;
+const TAG_CELL_DONE: u8 = 9;
+const TAG_CANCEL: u8 = 10;
+const TAG_JOB_STATUS: u8 = 11;
 
 fn class_code(c: FailureClass) -> u8 {
     match c {
@@ -193,6 +255,47 @@ fn encode_body(msg: &Msg) -> Vec<u8> {
             }
         }
         Msg::Shutdown => e.u8(TAG_SHUTDOWN),
+        Msg::Submit { job, payload } => {
+            e.u8(TAG_SUBMIT);
+            e.u64(*job);
+            e.bytes(payload);
+        }
+        Msg::Sample { job, payload } => {
+            e.u8(TAG_SAMPLE);
+            e.u64(*job);
+            e.bytes(payload);
+        }
+        Msg::Region { job, payload } => {
+            e.u8(TAG_REGION);
+            e.u64(*job);
+            e.bytes(payload);
+        }
+        Msg::CellDone {
+            job,
+            index,
+            payload,
+        } => {
+            e.u8(TAG_CELL_DONE);
+            e.u64(*job);
+            e.u64(*index);
+            e.bytes(payload);
+        }
+        Msg::Cancel { job } => {
+            e.u8(TAG_CANCEL);
+            e.u64(*job);
+        }
+        Msg::JobStatus {
+            job,
+            code,
+            message,
+            payload,
+        } => {
+            e.u8(TAG_JOB_STATUS);
+            e.u64(*job);
+            e.u32(*code);
+            e.str(message);
+            e.bytes(payload);
+        }
     }
     e.into_bytes()
 }
@@ -243,6 +346,32 @@ fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
             }
         }
         TAG_SHUTDOWN => Msg::Shutdown,
+        TAG_SUBMIT => Msg::Submit {
+            job: d.u64().map_err(corrupt)?,
+            payload: d.bytes().map_err(corrupt)?,
+        },
+        TAG_SAMPLE => Msg::Sample {
+            job: d.u64().map_err(corrupt)?,
+            payload: d.bytes().map_err(corrupt)?,
+        },
+        TAG_REGION => Msg::Region {
+            job: d.u64().map_err(corrupt)?,
+            payload: d.bytes().map_err(corrupt)?,
+        },
+        TAG_CELL_DONE => Msg::CellDone {
+            job: d.u64().map_err(corrupt)?,
+            index: d.u64().map_err(corrupt)?,
+            payload: d.bytes().map_err(corrupt)?,
+        },
+        TAG_CANCEL => Msg::Cancel {
+            job: d.u64().map_err(corrupt)?,
+        },
+        TAG_JOB_STATUS => Msg::JobStatus {
+            job: d.u64().map_err(corrupt)?,
+            code: d.u32().map_err(corrupt)?,
+            message: d.str().map_err(corrupt)?,
+            payload: d.bytes().map_err(corrupt)?,
+        },
         other => return Err(ProtoError::Corrupt(format!("unknown tag {other}"))),
     };
     d.finish().map_err(corrupt)?;
@@ -449,6 +578,30 @@ mod tests {
             trap: None,
         });
         roundtrip(Msg::Shutdown);
+        roundtrip(Msg::Submit {
+            job: 1,
+            payload: vec![0xab; 17],
+        });
+        roundtrip(Msg::Sample {
+            job: 2,
+            payload: vec![1, 2, 3, 4],
+        });
+        roundtrip(Msg::Region {
+            job: 3,
+            payload: Vec::new(),
+        });
+        roundtrip(Msg::CellDone {
+            job: 4,
+            index: 11,
+            payload: vec![0; 64],
+        });
+        roundtrip(Msg::Cancel { job: u64::MAX });
+        roundtrip(Msg::JobStatus {
+            job: 5,
+            code: CODE_CANCELLED,
+            message: "cancelled by client".into(),
+            payload: vec![9, 9],
+        });
     }
 
     #[test]

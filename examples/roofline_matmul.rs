@@ -7,7 +7,7 @@
 //! cargo run --release --example roofline_matmul
 //! ```
 
-use miniperf::run_roofline;
+use miniperf::RooflineRequest;
 use mperf_roofline::model::Point;
 use mperf_roofline::{characterize, plot};
 use mperf_sim::Platform;
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // per-block counters (the paper's LLVM pass).
         let module = mperf_workloads::compile_for("mm", SOURCE, platform, true)?;
         let setup = move |vm: &mut Vm| -> Result<Vec<Value>, VmError> { bench.setup(vm) };
-        let run = run_roofline(&module, &spec, ENTRY, &setup)?;
+        let run = RooflineRequest::new().run(&module, &spec, ENTRY, &setup)?;
         let r = &run.regions[0];
 
         let mut model = characterize(platform).to_model();

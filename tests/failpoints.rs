@@ -10,7 +10,7 @@
 #![cfg(feature = "failpoints")]
 
 use miniperf::sweep_supervisor::encode_run;
-use miniperf::{run_roofline_sweep, run_roofline_sweep_supervised, RooflineJob, SweepOptions};
+use miniperf::{run_roofline_sweep, RooflineJob, RooflineRequest};
 use mperf_fault::{arm_scoped, drain_log, FaultKind, FaultPlan, PANIC_PREFIX};
 use mperf_sim::Platform;
 use mperf_sweep::{CellError, RetryPolicy};
@@ -91,15 +91,13 @@ fn faults_in_three_cells_spare_healthy_cells_and_resume_completes() {
     let serial_bytes: Vec<Vec<u8>> = serial.iter().map(encode_run).collect();
     let path = tmp_journal("acceptance");
 
-    let opts = SweepOptions {
-        jobs: 2,
-        policy: RetryPolicy {
+    let request = RooflineRequest::new()
+        .jobs(2)
+        .policy(RetryPolicy {
             max_attempts: 3,
             retry_panics: true,
-        },
-        journal: Some(path.clone()),
-        ..Default::default()
-    };
+        })
+        .journal(path.clone());
     {
         let _armed = arm_scoped(
             FaultPlan::new(7)
@@ -107,7 +105,7 @@ fn faults_in_three_cells_spare_healthy_cells_and_resume_completes() {
                 .inject("sweep.cell", 1, FaultKind::Trap, 1)
                 .inject("sweep.cell", 2, FaultKind::TransientIo, 1),
         );
-        let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+        let sweep = request.run_supervised(&cells).unwrap();
         let fired = drain_log();
         assert!(
             fired.len() >= 5,
@@ -141,13 +139,11 @@ fn faults_in_three_cells_spare_healthy_cells_and_resume_completes() {
     // still serialises against the other fault tests, so their plans
     // cannot fire into this sweep.
     let _armed = arm_scoped(FaultPlan::default());
-    let opts = SweepOptions {
-        jobs: 1,
-        journal: Some(path.clone()),
-        resume: true,
-        ..Default::default()
-    };
-    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    let request = RooflineRequest::new()
+        .jobs(1)
+        .journal(path.clone())
+        .resume(true);
+    let sweep = request.run_supervised(&cells).unwrap();
     let mut resumed = sweep.resumed.clone();
     resumed.sort_unstable();
     assert_eq!(resumed, vec![2, 3], "only failed cells re-execute");
@@ -175,7 +171,7 @@ fn fuel_exhaustion_is_transient_and_recovers() {
         .collect();
     let _armed =
         arm_scoped(FaultPlan::new(11).inject("sweep.cell", 2, FaultKind::FuelExhaustion, 1));
-    let sweep = run_roofline_sweep_supervised(&cells, &SweepOptions::default()).unwrap();
+    let sweep = RooflineRequest::new().run_supervised(&cells).unwrap();
     assert!(sweep.report.all_ok());
     assert!(
         sweep.report.retried.iter().any(|&(i, _)| i == 2),
@@ -209,7 +205,7 @@ fn scattered_faults_are_deterministic_and_recoverable() {
     assert_eq!(keys, keys2, "scatter is seed-deterministic");
 
     let _armed = arm_scoped(plan);
-    let sweep = run_roofline_sweep_supervised(&cells, &SweepOptions::default()).unwrap();
+    let sweep = RooflineRequest::new().run_supervised(&cells).unwrap();
     assert!(sweep.report.all_ok(), "single-shot transients all recover");
     let retried: Vec<u64> = sweep
         .report
@@ -236,14 +232,10 @@ fn journal_append_failure_cancels_the_sweep() {
     quiet_injected_panics();
     let cells = triad_cells(512);
     let path = tmp_journal("fatal");
-    let opts = SweepOptions {
-        jobs: 1,
-        journal: Some(path.clone()),
-        ..Default::default()
-    };
+    let request = RooflineRequest::new().jobs(1).journal(path.clone());
     let _armed =
         arm_scoped(FaultPlan::new(3).inject_all("sweep.journal", FaultKind::TransientIo, 1));
-    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    let sweep = request.run_supervised(&cells).unwrap();
     assert_eq!(sweep.report.failed.len(), 1, "first cell's append fails");
     let f = &sweep.report.failed[0];
     assert_eq!(f.index, 0);

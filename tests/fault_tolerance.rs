@@ -5,7 +5,7 @@
 //! torn-tail journal — to a byte-identical final report.
 
 use miniperf::sweep_supervisor::encode_run;
-use miniperf::{run_roofline_sweep, run_roofline_sweep_supervised, RooflineJob, SweepOptions};
+use miniperf::{run_roofline_sweep, RooflineJob, RooflineRequest};
 use mperf_sim::Platform;
 use mperf_sweep::{run_jobs_supervised, FailureClass, RetryPolicy};
 use mperf_vm::{Value, Vm};
@@ -170,12 +170,8 @@ fn supervised_sweep_matches_serial_and_resumes_byte_identically() {
     let serial_bytes: Vec<Vec<u8>> = serial.iter().map(encode_run).collect();
 
     let path = tmp_journal("resume");
-    let opts = SweepOptions {
-        jobs: 3,
-        journal: Some(path.clone()),
-        ..Default::default()
-    };
-    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    let request = RooflineRequest::new().jobs(3).journal(path.clone());
+    let sweep = request.run_supervised(&cells).unwrap();
     assert!(sweep.report.all_ok());
     assert!(sweep.resumed.is_empty());
     for (i, run) in sweep.report.results.iter().enumerate() {
@@ -191,13 +187,11 @@ fn supervised_sweep_matches_serial_and_resumes_byte_identically() {
     let ends = frame_ends(&full);
     assert_eq!(ends.len(), cells.len(), "one frame per cell");
     std::fs::write(&path, &full[..ends[1] + 5]).unwrap();
-    let opts = SweepOptions {
-        jobs: 2,
-        journal: Some(path.clone()),
-        resume: true,
-        ..Default::default()
-    };
-    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    let request = RooflineRequest::new()
+        .jobs(2)
+        .journal(path.clone())
+        .resume(true);
+    let sweep = request.run_supervised(&cells).unwrap();
     assert_eq!(sweep.resumed.len(), 2, "two cells survived the tear");
     assert!(sweep.report.all_ok());
     for (i, run) in sweep.report.results.iter().enumerate() {
@@ -209,13 +203,11 @@ fn supervised_sweep_matches_serial_and_resumes_byte_identically() {
     }
 
     // The journal is complete again: a third pass resumes everything.
-    let opts = SweepOptions {
-        jobs: 1,
-        journal: Some(path.clone()),
-        resume: true,
-        ..Default::default()
-    };
-    let sweep = run_roofline_sweep_supervised(&cells, &opts).unwrap();
+    let request = RooflineRequest::new()
+        .jobs(1)
+        .journal(path.clone())
+        .resume(true);
+    let sweep = request.run_supervised(&cells).unwrap();
     assert_eq!(sweep.resumed.len(), cells.len());
     assert!(sweep.report.all_ok());
     let _ = std::fs::remove_file(&path);
@@ -244,7 +236,7 @@ fn trapping_cell_reports_trap_site_and_spares_healthy_cells() {
         setup: Box::new(|_vm: &mut Vm| Ok(vec![Value::I64(7), Value::I64(0)])),
     });
 
-    let sweep = run_roofline_sweep_supervised(&cells, &SweepOptions::default()).unwrap();
+    let sweep = RooflineRequest::new().run_supervised(&cells).unwrap();
     assert_eq!(sweep.report.failed.len(), 1);
     let f = &sweep.report.failed[0];
     assert_eq!(f.index, healthy);

@@ -3,7 +3,7 @@
 //! buffer round-trips arbitrary samples, PMU counting is exact, and the
 //! thread-parallel roofline sweep is bit-identical to the serial sweep.
 
-use miniperf::{run_roofline_jobs, run_roofline_sweep, RooflineJob};
+use miniperf::{run_roofline_sweep, RooflineJob, RooflineRequest};
 use mperf_event::{Record, RingBuffer, SampleRecord, SampleType};
 use mperf_ir::transform::instrument::{InstrumentOptions, InstrumentPass};
 use mperf_ir::transform::PassManager;
@@ -333,7 +333,7 @@ proptest! {
         ];
         let mut serial_runs = Vec::new();
         for spec in &specs {
-            let serial = run_roofline_jobs(&module, spec, entry, &setup, 1).unwrap();
+            let serial = RooflineRequest::new().run(&module, spec, entry, &setup).unwrap();
             // The sweep defaults to the threaded engine; the decoded
             // engine must produce the identical run (cross-engine sweep
             // identity), so parallel threaded ≡ serial decoded too.
@@ -342,16 +342,19 @@ proptest! {
                 fuse: true,
                 regalloc: true,
             };
-            let decoded = miniperf::run_roofline_jobs_cfg(
-                &module, spec, entry, &setup, 1, decoded_cfg,
-            )
-            .unwrap();
+            let decoded = RooflineRequest::new()
+                .config(decoded_cfg)
+                .run(&module, spec, entry, &setup)
+                .unwrap();
             prop_assert_eq!(
                 &serial, &decoded,
                 "threaded sweep diverges from decoded sweep ({})", spec.name
             );
             for jobs in [2usize, 4] {
-                let parallel = run_roofline_jobs(&module, spec, entry, &setup, jobs).unwrap();
+                let parallel = RooflineRequest::new()
+                    .jobs(jobs)
+                    .run(&module, spec, entry, &setup)
+                    .unwrap();
                 // Field-by-field on the named observables first (sharper
                 // failure messages), then whole-run equality.
                 prop_assert_eq!(

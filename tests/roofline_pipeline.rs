@@ -3,7 +3,7 @@
 //! remain identical across platforms (the "consistent metrics" claim),
 //! and compose with the machine characterization into sane models.
 
-use miniperf::run_roofline;
+use miniperf::RooflineRequest;
 use mperf_roofline::microbench::characterize_with;
 use mperf_roofline::model::{Bound, Point};
 use mperf_roofline::plot;
@@ -26,7 +26,9 @@ fn matmul_metrics_match_analytic_counts() {
     // (A + B), plus per-(i,j): 4 bytes load + 4 bytes store of C.
     let module = mperf_workloads::compile_for("mm", MM_SOURCE, Platform::SifiveU74, true).unwrap();
     let spec = Platform::SifiveU74.spec();
-    let run = run_roofline(&module, &spec, MM_ENTRY, &mm_setup(bench)).unwrap();
+    let run = RooflineRequest::new()
+        .run(&module, &spec, MM_ENTRY, &mm_setup(bench))
+        .unwrap();
     let r = &run.regions[0];
     let n = bench.n as u64;
     let kk_tiles = n / bench.tile as u64;
@@ -56,7 +58,9 @@ fn metrics_are_platform_consistent_even_when_codegen_differs() {
         Platform::IntelI5_1135G7,
     ] {
         let module = mperf_workloads::compile_for("mm", MM_SOURCE, p, true).unwrap();
-        let run = run_roofline(&module, &p.spec(), MM_ENTRY, &mm_setup(bench)).unwrap();
+        let run = RooflineRequest::new()
+            .run(&module, &p.spec(), MM_ENTRY, &mm_setup(bench))
+            .unwrap();
         let r = &run.regions[0];
         all.push((p, r.flops, r.loaded_bytes + r.stored_bytes));
     }
@@ -84,7 +88,9 @@ fn x60_matmul_point_sits_far_below_both_roofs() {
     let module =
         mperf_workloads::compile_for("mm", MM_SOURCE, Platform::SpacemitX60, true).unwrap();
     let spec = Platform::SpacemitX60.spec();
-    let run = run_roofline(&module, &spec, MM_ENTRY, &mm_setup(bench)).unwrap();
+    let run = RooflineRequest::new()
+        .run(&module, &spec, MM_ENTRY, &mm_setup(bench))
+        .unwrap();
     let r = &run.regions[0];
     let gflops = r.gflops(spec.freq_hz);
     let ch = characterize_with(Platform::SpacemitX60, 1 << 20);
@@ -110,7 +116,9 @@ fn i5_beats_x60_by_an_order_of_magnitude_on_matmul() {
     for p in [Platform::SpacemitX60, Platform::IntelI5_1135G7] {
         let module = mperf_workloads::compile_for("mm", MM_SOURCE, p, true).unwrap();
         let spec = p.spec();
-        let run = run_roofline(&module, &spec, MM_ENTRY, &mm_setup(bench)).unwrap();
+        let run = RooflineRequest::new()
+            .run(&module, &spec, MM_ENTRY, &mm_setup(bench))
+            .unwrap();
         gf.push(run.regions[0].gflops(spec.freq_hz));
     }
     assert!(
@@ -131,7 +139,9 @@ fn advisor_style_reads_higher_than_miniperf_on_ooo_hardware() {
     let platform = Platform::IntelI5_1135G7;
     let spec = platform.spec();
     let module = mperf_workloads::compile_for("mm", MM_SOURCE, platform, true).unwrap();
-    let run = run_roofline(&module, &spec, MM_ENTRY, &mm_setup(bench)).unwrap();
+    let run = RooflineRequest::new()
+        .run(&module, &spec, MM_ENTRY, &mm_setup(bench))
+        .unwrap();
     let r = &run.regions[0];
     let ir_flops = r.flops;
 
