@@ -914,7 +914,12 @@ fn run_serve_row(full: bool, jobs: usize) -> (f64, f64) {
 
     let socket =
         std::env::temp_dir().join(format!("mperf-bench-serve-{}.sock", std::process::id()));
-    let handle = miniperf::serve::start(&socket, &CommonOpts::default()).expect("start daemon");
+    let handle = miniperf::serve::start(
+        &socket,
+        &CommonOpts::default(),
+        &miniperf::ServeOptions::default(),
+    )
+    .expect("start daemon");
     let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect to daemon");
     let reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
     let mut session = ClientSession::connect(reader, stream).expect("serve handshake");

@@ -128,6 +128,20 @@ options:
                                  and compose with --journal/--resume)
   --socket <PATH>                Unix-domain socket for `serve`/`submit`
                                  (default: $TMPDIR/miniperf.sock)
+  --state-dir <DIR>              serve: keyed sweep jobs checkpoint their
+                                 journals here; a restarted daemon resumes
+                                 them when the same spec + key is resubmitted
+  --cache-dir <DIR>              serve: persist the warm decode cache here
+                                 so a restarted daemon performs zero decodes
+  --max-jobs <N>                 serve: concurrent job cap — submits beyond
+                                 it are rejected immediately, never queued
+                                 silently (default: 32)
+  --progress                     submit: render sweep progress (cells done)
+                                 on stderr; stdout stays byte-identical to
+                                 the batch command
+  --job-key <KEY>                submit sweep: stable key for server-side
+                                 checkpointing; resubmit the same spec with
+                                 the same key after a daemon crash to resume
   -h, --help                     print this help
 
 Every report starts with a `config:` line naming the engine, fusion, and
@@ -205,17 +219,21 @@ pub enum Command {
     /// Hidden worker entry point for `sweep --shards N` children.
     SweepWorker,
     /// The profiling daemon. `opts` supplies daemon-side defaults
-    /// (journal/resume for sweep jobs).
+    /// (journal/resume for sweep jobs); `serve` carries the
+    /// supervision knobs and state/cache directories.
     Serve {
         socket: PathBuf,
         opts: CommonOpts,
+        serve: crate::serve::ServeOptions,
     },
     /// The serve client: ship `spec` to the daemon at `socket`, stream
     /// results back, render them exactly as the batch command would.
+    /// `progress` renders sweep progress frames on stderr.
     Submit {
         socket: PathBuf,
         spec: JobSpec,
         opts: CommonOpts,
+        progress: bool,
     },
     Help,
 }
@@ -325,11 +343,41 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "stat" => parse_opts(&argv[1..], false).map(|(o, _)| Command::Stat(o)),
         "roofline" => parse_opts(&argv[1..], false).map(|(o, _)| Command::Roofline(o)),
         "sweep" => parse_opts(&argv[1..], false).map(|(o, _)| Command::Sweep(o)),
-        "serve" => {
-            parse_opts(&argv[1..], true).map(|(opts, socket)| Command::Serve { socket, opts })
-        }
+        "serve" => parse_serve(&argv[1..]),
         "submit" => parse_submit(&argv[1..]),
         other => Err(format!("unknown command {other:?}")),
+    })
+}
+
+/// Split off the serve-only flags, then hand the rest to
+/// [`parse_opts`] so `serve` keeps every shared option.
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut serve = crate::serve::ServeOptions::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--state-dir" => match it.next() {
+                Some(v) => serve.state_dir = Some(PathBuf::from(v)),
+                None => return Err("--state-dir needs a value".into()),
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => serve.cache_dir = Some(PathBuf::from(v)),
+                None => return Err("--cache-dir needs a value".into()),
+            },
+            "--max-jobs" => match it.next().map(|v| (v, v.parse::<usize>())) {
+                Some((_, Ok(v))) if v > 0 => serve.max_jobs = v,
+                Some((v, _)) => return Err(format!("bad --max-jobs {v:?}")),
+                None => return Err("--max-jobs needs a value".into()),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    let (opts, socket) = parse_opts(&rest, true)?;
+    Ok(Command::Serve {
+        socket,
+        opts,
+        serve,
     })
 }
 
@@ -349,7 +397,26 @@ fn parse_submit(args: &[String]) -> Result<Command, String> {
             ))
         }
     };
-    let (opts, socket) = parse_opts(&args[1..], true)?;
+    // Submit-only flags come off before the shared parser sees them.
+    let mut progress = false;
+    let mut job_key = String::new();
+    let mut rest = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--progress" => progress = true,
+            "--job-key" => match it.next() {
+                Some(v) if !v.is_empty() => job_key = v.clone(),
+                Some(_) => return Err("--job-key must not be empty".into()),
+                None => return Err("--job-key needs a value".into()),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    if !job_key.is_empty() && kind != JobKind::Sweep {
+        return Err("--job-key only applies to `submit sweep` (checkpointed jobs)".into());
+    }
+    let (opts, socket) = parse_opts(&rest, true)?;
     if opts.journal.is_some() || opts.resume || opts.shards > 0 {
         return Err(
             "submit does not take --journal/--resume/--shards (daemon-side options; \
@@ -357,8 +424,14 @@ fn parse_submit(args: &[String]) -> Result<Command, String> {
                 .into(),
         );
     }
-    let spec = JobSpec::from_opts(kind, &opts);
-    Ok(Command::Submit { socket, spec, opts })
+    let mut spec = JobSpec::from_opts(kind, &opts);
+    spec.job_key = job_key;
+    Ok(Command::Submit {
+        socket,
+        spec,
+        opts,
+        progress,
+    })
 }
 
 /// Execute a parsed command. Every command returns its exit code
@@ -382,8 +455,17 @@ pub fn run(cmd: Command) -> i32 {
             }
         }
         Command::SweepWorker => crate::worker_main(),
-        Command::Serve { socket, opts } => crate::serve::run_daemon(&socket, &opts),
-        Command::Submit { socket, spec, opts } => crate::serve::run_submit(&socket, &spec, &opts),
+        Command::Serve {
+            socket,
+            opts,
+            serve,
+        } => crate::serve::run_daemon(&socket, &opts, &serve),
+        Command::Submit {
+            socket,
+            spec,
+            opts,
+            progress,
+        } => crate::serve::run_submit(&socket, &spec, &opts, progress),
     }
 }
 
@@ -401,8 +483,8 @@ pub enum JobKind {
 
 /// Job-description codec schema (independent of the framing protocol's
 /// version: specs carry their own schema byte so a daemon can reject a
-/// stale description precisely).
-pub const JOB_SCHEMA: u32 = 1;
+/// stale description precisely). Schema 2 added the sweep `job_key`.
+pub const JOB_SCHEMA: u32 = 2;
 
 /// A parsed job description: everything the daemon needs to execute a
 /// `record`/`stat`/`roofline`/`sweep` request. The CLI parser builds
@@ -423,6 +505,11 @@ pub struct JobSpec {
     /// Triad problem size for `roofline`/`sweep` (the CLI always uses
     /// [`CLI_TRIAD_N`]; tests shrink it).
     pub n: u64,
+    /// Client-chosen checkpoint key for `sweep` jobs (empty = none).
+    /// A daemon with a state directory journals the sweep under this
+    /// key; resubmitting the same spec with the same key after a
+    /// daemon crash resumes it, re-executing only unjournaled cells.
+    pub job_key: String,
 }
 
 impl JobSpec {
@@ -435,6 +522,7 @@ impl JobSpec {
             retries: opts.retries,
             exec: opts.exec,
             n: CLI_TRIAD_N,
+            job_key: String::new(),
         }
     }
 
@@ -455,6 +543,7 @@ impl JobSpec {
         e.u8(self.exec.fuse as u8);
         e.u8(self.exec.regalloc as u8);
         e.u64(self.n);
+        e.str(&self.job_key);
         e.into_bytes()
     }
 
@@ -483,6 +572,7 @@ impl JobSpec {
             let fuse = d.u8()? != 0;
             let regalloc = d.u8()? != 0;
             let n = d.u64()?;
+            let job_key = d.str()?;
             Ok(JobSpec {
                 kind,
                 platform,
@@ -495,6 +585,7 @@ impl JobSpec {
                     regalloc,
                 },
                 n,
+                job_key,
             })
         };
         let spec = inner(&mut d).map_err(|e| format!("malformed job description: {e}"))?;
@@ -523,7 +614,7 @@ pub(crate) fn platform_from_code(b: u8) -> Option<Platform> {
     }
 }
 
-fn engine_code(e: Engine) -> u8 {
+pub(crate) fn engine_code(e: Engine) -> u8 {
     match e {
         Engine::Threaded => 0,
         Engine::Decoded => 1,
@@ -531,7 +622,7 @@ fn engine_code(e: Engine) -> u8 {
     }
 }
 
-fn engine_from_code(b: u8) -> Option<Engine> {
+pub(crate) fn engine_from_code(b: u8) -> Option<Engine> {
     match b {
         0 => Some(Engine::Threaded),
         1 => Some(Engine::Decoded),
@@ -1207,11 +1298,28 @@ mod tests {
     #[test]
     fn submit_parses_a_job_spec_and_rejects_daemon_options() {
         match parse(&args(&["submit", "sweep", "--jobs", "2", "--retries", "5"])).unwrap() {
-            Command::Submit { spec, .. } => {
+            Command::Submit { spec, progress, .. } => {
                 assert_eq!(spec.kind, JobKind::Sweep);
                 assert_eq!(spec.jobs, 2);
                 assert_eq!(spec.retries, 5);
                 assert_eq!(spec.n, CLI_TRIAD_N);
+                assert_eq!(spec.job_key, "");
+                assert!(!progress);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args(&[
+            "submit",
+            "sweep",
+            "--progress",
+            "--job-key",
+            "nightly",
+        ]))
+        .unwrap()
+        {
+            Command::Submit { spec, progress, .. } => {
+                assert_eq!(spec.job_key, "nightly");
+                assert!(progress);
             }
             other => panic!("{other:?}"),
         }
@@ -1222,6 +1330,47 @@ mod tests {
         assert!(parse(&args(&["submit", "sweep", "--journal", "/tmp/j"]))
             .unwrap_err()
             .contains("daemon-side"));
+        assert!(parse(&args(&["submit", "record", "--job-key", "k"]))
+            .unwrap_err()
+            .contains("only applies to `submit sweep`"));
+        assert!(parse(&args(&["submit", "sweep", "--job-key", ""]))
+            .unwrap_err()
+            .contains("must not be empty"));
+    }
+
+    #[test]
+    fn serve_parses_its_supervision_flags() {
+        match parse(&args(&[
+            "serve",
+            "--socket",
+            "/tmp/mp.sock",
+            "--state-dir",
+            "/tmp/mp-state",
+            "--cache-dir",
+            "/tmp/mp-cache",
+            "--max-jobs",
+            "7",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { socket, serve, .. } => {
+                assert_eq!(socket, PathBuf::from("/tmp/mp.sock"));
+                assert_eq!(serve.state_dir, Some(PathBuf::from("/tmp/mp-state")));
+                assert_eq!(serve.cache_dir, Some(PathBuf::from("/tmp/mp-cache")));
+                assert_eq!(serve.max_jobs, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args(&["serve", "--max-jobs", "0"]))
+            .unwrap_err()
+            .contains("bad --max-jobs"));
+        assert!(parse(&args(&["serve", "--state-dir"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        // The serve-only flags stay serve-only.
+        assert!(parse(&args(&["sweep", "--state-dir", "/tmp/x"]))
+            .unwrap_err()
+            .contains("unknown option"));
     }
 
     #[test]
@@ -1244,6 +1393,7 @@ mod tests {
                     regalloc: true,
                 },
                 n: 2048,
+                job_key: "nightly-sweep".into(),
             };
             let back = JobSpec::decode(&spec.encode()).unwrap();
             assert_eq!(back, spec);

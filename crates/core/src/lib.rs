@@ -45,7 +45,7 @@ pub use roofline_runner::{
     run_roofline_sweep, PhaseObservables, RegionMeasurement, RooflineJob, RooflineRequest,
     RooflineRun, SetupFn,
 };
-pub use serve::{run_daemon, run_submit, ServeHandle, ServeStats};
+pub use serve::{run_daemon, run_submit, ServeHandle, ServeOptions, ServeStats};
 pub use shard_exec::{
     cli_triad_setup, run_roofline_sweep_sharded, worker_main, SetupSpec, ShardedCellSpec,
     ShardedSweep, ShardedSweepOptions,

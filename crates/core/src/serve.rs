@@ -7,27 +7,82 @@
 //! sweep (worker threads, retry policy, journal-backed resume) for
 //! sweeps. Results are *streamed*: every sample, region measurement,
 //! and completed sweep cell is framed and flushed the moment it exists,
-//! so daemon memory is bounded by one in-flight frame, not the job
-//! size. The wire format is [`mperf_sweep::proto`] — the same
-//! `MPSWIPC1` frames and handshake the sharded-sweep workers speak —
-//! and the session choreography is [`mperf_sweep::serve`].
+//! so daemon memory is bounded by the per-connection outbound queue,
+//! not the job size. The wire format is [`mperf_sweep::proto`] — the
+//! same `MPSWIPC1` frames and handshake the sharded-sweep workers
+//! speak — and the session choreography is [`mperf_sweep::serve`].
+//!
+//! ## Supervision contract
+//!
+//! The daemon supervises its clients and its jobs with the same
+//! heartbeat-tick vocabulary [`mperf_sweep::ShardOptions`] uses for
+//! worker processes: deadlines are counted in ticks of
+//! [`ServeOptions::tick`], never raw wall-clock, so every decision is
+//! reproducible under fault injection. Concretely:
+//!
+//! - **No daemon thread blocks indefinitely on a client.** Each
+//!   connection owns a bounded outbound queue drained by a dedicated
+//!   writer thread; job threads *enqueue* events instead of writing to
+//!   the socket. A client that has not drained a frame within
+//!   [`ServeOptions::stall_ticks`] ticks is declared stalled: its
+//!   connection is torn down, its jobs are cancelled at the next cell
+//!   boundary with [`CODE_STALLED`], and `stalled_clients` is counted
+//!   in [`ServeStats`].
+//! - **Jobs have deadlines.** A deadline supervisor thread ticks every
+//!   running job; one that exceeds
+//!   [`ServeOptions::job_deadline_ticks`] is cancelled with
+//!   [`CODE_TIMEOUT`] (and counted in `timed_out`).
+//! - **Load is shed, never queued silently.** At most
+//!   [`ServeOptions::max_jobs`] jobs run at once; a submit beyond that
+//!   is answered *immediately* with [`CODE_REJECTED`] (counted in
+//!   `rejected`). Connections beyond [`ServeOptions::max_conns`] are
+//!   dropped at accept (counted in `shed_conns`).
+//!
+//! ## Drain and resume
+//!
+//! SIGTERM/SIGINT flips [`run_daemon`] into **drain mode**: the socket
+//! stops accepting (the socket file is removed), new submits are shed
+//! with [`CODE_REJECTED`], and in-flight jobs get
+//! [`ServeOptions::drain_deadline_ticks`] ticks to finish — or
+//! checkpoint to their sweep journal — before being force-cancelled.
+//! Every submitted job receives its terminal [`Msg::JobStatus`] before
+//! the daemon exits; a second signal forces an immediate exit.
+//!
+//! A sweep submitted with a client-chosen **job key** (and a daemon
+//! started with a state directory) journals each completed cell under
+//! `state_dir`. If the daemon crashes mid-sweep, a client that
+//! reconnects and resubmits the *same spec with the same key* resumes
+//! server-side: only unjournaled cells re-execute, journaled cells are
+//! replayed through the same event stream, and the reassembled result
+//! is byte-identical to a fault-free run.
 //!
 //! ## Warm decode cache
 //!
 //! All connections share one [`DecodeCache`] keyed by
 //! [`cell_key`] — the sweep journal's content-hash key (platform ×
 //! entry × exec config × module text) — so the second identical job
-//! performs **zero** module decodes. [`ServeHandle::stats`] exposes the
-//! decode/hit counters so tests can assert exactly that.
+//! performs **zero** module decodes. With
+//! [`ServeOptions::cache_dir`] set, each decode also persists a small
+//! on-disk entry holding the *recipe* (workload source + config) under
+//! its `cell_key`; on restart the daemon re-derives those decodes
+//! synchronously before accepting clients, so a warm restart performs
+//! zero decodes on the job path (`preloaded` counts the re-derived
+//! entries; corrupt or foreign entries are treated as a miss, never an
+//! error). [`ServeHandle::stats`] exposes all counters so tests can
+//! assert exact accounting.
 //!
 //! ## Exit-status contract
 //!
 //! A job's terminal [`Msg::JobStatus`] code mirrors the batch CLI exit
 //! code (0 ok, 1 record/stat/roofline failure, 2 malformed job
-//! description, sweep 0/3/4) and [`CODE_CANCELLED`] for a cancelled
-//! job. `miniperf submit` exits with that code and renders through the
-//! same [`crate::cli`] body functions the batch commands print through,
-//! so streamed output is byte-identical to batch output.
+//! description, sweep 0/3/4) plus the supervision codes:
+//! [`CODE_CANCELLED`] (client cancel, disconnect, or drain),
+//! [`CODE_REJECTED`] (shed), [`CODE_TIMEOUT`] (deadline), and
+//! [`CODE_STALLED`] (stalled client; normally never delivered — the
+//! stalled connection is gone). `miniperf submit` exits with that code
+//! and renders through the same [`crate::cli`] body functions the
+//! batch commands print through, so streamed output is byte-identical
+//! to batch output.
 
 use crate::cli::{self, CommonOpts, JobKind, JobSpec, SweepOutcome};
 use crate::detect::SamplingStrategy;
@@ -38,17 +93,19 @@ use crate::stat::{stat, StatReport};
 use crate::sweep_supervisor::{cell_key, decode_run, encode_run};
 use mperf_event::EventKind;
 use mperf_sim::{Core, Platform};
-use mperf_sweep::proto::{read_msg, write_msg, Msg, ProtoError, CODE_CANCELLED};
+use mperf_sweep::proto::{
+    read_msg, write_msg, Msg, CODE_CANCELLED, CODE_REJECTED, CODE_STALLED, CODE_TIMEOUT,
+};
 use mperf_sweep::serve::{handshake_accept, ClientSession};
-use mperf_sweep::wire::{Dec, Enc, WireError};
+use mperf_sweep::wire::{crc32, fnv1a, Dec, Enc, WireError};
 use mperf_sweep::RetryPolicy;
 use mperf_vm::{decode_module_cfg, DecodedModule, ExecConfig, Vm};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -207,28 +264,181 @@ fn encode_region(r: &RegionMeasurement) -> Vec<u8> {
 }
 
 // ---------------------------------------------------------------------
-// The warm decode cache.
+// Daemon options and stats.
 
-/// Decode/hit counters from a daemon's shared module cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Supervision knobs for a serve daemon. Deadlines are counted in
+/// heartbeat *ticks* of [`ServeOptions::tick`] — the same vocabulary as
+/// [`mperf_sweep::ShardOptions`] — so only tick counts enter
+/// supervision decisions and tests can shrink the tick without changing
+/// the decision logic.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Admission-control cap on concurrently *running* jobs. Submits
+    /// beyond it are answered immediately with
+    /// [`CODE_REJECTED`] — shed, never queued silently.
+    pub max_jobs: usize,
+    /// Cap on concurrently open client connections; accepts beyond it
+    /// are dropped before the handshake.
+    pub max_conns: usize,
+    /// A job running longer than this many ticks is cancelled with
+    /// [`CODE_TIMEOUT`]. `0` disables the per-job deadline.
+    pub job_deadline_ticks: u32,
+    /// A client that has not drained a frame for this many ticks while
+    /// the outbound queue is full is declared stalled and torn down.
+    pub stall_ticks: u32,
+    /// Drain mode gives in-flight jobs this many ticks to finish (or
+    /// checkpoint to their journal) before force-cancelling them.
+    pub drain_deadline_ticks: u32,
+    /// Bounded per-connection outbound queue, in frames. Job threads
+    /// block (tick-bounded) when it is full — backpressure, not
+    /// unbounded buffering.
+    pub queue_frames: usize,
+    /// The heartbeat quantum every deadline above is counted in.
+    pub tick: Duration,
+    /// Per-job-key sweep journals live here, making keyed sweep
+    /// submits crash-resumable across daemon restarts.
+    pub state_dir: Option<PathBuf>,
+    /// Decode-cache entries persist here, making the warm cache
+    /// survive daemon restarts.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_jobs: 32,
+            max_conns: 64,
+            // 10 minutes at the default 50 ms tick: generous enough for
+            // a full-size sweep, finite enough to reap a wedged job.
+            job_deadline_ticks: 12_000,
+            stall_ticks: 600,
+            drain_deadline_ticks: 600,
+            queue_frames: 256,
+            tick: Duration::from_millis(50),
+            state_dir: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Exact counters from a running daemon: decode-cache activity plus
+/// supervision accounting. Every counter is incremented at the single
+/// point where the corresponding decision fires, so tests can match
+/// them one-to-one against injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Module decodes actually performed.
+    /// Module decodes actually performed on the job path.
     pub decodes: u64,
     /// Jobs served from an already-warm decode.
     pub hits: u64,
+    /// Decodes re-derived from the on-disk cache at startup (off the
+    /// job path; a warm restart serves with `decodes == 0`).
+    pub preloaded: u64,
+    /// Submits shed by admission control or drain mode
+    /// ([`CODE_REJECTED`]).
+    pub rejected: u64,
+    /// Jobs cancelled by the per-job deadline ([`CODE_TIMEOUT`]).
+    pub timed_out: u64,
+    /// Clients declared stalled and torn down ([`CODE_STALLED`]).
+    pub stalled_clients: u64,
+    /// Connections dropped at accept (over `max_conns`, or an injected
+    /// accept fault).
+    pub shed_conns: u64,
+}
+
+// ---------------------------------------------------------------------
+// The warm decode cache (in-memory + optional on-disk persistence).
+
+/// What a decode was *made from* — enough to persist a cache entry that
+/// a restarted daemon can re-derive and verify against its `cell_key`.
+#[derive(Clone, Copy)]
+struct CacheSource<'a> {
+    workload: &'a str,
+    source: &'a str,
+    instrument: bool,
+}
+
+const CACHE_MAGIC: &[u8; 8] = b"MPDCACH1";
+const CACHE_SCHEMA: u32 = 1;
+
+/// Body of one on-disk cache entry: the decode recipe. The file is
+/// `MAGIC ++ crc32(body) ++ body`, named `<cell_key:016x>.mpdc`.
+fn encode_cache_entry(
+    src: CacheSource<'_>,
+    platform: Platform,
+    entry: &str,
+    exec: ExecConfig,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(CACHE_SCHEMA);
+    e.u8(cli::platform_code(platform));
+    e.str(entry);
+    e.u8(cli::engine_code(exec.engine));
+    e.u8(exec.fuse as u8);
+    e.u8(exec.regalloc as u8);
+    e.str(src.workload);
+    e.str(src.source);
+    e.u8(src.instrument as u8);
+    e.into_bytes()
+}
+
+/// Decoded recipe: `(platform, entry, exec, workload, source,
+/// instrument)`. Any malformation — wrong magic, bad CRC, unknown
+/// schema or code, trailing bytes — is `None`: a miss, never an error.
+#[allow(clippy::type_complexity)]
+fn decode_cache_entry(
+    bytes: &[u8],
+) -> Option<(Platform, String, ExecConfig, String, String, bool)> {
+    let body = bytes.strip_prefix(CACHE_MAGIC.as_slice())?;
+    let (crc_bytes, body) = body.split_first_chunk::<4>()?;
+    if crc32(body) != u32::from_le_bytes(*crc_bytes) {
+        return None;
+    }
+    let mut d = Dec::new(body);
+    let inner = |d: &mut Dec| -> Option<(Platform, String, ExecConfig, String, String, bool)> {
+        if d.u32().ok()? != CACHE_SCHEMA {
+            return None;
+        }
+        let platform = cli::platform_from_code(d.u8().ok()?)?;
+        let entry = d.str().ok()?;
+        let exec = ExecConfig {
+            engine: cli::engine_from_code(d.u8().ok()?)?,
+            fuse: d.u8().ok()? != 0,
+            regalloc: d.u8().ok()? != 0,
+        };
+        let workload = d.str().ok()?;
+        let source = d.str().ok()?;
+        let instrument = d.u8().ok()? != 0;
+        Some((platform, entry, exec, workload, source, instrument))
+    };
+    let out = inner(&mut d)?;
+    d.finish().ok()?;
+    Some(out)
 }
 
 /// All connections share one decoded-module cache keyed by
 /// [`cell_key`] — the same content hash the sweep journal files cells
-/// under — so identical jobs across clients share one decode.
+/// under — so identical jobs across clients share one decode. With a
+/// persistence directory, each on-demand decode also writes its recipe
+/// to disk (atomic tempfile + rename), and [`DecodeCache::preload`]
+/// re-derives those decodes at startup.
 #[derive(Default)]
 struct DecodeCache {
     map: Mutex<HashMap<u64, Arc<DecodedModule>>>,
     decodes: AtomicU64,
     hits: AtomicU64,
+    preloaded: AtomicU64,
+    dir: Option<PathBuf>,
 }
 
 impl DecodeCache {
+    fn new(dir: Option<PathBuf>) -> DecodeCache {
+        DecodeCache {
+            dir,
+            ..DecodeCache::default()
+        }
+    }
+
     /// The decoded form of `module` under `exec`, built at most once
     /// per key. The decode happens *under* the map lock: two identical
     /// jobs racing on a cold cache must still produce exactly one
@@ -240,6 +450,7 @@ impl DecodeCache {
         platform: Platform,
         entry: &str,
         exec: ExecConfig,
+        src: Option<CacheSource<'_>>,
     ) -> Arc<DecodedModule> {
         let key = cell_key(&platform.spec(), entry, exec, &module.to_string());
         let mut map = self.map.lock().unwrap();
@@ -250,13 +461,330 @@ impl DecodeCache {
         let d = decode_module_cfg(module, exec.decode());
         self.decodes.fetch_add(1, Ordering::Relaxed);
         map.insert(key, Arc::clone(&d));
+        if let (Some(dir), Some(src)) = (&self.dir, src) {
+            persist_cache_entry(dir, key, &encode_cache_entry(src, platform, entry, exec));
+        }
         d
+    }
+
+    /// Re-derive every valid on-disk entry into the in-memory map.
+    /// Runs synchronously at startup, before the daemon accepts
+    /// clients, so a warm restart performs zero decodes on the job
+    /// path. Entries that fail any validation — unparsable name, bad
+    /// magic/CRC/schema, a recipe that no longer compiles, or a
+    /// `cell_key` that does not match the filename (a foreign or
+    /// tampered entry) — are skipped silently: a miss, never an error.
+    fn preload(&self, dir: &Path) {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for ent in rd.flatten() {
+            let path = ent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(hex) = name.strip_suffix(".mpdc") else {
+                continue;
+            };
+            let Ok(claimed) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Some((platform, entry, exec, workload, source, instrument)) =
+                decode_cache_entry(&bytes)
+            else {
+                continue;
+            };
+            let Ok(module) = mperf_workloads::compile_for(&workload, &source, platform, instrument)
+            else {
+                continue;
+            };
+            let key = cell_key(&platform.spec(), &entry, exec, &module.to_string());
+            if key != claimed {
+                continue;
+            }
+            let mut map = self.map.lock().unwrap();
+            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key) {
+                e.insert(decode_module_cfg(&module, exec.decode()));
+                self.preloaded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn stats(&self) -> ServeStats {
         ServeStats {
             decodes: self.decodes.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+            ..ServeStats::default()
+        }
+    }
+}
+
+/// Best-effort atomic write of one cache entry; a failed write costs a
+/// future preload, never the current job.
+fn persist_cache_entry(dir: &Path, key: u64, body: &[u8]) {
+    let mut bytes = Vec::with_capacity(CACHE_MAGIC.len() + 4 + body.len());
+    bytes.extend_from_slice(CACHE_MAGIC);
+    bytes.extend_from_slice(&crc32(body).to_le_bytes());
+    bytes.extend_from_slice(body);
+    let tmp = dir.join(format!(".tmp-{key:016x}"));
+    if std::fs::write(&tmp, &bytes).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(format!("{key:016x}.mpdc")));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-job supervision state.
+
+const REASON_NONE: u32 = 0;
+const REASON_CANCEL: u32 = 1;
+const REASON_TIMEOUT: u32 = 2;
+const REASON_STALLED: u32 = 3;
+const REASON_DISCONNECT: u32 = 4;
+const REASON_DRAIN: u32 = 5;
+
+/// One running job's cancellation cell: who cancelled it first wins
+/// (the reason maps to the terminal status code), and the deadline
+/// supervisor counts its age in ticks.
+#[derive(Default)]
+struct JobState {
+    cancel: AtomicBool,
+    reason: AtomicU32,
+    ticks: AtomicU32,
+}
+
+impl JobState {
+    /// Request cancellation for `reason`; returns true if this call won
+    /// the race to set it (exactly one winner per job, so counters
+    /// derived from the winner are exact).
+    fn cancel_with(&self, reason: u32) -> bool {
+        let won = self
+            .reason
+            .compare_exchange(REASON_NONE, reason, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        self.cancel.store(true, Ordering::SeqCst);
+        won
+    }
+}
+
+/// Map a cancelled job's winning reason onto its terminal status.
+fn cancel_status(state: &JobState, sopts: &ServeOptions) -> (u32, String, Vec<u8>) {
+    let (code, msg) = match state.reason.load(Ordering::SeqCst) {
+        REASON_TIMEOUT => (
+            CODE_TIMEOUT,
+            format!("job deadline exceeded ({} ticks)", sopts.job_deadline_ticks),
+        ),
+        REASON_STALLED => (CODE_STALLED, "client stalled; connection torn down".into()),
+        REASON_DISCONNECT => (CODE_CANCELLED, "client disconnected".into()),
+        REASON_DRAIN => (CODE_CANCELLED, "daemon draining".into()),
+        _ => (CODE_CANCELLED, "job cancelled".into()),
+    };
+    (code, msg, Vec::new())
+}
+
+// ---------------------------------------------------------------------
+// The bounded outbound queue: backpressure toward job threads, stall
+// detection toward the client.
+
+enum SendFail {
+    /// The connection is gone (client dead, stalled, or being torn
+    /// down); the frame was dropped.
+    Closed,
+    /// *This* send declared the client stalled: the queue stayed full
+    /// for the whole stall deadline.
+    Stalled,
+}
+
+struct OutState {
+    q: VecDeque<Msg>,
+    /// A frame is between "popped" and "written" in the writer thread;
+    /// `close_when_idle` must not cut the socket under it.
+    in_flight: bool,
+    closed: bool,
+}
+
+/// The per-connection outbound path. Job threads [`Outbound::send`]
+/// into the bounded queue; one writer thread drains it to the socket.
+/// Senders never block longer than `stall_ticks × tick`.
+struct Outbound {
+    state: Mutex<OutState>,
+    /// Signalled by the writer after draining a frame.
+    space: Condvar,
+    /// Signalled by senders after enqueueing (and by close).
+    ready: Condvar,
+    /// Owned handle used to force-shutdown the socket; the writer
+    /// thread writes through its own clone.
+    stream: UnixStream,
+    capacity: usize,
+    stall_ticks: u32,
+    tick: Duration,
+}
+
+impl Outbound {
+    fn new(stream: UnixStream, sopts: &ServeOptions) -> Outbound {
+        Outbound {
+            state: Mutex::new(OutState {
+                q: VecDeque::new(),
+                in_flight: false,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            stream,
+            capacity: sopts.queue_frames.max(1),
+            stall_ticks: sopts.stall_ticks.max(1),
+            tick: sopts.tick,
+        }
+    }
+
+    /// Enqueue one frame, waiting (in ticks) for space. A full queue
+    /// that makes no progress for `stall_ticks` consecutive ticks
+    /// declares the client stalled: the connection is shut down and
+    /// `Err(Stalled)` tells the caller to do the accounting.
+    fn send(&self, msg: Msg) -> Result<(), SendFail> {
+        let mut st = self.state.lock().unwrap();
+        let mut waited: u32 = 0;
+        while st.q.len() >= self.capacity {
+            if st.closed {
+                return Err(SendFail::Closed);
+            }
+            let before = st.q.len();
+            let (guard, timeout) = self.space.wait_timeout(st, self.tick).unwrap();
+            st = guard;
+            if st.closed {
+                return Err(SendFail::Closed);
+            }
+            if st.q.len() < before {
+                // The writer drained something: progress resets the
+                // stall clock.
+                waited = 0;
+                continue;
+            }
+            if timeout.timed_out() {
+                waited += 1;
+                if waited >= self.stall_ticks {
+                    st.closed = true;
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    self.ready.notify_all();
+                    self.space.notify_all();
+                    return Err(SendFail::Stalled);
+                }
+            }
+        }
+        if st.closed {
+            return Err(SendFail::Closed);
+        }
+        st.q.push_back(msg);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Tear the connection down now: wake every blocked sender, error
+    /// out any in-flight write, and EOF the client's reader.
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Close, but first give the writer up to `grace_ticks` ticks to
+    /// flush already-queued frames (terminal statuses must reach a
+    /// healthy client before the socket drops).
+    fn close_when_idle(&self, grace_ticks: u32) {
+        for _ in 0..grace_ticks {
+            if self.is_idle() {
+                break;
+            }
+            thread::sleep(self.tick);
+        }
+        self.close();
+    }
+
+    fn is_idle(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        (st.q.is_empty() && !st.in_flight) || st.closed
+    }
+}
+
+/// Everything a connection's threads share: the outbound path and the
+/// connection's own job table (client job id → state), so a stall or
+/// disconnect can cancel exactly this client's jobs.
+struct ConnShared {
+    out: Outbound,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    stalled: AtomicBool,
+    id: u64,
+}
+
+impl ConnShared {
+    /// Best-effort send with stall accounting: the first sender to see
+    /// the stall deadline expire tears the connection down, counts the
+    /// stalled client, and cancels all of its jobs at their next cell
+    /// boundary.
+    fn send(&self, ctx: &DaemonCtx, msg: Msg) -> bool {
+        match self.out.send(msg) {
+            Ok(()) => true,
+            Err(SendFail::Closed) => false,
+            Err(SendFail::Stalled) => {
+                if !self.stalled.swap(true, Ordering::SeqCst) {
+                    ctx.stalled_clients.fetch_add(1, Ordering::SeqCst);
+                    for st in self.jobs.lock().unwrap().values() {
+                        st.cancel_with(REASON_STALLED);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// The writer thread: pop frames and write them to the socket.
+    /// The `serve.client_stall` failpoint (keyed by connection id)
+    /// simulates a client that stopped draining — the writer parks
+    /// without writing, exactly as a full kernel buffer would block it,
+    /// until the stall machinery tears the connection down.
+    fn writer_loop(&self) {
+        let Ok(mut stream) = self.out.stream.try_clone() else {
+            self.out.close();
+            return;
+        };
+        loop {
+            let msg = {
+                let mut st = self.out.state.lock().unwrap();
+                loop {
+                    if st.closed {
+                        return;
+                    }
+                    if let Some(m) = st.q.pop_front() {
+                        st.in_flight = true;
+                        self.out.space.notify_all();
+                        break m;
+                    }
+                    st = self.out.ready.wait(st).unwrap();
+                }
+            };
+            if let Some(mperf_fault::FaultKind::Stall) =
+                mperf_fault::hit("serve.client_stall", self.id)
+            {
+                while !self.out.state.lock().unwrap().closed {
+                    thread::sleep(self.out.tick);
+                }
+                return;
+            }
+            let ok = write_msg(&mut stream, &msg).is_ok();
+            {
+                let mut st = self.out.state.lock().unwrap();
+                st.in_flight = false;
+            }
+            if !ok {
+                self.out.close();
+                return;
+            }
         }
     }
 }
@@ -264,12 +792,37 @@ impl DecodeCache {
 // ---------------------------------------------------------------------
 // The daemon.
 
-/// Daemon-wide shared state: per-daemon options (journal/resume applied
-/// to sweep jobs) plus the warm cache and the live-connection count.
+/// Daemon-wide shared state: options, the warm cache, the global job
+/// and connection tables, and the exact supervision counters.
 struct DaemonCtx {
     opts: CommonOpts,
+    sopts: ServeOptions,
     cache: DecodeCache,
+    /// Live connection threads (accept increments, wind-down
+    /// decrements).
     active: AtomicU64,
+    /// Every *running* job by its daemon-global sequence number; the
+    /// table's size is the admission-control load measure.
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    /// Every open connection, so drain/stop can tear them down.
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    job_seq: AtomicU64,
+    conn_seq: AtomicU64,
+    draining: AtomicBool,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    stalled_clients: AtomicU64,
+    shed_conns: AtomicU64,
+}
+
+impl DaemonCtx {
+    fn running(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    fn conns_idle(&self) -> bool {
+        self.conns.lock().unwrap().values().all(|c| c.out.is_idle())
+    }
 }
 
 /// Removes the socket file when the accept loop exits, however it
@@ -283,13 +836,15 @@ impl Drop for SocketGuard {
     }
 }
 
-/// A running daemon: stop it, query its cache stats, find its socket.
-/// Dropping the handle also stops the daemon.
+/// A running daemon: drain or stop it, query its stats, find its
+/// socket. Dropping the handle also stops the daemon (fast path:
+/// in-flight jobs are cancelled rather than awaited).
 pub struct ServeHandle {
     socket: PathBuf,
     stop: Arc<AtomicBool>,
     ctx: Arc<DaemonCtx>,
     accept: Option<thread::JoinHandle<()>>,
+    supervise: Option<thread::JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -298,27 +853,75 @@ impl ServeHandle {
         &self.socket
     }
 
-    /// Decode-cache counters (for the warm-cache guarantee).
+    /// Exact decode-cache and supervision counters.
     pub fn stats(&self) -> ServeStats {
-        self.ctx.cache.stats()
+        let mut s = self.ctx.cache.stats();
+        s.rejected = self.ctx.rejected.load(Ordering::SeqCst);
+        s.timed_out = self.ctx.timed_out.load(Ordering::SeqCst);
+        s.stalled_clients = self.ctx.stalled_clients.load(Ordering::SeqCst);
+        s.shed_conns = self.ctx.shed_conns.load(Ordering::SeqCst);
+        s
     }
 
-    /// Stop accepting, wait for in-flight connections to drain
-    /// (bounded), and remove the socket file.
-    pub fn stop(mut self) {
-        self.shutdown();
+    /// Graceful drain, then stop: stop accepting (the socket file is
+    /// removed), shed new submits, give in-flight jobs the drain
+    /// deadline to finish, force-cancel the rest, flush terminal
+    /// statuses, and tear every connection down.
+    pub fn drain(&mut self) {
+        self.drain_until(|| false);
     }
 
-    fn shutdown(&mut self) {
-        // Idempotent: `stop()` consumes self and Drop runs right after,
-        // so the drain below must only happen on the first call.
-        let Some(t) = self.accept.take() else {
-            return;
-        };
+    /// [`ServeHandle::drain`], aborting the wait as soon as `force`
+    /// returns true (e.g. a second SIGTERM): remaining jobs are
+    /// cancelled and connections dropped without further grace.
+    pub fn drain_until<F: Fn() -> bool>(&mut self, force: F) {
+        self.ctx.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
+        let Some(t) = self.accept.take() else {
+            return; // already drained
+        };
         let _ = t.join();
-        // Connections are detached threads; give running jobs a
-        // bounded window to finish their terminal sends.
+        if let Some(t) = self.supervise.take() {
+            let _ = t.join();
+        }
+        let tick = self.ctx.sopts.tick;
+        let deadline = self.ctx.sopts.drain_deadline_ticks;
+        let mut ticks: u32 = 0;
+        let mut cancelled = false;
+        while self.ctx.running() > 0 {
+            let forced = force();
+            if forced || ticks >= deadline {
+                if !cancelled {
+                    for st in self.ctx.jobs.lock().unwrap().values() {
+                        st.cancel_with(REASON_DRAIN);
+                    }
+                    cancelled = true;
+                }
+                if forced {
+                    break;
+                }
+            }
+            // Even force-cancelled jobs need to reach their next cancel
+            // check; bound the total wait rather than trusting them.
+            if ticks >= deadline.saturating_mul(2).saturating_add(1000) {
+                break;
+            }
+            thread::sleep(tick);
+            ticks = ticks.saturating_add(1);
+        }
+        // Give writers a bounded window to flush terminal statuses,
+        // then tear every connection down so blocked readers see EOF.
+        if !force() {
+            for _ in 0..self.ctx.sopts.stall_ticks {
+                if self.ctx.conns_idle() {
+                    break;
+                }
+                thread::sleep(tick);
+            }
+        }
+        for c in self.ctx.conns.lock().unwrap().values() {
+            c.out.close();
+        }
         for _ in 0..1000 {
             if self.ctx.active.load(Ordering::SeqCst) == 0 {
                 break;
@@ -326,27 +929,93 @@ impl ServeHandle {
             thread::sleep(Duration::from_millis(10));
         }
     }
+
+    /// Stop the daemon: drain (jobs already finished return instantly;
+    /// running ones get the drain deadline) and remove the socket file.
+    pub fn stop(mut self) {
+        self.drain();
+    }
 }
 
 impl Drop for ServeHandle {
     fn drop(&mut self) {
-        self.shutdown();
+        // Fast path for an abandoned handle: cancel rather than await.
+        self.drain_until(|| true);
+    }
+}
+
+/// Probe an existing socket path before binding. A *live* daemon (the
+/// connect succeeds) or a non-socket file refuses the start — deleting
+/// either would be destructive; only a genuinely stale socket (connect
+/// refused: the listener is gone) is silently reclaimed.
+fn reclaim_stale_socket(socket: &Path) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
+    let md = match std::fs::symlink_metadata(socket) {
+        Ok(md) => md,
+        Err(_) => return Ok(()), // nothing there: the common case
+    };
+    if !md.file_type().is_socket() {
+        return Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!(
+                "{} exists and is not a socket; refusing to replace it",
+                socket.display()
+            ),
+        ));
+    }
+    match UnixStream::connect(socket) {
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("another daemon is already serving on {}", socket.display()),
+        )),
+        Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+            // The listener is gone (daemon died without cleanup):
+            // reclaim the stale file.
+            std::fs::remove_file(socket)
+        }
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("cannot probe existing socket {}: {e}", socket.display()),
+        )),
     }
 }
 
 /// Bind `socket` and start accepting clients in a background thread.
-/// A stale socket file from a dead daemon is replaced.
+/// A stale socket file from a dead daemon is reclaimed; a live
+/// daemon's socket (or a non-socket file) refuses the start with
+/// `AddrInUse`. With a cache directory, the on-disk decode cache is
+/// preloaded synchronously before the first accept.
 ///
 /// # Errors
-/// Bind/listen failures (bad path, permissions, a *live* listener).
-pub fn start(socket: &Path, opts: &CommonOpts) -> io::Result<ServeHandle> {
-    let _ = std::fs::remove_file(socket);
+/// Bind/listen failures (bad path, permissions, a live listener).
+pub fn start(socket: &Path, opts: &CommonOpts, sopts: &ServeOptions) -> io::Result<ServeHandle> {
+    reclaim_stale_socket(socket)?;
+    if let Some(dir) = &sopts.state_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    if let Some(dir) = &sopts.cache_dir {
+        std::fs::create_dir_all(dir)?;
+    }
     let listener = UnixListener::bind(socket)?;
     listener.set_nonblocking(true)?;
+    let cache = DecodeCache::new(sopts.cache_dir.clone());
+    if let Some(dir) = &sopts.cache_dir {
+        cache.preload(dir);
+    }
     let ctx = Arc::new(DaemonCtx {
         opts: opts.clone(),
-        cache: DecodeCache::default(),
+        sopts: sopts.clone(),
+        cache,
         active: AtomicU64::new(0),
+        jobs: Mutex::new(HashMap::new()),
+        conns: Mutex::new(HashMap::new()),
+        job_seq: AtomicU64::new(0),
+        conn_seq: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        rejected: AtomicU64::new(0),
+        timed_out: AtomicU64::new(0),
+        stalled_clients: AtomicU64::new(0),
+        shed_conns: AtomicU64::new(0),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let guard = SocketGuard(socket.to_path_buf());
@@ -357,11 +1026,34 @@ pub fn start(socket: &Path, opts: &CommonOpts) -> io::Result<ServeHandle> {
             let stop = Arc::clone(&stop);
             move || accept_loop(listener, ctx, stop, guard)
         })?;
+    // The deadline supervisor: ages every running job by one tick and
+    // reaps the ones past their deadline. The only clock in the daemon.
+    let supervise = thread::Builder::new()
+        .name("miniperf-serve-deadline".into())
+        .spawn({
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::SeqCst) {
+                    thread::sleep(ctx.sopts.tick);
+                    let deadline = ctx.sopts.job_deadline_ticks;
+                    let jobs: Vec<Arc<JobState>> =
+                        ctx.jobs.lock().unwrap().values().cloned().collect();
+                    for st in jobs {
+                        let age = st.ticks.fetch_add(1, Ordering::SeqCst) + 1;
+                        if deadline > 0 && age > deadline && st.cancel_with(REASON_TIMEOUT) {
+                            ctx.timed_out.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+        })?;
     Ok(ServeHandle {
         socket: socket.to_path_buf(),
         stop,
         ctx,
         accept: Some(accept),
+        supervise: Some(supervise),
     })
 }
 
@@ -374,6 +1066,14 @@ fn accept_loop(
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let conn_id = ctx.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                // Over the connection cap, or an injected accept fault:
+                // drop the stream pre-handshake (the client sees EOF).
+                let over_cap = ctx.active.load(Ordering::SeqCst) >= ctx.sopts.max_conns as u64;
+                if over_cap || mperf_fault::hit("serve.accept", conn_id).is_some() {
+                    ctx.shed_conns.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
                 // The listener polls non-blocking; the per-connection
                 // streams must block on reads between frames.
                 if stream.set_nonblocking(false).is_err() {
@@ -382,7 +1082,7 @@ fn accept_loop(
                 ctx.active.fetch_add(1, Ordering::SeqCst);
                 let ctx = Arc::clone(&ctx);
                 thread::spawn(move || {
-                    handle_conn(&ctx, stream);
+                    handle_conn(&ctx, stream, conn_id);
                     ctx.active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -394,21 +1094,13 @@ fn accept_loop(
     }
 }
 
-/// Best-effort framed send under the connection's write lock. A dead
-/// client makes sends fail silently; the reader loop then sees EOF and
-/// the connection winds down.
-fn send(writer: &Mutex<UnixStream>, msg: &Msg) {
-    if let Ok(mut w) = writer.lock() {
-        let _ = write_msg(&mut *w, msg);
-    }
-}
-
-/// One accepted connection: handshake, then a read loop that spawns a
-/// scoped job thread per `Submit` (one client can run jobs
-/// concurrently) and flips cancel flags on `Cancel`. The scope joins
-/// all job threads before the connection closes, so every submitted
-/// job gets its terminal `JobStatus` (or a dead socket swallows it).
-fn handle_conn(ctx: &DaemonCtx, mut stream: UnixStream) {
+/// One accepted connection: handshake, spawn the writer thread, then a
+/// read loop that admits jobs (scoped thread per `Submit`) and flips
+/// cancel flags on `Cancel`. The scope joins all job threads before
+/// the connection closes, so every *admitted* job gets its terminal
+/// `JobStatus` enqueued; `close_when_idle` then gives the writer a
+/// bounded window to flush it.
+fn handle_conn(ctx: &Arc<DaemonCtx>, mut stream: UnixStream, conn_id: u64) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -416,72 +1108,156 @@ fn handle_conn(ctx: &DaemonCtx, mut stream: UnixStream) {
     if handshake_accept(&mut reader, &mut stream).is_err() {
         return;
     }
-    let writer = Mutex::new(stream);
-    let cancels: Mutex<HashMap<u64, Arc<AtomicBool>>> = Mutex::new(HashMap::new());
-    thread::scope(|s| loop {
-        match read_msg(&mut reader) {
-            Ok(Msg::Submit { job, payload }) => {
-                let cancel = Arc::new(AtomicBool::new(false));
-                cancels.lock().unwrap().insert(job, Arc::clone(&cancel));
-                let writer = &writer;
-                let cancels = &cancels;
-                s.spawn(move || {
-                    let (code, message, summary) = match JobSpec::decode(&payload) {
-                        Ok(spec) => execute_job(ctx, &spec, job, writer, &cancel),
-                        Err(e) => (2, format!("miniperf: {e}"), Vec::new()),
+    let conn = Arc::new(ConnShared {
+        out: Outbound::new(stream, &ctx.sopts),
+        jobs: Mutex::new(HashMap::new()),
+        stalled: AtomicBool::new(false),
+        id: conn_id,
+    });
+    ctx.conns.lock().unwrap().insert(conn_id, Arc::clone(&conn));
+    let writer = thread::Builder::new()
+        .name("miniperf-serve-writer".into())
+        .spawn({
+            let conn = Arc::clone(&conn);
+            move || conn.writer_loop()
+        });
+    if writer.is_err() {
+        ctx.conns.lock().unwrap().remove(&conn_id);
+        return;
+    }
+    thread::scope(|s| {
+        loop {
+            match read_msg(&mut reader) {
+                Ok(Msg::Submit { job, payload }) => {
+                    let seq = ctx.job_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    if ctx.draining.load(Ordering::SeqCst) {
+                        ctx.rejected.fetch_add(1, Ordering::SeqCst);
+                        conn.send(
+                            ctx,
+                            Msg::JobStatus {
+                                job,
+                                code: CODE_REJECTED,
+                                message: "daemon is draining; resubmit after restart".into(),
+                                payload: Vec::new(),
+                            },
+                        );
+                        continue;
+                    }
+                    let state = Arc::new(JobState::default());
+                    let admitted = {
+                        let mut jobs = ctx.jobs.lock().unwrap();
+                        if jobs.len() >= ctx.sopts.max_jobs {
+                            false
+                        } else {
+                            jobs.insert(seq, Arc::clone(&state));
+                            true
+                        }
                     };
-                    send(
-                        writer,
-                        &Msg::JobStatus {
-                            job,
-                            code,
-                            message,
-                            payload: summary,
-                        },
-                    );
-                    cancels.lock().unwrap().remove(&job);
-                });
-            }
-            Ok(Msg::Cancel { job }) => {
-                if let Some(flag) = cancels.lock().unwrap().get(&job) {
-                    flag.store(true, Ordering::SeqCst);
+                    if !admitted {
+                        ctx.rejected.fetch_add(1, Ordering::SeqCst);
+                        conn.send(
+                            ctx,
+                            Msg::JobStatus {
+                                job,
+                                code: CODE_REJECTED,
+                                message: format!(
+                                    "job table full (max {} running); shed",
+                                    ctx.sopts.max_jobs
+                                ),
+                                payload: Vec::new(),
+                            },
+                        );
+                        continue;
+                    }
+                    conn.jobs.lock().unwrap().insert(job, Arc::clone(&state));
+                    let conn = Arc::clone(&conn);
+                    let ctx = Arc::clone(ctx);
+                    s.spawn(move || {
+                        let (code, message, summary) = match JobSpec::decode(&payload) {
+                            Ok(spec) => execute_job(&ctx, &spec, job, seq, &conn, &state),
+                            Err(e) => (2, format!("miniperf: {e}"), Vec::new()),
+                        };
+                        conn.send(
+                            &ctx,
+                            Msg::JobStatus {
+                                job,
+                                code,
+                                message,
+                                payload: summary,
+                            },
+                        );
+                        conn.jobs.lock().unwrap().remove(&job);
+                        ctx.jobs.lock().unwrap().remove(&seq);
+                    });
+                }
+                Ok(Msg::Cancel { job }) => {
+                    if let Some(st) = conn.jobs.lock().unwrap().get(&job) {
+                        st.cancel_with(REASON_CANCEL);
+                    }
+                }
+                // Polite end of session: let in-flight jobs finish and
+                // flush their terminal statuses.
+                Ok(Msg::Shutdown) => break,
+                // A vanished client or a stream that lost framing:
+                // cancel its in-flight work at the next cell boundary.
+                Ok(_) | Err(_) => {
+                    for st in conn.jobs.lock().unwrap().values() {
+                        st.cancel_with(REASON_DISCONNECT);
+                    }
+                    break;
                 }
             }
-            // Clean session end, a vanished client, or a stream that
-            // lost framing: all wind down the same way.
-            Ok(Msg::Shutdown) | Ok(_) | Err(ProtoError::Eof) | Err(_) => break,
         }
     });
+    conn.out.close_when_idle(ctx.sopts.stall_ticks);
+    ctx.conns.lock().unwrap().remove(&conn_id);
 }
 
-/// Execute one decoded job, streaming events to `writer` as they are
-/// produced. Returns the terminal `(code, message, summary)` —
-/// `message` is exactly what the batch command would have printed to
-/// stderr, `code` its exit code.
+// ---------------------------------------------------------------------
+// Job execution. Runs on a scoped thread inside `handle_conn`; all
+// output goes through the connection's bounded queue.
+
 fn execute_job(
     ctx: &DaemonCtx,
     spec: &JobSpec,
     job: u64,
-    writer: &Mutex<UnixStream>,
-    cancel: &AtomicBool,
+    seq: u64,
+    conn: &ConnShared,
+    state: &JobState,
 ) -> (u32, String, Vec<u8>) {
-    if cancel.load(Ordering::SeqCst) {
-        return (CODE_CANCELLED, "job cancelled".into(), Vec::new());
+    // A hung job, on demand: park until the supervision machinery
+    // (deadline, cancel, drain) flips the cancel flag. Keyed by the
+    // daemon-global job sequence number.
+    if let Some(mperf_fault::FaultKind::Stall) = mperf_fault::hit("serve.job_hang", seq) {
+        while !state.cancel.load(Ordering::SeqCst) {
+            thread::sleep(ctx.sopts.tick);
+        }
+    }
+    if state.cancel.load(Ordering::SeqCst) {
+        return cancel_status(state, &ctx.sopts);
     }
     match spec.kind {
         JobKind::Record => {
             let module = cli::compile_demo(spec.platform);
-            let decoded = ctx
-                .cache
-                .decoded_for(&module, spec.platform, "demo", spec.exec);
+            let decoded = ctx.cache.decoded_for(
+                &module,
+                spec.platform,
+                "demo",
+                spec.exec,
+                Some(CacheSource {
+                    workload: "cli",
+                    source: cli::DEMO,
+                    instrument: false,
+                }),
+            );
             let mut vm = Vm::new(&module, Core::new(spec.platform.spec()));
             vm.configure(spec.exec);
             vm.set_decoded(decoded);
             let args = cli::demo_args(&mut vm);
             let mut sink = |s: ProfSample| {
-                send(
-                    writer,
-                    &Msg::Sample {
+                conn.send(
+                    ctx,
+                    Msg::Sample {
                         job,
                         payload: encode_sample(&s),
                     },
@@ -497,9 +1273,17 @@ fn execute_job(
         }
         JobKind::Stat => {
             let module = cli::compile_demo(spec.platform);
-            let decoded = ctx
-                .cache
-                .decoded_for(&module, spec.platform, "demo", spec.exec);
+            let decoded = ctx.cache.decoded_for(
+                &module,
+                spec.platform,
+                "demo",
+                spec.exec,
+                Some(CacheSource {
+                    workload: "cli",
+                    source: cli::DEMO,
+                    instrument: false,
+                }),
+            );
             let mut vm = Vm::new(&module, Core::new(spec.platform.spec()));
             vm.configure(spec.exec);
             vm.set_decoded(decoded);
@@ -512,25 +1296,33 @@ fn execute_job(
         }
         JobKind::Roofline => {
             let module = cli::triad_module(spec.platform);
-            let decoded = ctx
-                .cache
-                .decoded_for(&module, spec.platform, "triad", spec.exec);
+            let decoded = ctx.cache.decoded_for(
+                &module,
+                spec.platform,
+                "triad",
+                spec.exec,
+                Some(CacheSource {
+                    workload: "cli",
+                    source: cli::KERNEL,
+                    instrument: true,
+                }),
+            );
             let setup = crate::shard_exec::cli_triad_setup(spec.n);
             let request = RooflineRequest::new().jobs(spec.jobs).config(spec.exec);
             match request.run_prepared(&module, &decoded, &spec.platform.spec(), "triad", &setup) {
                 Ok(run) => {
                     for r in &run.regions {
-                        send(
-                            writer,
-                            &Msg::Region {
+                        conn.send(
+                            ctx,
+                            Msg::Region {
                                 job,
                                 payload: encode_region(r),
                             },
                         );
                     }
-                    send(
-                        writer,
-                        &Msg::CellDone {
+                    conn.send(
+                        ctx,
+                        Msg::CellDone {
                             job,
                             index: 0,
                             payload: encode_run(&run),
@@ -556,9 +1348,38 @@ fn execute_job(
             let decodeds: Vec<Arc<DecodedModule>> = modules
                 .iter()
                 .zip(Platform::ALL)
-                .map(|(m, p)| ctx.cache.decoded_for(m, p, "triad", spec.exec))
+                .map(|(m, p)| {
+                    ctx.cache.decoded_for(
+                        m,
+                        p,
+                        "triad",
+                        spec.exec,
+                        Some(CacheSource {
+                            workload: "cli",
+                            source: cli::KERNEL,
+                            instrument: true,
+                        }),
+                    )
+                })
                 .collect();
             let cells = cli::triad_sweep_cells(&modules, Some(decodeds), spec.n);
+            // A keyed sweep journals under the daemon's state directory
+            // so a crashed daemon resumes it when the client resubmits
+            // the same spec with the same key. The filename hashes the
+            // key *and* the full spec: `cell_key` alone does not cover
+            // runtime setup (e.g. the triad size), and two specs under
+            // one key must not share a journal.
+            let (journal, resume) = match (&ctx.sopts.state_dir, spec.job_key.is_empty()) {
+                (Some(dir), false) => (
+                    Some(dir.join(format!(
+                        "job-{:016x}-{:016x}.jrnl",
+                        fnv1a(spec.job_key.as_bytes()),
+                        fnv1a(&spec.encode())
+                    ))),
+                    true,
+                ),
+                _ => (ctx.opts.journal.clone(), ctx.opts.resume),
+            };
             let request = RooflineRequest::new()
                 .jobs(spec.jobs)
                 .config(spec.exec)
@@ -566,22 +1387,32 @@ fn execute_job(
                     max_attempts: spec.retries,
                     retry_panics: true,
                 })
-                .journal_opt(ctx.opts.journal.clone())
-                .resume(ctx.opts.resume);
+                .journal_opt(journal)
+                .resume(resume);
+            let total = cells.len() as u64;
+            let done = AtomicU64::new(0);
             let on_cell = |i: usize, run: &RooflineRun| {
-                send(
-                    writer,
-                    &Msg::CellDone {
+                conn.send(
+                    ctx,
+                    Msg::CellDone {
                         job,
                         index: i as u64,
                         payload: encode_run(run),
                     },
                 );
+                conn.send(
+                    ctx,
+                    Msg::Progress {
+                        job,
+                        done: done.fetch_add(1, Ordering::SeqCst) + 1,
+                        total,
+                    },
+                );
             };
-            match request.run_supervised_streaming(&cells, &on_cell, cancel) {
+            match request.run_supervised_streaming(&cells, &on_cell, &state.cancel) {
                 Ok(sweep) => {
-                    if cancel.load(Ordering::SeqCst) {
-                        return (CODE_CANCELLED, "job cancelled".into(), Vec::new());
+                    if state.cancel.load(Ordering::SeqCst) {
+                        return cancel_status(state, &ctx.sopts);
                     }
                     let names = Platform::ALL
                         .iter()
@@ -607,42 +1438,58 @@ fn execute_job(
 // ---------------------------------------------------------------------
 // The `miniperf serve` command: signal-driven daemon lifetime.
 
-static STOP_SIGNAL: AtomicBool = AtomicBool::new(false);
+/// Count of SIGTERM/SIGINT deliveries: the first drains, the second
+/// forces.
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
 
 extern "C" fn on_signal(_signum: i32) {
-    STOP_SIGNAL.store(true, Ordering::SeqCst);
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
 }
 
 unsafe extern "C" {
     /// libc `signal(2)`; no `libc` crate in this workspace, and the
-    /// async-signal-safety story is trivial (one atomic store).
+    /// async-signal-safety story is trivial (one atomic add).
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
-/// Run the daemon until SIGTERM/SIGINT, then drain and clean up the
-/// socket file. Returns the process exit code.
-pub fn run_daemon(socket: &Path, opts: &CommonOpts) -> i32 {
+/// Run the daemon until SIGTERM/SIGINT, then drain: stop accepting,
+/// give in-flight jobs the drain deadline (a second signal cuts it
+/// short), deliver terminal statuses, and clean up the socket file.
+/// Returns the process exit code: 0 after a graceful drain, 130 when a
+/// second signal forced the exit, 4 when another live daemon already
+/// owns the socket.
+pub fn run_daemon(socket: &Path, opts: &CommonOpts, sopts: &ServeOptions) -> i32 {
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
     }
-    let handle = match start(socket, opts) {
+    let mut handle = match start(socket, opts, sopts) {
         Ok(h) => h,
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            eprintln!("serve: {e}");
+            return 4;
+        }
         Err(e) => {
             eprintln!("serve: cannot bind {}: {e}", socket.display());
             return 1;
         }
     };
     eprintln!("serve: listening on {}", handle.socket().display());
-    while !STOP_SIGNAL.load(Ordering::SeqCst) {
+    while SIGNALS.load(Ordering::SeqCst) == 0 {
         thread::sleep(Duration::from_millis(25));
     }
-    eprintln!("serve: shutting down");
-    handle.stop();
-    0
+    eprintln!("serve: draining (signal again to force exit)");
+    handle.drain_until(|| SIGNALS.load(Ordering::SeqCst) >= 2);
+    let forced = SIGNALS.load(Ordering::SeqCst) >= 2;
+    eprintln!("serve: shut down");
+    if forced {
+        130
+    } else {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -650,8 +1497,10 @@ pub fn run_daemon(socket: &Path, opts: &CommonOpts) -> i32 {
 
 /// Connect to a daemon, run one job, and render its streamed results
 /// exactly as the equivalent batch command would have (same body
-/// functions, same exit code, same `config:` header).
-pub fn run_submit(socket: &Path, spec: &JobSpec, opts: &CommonOpts) -> i32 {
+/// functions, same exit code, same `config:` header). With `progress`,
+/// sweep [`Msg::Progress`] frames render to *stderr* — stdout stays
+/// byte-identical to the batch command either way.
+pub fn run_submit(socket: &Path, spec: &JobSpec, opts: &CommonOpts, progress: bool) -> i32 {
     let stream = match UnixStream::connect(socket) {
         Ok(s) => s,
         Err(e) => {
@@ -683,7 +1532,7 @@ pub fn run_submit(socket: &Path, spec: &JobSpec, opts: &CommonOpts) -> i32 {
             return 1;
         }
     };
-    let code = drain_and_render(&mut session, job, spec);
+    let code = drain_and_render(&mut session, job, spec, progress);
     let _ = session.shutdown();
     code
 }
@@ -693,12 +1542,12 @@ type Session = ClientSession<BufReader<UnixStream>, UnixStream>;
 /// On a non-zero status, print the daemon's message (verbatim batch
 /// stderr) and map the code; on success hand the summary payload to
 /// the per-kind renderer.
-fn drain_and_render(session: &mut Session, job: u64, spec: &JobSpec) -> i32 {
+fn drain_and_render(session: &mut Session, job: u64, spec: &JobSpec, progress: bool) -> i32 {
     let result = match spec.kind {
         JobKind::Record => drain_record(session, job, spec),
         JobKind::Stat => drain_stat(session, job, spec),
         JobKind::Roofline => drain_roofline(session, job, spec),
-        JobKind::Sweep => drain_sweep(session, job, spec),
+        JobKind::Sweep => drain_sweep(session, job, spec, progress),
     };
     match result {
         Ok(code) => code,
@@ -781,12 +1630,17 @@ fn drain_roofline(session: &mut Session, job: u64, spec: &JobSpec) -> Result<i32
     Ok(0)
 }
 
-fn drain_sweep(session: &mut Session, job: u64, _spec: &JobSpec) -> Result<i32, String> {
+fn drain_sweep(
+    session: &mut Session,
+    job: u64,
+    _spec: &JobSpec,
+    progress: bool,
+) -> Result<i32, String> {
     let mut results: Vec<Option<RooflineRun>> = vec![None; Platform::ALL.len()];
     let mut bad = None;
     let res = session
-        .drain_job(job, |m| {
-            if let Msg::CellDone { index, payload, .. } = m {
+        .drain_job(job, |m| match m {
+            Msg::CellDone { index, payload, .. } => {
                 let i = *index as usize;
                 if i >= results.len() {
                     bad = Some(format!("cell index {i} out of range"));
@@ -797,6 +1651,10 @@ fn drain_sweep(session: &mut Session, job: u64, _spec: &JobSpec) -> Result<i32, 
                     Err(e) => bad = Some(e),
                 }
             }
+            Msg::Progress { done, total, .. } if progress => {
+                eprintln!("sweep: {done}/{total} cells");
+            }
+            _ => {}
         })
         .map_err(|e| e.to_string())?;
     if let Some(e) = bad {
@@ -886,14 +1744,15 @@ mod tests {
         let cache = DecodeCache::default();
         let module = cli::compile_demo(Platform::SpacemitX60);
         let exec = ExecConfig::default();
-        let a = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec);
-        let b = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec);
+        let a = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec, None);
+        let b = cache.decoded_for(&module, Platform::SpacemitX60, "demo", exec, None);
         assert!(Arc::ptr_eq(&a, &b), "second job reuses the warm decode");
         assert_eq!(
             cache.stats(),
             ServeStats {
                 decodes: 1,
-                hits: 1
+                hits: 1,
+                ..ServeStats::default()
             }
         );
         // A different exec flavour is a different key.
@@ -901,14 +1760,104 @@ mod tests {
             fuse: false,
             ..ExecConfig::default()
         };
-        cache.decoded_for(&module, Platform::SpacemitX60, "demo", no_fuse);
+        cache.decoded_for(&module, Platform::SpacemitX60, "demo", no_fuse, None);
         assert_eq!(
             cache.stats(),
             ServeStats {
                 decodes: 2,
-                hits: 1
+                hits: 1,
+                ..ServeStats::default()
             }
         );
+    }
+
+    #[test]
+    fn cache_entry_codec_treats_any_malformation_as_a_miss() {
+        let src = CacheSource {
+            workload: "cli",
+            source: cli::KERNEL,
+            instrument: true,
+        };
+        let body = encode_cache_entry(src, Platform::SpacemitX60, "triad", ExecConfig::default());
+        let mut file = Vec::new();
+        file.extend_from_slice(CACHE_MAGIC);
+        file.extend_from_slice(&crc32(&body).to_le_bytes());
+        file.extend_from_slice(&body);
+        let (platform, entry, exec, workload, source, instrument) =
+            decode_cache_entry(&file).expect("well-formed entry decodes");
+        assert_eq!(platform, Platform::SpacemitX60);
+        assert_eq!(entry, "triad");
+        assert_eq!(exec, ExecConfig::default());
+        assert_eq!(workload, "cli");
+        assert_eq!(source, cli::KERNEL);
+        assert!(instrument);
+        // Every malformation is None, never a panic or error: flipped
+        // payload byte (CRC), truncation, wrong magic, trailing bytes.
+        let mut flipped = file.clone();
+        *flipped.last_mut().unwrap() ^= 0xff;
+        assert!(decode_cache_entry(&flipped).is_none());
+        assert!(decode_cache_entry(&file[..file.len() - 1]).is_none());
+        assert!(decode_cache_entry(&file[..7]).is_none());
+        let mut alien = file.clone();
+        alien[0] ^= 0xff;
+        assert!(decode_cache_entry(&alien).is_none());
+        let mut trailing = file.clone();
+        trailing.push(0);
+        assert!(decode_cache_entry(&trailing).is_none());
+        assert!(decode_cache_entry(b"").is_none());
+    }
+
+    #[test]
+    fn job_state_cancel_has_exactly_one_winner() {
+        let st = JobState::default();
+        assert!(st.cancel_with(REASON_TIMEOUT), "first cancel wins");
+        assert!(!st.cancel_with(REASON_CANCEL), "later reasons lose");
+        assert!(st.cancel.load(Ordering::SeqCst));
+        let sopts = ServeOptions::default();
+        let (code, msg, _) = cancel_status(&st, &sopts);
+        assert_eq!(code, CODE_TIMEOUT);
+        assert!(msg.contains("deadline"), "{msg}");
+    }
+
+    #[test]
+    fn cancel_status_maps_every_reason() {
+        let sopts = ServeOptions::default();
+        for (reason, code) in [
+            (REASON_CANCEL, CODE_CANCELLED),
+            (REASON_TIMEOUT, CODE_TIMEOUT),
+            (REASON_STALLED, CODE_STALLED),
+            (REASON_DISCONNECT, CODE_CANCELLED),
+            (REASON_DRAIN, CODE_CANCELLED),
+        ] {
+            let st = JobState::default();
+            st.cancel_with(reason);
+            assert_eq!(cancel_status(&st, &sopts).0, code);
+        }
+    }
+
+    #[test]
+    fn outbound_send_is_tick_bounded_and_declares_the_stall() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let sopts = ServeOptions {
+            queue_frames: 2,
+            stall_ticks: 3,
+            tick: Duration::from_millis(1),
+            ..ServeOptions::default()
+        };
+        let out = Outbound::new(a, &sopts);
+        // No writer thread: the queue fills and stays full, exactly
+        // like a client that stopped reading with full kernel buffers.
+        assert!(out.send(Msg::Shutdown).is_ok());
+        assert!(out.send(Msg::Shutdown).is_ok());
+        let t0 = std::time::Instant::now();
+        assert!(matches!(out.send(Msg::Shutdown), Err(SendFail::Stalled)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "send must give up after stall_ticks ticks, not block forever"
+        );
+        // The stall closed the connection: later sends fail fast.
+        assert!(matches!(out.send(Msg::Shutdown), Err(SendFail::Closed)));
+        assert!(out.is_idle(), "a closed queue counts as idle");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use miniperf::cli::{self, JobKind, JobSpec};
 use miniperf::serve::{self, decode_profile_meta, decode_sample, encode_sample};
 use miniperf::sweep_supervisor::encode_run;
-use miniperf::{record, CommonOpts, RecordConfig, RooflineRequest};
+use miniperf::{record, CommonOpts, RecordConfig, RooflineRequest, ServeOptions};
 use mperf_sim::Platform;
 use mperf_sweep::proto::{Msg, CODE_CANCELLED};
 use mperf_sweep::serve::ClientSession;
@@ -76,7 +76,7 @@ fn batch_reference(n: u64, jobs: usize) -> Vec<Vec<u8>> {
 fn two_concurrent_clients_stream_bit_identical_sweeps() {
     const N: u64 = 512;
     let socket = socket_path("two-clients");
-    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
     let expected = batch_reference(N, 2);
 
     let streamed: Vec<(u32, Vec<Vec<u8>>)> = std::thread::scope(|s| {
@@ -102,7 +102,7 @@ fn two_concurrent_clients_stream_bit_identical_sweeps() {
 fn second_identical_job_hits_the_warm_cache_with_zero_decodes() {
     const N: u64 = 256;
     let socket = socket_path("warm-cache");
-    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
     let mut session = connect(&socket);
 
     let (code, first) = run_sweep(&mut session, &sweep_spec(N, 1));
@@ -133,7 +133,7 @@ fn second_identical_job_hits_the_warm_cache_with_zero_decodes() {
 #[test]
 fn cancelled_sweep_reports_the_interrupt_exit_code() {
     let socket = socket_path("cancel");
-    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
     let mut session = connect(&socket);
 
     // The Cancel frame is read by the connection thread within
@@ -152,7 +152,7 @@ fn cancelled_sweep_reports_the_interrupt_exit_code() {
 #[test]
 fn malformed_job_descriptions_fail_with_the_usage_exit_code() {
     let socket = socket_path("malformed");
-    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
     let mut session = connect(&socket);
 
     let job = session.submit(vec![0xde, 0xad]).unwrap();
@@ -168,7 +168,7 @@ fn malformed_job_descriptions_fail_with_the_usage_exit_code() {
 #[test]
 fn streamed_record_reassembles_into_the_batch_profile() {
     let socket = socket_path("record");
-    let handle = serve::start(&socket, &CommonOpts::default()).unwrap();
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
     let mut session = connect(&socket);
 
     let opts = CommonOpts::default();
@@ -198,4 +198,286 @@ fn streamed_record_reassembles_into_the_batch_profile() {
     }
     drop(session);
     handle.stop();
+}
+
+// ---------------------------------------------------------------------
+// Supervision, drain, and restart coverage (PR 10).
+
+/// Collect the `Progress` frames a sweep streams alongside its cells.
+fn run_sweep_with_progress(
+    session: &mut Session,
+    spec: &JobSpec,
+) -> (u32, Vec<Vec<u8>>, Vec<(u64, u64)>) {
+    let job = session.submit(spec.encode()).unwrap();
+    let mut cells: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut progress = Vec::new();
+    let res = session
+        .drain_job(job, |m| match m {
+            Msg::CellDone { index, payload, .. } => cells.push((*index, payload.clone())),
+            Msg::Progress { done, total, .. } => progress.push((*done, *total)),
+            _ => {}
+        })
+        .unwrap();
+    cells.sort_by_key(|(i, _)| *i);
+    (
+        res.code,
+        cells.into_iter().map(|(_, p)| p).collect(),
+        progress,
+    )
+}
+
+#[test]
+fn sweep_streams_progress_frames_counting_cells() {
+    const N: u64 = 256;
+    let socket = socket_path("progress");
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
+    let mut session = connect(&socket);
+    let (code, cells, progress) = run_sweep_with_progress(&mut session, &sweep_spec(N, 1));
+    assert_eq!(code, 0);
+    assert_eq!(cells.len(), Platform::ALL.len());
+    let total = Platform::ALL.len() as u64;
+    assert_eq!(
+        progress,
+        (1..=total).map(|d| (d, total)).collect::<Vec<_>>(),
+        "one Progress frame per cell, counting up to the total"
+    );
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn a_live_daemons_socket_is_never_deleted() {
+    let socket = socket_path("live-socket");
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
+    // A second daemon must refuse to start — and must not delete the
+    // first daemon's socket out from under it (the PR-8 bug).
+    let Err(err) = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()) else {
+        panic!("second daemon must refuse to start")
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert!(err.to_string().contains("already serving"), "{err}");
+    assert!(socket.exists(), "the live socket file survives the probe");
+    // ... and the first daemon still answers.
+    let mut session = connect(&socket);
+    let job = session.submit(vec![0xbe, 0xef]).unwrap();
+    assert_eq!(session.drain_job(job, |_| {}).unwrap().code, 2);
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn a_non_socket_file_refuses_start_and_survives() {
+    let path = socket_path("not-a-socket");
+    std::fs::write(&path, b"precious data").unwrap();
+    let Err(err) = serve::start(&path, &CommonOpts::default(), &ServeOptions::default()) else {
+        panic!("a non-socket file must refuse the start")
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert!(err.to_string().contains("not a socket"), "{err}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        b"precious data",
+        "refusing to start must not touch the file"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn a_stale_socket_from_a_dead_daemon_is_reclaimed() {
+    let socket = socket_path("stale-socket");
+    // A bound-then-dropped listener leaves exactly what kill -9 leaves:
+    // a socket file nobody answers on.
+    drop(std::os::unix::net::UnixListener::bind(&socket).unwrap());
+    assert!(socket.exists());
+    let handle = serve::start(&socket, &CommonOpts::default(), &ServeOptions::default())
+        .expect("a stale socket is silently reclaimed");
+    let mut session = connect(&socket);
+    let job = session.submit(vec![1]).unwrap();
+    assert_eq!(session.drain_job(job, |_| {}).unwrap().code, 2);
+    drop(session);
+    handle.stop();
+}
+
+#[test]
+fn graceful_drain_lets_the_in_flight_job_finish() {
+    const N: u64 = 1024;
+    let socket = socket_path("drain");
+    let mut handle =
+        serve::start(&socket, &CommonOpts::default(), &ServeOptions::default()).unwrap();
+    let expected = batch_reference(N, 1);
+
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let client = std::thread::spawn({
+        let socket = socket.clone();
+        move || {
+            let mut session = connect(&socket);
+            let spec = sweep_spec(N, 1);
+            let job = session.submit(spec.encode()).unwrap();
+            let mut cells: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut signalled = false;
+            let res = session
+                .drain_job(job, |m| {
+                    if let Msg::CellDone { index, payload, .. } = m {
+                        cells.push((*index, payload.clone()));
+                        if !signalled {
+                            signalled = true;
+                            let _ = started_tx.send(());
+                        }
+                    }
+                })
+                .unwrap();
+            cells.sort_by_key(|(i, _)| *i);
+            (
+                res.code,
+                cells.into_iter().map(|(_, p)| p).collect::<Vec<_>>(),
+            )
+        }
+    });
+    // Drain once the job is demonstrably mid-flight (first cell done).
+    started_rx.recv().unwrap();
+    handle.drain();
+    assert!(!socket.exists(), "drain reclaims the socket file");
+
+    let (code, cells) = client.join().unwrap();
+    assert_eq!(code, 0, "an in-flight job finishes under graceful drain");
+    assert_eq!(
+        cells, expected,
+        "drained job's stream ≡ batch, byte for byte"
+    );
+}
+
+#[test]
+fn warm_restart_from_the_cache_dir_performs_zero_decodes() {
+    const N: u64 = 256;
+    let socket = socket_path("warm-restart");
+    let cache_dir = std::env::temp_dir().join(format!("mperf-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let sopts = ServeOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    let handle = serve::start(&socket, &CommonOpts::default(), &sopts).unwrap();
+    let mut session = connect(&socket);
+    let (code, first) = run_sweep(&mut session, &sweep_spec(N, 1));
+    assert_eq!(code, 0);
+    let stats = handle.stats();
+    assert_eq!(stats.decodes, Platform::ALL.len() as u64);
+    assert_eq!(stats.preloaded, 0, "cold start had nothing to preload");
+    drop(session);
+    handle.stop();
+
+    // Corrupt and foreign entries must read as misses, never errors.
+    std::fs::write(cache_dir.join("zzzz.mpdc"), b"not hex, not valid").unwrap();
+    std::fs::write(cache_dir.join("0000000000000000.mpdc"), b"garbage").unwrap();
+    std::fs::write(cache_dir.join("README"), b"ignore me").unwrap();
+
+    let handle = serve::start(&socket, &CommonOpts::default(), &sopts).unwrap();
+    let stats = handle.stats();
+    assert_eq!(
+        stats.preloaded,
+        Platform::ALL.len() as u64,
+        "every valid entry re-derived at startup; junk skipped silently"
+    );
+    assert_eq!(stats.decodes, 0);
+    let mut session = connect(&socket);
+    let (code, second) = run_sweep(&mut session, &sweep_spec(N, 1));
+    assert_eq!(code, 0);
+    assert_eq!(second, first, "warm-restart result is bit-identical");
+    let stats = handle.stats();
+    assert_eq!(stats.decodes, 0, "a warm restart performs zero decodes");
+    assert_eq!(stats.hits, Platform::ALL.len() as u64);
+    drop(session);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn killed_daemon_restarts_and_resumes_a_keyed_sweep_byte_identically() {
+    const N: u64 = 4096;
+    let socket = socket_path("kill9");
+    let state_dir = std::env::temp_dir().join(format!("mperf-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_file(&socket);
+
+    // A real daemon process, so kill -9 is a real crash: no destructors,
+    // no socket cleanup, no flushed state beyond the journal.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_miniperf"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while UnixStream::connect(&socket).is_err() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not come up"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let mut spec = sweep_spec(N, 1);
+    spec.job_key = "kill9-resume".into();
+    let mut session = connect(&socket);
+    let _job = session.submit(spec.encode()).unwrap();
+    // Let the sweep demonstrably start (first checkpointed cell), then
+    // crash the daemon hard.
+    loop {
+        match session.next_event() {
+            Ok(Msg::CellDone { .. }) => break,
+            Ok(_) => continue,
+            Err(e) => panic!("daemon died before the first cell: {e}"),
+        }
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().unwrap();
+    // The crashed session ends in a transport error, never a JobStatus.
+    loop {
+        match session.next_event() {
+            Ok(Msg::JobStatus { .. }) => panic!("no terminal status crosses a crash"),
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    drop(session);
+    assert!(socket.exists(), "kill -9 leaves the stale socket behind");
+    let journal_bytes: u64 = std::fs::read_dir(&state_dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".jrnl"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum();
+    assert!(
+        journal_bytes > 8,
+        "at least one cell was checkpointed before the crash"
+    );
+
+    // Restart (in-process this time): the stale socket is reclaimed,
+    // and resubmitting the same spec under the same key resumes from
+    // the journal — replayed cells stream through the same events, so
+    // the reassembled report is byte-identical to a fault-free run.
+    let sopts = ServeOptions {
+        state_dir: Some(state_dir.clone()),
+        ..ServeOptions::default()
+    };
+    let handle = serve::start(&socket, &CommonOpts::default(), &sopts)
+        .expect("restart reclaims the stale socket");
+    let mut session = connect(&socket);
+    let (code, cells) = run_sweep(&mut session, &spec);
+    assert_eq!(code, 0);
+    assert_eq!(
+        cells,
+        batch_reference(N, 1),
+        "resumed stream ≡ fault-free batch, byte for byte"
+    );
+    drop(session);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&state_dir);
 }

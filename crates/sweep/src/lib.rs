@@ -96,8 +96,9 @@
 //! | `Sample {job, payload}` | daemon → client | one profiling sample, flushed as drained from the PMU ring |
 //! | `Region {job, payload}` | daemon → client | one roofline region measurement, flushed as correlated |
 //! | `CellDone {job, index, payload}` | daemon → client | one sweep cell result — the bit-exact `RooflineRun` journal codec |
+//! | `Progress {job, done, total}` | daemon → client | informational: `done` of `total` sweep cells finished (journal-resumed cells count); safe to ignore |
 //! | `Cancel {job}` | client → daemon | stop `job` at the next cell/drain boundary |
-//! | `JobStatus {job, code, message, payload}` | daemon → client | terminal, exactly one per job; `code` mirrors the batch CLI exit code (130 = cancelled), `payload` is a job-kind summary |
+//! | `JobStatus {job, code, message, payload}` | daemon → client | terminal, exactly one per job; `code` mirrors the batch CLI exit code plus the supervision codes — 130 = cancelled/disconnect/drain ([`proto::CODE_CANCELLED`]), 75 = shed by admission control or drain mode ([`proto::CODE_REJECTED`]), 124 = job deadline exceeded ([`proto::CODE_TIMEOUT`]), 131 = client stalled ([`proto::CODE_STALLED`]); `payload` is a job-kind summary |
 //! | `Shutdown` | client → daemon | end of session (EOF is equivalent) |
 //!
 //! **Versioning rules.** One [`proto::SCHEMA`] gates shard *and* serve

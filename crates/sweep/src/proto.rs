@@ -59,8 +59,9 @@ pub const MAGIC: &[u8; 8] = b"MPSWIPC1";
 
 /// Message-set schema version; bumped on any wire-visible change.
 /// Schema 2 added the serve-daemon subset (`Submit` through
-/// `JobStatus`).
-pub const SCHEMA: u32 = 2;
+/// `JobStatus`); schema 3 added `Progress` and the supervision status
+/// codes ([`CODE_REJECTED`], [`CODE_TIMEOUT`], [`CODE_STALLED`]).
+pub const SCHEMA: u32 = 3;
 
 /// Upper bound on one frame body. A length field beyond this is
 /// treated as corruption, never allocated.
@@ -156,6 +157,12 @@ pub enum Msg {
     /// at the next cell/drain boundary; the job still terminates with a
     /// `JobStatus`.
     Cancel { job: u64 },
+    /// Coarse completion report for a long-running job: `done` of
+    /// `total` cells have finished (resumed-from-journal cells count as
+    /// done). Streamed after each cell so a client can render progress
+    /// without counting `CellDone` frames; purely informational and
+    /// safe to ignore.
+    Progress { job: u64, done: u64, total: u64 },
     /// Terminal job status. `code` mirrors the batch CLI exit code for
     /// a natural completion (0 ok, 1 failed, 3 partial, 4 fatal) and is
     /// [`CODE_CANCELLED`] for a cancelled job; `payload` is a
@@ -172,6 +179,24 @@ pub enum Msg {
 /// [`Msg::JobStatus`] code for a job stopped by [`Msg::Cancel`]:
 /// `128 + SIGINT`, the shell convention for an interrupted run.
 pub const CODE_CANCELLED: u32 = 130;
+
+/// [`Msg::JobStatus`] code for a submit the daemon refused to run:
+/// admission control shed it (job table full) or the daemon is
+/// draining. Mirrors `EX_TEMPFAIL` from `sysexits.h` — the client may
+/// retry later, possibly against a restarted daemon.
+pub const CODE_REJECTED: u32 = 75;
+
+/// [`Msg::JobStatus`] code for a job cancelled because it overran its
+/// deadline (`ServeOptions::job_deadline_ticks` heartbeat ticks on the
+/// daemon side). Mirrors GNU `timeout`'s exit code.
+pub const CODE_TIMEOUT: u32 = 124;
+
+/// [`Msg::JobStatus`] code for a job cancelled because its *client*
+/// stalled — stopped draining the event stream past the stall
+/// deadline. The stalled client's connection is torn down, so this
+/// code normally never reaches it; it exists so daemon-side accounting
+/// and logs can tell "client died" from "client wedged".
+pub const CODE_STALLED: u32 = 131;
 
 impl Msg {
     /// The canonical hello for this binary's protocol version.
@@ -194,6 +219,7 @@ const TAG_REGION: u8 = 8;
 const TAG_CELL_DONE: u8 = 9;
 const TAG_CANCEL: u8 = 10;
 const TAG_JOB_STATUS: u8 = 11;
+const TAG_PROGRESS: u8 = 12;
 
 fn class_code(c: FailureClass) -> u8 {
     match c {
@@ -284,6 +310,12 @@ fn encode_body(msg: &Msg) -> Vec<u8> {
             e.u8(TAG_CANCEL);
             e.u64(*job);
         }
+        Msg::Progress { job, done, total } => {
+            e.u8(TAG_PROGRESS);
+            e.u64(*job);
+            e.u64(*done);
+            e.u64(*total);
+        }
         Msg::JobStatus {
             job,
             code,
@@ -365,6 +397,11 @@ fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
         },
         TAG_CANCEL => Msg::Cancel {
             job: d.u64().map_err(corrupt)?,
+        },
+        TAG_PROGRESS => Msg::Progress {
+            job: d.u64().map_err(corrupt)?,
+            done: d.u64().map_err(corrupt)?,
+            total: d.u64().map_err(corrupt)?,
         },
         TAG_JOB_STATUS => Msg::JobStatus {
             job: d.u64().map_err(corrupt)?,
@@ -596,12 +633,19 @@ mod tests {
             payload: vec![0; 64],
         });
         roundtrip(Msg::Cancel { job: u64::MAX });
-        roundtrip(Msg::JobStatus {
-            job: 5,
-            code: CODE_CANCELLED,
-            message: "cancelled by client".into(),
-            payload: vec![9, 9],
+        roundtrip(Msg::Progress {
+            job: 6,
+            done: 3,
+            total: 4,
         });
+        for code in [CODE_CANCELLED, CODE_REJECTED, CODE_TIMEOUT, CODE_STALLED] {
+            roundtrip(Msg::JobStatus {
+                job: 5,
+                code,
+                message: "cancelled by client".into(),
+                payload: vec![9, 9],
+            });
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   │ ◀─────────────────────── Hello ── │   (mismatch ⇒ drop)
 //!   │ ── Submit{job, spec} ───────────▶ │
 //!   │ ◀── Sample/Region/CellDone ────── │   (streamed as produced)
+//!   │ ◀── Progress{job, done, total} ── │   (informational, sweeps)
 //!   │ ◀── JobStatus{job, code, …} ───── │   (terminal, exactly one)
 //!   │ ── Cancel{job} ─────────────────▶ │   (any time before status)
 //!   │ ── Shutdown or EOF ─────────────▶ │   (end of session)
@@ -21,9 +22,15 @@
 //!
 //! A job is *terminated* by exactly one [`Msg::JobStatus`]; every
 //! streamed event before it carries the job id the client chose in its
-//! [`Msg::Submit`]. The daemon never buffers a job's events — each is
-//! framed and flushed as the execution bridge produces it — so client
-//! code must be prepared to interleave reads with its own rendering.
+//! [`Msg::Submit`]. A submit can also terminate *immediately* — the
+//! daemon sheds work it will not run (admission control, drain mode)
+//! with a `JobStatus` carrying [`crate::proto::CODE_REJECTED`] and no
+//! preceding events. The daemon buffers a job's events only in a
+//! *bounded* per-connection queue — each is framed and flushed as the
+//! execution bridge produces it — so client code must be prepared to
+//! interleave reads with its own rendering; a client that stops
+//! reading long enough to fill that queue is declared stalled and its
+//! connection is dropped.
 
 use crate::proto::{read_msg, write_msg, Msg, ProtoError, MAGIC, SCHEMA};
 use std::io::{Read, Write};
@@ -143,8 +150,8 @@ impl<R: Read, W: Write> ClientSession<R, W> {
     }
 
     /// Drain `job`'s event stream: feed every `Sample`/`Region`/
-    /// `CellDone` for it to `on_event` as it arrives, and return when
-    /// the terminal [`Msg::JobStatus`] lands.
+    /// `CellDone`/`Progress` for it to `on_event` as it arrives, and
+    /// return when the terminal [`Msg::JobStatus`] lands.
     ///
     /// # Errors
     /// [`ProtoError::Corrupt`] if the daemon streams an event for a
@@ -157,9 +164,10 @@ impl<R: Read, W: Write> ClientSession<R, W> {
         loop {
             let msg = self.next_event()?;
             let event_job = match &msg {
-                Msg::Sample { job, .. } | Msg::Region { job, .. } | Msg::CellDone { job, .. } => {
-                    *job
-                }
+                Msg::Sample { job, .. }
+                | Msg::Region { job, .. }
+                | Msg::CellDone { job, .. }
+                | Msg::Progress { job, .. } => *job,
                 Msg::JobStatus {
                     job: status_job,
                     code,
@@ -246,6 +254,11 @@ mod tests {
                 index: 0,
                 payload: vec![2, 3],
             },
+            Msg::Progress {
+                job: 1,
+                done: 1,
+                total: 4,
+            },
             Msg::JobStatus {
                 job: 1,
                 code: 0,
@@ -263,7 +276,18 @@ mod tests {
         let result = s.drain_job(job, |m| events.push(m.clone())).unwrap();
         assert_eq!(result.code, 0);
         assert_eq!(result.payload, vec![7]);
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
+        assert!(
+            matches!(
+                events[2],
+                Msg::Progress {
+                    job: 1,
+                    done: 1,
+                    total: 4
+                }
+            ),
+            "Progress frames flow through drain_job like any other event"
+        );
         // The client wrote Hello then Submit, framed.
         let mut cursor = &client_out[..];
         assert_eq!(read_msg(&mut cursor).unwrap(), Msg::hello());
